@@ -1,0 +1,90 @@
+//! E8 (Fig. 6, §4): the application-server deployment.
+//!
+//! Moving page/unit services out of the servlet container into an
+//! EJB-style application server buys reusability and elastic clone pools,
+//! at the price of a marshalling boundary on every request. This bench
+//! measures that price (in-process vs app-server with 1/2/4 clones) and
+//! the concurrency benefit under parallel load.
+
+use bench::{deployed, read_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc::RuntimeOptions;
+use std::hint::black_box;
+use std::sync::Arc;
+use webratio::SynthSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = SynthSpec::scaled(16, 5);
+
+    let mut group = c.benchmark_group("E8_appserver_boundary");
+    // single-request latency: the marshalling cost
+    for (name, clones) in [
+        ("in_process", None),
+        ("app_server_1_clone", Some(1)),
+        ("app_server_4_clones", Some(4)),
+    ] {
+        let (_, d) = deployed(
+            &spec,
+            RuntimeOptions {
+                app_server_clones: clones,
+                ..RuntimeOptions::default()
+            },
+            10,
+        );
+        let workload = read_workload(&d, 32, 5);
+        for r in &workload {
+            d.handle(r);
+        }
+        group.bench_with_input(BenchmarkId::new("latency", name), &name, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = &workload[i % workload.len()];
+                i += 1;
+                black_box(d.handle(r));
+            })
+        });
+    }
+
+    // parallel throughput: 8 client threads, pool absorbs the load
+    for (name, clones) in [("in_process", None), ("app_server_4_clones", Some(4))] {
+        let (_, d) = deployed(
+            &spec,
+            RuntimeOptions {
+                app_server_clones: clones,
+                ..RuntimeOptions::default()
+            },
+            10,
+        );
+        let d = Arc::new(d);
+        let workload = Arc::new(read_workload(&d, 32, 6));
+        for r in workload.iter() {
+            d.handle(r);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("parallel_8_threads_x16req", name),
+            &name,
+            |b, _| {
+                b.iter(|| {
+                    let mut handles = Vec::new();
+                    for t in 0..8usize {
+                        let d = Arc::clone(&d);
+                        let w = Arc::clone(&workload);
+                        handles.push(std::thread::spawn(move || {
+                            for i in 0..16 {
+                                let r = &w[(t * 16 + i) % w.len()];
+                                assert_eq!(d.handle(r).status, 200);
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

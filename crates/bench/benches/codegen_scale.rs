@@ -1,0 +1,47 @@
+//! E7 (§1, §4): "the design and code generation process should scale to
+//! thousands of dynamic page templates and hundreds of thousands [of]
+//! database queries."
+//!
+//! Sweep the model size and measure full generation (descriptors +
+//! controller config + skeletons + DDL). The claim holds if time grows
+//! ~linearly in pages/units. Also covers E1's artifact generation at the
+//! Acer-Euro scale (556 pages / 3068 units).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use webratio::{synthesize, SynthSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_codegen_scale");
+    group.sample_size(10);
+    for pages in [50usize, 150, 556, 1112] {
+        let spec = if pages == 556 {
+            SynthSpec::acer_euro()
+        } else {
+            SynthSpec::scaled(pages, 6)
+        };
+        let app = synthesize(&spec);
+        let units = app.hypertext.stats().units;
+        group.throughput(Throughput::Elements(units as u64));
+        group.bench_with_input(
+            BenchmarkId::new("generate_full_artifact_set", pages),
+            &pages,
+            |b, _| b.iter(|| black_box(app.generate().unwrap())),
+        );
+    }
+    group.finish();
+
+    // model synthesis itself (designer-side scalability)
+    let mut group = c.benchmark_group("E7_model_synthesis");
+    group.sample_size(10);
+    for pages in [150usize, 556] {
+        let spec = SynthSpec::scaled(pages, 6);
+        group.bench_with_input(BenchmarkId::new("synthesize", pages), &pages, |b, _| {
+            b.iter(|| black_box(synthesize(&spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

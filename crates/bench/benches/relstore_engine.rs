@@ -1,0 +1,125 @@
+//! Data-tier microbenchmarks: the query shapes the WebML code generator
+//! emits (§1's "3000 SQL queries" are overwhelmingly of these forms).
+//!
+//! * point lookup by primary key (data unit);
+//! * secondary-index probe (role-navigated index unit);
+//! * join through an FK (hierarchy level / far-side navigation);
+//! * LIKE scan (search unit);
+//! * insert (create operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relstore::{Database, Params};
+use std::hint::black_box;
+
+fn database(volumes: i64, issues_per: i64) -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL, year INTEGER);
+         CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER, volume_oid INTEGER NOT NULL,
+             CONSTRAINT fk FOREIGN KEY (volume_oid) REFERENCES volume (oid) ON DELETE CASCADE);
+         CREATE INDEX ix_issue_vol ON issue (volume_oid);",
+    )
+    .unwrap();
+    for v in 0..volumes {
+        db.execute(
+            "INSERT INTO volume (title, year) VALUES (:t, :y)",
+            &Params::new()
+                .bind("t", format!("Volume {v}"))
+                .bind("y", 1980 + (v % 25)),
+        )
+        .unwrap();
+        for i in 0..issues_per {
+            db.execute(
+                "INSERT INTO issue (number, volume_oid) VALUES (:n, :v)",
+                &Params::new().bind("n", i + 1).bind("v", v + 1),
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let db = database(500, 8);
+    let mut group = c.benchmark_group("relstore_unit_queries");
+
+    group.bench_function("pk_point_lookup", |b| {
+        let p = Params::new().bind("oid", 250);
+        b.iter(|| {
+            black_box(
+                db.query("SELECT oid, title, year FROM volume WHERE oid = :oid", &p)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("secondary_index_probe", |b| {
+        let p = Params::new().bind("v", 250);
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT oid, number FROM issue WHERE volume_oid = :v ORDER BY number",
+                    &p,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("fk_join", |b| {
+        let p = Params::new().bind("y", 1999);
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT v.title, i.number FROM volume v \
+                     INNER JOIN issue i ON i.volume_oid = v.oid WHERE v.year = :y",
+                    &p,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("like_scan", |b| {
+        let p = Params::new().bind("kw", "%ume 25%");
+        b.iter(|| {
+            black_box(
+                db.query("SELECT oid, title FROM volume WHERE title LIKE :kw", &p)
+                    .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("aggregate_group_by", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT volume_oid, COUNT(*) AS n FROM issue GROUP BY volume_oid \
+                     HAVING COUNT(*) > 4 ORDER BY n DESC LIMIT 10",
+                    &Params::new(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("insert_row", |b| {
+        let db = database(10, 2);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                db.execute(
+                    "INSERT INTO issue (number, volume_oid) VALUES (:n, :v)",
+                    &Params::new().bind("n", i).bind("v", (i % 10) + 1),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

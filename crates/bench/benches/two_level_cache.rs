@@ -1,0 +1,83 @@
+//! E5 (§6): the two-level cache architecture.
+//!
+//! Four deployments of the same application serve the same read-heavy
+//! workload:
+//!
+//! * `no_cache` — every request runs queries and generates markup;
+//! * `fragment_only` — the ESI-like level: markup generation is spared,
+//!   **but the data queries still execute** ("caching fragments of the
+//!   page template may spare only the computation of markup from query
+//!   results, not the execution of the data extraction queries");
+//! * `bean_only` — the business-tier level: queries are spared;
+//! * `two_level` — both.
+//!
+//! A mixed series (10 % writes) shows model-driven invalidation keeping
+//! the bean cache correct under updates.
+
+use bench::{deployed, mixed_workload, read_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc::RuntimeOptions;
+use std::hint::black_box;
+use std::time::Duration;
+use webratio::SynthSpec;
+
+fn options(bean: bool, fragment: bool) -> RuntimeOptions {
+    RuntimeOptions {
+        bean_cache: bean,
+        fragment_cache: fragment,
+        fragment_ttl: Duration::from_secs(300),
+        ..RuntimeOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = SynthSpec::scaled(24, 5);
+    let configs: [(&str, bool, bool); 4] = [
+        ("no_cache", false, false),
+        ("fragment_only", false, true),
+        ("bean_only", true, false),
+        ("two_level", true, true),
+    ];
+
+    let mut group = c.benchmark_group("E5_two_level_cache_read");
+    group.measurement_time(Duration::from_secs(8));
+    for (name, bean, fragment) in configs {
+        let (_, d) = deployed(&spec, options(bean, fragment), 10);
+        let workload = read_workload(&d, 64, 99);
+        // warm both cache levels
+        for r in &workload {
+            d.handle(r);
+        }
+        group.bench_with_input(BenchmarkId::new("read_heavy", name), &name, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = &workload[i % workload.len()];
+                i += 1;
+                black_box(d.handle(r));
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E5_two_level_cache_mixed");
+    group.measurement_time(Duration::from_secs(8));
+    for (name, bean, fragment) in configs {
+        let (_, d) = deployed(&spec, options(bean, fragment), 10);
+        let workload = mixed_workload(&d, 64, 0.1, 7);
+        for r in &workload {
+            d.handle(r);
+        }
+        group.bench_with_input(BenchmarkId::new("mixed_10pct_writes", name), &name, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = &workload[i % workload.len()];
+                i += 1;
+                black_box(d.handle(r));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

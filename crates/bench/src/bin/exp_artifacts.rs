@@ -1,0 +1,68 @@
+//! E1 (§8, Fig. 5): the Acer-Euro artifact-count comparison.
+//!
+//! Paper: "A conventional MVC implementation would require 556 Java
+//! classes for page services and 3068 Java classes for unit services.
+//! Using generic services and XML descriptors, only one generic page
+//! service is required (accompanied by 556 page descriptors, encoded as
+//! XML files) and 11 unit services ... accompanied by 3068 unit
+//! descriptors."
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_artifacts
+//! ```
+
+use codegen::ArchitectureComparison;
+use webratio::{synthesize, SynthSpec};
+
+fn main() {
+    println!("== E1: artifact counts at Acer-Euro scale (§8) ==\n");
+    let spec = SynthSpec::acer_euro();
+    let app = synthesize(&spec);
+    let stats = app.hypertext.stats();
+    println!(
+        "model: {} site views, {} pages, {} units (paper: 22 / 556 / 3068)",
+        stats.site_views, stats.pages, stats.units
+    );
+    let generated = app.generate().expect("generation");
+    let queries: usize = generated
+        .descriptors
+        .units
+        .iter()
+        .map(|u| u.queries.len())
+        .sum::<usize>()
+        + generated
+            .descriptors
+            .operations
+            .iter()
+            .filter(|o| o.sql.is_some())
+            .count();
+    println!("SQL queries generated: {queries} (paper: \"over 3000\")\n");
+
+    let cmp = ArchitectureComparison::compute(&generated.descriptors);
+    println!("{}", cmp.to_table());
+    println!(
+        "generic unit services cover {} unit types in this model; the full\n\
+         engine ships the paper's 11 (data, index, multidata, multichoice,\n\
+         scroller, entry, create, delete, modify, connect, disconnect)\n\
+         plus hierarchy — the count is constant in application size.",
+        cmp.generic_unit_classes
+    );
+    println!(
+        "\nclasses eliminated: {} ({}x reduction in business-tier classes)",
+        cmp.classes_eliminated(),
+        (cmp.dedicated_page_classes + cmp.dedicated_unit_classes)
+            / (cmp.generic_page_classes + cmp.generic_unit_classes)
+    );
+    println!(
+        "dedicated source: {} KiB | generic services + descriptors: {} KiB",
+        cmp.dedicated_bytes / 1024,
+        cmp.generic_bytes / 1024
+    );
+
+    // the presentation side of §8: style sheets per site-view family
+    println!(
+        "\npresentation artifacts: {} page templates styled by 3 rule sets \
+         (B2C / B2B / CMS families — see exp_presentation_artifacts)",
+        generated.skeletons.len()
+    );
+}

@@ -1,0 +1,93 @@
+//! E2 (§8, §6): "less than 5% of the template source code and SQL queries
+//! needed manual retouching ... For each unit, developers can optimize the
+//! data extraction query working on the XML descriptor, and deploying the
+//! optimized version without interrupting the service."
+//!
+//! We hand-optimise 5 % of the unit descriptors (the §6 workflow), change
+//! the model, regenerate, and verify that (a) every optimised descriptor
+//! survives regeneration byte-identically and (b) no manual work is
+//! re-done.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_retouch
+//! ```
+
+use codegen::regenerate;
+use webratio::{synthesize, SynthSpec};
+use webml::LinkEnd;
+
+fn main() {
+    println!("== E2: optimized-descriptor survival across regeneration (§6/§8) ==\n");
+    let spec = SynthSpec::acer_euro();
+    let mut app = synthesize(&spec);
+    let generated = app.generate().expect("generation");
+    let mut descriptors = generated.descriptors.clone();
+
+    // the developer optimises 5% of the unit queries
+    let total = descriptors.units.len();
+    let to_optimize: Vec<String> = descriptors
+        .units
+        .iter()
+        .filter(|u| u.main_query().is_some())
+        .step_by(20) // every 20th unit ≈ 5%
+        .map(|u| u.id.clone())
+        .collect();
+    for id in &to_optimize {
+        let u = descriptors.unit_mut(id).unwrap();
+        let old_sql = u.main_query().unwrap().sql.clone();
+        u.override_query(format!("{old_sql} /* hand-tuned: forced index */"));
+    }
+    println!(
+        "hand-optimised {} of {} unit descriptors ({:.1}%)",
+        to_optimize.len(),
+        total,
+        100.0 * to_optimize.len() as f64 / total as f64
+    );
+
+    // the model evolves: re-link one page (the §7 scenario)
+    let (lid, _) = app
+        .hypertext
+        .links()
+        .find(|(_, l)| l.kind == webml::LinkKind::Contextual)
+        .expect("a contextual link");
+    let (target_page, _) = app.hypertext.pages().last().unwrap();
+    app.hypertext.retarget_link(lid, LinkEnd::Page(target_page));
+
+    // regenerate with override preservation
+    let (g2, preserved) =
+        regenerate(&app.er, &app.mapping, &app.hypertext, &descriptors).expect("regeneration");
+
+    let mut survived = 0;
+    let mut clobbered = 0;
+    for id in &to_optimize {
+        let u = g2.descriptors.unit(id).unwrap();
+        if u.optimized && u.main_query().unwrap().sql.contains("hand-tuned") {
+            survived += 1;
+        } else {
+            clobbered += 1;
+        }
+    }
+    println!("after model change + regeneration:");
+    println!("  optimised descriptors preserved: {survived}");
+    println!("  optimised descriptors clobbered: {clobbered}");
+    println!("  preserved ids reported by the generator: {}", preserved.len());
+    assert_eq!(clobbered, 0, "regeneration destroyed manual work!");
+    assert_eq!(survived, to_optimize.len());
+
+    // non-optimised descriptors took the fresh definition (no drift)
+    let fresh = app.generate().unwrap().descriptors;
+    let unchanged = g2
+        .descriptors
+        .units
+        .iter()
+        .filter(|u| !u.optimized)
+        .all(|u| fresh.unit(&u.id).is_some_and(|f| f == u));
+    println!("  non-optimised descriptors identical to fresh generation: {unchanged}");
+    assert!(unchanged);
+
+    println!(
+        "\nresult: manual retouching is a one-time cost on {:.1}% of artifacts;\n\
+         regeneration touches zero hand-tuned files (paper: <5% retouched once).",
+        100.0 * to_optimize.len() as f64 / total as f64
+    );
+}

@@ -1,0 +1,341 @@
+//! The business-tier unit-bean cache with model-driven invalidation.
+//!
+//! §6: "WebRatio caches the data beans produced by the action invocations,
+//! which typically include the result of data access queries, and make
+//! them reusable by multiple requests. Moreover, since a conceptual model
+//! of the application is available, which clearly exposes the Entity or
+//! Relationship on which the content of a unit depends, and the operations
+//! that may act on such content, the implementation of operations
+//! automatically invalidates the affected cached objects."
+
+use crate::stats::{CacheStats, StatsSnapshot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cache key: unit descriptor id + a fingerprint of its input parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BeanKey {
+    pub unit: String,
+    pub params: String,
+}
+
+impl BeanKey {
+    pub fn new(unit: impl Into<String>, params: impl Into<String>) -> BeanKey {
+        BeanKey {
+            unit: unit.into(),
+            params: params.into(),
+        }
+    }
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    /// Entities (table names) the bean depends on.
+    deps: Vec<String>,
+    expires: Option<Instant>,
+    stamp: u64,
+}
+
+struct Inner<V> {
+    entries: HashMap<BeanKey, Entry<V>>,
+    /// LRU order: stamp → key.
+    order: BTreeMap<u64, BeanKey>,
+    /// Reverse dependency index: entity → keys whose beans depend on it.
+    by_entity: HashMap<String, HashSet<BeanKey>>,
+    next_stamp: u64,
+}
+
+/// A bounded, thread-safe cache of unit beans keyed by (unit, parameters),
+/// invalidated by TTL and/or by the entities the unit depends on.
+pub struct BeanCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V> BeanCache<V> {
+    /// Create a cache bounded to `capacity` entries (LRU eviction).
+    pub fn new(capacity: usize) -> BeanCache<V> {
+        BeanCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                by_entity: HashMap::new(),
+                next_stamp: 0,
+            }),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a bean; refreshes its LRU position.
+    pub fn get(&self, key: &BeanKey) -> Option<Arc<V>> {
+        self.get_at(key, Instant::now())
+    }
+
+    /// Look up at an explicit instant (deterministic TTL tests).
+    pub fn get_at(&self, key: &BeanKey, now: Instant) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock();
+        // expired?
+        let expired = match inner.entries.get(key) {
+            Some(e) => e.expires.is_some_and(|t| t <= now),
+            None => {
+                self.stats.miss();
+                return None;
+            }
+        };
+        if expired {
+            Self::remove_entry(&mut inner, key);
+            self.stats.expiration();
+            self.stats.miss();
+            return None;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let e = inner.entries.get_mut(key).unwrap();
+        let old_stamp = e.stamp;
+        e.stamp = stamp;
+        let value = Arc::clone(&e.value);
+        inner.order.remove(&old_stamp);
+        inner.order.insert(stamp, key.clone());
+        self.stats.hit();
+        Some(value)
+    }
+
+    /// Insert a bean with its entity dependencies and optional TTL.
+    pub fn put(&self, key: BeanKey, value: V, deps: &[String], ttl: Option<Duration>) -> Arc<V> {
+        self.put_at(key, value, deps, ttl, Instant::now())
+    }
+
+    pub fn put_at(
+        &self,
+        key: BeanKey,
+        value: V,
+        deps: &[String],
+        ttl: Option<Duration>,
+        now: Instant,
+    ) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock();
+        // replace any existing entry
+        if inner.entries.contains_key(&key) {
+            Self::remove_entry(&mut inner, &key);
+        }
+        // evict LRU if full
+        while inner.entries.len() >= self.capacity {
+            let Some((_, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone()))
+            else {
+                break;
+            };
+            Self::remove_entry(&mut inner, &victim);
+            self.stats.eviction();
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.entries.insert(
+            key.clone(),
+            Entry {
+                value: Arc::clone(&value),
+                deps: deps.to_vec(),
+                expires: ttl.map(|d| now + d),
+                stamp,
+            },
+        );
+        inner.order.insert(stamp, key.clone());
+        for d in deps {
+            inner
+                .by_entity
+                .entry(d.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        self.stats.insertion();
+        value
+    }
+
+    fn remove_entry(inner: &mut Inner<V>, key: &BeanKey) {
+        if let Some(e) = inner.entries.remove(key) {
+            inner.order.remove(&e.stamp);
+            for d in &e.deps {
+                if let Some(set) = inner.by_entity.get_mut(d) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        inner.by_entity.remove(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidate every bean depending on `entity`; returns how many were
+    /// dropped. This is what operation services call automatically (§6).
+    pub fn invalidate_entity(&self, entity: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<BeanKey> = inner
+            .by_entity
+            .get(entity)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for k in &keys {
+            Self::remove_entry(&mut inner, k);
+        }
+        self.stats.invalidation(keys.len() as u64);
+        keys.len()
+    }
+
+    /// Invalidate all cached beans of one unit (any parameters).
+    pub fn invalidate_unit(&self, unit: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<BeanKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.unit == unit)
+            .cloned()
+            .collect();
+        for k in &keys {
+            Self::remove_entry(&mut inner, k);
+        }
+        self.stats.invalidation(keys.len() as u64);
+        keys.len()
+    }
+
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let n = inner.entries.len();
+        inner.entries.clear();
+        inner.order.clear();
+        inner.by_entity.clear();
+        self.stats.invalidation(n as u64);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deps(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c: BeanCache<String> = BeanCache::new(16);
+        let k = BeanKey::new("unit1", "volume=7");
+        c.put(k.clone(), "bean".into(), &deps(&["volume"]), None);
+        assert_eq!(c.get(&k).as_deref(), Some(&"bean".to_string()));
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(&BeanKey::new("unit1", "volume=8")).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn entity_invalidation_drops_dependents_only() {
+        let c: BeanCache<i32> = BeanCache::new(16);
+        c.put(BeanKey::new("u1", "a"), 1, &deps(&["product"]), None);
+        c.put(BeanKey::new("u2", "b"), 2, &deps(&["product", "news"]), None);
+        c.put(BeanKey::new("u3", "c"), 3, &deps(&["news"]), None);
+        let dropped = c.invalidate_entity("product");
+        assert_eq!(dropped, 2);
+        assert!(c.get(&BeanKey::new("u1", "a")).is_none());
+        assert!(c.get(&BeanKey::new("u3", "c")).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expiry_with_explicit_clock() {
+        let c: BeanCache<i32> = BeanCache::new(16);
+        let t0 = Instant::now();
+        let k = BeanKey::new("u", "p");
+        c.put_at(k.clone(), 5, &[], Some(Duration::from_millis(100)), t0);
+        assert!(c.get_at(&k, t0 + Duration::from_millis(50)).is_some());
+        assert!(c.get_at(&k, t0 + Duration::from_millis(150)).is_none());
+        assert_eq!(c.stats().expirations, 1);
+        // expired entry is fully removed (dep index included)
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let c: BeanCache<i32> = BeanCache::new(2);
+        c.put(BeanKey::new("a", ""), 1, &[], None);
+        c.put(BeanKey::new("b", ""), 2, &[], None);
+        // touch a so b becomes the LRU victim
+        c.get(&BeanKey::new("a", ""));
+        c.put(BeanKey::new("c", ""), 3, &[], None);
+        assert!(c.get(&BeanKey::new("a", "")).is_some());
+        assert!(c.get(&BeanKey::new("b", "")).is_none());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replacement_updates_value_and_deps() {
+        let c: BeanCache<i32> = BeanCache::new(4);
+        let k = BeanKey::new("u", "p");
+        c.put(k.clone(), 1, &deps(&["old"]), None);
+        c.put(k.clone(), 2, &deps(&["new"]), None);
+        assert_eq!(c.get(&k).as_deref(), Some(&2));
+        assert_eq!(c.invalidate_entity("old"), 0);
+        assert_eq!(c.invalidate_entity("new"), 1);
+    }
+
+    #[test]
+    fn invalidate_unit_scoped() {
+        let c: BeanCache<i32> = BeanCache::new(8);
+        c.put(BeanKey::new("u1", "a"), 1, &[], None);
+        c.put(BeanKey::new("u1", "b"), 2, &[], None);
+        c.put(BeanKey::new("u2", "a"), 3, &[], None);
+        assert_eq!(c.invalidate_unit("u1"), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = Arc::new(BeanCache::<u64>::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = BeanKey::new(format!("u{}", i % 8), format!("p{t}"));
+                    if i % 3 == 0 {
+                        c.put(k, i, &["e".to_string()], None);
+                    } else if i % 7 == 0 {
+                        c.invalidate_entity("e");
+                    } else {
+                        c.get(&k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // no panic + counters consistent
+        let s = c.stats();
+        assert!(s.insertions > 0);
+    }
+
+    #[test]
+    fn clear_counts_invalidations() {
+        let c: BeanCache<i32> = BeanCache::new(8);
+        c.put(BeanKey::new("u", "1"), 1, &[], None);
+        c.put(BeanKey::new("u", "2"), 2, &[], None);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! The template-fragment cache (the ESI-like first level).
+//!
+//! §6: "Last-generation cache technologies, like the Edge Side Include
+//! (ESI) initiative, apply more sophisticated caching strategies, based on
+//! the capability of marking fragments of the page template, which can be
+//! cached individually and with different policies. However ... caching
+//! fragments of the page template may spare only the computation of markup
+//! from query results, not the execution of the data extraction queries."
+//!
+//! That limitation is intrinsic: a fragment cache sees only markup, so it
+//! supports TTL policies but cannot do model-driven invalidation — which
+//! is exactly why WebRatio adds the second, business-tier level
+//! ([`crate::bean::BeanCache`]).
+
+use crate::stats::{CacheStats, StatsSnapshot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Key of a cached fragment: template + fragment marker + parameter
+/// fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    pub template: String,
+    pub fragment: String,
+    pub params: String,
+}
+
+impl FragmentKey {
+    pub fn new(
+        template: impl Into<String>,
+        fragment: impl Into<String>,
+        params: impl Into<String>,
+    ) -> FragmentKey {
+        FragmentKey {
+            template: template.into(),
+            fragment: fragment.into(),
+            params: params.into(),
+        }
+    }
+}
+
+struct Entry {
+    markup: Arc<String>,
+    expires: Instant,
+    stamp: u64,
+}
+
+struct Inner {
+    entries: HashMap<FragmentKey, Entry>,
+    order: BTreeMap<u64, FragmentKey>,
+    next_stamp: u64,
+}
+
+/// A bounded TTL cache of rendered markup fragments.
+pub struct FragmentCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    default_ttl: Duration,
+    stats: CacheStats,
+}
+
+impl FragmentCache {
+    pub fn new(capacity: usize, default_ttl: Duration) -> FragmentCache {
+        FragmentCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+            }),
+            capacity: capacity.max(1),
+            default_ttl,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn get(&self, key: &FragmentKey) -> Option<Arc<String>> {
+        self.get_at(key, Instant::now())
+    }
+
+    pub fn get_at(&self, key: &FragmentKey, now: Instant) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key) {
+            None => {
+                self.stats.miss();
+                None
+            }
+            Some(e) if e.expires <= now => {
+                let stamp = e.stamp;
+                inner.entries.remove(key);
+                inner.order.remove(&stamp);
+                self.stats.expiration();
+                self.stats.miss();
+                None
+            }
+            Some(e) => {
+                self.stats.hit();
+                Some(Arc::clone(&e.markup))
+            }
+        }
+    }
+
+    pub fn put(&self, key: FragmentKey, markup: String) -> Arc<String> {
+        self.put_at(key, markup, Instant::now())
+    }
+
+    pub fn put_at(&self, key: FragmentKey, markup: String, now: Instant) -> Arc<String> {
+        let markup = Arc::new(markup);
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.order.remove(&old.stamp);
+        }
+        while inner.entries.len() >= self.capacity {
+            let Some((stamp, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone()))
+            else {
+                break;
+            };
+            inner.order.remove(&stamp);
+            inner.entries.remove(&victim);
+            self.stats.eviction();
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.entries.insert(
+            key.clone(),
+            Entry {
+                markup: Arc::clone(&markup),
+                expires: now + self.default_ttl,
+                stamp,
+            },
+        );
+        inner.order.insert(stamp, key);
+        self.stats.insertion();
+        markup
+    }
+
+    /// Drop every fragment of a template (e.g. after redeployment).
+    pub fn invalidate_template(&self, template: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<(u64, FragmentKey)> = inner
+            .entries
+            .iter()
+            .filter(|(k, _)| k.template == template)
+            .map(|(k, e)| (e.stamp, k.clone()))
+            .collect();
+        for (stamp, k) in &keys {
+            inner.entries.remove(k);
+            inner.order.remove(stamp);
+        }
+        self.stats.invalidation(keys.len() as u64);
+        keys.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let c = FragmentCache::new(8, Duration::from_secs(60));
+        let k = FragmentKey::new("home.jsp", "unit3", "p=1");
+        assert!(c.get(&k).is_none());
+        c.put(k.clone(), "<ul>...</ul>".into());
+        assert_eq!(c.get(&k).as_deref().map(|s| s.as_str()), Some("<ul>...</ul>"));
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let c = FragmentCache::new(8, Duration::from_millis(10));
+        let t0 = Instant::now();
+        let k = FragmentKey::new("t", "f", "");
+        c.put_at(k.clone(), "x".into(), t0);
+        assert!(c.get_at(&k, t0 + Duration::from_millis(5)).is_some());
+        assert!(c.get_at(&k, t0 + Duration::from_millis(15)).is_none());
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn template_invalidation() {
+        let c = FragmentCache::new(8, Duration::from_secs(60));
+        c.put(FragmentKey::new("a.jsp", "u1", ""), "1".into());
+        c.put(FragmentKey::new("a.jsp", "u2", ""), "2".into());
+        c.put(FragmentKey::new("b.jsp", "u1", ""), "3".into());
+        assert_eq!(c.invalidate_template("a.jsp"), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_fifo_when_untouched() {
+        let c = FragmentCache::new(2, Duration::from_secs(60));
+        c.put(FragmentKey::new("t", "1", ""), "a".into());
+        c.put(FragmentKey::new("t", "2", ""), "b".into());
+        c.put(FragmentKey::new("t", "3", ""), "c".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&FragmentKey::new("t", "1", "")).is_none());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn distinct_params_are_distinct_fragments() {
+        let c = FragmentCache::new(8, Duration::from_secs(60));
+        c.put(FragmentKey::new("t", "u", "volume=1"), "v1".into());
+        c.put(FragmentKey::new("t", "u", "volume=2"), "v2".into());
+        assert_eq!(
+            c.get(&FragmentKey::new("t", "u", "volume=2")).as_deref().map(|s| s.as_str()),
+            Some("v2")
+        );
+        assert_eq!(c.len(), 2);
+    }
+}

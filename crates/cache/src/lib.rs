@@ -1,0 +1,25 @@
+//! # webcache — the two-level cache architecture of §6
+//!
+//! The paper resolves the tension between the MVC architecture and Web
+//! caching with two cooperating levels:
+//!
+//! 1. a **template-fragment cache** ([`fragment::FragmentCache`]) — the
+//!    ESI-like product developers already use. It spares markup
+//!    generation but *not* query execution, and supports only TTL
+//!    policies because it sees nothing but markup;
+//! 2. a **unit-bean cache** ([`bean::BeanCache`]) in the business tier.
+//!    Because the conceptual model exposes which entities each unit
+//!    depends on, operation services invalidate affected beans
+//!    automatically — the developer never writes cache-management code.
+//!
+//! Both caches are bounded (LRU), thread-safe, and instrumented
+//! ([`stats::CacheStats`]); TTL logic takes explicit `Instant`s in the
+//! `_at` variants so tests and benches stay deterministic.
+
+pub mod bean;
+pub mod fragment;
+pub mod stats;
+
+pub use bean::{BeanCache, BeanKey};
+pub use fragment::{FragmentCache, FragmentKey};
+pub use stats::{CacheStats, StatsSnapshot};

@@ -1,0 +1,93 @@
+//! Cache statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe hit/miss/eviction counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+    pub expirations: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit ratio in [0, 1]; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn invalidation(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn expiration(&self) {
+        self.expirations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CacheStats::default();
+        s.hit();
+        s.hit();
+        s.miss();
+        s.invalidation(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.invalidations, 3);
+        assert!((snap.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Baseline generators: the architectures the paper argues *against*.
+//!
+//! * [`conventional_mvc_artifacts`] — the plain-MVC organisation of §4's
+//!   opening: "Every unit and operation requires a dedicated service in the
+//!   business tier ... Every page requires a distinct page service." For
+//!   Acer-Euro that is 556 page-service classes + 3068 unit-service
+//!   classes; experiment E1 regenerates that comparison.
+//! * [`template_based_artifacts`] — the §2 template-based approach: one
+//!   template per page with request decoding, inline queries, markup
+//!   generation, and **hard-wired URLs** to every linked page. Experiment
+//!   E6 measures the maintenance cost of that hard-wiring.
+
+use descriptors::{ActionKind, DescriptorSet, PageDescriptor, UnitDescriptor};
+use std::fmt::Write;
+
+/// One generated source artifact: `(virtual path, source text)`.
+pub type Artifact = (String, String);
+
+fn class_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len());
+    out.push_str(prefix);
+    let mut upper = true;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if upper {
+                out.extend(c.to_uppercase());
+                upper = false;
+            } else {
+                out.push(c);
+            }
+        } else {
+            upper = true;
+        }
+    }
+    out
+}
+
+/// Emit the dedicated unit-service class source for one unit — what a
+/// conventional MVC project would hand-write (or generate 1:1) per unit.
+pub fn dedicated_unit_service_source(u: &UnitDescriptor) -> String {
+    let cls = class_name("", &format!("{} {} service", u.id, u.unit_type));
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(s, "// generated dedicated service for unit {} ({})", u.id, u.name);
+    let _ = writeln!(s, "public class {cls} implements UnitService {{");
+    for (i, q) in u.queries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    private static final String QUERY_{i} = \"{}\";",
+            q.sql.replace('"', "\\\"")
+        );
+    }
+    let _ = writeln!(s, "    public UnitBean compute(Connection con, Map params) {{");
+    for q in &u.queries {
+        let _ = writeln!(s, "        PreparedStatement ps = con.prepare(QUERY_{});", 0);
+        for input in &q.inputs {
+            let _ = writeln!(s, "        ps.bind(\"{input}\", params.get(\"{input}\"));");
+        }
+        let _ = writeln!(s, "        ResultSet rs = ps.executeQuery();");
+        for p in &q.bean {
+            let _ = writeln!(
+                s,
+                "        bean.set{}(rs.get{}(\"{}\"));",
+                class_name("", &p.name),
+                p.attr_type,
+                p.column
+            );
+        }
+    }
+    let _ = writeln!(s, "        return bean;");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Emit the dedicated page-service class for one page: fetches request
+/// parameters and invokes unit services in computation order.
+pub fn dedicated_page_service_source(p: &PageDescriptor, set: &DescriptorSet) -> String {
+    let cls = class_name("", &format!("{} page service", p.id));
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(s, "// generated dedicated page service for {} ({})", p.id, p.name);
+    let _ = writeln!(s, "public class {cls} implements PageService {{");
+    let _ = writeln!(s, "    public void computePage(HttpRequest req, Model model) {{");
+    for rp in &p.request_params {
+        let _ = writeln!(s, "        Object {rp} = req.getParameter(\"{rp}\");");
+    }
+    for uid in &p.units {
+        if let Some(u) = set.unit(uid) {
+            let ucls = class_name("", &format!("{} {} service", u.id, u.unit_type));
+            let _ = writeln!(s, "        model.put(\"{uid}\", new {ucls}().compute(con, params));");
+            for e in p.edges_into(uid) {
+                for param in &e.params {
+                    let _ = writeln!(
+                        s,
+                        "        params.put(\"{}\", model.get(\"{}\").{}());",
+                        param.name, e.from, param.source_kind
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// The full conventional-MVC artifact set: one class per page + one class
+/// per unit (plus the shared controller config, which both architectures
+/// need).
+pub fn conventional_mvc_artifacts(set: &DescriptorSet) -> Vec<Artifact> {
+    let mut out = Vec::with_capacity(set.pages.len() + set.units.len());
+    for p in &set.pages {
+        out.push((
+            format!("src/pages/{}PageService.java", p.id),
+            dedicated_page_service_source(p, set),
+        ));
+    }
+    for u in &set.units {
+        out.push((
+            format!("src/units/{}UnitService.java", u.id),
+            dedicated_unit_service_source(u),
+        ));
+    }
+    for o in &set.operations {
+        out.push((
+            format!("src/operations/{}OperationService.java", o.id),
+            format!(
+                "// dedicated operation service for {}\npublic class {} {{ /* {} */ }}\n",
+                o.id,
+                class_name("", &format!("{} operation service", o.id)),
+                o.sql.as_deref().unwrap_or("no sql")
+            ),
+        ));
+    }
+    out
+}
+
+/// The generic-architecture artifact set (Fig. 5 right-hand side): one
+/// generic page service, one generic service per *unit type*, one generic
+/// operation service — plus the XML descriptors.
+pub fn generic_artifacts(set: &DescriptorSet) -> Vec<Artifact> {
+    let mut out = Vec::new();
+    out.push((
+        "src/generic/GenericPageService.java".to_string(),
+        "// ONE page service: interprets page descriptors\npublic class GenericPageService { public void computePage(PageDescriptor d, HttpRequest req, Model m) { /* topological unit computation */ } }\n".to_string(),
+    ));
+    let mut types: Vec<&str> = set.units.iter().map(|u| u.unit_type.as_str()).collect();
+    types.sort_unstable();
+    types.dedup();
+    for t in &types {
+        out.push((
+            format!("src/generic/Generic{}Service.java", class_name("", t)),
+            format!(
+                "// ONE service for every {t} unit: parametric in the descriptor\npublic class Generic{}Service {{ public UnitBean compute(UnitDescriptor d, Map params) {{ /* prepare d.query, bind d.inputs, pack d.bean */ }} }}\n",
+                class_name("", t)
+            ),
+        ));
+    }
+    if !set.operations.is_empty() {
+        out.push((
+            "src/generic/GenericOperationService.java".to_string(),
+            "// ONE operation service: interprets operation descriptors\npublic class GenericOperationService { }\n".to_string(),
+        ));
+    }
+    out.extend(set.to_files());
+    out
+}
+
+/// The §2 template-based architecture: one self-contained page template
+/// embedding request decoding, queries, markup, and hard-wired URLs.
+pub fn template_based_artifacts(set: &DescriptorSet) -> Vec<Artifact> {
+    let mut out = Vec::with_capacity(set.pages.len());
+    for p in &set.pages {
+        let mut s = String::with_capacity(2048);
+        let _ = writeln!(s, "<%-- template-based page {} ({}) --%>", p.id, p.name);
+        let _ = writeln!(s, "<html><body>");
+        let _ = writeln!(s, "<%");
+        for rp in &p.request_params {
+            let _ = writeln!(s, "  String {rp} = request.getParameter(\"{rp}\");");
+        }
+        for uid in &p.units {
+            if let Some(u) = set.unit(uid) {
+                for q in &u.queries {
+                    let _ = writeln!(
+                        s,
+                        "  ResultSet {}_{} = stmt.executeQuery(\"{}\");",
+                        uid,
+                        q.name,
+                        q.sql.replace('"', "\\\"")
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "%>");
+        for uid in &p.units {
+            let _ = writeln!(s, "<table class=\"unit\"><%-- markup for {uid} --%>");
+            // hard-wired URLs: the essence of problem #2 in §2
+            for l in p.links.iter().filter(|l| &l.from == uid) {
+                let _ = writeln!(s, "<a href=\"{}\">{}</a>", l.target_url, l.label);
+            }
+            let _ = writeln!(s, "</table>");
+        }
+        // operations reachable from this page are also hard-wired
+        let _ = writeln!(s, "</body></html>");
+        out.push((format!("templates_flat/{}.jsp", p.id), s));
+    }
+    out
+}
+
+/// How many template-based artifacts embed a given URL — the number of
+/// files a developer must edit when that page moves (E6).
+pub fn artifacts_referencing(artifacts: &[Artifact], url: &str) -> usize {
+    let needle = format!("href=\"{url}\"");
+    artifacts.iter().filter(|(_, s)| s.contains(&needle)).count()
+}
+
+/// Which artifacts change between two generated sets (by path + content).
+pub fn changed_artifacts(before: &[Artifact], after: &[Artifact]) -> Vec<String> {
+    let mut changed = Vec::new();
+    let index: std::collections::HashMap<&str, &str> = before
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    for (p, s) in after {
+        match index.get(p.as_str()) {
+            Some(old) if *old == s => {}
+            _ => changed.push(p.clone()),
+        }
+    }
+    for (p, _) in before {
+        if !after.iter().any(|(q, _)| q == p) {
+            changed.push(p.clone());
+        }
+    }
+    changed
+}
+
+/// Count the controller mappings a URL change touches in the MVC
+/// architecture (always 1 file: the regenerated controller config).
+pub fn mvc_files_touched_by_retarget(set: &DescriptorSet, old_url: &str) -> usize {
+    // the controller config is one file; page descriptors embed link URLs
+    let mut n = 0;
+    if set
+        .controller
+        .mappings
+        .iter()
+        .any(|m| match &m.kind {
+            ActionKind::Operation {
+                ok_forward,
+                ko_forward,
+                ..
+            } => ok_forward == old_url || ko_forward == old_url,
+            _ => false,
+        })
+    {
+        n += 1;
+    }
+    n += set
+        .pages
+        .iter()
+        .filter(|p| p.links.iter().any(|l| l.target_url == old_url))
+        .count();
+    n.max(1) // the controller file itself is always regenerated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descriptors::{
+        ActionMapping, ControllerConfig, PageDescriptor, ParamBinding, QuerySpec, UnitLinkSpec,
+    };
+
+    fn small_set() -> DescriptorSet {
+        let unit = |id: &str, page: &str| UnitDescriptor {
+            id: id.into(),
+            name: format!("u {id}"),
+            unit_type: "index".into(),
+            page: page.into(),
+            entity_table: Some("product".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql: "SELECT oid, name FROM product".into(),
+                inputs: vec![],
+                bean: vec![],
+            }],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: "GenericIndexService".into(),
+            depends_on: vec!["product".into()],
+            cache: None,
+        };
+        let page = |id: &str, url: &str, link_to: &str| PageDescriptor {
+            id: id.into(),
+            name: id.to_uppercase(),
+            site_view: "main".into(),
+            url: url.into(),
+            units: vec![format!("u_{id}")],
+            edges: vec![],
+            links: vec![UnitLinkSpec {
+                from: format!("u_{id}"),
+                target_url: link_to.into(),
+                label: "go".into(),
+                params: vec![ParamBinding {
+                    name: "oid".into(),
+                    source_kind: "oid".into(),
+                    source: String::new(),
+                }],
+            }],
+            request_params: vec![],
+            layout: "single-column".into(),
+            template: format!("templates/main/{id}.jsp"),
+            landmark: false,
+            protected: false,
+        };
+        DescriptorSet {
+            units: vec![unit("u_p1", "p1"), unit("u_p2", "p2"), unit("u_p3", "p3")],
+            pages: vec![
+                page("p1", "/main/p1", "/main/p3"),
+                page("p2", "/main/p2", "/main/p3"),
+                page("p3", "/main/p3", "/main/p1"),
+            ],
+            operations: vec![],
+            controller: ControllerConfig {
+                mappings: vec![ActionMapping {
+                    path: "/main/p1".into(),
+                    kind: ActionKind::Page {
+                        page: "p1".into(),
+                        view: "templates/main/p1.jsp".into(),
+                    },
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn conventional_counts_match_paper_formula() {
+        let set = small_set();
+        let arts = conventional_mvc_artifacts(&set);
+        // one class per page + one per unit
+        assert_eq!(arts.len(), set.pages.len() + set.units.len());
+        assert!(arts[0].1.contains("PageService"));
+    }
+
+    #[test]
+    fn generic_counts_are_constant_in_unit_count() {
+        let set = small_set();
+        let arts = generic_artifacts(&set);
+        // 1 generic page service + 1 index service + descriptors (3 units +
+        // 3 pages + controller)
+        let classes = arts
+            .iter()
+            .filter(|(p, _)| p.starts_with("src/generic/"))
+            .count();
+        assert_eq!(classes, 2);
+        let descriptors = arts
+            .iter()
+            .filter(|(p, _)| p.starts_with("descriptors/"))
+            .count();
+        assert_eq!(descriptors, 7);
+    }
+
+    #[test]
+    fn template_based_hardwires_urls() {
+        let set = small_set();
+        let arts = template_based_artifacts(&set);
+        assert_eq!(arts.len(), 3);
+        // two templates embed the URL of p3: moving p3 means editing both
+        assert_eq!(artifacts_referencing(&arts, "/main/p3"), 2);
+        assert_eq!(artifacts_referencing(&arts, "/main/p1"), 1);
+        assert_eq!(artifacts_referencing(&arts, "/nowhere"), 0);
+    }
+
+    #[test]
+    fn changed_artifacts_detects_diffs() {
+        let a = vec![
+            ("x".to_string(), "1".to_string()),
+            ("y".to_string(), "2".to_string()),
+        ];
+        let mut b = a.clone();
+        b[1].1 = "2'".to_string();
+        b.push(("z".to_string(), "3".to_string()));
+        let mut ch = changed_artifacts(&a, &b);
+        ch.sort();
+        assert_eq!(ch, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn dedicated_sources_embed_sql() {
+        let set = small_set();
+        let src = dedicated_unit_service_source(&set.units[0]);
+        assert!(src.contains("SELECT oid, name FROM product"));
+        let psrc = dedicated_page_service_source(&set.pages[0], &set);
+        assert!(psrc.contains("computePage"));
+    }
+}

@@ -1,0 +1,795 @@
+//! SQL generation: from unit specifications and the relational mapping to
+//! the parameterised queries stored in descriptors.
+
+use er::{EntityId, ErModel, RelImpl, RelationalMapping, OID};
+use descriptors::{BeanProperty, QuerySpec};
+use webml::{Condition, SortSpec, Unit, UnitKind};
+
+/// Code-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The model failed validation; generation refused to run.
+    InvalidModel(Vec<String>),
+    /// An element referenced something the mapping cannot resolve.
+    Unresolvable(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::InvalidModel(issues) => {
+                write!(f, "model is invalid: {}", issues.join("; "))
+            }
+            GenError::Unresolvable(m) => write!(f, "unresolvable reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Generates unit and operation SQL against a relational mapping.
+pub struct QueryGen<'a> {
+    pub er: &'a ErModel,
+    pub mapping: &'a RelationalMapping,
+}
+
+impl<'a> QueryGen<'a> {
+    pub fn new(er: &'a ErModel, mapping: &'a RelationalMapping) -> QueryGen<'a> {
+        QueryGen { er, mapping }
+    }
+
+    fn table_of(&self, e: EntityId) -> Result<&str, GenError> {
+        self.mapping
+            .table_for(e)
+            .ok_or_else(|| GenError::Unresolvable(format!("entity #{}", e.0)))
+    }
+
+    /// Columns + bean properties for an entity, honouring the unit's
+    /// display-attribute restriction. `oid` is always selected first.
+    fn projection(
+        &self,
+        entity: EntityId,
+        display: &[String],
+    ) -> Result<(Vec<String>, Vec<BeanProperty>), GenError> {
+        let e = self
+            .er
+            .entity(entity)
+            .ok_or_else(|| GenError::Unresolvable(format!("entity #{}", entity.0)))?;
+        let mut cols = vec![format!("t.{OID}")];
+        let mut bean = vec![BeanProperty {
+            name: OID.into(),
+            column: OID.into(),
+            attr_type: "Integer".into(),
+        }];
+        let selected: Vec<&er::Attribute> = if display.is_empty() {
+            e.attributes.iter().collect()
+        } else {
+            display
+                .iter()
+                .filter_map(|d| e.attribute(d))
+                .collect()
+        };
+        for a in selected {
+            let col = er::sql_name(&a.name);
+            cols.push(format!("t.{col}"));
+            bean.push(BeanProperty {
+                name: a.name.clone(),
+                column: col,
+                attr_type: a.attr_type.name().to_string(),
+            });
+        }
+        Ok((cols, bean))
+    }
+
+    /// Translate a role navigation into a (join, where) pair. `param` is
+    /// the named parameter carrying the far-side oid.
+    ///
+    /// The unit publishes instances of `entity` reached from `:param` by
+    /// navigating `role` — e.g. `Issue[VolumeToIssue]` with `:volume`.
+    fn role_condition(
+        &self,
+        entity: EntityId,
+        role: &str,
+        param: &str,
+        join_idx: usize,
+    ) -> Result<(Option<String>, String), GenError> {
+        let (rid, rel, forward) = self
+            .er
+            .role(role)
+            .ok_or_else(|| GenError::Unresolvable(format!("role {role}")))?;
+        let my_table = self.table_of(entity)?.to_string();
+        match self.mapping.rel_impl(rid) {
+            Some(RelImpl::ForeignKey {
+                fk_table,
+                fk_column,
+                ..
+            }) => {
+                if fk_table == &my_table {
+                    // the FK lives on our table and points at the far side
+                    Ok((None, format!("t.{fk_column} = :{param}")))
+                } else {
+                    // the far table holds the FK to us: join it
+                    let alias = format!("j{join_idx}");
+                    Ok((
+                        Some(format!(
+                            "INNER JOIN {fk_table} {alias} ON {alias}.{fk_column} = t.{OID}"
+                        )),
+                        format!("{alias}.{OID} = :{param}"),
+                    ))
+                }
+            }
+            Some(RelImpl::Bridge {
+                table,
+                source_column,
+                target_column,
+            }) => {
+                // forward navigation reaches the target side
+                let (my_col, far_col) = if forward {
+                    (target_column, source_column)
+                } else {
+                    (source_column, target_column)
+                };
+                let alias = format!("j{join_idx}");
+                Ok((
+                    Some(format!(
+                        "INNER JOIN {table} {alias} ON {alias}.{my_col} = t.{OID}"
+                    )),
+                    format!("{alias}.{far_col} = :{param}"),
+                ))
+            }
+            None => Err(GenError::Unresolvable(format!(
+                "relationship {} has no implementation",
+                rel.name
+            ))),
+        }
+    }
+
+    fn order_by(&self, entity: EntityId, sort: &[SortSpec]) -> String {
+        if sort.is_empty() {
+            return format!(" ORDER BY t.{OID}");
+        }
+        let e = self.er.entity(entity);
+        let items: Vec<String> = sort
+            .iter()
+            .filter(|s| e.is_some_and(|e| e.attribute(&s.attribute).is_some()))
+            .map(|s| {
+                format!(
+                    "t.{}{}",
+                    er::sql_name(&s.attribute),
+                    if s.ascending { "" } else { " DESC" }
+                )
+            })
+            .collect();
+        if items.is_empty() {
+            format!(" ORDER BY t.{OID}")
+        } else {
+            format!(" ORDER BY {}", items.join(", "))
+        }
+    }
+
+    /// Build the SELECT for a flat content unit (data, index, multidata,
+    /// multichoice, scroller).
+    fn flat_query(&self, unit: &Unit, entity: EntityId) -> Result<QuerySpec, GenError> {
+        let table = self.table_of(entity)?.to_string();
+        let (cols, bean) = self.projection(entity, &unit.display_attributes)?;
+        let mut joins: Vec<String> = Vec::new();
+        let mut wheres: Vec<String> = Vec::new();
+        let mut inputs: Vec<String> = Vec::new();
+        let mut conditions = unit.selector.clone();
+        // a data unit with no selector is implicitly keyed by :oid
+        if conditions.is_empty() && matches!(unit.kind, UnitKind::Data) {
+            conditions.push(Condition::KeyEq {
+                param: OID.to_string(),
+            });
+        }
+        for (i, c) in conditions.iter().enumerate() {
+            match c {
+                Condition::KeyEq { param } => {
+                    wheres.push(format!("t.{OID} = :{param}"));
+                    inputs.push(param.clone());
+                }
+                Condition::AttributeEq { attribute, param } => {
+                    wheres.push(format!("t.{} = :{param}", er::sql_name(attribute)));
+                    inputs.push(param.clone());
+                }
+                Condition::AttributeLike { attribute, param } => {
+                    wheres.push(format!("t.{} LIKE :{param}", er::sql_name(attribute)));
+                    inputs.push(param.clone());
+                }
+                Condition::Role { role, param } => {
+                    let (join, cond) = self.role_condition(entity, role, param, i)?;
+                    if let Some(j) = join {
+                        joins.push(j);
+                    }
+                    wheres.push(cond);
+                    inputs.push(param.clone());
+                }
+            }
+        }
+        let mut sql = format!("SELECT {} FROM {table} t", cols.join(", "));
+        for j in &joins {
+            sql.push(' ');
+            sql.push_str(j);
+        }
+        if !wheres.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&wheres.join(" AND "));
+        }
+        // data units show one instance: no ordering needed beyond the key
+        if !matches!(unit.kind, UnitKind::Data) {
+            sql.push_str(&self.order_by(entity, &unit.sort));
+        }
+        if matches!(unit.kind, UnitKind::Scroller { .. }) {
+            sql.push_str(" LIMIT :block_limit OFFSET :block_offset");
+            inputs.push("block_limit".into());
+            inputs.push("block_offset".into());
+        }
+        Ok(QuerySpec {
+            name: "main".into(),
+            sql,
+            inputs,
+            bean,
+        })
+    }
+
+    /// All queries of a unit (empty for entry/plug-in units).
+    ///
+    /// `level0_param` names the input carrying the root context of a
+    /// hierarchical index (taken from its incoming link).
+    pub fn unit_queries(
+        &self,
+        unit: &Unit,
+        level0_param: Option<&str>,
+    ) -> Result<Vec<QuerySpec>, GenError> {
+        match &unit.kind {
+            UnitKind::Entry { .. } | UnitKind::PlugIn { .. } => Ok(Vec::new()),
+            UnitKind::HierarchicalIndex { levels } => {
+                let mut out = Vec::with_capacity(levels.len());
+                for (k, level) in levels.iter().enumerate() {
+                    let param = if k == 0 {
+                        level0_param.unwrap_or("oid").to_string()
+                    } else {
+                        "parent".to_string()
+                    };
+                    let (cols, bean) = self.projection(level.entity, &level.display_attributes)?;
+                    let table = self.table_of(level.entity)?.to_string();
+                    let (join, cond) = self.role_condition(level.entity, &level.role, &param, k)?;
+                    let mut sql = format!("SELECT {} FROM {table} t", cols.join(", "));
+                    if let Some(j) = join {
+                        sql.push(' ');
+                        sql.push_str(&j);
+                    }
+                    sql.push_str(" WHERE ");
+                    sql.push_str(&cond);
+                    sql.push_str(&self.order_by(level.entity, &level.sort));
+                    out.push(QuerySpec {
+                        name: format!("level{k}"),
+                        sql,
+                        inputs: vec![param],
+                        bean,
+                    });
+                }
+                Ok(out)
+            }
+            _ => {
+                let entity = unit.entity.ok_or_else(|| {
+                    GenError::Unresolvable(format!("unit {} has no entity", unit.name))
+                })?;
+                Ok(vec![self.flat_query(unit, entity)?])
+            }
+        }
+    }
+
+    /// Tables a unit's content depends on (for model-driven invalidation).
+    pub fn unit_dependencies(&self, unit: &Unit) -> Vec<String> {
+        let mut deps: Vec<String> = Vec::new();
+        let mut push = |t: Option<&str>| {
+            if let Some(t) = t {
+                if !deps.iter().any(|d| d == t) {
+                    deps.push(t.to_string());
+                }
+            }
+        };
+        if let Some(e) = unit.entity {
+            push(self.mapping.table_for(e));
+        }
+        if let UnitKind::HierarchicalIndex { levels } = &unit.kind {
+            for l in levels {
+                push(self.mapping.table_for(l.entity));
+                if let Some((rid, _, _)) = self.er.role(&l.role) {
+                    if let Some(RelImpl::Bridge { table, .. }) = self.mapping.rel_impl(rid) {
+                        push(Some(table));
+                    }
+                }
+            }
+        }
+        for c in &unit.selector {
+            if let Condition::Role { role, .. } = c {
+                if let Some((rid, _, _)) = self.er.role(role) {
+                    match self.mapping.rel_impl(rid) {
+                        Some(RelImpl::Bridge { table, .. }) => push(Some(table)),
+                        Some(RelImpl::ForeignKey { fk_table, .. }) => push(Some(fk_table)),
+                        None => {}
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    /// DML + affected tables for an operation. Returns
+    /// `(sql, entity_table, invalidated_tables)`.
+    #[allow(clippy::type_complexity)]
+    pub fn operation_sql(
+        &self,
+        op: &webml::Operation,
+    ) -> Result<(Option<String>, Option<String>, Vec<String>), GenError> {
+        use webml::OperationKind::*;
+        match &op.kind {
+            Create { entity } => {
+                let table = self.table_of(*entity)?.to_string();
+                let e = self.er.entity(*entity).unwrap();
+                // insert the declared inputs that are attributes or FK
+                // columns of the table
+                let schema = self
+                    .mapping
+                    .schema_for(*entity)
+                    .ok_or_else(|| GenError::Unresolvable(format!("schema of {table}")))?;
+                let mut cols = Vec::new();
+                let mut params = Vec::new();
+                for input in &op.inputs {
+                    let col = if e.attribute(input).is_some() {
+                        er::sql_name(input)
+                    } else if schema.column_index(input).is_some() {
+                        input.clone()
+                    } else {
+                        return Err(GenError::Unresolvable(format!(
+                            "operation {} input {input} is neither attribute nor column of {table}",
+                            op.name
+                        )));
+                    };
+                    cols.push(col);
+                    params.push(format!(":{input}"));
+                }
+                let sql = format!(
+                    "INSERT INTO {table} ({}) VALUES ({})",
+                    cols.join(", "),
+                    params.join(", ")
+                );
+                Ok((Some(sql), Some(table.clone()), vec![table]))
+            }
+            Delete { entity } => {
+                let table = self.table_of(*entity)?.to_string();
+                let sql = format!("DELETE FROM {table} WHERE {OID} = :{OID}");
+                // cascades may touch referencing tables too: include every
+                // table with an FK to us
+                let mut inval = vec![table.clone()];
+                for t in self.mapping.tables() {
+                    if t.foreign_keys
+                        .iter()
+                        .any(|fk| fk.referenced_table == table)
+                        && !inval.contains(&t.name)
+                    {
+                        inval.push(t.name.clone());
+                    }
+                }
+                Ok((Some(sql), Some(table), inval))
+            }
+            Modify { entity } => {
+                let table = self.table_of(*entity)?.to_string();
+                let e = self.er.entity(*entity).unwrap();
+                let sets: Vec<String> = op
+                    .inputs
+                    .iter()
+                    .filter(|i| !i.eq_ignore_ascii_case(OID) && e.attribute(i).is_some())
+                    .map(|i| format!("{} = :{i}", er::sql_name(i)))
+                    .collect();
+                if sets.is_empty() {
+                    return Err(GenError::Unresolvable(format!(
+                        "modify operation {} has no updatable inputs",
+                        op.name
+                    )));
+                }
+                let sql = format!(
+                    "UPDATE {table} SET {} WHERE {OID} = :{OID}",
+                    sets.join(", ")
+                );
+                Ok((Some(sql), Some(table.clone()), vec![table]))
+            }
+            Connect { role } | Disconnect { role } => {
+                let connecting = matches!(op.kind, Connect { .. });
+                let (rid, rel, forward) = self
+                    .er
+                    .role(role)
+                    .ok_or_else(|| GenError::Unresolvable(format!("role {role}")))?;
+                match self.mapping.rel_impl(rid) {
+                    Some(RelImpl::Bridge {
+                        table,
+                        source_column,
+                        target_column,
+                    }) => {
+                        let (from_col, to_col) = if forward {
+                            (source_column, target_column)
+                        } else {
+                            (target_column, source_column)
+                        };
+                        let sql = if connecting {
+                            format!(
+                                "INSERT INTO {table} ({from_col}, {to_col}) VALUES (:source, :target)"
+                            )
+                        } else {
+                            format!(
+                                "DELETE FROM {table} WHERE {from_col} = :source AND {to_col} = :target"
+                            )
+                        };
+                        Ok((Some(sql), None, vec![table.clone()]))
+                    }
+                    Some(RelImpl::ForeignKey {
+                        fk_table,
+                        fk_column,
+                        fk_on_source,
+                        ..
+                    }) => {
+                        // the side holding the FK is updated; :source is the
+                        // navigation origin, :target the destination
+                        let (holder_param, other_param) = if *fk_on_source == forward {
+                            ("source", "target")
+                        } else {
+                            ("target", "source")
+                        };
+                        let sql = if connecting {
+                            format!(
+                                "UPDATE {fk_table} SET {fk_column} = :{other_param} WHERE {OID} = :{holder_param}"
+                            )
+                        } else {
+                            format!(
+                                "UPDATE {fk_table} SET {fk_column} = NULL WHERE {OID} = :{holder_param}"
+                            )
+                        };
+                        Ok((Some(sql), None, vec![fk_table.clone()]))
+                    }
+                    None => Err(GenError::Unresolvable(format!(
+                        "relationship {} has no implementation",
+                        rel.name
+                    ))),
+                }
+            }
+            Login | Logout | SendMail | Custom { .. } => Ok((None, None, Vec::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::{AttrType, Attribute, Cardinality};
+    use webml::{Audience, HierarchyLevel, HypertextModel, OperationKind};
+
+    struct Fixture {
+        er: ErModel,
+        mapping: RelationalMapping,
+        ht: HypertextModel,
+        page: webml::PageId,
+        volume: EntityId,
+        issue: EntityId,
+        keyword: EntityId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut er = ErModel::new();
+        let volume = er
+            .add_entity(
+                "Volume",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("year", AttrType::Integer),
+                ],
+            )
+            .unwrap();
+        let issue = er
+            .add_entity("Issue", vec![Attribute::new("number", AttrType::Integer)])
+            .unwrap();
+        let keyword = er
+            .add_entity("Keyword", vec![Attribute::new("word", AttrType::String)])
+            .unwrap();
+        er.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        er.add_relationship(
+            "IssueKeyword",
+            issue,
+            keyword,
+            "IssueToKeyword",
+            "KeywordToIssue",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let mapping = RelationalMapping::derive(&er);
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "P");
+        ht.set_home(sv, page);
+        Fixture {
+            er,
+            mapping,
+            ht,
+            page,
+            volume,
+            issue,
+            keyword,
+        }
+    }
+
+    #[test]
+    fn data_unit_defaults_to_key_selector() {
+        let mut f = fixture();
+        let u = f.ht.add_data_unit(f.page, "Volume data", f.volume);
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(
+            qs[0].sql,
+            "SELECT t.oid, t.title, t.year FROM volume t WHERE t.oid = :oid"
+        );
+        assert_eq!(qs[0].inputs, vec!["oid"]);
+        assert_eq!(qs[0].bean.len(), 3);
+    }
+
+    #[test]
+    fn index_unit_with_role_fk_on_own_table() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Issues", f.issue);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "VolumeToIssue".into(),
+                param: "volume".into(),
+            },
+        );
+        f.ht.add_sort(u, "number", false);
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert_eq!(
+            qs[0].sql,
+            "SELECT t.oid, t.number FROM issue t WHERE t.volume_oid = :volume ORDER BY t.number DESC"
+        );
+    }
+
+    #[test]
+    fn role_navigation_with_fk_on_far_table_joins() {
+        let mut f = fixture();
+        // volumes reached from an issue: FK is on issue, far from volume
+        let u = f.ht.add_data_unit(f.page, "Parent volume", f.volume);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToVolume".into(),
+                param: "issue".into(),
+            },
+        );
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert!(qs[0].sql.contains("INNER JOIN issue j0 ON j0.volume_oid = t.oid"));
+        assert!(qs[0].sql.contains("WHERE j0.oid = :issue"));
+    }
+
+    #[test]
+    fn bridge_navigation_generates_join() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Keywords", f.keyword);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToKeyword".into(),
+                param: "issue".into(),
+            },
+        );
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert!(qs[0]
+            .sql
+            .contains("INNER JOIN issuekeyword j0 ON j0.keyword_oid = t.oid"));
+        assert!(qs[0].sql.contains("j0.issue_oid = :issue"));
+    }
+
+    #[test]
+    fn scroller_appends_block_params() {
+        let mut f = fixture();
+        let u = f.ht.add_scroller_unit(f.page, "All volumes", f.volume, 10);
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert!(qs[0].sql.ends_with("LIMIT :block_limit OFFSET :block_offset"));
+        assert!(qs[0].inputs.contains(&"block_limit".to_string()));
+    }
+
+    #[test]
+    fn hierarchy_generates_query_per_level() {
+        let mut f = fixture();
+        let u = f.ht.add_hierarchical_index(
+            f.page,
+            "Issues&Keywords",
+            vec![
+                HierarchyLevel {
+                    entity: f.issue,
+                    role: "VolumeToIssue".into(),
+                    display_attributes: vec!["number".into()],
+                    sort: vec![],
+                },
+                HierarchyLevel {
+                    entity: f.keyword,
+                    role: "IssueToKeyword".into(),
+                    display_attributes: vec!["word".into()],
+                    sort: vec![],
+                },
+            ],
+        );
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), Some("volume")).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].name, "level0");
+        assert_eq!(qs[0].inputs, vec!["volume"]);
+        assert!(qs[0].sql.contains("WHERE t.volume_oid = :volume"));
+        assert_eq!(qs[1].inputs, vec!["parent"]);
+        assert!(qs[1].sql.contains(":parent"));
+    }
+
+    #[test]
+    fn entry_units_have_no_queries() {
+        let mut f = fixture();
+        let u = f.ht.add_entry_unit(f.page, "Search", vec![]);
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        assert!(qg.unit_queries(f.ht.unit(u), None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dependencies_include_bridge_tables() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Keywords", f.keyword);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToKeyword".into(),
+                param: "issue".into(),
+            },
+        );
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let deps = qg.unit_dependencies(f.ht.unit(u));
+        assert!(deps.contains(&"keyword".to_string()));
+        assert!(deps.contains(&"issuekeyword".to_string()));
+    }
+
+    #[test]
+    fn create_operation_sql() {
+        let f = fixture();
+        let op = webml::Operation {
+            name: "CreateVolume".into(),
+            kind: OperationKind::Create { entity: f.volume },
+            inputs: vec!["title".into(), "year".into()],
+        };
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let (sql, table, inval) = qg.operation_sql(&op).unwrap();
+        assert_eq!(
+            sql.unwrap(),
+            "INSERT INTO volume (title, year) VALUES (:title, :year)"
+        );
+        assert_eq!(table.as_deref(), Some("volume"));
+        assert_eq!(inval, vec!["volume"]);
+    }
+
+    #[test]
+    fn delete_operation_invalidates_referencing_tables() {
+        let f = fixture();
+        let op = webml::Operation {
+            name: "DeleteVolume".into(),
+            kind: OperationKind::Delete { entity: f.volume },
+            inputs: vec!["oid".into()],
+        };
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let (sql, _, inval) = qg.operation_sql(&op).unwrap();
+        assert_eq!(sql.unwrap(), "DELETE FROM volume WHERE oid = :oid");
+        // issue has an FK to volume, so its cached units are stale too
+        assert!(inval.contains(&"volume".to_string()));
+        assert!(inval.contains(&"issue".to_string()));
+    }
+
+    #[test]
+    fn modify_operation_sql() {
+        let f = fixture();
+        let op = webml::Operation {
+            name: "ModifyVolume".into(),
+            kind: OperationKind::Modify { entity: f.volume },
+            inputs: vec!["oid".into(), "title".into()],
+        };
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let (sql, ..) = qg.operation_sql(&op).unwrap();
+        assert_eq!(
+            sql.unwrap(),
+            "UPDATE volume SET title = :title WHERE oid = :oid"
+        );
+    }
+
+    #[test]
+    fn connect_on_bridge_and_fk() {
+        let f = fixture();
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        // bridge relationship
+        let op = webml::Operation {
+            name: "Tag".into(),
+            kind: OperationKind::Connect {
+                role: "IssueToKeyword".into(),
+            },
+            inputs: vec![],
+        };
+        let (sql, _, inval) = qg.operation_sql(&op).unwrap();
+        assert_eq!(
+            sql.unwrap(),
+            "INSERT INTO issuekeyword (issue_oid, keyword_oid) VALUES (:source, :target)"
+        );
+        assert_eq!(inval, vec!["issuekeyword"]);
+        // FK relationship: issue holds volume_oid; navigating
+        // VolumeToIssue means source=volume, target=issue, so the holder
+        // (issue) is :target
+        let op = webml::Operation {
+            name: "Attach".into(),
+            kind: OperationKind::Connect {
+                role: "VolumeToIssue".into(),
+            },
+            inputs: vec![],
+        };
+        let (sql, ..) = qg.operation_sql(&op).unwrap();
+        assert_eq!(
+            sql.unwrap(),
+            "UPDATE issue SET volume_oid = :source WHERE oid = :target"
+        );
+    }
+
+    #[test]
+    fn disconnect_nulls_fk() {
+        let f = fixture();
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let op = webml::Operation {
+            name: "Detach".into(),
+            kind: OperationKind::Disconnect {
+                role: "IssueToVolume".into(),
+            },
+            inputs: vec![],
+        };
+        // navigating IssueToVolume: source=issue (FK holder)
+        let (sql, ..) = qg.operation_sql(&op).unwrap();
+        assert_eq!(
+            sql.unwrap(),
+            "UPDATE issue SET volume_oid = NULL WHERE oid = :source"
+        );
+    }
+
+    #[test]
+    fn login_has_no_sql() {
+        let f = fixture();
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let op = webml::Operation {
+            name: "Login".into(),
+            kind: OperationKind::Login,
+            inputs: vec!["username".into(), "password".into()],
+        };
+        let (sql, table, inval) = qg.operation_sql(&op).unwrap();
+        assert!(sql.is_none() && table.is_none() && inval.is_empty());
+    }
+
+    #[test]
+    fn display_attribute_restriction() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Titles", f.volume);
+        f.ht.set_display_attributes(u, &["title"]);
+        let qg = QueryGen::new(&f.er, &f.mapping);
+        let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
+        assert_eq!(qs[0].sql, "SELECT t.oid, t.title FROM volume t ORDER BY t.oid");
+    }
+}

@@ -1,0 +1,177 @@
+//! Artifact accounting — the numbers behind Table E1.
+
+use crate::baseline::Artifact;
+use descriptors::DescriptorSet;
+
+/// Size summary of one artifact category.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CategoryStats {
+    pub files: usize,
+    pub bytes: usize,
+}
+
+impl CategoryStats {
+    pub fn of(artifacts: &[Artifact]) -> CategoryStats {
+        CategoryStats {
+            files: artifacts.len(),
+            bytes: artifacts.iter().map(|(_, s)| s.len()).sum(),
+        }
+    }
+}
+
+/// The §8 comparison: dedicated classes vs generic services + descriptors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchitectureComparison {
+    pub pages: usize,
+    pub units: usize,
+    pub operations: usize,
+    /// Conventional MVC: dedicated page-service classes.
+    pub dedicated_page_classes: usize,
+    /// Conventional MVC: dedicated unit-service classes.
+    pub dedicated_unit_classes: usize,
+    /// Generic architecture: page-service classes (always 1).
+    pub generic_page_classes: usize,
+    /// Generic architecture: unit-service classes (one per unit *type*).
+    pub generic_unit_classes: usize,
+    pub page_descriptors: usize,
+    pub unit_descriptors: usize,
+    pub dedicated_bytes: usize,
+    pub generic_bytes: usize,
+}
+
+impl ArchitectureComparison {
+    pub fn compute(set: &DescriptorSet) -> ArchitectureComparison {
+        let dedicated = crate::baseline::conventional_mvc_artifacts(set);
+        let generic = crate::baseline::generic_artifacts(set);
+        let mut types: Vec<&str> = set.units.iter().map(|u| u.unit_type.as_str()).collect();
+        types.sort_unstable();
+        types.dedup();
+        ArchitectureComparison {
+            pages: set.pages.len(),
+            units: set.units.len(),
+            operations: set.operations.len(),
+            dedicated_page_classes: set.pages.len(),
+            dedicated_unit_classes: set.units.len(),
+            generic_page_classes: 1,
+            generic_unit_classes: types.len(),
+            page_descriptors: set.pages.len(),
+            unit_descriptors: set.units.len(),
+            dedicated_bytes: dedicated.iter().map(|(_, s)| s.len()).sum(),
+            generic_bytes: generic.iter().map(|(_, s)| s.len()).sum(),
+        }
+    }
+
+    /// Classes eliminated by genericity (the paper's headline: 556 + 3068
+    /// classes become 1 + 11).
+    pub fn classes_eliminated(&self) -> usize {
+        (self.dedicated_page_classes + self.dedicated_unit_classes)
+            .saturating_sub(self.generic_page_classes + self.generic_unit_classes)
+    }
+
+    /// Render the paper-style comparison rows.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("architecture          | page classes | unit classes | descriptors\n");
+        s.push_str("----------------------+--------------+--------------+------------\n");
+        s.push_str(&format!(
+            "conventional MVC      | {:>12} | {:>12} | {:>11}\n",
+            self.dedicated_page_classes, self.dedicated_unit_classes, 0
+        ));
+        s.push_str(&format!(
+            "generic + descriptors | {:>12} | {:>12} | {:>11}\n",
+            self.generic_page_classes,
+            self.generic_unit_classes,
+            self.page_descriptors + self.unit_descriptors
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descriptors::{ControllerConfig, PageDescriptor, QuerySpec, UnitDescriptor};
+
+    fn set(pages: usize, units_per_page: usize, types: &[&str]) -> DescriptorSet {
+        let mut s = DescriptorSet {
+            units: vec![],
+            pages: vec![],
+            operations: vec![],
+            controller: ControllerConfig::default(),
+        };
+        let mut uid = 0;
+        for p in 0..pages {
+            let mut unit_ids = Vec::new();
+            for k in 0..units_per_page {
+                let id = format!("unit{uid}");
+                s.units.push(UnitDescriptor {
+                    id: id.clone(),
+                    name: id.clone(),
+                    unit_type: types[k % types.len()].to_string(),
+                    page: format!("page{p}"),
+                    entity_table: Some("t".into()),
+                    queries: vec![QuerySpec {
+                        name: "main".into(),
+                        sql: "SELECT oid FROM t".into(),
+                        inputs: vec![],
+                        bean: vec![],
+                    }],
+                    block_size: None,
+                    fields: vec![],
+                    optimized: false,
+                    service: "G".into(),
+                    depends_on: vec![],
+                    cache: None,
+                });
+                unit_ids.push(id);
+                uid += 1;
+            }
+            s.pages.push(PageDescriptor {
+                id: format!("page{p}"),
+                name: format!("P{p}"),
+                site_view: "sv".into(),
+                url: format!("/sv/p{p}"),
+                units: unit_ids,
+                edges: vec![],
+                links: vec![],
+                request_params: vec![],
+                layout: "single-column".into(),
+                template: format!("templates/sv/p{p}.jsp"),
+                landmark: false,
+                protected: false,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn comparison_matches_formula() {
+        let s = set(10, 5, &["data", "index", "entry"]);
+        let c = ArchitectureComparison::compute(&s);
+        assert_eq!(c.dedicated_page_classes, 10);
+        assert_eq!(c.dedicated_unit_classes, 50);
+        assert_eq!(c.generic_page_classes, 1);
+        assert_eq!(c.generic_unit_classes, 3);
+        assert_eq!(c.classes_eliminated(), 60 - 4);
+        assert!(c.dedicated_bytes > 0 && c.generic_bytes > 0);
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let s = set(2, 2, &["data"]);
+        let t = ArchitectureComparison::compute(&s).to_table();
+        assert!(t.contains("conventional MVC"));
+        assert!(t.contains("generic + descriptors"));
+    }
+
+    #[test]
+    fn category_stats_sum_bytes() {
+        let arts = vec![
+            ("a".to_string(), "xx".to_string()),
+            ("b".to_string(), "yyy".to_string()),
+        ];
+        let c = CategoryStats::of(&arts);
+        assert_eq!(c.files, 2);
+        assert_eq!(c.bytes, 5);
+    }
+}

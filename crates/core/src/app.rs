@@ -1,0 +1,235 @@
+//! The application facade: model → artifacts → running system.
+
+use codegen::{GenError, Generated};
+use er::{ErModel, RelationalMapping};
+use httpd::{Handler, HttpRequest, HttpResponse, HttpServer};
+use mvc::{Controller, RuntimeOptions, WebRequest, WebResponse};
+use relstore::Database;
+use std::io;
+use std::sync::Arc;
+use webml::HypertextModel;
+
+/// Cookie carrying the session id.
+pub const SESSION_COOKIE: &str = "WEBMLSESSION";
+
+/// A complete WebML application specification: data model + hypertext
+/// model (+ the derived relational mapping).
+pub struct Application {
+    pub name: String,
+    pub er: ErModel,
+    pub mapping: RelationalMapping,
+    pub hypertext: HypertextModel,
+}
+
+impl Application {
+    /// Couple an ER model and a hypertext model; the relational mapping is
+    /// derived canonically.
+    pub fn new(name: impl Into<String>, er: ErModel, hypertext: HypertextModel) -> Application {
+        let mapping = RelationalMapping::derive(&er);
+        Application {
+            name: name.into(),
+            er,
+            mapping,
+            hypertext,
+        }
+    }
+
+    /// Run model validation.
+    pub fn validate(&self) -> Vec<webml::Issue> {
+        webml::validate(&self.er, &self.hypertext)
+    }
+
+    /// Run the code generators.
+    pub fn generate(&self) -> Result<Generated, GenError> {
+        codegen::generate(&self.er, &self.mapping, &self.hypertext)
+    }
+
+    /// Serialize the project (ER + hypertext models) to its XML file form.
+    pub fn save(&self) -> String {
+        codegen::save_project(&self.name, &self.er, &self.hypertext)
+    }
+
+    /// Load a project back from [`Self::save`] output.
+    pub fn load(src: &str) -> Result<Application, descriptors::XmlError> {
+        let (name, er, ht) = codegen::load_project(src)?;
+        Ok(Application::new(name, er, ht))
+    }
+
+    /// Generate everything, create a fresh database with the generated
+    /// DDL, and start a controller.
+    pub fn deploy(&self, options: RuntimeOptions) -> Result<Deployment, DeployError> {
+        let generated = self.generate().map_err(DeployError::Generation)?;
+        let db = Arc::new(Database::new());
+        db.execute_script(&generated.ddl)
+            .map_err(DeployError::Schema)?;
+        let controller = Arc::new(Controller::new(
+            generated.descriptors.clone(),
+            generated.skeletons.clone(),
+            Arc::clone(&db),
+            options,
+        ));
+        Ok(Deployment {
+            generated,
+            db,
+            controller,
+        })
+    }
+
+    /// Deploy with a caller-supplied controller configuration (custom
+    /// registries, device rules).
+    pub fn deploy_with(
+        &self,
+        build: impl FnOnce(Generated, Arc<Database>) -> Controller,
+    ) -> Result<Deployment, DeployError> {
+        let generated = self.generate().map_err(DeployError::Generation)?;
+        let db = Arc::new(Database::new());
+        db.execute_script(&generated.ddl)
+            .map_err(DeployError::Schema)?;
+        let controller = Arc::new(build(generated.clone(), Arc::clone(&db)));
+        Ok(Deployment {
+            generated,
+            db,
+            controller,
+        })
+    }
+}
+
+/// Deployment failures.
+#[derive(Debug)]
+pub enum DeployError {
+    Generation(GenError),
+    Schema(relstore::Error),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Generation(e) => write!(f, "generation failed: {e}"),
+            DeployError::Schema(e) => write!(f, "schema deployment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A deployed application: generated artifacts + database + controller.
+pub struct Deployment {
+    pub generated: Generated,
+    pub db: Arc<Database>,
+    pub controller: Arc<Controller>,
+}
+
+impl Deployment {
+    /// Service one request in process.
+    pub fn handle(&self, req: &WebRequest) -> WebResponse {
+        self.controller.handle(req)
+    }
+
+    /// URL of a site view's home page (first landmark of that view).
+    pub fn home_url(&self, site_view: &str) -> Option<String> {
+        self.generated
+            .descriptors
+            .pages
+            .iter()
+            .find(|p| p.site_view == site_view && p.landmark)
+            .map(|p| p.url.clone())
+    }
+
+    /// Expose the app over HTTP (port 0 = ephemeral).
+    pub fn serve(&self, port: u16, workers: usize) -> io::Result<HttpServer> {
+        let controller = Arc::clone(&self.controller);
+        let handler: Handler = Arc::new(move |http_req: HttpRequest| {
+            let web_req = adapt_request(&http_req);
+            let resp = controller.handle(&web_req);
+            adapt_response(resp)
+        });
+        HttpServer::start(port, workers, handler)
+    }
+}
+
+/// httpd → mvc adaptation.
+pub fn adapt_request(req: &HttpRequest) -> WebRequest {
+    let mut out = WebRequest::get(req.path.clone());
+    for (k, v) in req.params() {
+        out.params.insert(k, v);
+    }
+    out.session = req.cookie(SESSION_COOKIE);
+    out.user_agent = req.header("user-agent").unwrap_or_default().to_string();
+    out
+}
+
+/// mvc → httpd adaptation.
+pub fn adapt_response(resp: WebResponse) -> HttpResponse {
+    let mut http = HttpResponse::html(resp.status, resp.body);
+    http.headers[0].1 = resp.content_type;
+    if let Some(sid) = resp.set_session {
+        http = http.header("Set-Cookie", format!("{SESSION_COOKIE}={sid}; Path=/"));
+    }
+    http
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn bookstore_deploys_and_serves_in_process() {
+        let app = fixtures::bookstore();
+        let d = app.deploy(RuntimeOptions::default()).unwrap();
+        d.db
+            .execute_script(
+                "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
+                 INSERT INTO book (title, price) VALUES ('WebML handbook', 50.0);",
+            )
+            .unwrap();
+        let home = d.home_url("store").unwrap();
+        let resp = d.handle(&WebRequest::get(&home));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("WebML handbook"));
+    }
+
+    #[test]
+    fn bookstore_serves_over_http() {
+        let app = fixtures::bookstore();
+        let d = app.deploy(RuntimeOptions::default()).unwrap();
+        d.db
+            .execute_script("INSERT INTO book (title, price) VALUES ('Networked', 10.0);")
+            .unwrap();
+        let server = d.serve(0, 2).unwrap();
+        let home = d.home_url("store").unwrap();
+        let resp = httpd::client::get(server.addr(), &home).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        assert!(body.contains("Networked"));
+        // session cookie issued
+        assert!(resp
+            .find_header("set-cookie")
+            .is_some_and(|c| c.contains(SESSION_COOKIE)));
+        server.stop();
+    }
+
+    #[test]
+    fn session_cookie_flows_through_http() {
+        let app = fixtures::bookstore();
+        let d = app.deploy(RuntimeOptions::default()).unwrap();
+        let server = d.serve(0, 1).unwrap();
+        let home = d.home_url("store").unwrap();
+        let r1 = httpd::client::get(server.addr(), &home).unwrap();
+        let cookie = r1.find_header("set-cookie").unwrap().to_string();
+        let sid = cookie
+            .trim_start_matches(&format!("{SESSION_COOKIE}="))
+            .split(';')
+            .next()
+            .unwrap()
+            .to_string();
+        let r2 = httpd::client::get_with_headers(
+            server.addr(),
+            &home,
+            &[("Cookie", &format!("{SESSION_COOKIE}={sid}"))],
+        )
+        .unwrap();
+        assert!(r2.find_header("set-cookie").is_none());
+        server.stop();
+    }
+}

@@ -1,0 +1,255 @@
+//! The complete descriptor set of a generated application, with the
+//! regeneration semantics of §6 (optimised descriptors survive).
+
+use crate::controller::ControllerConfig;
+use crate::operation::OperationDescriptor;
+use crate::page::PageDescriptor;
+use crate::unit::UnitDescriptor;
+use crate::xml::{parse, Element, XmlError};
+use std::collections::HashMap;
+
+/// Everything the code generator emits besides templates: one descriptor
+/// per unit, page, and operation, plus the controller configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DescriptorSet {
+    pub units: Vec<UnitDescriptor>,
+    pub pages: Vec<PageDescriptor>,
+    pub operations: Vec<OperationDescriptor>,
+    pub controller: ControllerConfig,
+}
+
+impl DescriptorSet {
+    pub fn unit(&self, id: &str) -> Option<&UnitDescriptor> {
+        self.units.iter().find(|u| u.id == id)
+    }
+
+    pub fn unit_mut(&mut self, id: &str) -> Option<&mut UnitDescriptor> {
+        self.units.iter_mut().find(|u| u.id == id)
+    }
+
+    pub fn page(&self, id: &str) -> Option<&PageDescriptor> {
+        self.pages.iter().find(|p| p.id == id)
+    }
+
+    pub fn operation(&self, id: &str) -> Option<&OperationDescriptor> {
+        self.operations.iter().find(|o| o.id == id)
+    }
+
+    pub fn page_by_url(&self, url: &str) -> Option<&PageDescriptor> {
+        self.pages.iter().find(|p| p.url == url)
+    }
+
+    /// Units belonging to a page, in the page's computation order.
+    pub fn units_of_page<'a>(&'a self, page: &'a PageDescriptor) -> Vec<&'a UnitDescriptor> {
+        page.units.iter().filter_map(|id| self.unit(id)).collect()
+    }
+
+    /// Serialize every descriptor as `(virtual path, XML document)` pairs —
+    /// the file layout a WebRatio project directory would contain.
+    pub fn to_files(&self) -> Vec<(String, String)> {
+        let mut files = Vec::with_capacity(self.units.len() + self.pages.len() + 2);
+        for u in &self.units {
+            files.push((
+                format!("descriptors/units/{}.xml", u.id),
+                u.to_xml().to_document(),
+            ));
+        }
+        for p in &self.pages {
+            files.push((
+                format!("descriptors/pages/{}.xml", p.id),
+                p.to_xml().to_document(),
+            ));
+        }
+        for o in &self.operations {
+            files.push((
+                format!("descriptors/operations/{}.xml", o.id),
+                o.to_xml().to_document(),
+            ));
+        }
+        files.push((
+            "descriptors/controller.xml".into(),
+            self.controller.to_xml().to_document(),
+        ));
+        files
+    }
+
+    /// Load a set back from `(path, content)` pairs (inverse of
+    /// [`Self::to_files`]).
+    pub fn from_files(files: &[(String, String)]) -> Result<DescriptorSet, XmlError> {
+        let mut set = DescriptorSet::default();
+        for (path, content) in files {
+            let root = parse(content)?;
+            if path.starts_with("descriptors/units/") {
+                set.units.push(UnitDescriptor::from_xml(&root)?);
+            } else if path.starts_with("descriptors/pages/") {
+                set.pages.push(PageDescriptor::from_xml(&root)?);
+            } else if path.starts_with("descriptors/operations/") {
+                set.operations.push(OperationDescriptor::from_xml(&root)?);
+            } else if path.ends_with("controller.xml") {
+                set.controller = ControllerConfig::from_xml(&root)?;
+            }
+        }
+        // keep deterministic order by id
+        set.units.sort_by(|a, b| a.id.cmp(&b.id));
+        set.pages.sort_by(|a, b| a.id.cmp(&b.id));
+        set.operations.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(set)
+    }
+
+    /// Regeneration with override preservation (§6): take freshly
+    /// generated descriptors but keep every unit descriptor the developer
+    /// marked `optimized`, and every unit whose `service` was overridden.
+    /// Returns the merged set plus the ids that were preserved.
+    pub fn merge_preserving_overrides(
+        old: &DescriptorSet,
+        fresh: DescriptorSet,
+    ) -> (DescriptorSet, Vec<String>) {
+        let old_units: HashMap<&str, &UnitDescriptor> =
+            old.units.iter().map(|u| (u.id.as_str(), u)).collect();
+        let mut preserved = Vec::new();
+        let mut merged = fresh;
+        for u in &mut merged.units {
+            if let Some(prev) = old_units.get(u.id.as_str()) {
+                let service_overridden = prev.service != u.service
+                    && !prev.service.starts_with("Generic");
+                if prev.optimized || service_overridden {
+                    *u = (*prev).clone();
+                    preserved.push(u.id.clone());
+                }
+            }
+        }
+        (merged, preserved)
+    }
+
+    /// Render a single XML document containing the whole set (handy for
+    /// tests and the examples).
+    pub fn to_single_document(&self) -> String {
+        let mut root = Element::new("application");
+        for u in &self.units {
+            root = root.child(u.to_xml());
+        }
+        for p in &self.pages {
+            root = root.child(p.to_xml());
+        }
+        for o in &self.operations {
+            root = root.child(o.to_xml());
+        }
+        root = root.child(self.controller.to_xml());
+        root.to_document()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ActionKind, ActionMapping};
+    use crate::unit::QuerySpec;
+
+    fn unit(id: &str) -> UnitDescriptor {
+        UnitDescriptor {
+            id: id.into(),
+            name: format!("Unit {id}"),
+            unit_type: "index".into(),
+            page: "page0".into(),
+            entity_table: Some("product".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql: "SELECT oid, name FROM product".into(),
+                inputs: vec![],
+                bean: vec![],
+            }],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: "GenericIndexService".into(),
+            depends_on: vec!["product".into()],
+            cache: None,
+        }
+    }
+
+    fn set() -> DescriptorSet {
+        DescriptorSet {
+            units: vec![unit("unit0"), unit("unit1")],
+            pages: vec![PageDescriptor {
+                id: "page0".into(),
+                name: "Home".into(),
+                site_view: "main".into(),
+                url: "/main/home".into(),
+                units: vec!["unit0".into(), "unit1".into()],
+                edges: vec![],
+                links: vec![],
+                request_params: vec![],
+                layout: "single-column".into(),
+                template: "templates/main/home.jsp".into(),
+                landmark: false,
+                protected: false,
+            }],
+            operations: vec![],
+            controller: ControllerConfig {
+                mappings: vec![ActionMapping {
+                    path: "/main/home".into(),
+                    kind: ActionKind::Page {
+                        page: "page0".into(),
+                        view: "templates/main/home.jsp".into(),
+                    },
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let s = set();
+        let files = s.to_files();
+        assert_eq!(files.len(), 4); // 2 units + 1 page + controller
+        let loaded = DescriptorSet::from_files(&files).unwrap();
+        assert_eq!(loaded, s);
+    }
+
+    #[test]
+    fn merge_preserves_optimized_units() {
+        let mut old = set();
+        old.unit_mut("unit1")
+            .unwrap()
+            .override_query("SELECT /* tuned */ oid FROM product");
+        let fresh = set(); // regeneration resets everything
+        let (merged, preserved) = DescriptorSet::merge_preserving_overrides(&old, fresh);
+        assert_eq!(preserved, vec!["unit1"]);
+        assert!(merged.unit("unit1").unwrap().optimized);
+        assert!(merged
+            .unit("unit1")
+            .unwrap()
+            .main_query()
+            .unwrap()
+            .sql
+            .contains("tuned"));
+        // non-optimized units take the fresh definition
+        assert!(!merged.unit("unit0").unwrap().optimized);
+    }
+
+    #[test]
+    fn merge_preserves_service_overrides() {
+        let mut old = set();
+        old.unit_mut("unit0").unwrap().service = "MyHandTunedService".into();
+        let (merged, preserved) = DescriptorSet::merge_preserving_overrides(&old, set());
+        assert_eq!(preserved, vec!["unit0"]);
+        assert_eq!(merged.unit("unit0").unwrap().service, "MyHandTunedService");
+    }
+
+    #[test]
+    fn lookups() {
+        let s = set();
+        assert!(s.page_by_url("/main/home").is_some());
+        assert!(s.page_by_url("/nope").is_none());
+        let p = s.page("page0").unwrap();
+        assert_eq!(s.units_of_page(p).len(), 2);
+    }
+
+    #[test]
+    fn single_document_contains_everything() {
+        let doc = set().to_single_document();
+        assert!(doc.contains("<unit "));
+        assert!(doc.contains("<page "));
+        assert!(doc.contains("<controller>"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The Controller's configuration file.
+//!
+//! §3: "The action mapping is a declaration placed in the Controller's
+//! configuration file that ties together the user's request, the page
+//! action, and the page view." §7: "in WebRatio, it is automatically
+//! generated from the topology of the hypertext in the WebML diagram. The
+//! developer re-links the pages in the WebML diagram and the code generator
+//! re-builds the new configuration file."
+
+use crate::xml::{parse, Element, XmlError};
+
+/// What a URL path dispatches to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Compute a page and forward to its view template.
+    Page {
+        /// Page descriptor id.
+        page: String,
+        /// View template path.
+        view: String,
+    },
+    /// Execute an operation, then follow its OK/KO forward.
+    Operation {
+        /// Operation descriptor id.
+        operation: String,
+        /// Path to forward to on success.
+        ok_forward: String,
+        /// Path to forward to on failure (defaults to ok target).
+        ko_forward: String,
+    },
+}
+
+/// One action mapping: request path → action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionMapping {
+    pub path: String,
+    pub kind: ActionKind,
+}
+
+/// The centralised control logic of the application (§3: "It factors out
+/// of the page templates the control logic, which is centralized in the
+/// Controller's configuration file").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControllerConfig {
+    pub mappings: Vec<ActionMapping>,
+}
+
+impl ControllerConfig {
+    /// Look up the mapping for a request path (exact match).
+    pub fn resolve(&self, path: &str) -> Option<&ActionMapping> {
+        self.mappings.iter().find(|m| m.path == path)
+    }
+
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("controller");
+        for m in &self.mappings {
+            let e = match &m.kind {
+                ActionKind::Page { page, view } => Element::new("actionMapping")
+                    .attr("path", &m.path)
+                    .attr("kind", "page")
+                    .attr("page", page)
+                    .attr("view", view),
+                ActionKind::Operation {
+                    operation,
+                    ok_forward,
+                    ko_forward,
+                } => Element::new("actionMapping")
+                    .attr("path", &m.path)
+                    .attr("kind", "operation")
+                    .attr("operation", operation)
+                    .attr("okForward", ok_forward)
+                    .attr("koForward", ko_forward),
+            };
+            root = root.child(e);
+        }
+        root
+    }
+
+    pub fn from_xml(e: &Element) -> Result<ControllerConfig, XmlError> {
+        if e.name != "controller" {
+            return Err(XmlError {
+                message: format!("expected <controller>, got <{}>", e.name),
+                offset: 0,
+            });
+        }
+        let mut mappings = Vec::new();
+        for m in e.find_all("actionMapping") {
+            let path = m.require_attr("path")?.to_string();
+            let kind = match m.require_attr("kind")? {
+                "page" => ActionKind::Page {
+                    page: m.require_attr("page")?.to_string(),
+                    view: m.require_attr("view")?.to_string(),
+                },
+                "operation" => ActionKind::Operation {
+                    operation: m.require_attr("operation")?.to_string(),
+                    ok_forward: m.require_attr("okForward")?.to_string(),
+                    ko_forward: m.require_attr("koForward")?.to_string(),
+                },
+                other => {
+                    return Err(XmlError {
+                        message: format!("unknown action kind {other}"),
+                        offset: 0,
+                    })
+                }
+            };
+            mappings.push(ActionMapping { path, kind });
+        }
+        Ok(ControllerConfig { mappings })
+    }
+
+    /// Parse a configuration document.
+    pub fn parse_document(src: &str) -> Result<ControllerConfig, XmlError> {
+        ControllerConfig::from_xml(&parse(src)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ControllerConfig {
+        ControllerConfig {
+            mappings: vec![
+                ActionMapping {
+                    path: "/b2c/home".into(),
+                    kind: ActionKind::Page {
+                        page: "page0".into(),
+                        view: "templates/b2c/home.jsp".into(),
+                    },
+                },
+                ActionMapping {
+                    path: "/b2c/op/createproduct".into(),
+                    kind: ActionKind::Operation {
+                        operation: "op3".into(),
+                        ok_forward: "/b2c/products".into(),
+                        ko_forward: "/b2c/error".into(),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let c = sample();
+        let parsed = ControllerConfig::parse_document(&c.to_xml().to_document()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn resolve_finds_exact_path() {
+        let c = sample();
+        assert!(c.resolve("/b2c/home").is_some());
+        assert!(c.resolve("/b2c/homepage").is_none());
+        match &c.resolve("/b2c/op/createproduct").unwrap().kind {
+            ActionKind::Operation { ko_forward, .. } => assert_eq!(ko_forward, "/b2c/error"),
+            _ => panic!("expected operation"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let src = "<controller><actionMapping path='/x' kind='weird'/></controller>";
+        assert!(ControllerConfig::parse_document(src).is_err());
+    }
+}

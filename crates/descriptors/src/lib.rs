@@ -1,0 +1,32 @@
+//! # descriptors — the XML descriptor layer of the WebRatio architecture
+//!
+//! Fig. 5 of the paper replaces thousands of per-unit/per-page service
+//! classes with a handful of *generic* services parameterised by XML
+//! descriptors. This crate defines those descriptors and their XML dialect:
+//!
+//! * [`xml`] — a dependency-free XML reader/writer (elements, attributes,
+//!   text, CDATA, comments);
+//! * [`mod@unit`] — [`UnitDescriptor`]: SQL text, input parameters, bean shape,
+//!   the §6 `optimized` flag and overridable `service` component;
+//! * [`page`] — [`PageDescriptor`]: unit topology and parameter
+//!   propagation edges, computation order;
+//! * [`operation`] — [`OperationDescriptor`]: DML, inputs, OK/KO forwards,
+//!   cache invalidation targets;
+//! * [`controller`] — [`ControllerConfig`]: the centralised action
+//!   mappings, regenerated from hypertext topology (§7);
+//! * [`bundle`] — [`DescriptorSet`]: the whole artifact set with
+//!   file-layout round-tripping and override-preserving regeneration.
+
+pub mod bundle;
+pub mod controller;
+pub mod operation;
+pub mod page;
+pub mod unit;
+pub mod xml;
+
+pub use bundle::DescriptorSet;
+pub use controller::{ActionKind, ActionMapping, ControllerConfig};
+pub use operation::OperationDescriptor;
+pub use page::{PageDescriptor, ParamBinding, TransportEdge, UnitLinkSpec};
+pub use unit::{BeanProperty, CacheDescriptor, FieldSpec, QuerySpec, UnitDescriptor};
+pub use xml::{parse as parse_xml, Element, XmlError, XmlNode};

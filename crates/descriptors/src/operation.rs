@@ -1,0 +1,157 @@
+//! Operation descriptors.
+//!
+//! §3: "Each WebML or user-defined operation maps into two components of
+//! the MVC2 architecture: an operation service in the business layer, and
+//! an action mapping in the Controller's configuration file, which dictates
+//! the flow of control after the operation is executed."
+
+use crate::xml::{Element, XmlError};
+
+/// The descriptor of one operation: the DML statement the generic
+/// operation service executes, its inputs, and its outcome routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDescriptor {
+    /// Stable identifier, e.g. `op3`.
+    pub id: String,
+    pub name: String,
+    /// `create`, `delete`, `modify`, `connect`, `disconnect`, `login`,
+    /// `logout`, `sendmail`, or a plug-in type name.
+    pub op_type: String,
+    /// URL path the controller maps to this operation.
+    pub url: String,
+    /// Backing table for content operations.
+    pub entity_table: Option<String>,
+    /// For connect/disconnect: the bridge table or FK description.
+    pub role: Option<String>,
+    /// Input parameter names, in binding order.
+    pub inputs: Vec<String>,
+    /// The DML statement (None for login/logout/sendmail/custom).
+    pub sql: Option<String>,
+    /// Where to forward on success: a page-descriptor id or another
+    /// operation id (chains).
+    pub ok_forward: Option<String>,
+    /// Where to forward on failure.
+    pub ko_forward: Option<String>,
+    /// Tables whose cached units must be invalidated when this operation
+    /// runs (model-driven invalidation, §6).
+    pub invalidates: Vec<String>,
+    /// §6: overridable business component.
+    pub service: String,
+}
+
+impl OperationDescriptor {
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("operation")
+            .attr("id", &self.id)
+            .attr("name", &self.name)
+            .attr("type", &self.op_type)
+            .attr("url", &self.url)
+            .attr("service", &self.service);
+        if let Some(t) = &self.entity_table {
+            e = e.attr("entity", t);
+        }
+        if let Some(r) = &self.role {
+            e = e.attr("role", r);
+        }
+        if let Some(ok) = &self.ok_forward {
+            e = e.attr("okForward", ok);
+        }
+        if let Some(ko) = &self.ko_forward {
+            e = e.attr("koForward", ko);
+        }
+        if let Some(sql) = &self.sql {
+            e = e.child(Element::new("sql").text(sql));
+        }
+        for i in &self.inputs {
+            e = e.child(Element::new("input").attr("name", i));
+        }
+        for t in &self.invalidates {
+            e = e.child(Element::new("invalidates").attr("entity", t));
+        }
+        e
+    }
+
+    pub fn from_xml(e: &Element) -> Result<OperationDescriptor, XmlError> {
+        if e.name != "operation" {
+            return Err(XmlError {
+                message: format!("expected <operation>, got <{}>", e.name),
+                offset: 0,
+            });
+        }
+        Ok(OperationDescriptor {
+            id: e.require_attr("id")?.to_string(),
+            name: e.require_attr("name")?.to_string(),
+            op_type: e.require_attr("type")?.to_string(),
+            url: e.require_attr("url")?.to_string(),
+            entity_table: e.get_attr("entity").map(str::to_string),
+            role: e.get_attr("role").map(str::to_string),
+            inputs: e
+                .find_all("input")
+                .map(|i| i.require_attr("name").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
+            sql: e.find("sql").map(|s| s.text_content()),
+            ok_forward: e.get_attr("okForward").map(str::to_string),
+            ko_forward: e.get_attr("koForward").map(str::to_string),
+            invalidates: e
+                .find_all("invalidates")
+                .map(|i| i.require_attr("entity").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
+            service: e
+                .get_attr("service")
+                .unwrap_or("GenericOperationService")
+                .to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+
+    fn sample() -> OperationDescriptor {
+        OperationDescriptor {
+            id: "op3".into(),
+            name: "CreateProduct".into(),
+            op_type: "create".into(),
+            url: "/b2c/op/createproduct".into(),
+            entity_table: Some("product".into()),
+            role: None,
+            inputs: vec!["name".into(), "price".into()],
+            sql: Some("INSERT INTO product (name, price) VALUES (:name, :price)".into()),
+            ok_forward: Some("page4".into()),
+            ko_forward: Some("page9".into()),
+            invalidates: vec!["product".into()],
+            service: "GenericOperationService".into(),
+        }
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = sample();
+        let parsed =
+            OperationDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn minimal_operation_round_trip() {
+        let d = OperationDescriptor {
+            id: "op1".into(),
+            name: "Logout".into(),
+            op_type: "logout".into(),
+            url: "/b2c/op/logout".into(),
+            entity_table: None,
+            role: None,
+            inputs: vec![],
+            sql: None,
+            ok_forward: Some("page0".into()),
+            ko_forward: None,
+            invalidates: vec![],
+            service: "GenericOperationService".into(),
+        };
+        let parsed =
+            OperationDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+}

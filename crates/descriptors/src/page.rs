@@ -1,0 +1,269 @@
+//! Page descriptors.
+//!
+//! §4: "The same design practice is applied to page services, but in this
+//! case the descriptor associated to an individual page is more complex,
+//! because it describes the topology of the page units and links, which is
+//! needed for computing units in the proper order and with the correct
+//! input parameters."
+
+use crate::xml::{Element, XmlError};
+
+/// How a propagated parameter is produced on the source unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamBinding {
+    /// Name under which the target unit receives the value.
+    pub name: String,
+    /// `oid`, `attribute`, `field`, `constant`, or `session`.
+    pub source_kind: String,
+    /// The attribute/field name, constant value, or session key ("" for
+    /// `oid`).
+    pub source: String,
+}
+
+/// One intra-page dataflow edge (a transport or automatic link).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportEdge {
+    /// Source unit descriptor id.
+    pub from: String,
+    /// Target unit descriptor id.
+    pub to: String,
+    pub params: Vec<ParamBinding>,
+    /// `true` for automatic links (navigated by the system on page entry).
+    pub automatic: bool,
+}
+
+/// A user-navigable link leaving a unit of this page: rendered as row
+/// anchors (index units), form actions (entry units), or buttons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitLinkSpec {
+    /// Source unit descriptor id.
+    pub from: String,
+    /// Target action path (page or operation URL).
+    pub target_url: String,
+    pub label: String,
+    pub params: Vec<ParamBinding>,
+}
+
+/// The descriptor of one page: everything the single generic page service
+/// needs to compute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageDescriptor {
+    /// Stable identifier, e.g. `page12`.
+    pub id: String,
+    pub name: String,
+    pub site_view: String,
+    /// URL path the controller maps to this page, e.g. `/acme/home`.
+    pub url: String,
+    /// Unit descriptor ids in a valid computation order (topologically
+    /// sorted over `edges` by the generator).
+    pub units: Vec<String>,
+    pub edges: Vec<TransportEdge>,
+    /// User-navigable links leaving this page's units.
+    pub links: Vec<UnitLinkSpec>,
+    /// Request parameters the page accepts from incoming links.
+    pub request_params: Vec<String>,
+    /// Layout category for the page-level presentation rule (§5).
+    pub layout: String,
+    /// Template path in the View.
+    pub template: String,
+    /// Landmark pages appear in the global navigation of their site view.
+    pub landmark: bool,
+    /// Pages of protected site views require an authenticated session.
+    pub protected: bool,
+}
+
+impl PageDescriptor {
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("page")
+            .attr("id", &self.id)
+            .attr("name", &self.name)
+            .attr("siteView", &self.site_view)
+            .attr("url", &self.url)
+            .attr("layout", &self.layout)
+            .attr("template", &self.template)
+            .attr("landmark", if self.landmark { "true" } else { "false" })
+            .attr("protected", if self.protected { "true" } else { "false" });
+        for u in &self.units {
+            e = e.child(Element::new("unitRef").attr("unit", u));
+        }
+        for edge in &self.edges {
+            let mut ee = Element::new("edge")
+                .attr("from", &edge.from)
+                .attr("to", &edge.to)
+                .attr("automatic", if edge.automatic { "true" } else { "false" });
+            for p in &edge.params {
+                ee = ee.child(
+                    Element::new("param")
+                        .attr("name", &p.name)
+                        .attr("kind", &p.source_kind)
+                        .attr("source", &p.source),
+                );
+            }
+            e = e.child(ee);
+        }
+        for l in &self.links {
+            let mut le = Element::new("link")
+                .attr("from", &l.from)
+                .attr("url", &l.target_url)
+                .attr("label", &l.label);
+            for p in &l.params {
+                le = le.child(
+                    Element::new("param")
+                        .attr("name", &p.name)
+                        .attr("kind", &p.source_kind)
+                        .attr("source", &p.source),
+                );
+            }
+            e = e.child(le);
+        }
+        for p in &self.request_params {
+            e = e.child(Element::new("requestParam").attr("name", p));
+        }
+        e
+    }
+
+    pub fn from_xml(e: &Element) -> Result<PageDescriptor, XmlError> {
+        if e.name != "page" {
+            return Err(XmlError {
+                message: format!("expected <page>, got <{}>", e.name),
+                offset: 0,
+            });
+        }
+        let units = e
+            .find_all("unitRef")
+            .map(|u| u.require_attr("unit").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = e
+            .find_all("edge")
+            .map(|ee| {
+                let params = ee
+                    .find_all("param")
+                    .map(|p| {
+                        Ok(ParamBinding {
+                            name: p.require_attr("name")?.to_string(),
+                            source_kind: p.require_attr("kind")?.to_string(),
+                            source: p.require_attr("source")?.to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, XmlError>>()?;
+                Ok(TransportEdge {
+                    from: ee.require_attr("from")?.to_string(),
+                    to: ee.require_attr("to")?.to_string(),
+                    params,
+                    automatic: ee.get_attr("automatic") == Some("true"),
+                })
+            })
+            .collect::<Result<Vec<_>, XmlError>>()?;
+        let links = e
+            .find_all("link")
+            .map(|le| {
+                let params = le
+                    .find_all("param")
+                    .map(|p| {
+                        Ok(ParamBinding {
+                            name: p.require_attr("name")?.to_string(),
+                            source_kind: p.require_attr("kind")?.to_string(),
+                            source: p.require_attr("source")?.to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, XmlError>>()?;
+                Ok(UnitLinkSpec {
+                    from: le.require_attr("from")?.to_string(),
+                    target_url: le.require_attr("url")?.to_string(),
+                    label: le.get_attr("label").unwrap_or_default().to_string(),
+                    params,
+                })
+            })
+            .collect::<Result<Vec<_>, XmlError>>()?;
+        let request_params = e
+            .find_all("requestParam")
+            .map(|p| p.require_attr("name").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PageDescriptor {
+            id: e.require_attr("id")?.to_string(),
+            name: e.require_attr("name")?.to_string(),
+            site_view: e.require_attr("siteView")?.to_string(),
+            url: e.require_attr("url")?.to_string(),
+            units,
+            edges,
+            links,
+            request_params,
+            layout: e.get_attr("layout").unwrap_or("single-column").to_string(),
+            template: e.get_attr("template").unwrap_or_default().to_string(),
+            landmark: e.get_attr("landmark") == Some("true"),
+            protected: e.get_attr("protected") == Some("true"),
+        })
+    }
+
+    /// Incoming dataflow edges of a unit.
+    pub fn edges_into<'a>(&'a self, unit: &'a str) -> impl Iterator<Item = &'a TransportEdge> {
+        self.edges.iter().filter(move |e| e.to == unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+
+    fn sample() -> PageDescriptor {
+        PageDescriptor {
+            id: "page2".into(),
+            name: "Volume Page".into(),
+            site_view: "acmdl".into(),
+            url: "/acmdl/volume_page".into(),
+            units: vec!["unit5".into(), "unit7".into(), "unit8".into()],
+            edges: vec![TransportEdge {
+                from: "unit5".into(),
+                to: "unit7".into(),
+                params: vec![ParamBinding {
+                    name: "volume".into(),
+                    source_kind: "oid".into(),
+                    source: String::new(),
+                }],
+                automatic: false,
+            }],
+            links: vec![UnitLinkSpec {
+                from: "unit7".into(),
+                target_url: "/acmdl/paper_details".into(),
+                label: "To Paper details page".into(),
+                params: vec![ParamBinding {
+                    name: "paper".into(),
+                    source_kind: "oid".into(),
+                    source: String::new(),
+                }],
+            }],
+            request_params: vec!["volume".into()],
+            layout: "two-columns".into(),
+            template: "templates/acmdl/volume_page.jsp".into(),
+            landmark: true,
+            protected: true,
+        }
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = sample();
+        let parsed = PageDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn edges_into_filters() {
+        let d = sample();
+        assert_eq!(d.edges_into("unit7").count(), 1);
+        assert_eq!(d.edges_into("unit5").count(), 0);
+    }
+
+    #[test]
+    fn defaults_applied_when_attrs_missing() {
+        let e = parse("<page id='p' name='n' siteView='s' url='/s/n'/>").unwrap();
+        let d = PageDescriptor::from_xml(&e).unwrap();
+        assert_eq!(d.layout, "single-column");
+        assert!(d.template.is_empty());
+        assert!(d.units.is_empty());
+        assert!(d.links.is_empty());
+        assert!(!d.landmark);
+        assert!(!d.protected);
+    }
+}

@@ -1,0 +1,357 @@
+//! Unit descriptors — Fig. 5 of the paper.
+//!
+//! "For each type of unit, a single generic service is designed, which
+//! factors out the commonalities of unit-specific services. This generic
+//! service is parametric with respect to the features of individual units,
+//! like the SQL query to perform, the input parameters of such a query, and
+//! the properties of the output data bean produced by the query. The
+//! unit-specific information can be stored in a descriptor file, for
+//! instance written in XML."
+//!
+//! §6 adds the two optimisation escape hatches: the `optimized` flag (a
+//! hand-tuned query replaces the generated one and survives regeneration)
+//! and the overridable `service` component name.
+
+use crate::xml::{Element, XmlError};
+
+/// One property of the unit bean: the bean field name, the result-set
+/// column it is packed from, and its conceptual type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeanProperty {
+    pub name: String,
+    pub column: String,
+    pub attr_type: String,
+}
+
+/// One parameterised SQL query of a unit. Simple units have a single query
+/// named `main`; hierarchical indexes have one per level (`level0`,
+/// `level1`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    pub name: String,
+    pub sql: String,
+    /// Named input parameters, in the order the service binds them.
+    pub inputs: Vec<String>,
+    /// Shape of the produced bean.
+    pub bean: Vec<BeanProperty>,
+}
+
+/// Form field of an entry unit, carried in the descriptor so the generic
+/// entry service can validate submissions server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    pub name: String,
+    pub field_type: String,
+    pub required: bool,
+    pub pattern: Option<String>,
+}
+
+/// §6 cache annotation as persisted in the descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDescriptor {
+    pub ttl_ms: Option<u64>,
+    pub invalidate_on_write: bool,
+}
+
+/// The full descriptor of one content unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitDescriptor {
+    /// Stable identifier, e.g. `unit42`.
+    pub id: String,
+    pub name: String,
+    /// WebML unit type name (`data`, `index`, ..., or a plug-in type).
+    pub unit_type: String,
+    /// Identifier of the owning page descriptor.
+    pub page: String,
+    /// Backing table of the unit's entity (None for entry units).
+    pub entity_table: Option<String>,
+    pub queries: Vec<QuerySpec>,
+    /// Scroller block size.
+    pub block_size: Option<usize>,
+    /// Entry-unit fields.
+    pub fields: Vec<FieldSpec>,
+    /// §6: "Replacing the automatically generated query with an optimized
+    /// one and marking the descriptor as optimized forces the code
+    /// generator to use the provided query."
+    pub optimized: bool,
+    /// Business component that computes the unit; the default generic
+    /// service unless overridden (§6).
+    pub service: String,
+    /// Entities (tables) this unit's content depends on — derived from the
+    /// conceptual model and used for automatic cache invalidation (§6).
+    pub depends_on: Vec<String>,
+    pub cache: Option<CacheDescriptor>,
+}
+
+impl UnitDescriptor {
+    /// The main query, if any.
+    pub fn main_query(&self) -> Option<&QuerySpec> {
+        self.queries.iter().find(|q| q.name == "main")
+    }
+
+    /// Serialize to the descriptor XML dialect.
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("unit")
+            .attr("id", &self.id)
+            .attr("name", &self.name)
+            .attr("type", &self.unit_type)
+            .attr("page", &self.page)
+            .attr("optimized", if self.optimized { "true" } else { "false" })
+            .attr("service", &self.service);
+        if let Some(t) = &self.entity_table {
+            e = e.attr("entity", t);
+        }
+        if let Some(b) = self.block_size {
+            e = e.attr("blockSize", b.to_string());
+        }
+        for q in &self.queries {
+            let mut qe = Element::new("query").attr("name", &q.name);
+            qe = qe.child(Element::new("sql").text(&q.sql));
+            for i in &q.inputs {
+                qe = qe.child(Element::new("input").attr("name", i));
+            }
+            for p in &q.bean {
+                qe = qe.child(
+                    Element::new("property")
+                        .attr("name", &p.name)
+                        .attr("column", &p.column)
+                        .attr("type", &p.attr_type),
+                );
+            }
+            e = e.child(qe);
+        }
+        for f in &self.fields {
+            let mut fe = Element::new("field")
+                .attr("name", &f.name)
+                .attr("type", &f.field_type)
+                .attr("required", if f.required { "true" } else { "false" });
+            if let Some(p) = &f.pattern {
+                fe = fe.attr("pattern", p);
+            }
+            e = e.child(fe);
+        }
+        for d in &self.depends_on {
+            e = e.child(Element::new("dependsOn").attr("entity", d));
+        }
+        if let Some(c) = &self.cache {
+            let mut ce = Element::new("cache").attr(
+                "invalidateOnWrite",
+                if c.invalidate_on_write { "true" } else { "false" },
+            );
+            if let Some(ttl) = c.ttl_ms {
+                ce = ce.attr("ttlMs", ttl.to_string());
+            }
+            e = e.child(ce);
+        }
+        e
+    }
+
+    /// Load from XML (inverse of [`Self::to_xml`]).
+    pub fn from_xml(e: &Element) -> Result<UnitDescriptor, XmlError> {
+        if e.name != "unit" {
+            return Err(XmlError {
+                message: format!("expected <unit>, got <{}>", e.name),
+                offset: 0,
+            });
+        }
+        let mut queries = Vec::new();
+        for qe in e.find_all("query") {
+            let sql = qe
+                .find("sql")
+                .map(|s| s.text_content())
+                .unwrap_or_default();
+            let inputs = qe
+                .find_all("input")
+                .map(|i| i.require_attr("name").map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            let bean = qe
+                .find_all("property")
+                .map(|p| {
+                    Ok(BeanProperty {
+                        name: p.require_attr("name")?.to_string(),
+                        column: p.require_attr("column")?.to_string(),
+                        attr_type: p.require_attr("type")?.to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, XmlError>>()?;
+            queries.push(QuerySpec {
+                name: qe.require_attr("name")?.to_string(),
+                sql,
+                inputs,
+                bean,
+            });
+        }
+        let fields = e
+            .find_all("field")
+            .map(|f| {
+                Ok(FieldSpec {
+                    name: f.require_attr("name")?.to_string(),
+                    field_type: f.require_attr("type")?.to_string(),
+                    required: f.get_attr("required") == Some("true"),
+                    pattern: f.get_attr("pattern").map(str::to_string),
+                })
+            })
+            .collect::<Result<Vec<_>, XmlError>>()?;
+        let depends_on = e
+            .find_all("dependsOn")
+            .map(|d| d.require_attr("entity").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let cache = e.find("cache").map(|c| CacheDescriptor {
+            ttl_ms: c.get_attr("ttlMs").and_then(|v| v.parse().ok()),
+            invalidate_on_write: c.get_attr("invalidateOnWrite") == Some("true"),
+        });
+        Ok(UnitDescriptor {
+            id: e.require_attr("id")?.to_string(),
+            name: e.require_attr("name")?.to_string(),
+            unit_type: e.require_attr("type")?.to_string(),
+            page: e.require_attr("page")?.to_string(),
+            entity_table: e.get_attr("entity").map(str::to_string),
+            queries,
+            block_size: e.get_attr("blockSize").and_then(|v| v.parse().ok()),
+            fields,
+            optimized: e.get_attr("optimized") == Some("true"),
+            service: e
+                .get_attr("service")
+                .unwrap_or("GenericUnitService")
+                .to_string(),
+            depends_on,
+            cache,
+        })
+    }
+
+    /// Replace the main query with a hand-optimised one and mark the
+    /// descriptor accordingly (§6 workflow).
+    pub fn override_query(&mut self, sql: impl Into<String>) {
+        if let Some(q) = self.queries.iter_mut().find(|q| q.name == "main") {
+            q.sql = sql.into();
+        } else {
+            self.queries.push(QuerySpec {
+                name: "main".into(),
+                sql: sql.into(),
+                inputs: Vec::new(),
+                bean: Vec::new(),
+            });
+        }
+        self.optimized = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+
+    fn sample() -> UnitDescriptor {
+        UnitDescriptor {
+            id: "unit7".into(),
+            name: "Issues&Papers".into(),
+            unit_type: "hierarchy".into(),
+            page: "page2".into(),
+            entity_table: Some("issue".into()),
+            queries: vec![
+                QuerySpec {
+                    name: "level0".into(),
+                    sql: "SELECT oid, number FROM issue WHERE volume_oid = :volume".into(),
+                    inputs: vec!["volume".into()],
+                    bean: vec![BeanProperty {
+                        name: "number".into(),
+                        column: "number".into(),
+                        attr_type: "Integer".into(),
+                    }],
+                },
+                QuerySpec {
+                    name: "level1".into(),
+                    sql: "SELECT oid, title FROM paper WHERE issue_oid = :issue".into(),
+                    inputs: vec!["issue".into()],
+                    bean: vec![BeanProperty {
+                        name: "title".into(),
+                        column: "title".into(),
+                        attr_type: "String".into(),
+                    }],
+                },
+            ],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: "GenericHierarchyService".into(),
+            depends_on: vec!["issue".into(), "paper".into()],
+            cache: Some(CacheDescriptor {
+                ttl_ms: Some(5000),
+                invalidate_on_write: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = sample();
+        let xml = d.to_xml().to_document();
+        let parsed = UnitDescriptor::from_xml(&parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn round_trip_with_special_chars_in_name() {
+        let mut d = sample();
+        d.name = "Search & <Filter>".into();
+        let xml = d.to_xml().to_document();
+        let parsed = UnitDescriptor::from_xml(&parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed.name, "Search & <Filter>");
+    }
+
+    #[test]
+    fn override_marks_optimized() {
+        let mut d = sample();
+        d.queries.insert(
+            0,
+            QuerySpec {
+                name: "main".into(),
+                sql: "SELECT oid FROM issue".into(),
+                inputs: vec![],
+                bean: vec![],
+            },
+        );
+        d.override_query("SELECT /* hand-tuned */ oid FROM issue WHERE 1 = 1");
+        assert!(d.optimized);
+        assert!(d.main_query().unwrap().sql.contains("hand-tuned"));
+        // optimized flag survives the XML round trip (§6 requirement)
+        let parsed =
+            UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        assert!(parsed.optimized);
+        assert!(parsed.main_query().unwrap().sql.contains("hand-tuned"));
+    }
+
+    #[test]
+    fn missing_attrs_rejected() {
+        let e = parse("<unit id='x'/>").unwrap();
+        assert!(UnitDescriptor::from_xml(&e).is_err());
+        let e = parse("<other/>").unwrap();
+        assert!(UnitDescriptor::from_xml(&e).is_err());
+    }
+
+    #[test]
+    fn entry_fields_round_trip() {
+        let d = UnitDescriptor {
+            id: "u1".into(),
+            name: "Enter keyword".into(),
+            unit_type: "entry".into(),
+            page: "p1".into(),
+            entity_table: None,
+            queries: vec![],
+            block_size: None,
+            fields: vec![FieldSpec {
+                name: "keyword".into(),
+                field_type: "String".into(),
+                required: true,
+                pattern: Some("%_%".into()),
+            }],
+            optimized: false,
+            service: "GenericEntryService".into(),
+            depends_on: vec![],
+            cache: None,
+        };
+        let parsed =
+            UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+}

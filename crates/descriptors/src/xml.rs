@@ -1,0 +1,471 @@
+//! A small XML reader/writer — the substrate for descriptor files.
+//!
+//! §4: "The unit-specific information can be stored in a descriptor file,
+//! for instance written in XML, used at runtime to instantiate the generic
+//! service into a concrete, unit-specific service." This module implements
+//! exactly the XML subset those files need: elements, attributes, text,
+//! comments, CDATA (for SQL text), and an optional declaration.
+
+use std::fmt;
+
+/// An XML document fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    Element(Element),
+    Text(String),
+}
+
+/// An element with attributes and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl Element {
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, e: Element) -> Element {
+        self.children.push(XmlNode::Element(e));
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn text(mut self, t: impl Into<String>) -> Element {
+        self.children.push(XmlNode::Text(t.into()));
+        self
+    }
+
+    /// Value of an attribute.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute or an error mentioning the element (descriptor loading).
+    pub fn require_attr(&self, name: &str) -> Result<&str, XmlError> {
+        self.get_attr(name).ok_or_else(|| XmlError {
+            message: format!("element <{}> missing attribute {name}", self.name),
+            offset: 0,
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter_map(move |c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements regardless of name.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element (direct children only).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Serialize with indentation (2 spaces), including declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, 0);
+        out
+    }
+
+    /// Serialize without declaration.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (n, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(n);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        // text-only content stays inline; any element child triggers
+        // block layout
+        let has_elements = self
+            .children
+            .iter()
+            .any(|c| matches!(c, XmlNode::Element(_)));
+        if has_elements {
+            out.push('\n');
+            for c in &self.children {
+                match c {
+                    XmlNode::Element(e) => e.write(out, depth + 1),
+                    XmlNode::Text(t) => {
+                        if !t.trim().is_empty() {
+                            out.push_str(&"  ".repeat(depth + 1));
+                            out.push_str(&escape_text(t));
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+            out.push_str(&pad);
+        } else {
+            for c in &self.children {
+                if let XmlNode::Text(t) = c {
+                    out.push_str(&escape_text(t));
+                }
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escape text content.
+pub fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Escape an attribute value.
+pub fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parse a document into its root element. Skips the declaration,
+/// comments, and inter-element whitespace.
+pub fn parse(src: &str) -> Result<Element, XmlError> {
+    let mut p = XmlParser {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc();
+    let root = p.element()?;
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError {
+            message: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with("<?") {
+                if let Some(end) = self.src[self.pos..].find("?>") {
+                    self.pos += end + 2;
+                    continue;
+                }
+            }
+            if self.src[self.pos..].starts_with("<!--") {
+                if let Some(end) = self.src[self.pos..].find("-->") {
+                    self.pos += end + 3;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value = unescape(&self.src[start..self.pos]);
+                    self.pos += 1;
+                    el.attrs.push((aname, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // children
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Err(self.err(format!("unterminated element <{}>", el.name)));
+            }
+            if self.src[self.pos..].starts_with("<!--") {
+                match self.src[self.pos..].find("-->") {
+                    Some(end) => {
+                        self.pos += end + 3;
+                        continue;
+                    }
+                    None => return Err(self.err("unterminated comment")),
+                }
+            }
+            if self.src[self.pos..].starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.src[start..].find("]]>") {
+                    Some(end) => {
+                        el.children
+                            .push(XmlNode::Text(self.src[start..start + end].to_string()));
+                        self.pos = start + end + 3;
+                        continue;
+                    }
+                    None => return Err(self.err("unterminated CDATA")),
+                }
+            }
+            if self.src[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != el.name {
+                    return Err(self.err(format!(
+                        "mismatched close tag: expected </{}>, got </{close}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            }
+            if self.bytes[self.pos] == b'<' {
+                let child = self.element()?;
+                el.children.push(XmlNode::Element(child));
+                continue;
+            }
+            // text run
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            let t = unescape(&self.src[start..self.pos]);
+            if !t.trim().is_empty() {
+                el.children.push(XmlNode::Text(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let e = Element::new("unit")
+            .attr("id", "u1")
+            .attr("type", "index")
+            .child(Element::new("query").text("SELECT * FROM t WHERE a = :p"))
+            .child(Element::new("param").attr("name", "p"));
+        let xml = e.to_document();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.name, "unit");
+        assert_eq!(parsed.get_attr("type"), Some("index"));
+        assert_eq!(
+            parsed.find("query").unwrap().text_content(),
+            "SELECT * FROM t WHERE a = :p"
+        );
+        assert_eq!(parsed.find("param").unwrap().get_attr("name"), Some("p"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let e = Element::new("q")
+            .attr("cond", "a < b & c > \"d\"")
+            .text("x < y & z");
+        let xml = e.to_document();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.get_attr("cond"), Some("a < b & c > \"d\""));
+        assert_eq!(parsed.text_content(), "x < y & z");
+    }
+
+    #[test]
+    fn cdata_preserves_sql() {
+        let src = "<query><![CDATA[SELECT a FROM t WHERE a < 3 && 'x']]></query>";
+        let e = parse(src).unwrap();
+        assert_eq!(e.text_content(), "SELECT a FROM t WHERE a < 3 && 'x'");
+    }
+
+    #[test]
+    fn comments_and_declaration_skipped() {
+        let src = "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><!-- inner --><a/></root>";
+        let e = parse(src).unwrap();
+        assert_eq!(e.name, "root");
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn self_closing_and_nesting() {
+        let e = parse("<a><b x='1'/><b x='2'><c/></b></a>").unwrap();
+        let bs: Vec<_> = e.find_all("b").collect();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[1].find("c").unwrap().name, "c");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn require_attr_errors_with_context() {
+        let e = Element::new("unit");
+        let err = e.require_attr("id").unwrap_err();
+        assert!(err.message.contains("<unit>"));
+        assert!(err.message.contains("id"));
+    }
+
+    #[test]
+    fn deep_nesting_round_trip() {
+        let mut e = Element::new("l0");
+        let mut cur = &mut e;
+        for i in 1..20 {
+            cur.children
+                .push(XmlNode::Element(Element::new(format!("l{i}"))));
+            let XmlNode::Element(next) = cur.children.last_mut().unwrap() else {
+                unreachable!()
+            };
+            cur = next;
+        }
+        let xml = e.to_document();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, e);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: XML round-tripping and descriptor serialization under
+//! arbitrary content.
+
+use descriptors::{
+    parse_xml, BeanProperty, CacheDescriptor, Element, FieldSpec, QuerySpec, UnitDescriptor,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,10}"
+}
+
+/// Arbitrary text including every character XML must escape.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just('é'),
+            proptest::char::range('a', 'z'),
+            Just(' '),
+        ],
+        0..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..4),
+        proptest::option::of(arb_text().prop_filter("non-ws", |t| !t.trim().is_empty())),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (n, v) in attrs {
+                if seen.insert(n.clone()) {
+                    e = e.attr(n, v);
+                }
+            }
+            if let Some(t) = text {
+                e = e.text(t);
+            }
+            e
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, proptest::collection::vec(arb_element(depth - 1), 0..3))
+            .prop_map(|(mut e, children)| {
+                // avoid mixing text with elements (the writer normalises
+                // whitespace around block children)
+                if !children.is_empty() {
+                    e.children.clear();
+                }
+                for c in children {
+                    e = e.child(c);
+                }
+                e
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn xml_round_trips(e in arb_element(3)) {
+        let doc = e.to_document();
+        let parsed = parse_xml(&doc).unwrap_or_else(|err| panic!("{err}\n{doc}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn unit_descriptor_round_trips(
+        name in arb_text(),
+        sql in arb_text(),
+        inputs in proptest::collection::vec(arb_name(), 0..4),
+        optimized in any::<bool>(),
+        ttl in proptest::option::of(0u64..100000),
+    ) {
+        let d = UnitDescriptor {
+            id: "unit1".into(),
+            name,
+            unit_type: "index".into(),
+            page: "page1".into(),
+            entity_table: Some("t".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql,
+                inputs,
+                bean: vec![BeanProperty {
+                    name: "x".into(),
+                    column: "x".into(),
+                    attr_type: "String".into(),
+                }],
+            }],
+            block_size: None,
+            fields: vec![FieldSpec {
+                name: "f".into(),
+                field_type: "String".into(),
+                required: true,
+                pattern: Some("%x%".into()),
+            }],
+            optimized,
+            service: "GenericIndexService".into(),
+            depends_on: vec!["t".into()],
+            cache: ttl.map(|t| CacheDescriptor {
+                ttl_ms: Some(t),
+                invalidate_on_write: true,
+            }),
+        };
+        let doc = d.to_xml().to_document();
+        let parsed = UnitDescriptor::from_xml(&parse_xml(&doc).unwrap()).unwrap();
+        // XML strips leading/trailing pure-whitespace text nodes; SQL text
+        // with surrounding spaces trims — compare modulo that
+        let mut expect = d.clone();
+        expect.queries[0].sql = expect.queries[0].sql.clone();
+        if parsed.queries[0].sql != expect.queries[0].sql {
+            prop_assert_eq!(
+                parsed.queries[0].sql.trim(),
+                expect.queries[0].sql.trim()
+            );
+            let mut p2 = parsed.clone();
+            p2.queries[0].sql = expect.queries[0].sql.clone();
+            prop_assert_eq!(p2, expect);
+        } else {
+            prop_assert_eq!(parsed, expect);
+        }
+    }
+}

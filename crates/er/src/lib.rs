@@ -1,0 +1,23 @@
+//! # er — Entity-Relationship layer of the WebML/WebRatio reproduction
+//!
+//! Data requirements of a WebML application are expressed with a
+//! conventional ER model (entities, typed attributes, binary relationships
+//! with cardinalities and named roles). This crate provides:
+//!
+//! * [`model`] — the metamodel and validating builder ([`ErModel`]);
+//! * [`mapping`] — the canonical ER→relational mapping
+//!   ([`RelationalMapping`]), with surrogate `oid` keys, FK placement by
+//!   cardinality, and bridge tables for many-to-many relationships;
+//! * [`ddl`] — DDL script generation and deployment into a
+//!   [`relstore::Database`].
+
+pub mod ddl;
+pub mod mapping;
+pub mod model;
+
+pub use ddl::{ddl_script, deploy};
+pub use mapping::{sql_name, storage_type, IndexSpec, RelImpl, RelationalMapping, OID};
+pub use model::{
+    AttrType, Attribute, Cardinality, Entity, EntityId, ErError, ErModel, MaxCard, Relationship,
+    RelationshipId,
+};

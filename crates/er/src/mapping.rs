@@ -1,0 +1,495 @@
+//! ER → relational mapping.
+//!
+//! The paper: "this standard schema is then used by the WebRatio
+//! implementation as either the schema of a newly designed database ... or
+//! as a reference for mapping to pre-existing data sources". The rules are
+//! the classical ones:
+//!
+//! * every entity becomes a table with a surrogate `oid` primary key;
+//! * a relationship where each source has at most one target puts a
+//!   foreign-key column on the source table (unique for 1:1);
+//! * the symmetric case puts the column on the target table;
+//! * many-to-many relationships become a bridge table with two FKs.
+
+use crate::model::{AttrType, Cardinality, EntityId, ErModel, MaxCard, Relationship, RelationshipId};
+use relstore::{Column, DataType, ForeignKey, ReferentialAction, TableSchema};
+use std::collections::HashMap;
+
+/// Name of the surrogate key column every entity table carries.
+pub const OID: &str = "oid";
+
+/// How one relationship is realised in the relational schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelImpl {
+    /// A foreign-key column on one of the two entity tables.
+    ForeignKey {
+        /// Table holding the FK column.
+        fk_table: String,
+        /// The FK column name.
+        fk_column: String,
+        /// Table the FK references (always via its `oid`).
+        referenced_table: String,
+        /// `true` when the FK column lives on the relationship's source
+        /// entity table (i.e. source→target navigation follows the FK).
+        fk_on_source: bool,
+    },
+    /// A bridge table with a column per side.
+    Bridge {
+        table: String,
+        source_column: String,
+        target_column: String,
+    },
+}
+
+/// An index the mapping wants created (FK columns and unique attributes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+/// The complete relational mapping of an [`ErModel`].
+#[derive(Debug, Clone)]
+pub struct RelationalMapping {
+    tables: Vec<TableSchema>,
+    indexes: Vec<IndexSpec>,
+    entity_tables: HashMap<EntityId, String>,
+    rel_impls: HashMap<RelationshipId, RelImpl>,
+}
+
+/// Convert an attribute type to its storage type.
+pub fn storage_type(t: AttrType) -> DataType {
+    match t {
+        AttrType::Integer => DataType::Integer,
+        AttrType::Float => DataType::Real,
+        AttrType::String | AttrType::Text | AttrType::Url => DataType::Text,
+        AttrType::Boolean => DataType::Boolean,
+        AttrType::Date => DataType::Timestamp,
+        AttrType::Blob => DataType::Blob,
+    }
+}
+
+/// SQL-safe lower-case name for a model element.
+pub fn sql_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 't');
+    }
+    out
+}
+
+impl RelationalMapping {
+    /// Derive the relational schema for `model`.
+    pub fn derive(model: &ErModel) -> RelationalMapping {
+        let mut mapping = RelationalMapping {
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            entity_tables: HashMap::new(),
+            rel_impls: HashMap::new(),
+        };
+
+        // entity tables
+        for (id, e) in model.entities() {
+            let tname = sql_name(&e.name);
+            let mut schema = TableSchema::new(tname.clone())
+                .column(Column::new(OID, DataType::Integer).not_null().auto());
+            for a in &e.attributes {
+                let mut col = Column::new(sql_name(&a.name), storage_type(a.attr_type));
+                if a.required {
+                    col = col.not_null();
+                }
+                schema = schema.column(col);
+                if a.unique {
+                    mapping.indexes.push(IndexSpec {
+                        name: format!("ux_{}_{}", tname, sql_name(&a.name)),
+                        table: tname.clone(),
+                        columns: vec![sql_name(&a.name)],
+                        unique: true,
+                    });
+                }
+            }
+            schema = schema.primary_key(&[OID]);
+            mapping.entity_tables.insert(id, tname);
+            mapping.tables.push(schema);
+        }
+
+        // relationship implementations
+        for (rid, r) in model.relationships() {
+            let source_table = mapping.entity_tables[&r.source].clone();
+            let target_table = mapping.entity_tables[&r.target].clone();
+            if r.is_many_to_many() {
+                let bridge = sql_name(&r.name);
+                let sc = format!("{source_table}_{OID}");
+                let tc = if source_table == target_table {
+                    format!("{target_table}_2_{OID}")
+                } else {
+                    format!("{target_table}_{OID}")
+                };
+                let schema = TableSchema::new(bridge.clone())
+                    .column(Column::new(sc.clone(), DataType::Integer).not_null())
+                    .column(Column::new(tc.clone(), DataType::Integer).not_null())
+                    .primary_key(&[sc.as_str(), tc.as_str()])
+                    .foreign_key(ForeignKey {
+                        name: format!("fk_{bridge}_src"),
+                        columns: vec![sc.clone()],
+                        referenced_table: source_table.clone(),
+                        referenced_columns: vec![OID.into()],
+                        on_delete: ReferentialAction::Cascade,
+                    })
+                    .foreign_key(ForeignKey {
+                        name: format!("fk_{bridge}_tgt"),
+                        columns: vec![tc.clone()],
+                        referenced_table: target_table.clone(),
+                        referenced_columns: vec![OID.into()],
+                        on_delete: ReferentialAction::Cascade,
+                    });
+                mapping.indexes.push(IndexSpec {
+                    name: format!("ix_{bridge}_tgt"),
+                    table: bridge.clone(),
+                    columns: vec![tc.clone()],
+                    unique: false,
+                });
+                mapping.tables.push(schema);
+                mapping.rel_impls.insert(
+                    rid,
+                    RelImpl::Bridge {
+                        table: bridge,
+                        source_column: sc,
+                        target_column: tc,
+                    },
+                );
+                continue;
+            }
+
+            // FK side: prefer the side that sees at most one partner
+            let fk_on_source = r.target_card.max == MaxCard::One;
+            let (fk_table, referenced_table) = if fk_on_source {
+                (source_table.clone(), target_table.clone())
+            } else {
+                (target_table.clone(), source_table.clone())
+            };
+            let fk_column =
+                mapping.unique_fk_column(&fk_table, &referenced_table, &r.name);
+            let required = Self::fk_required(r, fk_on_source);
+            let unique = r.is_one_to_one();
+            let mut col = Column::new(fk_column.clone(), DataType::Integer);
+            if required {
+                col = col.not_null();
+            }
+            let fk = ForeignKey {
+                name: format!("fk_{}", sql_name(&r.name)),
+                columns: vec![fk_column.clone()],
+                referenced_table: referenced_table.clone(),
+                // optional membership detaches on delete; mandatory cascades
+                on_delete: if required {
+                    ReferentialAction::Cascade
+                } else {
+                    ReferentialAction::SetNull
+                },
+                referenced_columns: vec![OID.into()],
+            };
+            let schema = mapping
+                .tables
+                .iter_mut()
+                .find(|t| t.name == fk_table)
+                .expect("fk table exists");
+            schema.columns.push(col);
+            schema.foreign_keys.push(fk);
+            mapping.indexes.push(IndexSpec {
+                name: format!("{}_{}_{}", if unique { "ux" } else { "ix" }, fk_table, fk_column),
+                table: fk_table.clone(),
+                columns: vec![fk_column.clone()],
+                unique,
+            });
+            mapping.rel_impls.insert(
+                rid,
+                RelImpl::ForeignKey {
+                    fk_table,
+                    fk_column,
+                    referenced_table,
+                    fk_on_source,
+                },
+            );
+        }
+        mapping
+    }
+
+    fn fk_required(r: &Relationship, fk_on_source: bool) -> bool {
+        let card: Cardinality = if fk_on_source {
+            r.target_card
+        } else {
+            r.source_card
+        };
+        card.min >= 1
+    }
+
+    /// Pick an FK column name, disambiguating when the same table already
+    /// has an FK to the same target.
+    fn unique_fk_column(&self, fk_table: &str, referenced: &str, rel_name: &str) -> String {
+        let base = format!("{referenced}_{OID}");
+        let taken = |name: &str| {
+            self.tables
+                .iter()
+                .find(|t| t.name == fk_table)
+                .is_some_and(|t| t.column_index(name).is_some())
+                || self.rel_impls.values().any(|ri| match ri {
+                    RelImpl::ForeignKey {
+                        fk_table: t,
+                        fk_column: c,
+                        ..
+                    } => t == fk_table && c == name,
+                    _ => false,
+                })
+        };
+        if !taken(&base) {
+            return base;
+        }
+        let alt = format!("{}_{base}", sql_name(rel_name));
+        if !taken(&alt) {
+            return alt;
+        }
+        let mut i = 2;
+        loop {
+            let c = format!("{alt}{i}");
+            if !taken(&c) {
+                return c;
+            }
+            i += 1;
+        }
+    }
+
+    pub fn tables(&self) -> &[TableSchema] {
+        &self.tables
+    }
+
+    pub fn indexes(&self) -> &[IndexSpec] {
+        &self.indexes
+    }
+
+    /// Table name backing an entity.
+    pub fn table_for(&self, e: EntityId) -> Option<&str> {
+        self.entity_tables.get(&e).map(|s| s.as_str())
+    }
+
+    /// How a relationship is realised.
+    pub fn rel_impl(&self, r: RelationshipId) -> Option<&RelImpl> {
+        self.rel_impls.get(&r)
+    }
+
+    /// Schema of an entity's table.
+    pub fn schema_for(&self, e: EntityId) -> Option<&TableSchema> {
+        let name = self.entity_tables.get(&e)?;
+        self.tables.iter().find(|t| &t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, Cardinality, ErModel};
+
+    fn model() -> (ErModel, EntityId, EntityId, EntityId) {
+        let mut m = ErModel::new();
+        let volume = m
+            .add_entity(
+                "Volume",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("isbn", AttrType::String).unique(),
+                ],
+            )
+            .unwrap();
+        let issue = m
+            .add_entity("Issue", vec![Attribute::new("number", AttrType::Integer)])
+            .unwrap();
+        let keyword = m
+            .add_entity("Keyword", vec![Attribute::new("word", AttrType::String)])
+            .unwrap();
+        m.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,   // each issue belongs to exactly one volume
+            Cardinality::ZERO_MANY, // a volume has many issues
+        )
+        .unwrap();
+        m.add_relationship(
+            "IssueKeyword",
+            issue,
+            keyword,
+            "IssueToKeyword",
+            "KeywordToIssue",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        (m, volume, issue, keyword)
+    }
+
+    #[test]
+    fn entity_tables_have_oid_pk() {
+        let (m, volume, ..) = model();
+        let map = RelationalMapping::derive(&m);
+        let t = map.schema_for(volume).unwrap();
+        assert_eq!(t.name, "volume");
+        assert_eq!(t.primary_key_names(), vec![OID]);
+        assert!(t.columns[0].auto_increment);
+    }
+
+    #[test]
+    fn one_to_many_puts_fk_on_many_side() {
+        let (m, ..) = model();
+        let map = RelationalMapping::derive(&m);
+        let (rid, _) = m.relationship_by_name("VolumeIssue").unwrap();
+        let RelImpl::ForeignKey {
+            fk_table,
+            fk_column,
+            referenced_table,
+            fk_on_source,
+        } = map.rel_impl(rid).unwrap()
+        else {
+            panic!("expected FK impl");
+        };
+        assert_eq!(fk_table, "issue");
+        assert_eq!(fk_column, "volume_oid");
+        assert_eq!(referenced_table, "volume");
+        assert!(!fk_on_source);
+        // mandatory membership (min 1 on the issue side) → NOT NULL + CASCADE
+        let t = map.tables().iter().find(|t| t.name == "issue").unwrap();
+        let c = &t.columns[t.column_index("volume_oid").unwrap()];
+        assert!(!c.nullable);
+        assert_eq!(
+            t.foreign_keys[0].on_delete,
+            ReferentialAction::Cascade
+        );
+    }
+
+    #[test]
+    fn many_to_many_creates_bridge() {
+        let (m, ..) = model();
+        let map = RelationalMapping::derive(&m);
+        let (rid, _) = m.relationship_by_name("IssueKeyword").unwrap();
+        let RelImpl::Bridge {
+            table,
+            source_column,
+            target_column,
+        } = map.rel_impl(rid).unwrap()
+        else {
+            panic!("expected bridge impl");
+        };
+        assert_eq!(table, "issuekeyword");
+        assert_eq!(source_column, "issue_oid");
+        assert_eq!(target_column, "keyword_oid");
+        let t = map.tables().iter().find(|t| t.name == "issuekeyword").unwrap();
+        assert_eq!(t.primary_key.len(), 2);
+        assert_eq!(t.foreign_keys.len(), 2);
+    }
+
+    #[test]
+    fn unique_attribute_gets_unique_index() {
+        let (m, ..) = model();
+        let map = RelationalMapping::derive(&m);
+        assert!(map
+            .indexes()
+            .iter()
+            .any(|i| i.table == "volume" && i.unique && i.columns == vec!["isbn"]));
+    }
+
+    #[test]
+    fn fk_columns_get_indexes() {
+        let (m, ..) = model();
+        let map = RelationalMapping::derive(&m);
+        assert!(map
+            .indexes()
+            .iter()
+            .any(|i| i.table == "issue" && i.columns == vec!["volume_oid"]));
+    }
+
+    #[test]
+    fn parallel_relationships_disambiguate_columns() {
+        let mut m = ErModel::new();
+        let person = m.add_entity("Person", vec![]).unwrap();
+        let paper = m.add_entity("Paper", vec![]).unwrap();
+        m.add_relationship(
+            "Author",
+            paper,
+            person,
+            "PaperToAuthor",
+            "AuthorToPaper",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_ONE,
+        )
+        .unwrap();
+        m.add_relationship(
+            "Reviewer",
+            paper,
+            person,
+            "PaperToReviewer",
+            "ReviewerToPaper",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_ONE,
+        )
+        .unwrap();
+        let map = RelationalMapping::derive(&m);
+        let t = map.tables().iter().find(|t| t.name == "paper").unwrap();
+        assert!(t.column_index("person_oid").is_some());
+        assert!(t.column_index("reviewer_person_oid").is_some());
+    }
+
+    #[test]
+    fn one_to_one_gets_unique_index() {
+        let mut m = ErModel::new();
+        let user = m.add_entity("User", vec![]).unwrap();
+        let profile = m.add_entity("Profile", vec![]).unwrap();
+        m.add_relationship(
+            "UserProfile",
+            user,
+            profile,
+            "UserToProfile",
+            "ProfileToUser",
+            Cardinality::ZERO_ONE,
+            Cardinality::ZERO_ONE,
+        )
+        .unwrap();
+        let map = RelationalMapping::derive(&m);
+        assert!(map.indexes().iter().any(|i| i.unique && i.table == "user"));
+    }
+
+    #[test]
+    fn self_relationship_bridge_disambiguates() {
+        let mut m = ErModel::new();
+        let page = m.add_entity("Page", vec![]).unwrap();
+        m.add_relationship(
+            "Related",
+            page,
+            page,
+            "PageToRelated",
+            "RelatedToPage",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let map = RelationalMapping::derive(&m);
+        let t = map.tables().iter().find(|t| t.name == "related").unwrap();
+        assert!(t.column_index("page_oid").is_some());
+        assert!(t.column_index("page_2_oid").is_some());
+    }
+
+    #[test]
+    fn sql_name_sanitises() {
+        assert_eq!(sql_name("Volume Data"), "volume_data");
+        assert_eq!(sql_name("2nd"), "t2nd");
+        assert_eq!(sql_name("Näme"), "n_me");
+    }
+}

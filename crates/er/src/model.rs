@@ -1,0 +1,507 @@
+//! The Entity-Relationship metamodel.
+//!
+//! The paper (§1) supports "a quite conventional" ER model "with a few
+//! limitations that make the ER schema easier to map onto a standard
+//! relational schema": no ISA hierarchies, binary relationships only,
+//! attributes on entities only. Those are exactly the limitations enforced
+//! here — relationships are binary with a named role in each direction and
+//! cardinality constraints.
+
+use std::fmt;
+
+/// Handle to an entity inside an [`ErModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub usize);
+
+/// Handle to a relationship inside an [`ErModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationshipId(pub usize);
+
+/// Attribute domain — the conceptual types WebML exposes to the modeller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    Integer,
+    Float,
+    String,
+    Text,
+    Boolean,
+    Date,
+    Url,
+    Blob,
+}
+
+impl AttrType {
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Integer => "Integer",
+            AttrType::Float => "Float",
+            AttrType::String => "String",
+            AttrType::Text => "Text",
+            AttrType::Boolean => "Boolean",
+            AttrType::Date => "Date",
+            AttrType::Url => "URL",
+            AttrType::Blob => "BLOB",
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One attribute of an entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub attr_type: AttrType,
+    /// Required attributes map to NOT NULL columns.
+    pub required: bool,
+    /// Unique attributes get a unique index.
+    pub unique: bool,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, attr_type: AttrType) -> Attribute {
+        Attribute {
+            name: name.into(),
+            attr_type,
+            required: false,
+            unique: false,
+        }
+    }
+
+    pub fn required(mut self) -> Attribute {
+        self.required = true;
+        self
+    }
+
+    pub fn unique(mut self) -> Attribute {
+        self.unique = true;
+        self
+    }
+}
+
+/// An entity: a named concept with typed attributes. Every entity
+/// implicitly carries an `oid` surrogate key in the relational mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    pub name: String,
+    pub attributes: Vec<Attribute>,
+}
+
+impl Entity {
+    /// Attribute lookup by case-insensitive name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Maximum cardinality of a relationship role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxCard {
+    One,
+    Many,
+}
+
+/// Cardinality constraint of one role: `(min, max)` with min ∈ {0, 1}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cardinality {
+    pub min: u8,
+    pub max: MaxCard,
+}
+
+impl Cardinality {
+    pub const ZERO_ONE: Cardinality = Cardinality {
+        min: 0,
+        max: MaxCard::One,
+    };
+    pub const ONE_ONE: Cardinality = Cardinality {
+        min: 1,
+        max: MaxCard::One,
+    };
+    pub const ZERO_MANY: Cardinality = Cardinality {
+        min: 0,
+        max: MaxCard::Many,
+    };
+    pub const ONE_MANY: Cardinality = Cardinality {
+        min: 1,
+        max: MaxCard::Many,
+    };
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = match self.max {
+            MaxCard::One => "1",
+            MaxCard::Many => "N",
+        };
+        write!(f, "{}:{max}", self.min)
+    }
+}
+
+/// A binary relationship between two entities.
+///
+/// The role names are what WebML diagrams show on links — e.g.
+/// `VolumeToIssue` navigates source→target and `IssueToVolume` navigates
+/// back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relationship {
+    pub name: String,
+    pub source: EntityId,
+    pub target: EntityId,
+    /// Role navigating source → target (e.g. "VolumeToIssue").
+    pub forward_role: String,
+    /// Role navigating target → source (e.g. "IssueToVolume").
+    pub inverse_role: String,
+    /// How many targets one source may have.
+    pub target_card: Cardinality,
+    /// How many sources one target may have.
+    pub source_card: Cardinality,
+}
+
+impl Relationship {
+    /// `true` when one source has at most one target and vice versa.
+    pub fn is_one_to_one(&self) -> bool {
+        self.target_card.max == MaxCard::One && self.source_card.max == MaxCard::One
+    }
+
+    /// `true` when many sources share a target but each source has one
+    /// target (FK lives on the source side).
+    pub fn is_many_to_one(&self) -> bool {
+        self.target_card.max == MaxCard::One && self.source_card.max == MaxCard::Many
+    }
+
+    pub fn is_one_to_many(&self) -> bool {
+        self.target_card.max == MaxCard::Many && self.source_card.max == MaxCard::One
+    }
+
+    pub fn is_many_to_many(&self) -> bool {
+        self.target_card.max == MaxCard::Many && self.source_card.max == MaxCard::Many
+    }
+}
+
+/// Errors raised while building or validating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    DuplicateEntity(String),
+    DuplicateAttribute { entity: String, attribute: String },
+    DuplicateRelationship(String),
+    DuplicateRole(String),
+    UnknownEntity(String),
+    EmptyName,
+}
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::DuplicateEntity(e) => write!(f, "duplicate entity {e}"),
+            ErError::DuplicateAttribute { entity, attribute } => {
+                write!(f, "duplicate attribute {entity}.{attribute}")
+            }
+            ErError::DuplicateRelationship(r) => write!(f, "duplicate relationship {r}"),
+            ErError::DuplicateRole(r) => write!(f, "duplicate role name {r}"),
+            ErError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
+            ErError::EmptyName => write!(f, "empty name"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}
+
+/// A complete ER schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErModel {
+    entities: Vec<Entity>,
+    relationships: Vec<Relationship>,
+}
+
+impl ErModel {
+    pub fn new() -> ErModel {
+        ErModel::default()
+    }
+
+    /// Add an entity with its attributes.
+    pub fn add_entity(
+        &mut self,
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Result<EntityId, ErError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ErError::EmptyName);
+        }
+        if self.entity_by_name(&name).is_some() {
+            return Err(ErError::DuplicateEntity(name));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if a.name.is_empty() {
+                return Err(ErError::EmptyName);
+            }
+            if attributes[i + 1..]
+                .iter()
+                .any(|b| b.name.eq_ignore_ascii_case(&a.name))
+            {
+                return Err(ErError::DuplicateAttribute {
+                    entity: name,
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        self.entities.push(Entity { name, attributes });
+        Ok(EntityId(self.entities.len() - 1))
+    }
+
+    /// Add a binary relationship. Role names must be unique model-wide
+    /// because WebML unit specifications reference roles without
+    /// qualification.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_relationship(
+        &mut self,
+        name: impl Into<String>,
+        source: EntityId,
+        target: EntityId,
+        forward_role: impl Into<String>,
+        inverse_role: impl Into<String>,
+        source_card: Cardinality,
+        target_card: Cardinality,
+    ) -> Result<RelationshipId, ErError> {
+        let name = name.into();
+        let forward_role = forward_role.into();
+        let inverse_role = inverse_role.into();
+        if name.is_empty() || forward_role.is_empty() || inverse_role.is_empty() {
+            return Err(ErError::EmptyName);
+        }
+        if self.relationships.iter().any(|r| r.name == name) {
+            return Err(ErError::DuplicateRelationship(name));
+        }
+        for role in [&forward_role, &inverse_role] {
+            if forward_role == inverse_role
+                || self
+                    .relationships
+                    .iter()
+                    .any(|r| &r.forward_role == role || &r.inverse_role == role)
+            {
+                return Err(ErError::DuplicateRole(role.clone()));
+            }
+        }
+        self.entity(source)
+            .ok_or_else(|| ErError::UnknownEntity(format!("#{}", source.0)))?;
+        self.entity(target)
+            .ok_or_else(|| ErError::UnknownEntity(format!("#{}", target.0)))?;
+        self.relationships.push(Relationship {
+            name,
+            source,
+            target,
+            forward_role,
+            inverse_role,
+            source_card,
+            target_card,
+        });
+        Ok(RelationshipId(self.relationships.len() - 1))
+    }
+
+    pub fn entity(&self, id: EntityId) -> Option<&Entity> {
+        self.entities.get(id.0)
+    }
+
+    pub fn relationship(&self, id: RelationshipId) -> Option<&Relationship> {
+        self.relationships.get(id.0)
+    }
+
+    pub fn entity_by_name(&self, name: &str) -> Option<(EntityId, &Entity)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.name.eq_ignore_ascii_case(name))
+            .map(|(i, e)| (EntityId(i), e))
+    }
+
+    pub fn relationship_by_name(&self, name: &str) -> Option<(RelationshipId, &Relationship)> {
+        self.relationships
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name.eq_ignore_ascii_case(name))
+            .map(|(i, r)| (RelationshipId(i), r))
+    }
+
+    /// Resolve a role name to `(relationship, navigates_forward)`.
+    pub fn role(&self, role: &str) -> Option<(RelationshipId, &Relationship, bool)> {
+        for (i, r) in self.relationships.iter().enumerate() {
+            if r.forward_role.eq_ignore_ascii_case(role) {
+                return Some((RelationshipId(i), r, true));
+            }
+            if r.inverse_role.eq_ignore_ascii_case(role) {
+                return Some((RelationshipId(i), r, false));
+            }
+        }
+        None
+    }
+
+    pub fn entities(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
+        self.entities.iter().enumerate().map(|(i, e)| (EntityId(i), e))
+    }
+
+    pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &Relationship)> {
+        self.relationships
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationshipId(i), r))
+    }
+
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    pub fn relationship_count(&self) -> usize {
+        self.relationships.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> (ErModel, EntityId, EntityId, EntityId) {
+        let mut m = ErModel::new();
+        let volume = m
+            .add_entity(
+                "Volume",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("year", AttrType::Integer),
+                ],
+            )
+            .unwrap();
+        let issue = m
+            .add_entity(
+                "Issue",
+                vec![Attribute::new("number", AttrType::Integer).required()],
+            )
+            .unwrap();
+        let paper = m
+            .add_entity(
+                "Paper",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("abstract", AttrType::Text),
+                ],
+            )
+            .unwrap();
+        m.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        m.add_relationship(
+            "IssuePaper",
+            issue,
+            paper,
+            "IssueToPaper",
+            "PaperToIssue",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        (m, volume, issue, paper)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (m, volume, ..) = library();
+        assert_eq!(m.entity_count(), 3);
+        let (id, e) = m.entity_by_name("volume").unwrap();
+        assert_eq!(id, volume);
+        assert!(e.attribute("TITLE").is_some());
+        assert!(e.attribute("nope").is_none());
+    }
+
+    #[test]
+    fn role_resolution() {
+        let (m, ..) = library();
+        let (_, r, fwd) = m.role("VolumeToIssue").unwrap();
+        assert!(fwd);
+        assert_eq!(r.name, "VolumeIssue");
+        let (_, r, fwd) = m.role("issuetovolume").unwrap();
+        assert!(!fwd);
+        assert_eq!(r.name, "VolumeIssue");
+        assert!(m.role("nothing").is_none());
+    }
+
+    #[test]
+    fn duplicate_entity_rejected() {
+        let (mut m, ..) = library();
+        assert_eq!(
+            m.add_entity("VOLUME", vec![]),
+            Err(ErError::DuplicateEntity("VOLUME".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut m = ErModel::new();
+        let r = m.add_entity(
+            "E",
+            vec![
+                Attribute::new("a", AttrType::Integer),
+                Attribute::new("A", AttrType::String),
+            ],
+        );
+        assert!(matches!(r, Err(ErError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn duplicate_role_rejected() {
+        let (mut m, volume, issue, _) = library();
+        let r = m.add_relationship(
+            "Another",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "Other",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        );
+        assert!(matches!(r, Err(ErError::DuplicateRole(_))));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let (mut m, volume, ..) = library();
+        let r = m.add_relationship(
+            "Bad",
+            volume,
+            EntityId(99),
+            "F",
+            "I",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        );
+        assert!(matches!(r, Err(ErError::UnknownEntity(_))));
+    }
+
+    #[test]
+    fn cardinality_classification() {
+        let (m, ..) = library();
+        let (_, r) = m.relationship_by_name("VolumeIssue").unwrap();
+        // one volume has many issues; one issue has exactly one volume
+        assert!(r.is_one_to_many());
+        assert!(!r.is_many_to_one());
+        assert!(!r.is_many_to_many());
+        assert!(!r.is_one_to_one());
+    }
+
+    #[test]
+    fn cardinality_display() {
+        assert_eq!(Cardinality::ZERO_MANY.to_string(), "0:N");
+        assert_eq!(Cardinality::ONE_ONE.to_string(), "1:1");
+    }
+}

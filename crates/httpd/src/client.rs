@@ -1,0 +1,135 @@
+//! A small blocking HTTP client for tests, examples, and benches.
+
+use crate::http::HttpResponse;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Issue a GET request; `target` includes path and query.
+pub fn get(addr: SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", target, &[], None)
+}
+
+/// GET with extra headers (e.g. Cookie, User-Agent).
+pub fn get_with_headers(
+    addr: SocketAddr,
+    target: &str,
+    headers: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
+    request(addr, "GET", target, headers, None)
+}
+
+/// POST a form-urlencoded body.
+pub fn post_form(
+    addr: SocketAddr,
+    target: &str,
+    fields: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+        .collect();
+    request(
+        addr,
+        "POST",
+        target,
+        &[("Content-Type", "application/x-www-form-urlencoded")],
+        Some(body.join("&").into_bytes()),
+    )
+}
+
+fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: Option<Vec<u8>>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (n, v) in headers {
+        req.push_str(&format!("{n}: {v}\r\n"));
+    }
+    if let Some(b) = &body {
+        req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    if let Some(b) = &body {
+        stream.write_all(b)?;
+    }
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut impl Read) -> io::Result<HttpResponse> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(colon) = h.find(':') {
+            let name = h[..colon].trim().to_string();
+            let value = h[colon + 1..].trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_escapes() {
+        assert_eq!(encode("a b&c"), "a+b%26c");
+        assert_eq!(encode("plain-1.2_x~"), "plain-1.2_x~");
+    }
+}

@@ -1,0 +1,293 @@
+//! HTTP/1.1 message types and wire parsing.
+
+use bytes::BytesMut;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, Default)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Header lookup (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Cookie value by name.
+    pub fn cookie(&self, name: &str) -> Option<String> {
+        let cookies = self.header("cookie")?;
+        for part in cookies.split(';') {
+            let part = part.trim();
+            if let Some(eq) = part.find('=') {
+                if part[..eq].eq_ignore_ascii_case(name) {
+                    return Some(part[eq + 1..].to_string());
+                }
+            }
+        }
+        None
+    }
+
+    /// Query + form-encoded body parameters combined.
+    pub fn params(&self) -> Vec<(String, String)> {
+        let mut out = self.query.clone();
+        let is_form = self
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("application/x-www-form-urlencoded"));
+        if is_form {
+            if let Ok(body) = std::str::from_utf8(&self.body) {
+                out.extend(parse_query(body));
+            }
+        }
+        out
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn new(status: u16) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    pub fn html(status: u16, body: impl Into<String>) -> HttpResponse {
+        let body: String = body.into();
+        HttpResponse {
+            status,
+            headers: vec![("Content-Type".into(), "text/html; charset=utf-8".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> HttpResponse {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    pub fn find_header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            302 => "Found",
+            303 => "See Other",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto the wire (adds Content-Length and Connection:
+    /// close).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut buf = BytesMut::with_capacity(self.body.len() + 256);
+        buf.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status,
+                Self::status_text(self.status)
+            )
+            .as_bytes(),
+        );
+        for (n, v) in &self.headers {
+            buf.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        buf.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        buf.extend_from_slice(b"Connection: close\r\n\r\n");
+        buf.extend_from_slice(&self.body);
+        w.write_all(&buf)
+    }
+}
+
+/// Percent-decode one URL component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 3 <= bytes.len() => {
+                match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    Ok(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse `a=1&b=2` into decoded pairs.
+pub fn parse_query(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.find('=') {
+            Some(eq) => (
+                percent_decode(&pair[..eq]),
+                percent_decode(&pair[eq + 1..]),
+            ),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Read one request from a stream. Returns `None` on a cleanly closed
+/// connection before any bytes.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/").to_string();
+    if method.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty request line"));
+    }
+    let (path, query) = match target.find('?') {
+        Some(q) => (
+            percent_decode(&target[..q]),
+            parse_query(&target[q + 1..]),
+        ),
+        None => (percent_decode(&target), Vec::new()),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(colon) = h.find(':') {
+            let name = h[..colon].trim().to_string();
+            let value = h[colon + 1..].trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name, value));
+        }
+    }
+    // bound request bodies to keep the simulated container safe
+    let content_length = content_length.min(16 * 1024 * 1024);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /shop/detail?item=5&kw=web+ml HTTP/1.1\r\nHost: x\r\nUser-Agent: test\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/shop/detail");
+        assert_eq!(req.query[0], ("item".into(), "5".into()));
+        assert_eq!(req.query[1], ("kw".into(), "web ml".into()));
+        assert_eq!(req.header("user-agent"), Some("test"));
+    }
+
+    #[test]
+    fn parses_post_form_body() {
+        let raw = b"POST /op HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: 14\r\n\r\nname=Lap%20top";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        let params = req.params();
+        assert_eq!(params[0], ("name".into(), "Lap top".into()));
+    }
+
+    #[test]
+    fn cookie_lookup() {
+        let raw = b"GET / HTTP/1.1\r\nCookie: a=1; WEBMLSESSION=sess-42; b=2\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.cookie("WEBMLSESSION").as_deref(), Some("sess-42"));
+        assert_eq!(req.cookie("missing"), None);
+    }
+
+    #[test]
+    fn empty_stream_is_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut &raw[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let resp = HttpResponse::html(200, "<p>hi</p>").header("X-Test", "1");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 9\r\n"));
+        assert!(s.contains("X-Test: 1\r\n"));
+        assert!(s.ends_with("<p>hi</p>"));
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn parse_query_handles_flags() {
+        let q = parse_query("a=1&flag&b=");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[1], ("flag".into(), String::new()));
+    }
+}

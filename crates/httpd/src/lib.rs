@@ -1,0 +1,15 @@
+//! # httpd — a minimal HTTP/1.1 server and client substrate
+//!
+//! Plays the "HTTP server" box of the paper's Fig. 3: accepts browser
+//! requests and hands them to the servlet-container analogue (the `mvc`
+//! Controller, adapted by the `webratio` facade). One-request-per-
+//! connection, thread-pooled, bounded bodies — deliberately small, because
+//! the experiments measure the architecture above it, not socket
+//! performance.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use http::{parse_query, percent_decode, HttpRequest, HttpResponse};
+pub use server::{Handler, HttpServer};

@@ -1,0 +1,173 @@
+//! A minimal threaded HTTP/1.1 server — the "HTTP server + servlet
+//! container" box of Fig. 3, sized for examples, tests, and benches.
+
+use crate::http::{read_request, HttpRequest, HttpResponse};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The application callback servicing requests.
+pub type Handler = Arc<dyn Fn(HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// A running server; dropping it (or calling [`HttpServer::stop`]) shuts
+/// it down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    pub requests_served: Arc<AtomicU64>,
+}
+
+impl HttpServer {
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and serve with a pool of
+    /// `workers` threads.
+    pub fn start(port: u16, workers: usize, handler: Handler) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let running = Arc::new(AtomicBool::new(true));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
+
+        let mut worker_handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let counter = Arc::clone(&requests_served);
+            worker_handles.push(std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    let _ = stream.set_nodelay(true);
+                    match read_request(&mut stream) {
+                        Ok(Some(req)) => {
+                            let resp = handler(req);
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            let _ = resp.write_to(&mut stream);
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            let _ = HttpResponse::html(400, "<h1>400</h1>").write_to(&mut stream);
+                        }
+                    }
+                }
+            }));
+        }
+
+        let accept_running = Arc::clone(&running);
+        let accept_thread = std::thread::spawn(move || {
+            while accept_running.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // dropping tx ends the workers
+        });
+
+        Ok(HttpServer {
+            addr,
+            running,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+            requests_served,
+        })
+    }
+
+    /// The bound address (use this to build client URLs).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: HttpRequest| {
+            let body = format!(
+                "method={} path={} q={:?}",
+                req.method, req.path, req.query
+            );
+            HttpResponse::html(200, body)
+        })
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = HttpServer::start(0, 2, echo_handler()).unwrap();
+        let addr = server.addr();
+        let resp = client::get(addr, "/hello?x=1").unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("path=/hello"));
+        assert!(body.contains("x"));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpServer::start(0, 4, echo_handler()).unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                for j in 0..5 {
+                    let resp = client::get(addr, &format!("/t{i}/{j}")).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served.load(Ordering::Relaxed), 40);
+        server.stop();
+    }
+
+    #[test]
+    fn post_body_reaches_handler() {
+        let handler: Handler = Arc::new(|req: HttpRequest| {
+            let params = req.params();
+            HttpResponse::html(200, format!("{params:?}"))
+        });
+        let server = HttpServer::start(0, 1, handler).unwrap();
+        let resp = client::post_form(server.addr(), "/op", &[("name", "Box")]).unwrap();
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("name"));
+        assert!(body.contains("Box"));
+        server.stop();
+    }
+}

@@ -1,0 +1,726 @@
+//! The Controller — the C of MVC-2 (Fig. 3/4).
+//!
+//! "The request is intercepted by the Controller, which is responsible of
+//! deciding which action should be performed for servicing it." Dispatch
+//! is driven entirely by the generated action mappings: page requests run
+//! the generic page service and render the view; operation requests run
+//! the generic operation service and forward along the OK/KO mapping.
+//!
+//! The controller also hosts the §6 two-level cache (bean cache inside the
+//! business tier, fragment cache in front of markup generation) and the §5
+//! presentation pipeline (compile-time or runtime styling with per-device
+//! rule sets).
+
+use crate::appserver::{AppServerTier, BusinessTier, InProcessTier, TierContext};
+use crate::beans::UnitBean;
+use crate::error::{MvcError, Result};
+use crate::operations::OperationEngine;
+use crate::page::PageResult;
+use crate::render::{navigation_html, unit_content};
+use crate::request::{WebRequest, WebResponse};
+use crate::services::{fingerprint, ParamMap, ServiceRegistry};
+use crate::session::SessionManager;
+use descriptors::{ActionKind, DescriptorSet, PageDescriptor};
+use presentation::{render_template, DeviceRegistry, RuleSet, StyledTemplate, TemplateSkeleton};
+use relstore::{Database, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use webcache::{BeanCache, FragmentCache, FragmentKey};
+
+/// When presentation rules run (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StylingMode {
+    /// Rules applied once at build time; fastest per request.
+    #[default]
+    CompileTime,
+    /// Rules applied per request; enables device adaptation of templates
+    /// deployed as skeletons.
+    Runtime,
+}
+
+/// Runtime configuration of a deployed application.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Enable the business-tier bean cache (§6, level 2).
+    pub bean_cache: bool,
+    pub bean_cache_capacity: usize,
+    /// Enable the ESI-like fragment cache (§6, level 1).
+    pub fragment_cache: bool,
+    pub fragment_ttl: Duration,
+    pub fragment_capacity: usize,
+    pub styling: StylingMode,
+    /// `Some(n)`: deploy business services in the application server with
+    /// `n` clones (Fig. 6); `None`: in-process.
+    pub app_server_clones: Option<usize>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions {
+            bean_cache: true,
+            bean_cache_capacity: 4096,
+            fragment_cache: false,
+            fragment_ttl: Duration::from_secs(1),
+            fragment_capacity: 4096,
+            styling: StylingMode::CompileTime,
+            app_server_clones: None,
+        }
+    }
+}
+
+/// Request-handling counters.
+#[derive(Debug, Default)]
+pub struct ControllerMetrics {
+    pub requests: AtomicU64,
+    pub page_requests: AtomicU64,
+    pub operation_requests: AtomicU64,
+    pub forwards: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+/// The front controller of a deployed application.
+pub struct Controller {
+    set: Arc<DescriptorSet>,
+    skeletons: HashMap<String, TemplateSkeleton>,
+    devices: DeviceRegistry,
+    compiled: HashMap<(String, String), StyledTemplate>,
+    styling: StylingMode,
+    db: Arc<Database>,
+    pub sessions: SessionManager,
+    pub ops: OperationEngine,
+    bean_cache: Option<Arc<BeanCache<UnitBean>>>,
+    fragment_cache: Option<FragmentCache>,
+    tier: Arc<dyn BusinessTier>,
+    app_server: Option<Arc<AppServerTier>>,
+    pub metrics: ControllerMetrics,
+}
+
+/// Best-effort typed view of a request parameter string.
+pub fn to_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Integer(i);
+    }
+    if let Ok(r) = s.parse::<f64>() {
+        return Value::Real(r);
+    }
+    Value::Text(s.to_string())
+}
+
+impl Controller {
+    /// Deploy an application: descriptors + skeletons + a database with
+    /// the generated schema already installed.
+    pub fn new(
+        set: DescriptorSet,
+        skeletons: Vec<TemplateSkeleton>,
+        db: Arc<Database>,
+        options: RuntimeOptions,
+    ) -> Controller {
+        Controller::with_registry(
+            set,
+            skeletons,
+            db,
+            options,
+            ServiceRegistry::standard(),
+            DeviceRegistry::standard(),
+        )
+    }
+
+    /// Full-control constructor: custom services (§6/§7) and device rules.
+    pub fn with_registry(
+        set: DescriptorSet,
+        skeletons: Vec<TemplateSkeleton>,
+        db: Arc<Database>,
+        options: RuntimeOptions,
+        registry: ServiceRegistry,
+        devices: DeviceRegistry,
+    ) -> Controller {
+        let set = Arc::new(set);
+        let registry = Arc::new(registry);
+        let bean_cache = options
+            .bean_cache
+            .then(|| Arc::new(BeanCache::new(options.bean_cache_capacity)));
+        let fragment_cache = options
+            .fragment_cache
+            .then(|| FragmentCache::new(options.fragment_capacity, options.fragment_ttl));
+        let skeletons: HashMap<String, TemplateSkeleton> = skeletons
+            .into_iter()
+            .map(|s| (s.page.clone(), s))
+            .collect();
+
+        // compile-time styling: every (rule set, page) pair up front
+        let mut compiled = HashMap::new();
+        if options.styling == StylingMode::CompileTime {
+            for rs in devices.rule_sets() {
+                for (page, sk) in &skeletons {
+                    compiled.insert((rs.name.clone(), page.clone()), rs.apply(sk));
+                }
+            }
+        }
+
+        let ctx = TierContext {
+            set: Arc::clone(&set),
+            registry: Arc::clone(&registry),
+            db: Arc::clone(&db),
+            bean_cache: bean_cache.clone(),
+        };
+        let (tier, app_server): (Arc<dyn BusinessTier>, Option<Arc<AppServerTier>>) =
+            match options.app_server_clones {
+                Some(n) => {
+                    let t = AppServerTier::new(ctx, n);
+                    (Arc::clone(&t) as Arc<dyn BusinessTier>, Some(t))
+                }
+                None => (Arc::new(InProcessTier { ctx }), None),
+            };
+
+        Controller {
+            set,
+            skeletons,
+            devices,
+            compiled,
+            styling: options.styling,
+            db,
+            sessions: SessionManager::new(),
+            ops: OperationEngine::new(),
+            bean_cache,
+            fragment_cache,
+            tier,
+            app_server,
+            metrics: ControllerMetrics::default(),
+        }
+    }
+
+    pub fn descriptor_set(&self) -> &DescriptorSet {
+        &self.set
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn bean_cache(&self) -> Option<&BeanCache<UnitBean>> {
+        self.bean_cache.as_deref()
+    }
+
+    pub fn fragment_cache(&self) -> Option<&FragmentCache> {
+        self.fragment_cache.as_ref()
+    }
+
+    /// The elastic application-server pool, when deployed that way.
+    pub fn app_server(&self) -> Option<&Arc<AppServerTier>> {
+        self.app_server.as_ref()
+    }
+
+    /// Deployment name of the business tier.
+    pub fn tier_name(&self) -> &'static str {
+        self.tier.name()
+    }
+
+    /// Service a request end to end.
+    pub fn handle(&self, req: &WebRequest) -> WebResponse {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let (sid, _, created) = self.sessions.get_or_create(req.session.as_deref());
+        let mut response = match self.dispatch(&req.path, &req.params, &sid, &req.user_agent, 0) {
+            Ok(r) => r,
+            Err(MvcError::NotFound(p)) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                WebResponse::not_found(&p)
+            }
+            Err(MvcError::Unauthorized) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                WebResponse::error(401, "authentication required for this site view")
+            }
+            Err(e) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                WebResponse::error(500, &e.to_string())
+            }
+        };
+        if created {
+            response.set_session = Some(sid);
+        }
+        response
+    }
+
+    fn dispatch(
+        &self,
+        path: &str,
+        params: &BTreeMap<String, String>,
+        sid: &str,
+        user_agent: &str,
+        depth: usize,
+    ) -> Result<WebResponse> {
+        if depth > 8 {
+            return Err(MvcError::Forward(format!(
+                "forwarding loop detected at {path}"
+            )));
+        }
+        let mapping = self
+            .set
+            .controller
+            .resolve(path)
+            .ok_or_else(|| MvcError::NotFound(path.to_string()))?;
+        match &mapping.kind {
+            ActionKind::Page { page, .. } => {
+                self.metrics.page_requests.fetch_add(1, Ordering::Relaxed);
+                let desc = self
+                    .set
+                    .page(page)
+                    .ok_or_else(|| MvcError::MissingDescriptor(page.clone()))?;
+                // protected site views require an authenticated session
+                if desc.protected {
+                    let authed = self
+                        .sessions
+                        .get(sid)
+                        .is_some_and(|s| s.lock().user.is_some());
+                    if !authed {
+                        return Err(MvcError::Unauthorized);
+                    }
+                }
+                self.render_page(desc, params, sid, user_agent)
+            }
+            ActionKind::Operation {
+                operation,
+                ok_forward,
+                ko_forward,
+            } => {
+                self.metrics
+                    .operation_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let desc = self
+                    .set
+                    .operation(operation)
+                    .ok_or_else(|| MvcError::MissingDescriptor(operation.clone()))?;
+                let mut op_params: ParamMap = params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), to_value(v)))
+                    .collect();
+                // session context is visible to operations
+                if let Some(session) = self.sessions.get(sid) {
+                    let s = session.lock();
+                    if let Some(u) = s.user {
+                        op_params.insert("session_user".into(), Value::Integer(u));
+                    }
+                }
+                let result = self.ops.execute(desc, &op_params, &self.db, &self.sessions, sid)?;
+                // §6: operations automatically invalidate affected beans
+                if result.ok {
+                    if let Some(cache) = &self.bean_cache {
+                        for table in &desc.invalidates {
+                            cache.invalidate_entity(table);
+                        }
+                    }
+                }
+                let forward = if result.ok || ko_forward.is_empty() {
+                    ok_forward.as_str()
+                } else {
+                    ko_forward.as_str()
+                };
+                if forward.is_empty() {
+                    return Err(MvcError::Forward(format!(
+                        "operation {} has no forward target",
+                        desc.id
+                    )));
+                }
+                self.metrics.forwards.fetch_add(1, Ordering::Relaxed);
+                // internal forward (RequestDispatcher-style): original
+                // parameters plus operation outputs
+                let mut next = params.clone();
+                for (k, v) in &result.outputs {
+                    next.insert(k.clone(), v.render());
+                }
+                if let Some(m) = &result.message {
+                    next.insert("message".into(), m.clone());
+                }
+                self.dispatch(forward, &next, sid, user_agent, depth + 1)
+            }
+        }
+    }
+
+    fn rule_set_for(&self, user_agent: &str) -> Option<&RuleSet> {
+        self.devices.select(user_agent)
+    }
+
+    fn render_page(
+        &self,
+        page: &PageDescriptor,
+        raw_params: &BTreeMap<String, String>,
+        sid: &str,
+        user_agent: &str,
+    ) -> Result<WebResponse> {
+        let request_params: ParamMap = raw_params
+            .iter()
+            .map(|(k, v)| (k.clone(), to_value(v)))
+            .collect();
+        let session_vars: ParamMap = self
+            .sessions
+            .get(sid)
+            .map(|s| s.lock().vars.clone().into_iter().collect())
+            .unwrap_or_default();
+
+        // Model: compute the unit beans in the business tier
+        let result: PageResult = self
+            .tier
+            .compute(&page.id, &request_params, &session_vars)?;
+
+        // View: style + render
+        let rules = self
+            .rule_set_for(user_agent)
+            .cloned()
+            .unwrap_or_else(|| RuleSet::default_desktop("default"));
+        let styled_owned;
+        let styled: &StyledTemplate = match self.styling {
+            StylingMode::CompileTime => {
+                match self.compiled.get(&(rules.name.clone(), page.id.clone())) {
+                    Some(t) => t,
+                    None => {
+                        // skeleton might have been added later; style now
+                        let sk = self
+                            .skeletons
+                            .get(&page.id)
+                            .ok_or_else(|| MvcError::MissingDescriptor(page.template.clone()))?;
+                        styled_owned = rules.apply(sk);
+                        &styled_owned
+                    }
+                }
+            }
+            StylingMode::Runtime => {
+                let sk = self
+                    .skeletons
+                    .get(&page.id)
+                    .ok_or_else(|| MvcError::MissingDescriptor(page.template.clone()))?;
+                styled_owned = rules.apply(sk);
+                &styled_owned
+            }
+        };
+
+        let nav = navigation_html(&self.set, &page.site_view, &page.id);
+        let params_fp = fingerprint(&request_params);
+        let mut render_err: Option<MvcError> = None;
+        let html = render_template(
+            styled,
+            &mut |unit_id| {
+                // level 1: fragment cache (markup only; queries already ran)
+                if let Some(fc) = &self.fragment_cache {
+                    let key = FragmentKey::new(&page.template, unit_id, &params_fp);
+                    if let Some(markup) = fc.get(&key) {
+                        return (*markup).clone();
+                    }
+                }
+                let Some(desc) = self.set.unit(unit_id) else {
+                    render_err = Some(MvcError::MissingDescriptor(unit_id.to_string()));
+                    return String::new();
+                };
+                let Some(bean) = result.beans.get(unit_id) else {
+                    return String::new();
+                };
+                let content = unit_content(desc, page, bean, &request_params);
+                let markup = rules.render_unit(&content);
+                if let Some(fc) = &self.fragment_cache {
+                    fc.put(
+                        FragmentKey::new(&page.template, unit_id, &params_fp),
+                        markup.clone(),
+                    );
+                }
+                markup
+            },
+            &nav,
+        );
+        if let Some(e) = render_err {
+            return Err(e);
+        }
+        Ok(WebResponse::html(html))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descriptors::{
+        ActionMapping, ControllerConfig, OperationDescriptor, ParamBinding, QuerySpec,
+        UnitDescriptor, UnitLinkSpec,
+    };
+    use relstore::Params;
+
+    /// A small two-page application with a create operation.
+    fn deploy(options: RuntimeOptions) -> Controller {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE product (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL);",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO product (name) VALUES ('Laptop'), ('Monitor')",
+            &Params::new(),
+        )
+        .unwrap();
+
+        let list_unit = UnitDescriptor {
+            id: "unit0".into(),
+            name: "Products".into(),
+            unit_type: "index".into(),
+            page: "page0".into(),
+            entity_table: Some("product".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql: "SELECT t.oid, t.name FROM product t ORDER BY t.oid".into(),
+                inputs: vec![],
+                bean: vec![],
+            }],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: "GenericIndexService".into(),
+            depends_on: vec!["product".into()],
+            cache: Some(descriptors::CacheDescriptor {
+                ttl_ms: None,
+                invalidate_on_write: true,
+            }),
+        };
+        let detail_unit = UnitDescriptor {
+            id: "unit1".into(),
+            name: "Product".into(),
+            unit_type: "data".into(),
+            page: "page1".into(),
+            entity_table: Some("product".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql: "SELECT t.oid, t.name FROM product t WHERE t.oid = :item".into(),
+                inputs: vec!["item".into()],
+                bean: vec![],
+            }],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: "GenericDataService".into(),
+            depends_on: vec!["product".into()],
+            cache: None,
+        };
+        let list_page = PageDescriptor {
+            id: "page0".into(),
+            name: "Products".into(),
+            site_view: "shop".into(),
+            url: "/shop/products".into(),
+            units: vec!["unit0".into()],
+            edges: vec![],
+            links: vec![UnitLinkSpec {
+                from: "unit0".into(),
+                target_url: "/shop/detail".into(),
+                label: "open".into(),
+                params: vec![ParamBinding {
+                    name: "item".into(),
+                    source_kind: "oid".into(),
+                    source: String::new(),
+                }],
+            }],
+            request_params: vec![],
+            layout: "single-column".into(),
+            template: "templates/shop/products.jsp".into(),
+            landmark: true,
+            protected: false,
+        };
+        let detail_page = PageDescriptor {
+            id: "page1".into(),
+            name: "Detail".into(),
+            site_view: "shop".into(),
+            url: "/shop/detail".into(),
+            units: vec!["unit1".into()],
+            edges: vec![],
+            links: vec![],
+            request_params: vec!["item".into()],
+            layout: "single-column".into(),
+            template: "templates/shop/detail.jsp".into(),
+            landmark: false,
+            protected: false,
+        };
+        let create_op = OperationDescriptor {
+            id: "op0".into(),
+            name: "CreateProduct".into(),
+            op_type: "create".into(),
+            url: "/op/op0_createproduct".into(),
+            entity_table: Some("product".into()),
+            role: None,
+            inputs: vec!["name".into()],
+            sql: Some("INSERT INTO product (name) VALUES (:name)".into()),
+            ok_forward: Some("/shop/products".into()),
+            ko_forward: Some("/shop/products".into()),
+            invalidates: vec!["product".into()],
+            service: "GenericOperationService".into(),
+        };
+        let controller_cfg = ControllerConfig {
+            mappings: vec![
+                ActionMapping {
+                    path: "/shop/products".into(),
+                    kind: ActionKind::Page {
+                        page: "page0".into(),
+                        view: "templates/shop/products.jsp".into(),
+                    },
+                },
+                ActionMapping {
+                    path: "/shop/detail".into(),
+                    kind: ActionKind::Page {
+                        page: "page1".into(),
+                        view: "templates/shop/detail.jsp".into(),
+                    },
+                },
+                ActionMapping {
+                    path: "/op/op0_createproduct".into(),
+                    kind: ActionKind::Operation {
+                        operation: "op0".into(),
+                        ok_forward: "/shop/products".into(),
+                        ko_forward: "/shop/products".into(),
+                    },
+                },
+            ],
+        };
+        let set = DescriptorSet {
+            units: vec![list_unit, detail_unit],
+            pages: vec![list_page.clone(), detail_page],
+            operations: vec![create_op],
+            controller: controller_cfg,
+        };
+        let skeletons = vec![
+            TemplateSkeleton::grid(
+                "page0",
+                "Products",
+                "single-column",
+                &[("unit0".into(), "index".into())],
+                1,
+            ),
+            TemplateSkeleton::grid(
+                "page1",
+                "Detail",
+                "single-column",
+                &[("unit1".into(), "data".into())],
+                1,
+            ),
+        ];
+        Controller::new(set, skeletons, db, options)
+    }
+
+    #[test]
+    fn page_request_renders_html() {
+        let c = deploy(RuntimeOptions::default());
+        let resp = c.handle(&WebRequest::get("/shop/products"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("Laptop"));
+        assert!(resp.body.contains("Monitor"));
+        assert!(resp.body.contains("href=\"/shop/detail?item=1\""));
+        assert!(resp.body.starts_with("<!DOCTYPE html>"));
+        assert!(resp.set_session.is_some());
+    }
+
+    #[test]
+    fn detail_page_uses_request_param() {
+        let c = deploy(RuntimeOptions::default());
+        let resp = c.handle(&WebRequest::get("/shop/detail").with_param("item", "2"));
+        assert!(resp.body.contains("Monitor"));
+        assert!(!resp.body.contains("Laptop"));
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let c = deploy(RuntimeOptions::default());
+        let resp = c.handle(&WebRequest::get("/nope"));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn operation_executes_and_forwards() {
+        let c = deploy(RuntimeOptions::default());
+        let resp = c.handle(
+            &WebRequest::get("/op/op0_createproduct").with_param("name", "Keyboard"),
+        );
+        assert_eq!(resp.status, 200);
+        // forwarded to the products page, which now shows the new product
+        assert!(resp.body.contains("Keyboard"));
+        assert_eq!(c.metrics.forwards.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn operation_invalidates_bean_cache() {
+        let c = deploy(RuntimeOptions::default());
+        // prime the cache
+        c.handle(&WebRequest::get("/shop/products"));
+        c.handle(&WebRequest::get("/shop/products"));
+        let hits_before = c.bean_cache().unwrap().stats().hits;
+        assert!(hits_before > 0);
+        // the operation must invalidate, so the next page view recomputes
+        c.handle(&WebRequest::get("/op/op0_createproduct").with_param("name", "Mouse"));
+        let resp = c.handle(&WebRequest::get("/shop/products"));
+        assert!(resp.body.contains("Mouse"), "stale cache served: {}", resp.body);
+    }
+
+    #[test]
+    fn operation_ko_with_message() {
+        let c = deploy(RuntimeOptions::default());
+        // NULL name violates NOT NULL → KO forward with message param
+        let resp = c.handle(&WebRequest::get("/op/op0_createproduct"));
+        // missing input is an engine error (500), not KO
+        assert_eq!(resp.status, 500);
+    }
+
+    #[test]
+    fn session_cookie_round_trip() {
+        let c = deploy(RuntimeOptions::default());
+        let r1 = c.handle(&WebRequest::get("/shop/products"));
+        let sid = r1.set_session.unwrap();
+        let r2 = c.handle(&WebRequest::get("/shop/products").with_session(&sid));
+        assert!(r2.set_session.is_none()); // existing session reused
+    }
+
+    #[test]
+    fn fragment_cache_serves_markup() {
+        let mut opts = RuntimeOptions {
+            fragment_cache: true,
+            bean_cache: false,
+            ..RuntimeOptions::default()
+        };
+        opts.fragment_ttl = Duration::from_secs(60);
+        let c = deploy(opts);
+        c.handle(&WebRequest::get("/shop/products"));
+        c.handle(&WebRequest::get("/shop/products"));
+        let stats = c.fragment_cache().unwrap().stats();
+        assert_eq!(stats.hits, 1);
+        // the §6 limitation: fragment hits do NOT spare queries
+        let q_before = c.database().statements_executed();
+        c.handle(&WebRequest::get("/shop/products"));
+        assert!(c.database().statements_executed() > q_before);
+    }
+
+    #[test]
+    fn runtime_styling_adapts_to_device() {
+        let opts = RuntimeOptions {
+            styling: StylingMode::Runtime,
+            ..RuntimeOptions::default()
+        };
+        let c = deploy(opts);
+        let desktop = c.handle(&WebRequest::get("/shop/products"));
+        let pda = c.handle(
+            &WebRequest::get("/shop/products").with_user_agent("FancyPhone Mobile/2.0"),
+        );
+        assert!(desktop.body.contains("banner"));
+        assert!(!pda.body.contains("banner"));
+        assert!(pda.body.contains("Laptop")); // same content, other chrome
+    }
+
+    #[test]
+    fn app_server_deployment_serves_pages() {
+        let opts = RuntimeOptions {
+            app_server_clones: Some(2),
+            ..RuntimeOptions::default()
+        };
+        let c = deploy(opts);
+        assert_eq!(c.tier_name(), "app-server");
+        let resp = c.handle(&WebRequest::get("/shop/products"));
+        assert!(resp.body.contains("Laptop"));
+        assert_eq!(c.app_server().unwrap().clones(), 2);
+    }
+
+    #[test]
+    fn to_value_types_params() {
+        assert_eq!(to_value("5"), Value::Integer(5));
+        assert_eq!(to_value("2.5"), Value::Real(2.5));
+        assert_eq!(to_value("abc"), Value::Text("abc".into()));
+    }
+}

@@ -1,0 +1,75 @@
+//! Runtime errors of the MVC engine.
+
+use std::fmt;
+
+/// Any failure while servicing a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvcError {
+    /// No action mapping for the request path.
+    NotFound(String),
+    /// A descriptor referenced by a mapping is missing.
+    MissingDescriptor(String),
+    /// A required request parameter was absent.
+    MissingParameter { unit: String, param: String },
+    /// The data tier failed.
+    Database(String),
+    /// Server-side form validation failed.
+    Validation(String),
+    /// No registered service for a descriptor's component name.
+    NoService(String),
+    /// Authentication required (protected site view).
+    Unauthorized,
+    /// The application-server boundary failed (Fig. 6 deployment).
+    Boundary(String),
+    /// Operation forwarding loop or missing forward.
+    Forward(String),
+}
+
+impl fmt::Display for MvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvcError::NotFound(p) => write!(f, "no action mapping for {p}"),
+            MvcError::MissingDescriptor(d) => write!(f, "missing descriptor {d}"),
+            MvcError::MissingParameter { unit, param } => {
+                write!(f, "unit {unit}: missing parameter {param}")
+            }
+            MvcError::Database(e) => write!(f, "database error: {e}"),
+            MvcError::Validation(e) => write!(f, "validation failed: {e}"),
+            MvcError::NoService(s) => write!(f, "no service registered as {s}"),
+            MvcError::Unauthorized => write!(f, "authentication required"),
+            MvcError::Boundary(e) => write!(f, "application-server boundary: {e}"),
+            MvcError::Forward(e) => write!(f, "forwarding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvcError {}
+
+impl From<relstore::Error> for MvcError {
+    fn from(e: relstore::Error) -> MvcError {
+        MvcError::Database(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, MvcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = MvcError::MissingParameter {
+            unit: "unit5".into(),
+            param: "volume".into(),
+        };
+        assert!(e.to_string().contains("unit5"));
+        assert!(e.to_string().contains("volume"));
+    }
+
+    #[test]
+    fn relstore_errors_convert() {
+        let e: MvcError = relstore::Error::UnknownTable("x".into()).into();
+        assert!(matches!(e, MvcError::Database(_)));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mvc — the MVC-2 runtime of the WebRatio architecture
+//!
+//! Implements Figs. 3, 4, 5 and 6 of the paper:
+//!
+//! * [`controller`] — the front Controller: action-mapping dispatch, page
+//!   rendering, operation execution with OK/KO forwarding, the §6
+//!   two-level cache, and §5 compile-time vs runtime styling;
+//! * [`page`] — the **single generic page service** (`computePage()`),
+//!   parametric in the page descriptor: topological unit computation with
+//!   parameter propagation;
+//! * [`services`] — the **generic unit services** (data, index, multidata,
+//!   multichoice, scroller, entry, hierarchy) plus the plug-in/override
+//!   registry;
+//! * [`operations`] — the generic operation service (create, delete,
+//!   modify, connect, disconnect, login, logout, sendmail, custom);
+//! * [`beans`] — unit beans, the Model-side state objects, with JSON
+//!   marshalling for the app-server boundary;
+//! * [`appserver`] — Fig. 6: business services behind a serialisation
+//!   boundary on an elastic clone pool, vs in-process execution;
+//! * [`render`] — bean → [`presentation::UnitContent`] conversion (the
+//!   custom-tag layer) and landmark navigation;
+//! * [`session`], [`request`], [`error`] — supporting types.
+
+pub mod appserver;
+pub mod beans;
+pub mod controller;
+pub mod error;
+pub mod operations;
+pub mod page;
+pub mod render;
+pub mod request;
+pub mod services;
+pub mod session;
+
+pub use appserver::{AppServerTier, BusinessTier, InProcessTier, TierContext};
+pub use beans::{BeanRow, NestedBeanRow, UnitBean};
+pub use controller::{to_value, Controller, ControllerMetrics, RuntimeOptions, StylingMode};
+pub use error::{MvcError, Result};
+pub use operations::{Mail, OpResult, OperationEngine, OperationHandler};
+pub use page::{compute_page, PageResult};
+pub use render::{navigation_html, unit_content};
+pub use request::{build_url, url_decode, url_encode, WebRequest, WebResponse};
+pub use services::{fingerprint, ParamMap, ServiceRegistry, UnitService};
+pub use session::{Session, SessionManager};

@@ -1,0 +1,397 @@
+//! The single generic page service.
+//!
+//! §3: "The page service is a business function supporting the computation
+//! of a page. It exposes a single function computePage(), invoked to carry
+//! out the parameter propagation and unit computation process. The page
+//! service updates the state objects in the Model: at the end of the page
+//! service execution, all the JavaBeans storing the result of the data
+//! retrieval queries of the page units (called unit beans) are available
+//! to the View."
+//!
+//! §4 replaces one such class per page with this single implementation,
+//! parametric in the [`PageDescriptor`]. §6's bean cache slots in here:
+//! cached units skip their queries entirely.
+
+use crate::beans::UnitBean;
+use crate::error::Result;
+use crate::services::{fingerprint, ParamMap, ServiceRegistry};
+use descriptors::{DescriptorSet, PageDescriptor};
+use relstore::{Database, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use webcache::{BeanCache, BeanKey};
+
+/// Outcome of computing a page: one bean per unit, plus cache telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct PageResult {
+    pub beans: HashMap<String, Arc<UnitBean>>,
+    /// Units served from the bean cache.
+    pub cache_hits: usize,
+    /// Units computed against the database.
+    pub computed: usize,
+}
+
+/// The content of a unit whose selector context is unavailable.
+fn empty_bean(desc: &descriptors::UnitDescriptor) -> UnitBean {
+    match desc.unit_type.as_str() {
+        "data" => UnitBean::Single(None),
+        "hierarchy" => UnitBean::Nested(Vec::new()),
+        "entry" => UnitBean::Form,
+        _ => UnitBean::Rows {
+            rows: Vec::new(),
+            total: 0,
+        },
+    }
+}
+
+/// Compute every unit of `page` in descriptor order (already topological),
+/// propagating parameters along the page's dataflow edges.
+pub fn compute_page(
+    set: &DescriptorSet,
+    page: &PageDescriptor,
+    request_params: &ParamMap,
+    session_vars: &ParamMap,
+    registry: &ServiceRegistry,
+    db: &Database,
+    bean_cache: Option<&BeanCache<UnitBean>>,
+) -> Result<PageResult> {
+    let mut result = PageResult::default();
+    for unit_id in &page.units {
+        let Some(desc) = set.unit(unit_id) else {
+            return Err(crate::error::MvcError::MissingDescriptor(unit_id.clone()));
+        };
+        // assemble the unit's parameters: request < session < edges
+        let mut params: ParamMap = request_params.clone();
+        for (k, v) in session_vars {
+            params.insert(format!("session_{k}"), v.clone());
+        }
+        for edge in page.edges_into(unit_id) {
+            let Some(source_bean) = result.beans.get(&edge.from) else {
+                continue; // source not computed (validator prevents this)
+            };
+            for p in &edge.params {
+                let value = match p.source_kind.as_str() {
+                    "oid" => source_bean.propagated_oid().map(Value::Integer),
+                    "attribute" => source_bean.propagated_attribute(&p.source),
+                    "constant" => Some(Value::Text(p.source.clone())),
+                    "session" => session_vars.get(&p.source).cloned(),
+                    // fields flow through the request, not the model
+                    _ => None,
+                };
+                if let Some(v) = value {
+                    params.insert(p.name.clone(), v);
+                }
+            }
+        }
+
+        // §6 bean cache: key on the parameters the unit actually consumes
+        let cacheable = desc.cache.is_some() && bean_cache.is_some();
+        let key = if cacheable {
+            let mut relevant = ParamMap::new();
+            for q in &desc.queries {
+                for input in &q.inputs {
+                    if let Some(v) = params.get(input) {
+                        relevant.insert(input.clone(), v.clone());
+                    }
+                }
+            }
+            Some(BeanKey::new(unit_id.clone(), fingerprint(&relevant)))
+        } else {
+            None
+        };
+        if let (Some(cache), Some(key)) = (bean_cache, key.as_ref()) {
+            if let Some(bean) = cache.get(key) {
+                result.cache_hits += 1;
+                result.beans.insert(unit_id.clone(), bean);
+                continue;
+            }
+        }
+
+        let service = registry.resolve(desc)?;
+        // WebML semantics: a unit whose input context is missing (empty
+        // source unit, absent request parameter) publishes no content
+        // rather than failing the page
+        let bean = match service.compute(desc, &params, db) {
+            Ok(b) => b,
+            Err(crate::error::MvcError::MissingParameter { .. }) => empty_bean(desc),
+            Err(e) => return Err(e),
+        };
+        result.computed += 1;
+        let bean = match (bean_cache, key) {
+            (Some(cache), Some(key)) => {
+                let ttl = desc
+                    .cache
+                    .as_ref()
+                    .and_then(|c| c.ttl_ms)
+                    .map(Duration::from_millis);
+                cache.put(key, bean, &desc.depends_on, ttl)
+            }
+            _ => Arc::new(bean),
+        };
+        result.beans.insert(unit_id.clone(), bean);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descriptors::{
+        CacheDescriptor, ControllerConfig, ParamBinding, QuerySpec, TransportEdge, UnitDescriptor,
+    };
+    use relstore::Params;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT);
+             CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER, volume_oid INTEGER);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO volume (title) VALUES ('V1'), ('V2')", &Params::new())
+            .unwrap();
+        db.execute(
+            "INSERT INTO issue (number, volume_oid) VALUES (1, 1), (2, 1), (1, 2)",
+            &Params::new(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn unit(id: &str, unit_type: &str, sql: &str, inputs: &[&str]) -> UnitDescriptor {
+        UnitDescriptor {
+            id: id.into(),
+            name: id.into(),
+            unit_type: unit_type.into(),
+            page: "page0".into(),
+            entity_table: Some("volume".into()),
+            queries: vec![QuerySpec {
+                name: "main".into(),
+                sql: sql.into(),
+                inputs: inputs.iter().map(|s| s.to_string()).collect(),
+                bean: vec![],
+            }],
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: String::new(),
+            depends_on: vec!["volume".into()],
+            cache: None,
+        }
+    }
+
+    fn page_with_edge() -> (DescriptorSet, PageDescriptor) {
+        let u1 = unit(
+            "unit0",
+            "data",
+            "SELECT t.oid, t.title FROM volume t WHERE t.oid = :volume",
+            &["volume"],
+        );
+        let mut u2 = unit(
+            "unit1",
+            "index",
+            "SELECT t.oid, t.number FROM issue t WHERE t.volume_oid = :volume ORDER BY t.number",
+            &["volume"],
+        );
+        u2.entity_table = Some("issue".into());
+        u2.depends_on = vec!["issue".into()];
+        let page = PageDescriptor {
+            id: "page0".into(),
+            name: "P".into(),
+            site_view: "sv".into(),
+            url: "/sv/p".into(),
+            units: vec!["unit0".into(), "unit1".into()],
+            edges: vec![TransportEdge {
+                from: "unit0".into(),
+                to: "unit1".into(),
+                params: vec![ParamBinding {
+                    name: "volume".into(),
+                    source_kind: "oid".into(),
+                    source: String::new(),
+                }],
+                automatic: false,
+            }],
+            links: vec![],
+            request_params: vec!["volume".into()],
+            layout: "single-column".into(),
+            template: "t.jsp".into(),
+            landmark: false,
+            protected: false,
+        };
+        let set = DescriptorSet {
+            units: vec![u1, u2],
+            pages: vec![page.clone()],
+            operations: vec![],
+            controller: ControllerConfig::default(),
+        };
+        (set, page)
+    }
+
+    #[test]
+    fn parameter_propagation_along_edges() {
+        let db = db();
+        let (set, page) = page_with_edge();
+        let registry = ServiceRegistry::standard();
+        let mut params = ParamMap::new();
+        params.insert("volume".into(), Value::Integer(1));
+        let r = compute_page(&set, &page, &params, &ParamMap::new(), &registry, &db, None)
+            .unwrap();
+        assert_eq!(r.beans.len(), 2);
+        assert_eq!(r.beans["unit1"].row_count(), 2); // volume 1 has 2 issues
+        assert_eq!(r.computed, 2);
+    }
+
+    #[test]
+    fn bean_cache_skips_queries_on_hit() {
+        let db = db();
+        let (mut set, page) = page_with_edge();
+        for u in &mut set.units {
+            u.cache = Some(CacheDescriptor {
+                ttl_ms: None,
+                invalidate_on_write: true,
+            });
+        }
+        let registry = ServiceRegistry::standard();
+        let cache: BeanCache<UnitBean> = BeanCache::new(64);
+        let mut params = ParamMap::new();
+        params.insert("volume".into(), Value::Integer(1));
+        let before = db.statements_executed();
+        let r1 = compute_page(
+            &set,
+            &page,
+            &params,
+            &ParamMap::new(),
+            &registry,
+            &db,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(r1.cache_hits, 0);
+        let mid = db.statements_executed();
+        assert!(mid > before);
+        let r2 = compute_page(
+            &set,
+            &page,
+            &params,
+            &ParamMap::new(),
+            &registry,
+            &db,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(r2.cache_hits, 2);
+        assert_eq!(r2.computed, 0);
+        // no new queries: the whole point of the business-tier cache (§6)
+        assert_eq!(db.statements_executed(), mid);
+        assert_eq!(r2.beans["unit1"].row_count(), 2);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_parameters() {
+        let db = db();
+        let (mut set, page) = page_with_edge();
+        for u in &mut set.units {
+            u.cache = Some(CacheDescriptor {
+                ttl_ms: None,
+                invalidate_on_write: true,
+            });
+        }
+        let registry = ServiceRegistry::standard();
+        let cache: BeanCache<UnitBean> = BeanCache::new(64);
+        for volume in [1i64, 2, 1, 2] {
+            let mut params = ParamMap::new();
+            params.insert("volume".into(), Value::Integer(volume));
+            let r = compute_page(
+                &set,
+                &page,
+                &params,
+                &ParamMap::new(),
+                &registry,
+                &db,
+                Some(&cache),
+            )
+            .unwrap();
+            let expected = if volume == 1 { 2 } else { 1 };
+            assert_eq!(r.beans["unit1"].row_count(), expected);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, 4); // second pass over both volumes
+    }
+
+    #[test]
+    fn entity_invalidation_forces_recompute() {
+        let db = db();
+        let (mut set, page) = page_with_edge();
+        for u in &mut set.units {
+            u.cache = Some(CacheDescriptor {
+                ttl_ms: None,
+                invalidate_on_write: true,
+            });
+        }
+        let registry = ServiceRegistry::standard();
+        let cache: BeanCache<UnitBean> = BeanCache::new(64);
+        let mut params = ParamMap::new();
+        params.insert("volume".into(), Value::Integer(1));
+        compute_page(&set, &page, &params, &ParamMap::new(), &registry, &db, Some(&cache))
+            .unwrap();
+        // a write to issue invalidates the index unit's bean but not the
+        // volume data unit's
+        db.execute(
+            "INSERT INTO issue (number, volume_oid) VALUES (3, 1)",
+            &Params::new(),
+        )
+        .unwrap();
+        cache.invalidate_entity("issue");
+        let r = compute_page(
+            &set,
+            &page,
+            &params,
+            &ParamMap::new(),
+            &registry,
+            &db,
+            Some(&cache),
+        )
+        .unwrap();
+        assert_eq!(r.cache_hits, 1); // volume data still cached
+        assert_eq!(r.computed, 1); // index recomputed
+        assert_eq!(r.beans["unit1"].row_count(), 3); // fresh content
+    }
+
+    #[test]
+    fn session_vars_are_visible_with_prefix() {
+        let db = db();
+        let u = unit(
+            "unit0",
+            "data",
+            "SELECT t.oid, t.title FROM volume t WHERE t.oid = :session_favourite",
+            &["session_favourite"],
+        );
+        let page = PageDescriptor {
+            id: "page0".into(),
+            name: "P".into(),
+            site_view: "sv".into(),
+            url: "/sv/p".into(),
+            units: vec!["unit0".into()],
+            edges: vec![],
+            links: vec![],
+            request_params: vec![],
+            layout: "single-column".into(),
+            template: "t.jsp".into(),
+            landmark: false,
+            protected: false,
+        };
+        let set = DescriptorSet {
+            units: vec![u],
+            pages: vec![page.clone()],
+            operations: vec![],
+            controller: ControllerConfig::default(),
+        };
+        let registry = ServiceRegistry::standard();
+        let mut session = ParamMap::new();
+        session.insert("favourite".into(), Value::Integer(2));
+        let r = compute_page(&set, &page, &ParamMap::new(), &session, &registry, &db, None)
+            .unwrap();
+        assert_eq!(r.beans["unit0"].propagated_oid(), Some(2));
+    }
+}

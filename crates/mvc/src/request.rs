@@ -1,0 +1,189 @@
+//! Transport-independent request/response types.
+//!
+//! The `httpd` crate adapts real HTTP traffic onto these; tests and
+//! benches drive the controller directly with them.
+
+use std::collections::BTreeMap;
+
+/// A request entering the Controller.
+#[derive(Debug, Clone, Default)]
+pub struct WebRequest {
+    /// Path without query string, e.g. `/acmdl/volume_page`.
+    pub path: String,
+    /// Decoded query/form parameters (sorted map: deterministic
+    /// fingerprints for caching).
+    pub params: BTreeMap<String, String>,
+    /// Session cookie, if any.
+    pub session: Option<String>,
+    /// User-Agent header (drives §5 device adaptation).
+    pub user_agent: String,
+}
+
+impl WebRequest {
+    pub fn get(path: impl Into<String>) -> WebRequest {
+        WebRequest {
+            path: path.into(),
+            ..WebRequest::default()
+        }
+    }
+
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> WebRequest {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    pub fn with_session(mut self, sid: impl Into<String>) -> WebRequest {
+        self.session = Some(sid.into());
+        self
+    }
+
+    pub fn with_user_agent(mut self, ua: impl Into<String>) -> WebRequest {
+        self.user_agent = ua.into();
+        self
+    }
+
+    /// Stable fingerprint of the parameters (cache keys).
+    pub fn params_fingerprint(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.params {
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+            s.push('&');
+        }
+        s
+    }
+}
+
+/// The response leaving the Controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebResponse {
+    pub status: u16,
+    pub content_type: String,
+    pub body: String,
+    /// Session id to set as a cookie, if a new session was created.
+    pub set_session: Option<String>,
+}
+
+impl WebResponse {
+    pub fn html(body: String) -> WebResponse {
+        WebResponse {
+            status: 200,
+            content_type: "text/html; charset=utf-8".into(),
+            body,
+            set_session: None,
+        }
+    }
+
+    pub fn not_found(path: &str) -> WebResponse {
+        WebResponse {
+            status: 404,
+            content_type: "text/html; charset=utf-8".into(),
+            body: format!("<html><body><h1>404</h1><p>no mapping for {path}</p></body></html>"),
+            set_session: None,
+        }
+    }
+
+    pub fn error(status: u16, message: &str) -> WebResponse {
+        WebResponse {
+            status,
+            content_type: "text/html; charset=utf-8".into(),
+            body: format!("<html><body><h1>{status}</h1><p>{message}</p></body></html>"),
+            set_session: None,
+        }
+    }
+}
+
+/// Percent-encode a query-string component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded component.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() {
+                    let hex = &s[i + 1..i + 3];
+                    if let Ok(v) = u8::from_str_radix(hex, 16) {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Build a URL with query parameters.
+pub fn build_url(path: &str, params: &[(String, String)]) -> String {
+    if params.is_empty() {
+        return path.to_string();
+    }
+    let qs: Vec<String> = params
+        .iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect();
+    format!("{path}?{}", qs.join("&"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = WebRequest::get("/x").with_param("b", "2").with_param("a", "1");
+        let b = WebRequest::get("/x").with_param("a", "1").with_param("b", "2");
+        assert_eq!(a.params_fingerprint(), b.params_fingerprint());
+        assert_eq!(a.params_fingerprint(), "a=1&b=2&");
+    }
+
+    #[test]
+    fn url_encode_decode_round_trip() {
+        for s in ["hello world", "a=b&c", "100%", "héllo", "plain"] {
+            assert_eq!(url_decode(&url_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn build_url_formats_query() {
+        assert_eq!(build_url("/p", &[]), "/p");
+        assert_eq!(
+            build_url("/p", &[("a".into(), "1 2".into())]),
+            "/p?a=1+2"
+        );
+    }
+
+    #[test]
+    fn decode_tolerates_malformed_percent() {
+        assert_eq!(url_decode("%zz"), "%zz");
+        assert_eq!(url_decode("abc%"), "abc%");
+    }
+}

@@ -1,0 +1,544 @@
+//! Generic unit services — Fig. 5.
+//!
+//! "For each type of unit, a single generic service is designed, which
+//! factors out the commonalities of unit-specific services. This generic
+//! service is parametric with respect to the features of individual
+//! units." Eleven dedicated classes replace thousands; each interprets a
+//! [`UnitDescriptor`] at runtime.
+//!
+//! The registry also hosts **plug-in units** (§7) and **user-supplied
+//! service overrides** (§6: "each descriptor refers to the business
+//! component to use for filling the content of a unit; this component can
+//! be completely overridden by a user-supplied one").
+
+use crate::beans::{BeanRow, NestedBeanRow, UnitBean};
+use crate::error::{MvcError, Result};
+use descriptors::{QuerySpec, UnitDescriptor};
+use relstore::{Database, Params, ResultSet, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Parameters flowing into a unit or operation computation.
+pub type ParamMap = BTreeMap<String, Value>;
+
+/// Stable fingerprint of a parameter map (bean-cache keys).
+pub fn fingerprint(params: &ParamMap) -> String {
+    let mut s = String::new();
+    for (k, v) in params {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(&v.render());
+        s.push('&');
+    }
+    s
+}
+
+/// A business component computing one kind of unit.
+pub trait UnitService: Send + Sync {
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database)
+        -> Result<UnitBean>;
+}
+
+/// Bind a query's named inputs from the parameter map.
+fn bind(q: &QuerySpec, params: &ParamMap, unit: &str) -> Result<Params> {
+    let mut out = Params::new();
+    for input in &q.inputs {
+        match params.get(input) {
+            Some(v) => out.set(input.clone(), v.clone()),
+            None => {
+                return Err(MvcError::MissingParameter {
+                    unit: unit.to_string(),
+                    param: input.clone(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Pack a result set into bean rows following the descriptor's bean shape
+/// (all result columns when the shape is empty). Column positions are
+/// resolved once per result set, not per cell.
+fn pack(rs: &ResultSet, q: &QuerySpec) -> Vec<BeanRow> {
+    let mut rows = Vec::with_capacity(rs.len());
+    if q.bean.is_empty() {
+        for row in rs.rows() {
+            let values = rs
+                .columns()
+                .iter()
+                .zip(row)
+                .map(|(col, v)| (col.clone(), v.clone()))
+                .collect();
+            rows.push(BeanRow { values });
+        }
+    } else {
+        let positions: Vec<(usize, Option<usize>)> = q
+            .bean
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, rs.column_index(&p.column)))
+            .collect();
+        for row in rs.rows() {
+            let values = positions
+                .iter()
+                .map(|&(i, pos)| {
+                    let v = pos.map(|c| row[c].clone()).unwrap_or(Value::Null);
+                    (q.bean[i].name.clone(), v)
+                })
+                .collect();
+            rows.push(BeanRow { values });
+        }
+    }
+    rows
+}
+
+fn main_query(desc: &UnitDescriptor) -> Result<&QuerySpec> {
+    desc.main_query()
+        .ok_or_else(|| MvcError::MissingDescriptor(format!("{}: main query", desc.id)))
+}
+
+/// Generic service for data units: a single instance.
+pub struct GenericDataService;
+
+impl UnitService for GenericDataService {
+    fn compute(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+    ) -> Result<UnitBean> {
+        let q = main_query(desc)?;
+        let rs = db.query(&q.sql, &bind(q, params, &desc.id)?)?;
+        Ok(UnitBean::Single(pack(&rs, q).into_iter().next()))
+    }
+}
+
+/// Generic service for index, multidata, and multichoice units: all
+/// matching rows.
+pub struct GenericIndexService;
+
+impl UnitService for GenericIndexService {
+    fn compute(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+    ) -> Result<UnitBean> {
+        let q = main_query(desc)?;
+        let rs = db.query(&q.sql, &bind(q, params, &desc.id)?)?;
+        let rows = pack(&rs, q);
+        let total = rows.len();
+        Ok(UnitBean::Rows { rows, total })
+    }
+}
+
+/// Generic service for scroller units: one block of rows plus the total.
+pub struct GenericScrollerService;
+
+impl UnitService for GenericScrollerService {
+    fn compute(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+    ) -> Result<UnitBean> {
+        let q = main_query(desc)?;
+        let block = desc.block_size.unwrap_or(10).max(1);
+        let offset = match params.get("block_offset") {
+            Some(Value::Integer(i)) if *i >= 0 => *i as usize,
+            Some(Value::Text(s)) => s.parse().unwrap_or(0),
+            _ => 0,
+        };
+        // fetch everything once (the simulated data tier is in memory),
+        // then slice the requested block; `total` drives the pager
+        let mut effective = params.clone();
+        effective.insert("block_limit".into(), Value::Integer(i64::MAX / 2));
+        effective.insert("block_offset".into(), Value::Integer(0));
+        let rs = db.query(&q.sql, &bind(q, &effective, &desc.id)?)?;
+        let all = pack(&rs, q);
+        let total = all.len();
+        let rows: Vec<BeanRow> = all.into_iter().skip(offset).take(block).collect();
+        Ok(UnitBean::Rows { rows, total })
+    }
+}
+
+/// Generic service for hierarchical indexes: one query per level,
+/// recursively keyed by the parent oid.
+pub struct GenericHierarchyService;
+
+impl GenericHierarchyService {
+    fn level(
+        &self,
+        desc: &UnitDescriptor,
+        level: usize,
+        parent_params: &ParamMap,
+        db: &Database,
+    ) -> Result<Vec<NestedBeanRow>> {
+        let Some(q) = desc.queries.iter().find(|q| q.name == format!("level{level}")) else {
+            return Ok(Vec::new());
+        };
+        let rs = db.query(&q.sql, &bind(q, parent_params, &desc.id)?)?;
+        let rows = pack(&rs, q);
+        let mut out = Vec::with_capacity(rows.len());
+        let has_next = desc
+            .queries
+            .iter()
+            .any(|q| q.name == format!("level{}", level + 1));
+        for row in rows {
+            let children = if has_next {
+                let mut child_params = ParamMap::new();
+                if let Some(oid) = row.oid() {
+                    child_params.insert("parent".into(), Value::Integer(oid));
+                }
+                self.level(desc, level + 1, &child_params, db)?
+            } else {
+                Vec::new()
+            };
+            out.push(NestedBeanRow { row, children });
+        }
+        Ok(out)
+    }
+}
+
+impl UnitService for GenericHierarchyService {
+    fn compute(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+    ) -> Result<UnitBean> {
+        Ok(UnitBean::Nested(self.level(desc, 0, params, db)?))
+    }
+}
+
+/// Generic service for entry units: no database work.
+pub struct GenericEntryService;
+
+impl UnitService for GenericEntryService {
+    fn compute(&self, _: &UnitDescriptor, _: &ParamMap, _: &Database) -> Result<UnitBean> {
+        Ok(UnitBean::Form)
+    }
+}
+
+/// The service registry: resolves the business component named in a
+/// descriptor, supporting overrides and plug-ins.
+pub struct ServiceRegistry {
+    by_name: HashMap<String, Arc<dyn UnitService>>,
+    /// Fallback per unit type when the descriptor names an unknown
+    /// component.
+    by_type: HashMap<String, Arc<dyn UnitService>>,
+}
+
+impl ServiceRegistry {
+    /// Registry with the standard generic services registered under both
+    /// their component names and their unit types.
+    pub fn standard() -> ServiceRegistry {
+        let mut r = ServiceRegistry {
+            by_name: HashMap::new(),
+            by_type: HashMap::new(),
+        };
+        let data: Arc<dyn UnitService> = Arc::new(GenericDataService);
+        let index: Arc<dyn UnitService> = Arc::new(GenericIndexService);
+        let scroller: Arc<dyn UnitService> = Arc::new(GenericScrollerService);
+        let hierarchy: Arc<dyn UnitService> = Arc::new(GenericHierarchyService);
+        let entry: Arc<dyn UnitService> = Arc::new(GenericEntryService);
+        r.register("GenericDataService", "data", Arc::clone(&data));
+        r.register("GenericIndexService", "index", Arc::clone(&index));
+        r.register("GenericMultidataService", "multidata", Arc::clone(&index));
+        r.register("GenericMultichoiceService", "multichoice", Arc::clone(&index));
+        r.register("GenericScrollerService", "scroller", scroller);
+        r.register("GenericHierarchyService", "hierarchy", hierarchy);
+        r.register("GenericEntryService", "entry", entry);
+        r
+    }
+
+    /// Register a service under a component name and unit type.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        unit_type: impl Into<String>,
+        service: Arc<dyn UnitService>,
+    ) {
+        self.by_name.insert(name.into(), Arc::clone(&service));
+        self.by_type.insert(unit_type.into(), service);
+    }
+
+    /// Register a user override by component name only (§6).
+    pub fn register_override(&mut self, name: impl Into<String>, service: Arc<dyn UnitService>) {
+        self.by_name.insert(name.into(), service);
+    }
+
+    /// Resolve the component for a descriptor: by component name first,
+    /// then by unit type.
+    pub fn resolve(&self, desc: &UnitDescriptor) -> Result<Arc<dyn UnitService>> {
+        self.by_name
+            .get(&desc.service)
+            .or_else(|| self.by_type.get(&desc.unit_type))
+            .cloned()
+            .ok_or_else(|| MvcError::NoService(desc.service.clone()))
+    }
+
+    /// Number of distinct registered service components (the "11 unit
+    /// services" count of §8).
+    pub fn service_count(&self) -> usize {
+        self.by_name.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descriptors::BeanProperty;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL);
+             CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER, volume_oid INTEGER);
+             CREATE INDEX ix ON issue (volume_oid);",
+        )
+        .unwrap();
+        for i in 1..=3 {
+            db.execute(
+                "INSERT INTO volume (title) VALUES (:t)",
+                &Params::new().bind("t", format!("Vol {i}")),
+            )
+            .unwrap();
+        }
+        for v in 1..=3i64 {
+            for n in 1..=2i64 {
+                db.execute(
+                    "INSERT INTO issue (number, volume_oid) VALUES (:n, :v)",
+                    &Params::new().bind("n", n).bind("v", v),
+                )
+                .unwrap();
+            }
+        }
+        db
+    }
+
+    fn desc(id: &str, unit_type: &str, service: &str, queries: Vec<QuerySpec>) -> UnitDescriptor {
+        UnitDescriptor {
+            id: id.into(),
+            name: id.into(),
+            unit_type: unit_type.into(),
+            page: "page0".into(),
+            entity_table: Some("volume".into()),
+            queries,
+            block_size: None,
+            fields: vec![],
+            optimized: false,
+            service: service.into(),
+            depends_on: vec!["volume".into()],
+            cache: None,
+        }
+    }
+
+    fn q(name: &str, sql: &str, inputs: &[&str]) -> QuerySpec {
+        QuerySpec {
+            name: name.into(),
+            sql: sql.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            bean: vec![],
+        }
+    }
+
+    #[test]
+    fn data_service_returns_single() {
+        let db = db();
+        let d = desc(
+            "u1",
+            "data",
+            "GenericDataService",
+            vec![q(
+                "main",
+                "SELECT t.oid, t.title FROM volume t WHERE t.oid = :oid",
+                &["oid"],
+            )],
+        );
+        let mut p = ParamMap::new();
+        p.insert("oid".into(), Value::Integer(2));
+        let b = GenericDataService.compute(&d, &p, &db).unwrap();
+        let UnitBean::Single(Some(row)) = b else {
+            panic!("expected single row")
+        };
+        assert_eq!(row.get("title"), Some(&Value::Text("Vol 2".into())));
+    }
+
+    #[test]
+    fn data_service_empty_on_no_match() {
+        let db = db();
+        let d = desc(
+            "u1",
+            "data",
+            "GenericDataService",
+            vec![q(
+                "main",
+                "SELECT t.oid FROM volume t WHERE t.oid = :oid",
+                &["oid"],
+            )],
+        );
+        let mut p = ParamMap::new();
+        p.insert("oid".into(), Value::Integer(99));
+        assert_eq!(
+            GenericDataService.compute(&d, &p, &db).unwrap(),
+            UnitBean::Single(None)
+        );
+    }
+
+    #[test]
+    fn missing_parameter_is_reported() {
+        let db = db();
+        let d = desc(
+            "u1",
+            "data",
+            "GenericDataService",
+            vec![q(
+                "main",
+                "SELECT t.oid FROM volume t WHERE t.oid = :oid",
+                &["oid"],
+            )],
+        );
+        let err = GenericDataService
+            .compute(&d, &ParamMap::new(), &db)
+            .unwrap_err();
+        assert!(matches!(err, MvcError::MissingParameter { .. }));
+    }
+
+    #[test]
+    fn index_service_returns_all_rows() {
+        let db = db();
+        let d = desc(
+            "u2",
+            "index",
+            "GenericIndexService",
+            vec![q("main", "SELECT t.oid, t.title FROM volume t ORDER BY t.oid", &[])],
+        );
+        let b = GenericIndexService.compute(&d, &ParamMap::new(), &db).unwrap();
+        let UnitBean::Rows { rows, total } = b else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn scroller_slices_blocks() {
+        let db = db();
+        let mut d = desc(
+            "u3",
+            "scroller",
+            "GenericScrollerService",
+            vec![q(
+                "main",
+                "SELECT t.oid FROM issue t ORDER BY t.oid LIMIT :block_limit OFFSET :block_offset",
+                &["block_limit", "block_offset"],
+            )],
+        );
+        d.block_size = Some(4);
+        let mut p = ParamMap::new();
+        p.insert("block_offset".into(), Value::Integer(4));
+        let b = GenericScrollerService.compute(&d, &p, &db).unwrap();
+        let UnitBean::Rows { rows, total } = b else {
+            panic!()
+        };
+        assert_eq!(total, 6);
+        assert_eq!(rows.len(), 2); // last block of 6 with offset 4
+        assert_eq!(rows[0].oid(), Some(5));
+    }
+
+    #[test]
+    fn hierarchy_nests_children() {
+        let db = db();
+        let d = desc(
+            "u4",
+            "hierarchy",
+            "GenericHierarchyService",
+            vec![
+                q(
+                    "level0",
+                    "SELECT t.oid, t.title FROM volume t ORDER BY t.oid",
+                    &[],
+                ),
+                q(
+                    "level1",
+                    "SELECT t.oid, t.number FROM issue t WHERE t.volume_oid = :parent ORDER BY t.oid",
+                    &["parent"],
+                ),
+            ],
+        );
+        let b = GenericHierarchyService
+            .compute(&d, &ParamMap::new(), &db)
+            .unwrap();
+        let UnitBean::Nested(rows) = b else { panic!() };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].children.len(), 2);
+        assert_eq!(
+            rows[0].children[0].row.get("number"),
+            Some(&Value::Integer(1))
+        );
+    }
+
+    #[test]
+    fn bean_shape_renames_columns() {
+        let db = db();
+        let d = desc(
+            "u5",
+            "data",
+            "GenericDataService",
+            vec![QuerySpec {
+                name: "main".into(),
+                sql: "SELECT t.oid, t.title FROM volume t WHERE t.oid = :oid".into(),
+                inputs: vec!["oid".into()],
+                bean: vec![BeanProperty {
+                    name: "displayTitle".into(),
+                    column: "title".into(),
+                    attr_type: "String".into(),
+                }],
+            }],
+        );
+        let mut p = ParamMap::new();
+        p.insert("oid".into(), Value::Integer(1));
+        let UnitBean::Single(Some(row)) = GenericDataService.compute(&d, &p, &db).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(row.values.len(), 1);
+        assert_eq!(row.get("displayTitle"), Some(&Value::Text("Vol 1".into())));
+    }
+
+    #[test]
+    fn registry_resolves_and_overrides() {
+        let mut r = ServiceRegistry::standard();
+        let d = desc("u", "index", "GenericIndexService", vec![]);
+        assert!(r.resolve(&d).is_ok());
+        // unknown component name falls back to the unit type
+        let d2 = desc("u", "index", "SomethingElse", vec![]);
+        assert!(r.resolve(&d2).is_ok());
+        // user override (§6)
+        struct Custom;
+        impl UnitService for Custom {
+            fn compute(&self, _: &UnitDescriptor, _: &ParamMap, _: &Database) -> Result<UnitBean> {
+                Ok(UnitBean::Raw("<custom/>".into()))
+            }
+        }
+        r.register_override("MyTunedService", Arc::new(Custom));
+        let d3 = desc("u", "index", "MyTunedService", vec![]);
+        let db = db();
+        assert_eq!(
+            r.resolve(&d3).unwrap().compute(&d3, &ParamMap::new(), &db).unwrap(),
+            UnitBean::Raw("<custom/>".into())
+        );
+        // unknown type + unknown name fails
+        let d4 = desc("u", "weird", "Nope", vec![]);
+        assert!(matches!(r.resolve(&d4), Err(MvcError::NoService(_))));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let mut a = ParamMap::new();
+        a.insert("b".into(), Value::Integer(2));
+        a.insert("a".into(), Value::Text("x".into()));
+        assert_eq!(fingerprint(&a), "a=x&b=2&");
+    }
+}

@@ -1,0 +1,127 @@
+//! Session-level state (§1: "session-level information and
+//! personalization aspects").
+
+use parking_lot::Mutex;
+use relstore::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One user session: variables plus the authenticated principal.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    pub vars: HashMap<String, Value>,
+    /// oid of the logged-in user row, when authenticated.
+    pub user: Option<i64>,
+    /// Group of the logged-in user (drives site-view protection).
+    pub group: Option<String>,
+}
+
+/// Thread-safe session store keyed by opaque session ids.
+#[derive(Default)]
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    counter: AtomicU64,
+}
+
+impl SessionManager {
+    pub fn new() -> SessionManager {
+        SessionManager::default()
+    }
+
+    /// Create a fresh session, returning its id.
+    pub fn create(&self) -> String {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // opaque but deterministic-per-process id; sufficient for a
+        // simulated container
+        let id = format!("sess-{n:08x}");
+        self.sessions
+            .lock()
+            .insert(id.clone(), Arc::new(Mutex::new(Session::default())));
+        id
+    }
+
+    /// Fetch an existing session.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        self.sessions.lock().get(id).cloned()
+    }
+
+    /// Fetch or create: returns `(id, session, created)`.
+    pub fn get_or_create(&self, id: Option<&str>) -> (String, Arc<Mutex<Session>>, bool) {
+        if let Some(id) = id {
+            if let Some(s) = self.get(id) {
+                return (id.to_string(), s, false);
+            }
+        }
+        let id = self.create();
+        let s = self.get(&id).unwrap();
+        (id, s, true)
+    }
+
+    /// Destroy a session (logout).
+    pub fn destroy(&self, id: &str) -> bool {
+        self.sessions.lock().remove(id).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_destroy() {
+        let m = SessionManager::new();
+        let id = m.create();
+        assert!(m.get(&id).is_some());
+        m.get(&id).unwrap().lock().user = Some(42);
+        assert_eq!(m.get(&id).unwrap().lock().user, Some(42));
+        assert!(m.destroy(&id));
+        assert!(m.get(&id).is_none());
+        assert!(!m.destroy(&id));
+    }
+
+    #[test]
+    fn get_or_create_reuses_valid_ids() {
+        let m = SessionManager::new();
+        let (id, _, created) = m.get_or_create(None);
+        assert!(created);
+        let (id2, _, created2) = m.get_or_create(Some(&id));
+        assert_eq!(id, id2);
+        assert!(!created2);
+        // stale cookie → new session
+        let (id3, _, created3) = m.get_or_create(Some("sess-bogus"));
+        assert_ne!(id, id3);
+        assert!(created3);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let m = SessionManager::new();
+        let a = m.create();
+        let b = m.create();
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn session_vars_hold_values() {
+        let m = SessionManager::new();
+        let id = m.create();
+        let s = m.get(&id).unwrap();
+        s.lock()
+            .vars
+            .insert("trolley_total".into(), Value::Real(99.5));
+        assert_eq!(
+            s.lock().vars.get("trolley_total"),
+            Some(&Value::Real(99.5))
+        );
+    }
+}

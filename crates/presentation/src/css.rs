@@ -1,0 +1,148 @@
+//! Modular CSS generation.
+//!
+//! §5: "graphic properties should not be coded as tag attributes in the
+//! HTML mark-up, but should be factored out into Cascading Style Sheets
+//! ... A good practice ... is to leverage the conceptual model to
+//! modularise the CSS rules. A set of rules can be designed for each WebML
+//! unit, by identifying the different graphic elements needed to present a
+//! certain kind of unit."
+
+use crate::rules::RuleSet;
+use std::fmt::Write;
+
+/// One CSS rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CssRule {
+    pub selector: String,
+    pub declarations: Vec<(String, String)>,
+}
+
+impl CssRule {
+    pub fn new(selector: impl Into<String>) -> CssRule {
+        CssRule {
+            selector: selector.into(),
+            declarations: Vec::new(),
+        }
+    }
+
+    pub fn decl(mut self, prop: impl Into<String>, value: impl Into<String>) -> CssRule {
+        self.declarations.push((prop.into(), value.into()));
+        self
+    }
+}
+
+/// A stylesheet: a named, ordered set of rules grouped by the unit kind
+/// they present (the conceptual-model-driven modularisation of §5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stylesheet {
+    pub name: String,
+    /// `(module, rules)` — one module per unit kind plus `page`.
+    pub modules: Vec<(String, Vec<CssRule>)>,
+}
+
+impl Stylesheet {
+    /// Generate the stylesheet backing a rule set: a `page` module plus
+    /// one module per unit kind the rule set knows about.
+    pub fn for_rule_set(rs: &RuleSet, unit_types: &[&str]) -> Stylesheet {
+        let mut modules = Vec::new();
+        modules.push((
+            "page".to_string(),
+            vec![
+                CssRule::new("body")
+                    .decl("font-family", "Verdana, sans-serif")
+                    .decl("margin", "0"),
+                CssRule::new(".banner")
+                    .decl("background", "#003366")
+                    .decl("color", "#ffffff")
+                    .decl("padding", "8px"),
+                CssRule::new(".footer")
+                    .decl("border-top", "1px solid #ccc")
+                    .decl("font-size", "80%"),
+                CssRule::new(".page-grid td").decl("vertical-align", "top"),
+                CssRule::new("nav.landmarks a").decl("margin-right", "12px"),
+            ],
+        ));
+        for ut in unit_types {
+            let rule = rs.unit_rule_for(ut);
+            let box_class = rule.map(|r| r.box_class.clone()).unwrap_or("unit".into());
+            let mut rules = vec![
+                CssRule::new(format!(".{box_class}-{ut}"))
+                    .decl("border", "1px solid #dddddd")
+                    .decl("margin", "6px")
+                    .decl("padding", "6px"),
+                CssRule::new(format!(".{box_class}-{ut} .unit-title"))
+                    .decl("font-size", "110%")
+                    .decl("color", "#003366"),
+            ];
+            if rule.is_some_and(|r| r.zebra) {
+                rules.push(
+                    CssRule::new(format!(".{box_class}-{ut} .row.alt")).decl("background", "#f4f4f8"),
+                );
+            }
+            if rule.is_some_and(|r| r.mouse_over_effect) {
+                rules.push(
+                    CssRule::new(format!(".{box_class}-{ut} .hover")).decl("background", "#ffffcc"),
+                );
+            }
+            modules.push((ut.to_string(), rules));
+        }
+        Stylesheet {
+            name: rs.name.clone(),
+            modules,
+        }
+    }
+
+    /// Total number of rules across modules.
+    pub fn rule_count(&self) -> usize {
+        self.modules.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Render to CSS text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "/* stylesheet: {} */", self.name);
+        for (module, rules) in &self.modules {
+            let _ = writeln!(out, "/* module: {module} */");
+            for r in rules {
+                let _ = writeln!(out, "{} {{", r.selector);
+                for (p, v) in &r.declarations {
+                    let _ = writeln!(out, "  {p}: {v};");
+                }
+                let _ = writeln!(out, "}}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    #[test]
+    fn generates_module_per_unit_kind() {
+        let rs = RuleSet::default_desktop("b2c");
+        let css = Stylesheet::for_rule_set(&rs, &["data", "index", "entry"]);
+        assert_eq!(css.modules.len(), 4); // page + 3 unit kinds
+        let text = css.render();
+        assert!(text.contains("/* module: index */"));
+        assert!(text.contains(".unit-data"));
+        assert!(text.contains(".unit-index .row.alt")); // zebra on by default
+    }
+
+    #[test]
+    fn render_is_valid_css_shape() {
+        let rs = RuleSet::minimal_device("pda");
+        let css = Stylesheet::for_rule_set(&rs, &["data"]).render();
+        assert_eq!(css.matches('{').count(), css.matches('}').count());
+        assert!(css.contains("body {"));
+    }
+
+    #[test]
+    fn rule_count_sums_modules() {
+        let rs = RuleSet::default_desktop("x");
+        let css = Stylesheet::for_rule_set(&rs, &["data", "index"]);
+        assert!(css.rule_count() >= 9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Template skeletons — Fig. 7, left side.
+//!
+//! §5: the generator produces "a page template skeleton, which includes all
+//! the custom tags corresponding to the units of the page, but only the
+//! minimal HTML mark-up needed to define the layout grid of the page and
+//! the position of the various units in such a grid". XSLT-like rules (see
+//! [`crate::rules`]) then transform the skeleton into the final template.
+
+use std::fmt::Write;
+
+/// One node of a template tree (skeleton or styled template alike).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateNode {
+    /// A plain HTML element.
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<TemplateNode>,
+    },
+    /// Literal text.
+    Text(String),
+    /// A `webml:` custom tag — the placeholder where a unit's dynamic
+    /// content is produced at request time from its unit beans (§3: "in
+    /// the View, content units map to custom tags transforming the content
+    /// stored in the unit beans into HTML").
+    UnitSlot {
+        /// Unit descriptor id.
+        unit: String,
+        /// WebML unit type (selects the unit rule and the runtime tag).
+        unit_type: String,
+    },
+    /// Placeholder substituted with the site-view navigation (landmark
+    /// pages) by the page rule.
+    NavSlot,
+}
+
+impl TemplateNode {
+    pub fn element(tag: impl Into<String>) -> TemplateNode {
+        TemplateNode::Element {
+            tag: tag.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> TemplateNode {
+        if let TemplateNode::Element { attrs, .. } = &mut self {
+            attrs.push((name.into(), value.into()));
+        }
+        self
+    }
+
+    pub fn with_child(mut self, child: TemplateNode) -> TemplateNode {
+        if let TemplateNode::Element { children, .. } = &mut self {
+            children.push(child);
+        }
+        self
+    }
+
+    pub fn with_text(self, t: impl Into<String>) -> TemplateNode {
+        self.with_child(TemplateNode::Text(t.into()))
+    }
+
+    /// Visit every node (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&TemplateNode)) {
+        f(self);
+        if let TemplateNode::Element { children, .. } = self {
+            for c in children {
+                c.walk(f);
+            }
+        }
+    }
+
+    /// Collect the unit ids referenced by slots under this node.
+    pub fn unit_slots(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| {
+            if let TemplateNode::UnitSlot { unit, .. } = n {
+                out.push(unit.clone());
+            }
+        });
+        out
+    }
+
+    /// Serialize to template source text. Unit slots render as
+    /// `<webml:TYPEUnit unit="ID"/>` custom tags — the JSP-with-custom-tags
+    /// file a WebRatio project would contain.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        self.write_source(&mut out, 0);
+        out
+    }
+
+    fn write_source(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            TemplateNode::Text(t) => {
+                let _ = writeln!(out, "{pad}{t}");
+            }
+            TemplateNode::UnitSlot { unit, unit_type } => {
+                let _ = writeln!(out, "{pad}<webml:{unit_type}Unit unit=\"{unit}\"/>");
+            }
+            TemplateNode::NavSlot => {
+                let _ = writeln!(out, "{pad}<webml:navigation/>");
+            }
+            TemplateNode::Element {
+                tag,
+                attrs,
+                children,
+            } => {
+                let mut open = format!("{pad}<{tag}");
+                for (n, v) in attrs {
+                    let _ = write!(open, " {n}=\"{v}\"");
+                }
+                if children.is_empty() {
+                    let _ = writeln!(out, "{open}/>");
+                } else {
+                    let _ = writeln!(out, "{open}>");
+                    for c in children {
+                        c.write_source(out, depth + 1);
+                    }
+                    let _ = writeln!(out, "{pad}</{tag}>");
+                }
+            }
+        }
+    }
+}
+
+/// The skeleton of one page template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSkeleton {
+    /// Page descriptor id.
+    pub page: String,
+    pub page_name: String,
+    /// Layout category name (drives page-rule selection).
+    pub layout: String,
+    pub root: TemplateNode,
+}
+
+impl TemplateSkeleton {
+    /// Build the minimal layout grid for a list of unit slots: a single
+    /// table with one cell per unit, arranged into the given number of
+    /// columns — exactly the "minimal HTML mark-up needed to define the
+    /// layout grid" of §5.
+    pub fn grid(
+        page: impl Into<String>,
+        page_name: impl Into<String>,
+        layout: impl Into<String>,
+        units: &[(String, String)],
+        columns: usize,
+    ) -> TemplateSkeleton {
+        let columns = columns.max(1);
+        let mut table = TemplateNode::element("table");
+        let mut row = TemplateNode::element("tr");
+        for (i, (unit, unit_type)) in units.iter().enumerate() {
+            if i > 0 && i % columns == 0 {
+                table = table.with_child(row);
+                row = TemplateNode::element("tr");
+            }
+            row = row.with_child(TemplateNode::element("td").with_child(
+                TemplateNode::UnitSlot {
+                    unit: unit.clone(),
+                    unit_type: unit_type.clone(),
+                },
+            ));
+        }
+        table = table.with_child(row);
+        let body = TemplateNode::element("body")
+            .with_child(TemplateNode::NavSlot)
+            .with_child(table);
+        TemplateSkeleton {
+            page: page.into(),
+            page_name: page_name.into(),
+            layout: layout.into(),
+            root: TemplateNode::element("html").with_child(body),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skeleton() -> TemplateSkeleton {
+        TemplateSkeleton::grid(
+            "page2",
+            "Volume Page",
+            "two-columns",
+            &[
+                ("unit5".into(), "data".into()),
+                ("unit7".into(), "hierarchy".into()),
+                ("unit8".into(), "entry".into()),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn grid_places_units_in_rows() {
+        let s = skeleton();
+        assert_eq!(s.root.unit_slots(), vec!["unit5", "unit7", "unit8"]);
+        let src = s.root.to_source();
+        assert!(src.contains("<webml:dataUnit unit=\"unit5\"/>"));
+        assert!(src.contains("<webml:hierarchyUnit unit=\"unit7\"/>"));
+        // 3 units in 2 columns = 2 rows
+        assert_eq!(src.matches("<tr>").count(), 2);
+    }
+
+    #[test]
+    fn skeleton_is_minimal() {
+        // §5: the skeleton has no presentation attributes at all
+        let src = skeleton().root.to_source();
+        assert!(!src.contains("class="));
+        assert!(!src.contains("style="));
+        assert!(!src.contains("<head"));
+    }
+
+    #[test]
+    fn builder_nests() {
+        let n = TemplateNode::element("div")
+            .with_attr("id", "x")
+            .with_child(TemplateNode::element("span").with_text("hi"));
+        let src = n.to_source();
+        assert!(src.contains("<div id=\"x\">"));
+        assert!(src.contains("<span>"));
+        assert!(src.contains("hi"));
+    }
+
+    #[test]
+    fn walk_counts_nodes() {
+        let s = skeleton();
+        let mut n = 0;
+        s.root.walk(&mut |_| n += 1);
+        assert!(n > 8);
+    }
+
+    #[test]
+    fn zero_columns_clamped() {
+        let s = TemplateSkeleton::grid("p", "P", "single-column", &[("u".into(), "data".into())], 0);
+        assert_eq!(s.root.unit_slots(), vec!["u"]);
+    }
+}

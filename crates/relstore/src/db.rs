@@ -1,0 +1,586 @@
+//! The thread-safe database facade: statement execution, prepared
+//! statements, and transactions.
+
+use crate::error::{Error, Result};
+use crate::exec::run_select;
+use crate::expr::Params;
+use crate::result::{ExecResult, ResultSet};
+use crate::sql::ast::Statement;
+use crate::sql::parser::{parse_script, parse_statement};
+use crate::storage::{Storage, UndoLog};
+use crate::table::Table;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory relational database, safe to share across threads.
+///
+/// `Database` plays the role of the JDBC/ODBC data source in the WebRatio
+/// architecture: generic unit services hand it the SQL text stored in their
+/// descriptors together with bound parameters.
+pub struct Database {
+    storage: RwLock<Storage>,
+    /// Parse cache for prepared statements, keyed by SQL text.
+    prepared: Mutex<HashMap<String, Arc<Statement>>>,
+    /// Executed-statement counter (exposed for cache-effectiveness benches).
+    queries_executed: std::sync::atomic::AtomicU64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            storage: RwLock::new(Storage::default()),
+            prepared: Mutex::new(HashMap::new()),
+            queries_executed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of statements executed since creation.
+    pub fn statements_executed(&self) -> u64 {
+        self.queries_executed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Parse (with caching) a SQL string into a shareable statement.
+    pub fn prepare(&self, sql: &str) -> Result<Arc<Statement>> {
+        if let Some(s) = self.prepared.lock().get(sql) {
+            return Ok(Arc::clone(s));
+        }
+        let stmt = Arc::new(parse_statement(sql)?);
+        self.prepared
+            .lock()
+            .insert(sql.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    /// Execute one statement in autocommit mode.
+    pub fn execute(&self, sql: &str, params: &Params) -> Result<ExecResult> {
+        let stmt = self.prepare(sql)?;
+        self.execute_stmt(&stmt, params)
+    }
+
+    /// Execute a prepared statement in autocommit mode.
+    pub fn execute_stmt(&self, stmt: &Statement, params: &Params) -> Result<ExecResult> {
+        self.queries_executed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match stmt {
+            Statement::Select(sel) => {
+                let storage = self.storage.read();
+                Ok(ExecResult::Rows(run_select(&storage, sel, params)?))
+            }
+            Statement::Insert(ins) => {
+                let mut storage = self.storage.write();
+                let mut undo: UndoLog = Vec::new();
+                match storage.run_insert(ins, params, &mut undo) {
+                    Ok(n) => Ok(ExecResult::Affected(n)),
+                    Err(e) => {
+                        storage.rollback(undo);
+                        Err(e)
+                    }
+                }
+            }
+            Statement::Update(upd) => {
+                let mut storage = self.storage.write();
+                let mut undo: UndoLog = Vec::new();
+                match storage.run_update(upd, params, &mut undo) {
+                    Ok(n) => Ok(ExecResult::Affected(n)),
+                    Err(e) => {
+                        storage.rollback(undo);
+                        Err(e)
+                    }
+                }
+            }
+            Statement::Delete(del) => {
+                let mut storage = self.storage.write();
+                let mut undo: UndoLog = Vec::new();
+                match storage.run_delete(del, params, &mut undo) {
+                    Ok(n) => Ok(ExecResult::Affected(n)),
+                    Err(e) => {
+                        storage.rollback(undo);
+                        Err(e)
+                    }
+                }
+            }
+            Statement::CreateTable(schema) => {
+                let mut storage = self.storage.write();
+                storage.create_table(Table::new(schema.clone())?)?;
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::CreateIndex(ci) => {
+                let mut storage = self.storage.write();
+                let table = storage.require_table_mut(&ci.table)?;
+                table.create_index(ci.name.clone(), &ci.columns, ci.unique)?;
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                let mut storage = self.storage.write();
+                storage.drop_table(name, *if_exists)?;
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Transaction(
+                "transaction control requires a Session".into(),
+            )),
+        }
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&self, sql: &str, params: &Params) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            ExecResult::Rows(r) => Ok(r),
+            ExecResult::Affected(_) => Err(Error::Unsupported("query() on a non-SELECT".into())),
+        }
+    }
+
+    /// Run a script of `;`-separated statements (DDL deployment).
+    pub fn execute_script(&self, sql: &str) -> Result<usize> {
+        let stmts = parse_script(sql)?;
+        let n = stmts.len();
+        for s in stmts {
+            self.execute_stmt(&s, &Params::new())?;
+        }
+        Ok(n)
+    }
+
+    /// Run `f` inside a transaction: all mutations are rolled back if `f`
+    /// returns an error. The write lock is held for the duration, giving
+    /// serializable isolation.
+    pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<T>) -> Result<T> {
+        let mut storage = self.storage.write();
+        let mut tx = Transaction {
+            storage: &mut storage,
+            undo: Vec::new(),
+            db: self,
+        };
+        match f(&mut tx) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                let undo = std::mem::take(&mut tx.undo);
+                storage.rollback(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run `f` with shared access to the storage (used by [`crate::Session`]).
+    pub(crate) fn with_storage<T>(&self, f: impl FnOnce(&Storage) -> crate::error::Result<T>) -> crate::error::Result<T> {
+        let storage = self.storage.read();
+        f(&storage)
+    }
+
+    /// Run `f` with exclusive access to the storage.
+    pub(crate) fn with_storage_mut<T>(&self, f: impl FnOnce(&mut Storage) -> T) -> T {
+        let mut storage = self.storage.write();
+        f(&mut storage)
+    }
+
+    /// Bump the executed-statement counter (session-path statements).
+    pub(crate) fn count_statement(&self) {
+        self.queries_executed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Names of all tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.storage.read().table_names()
+    }
+
+    /// Live row count of a table.
+    pub fn table_len(&self, name: &str) -> Result<usize> {
+        Ok(self.storage.read().require_table(name)?.len())
+    }
+
+    /// Register a table built programmatically (bypasses SQL).
+    pub fn create_table(&self, table: Table) -> Result<()> {
+        self.storage.write().create_table(table)
+    }
+}
+
+/// An open transaction. All statements executed through it share one undo
+/// log; dropping without `commit` (or returning `Err` from the closure)
+/// rolls everything back.
+pub struct Transaction<'a> {
+    storage: &'a mut Storage,
+    undo: UndoLog,
+    db: &'a Database,
+}
+
+impl Transaction<'_> {
+    pub fn execute(&mut self, sql: &str, params: &Params) -> Result<ExecResult> {
+        let stmt = self.db.prepare(sql)?;
+        self.db
+            .queries_executed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match stmt.as_ref() {
+            Statement::Select(sel) => Ok(ExecResult::Rows(run_select(self.storage, sel, params)?)),
+            Statement::Insert(ins) => Ok(ExecResult::Affected(self.storage.run_insert(
+                ins,
+                params,
+                &mut self.undo,
+            )?)),
+            Statement::Update(upd) => Ok(ExecResult::Affected(self.storage.run_update(
+                upd,
+                params,
+                &mut self.undo,
+            )?)),
+            Statement::Delete(del) => Ok(ExecResult::Affected(self.storage.run_delete(
+                del,
+                params,
+                &mut self.undo,
+            )?)),
+            _ => Err(Error::Transaction(
+                "DDL is not allowed inside a transaction".into(),
+            )),
+        }
+    }
+
+    pub fn query(&mut self, sql: &str, params: &Params) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            ExecResult::Rows(r) => Ok(r),
+            _ => Err(Error::Unsupported("query() on a non-SELECT".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL, year INTEGER);
+             CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER NOT NULL,
+                                 volume_oid INTEGER NOT NULL,
+                                 CONSTRAINT fk_vol FOREIGN KEY (volume_oid) REFERENCES volume (oid) ON DELETE CASCADE);
+             CREATE TABLE paper (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL,
+                                 issue_oid INTEGER,
+                                 CONSTRAINT fk_iss FOREIGN KEY (issue_oid) REFERENCES issue (oid) ON DELETE SET NULL);
+             CREATE INDEX ix_issue_vol ON issue (volume_oid);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn seed(db: &Database) {
+        db.execute(
+            "INSERT INTO volume (title, year) VALUES ('TODS 27', 2002), ('TODS 26', 2001)",
+            &Params::new(),
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO issue (number, volume_oid) VALUES (1, 1), (2, 1), (1, 2)",
+            &Params::new(),
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO paper (title, issue_oid) VALUES ('WebML', 1), ('Araneus', 1), ('Strudel', 2), ('ADM', 3)",
+            &Params::new(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn basic_select_with_params() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT title FROM volume WHERE year = :y",
+                &Params::new().bind("y", 2002),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.first("title"), Some(&Value::Text("TODS 27".into())));
+    }
+
+    #[test]
+    fn join_with_index_probe() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT v.title, i.number, p.title AS paper FROM volume v \
+                 INNER JOIN issue i ON i.volume_oid = v.oid \
+                 INNER JOIN paper p ON p.issue_oid = i.oid \
+                 WHERE v.oid = ? ORDER BY i.number, paper",
+                &Params::positional([Value::Integer(1)]),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.get(0, "paper"), Some(&Value::Text("Araneus".into())));
+        assert_eq!(rs.get(2, "paper"), Some(&Value::Text("Strudel".into())));
+    }
+
+    #[test]
+    fn left_join_null_extends() {
+        let db = db();
+        seed(&db);
+        // volume 2 issue 1 has one paper; add an issue with none
+        db.execute(
+            "INSERT INTO issue (number, volume_oid) VALUES (9, 2)",
+            &Params::new(),
+        )
+        .unwrap();
+        let rs = db
+            .query(
+                "SELECT i.number, p.title FROM issue i LEFT JOIN paper p ON p.issue_oid = i.oid \
+                 WHERE i.volume_oid = 2 ORDER BY i.number",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(1, "title"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT i.oid, COUNT(*) AS n FROM issue i \
+                 INNER JOIN paper p ON p.issue_oid = i.oid \
+                 GROUP BY i.oid HAVING COUNT(*) >= 1 ORDER BY n DESC, i.oid",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.get(0, "n"), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query("SELECT COUNT(*) AS n, MAX(year) AS y FROM volume", &Params::new())
+            .unwrap();
+        assert_eq!(rs.first("n"), Some(&Value::Integer(2)));
+        assert_eq!(rs.first("y"), Some(&Value::Integer(2002)));
+    }
+
+    #[test]
+    fn fk_violation_on_insert() {
+        let db = db();
+        seed(&db);
+        let err = db
+            .execute(
+                "INSERT INTO issue (number, volume_oid) VALUES (1, 999)",
+                &Params::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn cascade_delete_and_set_null() {
+        let db = db();
+        seed(&db);
+        // deleting volume 1 cascades to issues 1,2 and nulls papers 1..3
+        let n = db
+            .execute("DELETE FROM volume WHERE oid = 1", &Params::new())
+            .unwrap()
+            .affected();
+        assert_eq!(n, 3); // volume + 2 issues
+        assert_eq!(db.table_len("issue").unwrap(), 1);
+        let rs = db
+            .query(
+                "SELECT title FROM paper WHERE issue_oid IS NULL ORDER BY title",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let db = db();
+        seed(&db);
+        db.execute("UPDATE volume SET year = year + 1", &Params::new())
+            .unwrap();
+        let rs = db
+            .query("SELECT MAX(year) AS y FROM volume", &Params::new())
+            .unwrap();
+        assert_eq!(rs.first("y"), Some(&Value::Integer(2003)));
+    }
+
+    #[test]
+    fn transaction_rolls_back_on_error() {
+        let db = db();
+        seed(&db);
+        let before = db.table_len("paper").unwrap();
+        let r: Result<()> = db.transaction(|tx| {
+            tx.execute(
+                "INSERT INTO paper (title) VALUES ('temp1')",
+                &Params::new(),
+            )?;
+            tx.execute(
+                "INSERT INTO paper (title) VALUES ('temp2')",
+                &Params::new(),
+            )?;
+            Err(Error::Eval("boom".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(db.table_len("paper").unwrap(), before);
+    }
+
+    #[test]
+    fn transaction_commits_on_ok() {
+        let db = db();
+        seed(&db);
+        db.transaction(|tx| {
+            tx.execute("INSERT INTO paper (title) VALUES ('kept')", &Params::new())?;
+            Ok(())
+        })
+        .unwrap();
+        let rs = db
+            .query(
+                "SELECT COUNT(*) AS n FROM paper WHERE title = 'kept'",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.first("n"), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn transaction_rollback_undoes_cascades() {
+        let db = db();
+        seed(&db);
+        let issues = db.table_len("issue").unwrap();
+        let papers = db.table_len("paper").unwrap();
+        let _ = db.transaction(|tx| -> Result<()> {
+            tx.execute("DELETE FROM volume WHERE oid = 1", &Params::new())?;
+            Err(Error::Eval("revert".into()))
+        });
+        assert_eq!(db.table_len("issue").unwrap(), issues);
+        assert_eq!(db.table_len("paper").unwrap(), papers);
+        assert_eq!(db.table_len("volume").unwrap(), 2);
+        // the set-null side effects must also be restored
+        let rs = db
+            .query(
+                "SELECT COUNT(*) AS n FROM paper WHERE issue_oid IS NULL",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.first("n"), Some(&Value::Integer(0)));
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT DISTINCT volume_oid FROM issue ORDER BY volume_oid",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        let rs = db
+            .query(
+                "SELECT oid FROM paper ORDER BY oid LIMIT 2 OFFSET 1",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.first("oid"), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn like_search_unit_query() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT title FROM paper WHERE title LIKE :kw ORDER BY title",
+                &Params::new().bind("kw", "%e%"),
+            )
+            .unwrap();
+        // Araneus, Strudel, WebML
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn prepared_statement_cache_hits() {
+        let db = db();
+        seed(&db);
+        let s1 = db.prepare("SELECT oid FROM volume").unwrap();
+        let s2 = db.prepare("SELECT oid FROM volume").unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn drop_and_recreate_table() {
+        let db = db();
+        db.execute("DROP TABLE paper", &Params::new()).unwrap();
+        assert!(db.query("SELECT * FROM paper", &Params::new()).is_err());
+        db.execute("DROP TABLE IF EXISTS paper", &Params::new())
+            .unwrap();
+        db.execute("CREATE TABLE paper (oid INTEGER PRIMARY KEY)", &Params::new())
+            .unwrap();
+        assert_eq!(db.table_len("paper").unwrap(), 0);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Database::new();
+        let rs = db
+            .query("SELECT 1 + 1 AS two, 'x' AS s", &Params::new())
+            .unwrap();
+        assert_eq!(rs.first("two"), Some(&Value::Integer(2)));
+        assert_eq!(rs.first("s"), Some(&Value::Text("x".into())));
+    }
+
+    #[test]
+    fn order_by_ordinal_and_alias() {
+        let db = db();
+        seed(&db);
+        let rs = db
+            .query(
+                "SELECT title AS t, year FROM volume ORDER BY 2 DESC",
+                &Params::new(),
+            )
+            .unwrap();
+        assert_eq!(rs.first("t"), Some(&Value::Text("TODS 27".into())));
+        let rs = db
+            .query("SELECT title AS t FROM volume ORDER BY t", &Params::new())
+            .unwrap();
+        assert_eq!(rs.first("t"), Some(&Value::Text("TODS 26".into())));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::Arc as StdArc;
+        let db = StdArc::new(db());
+        seed(&db);
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let db = StdArc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50 {
+                    if i == 0 {
+                        db.execute(
+                            "INSERT INTO paper (title) VALUES (:t)",
+                            &Params::new().bind("t", format!("p{j}")),
+                        )
+                        .unwrap();
+                    } else {
+                        db.query("SELECT COUNT(*) AS n FROM paper", &Params::new())
+                            .unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.table_len("paper").unwrap(), 54);
+    }
+}

@@ -1,0 +1,753 @@
+//! SELECT execution: scans, index probes, joins, grouping, ordering.
+
+use crate::error::{Error, Result};
+use crate::expr::{contains_aggregate, eval, is_aggregate, Binding, EvalCtx, Params};
+use crate::result::ResultSet;
+use crate::sql::ast::*;
+use crate::storage::Storage;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// One position in the join product: a row id per table binding (None for
+/// the null-extended side of a LEFT JOIN).
+type Combo = Vec<Option<RowId>>;
+
+struct Source<'a> {
+    binding: String,
+    table: &'a Table,
+}
+
+/// Execute a SELECT against the storage snapshot.
+pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<ResultSet> {
+    // SELECT without FROM: a single constant row.
+    let Some(from) = &sel.from else {
+        let bindings: [Binding<'_>; 0] = [];
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        let mut names = Vec::new();
+        let mut row = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    names.push(alias.clone().unwrap_or_else(|| format!("col{}", i + 1)));
+                    row.push(eval(expr, &ctx)?);
+                }
+                _ => return Err(Error::Unsupported("wildcard without FROM".into())),
+            }
+        }
+        return Ok(ResultSet::new(names, vec![row]));
+    };
+
+    // Resolve sources.
+    let mut sources: Vec<Source<'_>> = Vec::with_capacity(1 + from.joins.len());
+    sources.push(Source {
+        binding: from.base.binding().to_string(),
+        table: storage.require_table(&from.base.table)?,
+    });
+    for j in &from.joins {
+        sources.push(Source {
+            binding: j.table.binding().to_string(),
+            table: storage.require_table(&j.table.table)?,
+        });
+    }
+
+    // Split WHERE into conjuncts for pushdown.
+    let where_conjuncts = sel
+        .where_clause
+        .as_ref()
+        .map(|w| conjuncts(w))
+        .unwrap_or_default();
+
+    // Base scan: try an index probe from WHERE conjuncts that bind base
+    // columns to row-independent expressions.
+    let base_ids = probe_or_scan(&sources[0], &where_conjuncts, &[], params)?;
+
+    // Build the join product left to right.
+    let mut combos: Vec<Combo> = base_ids.into_iter().map(|id| vec![Some(id)]).collect();
+    for (jpos, join) in from.joins.iter().enumerate() {
+        let cur = &sources[jpos + 1];
+        let on_conjuncts = conjuncts(&join.on);
+        let mut next: Vec<Combo> = Vec::new();
+        for combo in &combos {
+            let candidates =
+                probe_candidates(cur, &on_conjuncts, &sources[..jpos + 1], combo, params)?;
+            let mut matched = false;
+            for cand in candidates {
+                let mut extended = combo.clone();
+                extended.push(Some(cand));
+                let ok = {
+                    let bindings = make_bindings(&sources[..jpos + 2], &extended);
+                    let ctx = EvalCtx {
+                        bindings: &bindings,
+                        params,
+                    };
+                    eval(&join.on, &ctx)?.is_truthy()
+                };
+                if ok {
+                    matched = true;
+                    next.push(extended);
+                }
+            }
+            if !matched && join.kind == JoinKind::Left {
+                let mut extended = combo.clone();
+                extended.push(None);
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+
+    // Residual WHERE filter.
+    if let Some(w) = &sel.where_clause {
+        let mut filtered = Vec::with_capacity(combos.len());
+        for combo in combos {
+            let keep = {
+                let bindings = make_bindings(&sources, &combo);
+                let ctx = EvalCtx {
+                    bindings: &bindings,
+                    params,
+                };
+                eval(w, &ctx)?.is_truthy()
+            };
+            if keep {
+                filtered.push(combo);
+            }
+        }
+        combos = filtered;
+    }
+
+    let grouped = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
+
+    let (names, mut out_rows, mut sort_keys) = if grouped {
+        project_grouped(sel, &sources, combos, params)?
+    } else {
+        project_plain(sel, &sources, combos, params)?
+    };
+
+    // ORDER BY using the precomputed keys.
+    if !sel.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, item) in sel.order_by.iter().enumerate() {
+                let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
+                let ord = if item.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut reordered = Vec::with_capacity(out_rows.len());
+        let mut rekeys = Vec::with_capacity(out_rows.len());
+        for i in idx {
+            reordered.push(std::mem::take(&mut out_rows[i]));
+            rekeys.push(std::mem::take(&mut sort_keys[i]));
+        }
+        out_rows = reordered;
+    }
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out_rows.len());
+        out_rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    // LIMIT / OFFSET.
+    let empty: [Binding<'_>; 0] = [];
+    let const_ctx = EvalCtx {
+        bindings: &empty,
+        params,
+    };
+    let offset = match &sel.offset {
+        Some(e) => eval_usize(e, &const_ctx, "OFFSET")?,
+        None => 0,
+    };
+    let limit = match &sel.limit {
+        Some(e) => Some(eval_usize(e, &const_ctx, "LIMIT")?),
+        None => None,
+    };
+    if offset > 0 {
+        out_rows.drain(..offset.min(out_rows.len()));
+    }
+    if let Some(l) = limit {
+        out_rows.truncate(l);
+    }
+
+    Ok(ResultSet::new(names, out_rows))
+}
+
+fn eval_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> Result<usize> {
+    match eval(e, ctx)? {
+        Value::Integer(i) if i >= 0 => Ok(i as usize),
+        other => Err(Error::Eval(format!("{what} must be a non-negative integer, got {other:?}"))),
+    }
+}
+
+fn make_bindings<'a>(sources: &'a [Source<'a>], combo: &'a Combo) -> Vec<Binding<'a>> {
+    sources
+        .iter()
+        .zip(combo.iter())
+        .map(|(s, id)| Binding {
+            name: &s.binding,
+            schema: &s.table.schema,
+            row: id.and_then(|id| s.table.get(id)),
+        })
+        .collect()
+}
+
+/// Split an expression into AND-ed conjuncts.
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut v = conjuncts(left);
+            v.extend(conjuncts(right));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Does `e` reference any column of the given binding set?
+fn references_binding(e: &Expr, names: &[&str]) -> bool {
+    let mut hit = false;
+    e.walk(&mut |n| {
+        if let Expr::Column { table, name: _ } = n {
+            match table {
+                Some(t) => {
+                    if names.iter().any(|b| b.eq_ignore_ascii_case(t)) {
+                        hit = true;
+                    }
+                }
+                // unqualified columns could belong to anything: be
+                // conservative and treat them as referencing the binding
+                None => hit = true,
+            }
+        }
+    });
+    hit
+}
+
+/// From conjuncts, extract equality probes `cur.col = <expr independent of
+/// cur>` usable for an index lookup on `cur`.
+fn extract_probes<'e>(
+    cur: &Source<'_>,
+    conjs: &[&'e Expr],
+    other_names: &[&str],
+) -> Vec<(usize, &'e Expr)> {
+    let mut probes = Vec::new();
+    for c in conjs {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        for (col_side, val_side) in [(left, right), (right, left)] {
+            let Expr::Column { table, name } = col_side.as_ref() else {
+                continue;
+            };
+            // the column must belong to `cur`
+            let belongs = match table {
+                Some(t) => t.eq_ignore_ascii_case(&cur.binding),
+                None => {
+                    cur.table.schema.column_index(name).is_some()
+                        && !other_names.is_empty()
+                }
+            };
+            if !belongs {
+                continue;
+            }
+            let Some(col_idx) = cur.table.schema.column_index(name) else {
+                continue;
+            };
+            // the value side must not reference `cur`
+            if references_binding(val_side, &[&cur.binding]) {
+                continue;
+            }
+            // if the value side has unqualified columns they must be
+            // resolvable from the other bindings — `references_binding`
+            // above is conservative, so double-check for pure literals and
+            // params when there are no other bindings
+            if other_names.is_empty() && references_binding(val_side, &[]) {
+                continue;
+            }
+            probes.push((col_idx, val_side.as_ref()));
+            break;
+        }
+    }
+    probes
+}
+
+/// Candidate row ids of `cur` given the conjuncts of its ON clause and the
+/// current prefix of the join product; falls back to a full scan.
+fn probe_candidates(
+    cur: &Source<'_>,
+    on_conjuncts: &[&Expr],
+    prev_sources: &[Source<'_>],
+    combo: &Combo,
+    params: &Params,
+) -> Result<Vec<RowId>> {
+    let prev_names: Vec<&str> = prev_sources.iter().map(|s| s.binding.as_str()).collect();
+    let probes = extract_probes(cur, on_conjuncts, &prev_names);
+    if !probes.is_empty() {
+        let bindings = make_bindings(prev_sources, combo);
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        if let Some(ids) = try_index_probe(cur.table, &probes, &ctx)? {
+            return Ok(ids);
+        }
+    }
+    Ok(cur.table.iter().map(|(id, _)| id).collect())
+}
+
+/// Base-table scan with optional WHERE-driven probe (no previous bindings).
+fn probe_or_scan(
+    base: &Source<'_>,
+    where_conjuncts: &[&Expr],
+    _prev: &[Source<'_>],
+    params: &Params,
+) -> Result<Vec<RowId>> {
+    // for the base table, unqualified columns in WHERE do belong to it when
+    // it is the only source; extract_probes handles qualification, so try
+    // both qualified and unqualified forms here
+    let mut probes = Vec::new();
+    for c in where_conjuncts {
+        let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        for (col_side, val_side) in [(left, right), (right, left)] {
+            let Expr::Column { table, name } = col_side.as_ref() else {
+                continue;
+            };
+            let belongs = match table {
+                Some(t) => t.eq_ignore_ascii_case(&base.binding),
+                None => base.table.schema.column_index(name).is_some(),
+            };
+            if !belongs {
+                continue;
+            }
+            let Some(col_idx) = base.table.schema.column_index(name) else {
+                continue;
+            };
+            // value side must be row-independent: literals/params/functions
+            if references_any_column(val_side) {
+                continue;
+            }
+            probes.push((col_idx, val_side.as_ref()));
+            break;
+        }
+    }
+    if !probes.is_empty() {
+        let bindings: [Binding<'_>; 0] = [];
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        if let Some(ids) = try_index_probe(base.table, &probes, &ctx)? {
+            return Ok(ids);
+        }
+    }
+    Ok(base.table.iter().map(|(id, _)| id).collect())
+}
+
+fn references_any_column(e: &Expr) -> bool {
+    let mut hit = false;
+    e.walk(&mut |n| {
+        if matches!(n, Expr::Column { .. }) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+/// Attempt a PK or secondary-index probe with the extracted equalities.
+/// Returns `None` when no usable index exists.
+fn try_index_probe(
+    table: &Table,
+    probes: &[(usize, &Expr)],
+    ctx: &EvalCtx<'_>,
+) -> Result<Option<Vec<RowId>>> {
+    // primary key: all PK columns must be bound
+    let pk = &table.schema.primary_key;
+    if !pk.is_empty() && pk.iter().all(|c| probes.iter().any(|(p, _)| p == c)) {
+        let mut key = Vec::with_capacity(pk.len());
+        for c in pk {
+            let (_, e) = probes.iter().find(|(p, _)| p == c).unwrap();
+            let col_type = table.schema.columns[*c].data_type;
+            key.push(eval(e, ctx)?.coerce(col_type)?);
+        }
+        return Ok(Some(
+            table.get_by_pk(&key).map(|(id, _)| id).into_iter().collect(),
+        ));
+    }
+    // secondary index: find one whose full prefix is covered
+    for ix in table.indexes() {
+        let covered: Vec<&(usize, &Expr)> = ix
+            .columns
+            .iter()
+            .map_while(|c| probes.iter().find(|(p, _)| p == c))
+            .collect();
+        if covered.len() == ix.columns.len() {
+            let mut key = Vec::with_capacity(covered.len());
+            for (c, e) in &covered {
+                let col_type = table.schema.columns[*c].data_type;
+                key.push(eval(e, ctx)?.coerce(col_type)?);
+            }
+            return Ok(Some(ix.lookup(&key).to_vec()));
+        }
+    }
+    Ok(None)
+}
+
+// ---- projection ---------------------------------------------------------
+
+/// Expand wildcards into concrete output column names + expressions.
+fn expand_items(
+    sel: &Select,
+    sources: &[Source<'_>],
+) -> Result<Vec<(String, Expr)>> {
+    let mut out = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for s in sources {
+                    for c in &s.table.schema.columns {
+                        out.push((
+                            c.name.clone(),
+                            Expr::Column {
+                                table: Some(s.binding.clone()),
+                                name: c.name.clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let s = sources
+                    .iter()
+                    .find(|s| s.binding.eq_ignore_ascii_case(t))
+                    .ok_or_else(|| Error::UnknownTable(t.clone()))?;
+                for c in &s.table.schema.columns {
+                    out.push((
+                        c.name.clone(),
+                        Expr::Column {
+                            table: Some(s.binding.clone()),
+                            name: c.name.clone(),
+                        },
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                out.push((name, expr.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn default_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.to_lowercase(),
+        _ => "expr".to_string(),
+    }
+}
+
+/// Resolve an ORDER BY expression to a key value, honouring select-list
+/// aliases and 1-based ordinals.
+fn order_key(
+    item: &Expr,
+    names: &[String],
+    out_row: &[Value],
+    ctx: &EvalCtx<'_>,
+) -> Result<Value> {
+    match item {
+        Expr::Literal(Value::Integer(i)) => {
+            let idx = *i as usize;
+            if idx >= 1 && idx <= out_row.len() {
+                Ok(out_row[idx - 1].clone())
+            } else {
+                Err(Error::Eval(format!("ORDER BY ordinal {i} out of range")))
+            }
+        }
+        Expr::Column { table: None, name } => {
+            if let Some(pos) = names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
+                Ok(out_row[pos].clone())
+            } else {
+                eval(item, ctx)
+            }
+        }
+        _ => eval(item, ctx),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn project_plain(
+    sel: &Select,
+    sources: &[Source<'_>],
+    combos: Vec<Combo>,
+    params: &Params,
+) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>)> {
+    let items = expand_items(sel, sources)?;
+    let names: Vec<String> = items.iter().map(|(n, _)| n.clone()).collect();
+    let mut rows = Vec::with_capacity(combos.len());
+    let mut keys = Vec::with_capacity(combos.len());
+    for combo in &combos {
+        let bindings = make_bindings(sources, combo);
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        let mut row = Vec::with_capacity(items.len());
+        for (_, e) in &items {
+            row.push(eval(e, &ctx)?);
+        }
+        let mut key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            key.push(order_key(&o.expr, &names, &row, &ctx)?);
+        }
+        rows.push(row);
+        keys.push(key);
+    }
+    Ok((names, rows, keys))
+}
+
+/// Replace every aggregate call in `e` with its value over `group`.
+fn rewrite_aggregates(
+    e: &Expr,
+    sources: &[Source<'_>],
+    group: &[Combo],
+    params: &Params,
+) -> Result<Expr> {
+    Ok(match e {
+        Expr::Function { name, args, star } if is_aggregate(name) => {
+            Expr::Literal(compute_aggregate(name, args, *star, sources, group, params)?)
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_aggregates(left, sources, group, params)?),
+            op: *op,
+            right: Box::new(rewrite_aggregates(right, sources, group, params)?),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
+            pattern: Box::new(rewrite_aggregates(pattern, sources, group, params)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
+            list: list
+                .iter()
+                .map(|i| rewrite_aggregates(i, sources, group, params))
+                .collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
+            lo: Box::new(rewrite_aggregates(lo, sources, group, params)?),
+            hi: Box::new(rewrite_aggregates(hi, sources, group, params)?),
+            negated: *negated,
+        },
+        Expr::Function { name, args, star } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_aggregates(a, sources, group, params))
+                .collect::<Result<Vec<_>>>()?,
+            star: *star,
+        },
+        other => other.clone(),
+    })
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    star: bool,
+    sources: &[Source<'_>],
+    group: &[Combo],
+    params: &Params,
+) -> Result<Value> {
+    if name == "COUNT" && star {
+        return Ok(Value::Integer(group.len() as i64));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| Error::Eval(format!("{name} requires an argument")))?;
+    let mut vals: Vec<Value> = Vec::with_capacity(group.len());
+    for combo in group {
+        let bindings = make_bindings(sources, combo);
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        let v = eval(arg, &ctx)?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    match name {
+        "COUNT" => Ok(Value::Integer(vals.len() as i64)),
+        "MIN" => Ok(vals.into_iter().min().unwrap_or(Value::Null)),
+        "MAX" => Ok(vals.into_iter().max().unwrap_or(Value::Null)),
+        "SUM" | "AVG" => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = vals.iter().all(|v| matches!(v, Value::Integer(_)));
+            let n = vals.len() as f64;
+            let sum: f64 = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Integer(i) => Ok(*i as f64),
+                    Value::Real(r) => Ok(*r),
+                    other => Err(Error::Eval(format!("{name} of non-number {other:?}"))),
+                })
+                .collect::<Result<Vec<f64>>>()?
+                .iter()
+                .sum();
+            if name == "SUM" {
+                if all_int {
+                    Ok(Value::Integer(sum as i64))
+                } else {
+                    Ok(Value::Real(sum))
+                }
+            } else {
+                Ok(Value::Real(sum / n))
+            }
+        }
+        other => Err(Error::Unsupported(format!("aggregate {other}"))),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn project_grouped(
+    sel: &Select,
+    sources: &[Source<'_>],
+    combos: Vec<Combo>,
+    params: &Params,
+) -> Result<(Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>)> {
+    let items = expand_items(sel, sources)?;
+    let names: Vec<String> = items.iter().map(|(n, _)| n.clone()).collect();
+
+    // Partition combos into groups by the GROUP BY key (implicit single
+    // group when GROUP BY is absent but aggregates are present).
+    let mut groups: Vec<(Vec<Value>, Vec<Combo>)> = Vec::new();
+    if sel.group_by.is_empty() {
+        groups.push((Vec::new(), combos));
+    } else {
+        let mut index: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        for combo in combos {
+            let key = {
+                let bindings = make_bindings(sources, &combo);
+                let ctx = EvalCtx {
+                    bindings: &bindings,
+                    params,
+                };
+                sel.group_by
+                    .iter()
+                    .map(|e| eval(e, &ctx))
+                    .collect::<Result<Vec<_>>>()?
+            };
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(combo),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![combo]));
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    let mut keys = Vec::with_capacity(groups.len());
+    for (_, group) in &groups {
+        if group.is_empty() {
+            // implicit group over empty input: aggregates still produce a row
+            if !sel.group_by.is_empty() {
+                continue;
+            }
+        }
+        // HAVING
+        if let Some(h) = &sel.having {
+            let rewritten = rewrite_aggregates(h, sources, group, params)?;
+            let keep = {
+                let first = group.first();
+                let bindings = first
+                    .map(|c| make_bindings(sources, c))
+                    .unwrap_or_default();
+                let ctx = EvalCtx {
+                    bindings: &bindings,
+                    params,
+                };
+                eval(&rewritten, &ctx)?.is_truthy()
+            };
+            if !keep {
+                continue;
+            }
+        }
+        let first = group.first();
+        let bindings = first
+            .map(|c| make_bindings(sources, c))
+            .unwrap_or_default();
+        let ctx = EvalCtx {
+            bindings: &bindings,
+            params,
+        };
+        let mut row = Vec::with_capacity(items.len());
+        for (_, e) in &items {
+            let rewritten = rewrite_aggregates(e, sources, group, params)?;
+            row.push(eval(&rewritten, &ctx)?);
+        }
+        let mut key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            let rewritten = rewrite_aggregates(&o.expr, sources, group, params)?;
+            key.push(order_key(&rewritten, &names, &row, &ctx)?);
+        }
+        rows.push(row);
+        keys.push(key);
+    }
+    Ok((names, rows, keys))
+}

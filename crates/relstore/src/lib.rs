@@ -1,0 +1,62 @@
+//! # relstore — the data tier of the WebML/WebRatio reproduction
+//!
+//! An in-memory relational database engine with a SQL subset, playing the
+//! role of the "JDBC or ODBC compliant data source" in the paper's
+//! architecture (CIDR 2003, §1). Generated unit descriptors carry SQL text;
+//! the generic unit services of the MVC runtime prepare and execute those
+//! statements here with bound parameters.
+//!
+//! Supported SQL:
+//!
+//! * `SELECT` with `DISTINCT`, expressions, `FROM` with `INNER`/`LEFT JOIN`,
+//!   `WHERE`, `GROUP BY`/`HAVING` with `COUNT/SUM/AVG/MIN/MAX`, `ORDER BY`
+//!   (expressions, aliases, ordinals), `LIMIT`/`OFFSET`;
+//! * `INSERT` (multi-row), `UPDATE`, `DELETE` with foreign-key enforcement
+//!   (`RESTRICT`, `CASCADE`, `SET NULL`);
+//! * `CREATE TABLE` (PK, FK, defaults, `AUTOINCREMENT`), `CREATE [UNIQUE]
+//!   INDEX`, `DROP TABLE`;
+//! * positional (`?`) and named (`:name`) parameters — the generated unit
+//!   queries use named parameters matching WebML link parameters.
+//!
+//! Execution uses primary-key and secondary B-tree indexes for equality
+//! probes (base-table WHERE pushdown and join acceleration); everything
+//! else is a scan + filter, which is the right trade-off for the unit-query
+//! workload this engine serves.
+//!
+//! ```
+//! use relstore::{Database, Params, Value};
+//!
+//! let db = Database::new();
+//! db.execute_script(
+//!     "CREATE TABLE volume (oid INTEGER PRIMARY KEY AUTOINCREMENT, title TEXT NOT NULL);",
+//! ).unwrap();
+//! db.execute("INSERT INTO volume (title) VALUES ('TODS 27')", &Params::new()).unwrap();
+//! let rs = db.query(
+//!     "SELECT title FROM volume WHERE oid = :id",
+//!     &Params::new().bind("id", 1),
+//! ).unwrap();
+//! assert_eq!(rs.first("title"), Some(&Value::Text("TODS 27".into())));
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod result;
+pub mod schema;
+pub mod session;
+pub mod sql;
+pub mod storage;
+pub mod table;
+pub mod value;
+
+pub use db::{Database, Transaction};
+pub use session::Session;
+pub use error::{Error, Result};
+pub use expr::Params;
+pub use result::{ExecResult, ResultSet};
+pub use schema::{Column, ForeignKey, ReferentialAction, TableSchema};
+pub use sql::ast::Statement;
+pub use sql::parser::{parse_script, parse_statement};
+pub use table::{Row, RowId, Table};
+pub use value::{DataType, Value};

@@ -1,0 +1,262 @@
+//! Table schemas: columns, keys, and foreign-key constraints.
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+    /// Default applied when an INSERT omits the column.
+    pub default: Option<Value>,
+    /// Auto-assign a fresh integer on insert when the value is NULL/omitted.
+    pub auto_increment: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Column {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            default: None,
+            auto_increment: false,
+        }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+
+    pub fn with_default(mut self, v: Value) -> Column {
+        self.default = Some(v);
+        self
+    }
+
+    pub fn auto(mut self) -> Column {
+        self.auto_increment = true;
+        self
+    }
+}
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `referenced_columns` of `referenced_table`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub referenced_table: String,
+    pub referenced_columns: Vec<String>,
+    pub on_delete: ReferentialAction,
+}
+
+/// What to do with referencing rows when the referenced row is deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferentialAction {
+    /// Refuse the delete (default).
+    Restrict,
+    /// Delete the referencing rows too.
+    Cascade,
+    /// Null out the referencing columns.
+    SetNull,
+}
+
+/// Complete definition of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Indexes into `columns` forming the primary key (may be empty).
+    pub primary_key: Vec<usize>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a column, returning `self` for chaining.
+    pub fn column(mut self, col: Column) -> TableSchema {
+        self.columns.push(col);
+        self
+    }
+
+    /// Declare the primary key by column names. Unknown names are an error
+    /// at validation time, not here, so builders stay infallible.
+    pub fn primary_key(mut self, names: &[&str]) -> TableSchema {
+        self.primary_key = names
+            .iter()
+            .filter_map(|n| self.columns.iter().position(|c| c.name == *n))
+            .collect();
+        self
+    }
+
+    pub fn foreign_key(mut self, fk: ForeignKey) -> TableSchema {
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column lookup that produces the engine error on miss.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name)
+            .ok_or_else(|| Error::UnknownColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Names of the primary-key columns, in key order.
+    pub fn primary_key_names(&self) -> Vec<&str> {
+        self.primary_key
+            .iter()
+            .map(|&i| self.columns[i].name.as_str())
+            .collect()
+    }
+
+    /// Sanity-check internal consistency (PK indexes in range, FK arity,
+    /// unique column names). Called when the table is created.
+    pub fn validate(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            for other in &self.columns[i + 1..] {
+                if c.name.eq_ignore_ascii_case(&other.name) {
+                    return Err(Error::UnknownColumn(format!(
+                        "duplicate column {} in table {}",
+                        c.name, self.name
+                    )));
+                }
+            }
+        }
+        for &i in &self.primary_key {
+            if i >= self.columns.len() {
+                return Err(Error::UnknownColumn(format!(
+                    "primary key column #{i} out of range in {}",
+                    self.name
+                )));
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.columns.len() != fk.referenced_columns.len() {
+                return Err(Error::ForeignKeyViolation {
+                    table: self.name.clone(),
+                    constraint: format!("{}: arity mismatch", fk.name),
+                });
+            }
+            for c in &fk.columns {
+                self.require_column(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the `CREATE TABLE` statement for this schema (round-trips
+    /// through the parser; used by the DDL generator).
+    pub fn to_create_sql(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.columns.len() + 2);
+        for c in &self.columns {
+            let mut s = format!("{} {}", c.name, c.data_type.sql_name());
+            if !c.nullable {
+                s.push_str(" NOT NULL");
+            }
+            if c.auto_increment {
+                s.push_str(" AUTOINCREMENT");
+            }
+            if let Some(d) = &c.default {
+                s.push_str(" DEFAULT ");
+                s.push_str(&d.to_sql_literal());
+            }
+            parts.push(s);
+        }
+        if !self.primary_key.is_empty() {
+            parts.push(format!(
+                "PRIMARY KEY ({})",
+                self.primary_key_names().join(", ")
+            ));
+        }
+        for fk in &self.foreign_keys {
+            let action = match fk.on_delete {
+                ReferentialAction::Restrict => "",
+                ReferentialAction::Cascade => " ON DELETE CASCADE",
+                ReferentialAction::SetNull => " ON DELETE SET NULL",
+            };
+            parts.push(format!(
+                "CONSTRAINT {} FOREIGN KEY ({}) REFERENCES {} ({}){}",
+                fk.name,
+                fk.columns.join(", "),
+                fk.referenced_table,
+                fk.referenced_columns.join(", "),
+                action
+            ));
+        }
+        format!("CREATE TABLE {} (\n  {}\n)", self.name, parts.join(",\n  "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new("paper")
+            .column(Column::new("oid", DataType::Integer).not_null().auto())
+            .column(Column::new("title", DataType::Text).not_null())
+            .column(Column::new("pages", DataType::Integer))
+            .primary_key(&["oid"])
+            .foreign_key(ForeignKey {
+                name: "fk_issue".into(),
+                columns: vec!["issue_oid".into()],
+                referenced_table: "issue".into(),
+                referenced_columns: vec!["oid".into()],
+                on_delete: ReferentialAction::Cascade,
+            })
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.column_index("TITLE"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn validate_rejects_missing_fk_column() {
+        // fk references issue_oid which was never declared
+        assert!(sample().validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_complete_schema() {
+        let s = sample().column(Column::new("issue_oid", DataType::Integer));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_columns() {
+        let s = TableSchema::new("t")
+            .column(Column::new("a", DataType::Integer))
+            .column(Column::new("A", DataType::Text));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn create_sql_mentions_constraints() {
+        let sql = sample()
+            .column(Column::new("issue_oid", DataType::Integer))
+            .to_create_sql();
+        assert!(sql.contains("PRIMARY KEY (oid)"));
+        assert!(sql.contains("ON DELETE CASCADE"));
+        assert!(sql.contains("title TEXT NOT NULL"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Connection-style sessions supporting SQL-level transaction control.
+//!
+//! [`crate::Database::transaction`] gives closure-scoped transactions with
+//! serializable isolation (the write lock is held throughout). A
+//! [`Session`] instead mimics a JDBC connection: statements arrive one at
+//! a time and `BEGIN`/`COMMIT`/`ROLLBACK` arrive as statements. Locks are
+//! taken per statement, so isolation is read-committed: other writers may
+//! interleave between the session's statements, but `ROLLBACK` still
+//! undoes exactly this session's mutations.
+
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::exec::run_select;
+use crate::expr::Params;
+use crate::result::{ExecResult, ResultSet};
+use crate::sql::ast::Statement;
+use crate::storage::UndoLog;
+use std::sync::Arc;
+
+/// A stateful connection to a [`Database`].
+pub struct Session {
+    db: Arc<Database>,
+    /// `Some` while a transaction is open.
+    undo: Option<UndoLog>,
+}
+
+impl Session {
+    pub fn new(db: Arc<Database>) -> Session {
+        Session { db, undo: None }
+    }
+
+    /// Is a transaction currently open?
+    pub fn in_transaction(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Execute one statement, honouring transaction state.
+    pub fn execute(&mut self, sql: &str, params: &Params) -> Result<ExecResult> {
+        let stmt = self.db.prepare(sql)?;
+        match stmt.as_ref() {
+            Statement::Begin => {
+                if self.undo.is_some() {
+                    return Err(Error::Transaction("transaction already open".into()));
+                }
+                self.undo = Some(Vec::new());
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::Commit => {
+                if self.undo.take().is_none() {
+                    return Err(Error::Transaction("no open transaction".into()));
+                }
+                Ok(ExecResult::Affected(0))
+            }
+            Statement::Rollback => match self.undo.take() {
+                Some(undo) => {
+                    self.db.with_storage_mut(|storage| storage.rollback(undo));
+                    Ok(ExecResult::Affected(0))
+                }
+                None => Err(Error::Transaction("no open transaction".into())),
+            },
+            Statement::Select(sel) => {
+                self.db.count_statement();
+                self.db
+                    .with_storage(|storage| Ok(ExecResult::Rows(run_select(storage, sel, params)?)))
+            }
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                self.db.count_statement();
+                match &mut self.undo {
+                    Some(undo) => self.db.with_storage_mut(|storage| {
+                        let mark = undo.len();
+                        let r = match stmt.as_ref() {
+                            Statement::Insert(i) => storage.run_insert(i, params, undo),
+                            Statement::Update(u) => storage.run_update(u, params, undo),
+                            Statement::Delete(d) => storage.run_delete(d, params, undo),
+                            _ => unreachable!(),
+                        };
+                        match r {
+                            Ok(n) => Ok(ExecResult::Affected(n)),
+                            Err(e) => {
+                                // statement-level atomicity inside the txn
+                                let tail: UndoLog = undo.drain(mark..).collect();
+                                storage.rollback(tail);
+                                Err(e)
+                            }
+                        }
+                    }),
+                    None => self.db.execute_stmt(&stmt, params),
+                }
+            }
+            // DDL is auto-committed and refused mid-transaction
+            _ => {
+                if self.undo.is_some() {
+                    return Err(Error::Transaction(
+                        "DDL is not allowed inside a transaction".into(),
+                    ));
+                }
+                self.db.execute_stmt(&stmt, params)
+            }
+        }
+    }
+
+    pub fn query(&mut self, sql: &str, params: &Params) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            ExecResult::Rows(r) => Ok(r),
+            _ => Err(Error::Unsupported("query() on a non-SELECT".into())),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // an abandoned open transaction rolls back, like closing a JDBC
+        // connection without commit
+        if let Some(undo) = self.undo.take() {
+            self.db.with_storage_mut(|storage| storage.rollback(undo));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Arc<Database> {
+        let db = Arc::new(Database::new());
+        db.execute_script(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn begin_commit_persists() {
+        let db = db();
+        let mut s = Session::new(Arc::clone(&db));
+        s.execute("BEGIN", &Params::new()).unwrap();
+        assert!(s.in_transaction());
+        s.execute("INSERT INTO t (v) VALUES ('a')", &Params::new())
+            .unwrap();
+        s.execute("COMMIT", &Params::new()).unwrap();
+        assert!(!s.in_transaction());
+        assert_eq!(db.table_len("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn rollback_undoes_session_writes() {
+        let db = db();
+        let mut s = Session::new(Arc::clone(&db));
+        s.execute("BEGIN", &Params::new()).unwrap();
+        s.execute("INSERT INTO t (v) VALUES ('a')", &Params::new())
+            .unwrap();
+        s.execute("INSERT INTO t (v) VALUES ('b')", &Params::new())
+            .unwrap();
+        // reads inside the txn see the writes
+        let rs = s
+            .query("SELECT COUNT(*) AS n FROM t", &Params::new())
+            .unwrap();
+        assert_eq!(rs.first("n"), Some(&Value::Integer(2)));
+        s.execute("ROLLBACK", &Params::new()).unwrap();
+        assert_eq!(db.table_len("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn failing_statement_rolls_back_only_itself() {
+        let db = db();
+        let mut s = Session::new(Arc::clone(&db));
+        s.execute("BEGIN", &Params::new()).unwrap();
+        s.execute("INSERT INTO t (v) VALUES ('keep')", &Params::new())
+            .unwrap();
+        // violates NOT NULL → statement fails, txn survives
+        assert!(s
+            .execute("INSERT INTO t (v) VALUES (NULL)", &Params::new())
+            .is_err());
+        assert!(s.in_transaction());
+        s.execute("COMMIT", &Params::new()).unwrap();
+        assert_eq!(db.table_len("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn transaction_misuse_is_rejected() {
+        let db = db();
+        let mut s = Session::new(Arc::clone(&db));
+        assert!(s.execute("COMMIT", &Params::new()).is_err());
+        assert!(s.execute("ROLLBACK", &Params::new()).is_err());
+        s.execute("BEGIN", &Params::new()).unwrap();
+        assert!(s.execute("BEGIN", &Params::new()).is_err());
+        assert!(s
+            .execute("CREATE TABLE u (x INTEGER)", &Params::new())
+            .is_err());
+    }
+
+    #[test]
+    fn drop_rolls_back_open_transaction() {
+        let db = db();
+        {
+            let mut s = Session::new(Arc::clone(&db));
+            s.execute("BEGIN", &Params::new()).unwrap();
+            s.execute("INSERT INTO t (v) VALUES ('ghost')", &Params::new())
+                .unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.table_len("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn autocommit_outside_transaction() {
+        let db = db();
+        let mut s = Session::new(Arc::clone(&db));
+        s.execute("INSERT INTO t (v) VALUES ('auto')", &Params::new())
+            .unwrap();
+        assert_eq!(db.table_len("t").unwrap(), 1);
+        // DDL works outside a txn
+        s.execute("CREATE TABLE u (x INTEGER)", &Params::new())
+            .unwrap();
+        assert!(db.table_names().contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn two_sessions_interleave_with_independent_rollback() {
+        let db = db();
+        let mut a = Session::new(Arc::clone(&db));
+        let mut b = Session::new(Arc::clone(&db));
+        a.execute("BEGIN", &Params::new()).unwrap();
+        a.execute("INSERT INTO t (v) VALUES ('from-a')", &Params::new())
+            .unwrap();
+        b.execute("INSERT INTO t (v) VALUES ('from-b')", &Params::new())
+            .unwrap(); // autocommit
+        a.execute("ROLLBACK", &Params::new()).unwrap();
+        let rs = db
+            .query("SELECT v FROM t", &Params::new())
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.first("v"), Some(&Value::Text("from-b".into())));
+    }
+}

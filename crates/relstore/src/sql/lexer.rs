@@ -1,0 +1,454 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{Error, Result};
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (keywords are recognised by the parser; the
+    /// lexer only upper-cases nothing and keeps the raw spelling).
+    Ident(String),
+    /// `"quoted identifier"`.
+    QuotedIdent(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Float literal.
+    Real(f64),
+    /// `'string literal'` with `''` escapes already resolved.
+    Str(String),
+    /// Positional parameter `?`.
+    Question,
+    /// Named parameter `:name`.
+    NamedParam(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// String concatenation `||`.
+    Concat,
+    Eof,
+}
+
+impl TokenKind {
+    /// `true` if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `src` completely. Comments (`-- ...` and `/* ... */`) are
+/// skipped.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::Syntax {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Syntax {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // keep multi-byte UTF-8 intact by slicing chars
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&src[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '"' => {
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::Syntax {
+                        message: "unterminated quoted identifier".into(),
+                        offset: start,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(src[begin..i].to_string()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_real = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                    if bytes[j] == b'.' {
+                        // `1.` followed by non-digit is int + dot
+                        if !bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+                            break;
+                        }
+                        is_real = true;
+                    }
+                    j += 1;
+                }
+                // exponent
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_real = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[i..j];
+                let kind = if is_real {
+                    TokenKind::Real(text.parse().map_err(|_| Error::Syntax {
+                        message: format!("bad real literal {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Integer(text.parse().map_err(|_| Error::Syntax {
+                        message: format!("bad integer literal {text}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            ':' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(Error::Syntax {
+                        message: "expected parameter name after ':'".into(),
+                        offset: start,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::NamedParam(src[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Question,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token {
+                    kind: TokenKind::Concat,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    offset: start,
+                });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(Error::Syntax {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let k = kinds("SELECT a, b FROM t WHERE a = ?");
+        assert!(matches!(k[0], TokenKind::Ident(ref s) if s == "SELECT"));
+        assert!(k.contains(&TokenKind::Question));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escape() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn named_params() {
+        let k = kinds(":volume_id");
+        assert_eq!(k[0], TokenKind::NamedParam("volume_id".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("1 2.5 3e2 10.");
+        assert_eq!(k[0], TokenKind::Integer(1));
+        assert_eq!(k[1], TokenKind::Real(2.5));
+        assert_eq!(k[2], TokenKind::Real(300.0));
+        assert_eq!(k[3], TokenKind::Integer(10));
+        assert_eq!(k[4], TokenKind::Dot);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT -- hi\n 1 /* x */ + 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Integer(1),
+                TokenKind::Plus,
+                TokenKind::Integer(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("<> != <= >= < > =");
+        assert_eq!(
+            k[..7],
+            [
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn utf8_in_strings() {
+        let k = kinds("'héllo wörld'");
+        assert_eq!(k[0], TokenKind::Str("héllo wörld".into()));
+    }
+}

@@ -1,0 +1,5 @@
+//! SQL front end: lexer, AST, and recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;

@@ -1,0 +1,492 @@
+//! Row storage for one table, with primary-key and secondary indexes.
+//!
+//! Rows live in a slot vector; deleted slots are tombstoned and recycled.
+//! A `RowId` names a slot and is stable for the lifetime of the row, which
+//! lets indexes and the undo log refer to rows cheaply.
+
+use crate::error::{Error, Result};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Stable identifier of a row slot within one table.
+pub type RowId = usize;
+
+/// A stored row: one `Value` per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// A secondary index over one or more columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Column positions in the table schema, in index order.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    /// Ordered map from composite key to the rows holding it.
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl Index {
+    fn key_of(&self, row: &Row) -> Vec<Value> {
+        self.columns.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Row ids whose indexed columns equal `key` exactly.
+    pub fn lookup(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys (used by the planner's cost heuristic).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One table: schema + slots + indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    /// Primary-key index (present iff the schema declares a PK).
+    pk_index: Option<HashMap<Vec<Value>, RowId>>,
+    indexes: Vec<Index>,
+    next_auto: i64,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Result<Table> {
+        schema.validate()?;
+        let pk_index = if schema.primary_key.is_empty() {
+            None
+        } else {
+            Some(HashMap::new())
+        };
+        Ok(Table {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pk_index,
+            indexes: Vec::new(),
+            next_auto: 1,
+        })
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The value the next auto-increment insert would receive.
+    pub fn peek_auto(&self) -> i64 {
+        self.next_auto
+    }
+
+    /// Iterate over `(RowId, &Row)` for all live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|r| (id, r)))
+    }
+
+    /// Fetch a row by id (None if deleted or out of range).
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Exact-match lookup through the primary-key index.
+    pub fn get_by_pk(&self, key: &[Value]) -> Option<(RowId, &Row)> {
+        let idx = self.pk_index.as_ref()?;
+        let id = *idx.get(key)?;
+        self.get(id).map(|r| (id, r))
+    }
+
+    /// The secondary indexes of this table.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index whose leading columns are exactly `columns` (a prefix
+    /// match is enough for an equality probe on the prefix).
+    pub fn find_index_on(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.columns.len() >= columns.len() && ix.columns[..columns.len()] == *columns)
+    }
+
+    /// Create a secondary index and populate it from existing rows.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        column_names: &[String],
+        unique: bool,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(Error::DuplicateIndex(name));
+        }
+        let mut columns = Vec::with_capacity(column_names.len());
+        for c in column_names {
+            columns.push(self.schema.require_column(c)?);
+        }
+        let mut ix = Index {
+            name,
+            columns,
+            unique,
+            map: BTreeMap::new(),
+        };
+        for (id, row) in self.slots.iter().enumerate() {
+            if let Some(row) = row {
+                let key = ix.key_of(row);
+                let bucket = ix.map.entry(key).or_default();
+                if unique && !bucket.is_empty() {
+                    return Err(Error::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        column: column_names.join(","),
+                    });
+                }
+                bucket.push(id);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    fn pk_key(&self, row: &Row) -> Option<Vec<Value>> {
+        if self.schema.primary_key.is_empty() {
+            None
+        } else {
+            Some(
+                self.schema
+                    .primary_key
+                    .iter()
+                    .map(|&i| row[i].clone())
+                    .collect(),
+            )
+        }
+    }
+
+    /// Validate NOT NULL + apply defaults + auto-increment. `row` must have
+    /// one entry per column.
+    fn prepare_row(&mut self, mut row: Row) -> Result<Row> {
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if row[i].is_null() {
+                if col.auto_increment {
+                    row[i] = Value::Integer(self.next_auto);
+                    self.next_auto += 1;
+                    continue;
+                }
+                if let Some(d) = &col.default {
+                    row[i] = d.clone();
+                }
+            }
+            if row[i].is_null() && !col.nullable {
+                return Err(Error::NullViolation {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+            if !row[i].is_null() {
+                row[i] = std::mem::replace(&mut row[i], Value::Null).coerce(col.data_type)?;
+            }
+        }
+        // keep the auto counter ahead of explicitly supplied keys
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if col.auto_increment {
+                if let Value::Integer(v) = row[i] {
+                    if v >= self.next_auto {
+                        self.next_auto = v + 1;
+                    }
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Insert a prepared row. Returns its id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        if row.len() != self.schema.columns.len() {
+            return Err(Error::Parameter(format!(
+                "row arity {} != {} columns of {}",
+                row.len(),
+                self.schema.columns.len(),
+                self.schema.name
+            )));
+        }
+        let row = self.prepare_row(row)?;
+        if let Some(key) = self.pk_key(&row) {
+            if key.iter().any(Value::is_null) {
+                return Err(Error::NullViolation {
+                    table: self.schema.name.clone(),
+                    column: self.schema.primary_key_names().join(","),
+                });
+            }
+            if self.pk_index.as_ref().unwrap().contains_key(&key) {
+                return Err(Error::UniqueViolation {
+                    table: self.schema.name.clone(),
+                    column: self.schema.primary_key_names().join(","),
+                });
+            }
+        }
+        for ix in &self.indexes {
+            if ix.unique {
+                let key = ix.key_of(&row);
+                if !ix.lookup(&key).is_empty() {
+                    return Err(Error::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        column: ix.name.clone(),
+                    });
+                }
+            }
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(row);
+                id
+            }
+            None => {
+                self.slots.push(Some(row));
+                self.slots.len() - 1
+            }
+        };
+        let row_ref = self.slots[id].as_ref().unwrap();
+        if let Some(key) = self.pk_key(row_ref) {
+            self.pk_index.as_mut().unwrap().insert(key, id);
+        }
+        let keys: Vec<Vec<Value>> = self
+            .indexes
+            .iter()
+            .map(|ix| ix.key_of(self.slots[id].as_ref().unwrap()))
+            .collect();
+        for (ix, key) in self.indexes.iter_mut().zip(keys) {
+            ix.map.entry(key).or_default().push(id);
+        }
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Remove a row by id, returning it (for the undo log).
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let row = self.slots.get_mut(id)?.take()?;
+        if let Some(key) = self.pk_key(&row) {
+            self.pk_index.as_mut().unwrap().remove(&key);
+        }
+        for ix in &mut self.indexes {
+            let key: Vec<Value> = ix.columns.iter().map(|&c| row[c].clone()).collect();
+            if let Some(bucket) = ix.map.get_mut(&key) {
+                bucket.retain(|&r| r != id);
+                if bucket.is_empty() {
+                    ix.map.remove(&key);
+                }
+            }
+        }
+        self.free.push(id);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Replace a row in place, maintaining all indexes. Returns the old row.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> Result<Row> {
+        if new_row.len() != self.schema.columns.len() {
+            return Err(Error::Parameter("update arity mismatch".into()));
+        }
+        let new_row = self.prepare_row(new_row)?;
+        let old = self
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::Eval(format!("row {id} not found in {}", self.schema.name)))?;
+        // PK change: ensure uniqueness of the new key
+        if let (Some(old_key), Some(new_key)) = (self.pk_key(&old), self.pk_key(&new_row)) {
+            if old_key != new_key {
+                if new_key.iter().any(Value::is_null) {
+                    return Err(Error::NullViolation {
+                        table: self.schema.name.clone(),
+                        column: self.schema.primary_key_names().join(","),
+                    });
+                }
+                if self.pk_index.as_ref().unwrap().contains_key(&new_key) {
+                    return Err(Error::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        column: self.schema.primary_key_names().join(","),
+                    });
+                }
+                let idx = self.pk_index.as_mut().unwrap();
+                idx.remove(&old_key);
+                idx.insert(new_key, id);
+            }
+        }
+        for ixpos in 0..self.indexes.len() {
+            let old_key: Vec<Value> = self.indexes[ixpos]
+                .columns
+                .iter()
+                .map(|&c| old[c].clone())
+                .collect();
+            let new_key: Vec<Value> = self.indexes[ixpos]
+                .columns
+                .iter()
+                .map(|&c| new_row[c].clone())
+                .collect();
+            if old_key != new_key {
+                if self.indexes[ixpos].unique && !self.indexes[ixpos].lookup(&new_key).is_empty()
+                {
+                    return Err(Error::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        column: self.indexes[ixpos].name.clone(),
+                    });
+                }
+                let ix = &mut self.indexes[ixpos];
+                if let Some(bucket) = ix.map.get_mut(&old_key) {
+                    bucket.retain(|&r| r != id);
+                    if bucket.is_empty() {
+                        ix.map.remove(&old_key);
+                    }
+                }
+                ix.map.entry(new_key).or_default().push(id);
+            }
+        }
+        self.slots[id] = Some(new_row);
+        Ok(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new("t")
+                .column(Column::new("oid", DataType::Integer).not_null().auto())
+                .column(Column::new("name", DataType::Text).not_null())
+                .column(Column::new("score", DataType::Integer).with_default(Value::Integer(0)))
+                .primary_key(&["oid"]),
+        )
+        .unwrap()
+    }
+
+    fn row(name: &str) -> Row {
+        vec![Value::Null, Value::Text(name.into()), Value::Null]
+    }
+
+    #[test]
+    fn auto_increment_assigns_sequential_keys() {
+        let mut t = table();
+        t.insert(row("a")).unwrap();
+        t.insert(row("b")).unwrap();
+        let (_, r) = t.get_by_pk(&[Value::Integer(2)]).unwrap();
+        assert_eq!(r[1], Value::Text("b".into()));
+    }
+
+    #[test]
+    fn default_applied_when_null() {
+        let mut t = table();
+        let id = t.insert(row("a")).unwrap();
+        assert_eq!(t.get(id).unwrap()[2], Value::Integer(0));
+    }
+
+    #[test]
+    fn explicit_pk_bumps_auto_counter() {
+        let mut t = table();
+        t.insert(vec![Value::Integer(10), "x".into(), Value::Null])
+            .unwrap();
+        let id = t.insert(row("y")).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Integer(11));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = table();
+        t.insert(vec![Value::Integer(1), "x".into(), Value::Null])
+            .unwrap();
+        let err = t
+            .insert(vec![Value::Integer(1), "y".into(), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::NullViolation { .. }));
+    }
+
+    #[test]
+    fn delete_frees_slot_and_index() {
+        let mut t = table();
+        let id = t.insert(row("a")).unwrap();
+        assert_eq!(t.len(), 1);
+        t.delete(id).unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.get_by_pk(&[Value::Integer(1)]).is_none());
+        // slot is recycled
+        let id2 = t.insert(row("b")).unwrap();
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = table();
+        t.create_index("ix_name", &["name".into()], false).unwrap();
+        let a = t.insert(row("dup")).unwrap();
+        let b = t.insert(row("dup")).unwrap();
+        let ix = t.find_index_on(&[1]).unwrap();
+        let hits = ix.lookup(&[Value::Text("dup".into())]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&a) && hits.contains(&b));
+        t.delete(a);
+        let ix = t.find_index_on(&[1]).unwrap();
+        assert_eq!(ix.lookup(&[Value::Text("dup".into())]), &[b]);
+    }
+
+    #[test]
+    fn unique_index_rejected_on_duplicate() {
+        let mut t = table();
+        t.insert(row("a")).unwrap();
+        t.insert(row("a")).unwrap();
+        assert!(t.create_index("u", &["name".into()], true).is_err());
+    }
+
+    #[test]
+    fn update_maintains_pk_and_secondary_indexes() {
+        let mut t = table();
+        t.create_index("ix_name", &["name".into()], false).unwrap();
+        let id = t.insert(row("old")).unwrap();
+        t.update(id, vec![Value::Integer(1), "new".into(), Value::Integer(5)])
+            .unwrap();
+        let ix = t.find_index_on(&[1]).unwrap();
+        assert!(ix.lookup(&[Value::Text("old".into())]).is_empty());
+        assert_eq!(ix.lookup(&[Value::Text("new".into())]), &[id]);
+    }
+
+    #[test]
+    fn update_pk_collision_rejected() {
+        let mut t = table();
+        t.insert(row("a")).unwrap();
+        let b = t.insert(row("b")).unwrap();
+        let err = t
+            .update(b, vec![Value::Integer(1), "b".into(), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn coercion_happens_on_insert() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::Null, "a".into(), Value::Text("7".into())])
+            .unwrap();
+        assert_eq!(t.get(id).unwrap()[2], Value::Integer(7));
+    }
+}

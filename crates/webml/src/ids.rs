@@ -1,0 +1,60 @@
+//! Typed handles into a [`crate::model::HypertextModel`] arena.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub usize);
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a site view.
+    SiteViewId
+);
+id_type!(
+    /// Handle to an area within a site view.
+    AreaId
+);
+id_type!(
+    /// Handle to a page.
+    PageId
+);
+id_type!(
+    /// Handle to a content unit.
+    UnitId
+);
+id_type!(
+    /// Handle to an operation.
+    OperationId
+);
+id_type!(
+    /// Handle to a link.
+    LinkId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(PageId(3).to_string(), "PageId3");
+        assert_eq!(UnitId(0).to_string(), "UnitId0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(LinkId(1));
+        assert!(s.contains(&LinkId(1)));
+        assert!(SiteViewId(1) < SiteViewId(2));
+    }
+}

@@ -1,0 +1,38 @@
+//! # webml — the Web Modelling Language metamodel
+//!
+//! WebML is "a visual language for expressing the hypertextual front-end of
+//! a data-intensive Web application" (CIDR 2003, §1). This crate is the
+//! abstract syntax of that language:
+//!
+//! * [`structure`] — site views targeted at audiences, areas, pages with
+//!   layout categories;
+//! * [`units`] — the eleven basic unit kinds of §8 (six content units +
+//!   five operations), hierarchical indexes, plug-in units, selector
+//!   conditions, and §6 cache annotations;
+//! * [`links`] — contextual/transport/automatic/OK/KO links with typed
+//!   parameter sources;
+//! * [`model`] — the [`HypertextModel`] arena with a fluent building API;
+//! * [`mod@validate`] — static checks against the companion [`er::ErModel`]
+//!   (dangling references, cross-page transport links, dataflow cycles,
+//!   unreachable pages, ...).
+//!
+//! Models built here are consumed by the `codegen` crate (descriptors,
+//! controller configuration, template skeletons) and interpreted by the
+//! `mvc` runtime.
+
+pub mod ids;
+pub mod links;
+pub mod model;
+pub mod structure;
+pub mod units;
+pub mod validate;
+
+pub use ids::{AreaId, LinkId, OperationId, PageId, SiteViewId, UnitId};
+pub use links::{Link, LinkEnd, LinkKind, LinkParam, ParamSource};
+pub use model::{HypertextModel, ModelStats};
+pub use structure::{Area, Audience, LayoutCategory, Page, SiteView};
+pub use units::{
+    CacheSpec, Condition, Field, HierarchyLevel, Operation, OperationKind, SortSpec, Unit,
+    UnitKind,
+};
+pub use validate::{is_valid, validate, Issue, Severity};

@@ -1,0 +1,171 @@
+//! Links: the connective tissue of a WebML hypertext.
+//!
+//! Links "connect pages, content units, and operations to provide users
+//! with suitable interactions" (§1). A link carries **parameters** — most
+//! importantly the implicit oid of the selected instance ("the link
+//! pointing to the unit ... implicitly transports the identifier of the
+//! volume", Fig. 1 commentary).
+
+use crate::ids::{OperationId, PageId, UnitId};
+
+/// What a link starts from or points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkEnd {
+    Page(PageId),
+    Unit(UnitId),
+    Operation(OperationId),
+}
+
+impl LinkEnd {
+    pub fn as_unit(&self) -> Option<UnitId> {
+        match self {
+            LinkEnd::Unit(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    pub fn as_page(&self) -> Option<PageId> {
+        match self {
+            LinkEnd::Page(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    pub fn as_operation(&self) -> Option<OperationId> {
+        match self {
+            LinkEnd::Operation(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+/// The behavioural kind of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// A normal contextual link: rendered as an anchor/button; navigating
+    /// it transports the parameters.
+    Contextual,
+    /// A non-contextual link between pages (no parameters).
+    NonContextual,
+    /// A transport link (dashed arrow in diagrams): parameters flow
+    /// without any user interaction; drives intra-page unit computation
+    /// order.
+    Transport,
+    /// An automatic link: navigated by the system on page entry (e.g. a
+    /// default selection for an index).
+    Automatic,
+    /// Where to go when an operation succeeds.
+    Ok,
+    /// Where to go when an operation fails ("to which page redirect the
+    /// user in case of operation failure", §2).
+    Ko,
+}
+
+impl LinkKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkKind::Contextual => "contextual",
+            LinkKind::NonContextual => "noncontextual",
+            LinkKind::Transport => "transport",
+            LinkKind::Automatic => "automatic",
+            LinkKind::Ok => "ok",
+            LinkKind::Ko => "ko",
+        }
+    }
+
+    /// Does navigation require a user gesture?
+    pub fn is_user_navigated(self) -> bool {
+        matches!(self, LinkKind::Contextual | LinkKind::NonContextual)
+    }
+}
+
+/// Where a link parameter's value comes from on the source side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamSource {
+    /// The oid of the (selected) instance of the source unit.
+    SelectedOid,
+    /// An attribute of the (selected) instance.
+    Attribute(String),
+    /// A field of the source entry unit.
+    Field(String),
+    /// A constant.
+    Constant(String),
+    /// A session variable (e.g. the logged-in user's oid).
+    Session(String),
+}
+
+/// One parameter carried by a link: `name` is how the target knows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkParam {
+    pub name: String,
+    pub source: ParamSource,
+}
+
+impl LinkParam {
+    pub fn oid(name: impl Into<String>) -> LinkParam {
+        LinkParam {
+            name: name.into(),
+            source: ParamSource::SelectedOid,
+        }
+    }
+
+    pub fn attribute(name: impl Into<String>, attr: impl Into<String>) -> LinkParam {
+        LinkParam {
+            name: name.into(),
+            source: ParamSource::Attribute(attr.into()),
+        }
+    }
+
+    pub fn field(name: impl Into<String>, field: impl Into<String>) -> LinkParam {
+        LinkParam {
+            name: name.into(),
+            source: ParamSource::Field(field.into()),
+        }
+    }
+}
+
+/// A link between two hypertext elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    pub kind: LinkKind,
+    pub source: LinkEnd,
+    pub target: LinkEnd,
+    pub parameters: Vec<LinkParam>,
+    /// Anchor text for user-navigated links.
+    pub label: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_end_accessors() {
+        let e = LinkEnd::Unit(UnitId(2));
+        assert_eq!(e.as_unit(), Some(UnitId(2)));
+        assert_eq!(e.as_page(), None);
+        assert_eq!(LinkEnd::Page(PageId(1)).as_page(), Some(PageId(1)));
+        assert_eq!(
+            LinkEnd::Operation(OperationId(0)).as_operation(),
+            Some(OperationId(0))
+        );
+    }
+
+    #[test]
+    fn user_navigation_classification() {
+        assert!(LinkKind::Contextual.is_user_navigated());
+        assert!(!LinkKind::Transport.is_user_navigated());
+        assert!(!LinkKind::Ok.is_user_navigated());
+        assert!(!LinkKind::Automatic.is_user_navigated());
+    }
+
+    #[test]
+    fn param_constructors() {
+        let p = LinkParam::oid("volume");
+        assert_eq!(p.source, ParamSource::SelectedOid);
+        let p = LinkParam::attribute("year", "year");
+        assert_eq!(p.source, ParamSource::Attribute("year".into()));
+        let p = LinkParam::field("kw", "keyword");
+        assert_eq!(p.source, ParamSource::Field("keyword".into()));
+    }
+}

@@ -1,0 +1,619 @@
+//! The hypertext model arena and its building API.
+
+use crate::ids::*;
+use crate::links::{Link, LinkEnd, LinkKind, LinkParam};
+use crate::structure::{Area, Audience, LayoutCategory, Page, SiteView};
+use crate::units::{CacheSpec, Condition, Operation, OperationKind, SortSpec, Unit, UnitKind};
+use er::EntityId;
+
+/// A complete WebML hypertext specification: site views, areas, pages,
+/// content units, operations, and links, referencing entities of an
+/// [`er::ErModel`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HypertextModel {
+    site_views: Vec<SiteView>,
+    areas: Vec<Area>,
+    pages: Vec<Page>,
+    units: Vec<Unit>,
+    operations: Vec<Operation>,
+    links: Vec<Link>,
+}
+
+/// Headline size statistics — the numbers §8 reports for Acer-Euro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    pub site_views: usize,
+    pub areas: usize,
+    pub pages: usize,
+    pub units: usize,
+    pub operations: usize,
+    pub links: usize,
+}
+
+impl HypertextModel {
+    pub fn new() -> HypertextModel {
+        HypertextModel::default()
+    }
+
+    // ---- construction ----------------------------------------------------
+
+    pub fn add_site_view(&mut self, name: impl Into<String>, audience: Audience) -> SiteViewId {
+        self.site_views.push(SiteView {
+            name: name.into(),
+            audience,
+            protected: false,
+            areas: Vec::new(),
+            pages: Vec::new(),
+            home: None,
+        });
+        SiteViewId(self.site_views.len() - 1)
+    }
+
+    /// Mark a site view as requiring authentication.
+    pub fn protect_site_view(&mut self, sv: SiteViewId) {
+        self.site_views[sv.0].protected = true;
+    }
+
+    pub fn add_area(
+        &mut self,
+        sv: SiteViewId,
+        parent: Option<AreaId>,
+        name: impl Into<String>,
+    ) -> AreaId {
+        let id = AreaId(self.areas.len());
+        self.areas.push(Area {
+            name: name.into(),
+            site_view: sv,
+            parent,
+            sub_areas: Vec::new(),
+            pages: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.areas[p.0].sub_areas.push(id),
+            None => self.site_views[sv.0].areas.push(id),
+        }
+        id
+    }
+
+    pub fn add_page(
+        &mut self,
+        sv: SiteViewId,
+        area: Option<AreaId>,
+        name: impl Into<String>,
+    ) -> PageId {
+        let id = PageId(self.pages.len());
+        self.pages.push(Page {
+            name: name.into(),
+            site_view: sv,
+            area,
+            units: Vec::new(),
+            landmark: false,
+            layout: LayoutCategory::default(),
+        });
+        match area {
+            Some(a) => self.areas[a.0].pages.push(id),
+            None => self.site_views[sv.0].pages.push(id),
+        }
+        id
+    }
+
+    /// Set the home page of a site view.
+    pub fn set_home(&mut self, sv: SiteViewId, page: PageId) {
+        self.site_views[sv.0].home = Some(page);
+    }
+
+    pub fn set_landmark(&mut self, page: PageId) {
+        self.pages[page.0].landmark = true;
+    }
+
+    pub fn set_layout(&mut self, page: PageId, layout: LayoutCategory) {
+        self.pages[page.0].layout = layout;
+    }
+
+    /// Add a content unit to a page. Prefer the kind-specific helpers.
+    pub fn add_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        kind: UnitKind,
+        entity: Option<EntityId>,
+    ) -> UnitId {
+        let id = UnitId(self.units.len());
+        self.units.push(Unit {
+            name: name.into(),
+            page,
+            kind,
+            entity,
+            selector: Vec::new(),
+            display_attributes: Vec::new(),
+            sort: Vec::new(),
+            cache: None,
+        });
+        self.pages[page.0].units.push(id);
+        id
+    }
+
+    pub fn add_data_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        entity: EntityId,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Data, Some(entity))
+    }
+
+    pub fn add_index_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        entity: EntityId,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Index, Some(entity))
+    }
+
+    pub fn add_multidata_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        entity: EntityId,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Multidata, Some(entity))
+    }
+
+    pub fn add_multichoice_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        entity: EntityId,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Multichoice, Some(entity))
+    }
+
+    pub fn add_scroller_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        entity: EntityId,
+        block_size: usize,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Scroller { block_size }, Some(entity))
+    }
+
+    pub fn add_entry_unit(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        fields: Vec<crate::units::Field>,
+    ) -> UnitId {
+        self.add_unit(page, name, UnitKind::Entry { fields }, None)
+    }
+
+    pub fn add_hierarchical_index(
+        &mut self,
+        page: PageId,
+        name: impl Into<String>,
+        levels: Vec<crate::units::HierarchyLevel>,
+    ) -> UnitId {
+        let entity = levels.first().map(|l| l.entity);
+        self.add_unit(page, name, UnitKind::HierarchicalIndex { levels }, entity)
+    }
+
+    /// Attach a selector condition to a unit.
+    pub fn add_condition(&mut self, unit: UnitId, c: Condition) {
+        self.units[unit.0].selector.push(c);
+    }
+
+    /// Restrict the displayed attributes of a unit.
+    pub fn set_display_attributes(&mut self, unit: UnitId, attrs: &[&str]) {
+        self.units[unit.0].display_attributes = attrs.iter().map(|s| s.to_string()).collect();
+    }
+
+    pub fn add_sort(&mut self, unit: UnitId, attribute: impl Into<String>, ascending: bool) {
+        self.units[unit.0].sort.push(SortSpec {
+            attribute: attribute.into(),
+            ascending,
+        });
+    }
+
+    /// Tag a unit as cached (§6).
+    pub fn set_cache(&mut self, unit: UnitId, spec: CacheSpec) {
+        self.units[unit.0].cache = Some(spec);
+    }
+
+    pub fn add_operation(
+        &mut self,
+        name: impl Into<String>,
+        kind: OperationKind,
+        inputs: Vec<String>,
+    ) -> OperationId {
+        self.operations.push(Operation {
+            name: name.into(),
+            kind,
+            inputs,
+        });
+        OperationId(self.operations.len() - 1)
+    }
+
+    pub fn add_link(&mut self, link: Link) -> LinkId {
+        self.links.push(link);
+        LinkId(self.links.len() - 1)
+    }
+
+    /// A contextual link (anchor) carrying parameters.
+    pub fn link_contextual(
+        &mut self,
+        source: LinkEnd,
+        target: LinkEnd,
+        label: impl Into<String>,
+        parameters: Vec<LinkParam>,
+    ) -> LinkId {
+        self.add_link(Link {
+            kind: LinkKind::Contextual,
+            source,
+            target,
+            parameters,
+            label: Some(label.into()),
+        })
+    }
+
+    /// A transport link (dashed): parameter flow without user interaction.
+    pub fn link_transport(
+        &mut self,
+        source: UnitId,
+        target: UnitId,
+        parameters: Vec<LinkParam>,
+    ) -> LinkId {
+        self.add_link(Link {
+            kind: LinkKind::Transport,
+            source: LinkEnd::Unit(source),
+            target: LinkEnd::Unit(target),
+            parameters,
+            label: None,
+        })
+    }
+
+    /// A non-contextual page-to-page link (menu entry).
+    pub fn link_pages(
+        &mut self,
+        source: PageId,
+        target: PageId,
+        label: impl Into<String>,
+    ) -> LinkId {
+        self.add_link(Link {
+            kind: LinkKind::NonContextual,
+            source: LinkEnd::Page(source),
+            target: LinkEnd::Page(target),
+            parameters: Vec::new(),
+            label: Some(label.into()),
+        })
+    }
+
+    /// OK/KO outcome links of an operation.
+    pub fn link_ok(&mut self, op: OperationId, target: LinkEnd) -> LinkId {
+        self.add_link(Link {
+            kind: LinkKind::Ok,
+            source: LinkEnd::Operation(op),
+            target,
+            parameters: Vec::new(),
+            label: None,
+        })
+    }
+
+    pub fn link_ko(&mut self, op: OperationId, target: LinkEnd) -> LinkId {
+        self.add_link(Link {
+            kind: LinkKind::Ko,
+            source: LinkEnd::Operation(op),
+            target,
+            parameters: Vec::new(),
+            label: None,
+        })
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    pub fn site_view(&self, id: SiteViewId) -> &SiteView {
+        &self.site_views[id.0]
+    }
+
+    pub fn area(&self, id: AreaId) -> &Area {
+        &self.areas[id.0]
+    }
+
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id.0]
+    }
+
+    pub fn unit(&self, id: UnitId) -> &Unit {
+        &self.units[id.0]
+    }
+
+    pub fn operation(&self, id: OperationId) -> &Operation {
+        &self.operations[id.0]
+    }
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    pub fn site_views(&self) -> impl Iterator<Item = (SiteViewId, &SiteView)> {
+        self.site_views
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SiteViewId(i), s))
+    }
+
+    pub fn areas(&self) -> impl Iterator<Item = (AreaId, &Area)> {
+        self.areas.iter().enumerate().map(|(i, a)| (AreaId(i), a))
+    }
+
+    pub fn pages(&self) -> impl Iterator<Item = (PageId, &Page)> {
+        self.pages.iter().enumerate().map(|(i, p)| (PageId(i), p))
+    }
+
+    pub fn units(&self) -> impl Iterator<Item = (UnitId, &Unit)> {
+        self.units.iter().enumerate().map(|(i, u)| (UnitId(i), u))
+    }
+
+    pub fn operations(&self) -> impl Iterator<Item = (OperationId, &Operation)> {
+        self.operations
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (OperationId(i), o))
+    }
+
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Units of a page, in insertion order.
+    pub fn units_of(&self, page: PageId) -> impl Iterator<Item = (UnitId, &Unit)> {
+        self.pages[page.0]
+            .units
+            .iter()
+            .map(move |&u| (u, &self.units[u.0]))
+    }
+
+    /// All links leaving `end`.
+    pub fn links_from(&self, end: LinkEnd) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.source == end)
+            .map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// All links arriving at `end`.
+    pub fn links_to(&self, end: LinkEnd) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.target == end)
+            .map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// The page a link end belongs to, if any (operations have none).
+    pub fn page_of_end(&self, end: LinkEnd) -> Option<PageId> {
+        match end {
+            LinkEnd::Page(p) => Some(p),
+            LinkEnd::Unit(u) => Some(self.units[u.0].page),
+            LinkEnd::Operation(_) => None,
+        }
+    }
+
+    pub fn page_by_name(&self, sv: SiteViewId, name: &str) -> Option<(PageId, &Page)> {
+        self.pages
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.site_view == sv && p.name.eq_ignore_ascii_case(name))
+            .map(|(i, p)| (PageId(i), p))
+    }
+
+    pub fn site_view_by_name(&self, name: &str) -> Option<(SiteViewId, &SiteView)> {
+        self.site_views
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name.eq_ignore_ascii_case(name))
+            .map(|(i, s)| (SiteViewId(i), s))
+    }
+
+    /// Pages of a site view, including those nested in areas.
+    pub fn pages_of_site_view(&self, sv: SiteViewId) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.site_view == sv)
+            .map(|(i, _)| PageId(i))
+            .collect()
+    }
+
+    /// Aggregate size statistics (the §8 numbers).
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            site_views: self.site_views.len(),
+            areas: self.areas.len(),
+            pages: self.pages.len(),
+            units: self.units.len(),
+            operations: self.operations.len(),
+            links: self.links.len(),
+        }
+    }
+
+    /// Rewire an existing link to a new target, keeping everything else.
+    /// This is the §7 scenario: "the developer re-links the pages in the
+    /// WebML diagram and the code generator re-builds the new configuration
+    /// file".
+    pub fn retarget_link(&mut self, link: LinkId, new_target: LinkEnd) {
+        self.links[link.0].target = new_target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::{AttrType, Attribute, Cardinality, ErModel};
+
+    fn acm_model() -> (ErModel, HypertextModel, PageId, PageId) {
+        let mut er = ErModel::new();
+        let volume = er
+            .add_entity(
+                "Volume",
+                vec![Attribute::new("title", AttrType::String).required()],
+            )
+            .unwrap();
+        let issue = er
+            .add_entity("Issue", vec![Attribute::new("number", AttrType::Integer)])
+            .unwrap();
+        let paper = er
+            .add_entity(
+                "Paper",
+                vec![Attribute::new("title", AttrType::String).required()],
+            )
+            .unwrap();
+        er.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        er.add_relationship(
+            "IssuePaper",
+            issue,
+            paper,
+            "IssueToPaper",
+            "PaperToIssue",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("ACM DL", Audience::default());
+        let volume_page = ht.add_page(sv, None, "Volume Page");
+        let paper_page = ht.add_page(sv, None, "Paper details");
+        ht.set_home(sv, volume_page);
+
+        let volume_data = ht.add_data_unit(volume_page, "Volume data", volume);
+        ht.add_condition(
+            volume_data,
+            Condition::KeyEq {
+                param: "volume".into(),
+            },
+        );
+        let idx = ht.add_hierarchical_index(
+            volume_page,
+            "Issues&Papers",
+            vec![
+                crate::units::HierarchyLevel {
+                    entity: issue,
+                    role: "VolumeToIssue".into(),
+                    display_attributes: vec!["number".into()],
+                    sort: vec![],
+                },
+                crate::units::HierarchyLevel {
+                    entity: paper,
+                    role: "IssueToPaper".into(),
+                    display_attributes: vec!["title".into()],
+                    sort: vec![],
+                },
+            ],
+        );
+        ht.link_transport(volume_data, idx, vec![LinkParam::oid("volume")]);
+        let paper_data = ht.add_data_unit(paper_page, "Paper data", paper);
+        ht.add_condition(
+            paper_data,
+            Condition::KeyEq {
+                param: "paper".into(),
+            },
+        );
+        ht.link_contextual(
+            LinkEnd::Unit(idx),
+            LinkEnd::Unit(paper_data),
+            "To Paper details page",
+            vec![LinkParam::oid("paper")],
+        );
+        (er, ht, volume_page, paper_page)
+    }
+
+    #[test]
+    fn figure_1_model_builds() {
+        let (_, ht, volume_page, _) = acm_model();
+        let s = ht.stats();
+        assert_eq!(s.site_views, 1);
+        assert_eq!(s.pages, 2);
+        assert_eq!(s.units, 3);
+        assert_eq!(s.links, 2);
+        assert_eq!(ht.units_of(volume_page).count(), 2);
+    }
+
+    #[test]
+    fn link_queries() {
+        let (_, ht, volume_page, _) = acm_model();
+        let (idx_id, _) = ht
+            .units()
+            .find(|(_, u)| u.name == "Issues&Papers")
+            .unwrap();
+        let incoming: Vec<_> = ht.links_to(LinkEnd::Unit(idx_id)).collect();
+        assert_eq!(incoming.len(), 1);
+        assert_eq!(incoming[0].1.kind, LinkKind::Transport);
+        let outgoing: Vec<_> = ht.links_from(LinkEnd::Unit(idx_id)).collect();
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(ht.page_of_end(LinkEnd::Unit(idx_id)), Some(volume_page));
+    }
+
+    #[test]
+    fn page_lookup_by_name() {
+        let (_, ht, volume_page, _) = acm_model();
+        let (sv, _) = ht.site_view_by_name("acm dl").unwrap();
+        let (pid, _) = ht.page_by_name(sv, "volume page").unwrap();
+        assert_eq!(pid, volume_page);
+        assert!(ht.page_by_name(sv, "no such page").is_none());
+    }
+
+    #[test]
+    fn areas_nest() {
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let a = ht.add_area(sv, None, "Products");
+        let b = ht.add_area(sv, Some(a), "Notebooks");
+        let p = ht.add_page(sv, Some(b), "List");
+        assert_eq!(ht.area(a).sub_areas, vec![b]);
+        assert_eq!(ht.area(b).pages, vec![p]);
+        assert_eq!(ht.site_view(sv).areas, vec![a]);
+        assert_eq!(ht.page(p).area, Some(b));
+    }
+
+    #[test]
+    fn retarget_link_rewires() {
+        let (_, mut ht, volume_page, paper_page) = acm_model();
+        let (lid, _) = ht
+            .links()
+            .find(|(_, l)| l.kind == LinkKind::Contextual)
+            .unwrap();
+        ht.retarget_link(lid, LinkEnd::Page(volume_page));
+        assert_eq!(ht.link(lid).target, LinkEnd::Page(volume_page));
+        assert_ne!(ht.link(lid).target, LinkEnd::Page(paper_page));
+    }
+
+    #[test]
+    fn operations_and_outcome_links() {
+        let (er, mut ht, volume_page, _) = acm_model();
+        let (volume, _) = er.entity_by_name("Volume").unwrap();
+        let op = ht.add_operation(
+            "CreateVolume",
+            OperationKind::Create { entity: volume },
+            vec!["title".into()],
+        );
+        ht.link_ok(op, LinkEnd::Page(volume_page));
+        ht.link_ko(op, LinkEnd::Page(volume_page));
+        let ok: Vec<_> = ht
+            .links_from(LinkEnd::Operation(op))
+            .filter(|(_, l)| l.kind == LinkKind::Ok)
+            .collect();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ht.operation(op).kind.written_entity(), Some(volume));
+    }
+}

@@ -1,0 +1,118 @@
+//! Site views, areas, and pages — the structural hierarchy of a hypertext.
+//!
+//! §1: WebML models "the structuring of the application into different
+//! hypertexts (called site views) targeted to different user groups or
+//! access devices" and "the hierarchical organization of a site view into
+//! areas".
+
+use crate::ids::{AreaId, PageId, SiteViewId, UnitId};
+
+/// The audience a site view targets (user group and/or device class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Audience {
+    /// User group, e.g. "customers", "product managers".
+    pub group: String,
+    /// Device class, e.g. "desktop", "pda", "wap". Presentation rule sets
+    /// are selected per device (§5).
+    pub device: String,
+}
+
+impl Default for Audience {
+    fn default() -> Audience {
+        Audience {
+            group: "public".into(),
+            device: "desktop".into(),
+        }
+    }
+}
+
+/// A site view: one coherent hypertext for one audience.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteView {
+    pub name: String,
+    pub audience: Audience,
+    /// Requires login (B2B/intranet site views in the Acer-Euro case).
+    pub protected: bool,
+    /// Top-level areas.
+    pub areas: Vec<AreaId>,
+    /// Pages directly under the site view (outside any area).
+    pub pages: Vec<PageId>,
+    /// The default page served at the site-view root.
+    pub home: Option<PageId>,
+}
+
+/// An area: a named group of pages (and sub-areas) within a site view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Area {
+    pub name: String,
+    pub site_view: SiteViewId,
+    pub parent: Option<AreaId>,
+    pub sub_areas: Vec<AreaId>,
+    pub pages: Vec<PageId>,
+}
+
+/// A page: the unit of interaction, composed of content units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    pub name: String,
+    pub site_view: SiteViewId,
+    /// Containing area (None = directly under the site view).
+    pub area: Option<AreaId>,
+    pub units: Vec<UnitId>,
+    /// Landmark pages are reachable from every page of their site view
+    /// (rendered in the global navigation bar).
+    pub landmark: bool,
+    /// Layout category used to choose the page-level XSL rule (§5
+    /// "page layouts could be classified into general categories").
+    pub layout: LayoutCategory,
+}
+
+/// §5: "multi-frame pages, two-columns pages, three-columns pages, and so
+/// on" — the categories page rules match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayoutCategory {
+    #[default]
+    SingleColumn,
+    TwoColumns,
+    ThreeColumns,
+    MultiFrame,
+}
+
+impl LayoutCategory {
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutCategory::SingleColumn => "single-column",
+            LayoutCategory::TwoColumns => "two-columns",
+            LayoutCategory::ThreeColumns => "three-columns",
+            LayoutCategory::MultiFrame => "multi-frame",
+        }
+    }
+
+    pub fn all() -> [LayoutCategory; 4] {
+        [
+            LayoutCategory::SingleColumn,
+            LayoutCategory::TwoColumns,
+            LayoutCategory::ThreeColumns,
+            LayoutCategory::MultiFrame,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_audience_is_public_desktop() {
+        let a = Audience::default();
+        assert_eq!(a.group, "public");
+        assert_eq!(a.device, "desktop");
+    }
+
+    #[test]
+    fn layout_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            LayoutCategory::all().iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

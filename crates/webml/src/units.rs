@@ -1,0 +1,306 @@
+//! Content units and operations — the vocabulary of WebML hypertexts.
+//!
+//! §8 of the paper names the eleven basic unit kinds: *data, index,
+//! multidata, multi-choice, scroller, entry, create, delete, modify,
+//! connect, disconnect*. The first six are **content units** that live in
+//! pages and publish content; the last five are **operations** that execute
+//! side effects and then redirect. §7 adds **plug-in units** — user-defined
+//! components registered with the design and runtime environment.
+
+use crate::ids::PageId;
+use er::{AttrType, EntityId};
+use std::time::Duration;
+
+/// Selector condition restricting the instances a unit works on.
+///
+/// Conditions are conjunctive; parameter names refer to the unit's input
+/// parameters (transported along incoming links or taken from the request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `oid = :param` — select by key (the implicit condition of a data
+    /// unit reached by a contextual link).
+    KeyEq { param: String },
+    /// `attribute = :param`.
+    AttributeEq { attribute: String, param: String },
+    /// `attribute LIKE :param` — keyword search from entry units.
+    AttributeLike { attribute: String, param: String },
+    /// Instances reached from `:param` (an oid of the role's other side)
+    /// by navigating `role` — e.g. `Issue[VolumeToIssue]`.
+    Role { role: String, param: String },
+}
+
+impl Condition {
+    /// The input parameter this condition consumes.
+    pub fn param(&self) -> &str {
+        match self {
+            Condition::KeyEq { param }
+            | Condition::AttributeEq { param, .. }
+            | Condition::AttributeLike { param, .. }
+            | Condition::Role { param, .. } => param,
+        }
+    }
+}
+
+/// Sort specification of a unit (attribute, ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortSpec {
+    pub attribute: String,
+    pub ascending: bool,
+}
+
+/// One input field of an entry unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub field_type: AttrType,
+    pub required: bool,
+    /// Client-side validation pattern (a LIKE-style pattern the generated
+    /// form validates before submit).
+    pub pattern: Option<String>,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, field_type: AttrType) -> Field {
+        Field {
+            name: name.into(),
+            field_type,
+            required: false,
+            pattern: None,
+        }
+    }
+
+    pub fn required(mut self) -> Field {
+        self.required = true;
+        self
+    }
+
+    pub fn pattern(mut self, p: impl Into<String>) -> Field {
+        self.pattern = Some(p.into());
+        self
+    }
+}
+
+/// One level of a hierarchical index (Fig. 1: `Issue[VolumeToIssue]` NEST
+/// `Paper[PaperToIssue]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyLevel {
+    pub entity: EntityId,
+    /// Role navigated from the previous level (or from the unit input for
+    /// the first level).
+    pub role: String,
+    pub display_attributes: Vec<String>,
+    pub sort: Vec<SortSpec>,
+}
+
+/// The kind-specific payload of a content unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitKind {
+    /// Publishes the attributes of a single entity instance.
+    Data,
+    /// Publishes a selectable list of instances (anchor per row).
+    Index,
+    /// Publishes all attributes of a set of instances (no selection).
+    Multidata,
+    /// An index with checkboxes: the user may select many rows.
+    Multichoice,
+    /// Block-wise scrolling over a sequence of instances.
+    Scroller { block_size: usize },
+    /// A data-entry form.
+    Entry { fields: Vec<Field> },
+    /// Nested index over a chain of relationships.
+    HierarchicalIndex { levels: Vec<HierarchyLevel> },
+    /// A user-defined plug-in content unit (§7): rendered and computed by
+    /// components registered under `type_name`.
+    PlugIn { type_name: String },
+}
+
+impl UnitKind {
+    /// The WebML name of this unit kind, as used in descriptors and XSL
+    /// unit rules.
+    pub fn type_name(&self) -> &str {
+        match self {
+            UnitKind::Data => "data",
+            UnitKind::Index => "index",
+            UnitKind::Multidata => "multidata",
+            UnitKind::Multichoice => "multichoice",
+            UnitKind::Scroller { .. } => "scroller",
+            UnitKind::Entry { .. } => "entry",
+            UnitKind::HierarchicalIndex { .. } => "hierarchy",
+            UnitKind::PlugIn { type_name } => type_name,
+        }
+    }
+
+    /// Does this unit read from the database? (Entry units don't.)
+    pub fn queries_data(&self) -> bool {
+        !matches!(self, UnitKind::Entry { .. })
+    }
+}
+
+/// Cache annotation of a content unit (§6): the unit's beans may be cached
+/// in the business tier and are invalidated either by TTL expiry or by the
+/// model-driven entity dependency tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Expire entries after this duration (None = no time-based expiry).
+    pub ttl: Option<Duration>,
+    /// Invalidate when an operation touches an entity the unit depends on.
+    pub invalidate_on_write: bool,
+}
+
+impl CacheSpec {
+    /// The policy §6 describes as the default: model-driven invalidation
+    /// with no TTL.
+    pub fn model_driven() -> CacheSpec {
+        CacheSpec {
+            ttl: None,
+            invalidate_on_write: true,
+        }
+    }
+
+    pub fn ttl(d: Duration) -> CacheSpec {
+        CacheSpec {
+            ttl: Some(d),
+            invalidate_on_write: false,
+        }
+    }
+}
+
+/// A content unit placed in a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    pub name: String,
+    pub page: PageId,
+    pub kind: UnitKind,
+    /// The entity the unit is constructed on (None for entry/plug-in units
+    /// that do not read the database).
+    pub entity: Option<EntityId>,
+    /// Conjunctive selector conditions.
+    pub selector: Vec<Condition>,
+    /// Attributes displayed (empty = all).
+    pub display_attributes: Vec<String>,
+    pub sort: Vec<SortSpec>,
+    /// §6 cache annotation.
+    pub cache: Option<CacheSpec>,
+}
+
+/// Built-in operation kinds plus user-defined ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperationKind {
+    /// Insert a new instance of the entity from form parameters.
+    Create { entity: EntityId },
+    /// Delete the instance named by the input oid.
+    Delete { entity: EntityId },
+    /// Update attributes of the instance named by the input oid.
+    Modify { entity: EntityId },
+    /// Add a pair to a relationship.
+    Connect { role: String },
+    /// Remove a pair from a relationship.
+    Disconnect { role: String },
+    /// Authenticate the user (session-level, §1 "session-level information
+    /// and personalisation aspects").
+    Login,
+    /// Terminate the session.
+    Logout,
+    /// Send an e-mail (the paper's example of an action class).
+    SendMail,
+    /// User-defined operation (plug-in, §7).
+    Custom { type_name: String },
+}
+
+impl OperationKind {
+    pub fn type_name(&self) -> &str {
+        match self {
+            OperationKind::Create { .. } => "create",
+            OperationKind::Delete { .. } => "delete",
+            OperationKind::Modify { .. } => "modify",
+            OperationKind::Connect { .. } => "connect",
+            OperationKind::Disconnect { .. } => "disconnect",
+            OperationKind::Login => "login",
+            OperationKind::Logout => "logout",
+            OperationKind::SendMail => "sendmail",
+            OperationKind::Custom { type_name } => type_name,
+        }
+    }
+
+    /// The entity this operation writes, if statically known (used for
+    /// model-driven cache invalidation, §6).
+    pub fn written_entity(&self) -> Option<EntityId> {
+        match self {
+            OperationKind::Create { entity }
+            | OperationKind::Delete { entity }
+            | OperationKind::Modify { entity } => Some(*entity),
+            _ => None,
+        }
+    }
+}
+
+/// An operation: a service callable from pages which executes processing
+/// and then redirects along its OK or KO link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    pub name: String,
+    pub kind: OperationKind,
+    /// Names of the input parameters the operation consumes (attribute
+    /// names for create/modify, `oid` for delete, role endpoints for
+    /// connect/disconnect, credentials for login).
+    pub inputs: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_kind_names_match_paper() {
+        // §8: "11 unit services (for the basic WebML units: data, index,
+        // multidata, multi-choice, scroller, entry, create, delete, modify,
+        // connect, disconnect)"
+        assert_eq!(UnitKind::Data.type_name(), "data");
+        assert_eq!(UnitKind::Multichoice.type_name(), "multichoice");
+        assert_eq!(UnitKind::Scroller { block_size: 10 }.type_name(), "scroller");
+        assert_eq!(
+            OperationKind::Disconnect { role: "r".into() }.type_name(),
+            "disconnect"
+        );
+    }
+
+    #[test]
+    fn entry_units_do_not_query() {
+        assert!(!UnitKind::Entry { fields: vec![] }.queries_data());
+        assert!(UnitKind::Index.queries_data());
+    }
+
+    #[test]
+    fn written_entity_only_for_content_operations() {
+        assert_eq!(
+            OperationKind::Create {
+                entity: EntityId(3)
+            }
+            .written_entity(),
+            Some(EntityId(3))
+        );
+        assert_eq!(OperationKind::Login.written_entity(), None);
+        assert_eq!(
+            OperationKind::Connect { role: "x".into() }.written_entity(),
+            None
+        );
+    }
+
+    #[test]
+    fn condition_param_accessor() {
+        let c = Condition::Role {
+            role: "VolumeToIssue".into(),
+            param: "volume".into(),
+        };
+        assert_eq!(c.param(), "volume");
+    }
+
+    #[test]
+    fn field_builder() {
+        let f = Field::new("keyword", AttrType::String)
+            .required()
+            .pattern("%_%");
+        assert!(f.required);
+        assert_eq!(f.pattern.as_deref(), Some("%_%"));
+    }
+}

@@ -1,0 +1,693 @@
+//! Static validation of a hypertext model against its ER model.
+//!
+//! The model-driven promise of the paper rests on specifications being
+//! checkable *before* generation: a WebML diagram that names a missing
+//! attribute or wires a transport link across pages must be rejected at
+//! design time, not produce a broken template.
+
+use crate::ids::{PageId, UnitId};
+use crate::links::{LinkEnd, LinkKind, ParamSource};
+use crate::model::HypertextModel;
+use crate::units::{Condition, UnitKind};
+use er::ErModel;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Generation must refuse to proceed.
+    Error,
+    /// Suspicious but generable (e.g. unreachable page).
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    pub severity: Severity,
+    pub location: String,
+    pub message: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {}: {}", self.location, self.message)
+    }
+}
+
+/// Validate `ht` against `er`; returns all findings (possibly empty).
+pub fn validate(er: &ErModel, ht: &HypertextModel) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    check_names(ht, &mut issues);
+    check_homes(ht, &mut issues);
+    check_units(er, ht, &mut issues);
+    check_links(er, ht, &mut issues);
+    check_operations(er, ht, &mut issues);
+    check_transport_cycles(ht, &mut issues);
+    check_reachability(ht, &mut issues);
+    issues
+}
+
+/// `true` when no Error-severity issue exists.
+pub fn is_valid(er: &ErModel, ht: &HypertextModel) -> bool {
+    validate(er, ht)
+        .iter()
+        .all(|i| i.severity != Severity::Error)
+}
+
+fn err(issues: &mut Vec<Issue>, location: impl Into<String>, message: impl Into<String>) {
+    issues.push(Issue {
+        severity: Severity::Error,
+        location: location.into(),
+        message: message.into(),
+    });
+}
+
+fn warn(issues: &mut Vec<Issue>, location: impl Into<String>, message: impl Into<String>) {
+    issues.push(Issue {
+        severity: Severity::Warning,
+        location: location.into(),
+        message: message.into(),
+    });
+}
+
+fn check_names(ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    let mut sv_names = HashSet::new();
+    for (_, sv) in ht.site_views() {
+        if !sv_names.insert(sv.name.to_ascii_lowercase()) {
+            err(issues, &sv.name, "duplicate site view name");
+        }
+        let mut page_names = HashSet::new();
+        for (_, p) in ht.pages() {
+            if ht.site_view(p.site_view).name == sv.name
+                && !page_names.insert(p.name.to_ascii_lowercase())
+            {
+                err(
+                    issues,
+                    format!("{}/{}", sv.name, p.name),
+                    "duplicate page name in site view",
+                );
+            }
+        }
+    }
+    for (pid, p) in ht.pages() {
+        let mut unit_names = HashSet::new();
+        for (_, u) in ht.units_of(pid) {
+            if !unit_names.insert(u.name.to_ascii_lowercase()) {
+                err(
+                    issues,
+                    format!("{}/{}", p.name, u.name),
+                    "duplicate unit name in page",
+                );
+            }
+        }
+    }
+}
+
+fn check_homes(ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (svid, sv) in ht.site_views() {
+        match sv.home {
+            None => err(issues, &sv.name, "site view has no home page"),
+            Some(h) => {
+                if ht.page(h).site_view != svid {
+                    err(issues, &sv.name, "home page belongs to another site view");
+                }
+            }
+        }
+    }
+}
+
+fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (_, u) in ht.units() {
+        let loc = format!("{}/{}", ht.page(u.page).name, u.name);
+        // entity requirements per kind
+        match &u.kind {
+            UnitKind::Entry { fields } => {
+                if fields.is_empty() {
+                    warn(issues, &loc, "entry unit has no fields");
+                }
+                let mut names = HashSet::new();
+                for f in fields {
+                    if !names.insert(f.name.to_ascii_lowercase()) {
+                        err(issues, &loc, format!("duplicate field {}", f.name));
+                    }
+                }
+            }
+            UnitKind::PlugIn { type_name } => {
+                if type_name.is_empty() {
+                    err(issues, &loc, "plug-in unit without type name");
+                }
+            }
+            UnitKind::HierarchicalIndex { levels } => {
+                if levels.is_empty() {
+                    err(issues, &loc, "hierarchical index with no levels");
+                }
+                for (k, level) in levels.iter().enumerate() {
+                    match er.role(&level.role) {
+                        None => err(
+                            issues,
+                            &loc,
+                            format!("level {k} references unknown role {}", level.role),
+                        ),
+                        Some((_, rel, forward)) => {
+                            let reached = if forward { rel.target } else { rel.source };
+                            let from = if forward { rel.source } else { rel.target };
+                            if reached != level.entity {
+                                err(
+                                    issues,
+                                    &loc,
+                                    format!(
+                                        "level {k}: role {} does not reach entity {}",
+                                        level.role,
+                                        er.entity(level.entity)
+                                            .map(|e| e.name.as_str())
+                                            .unwrap_or("?")
+                                    ),
+                                );
+                            }
+                            if k > 0 && from != levels[k - 1].entity {
+                                err(
+                                    issues,
+                                    &loc,
+                                    format!(
+                                        "level {k}: role {} does not start from level {} entity",
+                                        level.role,
+                                        k - 1
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    if let Some(e) = er.entity(level.entity) {
+                        for a in &level.display_attributes {
+                            if e.attribute(a).is_none() {
+                                err(
+                                    issues,
+                                    &loc,
+                                    format!("level {k} displays unknown attribute {a}"),
+                                );
+                            }
+                        }
+                    } else {
+                        err(issues, &loc, format!("level {k}: unknown entity"));
+                    }
+                }
+                continue; // attribute checks below don't apply
+            }
+            _ => {
+                if u.kind.queries_data() && u.entity.is_none() {
+                    err(issues, &loc, "content unit without entity");
+                }
+            }
+        }
+        // attribute references
+        if let Some(eid) = u.entity {
+            let Some(e) = er.entity(eid) else {
+                err(issues, &loc, "unknown entity");
+                continue;
+            };
+            for a in &u.display_attributes {
+                if e.attribute(a).is_none() {
+                    err(issues, &loc, format!("displays unknown attribute {a}"));
+                }
+            }
+            for s in &u.sort {
+                if e.attribute(&s.attribute).is_none() {
+                    err(issues, &loc, format!("sorts by unknown attribute {}", s.attribute));
+                }
+            }
+            for c in &u.selector {
+                match c {
+                    Condition::AttributeEq { attribute, .. }
+                    | Condition::AttributeLike { attribute, .. } => {
+                        if e.attribute(attribute).is_none() {
+                            err(
+                                issues,
+                                &loc,
+                                format!("selector uses unknown attribute {attribute}"),
+                            );
+                        }
+                    }
+                    Condition::Role { role, .. } => match er.role(role) {
+                        None => err(issues, &loc, format!("selector uses unknown role {role}")),
+                        Some((_, rel, forward)) => {
+                            let reached = if forward { rel.target } else { rel.source };
+                            if reached != eid {
+                                err(
+                                    issues,
+                                    &loc,
+                                    format!("role {role} does not reach the unit's entity"),
+                                );
+                            }
+                        }
+                    },
+                    Condition::KeyEq { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (lid, l) in ht.links() {
+        let loc = format!("{lid}");
+        match l.kind {
+            LinkKind::Transport | LinkKind::Automatic => {
+                let (Some(s), Some(t)) = (l.source.as_unit(), l.target.as_unit()) else {
+                    err(issues, &loc, "transport/automatic links connect units");
+                    continue;
+                };
+                if ht.unit(s).page != ht.unit(t).page {
+                    err(issues, &loc, "transport link crosses pages");
+                }
+            }
+            LinkKind::Ok | LinkKind::Ko => {
+                if l.source.as_operation().is_none() {
+                    err(issues, &loc, "OK/KO links start from operations");
+                }
+                if matches!(l.target, LinkEnd::Unit(_)) {
+                    // allowed: contextual into a unit of the target page
+                } else if l.target.as_operation().is_none() && l.target.as_page().is_none() {
+                    err(issues, &loc, "OK/KO link must target a page, unit or operation");
+                }
+            }
+            LinkKind::Contextual | LinkKind::NonContextual => {
+                if l.source.as_operation().is_some() {
+                    err(issues, &loc, "navigational links cannot start from operations");
+                }
+            }
+        }
+        // parameter sources must be producible by the source
+        let mut names = HashSet::new();
+        for p in &l.parameters {
+            if !names.insert(p.name.to_ascii_lowercase()) {
+                err(issues, &loc, format!("duplicate link parameter {}", p.name));
+            }
+            match (&p.source, l.source) {
+                (ParamSource::SelectedOid, LinkEnd::Unit(u)) => {
+                    if ht.unit(u).entity.is_none() {
+                        err(issues, &loc, "SelectedOid from a unit without entity");
+                    }
+                }
+                (ParamSource::SelectedOid, _) => {
+                    err(issues, &loc, "SelectedOid requires a unit source");
+                }
+                (ParamSource::Attribute(a), LinkEnd::Unit(u)) => {
+                    match ht.unit(u).entity.and_then(|e| er.entity(e)) {
+                        Some(e) if e.attribute(a).is_some() => {}
+                        _ => err(issues, &loc, format!("attribute parameter {a} unresolvable")),
+                    }
+                }
+                (ParamSource::Attribute(_), _) => {
+                    err(issues, &loc, "attribute parameter requires a unit source");
+                }
+                (ParamSource::Field(f), LinkEnd::Unit(u)) => {
+                    let ok = matches!(&ht.unit(u).kind, UnitKind::Entry { fields }
+                        if fields.iter().any(|fl| fl.name.eq_ignore_ascii_case(f)));
+                    if !ok {
+                        err(
+                            issues,
+                            &loc,
+                            format!("field parameter {f} is not a field of the source entry unit"),
+                        );
+                    }
+                }
+                (ParamSource::Field(_), _) => {
+                    err(issues, &loc, "field parameter requires an entry-unit source");
+                }
+                (ParamSource::Constant(_) | ParamSource::Session(_), _) => {}
+            }
+        }
+    }
+}
+
+fn check_operations(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (oid, o) in ht.operations() {
+        let loc = o.name.clone();
+        // every operation needs an OK link
+        let has_ok = ht
+            .links_from(LinkEnd::Operation(oid))
+            .any(|(_, l)| l.kind == LinkKind::Ok);
+        if !has_ok {
+            err(issues, &loc, "operation has no OK link");
+        }
+        match &o.kind {
+            crate::units::OperationKind::Connect { role }
+            | crate::units::OperationKind::Disconnect { role }
+                if er.role(role).is_none() => {
+                    err(issues, &loc, format!("unknown role {role}"));
+                }
+            crate::units::OperationKind::Create { entity }
+            | crate::units::OperationKind::Delete { entity }
+            | crate::units::OperationKind::Modify { entity }
+                if er.entity(*entity).is_none() => {
+                    err(issues, &loc, "unknown entity");
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Transport/automatic links define the intra-page dataflow; a cycle makes
+/// the page uncomputable.
+fn check_transport_cycles(ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (pid, page) in ht.pages() {
+        let units: Vec<UnitId> = page.units.clone();
+        let index: HashMap<UnitId, usize> =
+            units.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+        let mut indeg = vec![0usize; units.len()];
+        for (_, l) in ht.links() {
+            if !matches!(l.kind, LinkKind::Transport | LinkKind::Automatic) {
+                continue;
+            }
+            let (Some(s), Some(t)) = (l.source.as_unit(), l.target.as_unit()) else {
+                continue;
+            };
+            if let (Some(&si), Some(&ti)) = (index.get(&s), index.get(&t)) {
+                adj[si].push(ti);
+                indeg[ti] += 1;
+            }
+        }
+        // Kahn's algorithm
+        let mut q: VecDeque<usize> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut seen = 0;
+        while let Some(n) = q.pop_front() {
+            seen += 1;
+            for &m in &adj[n] {
+                indeg[m] -= 1;
+                if indeg[m] == 0 {
+                    q.push_back(m);
+                }
+            }
+        }
+        if seen != units.len() {
+            err(
+                issues,
+                &ht.page(pid).name,
+                "transport links form a cycle; page computation order is undefined",
+            );
+        }
+    }
+}
+
+/// Pages unreachable from the home page of their site view get a warning.
+/// Landmark pages are reachable by definition.
+fn check_reachability(ht: &HypertextModel, issues: &mut Vec<Issue>) {
+    for (svid, sv) in ht.site_views() {
+        let Some(home) = sv.home else { continue };
+        let mut reached: HashSet<PageId> = HashSet::new();
+        let mut queue = VecDeque::new();
+        reached.insert(home);
+        queue.push_back(home);
+        // landmarks seed reachability
+        for pid in ht.pages_of_site_view(svid) {
+            if ht.page(pid).landmark && reached.insert(pid) {
+                queue.push_back(pid);
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            // links out of the page or out of its units; operation chains
+            // count through their OK/KO targets
+            let mut ends: Vec<LinkEnd> = vec![LinkEnd::Page(p)];
+            for (uid, _) in ht.units_of(p) {
+                ends.push(LinkEnd::Unit(uid));
+            }
+            let mut frontier: Vec<LinkEnd> = Vec::new();
+            for end in ends {
+                for (_, l) in ht.links_from(end) {
+                    frontier.push(l.target);
+                }
+            }
+            while let Some(t) = frontier.pop() {
+                match t {
+                    LinkEnd::Operation(o) => {
+                        for (_, l) in ht.links_from(LinkEnd::Operation(o)) {
+                            frontier.push(l.target);
+                        }
+                    }
+                    other => {
+                        if let Some(tp) = ht.page_of_end(other) {
+                            if ht.page(tp).site_view == svid && reached.insert(tp) {
+                                queue.push_back(tp);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for pid in ht.pages_of_site_view(svid) {
+            if !reached.contains(&pid) {
+                warn(
+                    issues,
+                    format!("{}/{}", sv.name, ht.page(pid).name),
+                    "page is not reachable from the home page",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::LinkParam;
+    use crate::structure::Audience;
+    use crate::units::{Condition, Field, OperationKind};
+    use er::{AttrType, Attribute, Cardinality};
+
+    fn base() -> (ErModel, HypertextModel, er::EntityId, PageId) {
+        let mut er = ErModel::new();
+        let product = er
+            .add_entity(
+                "Product",
+                vec![
+                    Attribute::new("name", AttrType::String).required(),
+                    Attribute::new("price", AttrType::Float),
+                ],
+            )
+            .unwrap();
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("Main", Audience::default());
+        let home = ht.add_page(sv, None, "Home");
+        ht.set_home(sv, home);
+        ht.add_index_unit(home, "Products", product);
+        (er, ht, product, home)
+    }
+
+    #[test]
+    fn valid_model_has_no_errors() {
+        let (er, ht, ..) = base();
+        let issues = validate(&er, &ht);
+        assert!(
+            issues.iter().all(|i| i.severity != Severity::Error),
+            "{issues:?}"
+        );
+        assert!(is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn missing_home_is_error() {
+        let (er, mut ht, ..) = base();
+        let sv2 = ht.add_site_view("Second", Audience::default());
+        ht.add_page(sv2, None, "Lonely");
+        let issues = validate(&er, &ht);
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("no home")));
+    }
+
+    #[test]
+    fn unknown_display_attribute_is_error() {
+        let (er, mut ht, product, home) = base();
+        let u = ht.add_data_unit(home, "Detail", product);
+        ht.set_display_attributes(u, &["name", "nonexistent"]);
+        assert!(!is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn unknown_selector_attribute_is_error() {
+        let (er, mut ht, product, home) = base();
+        let u = ht.add_data_unit(home, "Detail", product);
+        ht.add_condition(
+            u,
+            Condition::AttributeEq {
+                attribute: "ghost".into(),
+                param: "x".into(),
+            },
+        );
+        assert!(!is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn cross_page_transport_is_error() {
+        let (er, mut ht, product, home) = base();
+        let sv = ht.page(home).site_view;
+        let other = ht.add_page(sv, None, "Other");
+        let a = ht.add_data_unit(home, "A", product);
+        let b = ht.add_data_unit(other, "B", product);
+        ht.link_transport(a, b, vec![LinkParam::oid("p")]);
+        let issues = validate(&er, &ht);
+        assert!(issues.iter().any(|i| i.message.contains("crosses pages")));
+    }
+
+    #[test]
+    fn transport_cycle_is_error() {
+        let (er, mut ht, product, home) = base();
+        let a = ht.add_data_unit(home, "A", product);
+        let b = ht.add_data_unit(home, "B", product);
+        ht.link_transport(a, b, vec![]);
+        ht.link_transport(b, a, vec![]);
+        let issues = validate(&er, &ht);
+        assert!(issues.iter().any(|i| i.message.contains("cycle")));
+    }
+
+    #[test]
+    fn operation_without_ok_link_is_error() {
+        let (er, mut ht, product, _) = base();
+        ht.add_operation(
+            "CreateProduct",
+            OperationKind::Create { entity: product },
+            vec!["name".into()],
+        );
+        let issues = validate(&er, &ht);
+        assert!(issues.iter().any(|i| i.message.contains("no OK link")));
+    }
+
+    #[test]
+    fn field_param_must_exist_on_entry_unit() {
+        let (er, mut ht, product, home) = base();
+        let entry = ht.add_entry_unit(
+            home,
+            "Search",
+            vec![Field::new("keyword", AttrType::String)],
+        );
+        let target = ht.add_index_unit(home, "Results", product);
+        ht.link_contextual(
+            LinkEnd::Unit(entry),
+            LinkEnd::Unit(target),
+            "go",
+            vec![LinkParam::field("kw", "keyword")],
+        );
+        assert!(is_valid(&er, &ht));
+        ht.link_contextual(
+            LinkEnd::Unit(entry),
+            LinkEnd::Unit(target),
+            "bad",
+            vec![LinkParam::field("kw", "missing_field")],
+        );
+        assert!(!is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn unreachable_page_is_warning_not_error() {
+        let (er, mut ht, _, home) = base();
+        let sv = ht.page(home).site_view;
+        ht.add_page(sv, None, "Orphan");
+        let issues = validate(&er, &ht);
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Warning && i.message.contains("not reachable")));
+        assert!(is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn landmark_pages_seed_reachability() {
+        let (er, mut ht, _, home) = base();
+        let sv = ht.page(home).site_view;
+        let p = ht.add_page(sv, None, "Nav");
+        ht.set_landmark(p);
+        let issues = validate(&er, &ht);
+        assert!(!issues.iter().any(|i| i.message.contains("not reachable")));
+    }
+
+    #[test]
+    fn hierarchy_role_chain_checked() {
+        let mut er = ErModel::new();
+        let a = er.add_entity("A", vec![]).unwrap();
+        let b = er.add_entity("B", vec![]).unwrap();
+        let c = er.add_entity("C", vec![]).unwrap();
+        er.add_relationship(
+            "AB",
+            a,
+            b,
+            "AToB",
+            "BToA",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        er.add_relationship(
+            "BC",
+            b,
+            c,
+            "BToC",
+            "CToB",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let p = ht.add_page(sv, None, "P");
+        ht.set_home(sv, p);
+        // correct chain: B via AToB, then C via BToC
+        ht.add_hierarchical_index(
+            p,
+            "ok",
+            vec![
+                crate::units::HierarchyLevel {
+                    entity: b,
+                    role: "AToB".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+                crate::units::HierarchyLevel {
+                    entity: c,
+                    role: "BToC".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+            ],
+        );
+        assert!(is_valid(&er, &ht));
+        // broken chain: level 1 starts from A, not B
+        ht.add_hierarchical_index(
+            p,
+            "broken",
+            vec![
+                crate::units::HierarchyLevel {
+                    entity: b,
+                    role: "AToB".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+                crate::units::HierarchyLevel {
+                    entity: b,
+                    role: "AToB".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+            ],
+        );
+        assert!(!is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn duplicate_unit_names_rejected() {
+        let (er, mut ht, product, home) = base();
+        ht.add_data_unit(home, "Same", product);
+        ht.add_data_unit(home, "same", product);
+        assert!(!is_valid(&er, &ht));
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's running example (Figs. 1 and 2): the ACM Digital Library
+//! TODS volume page — a data unit transporting the selected volume's oid
+//! into a hierarchical Issues&Papers index, plus a keyword-search entry
+//! unit — served over real HTTP.
+//!
+//! ```sh
+//! cargo run --example acm_library          # serves until Ctrl-C
+//! ACM_ONESHOT=1 cargo run --example acm_library   # self-test and exit
+//! ```
+
+use webml_ratio::httpd::client;
+use webml_ratio::mvc::RuntimeOptions;
+use webml_ratio::webratio::fixtures;
+
+fn main() {
+    let app = fixtures::acm_library();
+    let d = app.deploy(RuntimeOptions::default()).expect("deploy");
+    fixtures::seed_acm(&d.db, 5, 4, 6); // 5 volumes × 4 issues × 6 papers
+
+    let server = d.serve(0, 4).expect("bind");
+    let addr = server.addr();
+    println!("ACM Digital Library reproduction serving at http://{addr}/acm_dl/volumes");
+    println!("pages:");
+    for p in &d.generated.descriptors.pages {
+        println!("  http://{addr}{}", p.url);
+    }
+
+    // drive the hypertext the way a browser would
+    let volumes = client::get(addr, "/acm_dl/volumes").expect("home");
+    let body = String::from_utf8(volumes.body).unwrap();
+    assert!(body.contains("TODS Volume 27"));
+    println!("\nGET /acm_dl/volumes → {} bytes", body.len());
+
+    // follow the first volume link (Fig. 1's contextual link carrying the
+    // volume oid)
+    let href = body
+        .split("href=\"")
+        .find(|s| s.starts_with("/acm_dl/volume_page"))
+        .and_then(|s| s.split('"').next())
+        .expect("volume link");
+    let volume_page = client::get(addr, href).expect("volume page");
+    let vbody = String::from_utf8(volume_page.body).unwrap();
+    assert!(vbody.contains("Issues&amp;Papers"));
+    assert!(vbody.contains("Enter keyword"));
+    println!("GET {href} → Volume Page with hierarchical index ({} bytes)", vbody.len());
+
+    // keyword search through the entry unit's generated form target
+    let results = client::get(addr, "/acm_dl/search_results?kw=%251.2.%25").expect("search");
+    let rbody = String::from_utf8(results.body).unwrap();
+    let matches = rbody.matches("href=\"/acm_dl/paper_details").count();
+    assert!(matches > 0, "search returned nothing:\n{rbody}");
+    println!("GET /acm_dl/search_results?kw=%1.2.% → {matches} matching paper rows");
+
+    // paper details via the hierarchy's leaf anchors
+    let paper_href = vbody
+        .split("href=\"")
+        .find(|s| s.starts_with("/acm_dl/paper_details"))
+        .and_then(|s| s.split('"').next())
+        .expect("paper link");
+    let paper = client::get(addr, paper_href).expect("paper page");
+    println!("GET {paper_href} → {} bytes", paper.body.len());
+
+    if std::env::var("ACM_ONESHOT").is_ok() {
+        println!("\nself-test passed");
+        server.stop();
+        return;
+    }
+    println!("\nPress Ctrl-C to stop.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

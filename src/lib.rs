@@ -1,0 +1,24 @@
+//! # webml-ratio — umbrella crate
+//!
+//! Re-exports the whole workspace so examples and integration tests (and
+//! downstream users who want a single dependency) can reach every layer:
+//!
+//! * [`webratio`] — the facade ([`webratio::Application`] →
+//!   [`webratio::Deployment`]);
+//! * [`er`], [`webml`] — the two modelling languages;
+//! * [`codegen`], [`descriptors`], [`presentation`] — the generation
+//!   pipeline;
+//! * [`mvc`], [`webcache`], [`relstore`], [`httpd`] — the runtime stack.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system map.
+
+pub use codegen;
+pub use descriptors;
+pub use er;
+pub use httpd;
+pub use mvc;
+pub use presentation;
+pub use relstore;
+pub use webcache;
+pub use webml;
+pub use webratio;

@@ -1,0 +1,144 @@
+//! Integration tests of the §6 two-level cache semantics across
+//! deployment configurations.
+
+use std::time::Duration;
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::webratio::fixtures;
+
+fn options(bean: bool, fragment: bool, ttl: Duration) -> RuntimeOptions {
+    RuntimeOptions {
+        bean_cache: bean,
+        fragment_cache: fragment,
+        fragment_ttl: ttl,
+        ..RuntimeOptions::default()
+    }
+}
+
+/// With the bean cache on, reads after a write always see fresh data —
+/// the §6 model-driven invalidation guarantee.
+#[test]
+fn bean_cache_is_never_stale() {
+    let app = fixtures::bookstore();
+    let d = app
+        .deploy(options(true, false, Duration::from_secs(3600)))
+        .unwrap();
+    let home = d.home_url("store").unwrap();
+    let op = d.generated.descriptors.operations[0].url.clone();
+    for i in 0..30 {
+        let title = format!("Volume {i}");
+        let resp = d.handle(
+            &WebRequest::get(&op)
+                .with_param("title", &title)
+                .with_param("price", "1.0"),
+        );
+        assert_eq!(resp.status, 200);
+        let page = d.handle(&WebRequest::get(&home));
+        assert!(page.body.contains(&title), "stale read after create #{i}");
+    }
+    let stats = d.controller.bean_cache().unwrap().stats();
+    assert!(stats.invalidations > 0);
+}
+
+/// The fragment cache alone serves stale markup until TTL — the §6
+/// limitation that motivates the second level.
+#[test]
+fn fragment_cache_alone_can_be_stale_but_expires() {
+    let app = fixtures::bookstore();
+    let d = app
+        .deploy(options(false, true, Duration::from_millis(60)))
+        .unwrap();
+    let home = d.home_url("store").unwrap();
+    let op = d.generated.descriptors.operations[0].url.clone();
+
+    d.handle(&WebRequest::get(&home)); // prime fragments (empty list)
+    d.handle(
+        &WebRequest::get(&op)
+            .with_param("title", "Invisible")
+            .with_param("price", "2.0"),
+    );
+    std::thread::sleep(Duration::from_millis(80));
+    // after TTL expiry the fragment is regenerated from fresh beans
+    let fresh = d.handle(&WebRequest::get(&home));
+    assert!(fresh.body.contains("Invisible"));
+}
+
+/// Fragment hits spare markup generation but never spare data queries —
+/// the quantitative version of the §6 claim.
+#[test]
+fn fragment_hits_do_not_spare_queries_bean_hits_do() {
+    let app = fixtures::bookstore();
+
+    // fragment only
+    let d = app
+        .deploy(options(false, true, Duration::from_secs(3600)))
+        .unwrap();
+    let home = d.home_url("store").unwrap();
+    d.handle(&WebRequest::get(&home));
+    let q0 = d.db.statements_executed();
+    d.handle(&WebRequest::get(&home));
+    let fragment_queries = d.db.statements_executed() - q0;
+    assert!(fragment_queries > 0, "fragment cache spared queries?!");
+
+    // bean only
+    let d = app
+        .deploy(options(true, false, Duration::from_secs(3600)))
+        .unwrap();
+    d.handle(&WebRequest::get(&home));
+    let q0 = d.db.statements_executed();
+    d.handle(&WebRequest::get(&home));
+    let bean_queries = d.db.statements_executed() - q0;
+    assert_eq!(
+        bean_queries, 0,
+        "bean cache must spare the cached unit's queries"
+    );
+}
+
+/// All four configurations produce byte-identical page content for
+/// read-only traffic (caches must be semantically transparent there).
+#[test]
+fn cache_configs_agree_on_read_only_content() {
+    let mut bodies = Vec::new();
+    for (bean, fragment) in [(false, false), (true, false), (false, true), (true, true)] {
+        let app = fixtures::acm_library();
+        let d = app
+            .deploy(options(bean, fragment, Duration::from_secs(3600)))
+            .unwrap();
+        fixtures::seed_acm(&d.db, 2, 2, 2);
+        let mut pages = String::new();
+        for p in &d.generated.descriptors.pages {
+            // request twice so cached paths are actually exercised
+            d.handle(&WebRequest::get(&p.url).with_param("volume", "1").with_param("paper", "1").with_param("kw", "%1%"));
+            let resp = d.handle(&WebRequest::get(&p.url).with_param("volume", "1").with_param("paper", "1").with_param("kw", "%1%"));
+            assert_eq!(resp.status, 200);
+            pages.push_str(&resp.body);
+        }
+        bodies.push(pages);
+    }
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// TTL-based cache annotations expire as configured.
+#[test]
+fn ttl_annotated_units_expire() {
+    use webml_ratio::webml::CacheSpec;
+    let mut app = fixtures::bookstore();
+    // find the index unit and re-tag it with a short TTL, no write
+    // invalidation
+    let (uid, _) = app
+        .hypertext
+        .units()
+        .find(|(_, u)| u.name == "All books")
+        .unwrap();
+    app.hypertext
+        .set_cache(uid, CacheSpec::ttl(Duration::from_millis(50)));
+    let d = app.deploy(options(true, false, Duration::from_secs(1))).unwrap();
+    let home = d.home_url("store").unwrap();
+    d.handle(&WebRequest::get(&home));
+    d.handle(&WebRequest::get(&home));
+    let s1 = d.controller.bean_cache().unwrap().stats();
+    assert_eq!(s1.hits, 1);
+    std::thread::sleep(Duration::from_millis(70));
+    d.handle(&WebRequest::get(&home));
+    let s2 = d.controller.bean_cache().unwrap().stats();
+    assert_eq!(s2.expirations, 1, "TTL did not expire the bean");
+}

@@ -1,0 +1,219 @@
+//! End-to-end integration: model → generation → deployment → HTTP,
+//! following hyperlinks the way a browser would (E10: the Fig. 1/2 page).
+
+use webml_ratio::httpd::client;
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::webratio::{fixtures, seed_data, synthesize, SynthSpec};
+
+/// Extract all application hrefs (ignores static assets).
+fn hrefs(body: &str, prefix: &str) -> Vec<String> {
+    body.split("href=\"")
+        .skip(1)
+        .filter_map(|s| s.split('"').next())
+        .filter(|h| h.starts_with(prefix))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn acm_full_navigation_over_http() {
+    let app = fixtures::acm_library();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    fixtures::seed_acm(&d.db, 3, 2, 3);
+    let server = d.serve(0, 2).unwrap();
+    let addr = server.addr();
+
+    // home → volume page (contextual link with implicit oid transport)
+    let home = String::from_utf8(client::get(addr, "/acm_dl/volumes").unwrap().body).unwrap();
+    let volume_links = hrefs(&home, "/acm_dl/volume_page");
+    assert_eq!(volume_links.len(), 3, "one link per volume");
+
+    let volume = String::from_utf8(client::get(addr, &volume_links[0]).unwrap().body).unwrap();
+    // Fig. 2 content: volume data + nested hierarchy + keyword form
+    assert!(volume.contains("Volume data"));
+    assert!(volume.contains("hierarchy-unit"));
+    assert!(volume.contains("<form"));
+
+    // hierarchy leaf → paper details
+    let paper_links = hrefs(&volume, "/acm_dl/paper_details");
+    assert_eq!(paper_links.len(), 6, "2 issues x 3 papers");
+    let paper = String::from_utf8(client::get(addr, &paper_links[0]).unwrap().body).unwrap();
+    assert!(paper.contains("Paper data"));
+
+    // entry unit → search results with LIKE
+    let results = String::from_utf8(
+        client::get(addr, "/acm_dl/search_results?kw=%25Paper%25").unwrap().body,
+    )
+    .unwrap();
+    assert_eq!(hrefs(&results, "/acm_dl/paper_details").len(), 18); // all papers
+    server.stop();
+}
+
+#[test]
+fn every_synthetic_page_serves_on_every_deployment_mode() {
+    let spec = SynthSpec::scaled(16, 5);
+    for (label, options) in [
+        ("default", RuntimeOptions::default()),
+        (
+            "no caches",
+            RuntimeOptions {
+                bean_cache: false,
+                fragment_cache: false,
+                ..RuntimeOptions::default()
+            },
+        ),
+        (
+            "runtime styling",
+            RuntimeOptions {
+                styling: webml_ratio::mvc::StylingMode::Runtime,
+                ..RuntimeOptions::default()
+            },
+        ),
+        (
+            "app server",
+            RuntimeOptions {
+                app_server_clones: Some(2),
+                ..RuntimeOptions::default()
+            },
+        ),
+    ] {
+        let app = synthesize(&spec);
+        let d = app.deploy(options).unwrap();
+        seed_data(&app, &d.db, 6, 5);
+        for p in &d.generated.descriptors.pages {
+            let resp = d.handle(&WebRequest::get(&p.url));
+            assert_eq!(resp.status, 200, "[{label}] {}: {}", p.url, resp.body);
+            assert!(
+                resp.body.contains("<!DOCTYPE html>"),
+                "[{label}] {} returned non-HTML",
+                p.url
+            );
+        }
+    }
+}
+
+#[test]
+fn deployment_modes_render_identical_content() {
+    // in-process and app-server must produce byte-identical pages
+    let spec = SynthSpec::scaled(8, 4);
+    let app1 = synthesize(&spec);
+    let d1 = app1.deploy(RuntimeOptions::default()).unwrap();
+    seed_data(&app1, &d1.db, 5, 9);
+    let app2 = synthesize(&spec);
+    let d2 = app2
+        .deploy(RuntimeOptions {
+            app_server_clones: Some(3),
+            ..RuntimeOptions::default()
+        })
+        .unwrap();
+    seed_data(&app2, &d2.db, 5, 9);
+    for p in &d1.generated.descriptors.pages {
+        let r1 = d1.handle(&WebRequest::get(&p.url));
+        let r2 = d2.handle(&WebRequest::get(&p.url));
+        assert_eq!(r1.body, r2.body, "divergence on {}", p.url);
+    }
+}
+
+#[test]
+fn bookstore_create_and_browse_via_http_form_flow() {
+    let app = fixtures::bookstore();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    let server = d.serve(0, 2).unwrap();
+    let addr = server.addr();
+
+    // the rendered form points at the operation URL
+    let home = String::from_utf8(client::get(addr, "/store/books").unwrap().body).unwrap();
+    let action = home
+        .split("action=\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("form action");
+    assert!(action.starts_with("/op/"));
+
+    // submit the form (GET with query params, as the generated form does)
+    let resp = client::get(
+        addr,
+        &format!("{action}?title=Hypertext+Design&price=42.0"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).unwrap();
+    assert!(body.contains("Hypertext Design"), "{body}");
+
+    // the detail link works
+    let detail_href = hrefs(&body, "/store/book_detail")
+        .first()
+        .cloned()
+        .expect("detail link");
+    let detail = String::from_utf8(client::get(addr, &detail_href).unwrap().body).unwrap();
+    assert!(detail.contains("Hypertext Design"));
+    assert!(detail.contains("42.0"));
+    server.stop();
+}
+
+#[test]
+fn login_logout_flow_with_sessions() {
+    use webml_ratio::relstore::Params;
+    // build a tiny app with login/logout operations
+    let mut er = webml_ratio::er::ErModel::new();
+    let item = er
+        .add_entity(
+            "Item",
+            vec![webml_ratio::er::Attribute::new("name", webml_ratio::er::AttrType::String)],
+        )
+        .unwrap();
+    let mut ht = webml_ratio::webml::HypertextModel::new();
+    let sv = ht.add_site_view("Main", webml_ratio::webml::Audience::default());
+    let home = ht.add_page(sv, None, "Home");
+    ht.set_home(sv, home);
+    ht.add_index_unit(home, "Items", item);
+    let login = ht.add_operation(
+        "Login",
+        webml_ratio::webml::OperationKind::Login,
+        vec!["username".into(), "password".into()],
+    );
+    ht.link_ok(login, webml_ratio::webml::LinkEnd::Page(home));
+    ht.link_ko(login, webml_ratio::webml::LinkEnd::Page(home));
+    let logout = ht.add_operation("Logout", webml_ratio::webml::OperationKind::Logout, vec![]);
+    ht.link_ok(logout, webml_ratio::webml::LinkEnd::Page(home));
+    let app = webml_ratio::webratio::Application::new("auth", er, ht);
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    d.db.execute_script(
+        "CREATE TABLE webuser (oid INTEGER PRIMARY KEY AUTOINCREMENT, username TEXT, password TEXT, groupname TEXT);",
+    )
+    .unwrap();
+    d.db.execute(
+        "INSERT INTO webuser (username, password, groupname) VALUES ('anna', 'pw', 'staff')",
+        &Params::new(),
+    )
+    .unwrap();
+
+    // establish a session, log in through it
+    let r0 = d.handle(&WebRequest::get("/main/home"));
+    let sid = r0.set_session.unwrap();
+    let login_url = &d.generated.descriptors.operations[0].url;
+    let r1 = d.handle(
+        &WebRequest::get(login_url)
+            .with_session(&sid)
+            .with_param("username", "anna")
+            .with_param("password", "pw"),
+    );
+    assert_eq!(r1.status, 200);
+    let session = d.controller.sessions.get(&sid).unwrap();
+    assert_eq!(session.lock().user, Some(1));
+    assert_eq!(session.lock().group.as_deref(), Some("staff"));
+
+    // logout destroys the session
+    let logout_url = &d.generated.descriptors.operations[1].url;
+    let r2 = d.handle(&WebRequest::get(logout_url).with_session(&sid));
+    assert_eq!(r2.status, 200);
+    assert!(d.controller.sessions.get(&sid).is_none());
+
+    // bad credentials are a KO, not an error
+    let r3 = d.handle(
+        &WebRequest::get(login_url)
+            .with_param("username", "anna")
+            .with_param("password", "wrong"),
+    );
+    assert_eq!(r3.status, 200); // KO forwards to the home page
+}

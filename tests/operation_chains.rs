@@ -1,0 +1,111 @@
+//! Operation chains: the OK link of one operation can target another
+//! operation, forming the chains WebML uses for composite updates
+//! ("create then notify", "connect then redirect"). The Controller
+//! follows OK/KO forwards through the action mappings until a page
+//! renders.
+
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::webml::{Audience, HypertextModel, LinkEnd, OperationKind};
+use webml_ratio::webratio::Application;
+
+fn chained_app() -> Application {
+    let mut er = webml_ratio::er::ErModel::new();
+    let order = er
+        .add_entity(
+            "Order",
+            vec![webml_ratio::er::Attribute::new(
+                "item",
+                webml_ratio::er::AttrType::String,
+            )
+            .required()],
+        )
+        .unwrap();
+    let mut ht = HypertextModel::new();
+    let sv = ht.add_site_view("Shop", Audience::default());
+    let home = ht.add_page(sv, None, "Orders");
+    ht.set_home(sv, home);
+    ht.add_index_unit(home, "All orders", order);
+
+    // chain: CreateOrder --OK--> NotifyWarehouse --OK--> Orders page
+    let create = ht.add_operation(
+        "CreateOrder",
+        OperationKind::Create { entity: order },
+        vec!["item".into()],
+    );
+    let notify = ht.add_operation("NotifyWarehouse", OperationKind::SendMail, vec![]);
+    ht.link_ok(create, LinkEnd::Operation(notify));
+    ht.link_ko(create, LinkEnd::Page(home));
+    ht.link_ok(notify, LinkEnd::Page(home));
+    Application::new("chains", er, ht)
+}
+
+#[test]
+fn ok_chain_executes_both_operations_then_renders() {
+    let app = chained_app();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    let create_url = d.generated.descriptors.operations[0].url.clone();
+    let resp = d.handle(
+        &WebRequest::get(&create_url)
+            .with_param("item", "Aspire laptop")
+            .with_param("to", "warehouse@example.org")
+            .with_param("subject", "new order"),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // the page at the end of the chain shows the created order
+    assert!(resp.body.contains("Aspire laptop"));
+    // the sendmail step actually ran
+    let outbox = d.controller.ops.outbox.lock();
+    assert_eq!(outbox.len(), 1);
+    assert_eq!(outbox[0].to, "warehouse@example.org");
+    // two forwards: create→notify, notify→page
+    assert_eq!(
+        d.controller
+            .metrics
+            .forwards
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+}
+
+#[test]
+fn ko_breaks_the_chain() {
+    let app = chained_app();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    let create_url = d.generated.descriptors.operations[0].url.clone();
+    // force a KO with a unique-index violation on the second insert
+    let table = d.generated.descriptors.operations[0]
+        .entity_table
+        .clone()
+        .unwrap();
+    d.db.execute_script(&format!("CREATE UNIQUE INDEX ux_item ON {table} (item);"))
+        .unwrap();
+    let before_mail = d.controller.ops.outbox.lock().len();
+    d.handle(&WebRequest::get(&create_url).with_param("item", "dup"));
+    let resp = d.handle(&WebRequest::get(&create_url).with_param("item", "dup"));
+    assert_eq!(resp.status, 200); // KO forwarded to the page
+    assert!(resp.body.contains("unique violation") || resp.body.contains("dup"));
+    // the second (failing) create did not reach the notify step
+    let after_mail = d.controller.ops.outbox.lock().len();
+    assert_eq!(after_mail - before_mail, 1, "KO leaked into the chain");
+}
+
+#[test]
+fn forward_loops_are_detected() {
+    // a pathological chain: operation forwarding to itself
+    let mut er = webml_ratio::er::ErModel::new();
+    er.add_entity("X", vec![]).unwrap();
+    let mut ht = HypertextModel::new();
+    let sv = ht.add_site_view("Loop", Audience::default());
+    let home = ht.add_page(sv, None, "Home");
+    ht.set_home(sv, home);
+    let op = ht.add_operation("Echo", OperationKind::SendMail, vec![]);
+    let (op_end, _) = (LinkEnd::Operation(op), ());
+    ht.link_ok(op, op_end);
+    ht.link_ko(op, LinkEnd::Page(home));
+    let app = Application::new("loopy", er, ht);
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    let url = d.generated.descriptors.operations[0].url.clone();
+    let resp = d.handle(&WebRequest::get(&url));
+    assert_eq!(resp.status, 500);
+    assert!(resp.body.contains("loop"), "{}", resp.body);
+}

@@ -1,0 +1,148 @@
+//! Cross-crate property tests: for arbitrary model shapes, the whole
+//! pipeline (synthesis → validation → generation → deployment → request
+//! handling) upholds its invariants.
+
+use proptest::prelude::*;
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::webratio::{seed_data, synthesize, SynthSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Model synthesis hits the requested dimensions exactly and the
+    /// result always validates.
+    #[test]
+    fn synthetic_models_hit_dimensions_and_validate(
+        pages in 2usize..30,
+        upp in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut spec = SynthSpec::scaled(pages, upp);
+        spec.seed = seed;
+        let app = synthesize(&spec);
+        let stats = app.hypertext.stats();
+        prop_assert_eq!(stats.pages, pages);
+        prop_assert_eq!(stats.units, pages * upp);
+        let errors: Vec<_> = app
+            .validate()
+            .into_iter()
+            .filter(|i| i.severity == webml_ratio::webml::Severity::Error)
+            .collect();
+        prop_assert!(errors.is_empty(), "{:?}", errors);
+    }
+
+    /// Every generated SQL statement parses, every page's computation
+    /// order respects its dataflow edges, and the controller maps every
+    /// page and operation.
+    #[test]
+    fn generated_artifacts_are_internally_consistent(
+        pages in 2usize..20,
+        upp in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut spec = SynthSpec::scaled(pages, upp);
+        spec.seed = seed;
+        let app = synthesize(&spec);
+        let g = app.generate().unwrap();
+        // all SQL parses
+        for u in &g.descriptors.units {
+            for q in &u.queries {
+                webml_ratio::relstore::parse_statement(&q.sql)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", u.id, q.sql));
+            }
+        }
+        for o in &g.descriptors.operations {
+            if let Some(sql) = &o.sql {
+                webml_ratio::relstore::parse_statement(sql).unwrap();
+            }
+        }
+        webml_ratio::relstore::parse_script(&g.ddl).unwrap();
+        // topological order: every edge source precedes its target
+        for p in &g.descriptors.pages {
+            for e in &p.edges {
+                let from = p.units.iter().position(|u| u == &e.from).unwrap();
+                let to = p.units.iter().position(|u| u == &e.to).unwrap();
+                prop_assert!(from < to, "page {}: edge {} -> {}", p.id, e.from, e.to);
+            }
+            prop_assert!(g.descriptors.controller.resolve(&p.url).is_some());
+        }
+        for o in &g.descriptors.operations {
+            prop_assert!(g.descriptors.controller.resolve(&o.url).is_some());
+        }
+        // every unit referenced by a page exists, and vice versa
+        for p in &g.descriptors.pages {
+            for uid in &p.units {
+                prop_assert!(g.descriptors.unit(uid).is_some());
+            }
+        }
+        for u in &g.descriptors.units {
+            prop_assert!(g.descriptors.page(&u.page).is_some());
+        }
+        // skeleton slots match page units exactly
+        for sk in &g.skeletons {
+            let p = g.descriptors.page(&sk.page).unwrap();
+            prop_assert_eq!(&sk.root.unit_slots(), &p.units);
+        }
+    }
+
+    /// Deployed applications answer 200 on every page with well-formed
+    /// HTML, under any cache configuration.
+    #[test]
+    fn deployed_pages_always_render(
+        pages in 2usize..10,
+        upp in 1usize..6,
+        bean in any::<bool>(),
+        fragment in any::<bool>(),
+        rows in 0usize..8,
+    ) {
+        let spec = SynthSpec::scaled(pages, upp);
+        let app = synthesize(&spec);
+        let d = app
+            .deploy(RuntimeOptions {
+                bean_cache: bean,
+                fragment_cache: fragment,
+                ..RuntimeOptions::default()
+            })
+            .unwrap();
+        seed_data(&app, &d.db, rows, 3);
+        for p in &d.generated.descriptors.pages {
+            let resp = d.handle(&WebRequest::get(&p.url));
+            prop_assert_eq!(resp.status, 200, "{}: {}", &p.url, &resp.body);
+            // well-formed chrome
+            prop_assert!(resp.body.contains("<html>"));
+            prop_assert!(resp.body.contains("</html>"));
+            // no unresolved custom tags leak to the browser
+            prop_assert!(!resp.body.contains("webml:"));
+        }
+    }
+
+    /// Project persistence is lossless: save → load → identical models and
+    /// identical generated artifacts, for any synthetic model.
+    #[test]
+    fn project_files_round_trip(pages in 2usize..15, upp in 1usize..6, seed in 0u64..500) {
+        let mut spec = SynthSpec::scaled(pages, upp);
+        spec.seed = seed;
+        let app = synthesize(&spec);
+        let doc = app.save();
+        let loaded = webml_ratio::webratio::Application::load(&doc).unwrap();
+        prop_assert_eq!(&loaded.er, &app.er);
+        prop_assert_eq!(&loaded.hypertext, &app.hypertext);
+        let a = app.generate().unwrap();
+        let b = loaded.generate().unwrap();
+        prop_assert_eq!(a.descriptors, b.descriptors);
+        prop_assert_eq!(a.ddl, b.ddl);
+    }
+
+    /// Regeneration is idempotent: generating twice from the same model
+    /// yields identical artifacts.
+    #[test]
+    fn generation_is_idempotent(pages in 2usize..12, seed in 0u64..500) {
+        let mut spec = SynthSpec::scaled(pages, 4);
+        spec.seed = seed;
+        let app = synthesize(&spec);
+        let a = app.generate().unwrap();
+        let b = app.generate().unwrap();
+        prop_assert_eq!(a.descriptors, b.descriptors);
+        prop_assert_eq!(a.ddl, b.ddl);
+    }
+}

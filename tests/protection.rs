@@ -1,0 +1,118 @@
+//! Protected site views (§8: Acer-Euro's 21 non-public site views were
+//! "accessible only through the corporate VPN"): pages of a protected
+//! site view answer 401 until the session authenticates via a login
+//! operation.
+
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::relstore::Params;
+use webml_ratio::webml::{Audience, HypertextModel, LinkEnd, OperationKind};
+use webml_ratio::webratio::Application;
+
+fn app_with_protected_view() -> Application {
+    let mut er = webml_ratio::er::ErModel::new();
+    let product = er
+        .add_entity(
+            "Product",
+            vec![webml_ratio::er::Attribute::new(
+                "name",
+                webml_ratio::er::AttrType::String,
+            )],
+        )
+        .unwrap();
+    let mut ht = HypertextModel::new();
+
+    // public B2C view with the login form
+    let b2c = ht.add_site_view("Public", Audience::default());
+    let home = ht.add_page(b2c, None, "Home");
+    ht.set_home(b2c, home);
+    ht.add_index_unit(home, "Catalog", product);
+
+    // protected product-manager view
+    let b2b = ht.add_site_view(
+        "Managers",
+        Audience {
+            group: "product-managers".into(),
+            device: "desktop".into(),
+        },
+    );
+    ht.protect_site_view(b2b);
+    let admin = ht.add_page(b2b, None, "Admin");
+    ht.set_home(b2b, admin);
+    ht.add_multidata_unit(admin, "All products", product);
+
+    let login = ht.add_operation(
+        "Login",
+        OperationKind::Login,
+        vec!["username".into(), "password".into()],
+    );
+    ht.link_ok(login, LinkEnd::Page(admin));
+    ht.link_ko(login, LinkEnd::Page(home));
+    Application::new("protected", er, ht)
+}
+
+#[test]
+fn protected_pages_require_login() {
+    let app = app_with_protected_view();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    d.db.execute_script(
+        "CREATE TABLE webuser (oid INTEGER PRIMARY KEY AUTOINCREMENT, username TEXT, password TEXT, groupname TEXT);",
+    )
+    .unwrap();
+    d.db.execute(
+        "INSERT INTO webuser (username, password, groupname) VALUES ('pm', 'pw', 'product-managers')",
+        &Params::new(),
+    )
+    .unwrap();
+
+    // the public view serves anonymously
+    let r = d.handle(&WebRequest::get("/public/home"));
+    assert_eq!(r.status, 200);
+    let sid = r.set_session.unwrap();
+
+    // the protected view refuses the anonymous session
+    let r = d.handle(&WebRequest::get("/managers/admin").with_session(&sid));
+    assert_eq!(r.status, 401, "{}", r.body);
+
+    // wrong credentials: KO link forwards to the public home (200), and
+    // the protected page still refuses
+    let login_url = d.generated.descriptors.operations[0].url.clone();
+    let r = d.handle(
+        &WebRequest::get(&login_url)
+            .with_session(&sid)
+            .with_param("username", "pm")
+            .with_param("password", "nope"),
+    );
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        d.handle(&WebRequest::get("/managers/admin").with_session(&sid)).status,
+        401
+    );
+
+    // correct credentials: OK link forwards INTO the protected view
+    let r = d.handle(
+        &WebRequest::get(&login_url)
+            .with_session(&sid)
+            .with_param("username", "pm")
+            .with_param("password", "pw"),
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("All products"));
+
+    // and direct access now succeeds
+    let r = d.handle(&WebRequest::get("/managers/admin").with_session(&sid));
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn protection_flag_flows_through_descriptors() {
+    let app = app_with_protected_view();
+    let g = app.generate().unwrap();
+    let admin = g.descriptors.page_by_url("/managers/admin").unwrap();
+    assert!(admin.protected);
+    let home = g.descriptors.page_by_url("/public/home").unwrap();
+    assert!(!home.protected);
+    // XML round trip preserves it
+    let files = g.descriptors.to_files();
+    let loaded = webml_ratio::descriptors::DescriptorSet::from_files(&files).unwrap();
+    assert!(loaded.page_by_url("/managers/admin").unwrap().protected);
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the regeneration workflows: §6 descriptor
+//! overrides and §7 topology changes.
+
+use webml_ratio::codegen::{self, regenerate, template_based_artifacts};
+use webml_ratio::webml::LinkEnd;
+use webml_ratio::webratio::{synthesize, SynthSpec};
+
+#[test]
+fn optimized_descriptors_survive_any_model_change() {
+    let spec = SynthSpec::scaled(20, 4);
+    let mut app = synthesize(&spec);
+    let g1 = app.generate().unwrap();
+    let mut current = g1.descriptors.clone();
+
+    // optimise three descriptors
+    let ids: Vec<String> = current.units.iter().take(3).map(|u| u.id.clone()).collect();
+    for id in &ids {
+        current
+            .unit_mut(id)
+            .unwrap()
+            .override_query("SELECT 1 AS tuned");
+    }
+
+    // a sequence of model edits, regenerating after each
+    for round in 0..3 {
+        let (target, _) = app.hypertext.pages().nth(round + 2).unwrap();
+        let (lid, _) = app
+            .hypertext
+            .links()
+            .filter(|(_, l)| l.kind == webml_ratio::webml::LinkKind::Contextual)
+            .nth(round)
+            .expect("a contextual link to retarget");
+        app.hypertext.retarget_link(lid, LinkEnd::Page(target));
+        let (g, preserved) = regenerate(&app.er, &app.mapping, &app.hypertext, &current).unwrap();
+        assert_eq!(preserved.len(), 3, "round {round}");
+        current = g.descriptors;
+        for id in &ids {
+            let u = current.unit(id).unwrap();
+            assert!(u.optimized);
+            assert_eq!(u.main_query().unwrap().sql, "SELECT 1 AS tuned");
+        }
+    }
+}
+
+#[test]
+fn service_overrides_survive_regeneration() {
+    let spec = SynthSpec::scaled(10, 3);
+    let app = synthesize(&spec);
+    let g1 = app.generate().unwrap();
+    let mut current = g1.descriptors.clone();
+    let victim = current.units[1].id.clone();
+    current.unit_mut(&victim).unwrap().service = "HandRolledService".into();
+    let (g2, preserved) = regenerate(&app.er, &app.mapping, &app.hypertext, &current).unwrap();
+    assert_eq!(preserved, vec![victim.clone()]);
+    assert_eq!(g2.descriptors.unit(&victim).unwrap().service, "HandRolledService");
+}
+
+#[test]
+fn controller_config_tracks_topology() {
+    let spec = SynthSpec::scaled(12, 3);
+    let mut app = synthesize(&spec);
+    let g1 = app.generate().unwrap();
+
+    // re-link: move a contextual link to a new page
+    let (new_target, _) = app.hypertext.pages().last().unwrap();
+    let (lid, _) = app
+        .hypertext
+        .links()
+        .find(|(_, l)| l.kind == webml_ratio::webml::LinkKind::Contextual)
+        .unwrap();
+    app.hypertext.retarget_link(lid, LinkEnd::Page(new_target));
+    let g2 = app.generate().unwrap();
+
+    // the mapping set itself is stable (paths don't change when links move)
+    assert_eq!(
+        g1.descriptors.controller.mappings.len(),
+        g2.descriptors.controller.mappings.len()
+    );
+    // but some page descriptor's links changed
+    let changed = g1
+        .descriptors
+        .pages
+        .iter()
+        .zip(&g2.descriptors.pages)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(changed >= 1);
+}
+
+#[test]
+fn template_based_baseline_embeds_everything() {
+    // the §2 critique made concrete: every template contains request
+    // decoding, inline SQL, and hard-wired URLs
+    let spec = SynthSpec::scaled(8, 3);
+    let app = synthesize(&spec);
+    let g = app.generate().unwrap();
+    let templates = template_based_artifacts(&g.descriptors);
+    assert_eq!(templates.len(), 8);
+    for (path, src) in &templates {
+        assert!(path.ends_with(".jsp"));
+        assert!(src.contains("executeQuery"), "no inline SQL in {path}");
+        assert!(src.contains("<html>"), "no markup in {path}");
+    }
+    // at least one template hard-wires a URL of another page
+    let any_hardwired = g
+        .descriptors
+        .pages
+        .iter()
+        .any(|p| codegen::artifacts_referencing(&templates, &p.url) > 0);
+    assert!(any_hardwired);
+}
+
+#[test]
+fn ddl_regeneration_is_stable_under_hypertext_changes() {
+    // hypertext edits must never change the data tier
+    let spec = SynthSpec::scaled(10, 3);
+    let mut app = synthesize(&spec);
+    let ddl1 = app.generate().unwrap().ddl;
+    let (target, _) = app.hypertext.pages().last().unwrap();
+    let (lid, _) = app
+        .hypertext
+        .links()
+        .find(|(_, l)| l.kind == webml_ratio::webml::LinkKind::Contextual)
+        .unwrap();
+    app.hypertext.retarget_link(lid, LinkEnd::Page(target));
+    let ddl2 = app.generate().unwrap().ddl;
+    assert_eq!(ddl1, ddl2);
+}

@@ -1,0 +1,99 @@
+//! Scroller units end to end: block-wise browsing with pager links, the
+//! WebML idiom for long result lists.
+
+use webml_ratio::mvc::{RuntimeOptions, WebRequest};
+use webml_ratio::relstore::Params;
+use webml_ratio::webml::{Audience, HypertextModel};
+use webml_ratio::webratio::Application;
+
+fn scroller_app(block: usize) -> Application {
+    let mut er = webml_ratio::er::ErModel::new();
+    let product = er
+        .add_entity(
+            "Product",
+            vec![webml_ratio::er::Attribute::new(
+                "name",
+                webml_ratio::er::AttrType::String,
+            )
+            .required()],
+        )
+        .unwrap();
+    let mut ht = HypertextModel::new();
+    let sv = ht.add_site_view("Catalog", Audience::default());
+    let page = ht.add_page(sv, None, "Browse");
+    ht.set_home(sv, page);
+    let s = ht.add_scroller_unit(page, "Products", product, block);
+    ht.add_sort(s, "name", true);
+    // a multichoice over the same entity on its own page
+    let pick = ht.add_page(sv, None, "Pick");
+    ht.set_landmark(pick);
+    ht.add_multichoice_unit(pick, "Pick products", product);
+    Application::new("catalog", er, ht)
+}
+
+fn seed(d: &webml_ratio::webratio::Deployment, n: usize) {
+    for i in 0..n {
+        d.db.execute(
+            "INSERT INTO product (name) VALUES (:n)",
+            &Params::new().bind("n", format!("Product {i:03}")),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn scroller_blocks_and_pager_links() {
+    let app = scroller_app(10);
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    seed(&d, 25);
+
+    // first block: 10 rows, no prev, has next
+    let r = d.handle(&WebRequest::get("/catalog/browse"));
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("Product 000"));
+    assert!(r.body.contains("Product 009"));
+    assert!(!r.body.contains("Product 010"));
+    assert!(r.body.contains("1-10 of 25"));
+    assert!(!r.body.contains("prev"));
+    assert!(r.body.contains("block_offset=10"));
+
+    // middle block
+    let r = d.handle(&WebRequest::get("/catalog/browse").with_param("block_offset", "10"));
+    assert!(r.body.contains("Product 010"));
+    assert!(r.body.contains("11-20 of 25"));
+    assert!(r.body.contains("block_offset=0")); // prev
+    assert!(r.body.contains("block_offset=20")); // next
+
+    // last (short) block: 5 rows, no next
+    let r = d.handle(&WebRequest::get("/catalog/browse").with_param("block_offset", "20"));
+    assert!(r.body.contains("Product 024"));
+    assert!(r.body.contains("21-25 of 25"));
+    assert!(!r.body.contains("next &gt;"));
+
+    // overshoot renders an empty block without error
+    let r = d.handle(&WebRequest::get("/catalog/browse").with_param("block_offset", "90"));
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn multichoice_renders_checkboxes() {
+    let app = scroller_app(50);
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    seed(&d, 4);
+    let r = d.handle(&WebRequest::get("/catalog/pick"));
+    // one checkbox per row in the multichoice unit
+    assert_eq!(
+        r.body.matches("type=\"checkbox\" name=\"selection\"").count(),
+        4
+    );
+    assert!(r.body.contains("value=\"3\""));
+}
+
+#[test]
+fn scroller_with_empty_table() {
+    let app = scroller_app(10);
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    let r = d.handle(&WebRequest::get("/catalog/browse"));
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("0 of 0"));
+}
