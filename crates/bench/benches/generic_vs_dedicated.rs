@@ -13,9 +13,10 @@ use descriptors::{QuerySpec, UnitDescriptor};
 use mvc::{BeanRow, ParamMap, ServiceRegistry, UnitBean};
 use relstore::{Database, Params, Value};
 use std::hint::black_box;
+use std::sync::Arc;
 
-fn database(rows: i64) -> Database {
-    let db = Database::new();
+fn database(rows: i64, counters: Arc<obs::DbCounters>) -> Database {
+    let db = Database::with_counters(counters);
     db.execute_script(
         "CREATE TABLE product (oid INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL, price REAL, category_oid INTEGER);
          CREATE INDEX ix_cat ON product (category_oid);",
@@ -82,8 +83,13 @@ fn dedicated_compute(db: &Database, cat: i64) -> UnitBean {
 }
 
 fn bench(c: &mut Criterion) {
-    let db = database(1000);
+    // Both paths report into the same observability registry, so the plan
+    // cache economics of the run are visible after the measurement.
+    let reg = obs::MetricsRegistry::new();
+    let db = database(1000, Arc::clone(&reg.db));
     let desc = descriptor();
+    // deploy-time plan pinning: the shared query plan is resolved once
+    db.pin_plan(&desc.queries[0].sql).unwrap();
     let registry = ServiceRegistry::standard();
     let service = registry.resolve(&desc).unwrap();
     let mut params = ParamMap::new();
@@ -109,6 +115,18 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    eprintln!(
+        "[obs] E3: prepares={} plan_cache_hits={} statements={} rows_scanned={}",
+        reg.db.prepares.get(),
+        reg.db.plan_cache_hits.get(),
+        reg.db.statements_executed.get(),
+        reg.db.rows_scanned.get(),
+    );
+    assert!(
+        reg.db.plan_cache_hits.get() > reg.db.prepares.get(),
+        "pinned plan should spare almost every prepare"
+    );
 }
 
 criterion_group!(benches, bench);

@@ -61,9 +61,11 @@ fn bench(c: &mut Criterion) {
         let compiled = rules.apply(&sk);
 
         // the rule application alone — the per-request cost runtime mode adds
-        group.bench_with_input(BenchmarkId::new("apply_rules_only", units), &units, |b, _| {
-            b.iter(|| black_box(rules.apply(&sk)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("apply_rules_only", units),
+            &units,
+            |b, _| b.iter(|| black_box(rules.apply(&sk))),
+        );
         group.bench_with_input(
             BenchmarkId::new("compile_time_styling", units),
             &units,

@@ -56,6 +56,7 @@ fn bench(c: &mut Criterion) {
                 black_box(d.handle(r));
             })
         });
+        report(name, &d);
     }
     group.finish();
 
@@ -67,16 +68,40 @@ fn bench(c: &mut Criterion) {
         for r in &workload {
             d.handle(r);
         }
-        group.bench_with_input(BenchmarkId::new("mixed_10pct_writes", name), &name, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let r = &workload[i % workload.len()];
-                i += 1;
-                black_box(d.handle(r));
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mixed_10pct_writes", name),
+            &name,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let r = &workload[i % workload.len()];
+                    i += 1;
+                    black_box(d.handle(r));
+                })
+            },
+        );
+        report(name, &d);
     }
     group.finish();
+}
+
+/// Print the hit/miss economics of one configuration straight from the
+/// deployment's shared observability registry.
+fn report(name: &str, d: &webratio::Deployment) {
+    let reg = &d.obs;
+    eprintln!(
+        "[obs] {name}: bean {}h/{}m ({:.2}), fragment {}h/{}m ({:.2}), \
+         plan-cache {} hits / {} prepares, {} sql stmts",
+        reg.bean_cache.hits.get(),
+        reg.bean_cache.misses.get(),
+        reg.bean_cache.hit_ratio(),
+        reg.fragment_cache.hits.get(),
+        reg.fragment_cache.misses.get(),
+        reg.fragment_cache.hit_ratio(),
+        reg.db.plan_cache_hits.get(),
+        reg.db.prepares.get(),
+        reg.db.statements_executed.get(),
+    );
 }
 
 criterion_group!(benches, bench);

@@ -21,7 +21,12 @@ use mvc::RuntimeOptions;
 use std::sync::Arc;
 use webratio::SynthSpec;
 
-fn drive(d: &Arc<webratio::Deployment>, workload: &Arc<Vec<mvc::WebRequest>>, threads: usize, per_thread: usize) -> f64 {
+fn drive(
+    d: &Arc<webratio::Deployment>,
+    workload: &Arc<Vec<mvc::WebRequest>>,
+    threads: usize,
+    per_thread: usize,
+) -> f64 {
     let t0 = std::time::Instant::now();
     let mut handles = Vec::new();
     for t in 0..threads {
@@ -72,9 +77,7 @@ fn main() {
         pool.set_clones(clones);
         let rps = drive(&d, &workload, threads, 40);
         measured.push((name, threads, clones, rps));
-        println!(
-            "{name:<12} | {threads:>17} | {clones:>6} | {rps:>18.0}"
-        );
+        println!("{name:<12} | {threads:>17} | {clones:>6} | {rps:>18.0}");
     }
     println!(
         "\nafter the traffic drop the pool holds {} clone(s); a statically\n\

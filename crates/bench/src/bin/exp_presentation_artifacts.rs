@@ -40,7 +40,15 @@ fn main() {
             styled_pages += 1;
         }
     }
-    let unit_types = ["data", "index", "multidata", "multichoice", "scroller", "entry", "hierarchy"];
+    let unit_types = [
+        "data",
+        "index",
+        "multidata",
+        "multichoice",
+        "scroller",
+        "entry",
+        "hierarchy",
+    ];
     let css_rules: usize = families
         .iter()
         .map(|rs| Stylesheet::for_rule_set(rs, &unit_types).rule_count())

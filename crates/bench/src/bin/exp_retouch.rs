@@ -13,8 +13,8 @@
 //! ```
 
 use codegen::regenerate;
-use webratio::{synthesize, SynthSpec};
 use webml::LinkEnd;
+use webratio::{synthesize, SynthSpec};
 
 fn main() {
     println!("== E2: optimized-descriptor survival across regeneration (§6/§8) ==\n");
@@ -70,7 +70,10 @@ fn main() {
     println!("after model change + regeneration:");
     println!("  optimised descriptors preserved: {survived}");
     println!("  optimised descriptors clobbered: {clobbered}");
-    println!("  preserved ids reported by the generator: {}", preserved.len());
+    println!(
+        "  preserved ids reported by the generator: {}",
+        preserved.len()
+    );
     assert_eq!(clobbered, 0, "regeneration destroyed manual work!");
     assert_eq!(survived, to_optimize.len());
 

@@ -17,8 +17,8 @@
 //! ```
 
 use codegen::{changed_artifacts, template_based_artifacts};
-use webratio::{synthesize, SynthSpec};
 use webml::LinkEnd;
+use webratio::{synthesize, SynthSpec};
 
 fn main() {
     println!("== E6: topology-change maintenance cost (§2 vs §3/§7) ==\n");
@@ -37,8 +37,7 @@ fn main() {
                 .hypertext
                 .links()
                 .filter(|(_, l)| {
-                    l.kind.is_user_navigated()
-                        && app.hypertext.page_of_end(l.target) == Some(pid)
+                    l.kind.is_user_navigated() && app.hypertext.page_of_end(l.target) == Some(pid)
                 })
                 .count();
             if count > best_count {
@@ -54,8 +53,7 @@ fn main() {
         .hypertext
         .links()
         .filter(|(_, l)| {
-            app.hypertext.page_of_end(l.target) == Some(victim_page)
-                && l.kind.is_user_navigated()
+            app.hypertext.page_of_end(l.target) == Some(victim_page) && l.kind.is_user_navigated()
         })
         .map(|(id, _)| id)
         .collect();
@@ -88,11 +86,7 @@ fn main() {
         tb_changed.len(),
         tb_changed.len()
     );
-    println!(
-        "MVC + generation   | {:>17} | {:>15}",
-        mvc_changed.len(),
-        0
-    );
+    println!("MVC + generation   | {:>17} | {:>15}", mvc_changed.len(), 0);
     println!(
         "\ntemplate-based files needing manual edits: {:?} ...",
         &tb_changed[..tb_changed.len().min(5)]

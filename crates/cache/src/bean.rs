@@ -58,6 +58,12 @@ pub struct BeanCache<V> {
 impl<V> BeanCache<V> {
     /// Create a cache bounded to `capacity` entries (LRU eviction).
     pub fn new(capacity: usize) -> BeanCache<V> {
+        Self::with_stats(capacity, CacheStats::default())
+    }
+
+    /// Like [`BeanCache::new`], but reporting into externally owned counters
+    /// (e.g. `CacheStats::shared(registry.bean_cache.clone())`).
+    pub fn with_stats(capacity: usize, stats: CacheStats) -> BeanCache<V> {
         BeanCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
@@ -66,7 +72,7 @@ impl<V> BeanCache<V> {
                 next_stamp: 0,
             }),
             capacity: capacity.max(1),
-            stats: CacheStats::default(),
+            stats,
         }
     }
 
@@ -125,8 +131,7 @@ impl<V> BeanCache<V> {
         }
         // evict LRU if full
         while inner.entries.len() >= self.capacity {
-            let Some((_, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone()))
-            else {
+            let Some((_, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone())) else {
                 break;
             };
             Self::remove_entry(&mut inner, &victim);
@@ -246,7 +251,12 @@ mod tests {
     fn entity_invalidation_drops_dependents_only() {
         let c: BeanCache<i32> = BeanCache::new(16);
         c.put(BeanKey::new("u1", "a"), 1, &deps(&["product"]), None);
-        c.put(BeanKey::new("u2", "b"), 2, &deps(&["product", "news"]), None);
+        c.put(
+            BeanKey::new("u2", "b"),
+            2,
+            &deps(&["product", "news"]),
+            None,
+        );
         c.put(BeanKey::new("u3", "c"), 3, &deps(&["news"]), None);
         let dropped = c.invalidate_entity("product");
         assert_eq!(dropped, 2);

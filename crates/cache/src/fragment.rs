@@ -63,6 +63,12 @@ pub struct FragmentCache {
 
 impl FragmentCache {
     pub fn new(capacity: usize, default_ttl: Duration) -> FragmentCache {
+        Self::with_stats(capacity, default_ttl, CacheStats::default())
+    }
+
+    /// Like [`FragmentCache::new`], but reporting into externally owned
+    /// counters (e.g. `CacheStats::shared(registry.fragment_cache.clone())`).
+    pub fn with_stats(capacity: usize, default_ttl: Duration, stats: CacheStats) -> FragmentCache {
         FragmentCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
@@ -71,7 +77,7 @@ impl FragmentCache {
             }),
             capacity: capacity.max(1),
             default_ttl,
-            stats: CacheStats::default(),
+            stats,
         }
     }
 
@@ -175,7 +181,10 @@ mod tests {
         let k = FragmentKey::new("home.jsp", "unit3", "p=1");
         assert!(c.get(&k).is_none());
         c.put(k.clone(), "<ul>...</ul>".into());
-        assert_eq!(c.get(&k).as_deref().map(|s| s.as_str()), Some("<ul>...</ul>"));
+        assert_eq!(
+            c.get(&k).as_deref().map(|s| s.as_str()),
+            Some("<ul>...</ul>")
+        );
     }
 
     #[test]
@@ -216,7 +225,9 @@ mod tests {
         c.put(FragmentKey::new("t", "u", "volume=1"), "v1".into());
         c.put(FragmentKey::new("t", "u", "volume=2"), "v2".into());
         assert_eq!(
-            c.get(&FragmentKey::new("t", "u", "volume=2")).as_deref().map(|s| s.as_str()),
+            c.get(&FragmentKey::new("t", "u", "volume=2"))
+                .as_deref()
+                .map(|s| s.as_str()),
             Some("v2")
         );
         assert_eq!(c.len(), 2);

@@ -1,16 +1,27 @@
 //! Cache statistics counters.
+//!
+//! Since the observability refactor, [`CacheStats`] is a thin façade over
+//! [`obs::CacheCounters`]: each cache either owns a private counter block
+//! (the default) or shares one installed by the deployment so every tier
+//! reports into the same [`obs::MetricsRegistry`]. The legacy API
+//! (`hit`/`miss`/`snapshot`/…) is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::CacheCounters;
+use std::sync::Arc;
 
-/// Thread-safe hit/miss/eviction counters.
-#[derive(Debug, Default)]
+/// Thread-safe hit/miss/eviction counters backed by a shared
+/// [`obs::CacheCounters`] block.
+#[derive(Debug)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
-    expirations: AtomicU64,
+    counters: Arc<CacheCounters>,
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        CacheStats {
+            counters: Arc::new(CacheCounters::new()),
+        }
+    }
 }
 
 /// A point-in-time copy of the counters.
@@ -37,33 +48,44 @@ impl StatsSnapshot {
 }
 
 impl CacheStats {
+    /// Stats reporting into an externally owned counter block (typically
+    /// `MetricsRegistry::bean_cache` or `MetricsRegistry::fragment_cache`).
+    pub fn shared(counters: Arc<CacheCounters>) -> CacheStats {
+        CacheStats { counters }
+    }
+
+    /// The underlying counter block.
+    pub fn counters(&self) -> &Arc<CacheCounters> {
+        &self.counters
+    }
+
     pub fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.counters.hits.inc();
     }
     pub fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
     }
     pub fn insertion(&self) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.counters.insertions.inc();
     }
     pub fn invalidation(&self, n: u64) {
-        self.invalidations.fetch_add(n, Ordering::Relaxed);
+        self.counters.invalidations.add(n);
     }
     pub fn eviction(&self) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.counters.evictions.inc();
     }
     pub fn expiration(&self) {
-        self.expirations.fetch_add(1, Ordering::Relaxed);
+        self.counters.expirations.inc();
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            expirations: self.expirations.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            insertions: self.counters.insertions.get(),
+            invalidations: self.counters.invalidations.get(),
+            evictions: self.counters.evictions.get(),
+            expirations: self.counters.expirations.get(),
         }
     }
 }
@@ -89,5 +111,19 @@ mod tests {
     #[test]
     fn empty_ratio_is_zero() {
         assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn shared_counters_visible_through_registry_block() {
+        let block = Arc::new(CacheCounters::new());
+        let s = CacheStats::shared(Arc::clone(&block));
+        s.hit();
+        s.miss();
+        s.miss();
+        assert_eq!(block.hits.get(), 1);
+        assert_eq!(block.misses.get(), 2);
+        assert!((block.hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        // the façade snapshot reads the same storage
+        assert_eq!(s.snapshot().misses, 2);
     }
 }

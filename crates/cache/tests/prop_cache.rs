@@ -6,8 +6,16 @@ use webcache::{BeanCache, BeanKey};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { unit: u8, params: u8, value: u32, deps: Vec<u8> },
-    Get { unit: u8, params: u8 },
+    Put {
+        unit: u8,
+        params: u8,
+        value: u32,
+        deps: Vec<u8>,
+    },
+    Get {
+        unit: u8,
+        params: u8,
+    },
     InvalidateEntity(u8),
     InvalidateUnit(u8),
 }

@@ -40,7 +40,11 @@ fn class_name(prefix: &str, name: &str) -> String {
 pub fn dedicated_unit_service_source(u: &UnitDescriptor) -> String {
     let cls = class_name("", &format!("{} {} service", u.id, u.unit_type));
     let mut s = String::with_capacity(1024);
-    let _ = writeln!(s, "// generated dedicated service for unit {} ({})", u.id, u.name);
+    let _ = writeln!(
+        s,
+        "// generated dedicated service for unit {} ({})",
+        u.id, u.name
+    );
     let _ = writeln!(s, "public class {cls} implements UnitService {{");
     for (i, q) in u.queries.iter().enumerate() {
         let _ = writeln!(
@@ -49,9 +53,16 @@ pub fn dedicated_unit_service_source(u: &UnitDescriptor) -> String {
             q.sql.replace('"', "\\\"")
         );
     }
-    let _ = writeln!(s, "    public UnitBean compute(Connection con, Map params) {{");
+    let _ = writeln!(
+        s,
+        "    public UnitBean compute(Connection con, Map params) {{"
+    );
     for q in &u.queries {
-        let _ = writeln!(s, "        PreparedStatement ps = con.prepare(QUERY_{});", 0);
+        let _ = writeln!(
+            s,
+            "        PreparedStatement ps = con.prepare(QUERY_{});",
+            0
+        );
         for input in &q.inputs {
             let _ = writeln!(s, "        ps.bind(\"{input}\", params.get(\"{input}\"));");
         }
@@ -77,16 +88,26 @@ pub fn dedicated_unit_service_source(u: &UnitDescriptor) -> String {
 pub fn dedicated_page_service_source(p: &PageDescriptor, set: &DescriptorSet) -> String {
     let cls = class_name("", &format!("{} page service", p.id));
     let mut s = String::with_capacity(1024);
-    let _ = writeln!(s, "// generated dedicated page service for {} ({})", p.id, p.name);
+    let _ = writeln!(
+        s,
+        "// generated dedicated page service for {} ({})",
+        p.id, p.name
+    );
     let _ = writeln!(s, "public class {cls} implements PageService {{");
-    let _ = writeln!(s, "    public void computePage(HttpRequest req, Model model) {{");
+    let _ = writeln!(
+        s,
+        "    public void computePage(HttpRequest req, Model model) {{"
+    );
     for rp in &p.request_params {
         let _ = writeln!(s, "        Object {rp} = req.getParameter(\"{rp}\");");
     }
     for uid in &p.units {
         if let Some(u) = set.unit(uid) {
             let ucls = class_name("", &format!("{} {} service", u.id, u.unit_type));
-            let _ = writeln!(s, "        model.put(\"{uid}\", new {ucls}().compute(con, params));");
+            let _ = writeln!(
+                s,
+                "        model.put(\"{uid}\", new {ucls}().compute(con, params));"
+            );
             for e in p.edges_into(uid) {
                 for param in &e.params {
                     let _ = writeln!(
@@ -210,7 +231,10 @@ pub fn template_based_artifacts(set: &DescriptorSet) -> Vec<Artifact> {
 /// files a developer must edit when that page moves (E6).
 pub fn artifacts_referencing(artifacts: &[Artifact], url: &str) -> usize {
     let needle = format!("href=\"{url}\"");
-    artifacts.iter().filter(|(_, s)| s.contains(&needle)).count()
+    artifacts
+        .iter()
+        .filter(|(_, s)| s.contains(&needle))
+        .count()
 }
 
 /// Which artifacts change between two generated sets (by path + content).
@@ -239,19 +263,14 @@ pub fn changed_artifacts(before: &[Artifact], after: &[Artifact]) -> Vec<String>
 pub fn mvc_files_touched_by_retarget(set: &DescriptorSet, old_url: &str) -> usize {
     // the controller config is one file; page descriptors embed link URLs
     let mut n = 0;
-    if set
-        .controller
-        .mappings
-        .iter()
-        .any(|m| match &m.kind {
-            ActionKind::Operation {
-                ok_forward,
-                ko_forward,
-                ..
-            } => ok_forward == old_url || ko_forward == old_url,
-            _ => false,
-        })
-    {
+    if set.controller.mappings.iter().any(|m| match &m.kind {
+        ActionKind::Operation {
+            ok_forward,
+            ko_forward,
+            ..
+        } => ok_forward == old_url || ko_forward == old_url,
+        _ => false,
+    }) {
         n += 1;
     }
     n += set

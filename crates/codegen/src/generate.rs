@@ -9,16 +9,15 @@
 use crate::queries::{GenError, QueryGen};
 use descriptors::{
     ActionKind, ActionMapping, CacheDescriptor, ControllerConfig, DescriptorSet, FieldSpec,
-    OperationDescriptor, PageDescriptor, ParamBinding, TransportEdge, UnitDescriptor,
-    UnitLinkSpec,
+    OperationDescriptor, PageDescriptor, ParamBinding, TransportEdge, UnitDescriptor, UnitLinkSpec,
 };
 use er::{sql_name, ErModel, RelationalMapping};
 use presentation::TemplateSkeleton;
-use webml::{
-    HypertextModel, LayoutCategory, LinkEnd, LinkKind, OperationId, PageId, ParamSource,
-    Severity, UnitId, UnitKind,
-};
 use std::collections::HashMap;
+use webml::{
+    HypertextModel, LayoutCategory, LinkEnd, LinkKind, OperationId, PageId, ParamSource, Severity,
+    UnitId, UnitKind,
+};
 
 /// Everything one generation run produces.
 #[derive(Debug, Clone)]
@@ -53,7 +52,11 @@ pub fn page_url(ht: &HypertextModel, p: PageId) -> String {
 
 /// URL of an operation: `/op/<id>_<name>`.
 pub fn operation_url(ht: &HypertextModel, o: OperationId) -> String {
-    format!("/op/{}_{}", operation_id(o), sql_name(&ht.operation(o).name))
+    format!(
+        "/op/{}_{}",
+        operation_id(o),
+        sql_name(&ht.operation(o).name)
+    )
 }
 
 fn generic_service_for(unit_type: &str) -> String {
@@ -144,7 +147,10 @@ pub fn generate(
             name: unit.name.clone(),
             unit_type: unit.kind.type_name().to_string(),
             page: page_id(unit.page),
-            entity_table: unit.entity.and_then(|e| mapping.table_for(e)).map(String::from),
+            entity_table: unit
+                .entity
+                .and_then(|e| mapping.table_for(e))
+                .map(String::from),
             queries,
             block_size: match unit.kind {
                 UnitKind::Scroller { block_size } => Some(block_size),
@@ -206,7 +212,9 @@ pub fn generate(
             if !l.kind.is_user_navigated() {
                 continue;
             }
-            let Some(s) = l.source.as_unit() else { continue };
+            let Some(s) = l.source.as_unit() else {
+                continue;
+            };
             if ht.unit(s).page != pid {
                 continue;
             }
@@ -238,9 +246,7 @@ pub fn generate(
                     if input.starts_with("block_") || input == "parent" {
                         continue; // runtime-internal parameters
                     }
-                    if !supplied.contains(&input.as_str())
-                        && !request_params.contains(input)
-                    {
+                    if !supplied.contains(&input.as_str()) && !request_params.contains(input) {
                         request_params.push(input.clone());
                     }
                 }
@@ -276,8 +282,9 @@ pub fn generate(
             .find(|(_, l)| l.kind == LinkKind::Ko)
             .map(|(_, l)| target_url(ht, l.target));
         let role = match &op.kind {
-            webml::OperationKind::Connect { role }
-            | webml::OperationKind::Disconnect { role } => Some(role.clone()),
+            webml::OperationKind::Connect { role } | webml::OperationKind::Disconnect { role } => {
+                Some(role.clone())
+            }
             _ => None,
         };
         operations.push(OperationDescriptor {
@@ -663,8 +670,7 @@ mod tests {
             .unit_mut(&victim)
             .unwrap()
             .override_query("SELECT 1 AS tuned");
-        let (g2, preserved) =
-            regenerate(&app.er, &app.mapping, &app.ht, &previous).unwrap();
+        let (g2, preserved) = regenerate(&app.er, &app.mapping, &app.ht, &previous).unwrap();
         assert_eq!(preserved, vec![victim.clone()]);
         assert!(g2.descriptors.unit(&victim).unwrap().optimized);
     }

@@ -11,9 +11,9 @@ use descriptors::{Element, XmlError};
 use er::{AttrType, Attribute, Cardinality, EntityId, ErModel, MaxCard};
 use std::time::Duration;
 use webml::{
-    AreaId, Audience, CacheSpec, Condition, Field, HierarchyLevel, HypertextModel,
-    LayoutCategory, Link, LinkEnd, LinkKind, LinkParam, OperationId, OperationKind, PageId,
-    ParamSource, SiteViewId, UnitId, UnitKind,
+    AreaId, Audience, CacheSpec, Condition, Field, HierarchyLevel, HypertextModel, LayoutCategory,
+    Link, LinkEnd, LinkKind, LinkParam, OperationId, OperationKind, PageId, ParamSource,
+    SiteViewId, UnitId, UnitKind,
 };
 
 fn err(message: impl Into<String>) -> XmlError {
@@ -402,7 +402,11 @@ pub fn project_to_xml(name: &str, er: &ErModel, ht: &HypertextModel) -> Element 
         if let Some(c) = &u.cache {
             let mut ce = Element::new("cache").attr(
                 "invalidateOnWrite",
-                if c.invalidate_on_write { "true" } else { "false" },
+                if c.invalidate_on_write {
+                    "true"
+                } else {
+                    "false"
+                },
             );
             if let Some(ttl) = c.ttl {
                 ce = ce.attr("ttlMs", ttl.as_millis().to_string());
@@ -472,7 +476,10 @@ pub fn project_from_xml(root: &Element) -> Result<(String, ErModel, HypertextMod
         return Err(err(format!("expected <webmlProject>, got <{}>", root.name)));
     }
     let name = root.require_attr("name")?.to_string();
-    let er = er_from_xml(root.find("erModel").ok_or_else(|| err("missing <erModel>"))?)?;
+    let er = er_from_xml(
+        root.find("erModel")
+            .ok_or_else(|| err("missing <erModel>"))?,
+    )?;
     let hx = root
         .find("hypertext")
         .ok_or_else(|| err("missing <hypertext>"))?;
@@ -520,7 +527,10 @@ pub fn project_from_xml(root: &Element) -> Result<(String, ErModel, HypertextMod
             .map(|a| a.parse().map(AreaId).map_err(|_| err("bad area")))
             .transpose()?;
         let pid = ht.add_page(sv, area, e.require_attr("name")?.to_string());
-        ht.set_layout(pid, layout_from_name(e.get_attr("layout").unwrap_or("single-column"))?);
+        ht.set_layout(
+            pid,
+            layout_from_name(e.get_attr("layout").unwrap_or("single-column"))?,
+        );
         if e.get_attr("landmark") == Some("true") {
             ht.set_landmark(pid);
         }
@@ -581,9 +591,15 @@ pub fn project_from_xml(root: &Element) -> Result<(String, ErModel, HypertextMod
             ))
         };
         let kind = match e.require_attr("kind")? {
-            "create" => OperationKind::Create { entity: entity_ref()? },
-            "delete" => OperationKind::Delete { entity: entity_ref()? },
-            "modify" => OperationKind::Modify { entity: entity_ref()? },
+            "create" => OperationKind::Create {
+                entity: entity_ref()?,
+            },
+            "delete" => OperationKind::Delete {
+                entity: entity_ref()?,
+            },
+            "modify" => OperationKind::Modify {
+                entity: entity_ref()?,
+            },
             "connect" => OperationKind::Connect {
                 role: e.require_attr("ref")?.to_string(),
             },
@@ -669,7 +685,9 @@ mod tests {
                 ],
             )
             .unwrap();
-        let b = er.add_entity("Beta", vec![Attribute::new("x", AttrType::Float)]).unwrap();
+        let b = er
+            .add_entity("Beta", vec![Attribute::new("x", AttrType::Float)])
+            .unwrap();
         er.add_relationship(
             "AB",
             a,
@@ -695,7 +713,12 @@ mod tests {
         ht.set_display_attributes(idx, &["name"]);
         ht.set_cache(idx, CacheSpec::ttl(Duration::from_millis(250)));
         let data = ht.add_data_unit(p2, "One", a);
-        ht.add_condition(data, Condition::KeyEq { param: "oid".into() });
+        ht.add_condition(
+            data,
+            Condition::KeyEq {
+                param: "oid".into(),
+            },
+        );
         let hier = ht.add_hierarchical_index(
             p2,
             "Tree",
@@ -736,7 +759,9 @@ mod tests {
         ht.link_ko(op, LinkEnd::Page(p2));
         ht.add_operation(
             "Wire",
-            OperationKind::Connect { role: "AToB".into() },
+            OperationKind::Connect {
+                role: "AToB".into(),
+            },
             vec![],
         );
         (er, ht)
@@ -761,8 +786,11 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..6 {
             ids.push(
-                er.add_entity(format!("E{i}"), vec![Attribute::new("name", AttrType::String)])
-                    .unwrap(),
+                er.add_entity(
+                    format!("E{i}"),
+                    vec![Attribute::new("name", AttrType::String)],
+                )
+                .unwrap(),
             );
         }
         for i in 0..5 {

@@ -1,8 +1,8 @@
 //! SQL generation: from unit specifications and the relational mapping to
 //! the parameterised queries stored in descriptors.
 
-use er::{EntityId, ErModel, RelImpl, RelationalMapping, OID};
 use descriptors::{BeanProperty, QuerySpec};
+use er::{EntityId, ErModel, RelImpl, RelationalMapping, OID};
 use webml::{Condition, SortSpec, Unit, UnitKind};
 
 /// Code-generation failure.
@@ -64,10 +64,7 @@ impl<'a> QueryGen<'a> {
         let selected: Vec<&er::Attribute> = if display.is_empty() {
             e.attributes.iter().collect()
         } else {
-            display
-                .iter()
-                .filter_map(|d| e.attribute(d))
-                .collect()
+            display.iter().filter_map(|d| e.attribute(d)).collect()
         };
         for a in selected {
             let col = er::sql_name(&a.name);
@@ -365,9 +362,7 @@ impl<'a> QueryGen<'a> {
                 // table with an FK to us
                 let mut inval = vec![table.clone()];
                 for t in self.mapping.tables() {
-                    if t.foreign_keys
-                        .iter()
-                        .any(|fk| fk.referenced_table == table)
+                    if t.foreign_keys.iter().any(|fk| fk.referenced_table == table)
                         && !inval.contains(&t.name)
                     {
                         inval.push(t.name.clone());
@@ -577,7 +572,9 @@ mod tests {
         );
         let qg = QueryGen::new(&f.er, &f.mapping);
         let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
-        assert!(qs[0].sql.contains("INNER JOIN issue j0 ON j0.volume_oid = t.oid"));
+        assert!(qs[0]
+            .sql
+            .contains("INNER JOIN issue j0 ON j0.volume_oid = t.oid"));
         assert!(qs[0].sql.contains("WHERE j0.oid = :issue"));
     }
 
@@ -606,7 +603,9 @@ mod tests {
         let u = f.ht.add_scroller_unit(f.page, "All volumes", f.volume, 10);
         let qg = QueryGen::new(&f.er, &f.mapping);
         let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
-        assert!(qs[0].sql.ends_with("LIMIT :block_limit OFFSET :block_offset"));
+        assert!(qs[0]
+            .sql
+            .ends_with("LIMIT :block_limit OFFSET :block_offset"));
         assert!(qs[0].inputs.contains(&"block_limit".to_string()));
     }
 
@@ -790,6 +789,9 @@ mod tests {
         f.ht.set_display_attributes(u, &["title"]);
         let qg = QueryGen::new(&f.er, &f.mapping);
         let qs = qg.unit_queries(f.ht.unit(u), None).unwrap();
-        assert_eq!(qs[0].sql, "SELECT t.oid, t.title FROM volume t ORDER BY t.oid");
+        assert_eq!(
+            qs[0].sql,
+            "SELECT t.oid, t.title FROM volume t ORDER BY t.oid"
+        );
     }
 }

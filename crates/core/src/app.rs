@@ -1,9 +1,11 @@
 //! The application facade: model → artifacts → running system.
 
 use codegen::{GenError, Generated};
+use descriptors::DescriptorSet;
 use er::{ErModel, RelationalMapping};
-use httpd::{Handler, HttpRequest, HttpResponse, HttpServer};
-use mvc::{Controller, RuntimeOptions, WebRequest, WebResponse};
+use httpd::{Handler, HttpRequest, HttpResponse, HttpServer, TracedHandler};
+use mvc::{Controller, RuntimeOptions, ServiceRegistry, WebRequest, WebResponse};
+use presentation::DeviceRegistry;
 use relstore::Database;
 use std::io;
 use std::sync::Arc;
@@ -56,27 +58,36 @@ impl Application {
     }
 
     /// Generate everything, create a fresh database with the generated
-    /// DDL, and start a controller.
+    /// DDL, pin every descriptor statement as a deploy-time plan, and
+    /// start a controller. All tiers report into one freshly minted
+    /// [`obs::MetricsRegistry`], reachable as [`Deployment::obs`].
     pub fn deploy(&self, options: RuntimeOptions) -> Result<Deployment, DeployError> {
+        let registry = obs::MetricsRegistry::new();
         let generated = self.generate().map_err(DeployError::Generation)?;
-        let db = Arc::new(Database::new());
+        let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
         db.execute_script(&generated.ddl)
             .map_err(DeployError::Schema)?;
-        let controller = Arc::new(Controller::new(
+        pin_descriptor_plans(&db, &generated.descriptors);
+        let controller = Arc::new(Controller::with_observability(
             generated.descriptors.clone(),
             generated.skeletons.clone(),
             Arc::clone(&db),
             options,
+            ServiceRegistry::standard(),
+            DeviceRegistry::standard(),
+            Arc::clone(&registry),
         ));
         Ok(Deployment {
             generated,
             db,
             controller,
+            obs: registry,
         })
     }
 
     /// Deploy with a caller-supplied controller configuration (custom
-    /// registries, device rules).
+    /// registries, device rules). The deployment's observability registry
+    /// is whichever one the built controller carries.
     pub fn deploy_with(
         &self,
         build: impl FnOnce(Generated, Arc<Database>) -> Controller,
@@ -85,13 +96,40 @@ impl Application {
         let db = Arc::new(Database::new());
         db.execute_script(&generated.ddl)
             .map_err(DeployError::Schema)?;
+        pin_descriptor_plans(&db, &generated.descriptors);
         let controller = Arc::new(build(generated.clone(), Arc::clone(&db)));
+        let obs = Arc::clone(controller.obs());
         Ok(Deployment {
             generated,
             db,
             controller,
+            obs,
         })
     }
+}
+
+/// Resolve every statement named by the descriptor set into a pinned plan
+/// (§6: the prepare is paid once at deploy time; runtime lookups become
+/// lock-free reads of a frozen snapshot). Unparsable statements — e.g.
+/// templated custom-operation SQL — are skipped; they fall back to the
+/// ad-hoc plan cache. Returns the number of plans pinned.
+pub fn pin_descriptor_plans(db: &Database, set: &DescriptorSet) -> usize {
+    let mut pinned = 0;
+    for unit in &set.units {
+        for q in &unit.queries {
+            if db.pin_plan(&q.sql).is_ok() {
+                pinned += 1;
+            }
+        }
+    }
+    for op in &set.operations {
+        if let Some(sql) = &op.sql {
+            if db.pin_plan(sql).is_ok() {
+                pinned += 1;
+            }
+        }
+    }
+    pinned
 }
 
 /// Deployment failures.
@@ -112,17 +150,25 @@ impl std::fmt::Display for DeployError {
 
 impl std::error::Error for DeployError {}
 
-/// A deployed application: generated artifacts + database + controller.
+/// A deployed application: generated artifacts + database + controller +
+/// the shared observability registry all tiers report into.
 pub struct Deployment {
     pub generated: Generated,
     pub db: Arc<Database>,
     pub controller: Arc<Controller>,
+    pub obs: Arc<obs::MetricsRegistry>,
 }
 
 impl Deployment {
     /// Service one request in process.
     pub fn handle(&self, req: &WebRequest) -> WebResponse {
         self.controller.handle(req)
+    }
+
+    /// Service one request in process under an externally owned
+    /// [`obs::RequestContext`] (span tree + counters).
+    pub fn handle_traced(&self, req: &WebRequest, ctx: &mut obs::RequestContext) -> WebResponse {
+        self.controller.handle_traced(req, ctx)
     }
 
     /// URL of a site view's home page (first landmark of that view).
@@ -144,6 +190,23 @@ impl Deployment {
             adapt_response(resp)
         });
         HttpServer::start(port, workers, handler)
+    }
+
+    /// Expose the app over HTTP with the full observability spine: every
+    /// request runs in a fresh [`obs::RequestContext`], responses carry
+    /// `X-Request-Id` and `X-Trace` headers, `GET /metrics` renders the
+    /// shared registry in Prometheus text format, and `?__trace=json`
+    /// returns the request's span tree as JSON.
+    pub fn serve_traced(&self, port: u16, workers: usize) -> io::Result<HttpServer> {
+        let controller = Arc::clone(&self.controller);
+        let handler: TracedHandler = Arc::new(
+            move |http_req: HttpRequest, ctx: &mut obs::RequestContext| {
+                let web_req = adapt_request(&http_req);
+                let resp = controller.handle_traced(&web_req, ctx);
+                adapt_response(resp)
+            },
+        );
+        HttpServer::start_traced(port, workers, handler, Arc::clone(&self.obs))
     }
 }
 
@@ -177,12 +240,11 @@ mod tests {
     fn bookstore_deploys_and_serves_in_process() {
         let app = fixtures::bookstore();
         let d = app.deploy(RuntimeOptions::default()).unwrap();
-        d.db
-            .execute_script(
-                "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
+        d.db.execute_script(
+            "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
                  INSERT INTO book (title, price) VALUES ('WebML handbook', 50.0);",
-            )
-            .unwrap();
+        )
+        .unwrap();
         let home = d.home_url("store").unwrap();
         let resp = d.handle(&WebRequest::get(&home));
         assert_eq!(resp.status, 200, "{}", resp.body);
@@ -193,8 +255,7 @@ mod tests {
     fn bookstore_serves_over_http() {
         let app = fixtures::bookstore();
         let d = app.deploy(RuntimeOptions::default()).unwrap();
-        d.db
-            .execute_script("INSERT INTO book (title, price) VALUES ('Networked', 10.0);")
+        d.db.execute_script("INSERT INTO book (title, price) VALUES ('Networked', 10.0);")
             .unwrap();
         let server = d.serve(0, 2).unwrap();
         let home = d.home_url("store").unwrap();

@@ -3,8 +3,8 @@
 use crate::app::Application;
 use er::{AttrType, Attribute, Cardinality, ErModel};
 use webml::{
-    Audience, Condition, Field, HierarchyLevel, HypertextModel, LayoutCategory, LinkEnd,
-    LinkParam, OperationKind,
+    Audience, Condition, Field, HierarchyLevel, HypertextModel, LayoutCategory, LinkEnd, LinkParam,
+    OperationKind,
 };
 
 /// A minimal bookstore: one entity, one site view with a list page and a
@@ -301,9 +301,7 @@ mod tests {
         let app = acm_library();
         let d = app.deploy(RuntimeOptions::default()).unwrap();
         seed_acm(&d.db, 1, 1, 3);
-        let resp = d.handle(
-            &WebRequest::get("/acm_dl/search_results").with_param("kw", "%1.1.2%"),
-        );
+        let resp = d.handle(&WebRequest::get("/acm_dl/search_results").with_param("kw", "%1.1.2%"));
         assert!(resp.body.contains("Paper 1.1.2"));
         assert!(!resp.body.contains("Paper 1.1.3"));
     }

@@ -26,7 +26,10 @@ pub mod app;
 pub mod fixtures;
 pub mod synth;
 
-pub use app::{adapt_request, adapt_response, Application, DeployError, Deployment, SESSION_COOKIE};
+pub use app::{
+    adapt_request, adapt_response, pin_descriptor_plans, Application, DeployError, Deployment,
+    SESSION_COOKIE,
+};
 pub use synth::{seed_data, synthesize, SynthSpec};
 
 // re-export the component crates so downstream users need one dependency
@@ -35,6 +38,7 @@ pub use descriptors;
 pub use er;
 pub use httpd;
 pub use mvc;
+pub use obs;
 pub use presentation;
 pub use relstore;
 pub use webcache;

@@ -174,11 +174,7 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
         let mut sv_pages: Vec<PageId> = Vec::with_capacity(n_pages);
         for p in 0..n_pages {
             let in_area = p % 2 == 1;
-            let page = ht.add_page(
-                sv,
-                in_area.then_some(area),
-                format!("Page{sv_i}_{p}"),
-            );
+            let page = ht.add_page(sv, in_area.then_some(area), format!("Page{sv_i}_{p}"));
             ht.set_layout(
                 page,
                 match page_counter % 4 {
@@ -243,9 +239,7 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
                                 kind: webml::LinkKind::Automatic,
                                 source: LinkEnd::Unit(index),
                                 target: LinkEnd::Unit(u),
-                                parameters: vec![LinkParam::oid(format!(
-                                    "rel{page_counter}_{k}"
-                                ))],
+                                parameters: vec![LinkParam::oid(format!("rel{page_counter}_{k}"))],
                                 label: None,
                             });
                             u
@@ -289,9 +283,7 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
                                 kind: webml::LinkKind::Automatic,
                                 source: LinkEnd::Unit(index),
                                 target: LinkEnd::Unit(u),
-                                parameters: vec![LinkParam::oid(format!(
-                                    "tree{page_counter}_{k}"
-                                ))],
+                                parameters: vec![LinkParam::oid(format!("tree{page_counter}_{k}"))],
                                 label: None,
                             });
                             u
@@ -340,12 +332,7 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
         for w in sv_pages.windows(2) {
             let (a, b) = (w[0], w[1]);
             let a_index = ht.page(a).units[0];
-            ht.link_contextual(
-                LinkEnd::Unit(a_index),
-                LinkEnd::Page(b),
-                "next",
-                vec![],
-            );
+            ht.link_contextual(LinkEnd::Unit(a_index), LinkEnd::Page(b), "next", vec![]);
         }
         // every non-home page links back to the site-view home — homes are
         // link-popular, which experiment E6 exploits
@@ -362,10 +349,7 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
         let entity = entity_ids[o % n_entities];
         let target = pages[o % pages.len()];
         let (kind, inputs) = match o % 5 {
-            0 => (
-                OperationKind::Create { entity },
-                vec!["name".to_string()],
-            ),
+            0 => (OperationKind::Create { entity }, vec!["name".to_string()]),
             1 => (OperationKind::Delete { entity }, vec!["oid".to_string()]),
             2 => (
                 OperationKind::Modify { entity },
@@ -380,7 +364,10 @@ fn synth_hypertext(spec: &SynthSpec, er: &ErModel, rng: &mut StdRng) -> Hypertex
                     vec![],
                 )
             }
-            _ => (OperationKind::Login, vec!["username".into(), "password".into()]),
+            _ => (
+                OperationKind::Login,
+                vec!["username".into(), "password".into()],
+            ),
         };
         let op = ht.add_operation(format!("Op{o}"), kind, inputs);
         ht.link_ok(op, LinkEnd::Page(target));
@@ -417,11 +404,11 @@ pub fn seed_data(app: &Application, db: &Database, rows_per_entity: usize, seed:
                     match col.data_type {
                         relstore::DataType::Integer => Value::Integer(rng.gen_range(0..1000)),
                         relstore::DataType::Real => {
-                            Value::Real((rng.gen_range(0..100000) as f64) / 100.0)
+                            Value::Real((rng.gen_range(0..100_000i64) as f64) / 100.0)
                         }
                         relstore::DataType::Boolean => Value::Boolean(rng.gen_bool(0.5)),
                         relstore::DataType::Timestamp => {
-                            Value::Timestamp(1_000_000_000_000 + rng.gen_range(0..1_000_000_000))
+                            Value::Timestamp(1_000_000_000_000 + rng.gen_range(0..1_000_000_000i64))
                         }
                         _ => Value::Text(format!("{} {} {}", entity.name, col.name, r)),
                     }

@@ -110,8 +110,8 @@ impl DescriptorSet {
         let mut merged = fresh;
         for u in &mut merged.units {
             if let Some(prev) = old_units.get(u.id.as_str()) {
-                let service_overridden = prev.service != u.service
-                    && !prev.service.starts_with("Generic");
+                let service_overridden =
+                    prev.service != u.service && !prev.service.starts_with("Generic");
                 if prev.optimized || service_overridden {
                     *u = (*prev).clone();
                     preserved.push(u.id.clone());

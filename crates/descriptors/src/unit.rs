@@ -136,7 +136,11 @@ impl UnitDescriptor {
         if let Some(c) = &self.cache {
             let mut ce = Element::new("cache").attr(
                 "invalidateOnWrite",
-                if c.invalidate_on_write { "true" } else { "false" },
+                if c.invalidate_on_write {
+                    "true"
+                } else {
+                    "false"
+                },
             );
             if let Some(ttl) = c.ttl_ms {
                 ce = ce.attr("ttlMs", ttl.to_string());
@@ -156,10 +160,7 @@ impl UnitDescriptor {
         }
         let mut queries = Vec::new();
         for qe in e.find_all("query") {
-            let sql = qe
-                .find("sql")
-                .map(|s| s.text_content())
-                .unwrap_or_default();
+            let sql = qe.find("sql").map(|s| s.text_content()).unwrap_or_default();
             let inputs = qe
                 .find_all("input")
                 .map(|i| i.require_attr("name").map(str::to_string))
@@ -315,8 +316,7 @@ mod tests {
         assert!(d.optimized);
         assert!(d.main_query().unwrap().sql.contains("hand-tuned"));
         // optimized flag survives the XML round trip (§6 requirement)
-        let parsed =
-            UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        let parsed = UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
         assert!(parsed.optimized);
         assert!(parsed.main_query().unwrap().sql.contains("hand-tuned"));
     }
@@ -350,8 +350,7 @@ mod tests {
             depends_on: vec![],
             cache: None,
         };
-        let parsed =
-            UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
+        let parsed = UnitDescriptor::from_xml(&parse(&d.to_xml().to_document()).unwrap()).unwrap();
         assert_eq!(parsed, d);
     }
 }

@@ -50,7 +50,10 @@ fn arb_element(depth: u32) -> BoxedStrategy<Element> {
     if depth == 0 {
         leaf.boxed()
     } else {
-        (leaf, proptest::collection::vec(arb_element(depth - 1), 0..3))
+        (
+            leaf,
+            proptest::collection::vec(arb_element(depth - 1), 0..3),
+        )
             .prop_map(|(mut e, children)| {
                 // avoid mixing text with elements (the writer normalises
                 // whitespace around block children)

@@ -11,7 +11,9 @@
 //! * the symmetric case puts the column on the target table;
 //! * many-to-many relationships become a bridge table with two FKs.
 
-use crate::model::{AttrType, Cardinality, EntityId, ErModel, MaxCard, Relationship, RelationshipId};
+use crate::model::{
+    AttrType, Cardinality, EntityId, ErModel, MaxCard, Relationship, RelationshipId,
+};
 use relstore::{Column, DataType, ForeignKey, ReferentialAction, TableSchema};
 use std::collections::HashMap;
 
@@ -177,8 +179,7 @@ impl RelationalMapping {
             } else {
                 (target_table.clone(), source_table.clone())
             };
-            let fk_column =
-                mapping.unique_fk_column(&fk_table, &referenced_table, &r.name);
+            let fk_column = mapping.unique_fk_column(&fk_table, &referenced_table, &r.name);
             let required = Self::fk_required(r, fk_on_source);
             let unique = r.is_one_to_one();
             let mut col = Column::new(fk_column.clone(), DataType::Integer);
@@ -205,7 +206,12 @@ impl RelationalMapping {
             schema.columns.push(col);
             schema.foreign_keys.push(fk);
             mapping.indexes.push(IndexSpec {
-                name: format!("{}_{}_{}", if unique { "ux" } else { "ix" }, fk_table, fk_column),
+                name: format!(
+                    "{}_{}_{}",
+                    if unique { "ux" } else { "ix" },
+                    fk_table,
+                    fk_column
+                ),
                 table: fk_table.clone(),
                 columns: vec![fk_column.clone()],
                 unique,
@@ -369,10 +375,7 @@ mod tests {
         let t = map.tables().iter().find(|t| t.name == "issue").unwrap();
         let c = &t.columns[t.column_index("volume_oid").unwrap()];
         assert!(!c.nullable);
-        assert_eq!(
-            t.foreign_keys[0].on_delete,
-            ReferentialAction::Cascade
-        );
+        assert_eq!(t.foreign_keys[0].on_delete, ReferentialAction::Cascade);
     }
 
     #[test]
@@ -391,7 +394,11 @@ mod tests {
         assert_eq!(table, "issuekeyword");
         assert_eq!(source_column, "issue_oid");
         assert_eq!(target_column, "keyword_oid");
-        let t = map.tables().iter().find(|t| t.name == "issuekeyword").unwrap();
+        let t = map
+            .tables()
+            .iter()
+            .find(|t| t.name == "issuekeyword")
+            .unwrap();
         assert_eq!(t.primary_key.len(), 2);
         assert_eq!(t.foreign_keys.len(), 2);
     }

@@ -342,7 +342,10 @@ impl ErModel {
     }
 
     pub fn entities(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
-        self.entities.iter().enumerate().map(|(i, e)| (EntityId(i), e))
+        self.entities
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntityId(i), e))
     }
 
     pub fn relationships(&self) -> impl Iterator<Item = (RelationshipId, &Relationship)> {

@@ -1,6 +1,5 @@
 //! HTTP/1.1 message types and wire parsing.
 
-use bytes::BytesMut;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// A parsed HTTP request.
@@ -84,6 +83,12 @@ impl HttpResponse {
         self
     }
 
+    /// Set the body from a string (builder style).
+    pub fn body_text(mut self, body: impl Into<String>) -> HttpResponse {
+        self.body = body.into().into_bytes();
+        self
+    }
+
     pub fn find_header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
@@ -106,7 +111,7 @@ impl HttpResponse {
     /// Serialize onto the wire (adds Content-Length and Connection:
     /// close).
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        let mut buf = BytesMut::with_capacity(self.body.len() + 256);
+        let mut buf = Vec::with_capacity(self.body.len() + 256);
         buf.extend_from_slice(
             format!(
                 "HTTP/1.1 {} {}\r\n",
@@ -162,10 +167,7 @@ pub fn parse_query(qs: &str) -> Vec<(String, String)> {
     qs.split('&')
         .filter(|p| !p.is_empty())
         .map(|pair| match pair.find('=') {
-            Some(eq) => (
-                percent_decode(&pair[..eq]),
-                percent_decode(&pair[eq + 1..]),
-            ),
+            Some(eq) => (percent_decode(&pair[..eq]), percent_decode(&pair[eq + 1..])),
             None => (percent_decode(pair), String::new()),
         })
         .collect()
@@ -183,13 +185,13 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("/").to_string();
     if method.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty request line"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty request line",
+        ));
     }
     let (path, query) = match target.find('?') {
-        Some(q) => (
-            percent_decode(&target[..q]),
-            parse_query(&target[q + 1..]),
-        ),
+        Some(q) => (percent_decode(&target[..q]), parse_query(&target[q + 1..])),
         None => (percent_decode(&target), Vec::new()),
     };
     let mut headers = Vec::new();
@@ -233,7 +235,8 @@ mod tests {
 
     #[test]
     fn parses_get_with_query() {
-        let raw = b"GET /shop/detail?item=5&kw=web+ml HTTP/1.1\r\nHost: x\r\nUser-Agent: test\r\n\r\n";
+        let raw =
+            b"GET /shop/detail?item=5&kw=web+ml HTTP/1.1\r\nHost: x\r\nUser-Agent: test\r\n\r\n";
         let req = read_request(&mut &raw[..]).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/shop/detail");

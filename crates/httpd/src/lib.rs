@@ -12,4 +12,4 @@ pub mod http;
 pub mod server;
 
 pub use http::{parse_query, percent_decode, HttpRequest, HttpResponse};
-pub use server::{Handler, HttpServer};
+pub use server::{Handler, HttpServer, TracedHandler};

@@ -1,5 +1,12 @@
 //! A minimal threaded HTTP/1.1 server — the "HTTP server + servlet
 //! container" box of Fig. 3, sized for examples, tests, and benches.
+//!
+//! [`HttpServer::start_traced`] is the observability-aware entry point: it
+//! mints one [`obs::RequestContext`] per request, records request latency
+//! into the shared registry, serves `GET /metrics` in Prometheus text
+//! format directly from the web tier, stamps every response with
+//! `X-Request-Id` and `X-Trace` headers, and answers `?__trace=json` with
+//! the full JSON span-tree dump of that request.
 
 use crate::http::{read_request, HttpRequest, HttpResponse};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -10,6 +17,48 @@ use std::sync::Arc;
 
 /// The application callback servicing requests.
 pub type Handler = Arc<dyn Fn(HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// An application callback that participates in request tracing.
+pub type TracedHandler =
+    Arc<dyn Fn(HttpRequest, &mut obs::RequestContext) -> HttpResponse + Send + Sync>;
+
+/// How the worker pool services a connection.
+enum Service {
+    Plain(Handler),
+    Traced {
+        handler: TracedHandler,
+        registry: Arc<obs::MetricsRegistry>,
+    },
+}
+
+impl Service {
+    fn serve(&self, req: HttpRequest) -> HttpResponse {
+        match self {
+            Service::Plain(h) => h(req),
+            Service::Traced { handler, registry } => {
+                // The web tier owns the /metrics export surface.
+                if req.method == "GET" && req.path == "/metrics" {
+                    return HttpResponse::new(200)
+                        .header("Content-Type", "text/plain; version=0.0.4")
+                        .body_text(registry.render_prometheus());
+                }
+                let want_json_trace = req.query.iter().any(|(k, v)| k == "__trace" && v == "json");
+                let mut ctx = obs::RequestContext::next();
+                let resp = handler(req, &mut ctx);
+                let total_us = ctx.finish();
+                registry.request_latency.observe_us(total_us);
+                if want_json_trace {
+                    return HttpResponse::new(200)
+                        .header("Content-Type", "application/json")
+                        .header("X-Request-Id", ctx.request_id.clone())
+                        .body_text(ctx.to_json());
+                }
+                resp.header("X-Request-Id", ctx.request_id.clone())
+                    .header("X-Trace", ctx.trace_summary())
+            }
+        }
+    }
+}
 
 /// A running server; dropping it (or calling [`HttpServer::stop`]) shuts
 /// it down.
@@ -25,6 +74,24 @@ impl HttpServer {
     /// Bind `127.0.0.1:port` (0 = ephemeral) and serve with a pool of
     /// `workers` threads.
     pub fn start(port: u16, workers: usize, handler: Handler) -> io::Result<HttpServer> {
+        Self::start_service(port, workers, Service::Plain(handler))
+    }
+
+    /// Like [`HttpServer::start`], but every request runs inside a freshly
+    /// minted [`obs::RequestContext`] whose latency lands in `registry`,
+    /// `GET /metrics` is served from the registry, and responses carry
+    /// `X-Request-Id`/`X-Trace` headers (`?__trace=json` returns the JSON
+    /// span dump instead of the page).
+    pub fn start_traced(
+        port: u16,
+        workers: usize,
+        handler: TracedHandler,
+        registry: Arc<obs::MetricsRegistry>,
+    ) -> io::Result<HttpServer> {
+        Self::start_service(port, workers, Service::Traced { handler, registry })
+    }
+
+    fn start_service(port: u16, workers: usize, service: Service) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -32,17 +99,18 @@ impl HttpServer {
         let requests_served = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
 
+        let service = Arc::new(service);
         let mut worker_handles = Vec::with_capacity(workers.max(1));
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
-            let handler = Arc::clone(&handler);
+            let service = Arc::clone(&service);
             let counter = Arc::clone(&requests_served);
             worker_handles.push(std::thread::spawn(move || {
                 while let Ok(mut stream) = rx.recv() {
                     let _ = stream.set_nodelay(true);
                     match read_request(&mut stream) {
                         Ok(Some(req)) => {
-                            let resp = handler(req);
+                            let resp = service.serve(req);
                             counter.fetch_add(1, Ordering::Relaxed);
                             let _ = resp.write_to(&mut stream);
                         }
@@ -117,10 +185,7 @@ mod tests {
 
     fn echo_handler() -> Handler {
         Arc::new(|req: HttpRequest| {
-            let body = format!(
-                "method={} path={} q={:?}",
-                req.method, req.path, req.query
-            );
+            let body = format!("method={} path={} q={:?}", req.method, req.path, req.query);
             HttpResponse::html(200, body)
         })
     }
@@ -154,6 +219,44 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.requests_served.load(Ordering::Relaxed), 40);
+        server.stop();
+    }
+
+    #[test]
+    fn traced_server_metrics_and_trace_headers() {
+        let registry = obs::MetricsRegistry::new();
+        let handler: TracedHandler = Arc::new(|_req, ctx: &mut obs::RequestContext| {
+            let page = ctx.enter("page:Home");
+            let unit = ctx.enter("unit:u1");
+            ctx.exit(unit);
+            ctx.exit(page);
+            HttpResponse::html(200, "<p>ok</p>")
+        });
+        let server = HttpServer::start_traced(0, 2, handler, Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+
+        let resp = client::get(addr, "/home").unwrap();
+        assert_eq!(resp.status, 200);
+        let req_id = resp.find_header("X-Request-Id").unwrap();
+        assert!(req_id.starts_with("req-"), "request id: {req_id}");
+        let trace = resp.find_header("X-Trace").unwrap().to_string();
+        assert!(trace.contains("page:Home~1"), "trace: {trace}");
+        assert!(trace.contains("unit:u1~2"), "trace: {trace}");
+        assert_eq!(registry.request_latency.count(), 1);
+
+        // JSON dump of the span tree instead of the page.
+        let resp = client::get(addr, "/home?__trace=json").unwrap();
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"name\":\"unit:u1\""), "json: {body}");
+
+        // /metrics is served by the web tier itself.
+        let resp = client::get(addr, "/metrics").unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("webml_request_latency_us_count 2"),
+            "metrics: {text}"
+        );
         server.stop();
     }
 

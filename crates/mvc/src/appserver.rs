@@ -14,11 +14,11 @@
 //! [`AppServerTier`] runs page services on a worker pool behind a
 //! JSON-serialisation boundary, with `set_clones` for elasticity.
 
+use crate::beans::UnitBean;
 use crate::beans::{beans_from_json, beans_to_json};
 use crate::error::{MvcError, Result};
-use crate::page::{compute_page, PageResult};
+use crate::page::PageResult;
 use crate::services::{ParamMap, ServiceRegistry};
-use crate::beans::UnitBean;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use descriptors::DescriptorSet;
 use parking_lot::Mutex;
@@ -37,6 +37,20 @@ pub trait BusinessTier: Send + Sync {
         session_vars: &ParamMap,
     ) -> Result<PageResult>;
 
+    /// Compute with the request's observability context. The default
+    /// implementation ignores the context (correct for tiers behind an
+    /// opaque boundary); in-process tiers override it so unit/sql spans
+    /// land in the caller's trace.
+    fn compute_traced(
+        &self,
+        page_id: &str,
+        request_params: &ParamMap,
+        session_vars: &ParamMap,
+        _ctx: &mut obs::RequestContext,
+    ) -> Result<PageResult> {
+        self.compute(page_id, request_params, session_vars)
+    }
+
     /// Deployment name for diagnostics.
     fn name(&self) -> &'static str;
 }
@@ -47,23 +61,35 @@ pub struct TierContext {
     pub registry: Arc<ServiceRegistry>,
     pub db: Arc<Database>,
     pub bean_cache: Option<Arc<BeanCache<UnitBean>>>,
+    /// Shared metrics registry (per-unit-kind histograms etc.).
+    pub metrics: Option<Arc<obs::MetricsRegistry>>,
 }
 
 impl TierContext {
     fn run(&self, page_id: &str, request: &ParamMap, session: &ParamMap) -> Result<PageResult> {
+        let mut ctx = obs::RequestContext::detached();
+        self.run_traced(page_id, request, session, &mut ctx)
+    }
+
+    fn run_traced(
+        &self,
+        page_id: &str,
+        request: &ParamMap,
+        session: &ParamMap,
+        ctx: &mut obs::RequestContext,
+    ) -> Result<PageResult> {
         let page = self
             .set
             .page(page_id)
             .ok_or_else(|| MvcError::MissingDescriptor(page_id.to_string()))?;
-        compute_page(
-            &self.set,
-            page,
-            request,
-            session,
-            &self.registry,
-            &self.db,
-            self.bean_cache.as_deref(),
-        )
+        let env = crate::page::PageEnv {
+            set: &self.set,
+            registry: &self.registry,
+            db: &self.db,
+            bean_cache: self.bean_cache.as_deref(),
+            metrics: self.metrics.as_deref(),
+        };
+        crate::page::compute_page_traced(&env, page, request, session, ctx)
     }
 }
 
@@ -80,6 +106,17 @@ impl BusinessTier for InProcessTier {
         session_vars: &ParamMap,
     ) -> Result<PageResult> {
         self.ctx.run(page_id, request_params, session_vars)
+    }
+
+    fn compute_traced(
+        &self,
+        page_id: &str,
+        request_params: &ParamMap,
+        session_vars: &ParamMap,
+        ctx: &mut obs::RequestContext,
+    ) -> Result<PageResult> {
+        self.ctx
+            .run_traced(page_id, request_params, session_vars, ctx)
     }
 
     fn name(&self) -> &'static str {
@@ -184,13 +221,18 @@ impl AppServerTier {
             let rx = self.job_rx.clone();
             let (stop_tx, stop_rx) = unbounded::<()>();
             let thread = std::thread::spawn(move || loop {
-                crossbeam::channel::select! {
-                    recv(stop_rx) -> _ => break,
-                    recv(rx) -> job => {
-                        let Ok(job) = job else { break };
+                // Poll the stop signal between short waits on the job
+                // queue (the vendored channel shim has no `select!`).
+                if stop_rx.try_recv().is_ok() {
+                    break;
+                }
+                match rx.recv_timeout(std::time::Duration::from_millis(10)) {
+                    Ok(job) => {
                         let result = Self::serve(&ctx, &job.payload);
                         let _ = job.reply.send(result);
                     }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                 }
             });
             workers.push(WorkerHandle {
@@ -210,6 +252,14 @@ impl AppServerTier {
     /// the server — shrinks when traffic drops).
     pub fn clones(&self) -> usize {
         self.workers.lock().len()
+    }
+
+    /// Record marshalled bytes locally and in the shared registry.
+    fn count_bytes(&self, n: u64) {
+        self.bytes_marshalled.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = &self.ctx.metrics {
+            m.appserver_bytes_marshalled.add(n);
+        }
     }
 
     /// Unmarshal, compute, marshal — what one EJB invocation does.
@@ -253,8 +303,7 @@ impl BusinessTier for AppServerTier {
             "session": params_to_json(session_vars),
         })
         .to_string();
-        self.bytes_marshalled
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.count_bytes(payload.len() as u64);
         let (reply_tx, reply_rx) = unbounded();
         self.jobs
             .send(Job {
@@ -266,9 +315,11 @@ impl BusinessTier for AppServerTier {
             .recv()
             .map_err(|_| MvcError::Boundary("worker dropped the reply".into()))?
             .map_err(MvcError::Boundary)?;
-        self.bytes_marshalled
-            .fetch_add(response.len() as u64, Ordering::Relaxed);
+        self.count_bytes(response.len() as u64);
         self.requests_served.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.ctx.metrics {
+            m.appserver_requests.inc();
+        }
         let j: serde_json::Value = serde_json::from_str(&response)
             .map_err(|e| MvcError::Boundary(format!("unmarshal response: {e}")))?;
         let beans = j
@@ -280,6 +331,21 @@ impl BusinessTier for AppServerTier {
             cache_hits: j.get("cache_hits").and_then(|v| v.as_u64()).unwrap_or(0) as usize,
             computed: j.get("computed").and_then(|v| v.as_u64()).unwrap_or(0) as usize,
         })
+    }
+
+    fn compute_traced(
+        &self,
+        page_id: &str,
+        request_params: &ParamMap,
+        session_vars: &ParamMap,
+        ctx: &mut obs::RequestContext,
+    ) -> Result<PageResult> {
+        // Unit/sql spans cannot cross the marshalling boundary; the whole
+        // remote invocation shows up as one `appserver` span.
+        let token = ctx.enter("appserver");
+        let r = self.compute(page_id, request_params, session_vars);
+        ctx.exit(token);
+        r
     }
 
     fn name(&self) -> &'static str {
@@ -356,6 +422,7 @@ mod tests {
             registry: Arc::new(ServiceRegistry::standard()),
             db,
             bean_cache: None,
+            metrics: None,
         }
     }
 

@@ -141,7 +141,10 @@ fn row_from_json(j: &serde_json::Value) -> Option<BeanRow> {
     let mut values = Vec::with_capacity(arr.len());
     for pair in arr {
         let p = pair.as_array()?;
-        values.push((p.first()?.as_str()?.to_string(), value_from_json(p.get(1)?)?));
+        values.push((
+            p.first()?.as_str()?.to_string(),
+            value_from_json(p.get(1)?)?,
+        ));
     }
     Some(BeanRow { values })
 }
@@ -229,9 +232,7 @@ pub fn beans_to_json(beans: &HashMap<String, std::sync::Arc<UnitBean>>) -> serde
     serde_json::Value::Object(map)
 }
 
-pub fn beans_from_json(
-    j: &serde_json::Value,
-) -> Option<HashMap<String, std::sync::Arc<UnitBean>>> {
+pub fn beans_from_json(j: &serde_json::Value) -> Option<HashMap<String, std::sync::Arc<UnitBean>>> {
     let mut out = HashMap::new();
     for (k, v) in j.as_object()? {
         out.insert(k.clone(), std::sync::Arc::new(UnitBean::from_json(v)?));
@@ -254,7 +255,10 @@ mod tests {
 
     #[test]
     fn propagated_oid_rules() {
-        assert_eq!(UnitBean::Single(Some(row(7, "x"))).propagated_oid(), Some(7));
+        assert_eq!(
+            UnitBean::Single(Some(row(7, "x"))).propagated_oid(),
+            Some(7)
+        );
         assert_eq!(UnitBean::Single(None).propagated_oid(), None);
         assert_eq!(
             UnitBean::Rows {

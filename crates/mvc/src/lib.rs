@@ -34,10 +34,10 @@ pub mod session;
 
 pub use appserver::{AppServerTier, BusinessTier, InProcessTier, TierContext};
 pub use beans::{BeanRow, NestedBeanRow, UnitBean};
-pub use controller::{to_value, Controller, ControllerMetrics, RuntimeOptions, StylingMode};
+pub use controller::{to_value, Controller, RuntimeOptions, StylingMode};
 pub use error::{MvcError, Result};
 pub use operations::{Mail, OpResult, OperationEngine, OperationHandler};
-pub use page::{compute_page, PageResult};
+pub use page::{compute_page, compute_page_traced, PageEnv, PageResult};
 pub use render::{navigation_html, unit_content};
 pub use request::{build_url, url_decode, url_encode, WebRequest, WebResponse};
 pub use services::{fingerprint, ParamMap, ServiceRegistry, UnitService};

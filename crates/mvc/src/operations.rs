@@ -54,8 +54,12 @@ pub struct Mail {
 
 /// User-defined operation handler (§7 plug-in operations).
 pub trait OperationHandler: Send + Sync {
-    fn execute(&self, desc: &OperationDescriptor, params: &ParamMap, db: &Database)
-        -> Result<OpResult>;
+    fn execute(
+        &self,
+        desc: &OperationDescriptor,
+        params: &ParamMap,
+        db: &Database,
+    ) -> Result<OpResult>;
 }
 
 /// Executes operation descriptors.
@@ -112,6 +116,31 @@ impl OperationEngine {
         Ok(out)
     }
 
+    /// [`OperationEngine::execute`] wrapped in an `op:<id>` span; a KO
+    /// outcome additionally closes a zero-length `ko` child span so failure
+    /// flows are visible in the trace (and countable by the controller).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_traced(
+        &self,
+        desc: &OperationDescriptor,
+        params: &ParamMap,
+        db: &Database,
+        sessions: &SessionManager,
+        session_id: &str,
+        ctx: &mut obs::RequestContext,
+    ) -> Result<OpResult> {
+        let token = ctx.enter(format!("op:{}", desc.id));
+        let r = self.execute(desc, params, db, sessions, session_id);
+        if let Ok(res) = &r {
+            if !res.ok {
+                let ko = ctx.enter("ko");
+                ctx.exit(ko);
+            }
+        }
+        ctx.exit(token);
+        r
+    }
+
     /// Execute an operation. DML failures produce a KO outcome (not an
     /// `Err`): §2 notes the control logic must decide "to which page
     /// redirect the user in case of operation failure".
@@ -138,9 +167,10 @@ impl OperationEngine {
                     Ok(_) => {
                         // expose the new instance's oid to the forward target
                         let mut outputs = ParamMap::new();
-                        if let Ok(rs) =
-                            db.query(&format!("SELECT MAX(oid) AS oid FROM {table}"), &Params::new())
-                        {
+                        if let Ok(rs) = db.query(
+                            &format!("SELECT MAX(oid) AS oid FROM {table}"),
+                            &Params::new(),
+                        ) {
                             if let Some(v) = rs.first("oid") {
                                 outputs.insert("oid".into(), v.clone());
                             }
@@ -170,8 +200,7 @@ impl OperationEngine {
                 }
             }
             "login" => {
-                let (Some(u), Some(p)) = (params.get("username"), params.get("password"))
-                else {
+                let (Some(u), Some(p)) = (params.get("username"), params.get("password")) else {
                     return Ok(OpResult::ko("missing credentials"));
                 };
                 let sql = format!(
@@ -193,8 +222,7 @@ impl OperationEngine {
                             let mut s = session.lock();
                             s.user = Some(*oid);
                             s.group = rs.first("groupname").map(|g| g.render());
-                            s.vars
-                                .insert("user".into(), Value::Integer(*oid));
+                            s.vars.insert("user".into(), Value::Integer(*oid));
                         }
                         let mut outputs = ParamMap::new();
                         outputs.insert("user".into(), Value::Integer(*oid));

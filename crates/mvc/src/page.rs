@@ -45,8 +45,22 @@ fn empty_bean(desc: &descriptors::UnitDescriptor) -> UnitBean {
     }
 }
 
+/// Everything a page computation needs besides the page itself — the
+/// business-tier environment the controller (or an app-server clone)
+/// assembles once and reuses per request.
+pub struct PageEnv<'a> {
+    pub set: &'a DescriptorSet,
+    pub registry: &'a ServiceRegistry,
+    pub db: &'a Database,
+    pub bean_cache: Option<&'a BeanCache<UnitBean>>,
+    /// Shared metrics registry; `None` disables per-unit histograms.
+    pub metrics: Option<&'a obs::MetricsRegistry>,
+}
+
 /// Compute every unit of `page` in descriptor order (already topological),
 /// propagating parameters along the page's dataflow edges.
+///
+/// Untraced compatibility wrapper around [`compute_page_traced`].
 pub fn compute_page(
     set: &DescriptorSet,
     page: &PageDescriptor,
@@ -56,11 +70,41 @@ pub fn compute_page(
     db: &Database,
     bean_cache: Option<&BeanCache<UnitBean>>,
 ) -> Result<PageResult> {
+    let env = PageEnv {
+        set,
+        registry,
+        db,
+        bean_cache,
+        metrics: None,
+    };
+    let mut ctx = obs::RequestContext::detached();
+    compute_page_traced(&env, page, request_params, session_vars, &mut ctx)
+}
+
+/// [`compute_page`] with the request observability spine threaded through:
+/// each unit runs inside a `unit:<id>` span (its `sql` child is opened by
+/// the unit service), and per-unit-kind service time is recorded into the
+/// shared registry's histograms.
+pub fn compute_page_traced(
+    env: &PageEnv<'_>,
+    page: &PageDescriptor,
+    request_params: &ParamMap,
+    session_vars: &ParamMap,
+    ctx: &mut obs::RequestContext,
+) -> Result<PageResult> {
+    let PageEnv {
+        set,
+        registry,
+        db,
+        bean_cache,
+        metrics,
+    } = *env;
     let mut result = PageResult::default();
     for unit_id in &page.units {
         let Some(desc) = set.unit(unit_id) else {
             return Err(crate::error::MvcError::MissingDescriptor(unit_id.clone()));
         };
+        let token = ctx.enter(format!("unit:{unit_id}"));
         // assemble the unit's parameters: request < session < edges
         let mut params: ParamMap = request_params.clone();
         for (k, v) in session_vars {
@@ -104,18 +148,31 @@ pub fn compute_page(
             if let Some(bean) = cache.get(key) {
                 result.cache_hits += 1;
                 result.beans.insert(unit_id.clone(), bean);
+                let dur = ctx.exit(token);
+                if let Some(m) = metrics {
+                    m.unit_histogram(&desc.unit_type).observe_us(dur);
+                }
                 continue;
             }
         }
 
-        let service = registry.resolve(desc)?;
+        let service = match registry.resolve(desc) {
+            Ok(s) => s,
+            Err(e) => {
+                ctx.exit(token);
+                return Err(e);
+            }
+        };
         // WebML semantics: a unit whose input context is missing (empty
         // source unit, absent request parameter) publishes no content
         // rather than failing the page
-        let bean = match service.compute(desc, &params, db) {
+        let bean = match service.compute_traced(desc, &params, db, ctx) {
             Ok(b) => b,
             Err(crate::error::MvcError::MissingParameter { .. }) => empty_bean(desc),
-            Err(e) => return Err(e),
+            Err(e) => {
+                ctx.exit(token);
+                return Err(e);
+            }
         };
         result.computed += 1;
         let bean = match (bean_cache, key) {
@@ -130,6 +187,10 @@ pub fn compute_page(
             _ => Arc::new(bean),
         };
         result.beans.insert(unit_id.clone(), bean);
+        let dur = ctx.exit(token);
+        if let Some(m) = metrics {
+            m.unit_histogram(&desc.unit_type).observe_us(dur);
+        }
     }
     Ok(result)
 }
@@ -149,8 +210,11 @@ mod tests {
              CREATE TABLE issue (oid INTEGER PRIMARY KEY AUTOINCREMENT, number INTEGER, volume_oid INTEGER);",
         )
         .unwrap();
-        db.execute("INSERT INTO volume (title) VALUES ('V1'), ('V2')", &Params::new())
-            .unwrap();
+        db.execute(
+            "INSERT INTO volume (title) VALUES ('V1'), ('V2')",
+            &Params::new(),
+        )
+        .unwrap();
         db.execute(
             "INSERT INTO issue (number, volume_oid) VALUES (1, 1), (2, 1), (1, 2)",
             &Params::new(),
@@ -235,8 +299,7 @@ mod tests {
         let registry = ServiceRegistry::standard();
         let mut params = ParamMap::new();
         params.insert("volume".into(), Value::Integer(1));
-        let r = compute_page(&set, &page, &params, &ParamMap::new(), &registry, &db, None)
-            .unwrap();
+        let r = compute_page(&set, &page, &params, &ParamMap::new(), &registry, &db, None).unwrap();
         assert_eq!(r.beans.len(), 2);
         assert_eq!(r.beans["unit1"].row_count(), 2); // volume 1 has 2 issues
         assert_eq!(r.computed, 2);
@@ -333,8 +396,16 @@ mod tests {
         let cache: BeanCache<UnitBean> = BeanCache::new(64);
         let mut params = ParamMap::new();
         params.insert("volume".into(), Value::Integer(1));
-        compute_page(&set, &page, &params, &ParamMap::new(), &registry, &db, Some(&cache))
-            .unwrap();
+        compute_page(
+            &set,
+            &page,
+            &params,
+            &ParamMap::new(),
+            &registry,
+            &db,
+            Some(&cache),
+        )
+        .unwrap();
         // a write to issue invalidates the index unit's bean but not the
         // volume data unit's
         db.execute(
@@ -390,8 +461,16 @@ mod tests {
         let registry = ServiceRegistry::standard();
         let mut session = ParamMap::new();
         session.insert("favourite".into(), Value::Integer(2));
-        let r = compute_page(&set, &page, &ParamMap::new(), &session, &registry, &db, None)
-            .unwrap();
+        let r = compute_page(
+            &set,
+            &page,
+            &ParamMap::new(),
+            &session,
+            &registry,
+            &db,
+            None,
+        )
+        .unwrap();
         assert_eq!(r.beans["unit0"].propagated_oid(), Some(2));
     }
 }

@@ -194,12 +194,7 @@ pub fn unit_content(
                 position: if *total == 0 {
                     "0 of 0".into()
                 } else {
-                    format!(
-                        "{}-{} of {}",
-                        offset + 1,
-                        offset + rows.len(),
-                        total
-                    )
+                    format!("{}-{} of {}", offset + 1, offset + rows.len(), total)
                 },
             })
         }
@@ -219,7 +214,11 @@ pub fn unit_content(
 /// Global navigation of a site view: its landmark pages.
 pub fn navigation_html(set: &DescriptorSet, site_view: &str, current: &str) -> String {
     let mut out = String::from("<nav class=\"landmarks\">");
-    for p in set.pages.iter().filter(|p| p.site_view == site_view && p.landmark) {
+    for p in set
+        .pages
+        .iter()
+        .filter(|p| p.site_view == site_view && p.landmark)
+    {
         if p.id == current {
             out.push_str(&format!(
                 "<span class=\"current\">{}</span> ",
@@ -316,7 +315,9 @@ mod tests {
             total: 2,
         };
         let c = unit_content(&d, &p, &bean, &ParamMap::new());
-        let ContentBody::Rows(rows) = &c.body else { panic!() };
+        let ContentBody::Rows(rows) = &c.body else {
+            panic!()
+        };
         assert_eq!(rows[0].anchor.as_ref().unwrap().href, "/sv/detail?item=1");
         assert_eq!(rows[1].anchor.as_ref().unwrap().href, "/sv/detail?item=2");
         // oid never shows as a field
@@ -333,7 +334,9 @@ mod tests {
             total: 1,
         };
         let c = unit_content(&d, &p, &bean, &ParamMap::new());
-        let ContentBody::Rows(rows) = &c.body else { panic!() };
+        let ContentBody::Rows(rows) = &c.body else {
+            panic!()
+        };
         assert_eq!(rows[0].checkbox.as_deref(), Some("5"));
     }
 
@@ -345,7 +348,9 @@ mod tests {
         let c = unit_content(&d, &p, &bean, &ParamMap::new());
         assert_eq!(c.actions.len(), 1);
         assert_eq!(c.actions[0].href, "/sv/detail?item=7");
-        let ContentBody::Single(fields) = &c.body else { panic!() };
+        let ContentBody::Single(fields) = &c.body else {
+            panic!()
+        };
         assert_eq!(fields.len(), 1);
     }
 
@@ -361,7 +366,9 @@ mod tests {
             }],
         }]);
         let c = unit_content(&d, &p, &bean, &ParamMap::new());
-        let ContentBody::Nested(rows) = &c.body else { panic!() };
+        let ContentBody::Nested(rows) = &c.body else {
+            panic!()
+        };
         assert!(rows[0].anchor.is_none());
         assert_eq!(
             rows[0].children[0].anchor.as_ref().unwrap().href,
@@ -384,7 +391,9 @@ mod tests {
             source: "keyword".into(),
         }])]);
         let c = unit_content(&d, &p, &UnitBean::Form, &ParamMap::new());
-        let ContentBody::Form(f) = &c.body else { panic!() };
+        let ContentBody::Form(f) = &c.body else {
+            panic!()
+        };
         assert_eq!(f.action, "/sv/detail");
         assert_eq!(f.fields[0].name, "kw");
         assert_eq!(f.fields[0].label, "keyword");

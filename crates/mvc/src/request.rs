@@ -159,8 +159,12 @@ mod tests {
 
     #[test]
     fn fingerprint_is_order_independent() {
-        let a = WebRequest::get("/x").with_param("b", "2").with_param("a", "1");
-        let b = WebRequest::get("/x").with_param("a", "1").with_param("b", "2");
+        let a = WebRequest::get("/x")
+            .with_param("b", "2")
+            .with_param("a", "1");
+        let b = WebRequest::get("/x")
+            .with_param("a", "1")
+            .with_param("b", "2");
         assert_eq!(a.params_fingerprint(), b.params_fingerprint());
         assert_eq!(a.params_fingerprint(), "a=1&b=2&");
     }
@@ -175,10 +179,7 @@ mod tests {
     #[test]
     fn build_url_formats_query() {
         assert_eq!(build_url("/p", &[]), "/p");
-        assert_eq!(
-            build_url("/p", &[("a".into(), "1 2".into())]),
-            "/p?a=1+2"
-        );
+        assert_eq!(build_url("/p", &[("a".into(), "1 2".into())]), "/p?a=1+2");
     }
 
     #[test]

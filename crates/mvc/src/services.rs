@@ -35,8 +35,25 @@ pub fn fingerprint(params: &ParamMap) -> String {
 
 /// A business component computing one kind of unit.
 pub trait UnitService: Send + Sync {
-    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database)
-        -> Result<UnitBean>;
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database) -> Result<UnitBean>;
+
+    /// Compute with request tracing: the default implementation wraps
+    /// [`UnitService::compute`] in a `sql` span, since the generic services
+    /// are query-dominated. Services that do no database work (or that want
+    /// finer-grained spans) can override this; plug-ins that ignore tracing
+    /// keep working unchanged.
+    fn compute_traced(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+        ctx: &mut obs::RequestContext,
+    ) -> Result<UnitBean> {
+        let token = ctx.enter("sql");
+        let r = self.compute(desc, params, db);
+        ctx.exit(token);
+        r
+    }
 }
 
 /// Bind a query's named inputs from the parameter map.
@@ -101,12 +118,7 @@ fn main_query(desc: &UnitDescriptor) -> Result<&QuerySpec> {
 pub struct GenericDataService;
 
 impl UnitService for GenericDataService {
-    fn compute(
-        &self,
-        desc: &UnitDescriptor,
-        params: &ParamMap,
-        db: &Database,
-    ) -> Result<UnitBean> {
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database) -> Result<UnitBean> {
         let q = main_query(desc)?;
         let rs = db.query(&q.sql, &bind(q, params, &desc.id)?)?;
         Ok(UnitBean::Single(pack(&rs, q).into_iter().next()))
@@ -118,12 +130,7 @@ impl UnitService for GenericDataService {
 pub struct GenericIndexService;
 
 impl UnitService for GenericIndexService {
-    fn compute(
-        &self,
-        desc: &UnitDescriptor,
-        params: &ParamMap,
-        db: &Database,
-    ) -> Result<UnitBean> {
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database) -> Result<UnitBean> {
         let q = main_query(desc)?;
         let rs = db.query(&q.sql, &bind(q, params, &desc.id)?)?;
         let rows = pack(&rs, q);
@@ -136,12 +143,7 @@ impl UnitService for GenericIndexService {
 pub struct GenericScrollerService;
 
 impl UnitService for GenericScrollerService {
-    fn compute(
-        &self,
-        desc: &UnitDescriptor,
-        params: &ParamMap,
-        db: &Database,
-    ) -> Result<UnitBean> {
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database) -> Result<UnitBean> {
         let q = main_query(desc)?;
         let block = desc.block_size.unwrap_or(10).max(1);
         let offset = match params.get("block_offset") {
@@ -174,7 +176,11 @@ impl GenericHierarchyService {
         parent_params: &ParamMap,
         db: &Database,
     ) -> Result<Vec<NestedBeanRow>> {
-        let Some(q) = desc.queries.iter().find(|q| q.name == format!("level{level}")) else {
+        let Some(q) = desc
+            .queries
+            .iter()
+            .find(|q| q.name == format!("level{level}"))
+        else {
             return Ok(Vec::new());
         };
         let rs = db.query(&q.sql, &bind(q, parent_params, &desc.id)?)?;
@@ -201,12 +207,7 @@ impl GenericHierarchyService {
 }
 
 impl UnitService for GenericHierarchyService {
-    fn compute(
-        &self,
-        desc: &UnitDescriptor,
-        params: &ParamMap,
-        db: &Database,
-    ) -> Result<UnitBean> {
+    fn compute(&self, desc: &UnitDescriptor, params: &ParamMap, db: &Database) -> Result<UnitBean> {
         Ok(UnitBean::Nested(self.level(desc, 0, params, db)?))
     }
 }
@@ -217,6 +218,17 @@ pub struct GenericEntryService;
 impl UnitService for GenericEntryService {
     fn compute(&self, _: &UnitDescriptor, _: &ParamMap, _: &Database) -> Result<UnitBean> {
         Ok(UnitBean::Form)
+    }
+
+    fn compute_traced(
+        &self,
+        desc: &UnitDescriptor,
+        params: &ParamMap,
+        db: &Database,
+        _ctx: &mut obs::RequestContext,
+    ) -> Result<UnitBean> {
+        // entry units issue no queries — no `sql` span
+        self.compute(desc, params, db)
     }
 }
 
@@ -245,7 +257,11 @@ impl ServiceRegistry {
         r.register("GenericDataService", "data", Arc::clone(&data));
         r.register("GenericIndexService", "index", Arc::clone(&index));
         r.register("GenericMultidataService", "multidata", Arc::clone(&index));
-        r.register("GenericMultichoiceService", "multichoice", Arc::clone(&index));
+        r.register(
+            "GenericMultichoiceService",
+            "multichoice",
+            Arc::clone(&index),
+        );
         r.register("GenericScrollerService", "scroller", scroller);
         r.register("GenericHierarchyService", "hierarchy", hierarchy);
         r.register("GenericEntryService", "entry", entry);
@@ -412,9 +428,15 @@ mod tests {
             "u2",
             "index",
             "GenericIndexService",
-            vec![q("main", "SELECT t.oid, t.title FROM volume t ORDER BY t.oid", &[])],
+            vec![q(
+                "main",
+                "SELECT t.oid, t.title FROM volume t ORDER BY t.oid",
+                &[],
+            )],
         );
-        let b = GenericIndexService.compute(&d, &ParamMap::new(), &db).unwrap();
+        let b = GenericIndexService
+            .compute(&d, &ParamMap::new(), &db)
+            .unwrap();
         let UnitBean::Rows { rows, total } = b else {
             panic!()
         };
@@ -499,8 +521,7 @@ mod tests {
         );
         let mut p = ParamMap::new();
         p.insert("oid".into(), Value::Integer(1));
-        let UnitBean::Single(Some(row)) = GenericDataService.compute(&d, &p, &db).unwrap()
-        else {
+        let UnitBean::Single(Some(row)) = GenericDataService.compute(&d, &p, &db).unwrap() else {
             panic!()
         };
         assert_eq!(row.values.len(), 1);
@@ -526,7 +547,10 @@ mod tests {
         let d3 = desc("u", "index", "MyTunedService", vec![]);
         let db = db();
         assert_eq!(
-            r.resolve(&d3).unwrap().compute(&d3, &ParamMap::new(), &db).unwrap(),
+            r.resolve(&d3)
+                .unwrap()
+                .compute(&d3, &ParamMap::new(), &db)
+                .unwrap(),
             UnitBean::Raw("<custom/>".into())
         );
         // unknown type + unknown name fails

@@ -119,9 +119,6 @@ mod tests {
         s.lock()
             .vars
             .insert("trolley_total".into(), Value::Real(99.5));
-        assert_eq!(
-            s.lock().vars.get("trolley_total"),
-            Some(&Value::Real(99.5))
-        );
+        assert_eq!(s.lock().vars.get("trolley_total"), Some(&Value::Real(99.5)));
     }
 }

@@ -1,0 +1,27 @@
+//! The request observability spine.
+//!
+//! The paper's argument (§4–§6, Fig. 3/5/6) is about knowing *where a
+//! data-intensive request spends its time*: controller dispatch, generic
+//! unit services, the two-level cache, the SQL tier, and the app-server
+//! marshalling boundary. This crate is the measurement substrate every
+//! tier plugs into instead of reimplementing:
+//!
+//! - [`trace::RequestContext`] — a per-request id, optional deadline, and
+//!   a hierarchical span tree (`request > page:Home > unit:idx3 > sql`)
+//!   timed with monotonic clocks;
+//! - [`metrics::MetricsRegistry`] — process-wide atomic counters and
+//!   histograms (requests, per-unit-kind service time, bean/fragment
+//!   cache traffic, SQL prepares vs. plan-cache hits, rows scanned,
+//!   KO-flow occurrences, app-server marshalling bytes);
+//! - export surfaces — Prometheus-style text for a `/metrics` endpoint,
+//!   a compact `X-Trace` header summary, and a JSON trace dump.
+//!
+//! Dependency direction: every runtime crate (relstore, cache, mvc,
+//! httpd, core) depends on `obs`; `obs` depends on nothing heavier than
+//! the vendored `parking_lot`.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry};
+pub use trace::{RequestContext, Span, SpanToken};

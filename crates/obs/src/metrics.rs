@@ -1,0 +1,414 @@
+//! Process-wide atomic counters and histograms, with a Prometheus-style
+//! text export for the `/metrics` endpoint.
+//!
+//! One [`MetricsRegistry`] is wired into a deployment (`core::app`) and
+//! shared by every tier: the controller counts dispatches and KO flows,
+//! the bean/fragment caches report hits and misses through
+//! [`CacheCounters`], the SQL tier reports prepares vs. plan-cache hits
+//! and rows scanned through [`DbCounters`], and the app-server boundary
+//! reports marshalled bytes. Everything is lock-free on the hot path.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds, in microseconds (log-spaced, +Inf
+/// implied). Chosen to resolve both in-memory unit computations (tens of
+/// µs) and whole requests (tens of ms).
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+/// A fixed-bucket latency histogram (microseconds).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    pub fn observe_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / c as f64
+        }
+    }
+
+    /// Cumulative bucket counts in bound order, then the +Inf bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((BUCKET_BOUNDS_US.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+/// The counter block one cache level reports into (bean or fragment).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub insertions: Counter,
+    pub invalidations: Counter,
+    pub evictions: Counter,
+    pub expirations: Counter,
+}
+
+impl CacheCounters {
+    pub fn new() -> CacheCounters {
+        CacheCounters::default()
+    }
+
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.get();
+        let m = self.misses.get();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// The counter block the SQL tier reports into.
+#[derive(Debug, Default)]
+pub struct DbCounters {
+    /// Statements actually parsed/planned.
+    pub prepares: Counter,
+    /// Executions that reused an already-planned `Arc<Statement>`.
+    pub plan_cache_hits: Counter,
+    /// Statements executed (reads + writes).
+    pub statements_executed: Counter,
+    /// Rows touched while evaluating statements.
+    pub rows_scanned: Counter,
+}
+
+impl DbCounters {
+    pub fn new() -> DbCounters {
+        DbCounters::default()
+    }
+}
+
+/// The process-wide registry every tier plugs into.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    // -- controller / dispatch ------------------------------------------------
+    pub requests: Counter,
+    pub page_requests: Counter,
+    pub operation_requests: Counter,
+    pub forwards: Counter,
+    pub errors: Counter,
+    /// OK/KO chains that took a KO link (§3's failure flows).
+    pub ko_flows: Counter,
+    // -- tiers ----------------------------------------------------------------
+    pub bean_cache: Arc<CacheCounters>,
+    pub fragment_cache: Arc<CacheCounters>,
+    pub db: Arc<DbCounters>,
+    /// Bytes crossing the app-server marshalling boundary (Fig. 6).
+    pub appserver_bytes_marshalled: Counter,
+    pub appserver_requests: Counter,
+    // -- timing ---------------------------------------------------------------
+    /// End-to-end request latency, recorded by `httpd`.
+    pub request_latency: Histogram,
+    /// Per-unit-kind service time (`data`, `index`, `scroller`, ...).
+    unit_service_time: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// The service-time histogram for one unit kind (created on first
+    /// use; the `Arc` can be cached by hot paths).
+    pub fn unit_histogram(&self, kind: &str) -> Arc<Histogram> {
+        let mut map = self.unit_service_time.lock();
+        if let Some(h) = map.get(kind) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(kind.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Unit kinds observed so far, with their histograms.
+    pub fn unit_histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.unit_service_time
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        fn counter_into(out: &mut String, name: &str, help: &str, v: u64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        counter_into(
+            &mut out,
+            "webml_requests_total",
+            "Requests dispatched by the controller",
+            self.requests.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_page_requests_total",
+            "Page-service dispatches",
+            self.page_requests.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_operation_requests_total",
+            "Operation-service dispatches",
+            self.operation_requests.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_forwards_total",
+            "Internal controller forwards",
+            self.forwards.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_errors_total",
+            "Requests that ended in an error response",
+            self.errors.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_ko_flows_total",
+            "Operation chains that took a KO link",
+            self.ko_flows.get(),
+        );
+        for (level, c) in [
+            ("bean", &self.bean_cache),
+            ("fragment", &self.fragment_cache),
+        ] {
+            for (event, v) in [
+                ("hits", c.hits.get()),
+                ("misses", c.misses.get()),
+                ("insertions", c.insertions.get()),
+                ("invalidations", c.invalidations.get()),
+                ("evictions", c.evictions.get()),
+                ("expirations", c.expirations.get()),
+            ] {
+                let name = format!("webml_cache_{event}_total");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}{{level=\"{level}\"}} {v}");
+            }
+        }
+        counter_into(
+            &mut out,
+            "webml_sql_prepares_total",
+            "SQL statements parsed and planned",
+            self.db.prepares.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_sql_plan_cache_hits_total",
+            "Executions that reused a prepared plan",
+            self.db.plan_cache_hits.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_sql_statements_total",
+            "SQL statements executed",
+            self.db.statements_executed.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_sql_rows_scanned_total",
+            "Rows touched by the SQL tier",
+            self.db.rows_scanned.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_appserver_marshalled_bytes_total",
+            "Bytes crossing the app-server boundary",
+            self.appserver_bytes_marshalled.get(),
+        );
+        counter_into(
+            &mut out,
+            "webml_appserver_requests_total",
+            "Page computations served by app-server clones",
+            self.appserver_requests.get(),
+        );
+        Self::render_histogram(
+            &mut out,
+            "webml_request_latency_us",
+            "",
+            &self.request_latency,
+        );
+        for (kind, h) in self.unit_histograms() {
+            Self::render_histogram(
+                &mut out,
+                "webml_unit_service_time_us",
+                &format!("{{kind=\"{kind}\"}}"),
+                &h,
+            );
+        }
+        out
+    }
+
+    fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let base = if labels.is_empty() {
+            String::new()
+        } else {
+            let inner = &labels[1..labels.len() - 1];
+            format!("{inner},")
+        };
+        for (bound, cum) in h.cumulative_buckets() {
+            let le = match bound {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "{name}_bucket{{{base}le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_sum{labels} {}", h.sum_us());
+        let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::new();
+        h.observe_us(5); // bucket le=10
+        h.observe_us(99); // le=100
+        h.observe_us(1_000_000); // +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 1_000_104);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets[0], (Some(10), 1));
+        assert_eq!(buckets[3], (Some(100), 2));
+        assert_eq!(buckets.last().unwrap(), &(None, 3));
+        assert!((h.mean_us() - 1_000_104.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let reg = MetricsRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    reg.requests.inc();
+                    reg.bean_cache.hits.inc();
+                    reg.request_latency.observe_us(7);
+                    reg.unit_histogram("index").observe_us(3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.requests.get(), 8000);
+        assert_eq!(reg.bean_cache.hits.get(), 8000);
+        assert_eq!(reg.request_latency.count(), 8000);
+        assert_eq!(reg.unit_histogram("index").count(), 8000);
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let reg = MetricsRegistry::new();
+        reg.requests.inc();
+        reg.bean_cache.hits.inc();
+        reg.bean_cache.misses.inc();
+        reg.db.prepares.inc();
+        reg.db.plan_cache_hits.add(3);
+        reg.request_latency.observe_us(120);
+        reg.unit_histogram("data").observe_us(40);
+        let text = reg.render_prometheus();
+        assert!(text.contains("webml_requests_total 1"));
+        assert!(text.contains("webml_cache_hits_total{level=\"bean\"} 1"));
+        assert!(text.contains("webml_cache_misses_total{level=\"bean\"} 1"));
+        assert!(text.contains("webml_cache_hits_total{level=\"fragment\"} 0"));
+        assert!(text.contains("webml_sql_prepares_total 1"));
+        assert!(text.contains("webml_sql_plan_cache_hits_total 3"));
+        assert!(text.contains("webml_request_latency_us_count 1"));
+        assert!(text.contains("webml_unit_service_time_us_count{kind=\"data\"} 1"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let c = CacheCounters::new();
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.hits.add(3);
+        c.misses.add(1);
+        assert!((c.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+}

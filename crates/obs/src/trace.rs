@@ -1,0 +1,378 @@
+//! Per-request hierarchical span trees with monotonic-clock timing.
+//!
+//! A [`RequestContext`] is minted at the `httpd` boundary (or created
+//! detached for legacy call paths, benches, and worker clones), threaded
+//! by `&mut` through controller → page → unit service → SQL, and closed
+//! when the response is written. Spans form an arena-backed tree:
+//! `enter` pushes a child of the currently open span, `exit` closes it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One timed node in the span tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    /// Arena index of the parent; `None` only for the root.
+    pub parent: Option<usize>,
+    /// Root is depth 0.
+    pub depth: usize,
+    /// Microseconds since the context started.
+    pub start_us: u64,
+    /// `None` while still open.
+    pub dur_us: Option<u64>,
+}
+
+/// Opaque handle returned by [`RequestContext::enter`]; pass it back to
+/// [`RequestContext::exit`]. Misuse (double exit, out-of-order exit) is
+/// tolerated: `exit` closes everything opened after the token too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanToken(usize);
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The observability context carried through one request.
+#[derive(Debug)]
+pub struct RequestContext {
+    pub request_id: String,
+    started: Instant,
+    deadline: Option<Instant>,
+    spans: Vec<Span>,
+    /// Stack of open span indices; `open[0]` is always the root until
+    /// [`finish`](RequestContext::finish).
+    open: Vec<usize>,
+    detached: bool,
+}
+
+impl RequestContext {
+    /// Mint a context for an incoming request. The root span is named
+    /// `request`.
+    pub fn new(request_id: impl Into<String>) -> RequestContext {
+        let mut ctx = RequestContext {
+            request_id: request_id.into(),
+            started: Instant::now(),
+            deadline: None,
+            spans: Vec::with_capacity(16),
+            open: Vec::with_capacity(8),
+            detached: false,
+        };
+        ctx.spans.push(Span {
+            name: "request".into(),
+            parent: None,
+            depth: 0,
+            start_us: 0,
+            dur_us: None,
+        });
+        ctx.open.push(0);
+        ctx
+    }
+
+    /// Mint a context with a fresh process-unique id (`req-N`).
+    pub fn next() -> RequestContext {
+        let n = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        RequestContext::new(format!("req-{n}"))
+    }
+
+    /// A context for call paths that predate the observability spine
+    /// (legacy APIs, benches, app-server worker clones). Fully
+    /// functional, but marked so exporters can tell it was not minted at
+    /// the HTTP boundary.
+    pub fn detached() -> RequestContext {
+        let mut ctx = RequestContext::next();
+        ctx.detached = true;
+        ctx
+    }
+
+    pub fn is_detached(&self) -> bool {
+        self.detached
+    }
+
+    /// Set an absolute deadline `budget` from now.
+    pub fn with_deadline(mut self, budget: Duration) -> RequestContext {
+        self.deadline = Some(self.started + budget);
+        self
+    }
+
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// Microseconds since the context was minted.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Open a child span of the innermost open span.
+    pub fn enter(&mut self, name: impl Into<String>) -> SpanToken {
+        let parent = self.open.last().copied();
+        let depth = parent.map_or(0, |p| self.spans[p].depth + 1);
+        let idx = self.spans.len();
+        self.spans.push(Span {
+            name: name.into(),
+            parent,
+            depth,
+            start_us: self.elapsed_us(),
+            dur_us: None,
+        });
+        self.open.push(idx);
+        SpanToken(idx)
+    }
+
+    /// Close the span for `token` (and, defensively, anything opened
+    /// after it that was left open). Returns the span's duration in µs.
+    pub fn exit(&mut self, token: SpanToken) -> u64 {
+        let now = self.elapsed_us();
+        let mut duration = 0;
+        while let Some(&top) = self.open.last() {
+            if top < token.0 {
+                break; // token already closed (double exit) — no-op
+            }
+            self.open.pop();
+            let span = &mut self.spans[top];
+            if span.dur_us.is_none() {
+                span.dur_us = Some(now - span.start_us);
+            }
+            if top == token.0 {
+                duration = span.dur_us.unwrap_or(0);
+                break;
+            }
+        }
+        duration
+    }
+
+    /// Run `f` inside a span; exit is guaranteed even on early return
+    /// (but not across panics — the tree is per-request and dropped).
+    pub fn in_span<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self) -> T) -> T {
+        let token = self.enter(name);
+        let out = f(self);
+        self.exit(token);
+        out
+    }
+
+    /// Close every open span including the root; returns total request
+    /// duration in µs. Idempotent.
+    pub fn finish(&mut self) -> u64 {
+        let now = self.elapsed_us();
+        while let Some(top) = self.open.pop() {
+            let span = &mut self.spans[top];
+            if span.dur_us.is_none() {
+                span.dur_us = Some(now - span.start_us);
+            }
+        }
+        self.spans[0].dur_us.unwrap_or(now)
+    }
+
+    /// All spans in creation (= start-time) order; index 0 is the root.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// `true` when every `enter` has been matched by an `exit` (root
+    /// included only after [`finish`](RequestContext::finish)).
+    pub fn balanced(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Number of currently open spans (root counts until `finish`).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Deepest level in the tree; the root is level 0, so a
+    /// `request > page > unit > sql` trace reports 3.
+    pub fn max_depth(&self) -> usize {
+        self.spans.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+
+    /// Compact single-line summary for the `X-Trace` response header:
+    /// `id;name~depth~start_us+dur_us;...` using only header-safe chars
+    /// (`;` and `~` inside span names are sanitised to `_`).
+    pub fn trace_summary(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 24);
+        out.push_str(&self.request_id);
+        for s in &self.spans {
+            out.push(';');
+            for c in s.name.chars() {
+                if c == ';' || c == '~' || c.is_control() {
+                    out.push('_');
+                } else {
+                    out.push(c);
+                }
+            }
+            out.push('~');
+            out.push_str(&s.depth.to_string());
+            out.push('~');
+            out.push_str(&s.start_us.to_string());
+            out.push('+');
+            out.push_str(&s.dur_us.unwrap_or(0).to_string());
+        }
+        out
+    }
+
+    /// JSON trace dump (for tests and benches): a nested tree of
+    /// `{"name", "start_us", "dur_us", "children": [...]}` objects under
+    /// `{"request_id", "detached", "trace"}`.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str, out: &mut String) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        fn write_node(spans: &[Span], children: &[Vec<usize>], idx: usize, out: &mut String) {
+            out.push_str("{\"name\":");
+            escape(&spans[idx].name, out);
+            out.push_str(&format!(
+                ",\"start_us\":{},\"dur_us\":{},\"children\":[",
+                spans[idx].start_us,
+                spans[idx].dur_us.unwrap_or(0)
+            ));
+            for (i, &c) in children[idx].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_node(spans, children, c, out);
+            }
+            out.push_str("]}");
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                children[p].push(i);
+            }
+        }
+        let mut out = String::with_capacity(128 + self.spans.len() * 48);
+        out.push_str("{\"request_id\":");
+        escape(&self.request_id, &mut out);
+        out.push_str(&format!(",\"detached\":{},\"trace\":", self.detached));
+        write_node(&self.spans, &children, 0, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl Default for RequestContext {
+    fn default() -> RequestContext {
+        RequestContext::next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_ordering() {
+        let mut ctx = RequestContext::new("r1");
+        let page = ctx.enter("page:Home");
+        let unit = ctx.enter("unit:idx3");
+        let sql = ctx.enter("sql");
+        assert_eq!(ctx.max_depth(), 3);
+        ctx.exit(sql);
+        ctx.exit(unit);
+        let unit2 = ctx.enter("unit:d1");
+        ctx.exit(unit2);
+        ctx.exit(page);
+        ctx.finish();
+        assert!(ctx.balanced());
+        let spans = ctx.spans();
+        assert_eq!(spans[0].name, "request");
+        assert_eq!(spans[1].name, "page:Home");
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[3].parent, Some(2));
+        assert_eq!(spans[4].parent, Some(1));
+        // start times are monotone in creation order
+        for w in spans.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us);
+        }
+        // children are contained in their parents
+        for s in &spans[1..] {
+            let p = &spans[s.parent.unwrap()];
+            assert!(s.start_us >= p.start_us);
+            assert!(
+                s.start_us + s.dur_us.unwrap() <= p.start_us + p.dur_us.unwrap(),
+                "child escapes parent"
+            );
+        }
+    }
+
+    #[test]
+    fn exit_closes_abandoned_children() {
+        let mut ctx = RequestContext::new("r2");
+        let outer = ctx.enter("outer");
+        let _leaked = ctx.enter("leaked");
+        ctx.exit(outer); // must close `leaked` too
+        assert_eq!(ctx.open_spans(), 1); // only root
+        assert!(ctx.spans().iter().skip(1).all(|s| s.dur_us.is_some()));
+        // double-exit is a no-op
+        ctx.exit(outer);
+        assert_eq!(ctx.open_spans(), 1);
+    }
+
+    #[test]
+    fn in_span_scopes_and_returns() {
+        let mut ctx = RequestContext::new("r3");
+        let v = ctx.in_span("page:P", |ctx| {
+            ctx.in_span("unit:U", |ctx| ctx.in_span("sql", |_| 42))
+        });
+        assert_eq!(v, 42);
+        assert_eq!(ctx.max_depth(), 3);
+        ctx.finish();
+        assert!(ctx.balanced());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_total() {
+        let mut ctx = RequestContext::new("r4");
+        ctx.enter("a");
+        std::thread::sleep(Duration::from_millis(2));
+        let total = ctx.finish();
+        assert!(total >= 2_000, "expected >= 2000us, got {total}");
+        let again = ctx.finish();
+        assert_eq!(total, again);
+    }
+
+    #[test]
+    fn summary_and_json_shapes() {
+        let mut ctx = RequestContext::new("req-9");
+        ctx.in_span("page:Home", |ctx| ctx.in_span("unit:u1;v~2", |_| ()));
+        ctx.finish();
+        let s = ctx.trace_summary();
+        assert!(s.starts_with("req-9;request~0~0+"));
+        assert!(s.contains(";page:Home~1~"));
+        // `;` and `~` in span names are sanitised so the record format
+        // stays parseable
+        assert!(s.contains(";unit:u1_v_2~2~"));
+        let j = ctx.to_json();
+        assert!(j.contains("\"request_id\":\"req-9\""));
+        assert!(j.contains("\"name\":\"page:Home\""));
+    }
+
+    #[test]
+    fn deadline() {
+        let ctx = RequestContext::new("r5").with_deadline(Duration::from_secs(60));
+        assert!(!ctx.deadline_exceeded());
+        let ctx2 = RequestContext::new("r6").with_deadline(Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(ctx2.deadline_exceeded());
+    }
+
+    #[test]
+    fn unique_detached_ids() {
+        let a = RequestContext::detached();
+        let b = RequestContext::detached();
+        assert!(a.is_detached());
+        assert_ne!(a.request_id, b.request_id);
+    }
+}

@@ -76,7 +76,8 @@ impl Stylesheet {
             ];
             if rule.is_some_and(|r| r.zebra) {
                 rules.push(
-                    CssRule::new(format!(".{box_class}-{ut} .row.alt")).decl("background", "#f4f4f8"),
+                    CssRule::new(format!(".{box_class}-{ut} .row.alt"))
+                        .decl("background", "#f4f4f8"),
                 );
             }
             if rule.is_some_and(|r| r.mouse_over_effect) {

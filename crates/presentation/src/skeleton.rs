@@ -157,12 +157,12 @@ impl TemplateSkeleton {
                 table = table.with_child(row);
                 row = TemplateNode::element("tr");
             }
-            row = row.with_child(TemplateNode::element("td").with_child(
-                TemplateNode::UnitSlot {
+            row = row.with_child(
+                TemplateNode::element("td").with_child(TemplateNode::UnitSlot {
                     unit: unit.clone(),
                     unit_type: unit_type.clone(),
-                },
-            ));
+                }),
+            );
         }
         table = table.with_child(row);
         let body = TemplateNode::element("body")
@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn zero_columns_clamped() {
-        let s = TemplateSkeleton::grid("p", "P", "single-column", &[("u".into(), "data".into())], 0);
+        let s =
+            TemplateSkeleton::grid("p", "P", "single-column", &[("u".into(), "data".into())], 0);
         assert_eq!(s.root.unit_slots(), vec!["u"]);
     }
 }

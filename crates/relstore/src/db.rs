@@ -2,13 +2,14 @@
 //! statements, and transactions.
 
 use crate::error::{Error, Result};
-use crate::exec::run_select;
+use crate::exec::run_select_counted;
 use crate::expr::Params;
 use crate::result::{ExecResult, ResultSet};
 use crate::sql::ast::Statement;
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::storage::{Storage, UndoLog};
 use crate::table::Table;
+use obs::DbCounters;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,12 +19,27 @@ use std::sync::Arc;
 /// `Database` plays the role of the JDBC/ODBC data source in the WebRatio
 /// architecture: generic unit services hand it the SQL text stored in their
 /// descriptors together with bound parameters.
+///
+/// Two plan caches back [`Database::prepare`]:
+///
+/// * a **pinned** snapshot (`Arc<HashMap>` behind an `RwLock`), populated at
+///   deploy time by [`Database::pin_plan`] for descriptor SQL and then read
+///   on the hot path with a shared lock and no per-entry allocation; and
+/// * the classic mutex-guarded string-keyed cache, kept as the fallback for
+///   ad-hoc SQL that was never pinned.
+///
+/// All counters (prepares, plan-cache hits, statements, rows scanned) live
+/// in an [`obs::DbCounters`] so a deployment can hand every tier one shared
+/// [`obs::MetricsRegistry`].
 pub struct Database {
     storage: RwLock<Storage>,
-    /// Parse cache for prepared statements, keyed by SQL text.
+    /// Deploy-time frozen plan index (copy-on-write; written only by
+    /// [`Database::pin_plan`]).
+    pinned: RwLock<Arc<HashMap<String, Arc<Statement>>>>,
+    /// Parse cache for ad-hoc prepared statements, keyed by SQL text.
     prepared: Mutex<HashMap<String, Arc<Statement>>>,
-    /// Executed-statement counter (exposed for cache-effectiveness benches).
-    queries_executed: std::sync::atomic::AtomicU64,
+    /// Shared observability counters (may be the registry's `db` block).
+    counters: Arc<DbCounters>,
 }
 
 impl Default for Database {
@@ -34,29 +50,73 @@ impl Default for Database {
 
 impl Database {
     pub fn new() -> Database {
+        Self::with_counters(Arc::new(DbCounters::new()))
+    }
+
+    /// Build a database whose counters are shared with an external registry
+    /// (typically `MetricsRegistry::db`).
+    pub fn with_counters(counters: Arc<DbCounters>) -> Database {
         Database {
             storage: RwLock::new(Storage::default()),
+            pinned: RwLock::new(Arc::new(HashMap::new())),
             prepared: Mutex::new(HashMap::new()),
-            queries_executed: std::sync::atomic::AtomicU64::new(0),
+            counters,
         }
+    }
+
+    /// The counters this database reports into.
+    pub fn counters(&self) -> &Arc<DbCounters> {
+        &self.counters
     }
 
     /// Total number of statements executed since creation.
     pub fn statements_executed(&self) -> u64 {
-        self.queries_executed
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.counters.statements_executed.get()
     }
 
     /// Parse (with caching) a SQL string into a shareable statement.
+    ///
+    /// Lookup order: pinned deploy-time snapshot, then the ad-hoc cache,
+    /// then a fresh parse (recorded as a prepare; cache hits are recorded
+    /// as plan-cache hits).
     pub fn prepare(&self, sql: &str) -> Result<Arc<Statement>> {
-        if let Some(s) = self.prepared.lock().get(sql) {
+        if let Some(s) = self.pinned.read().get(sql) {
+            self.counters.plan_cache_hits.inc();
             return Ok(Arc::clone(s));
         }
+        if let Some(s) = self.prepared.lock().get(sql) {
+            self.counters.plan_cache_hits.inc();
+            return Ok(Arc::clone(s));
+        }
+        self.counters.prepares.inc();
         let stmt = Arc::new(parse_statement(sql)?);
         self.prepared
             .lock()
             .insert(sql.to_string(), Arc::clone(&stmt));
         Ok(stmt)
+    }
+
+    /// Resolve `sql` once at deploy time into the frozen plan snapshot and
+    /// return the shared plan. Subsequent [`Database::prepare`] calls (and
+    /// holders of the returned `Arc` using [`Database::execute_prepared`])
+    /// skip the ad-hoc mutex entirely.
+    pub fn pin_plan(&self, sql: &str) -> Result<Arc<Statement>> {
+        if let Some(s) = self.pinned.read().get(sql) {
+            return Ok(Arc::clone(s));
+        }
+        self.counters.prepares.inc();
+        let stmt = Arc::new(parse_statement(sql)?);
+        let mut guard = self.pinned.write();
+        // Copy-on-write: clone the (small, deploy-sized) map, insert, swap.
+        let mut next: HashMap<String, Arc<Statement>> = (**guard).clone();
+        next.insert(sql.to_string(), Arc::clone(&stmt));
+        *guard = Arc::new(next);
+        Ok(stmt)
+    }
+
+    /// Number of plans pinned at deploy time.
+    pub fn pinned_plan_count(&self) -> usize {
+        self.pinned.read().len()
     }
 
     /// Execute one statement in autocommit mode.
@@ -65,14 +125,32 @@ impl Database {
         self.execute_stmt(&stmt, params)
     }
 
+    /// Execute a pre-resolved plan (from [`Database::pin_plan`]) without any
+    /// cache lookup. Counted as a plan-cache hit: the prepare was paid once
+    /// at deploy time.
+    pub fn execute_prepared(&self, stmt: &Arc<Statement>, params: &Params) -> Result<ExecResult> {
+        self.counters.plan_cache_hits.inc();
+        self.execute_stmt(stmt, params)
+    }
+
+    /// [`Database::execute_prepared`] specialised to SELECTs.
+    pub fn query_prepared(&self, stmt: &Arc<Statement>, params: &Params) -> Result<ResultSet> {
+        match self.execute_prepared(stmt, params)? {
+            ExecResult::Rows(r) => Ok(r),
+            ExecResult::Affected(_) => Err(Error::Unsupported("query() on a non-SELECT".into())),
+        }
+    }
+
     /// Execute a prepared statement in autocommit mode.
     pub fn execute_stmt(&self, stmt: &Statement, params: &Params) -> Result<ExecResult> {
-        self.queries_executed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters.statements_executed.inc();
         match stmt {
             Statement::Select(sel) => {
                 let storage = self.storage.read();
-                Ok(ExecResult::Rows(run_select(&storage, sel, params)?))
+                let mut scanned = 0u64;
+                let rows = run_select_counted(&storage, sel, params, &mut scanned)?;
+                self.counters.rows_scanned.add(scanned);
+                Ok(ExecResult::Rows(rows))
             }
             Statement::Insert(ins) => {
                 let mut storage = self.storage.write();
@@ -168,7 +246,10 @@ impl Database {
     }
 
     /// Run `f` with shared access to the storage (used by [`crate::Session`]).
-    pub(crate) fn with_storage<T>(&self, f: impl FnOnce(&Storage) -> crate::error::Result<T>) -> crate::error::Result<T> {
+    pub(crate) fn with_storage<T>(
+        &self,
+        f: impl FnOnce(&Storage) -> crate::error::Result<T>,
+    ) -> crate::error::Result<T> {
         let storage = self.storage.read();
         f(&storage)
     }
@@ -181,8 +262,12 @@ impl Database {
 
     /// Bump the executed-statement counter (session-path statements).
     pub(crate) fn count_statement(&self) {
-        self.queries_executed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.counters.statements_executed.inc();
+    }
+
+    /// Add to the rows-scanned counter (session-path SELECTs).
+    pub(crate) fn count_rows_scanned(&self, n: u64) {
+        self.counters.rows_scanned.add(n);
     }
 
     /// Names of all tables (sorted).
@@ -213,11 +298,14 @@ pub struct Transaction<'a> {
 impl Transaction<'_> {
     pub fn execute(&mut self, sql: &str, params: &Params) -> Result<ExecResult> {
         let stmt = self.db.prepare(sql)?;
-        self.db
-            .queries_executed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.db.counters.statements_executed.inc();
         match stmt.as_ref() {
-            Statement::Select(sel) => Ok(ExecResult::Rows(run_select(self.storage, sel, params)?)),
+            Statement::Select(sel) => {
+                let mut scanned = 0u64;
+                let rows = run_select_counted(self.storage, sel, params, &mut scanned)?;
+                self.db.counters.rows_scanned.add(scanned);
+                Ok(ExecResult::Rows(rows))
+            }
             Statement::Insert(ins) => Ok(ExecResult::Affected(self.storage.run_insert(
                 ins,
                 params,
@@ -360,7 +448,10 @@ mod tests {
         let db = db();
         seed(&db);
         let rs = db
-            .query("SELECT COUNT(*) AS n, MAX(year) AS y FROM volume", &Params::new())
+            .query(
+                "SELECT COUNT(*) AS n, MAX(year) AS y FROM volume",
+                &Params::new(),
+            )
             .unwrap();
         assert_eq!(rs.first("n"), Some(&Value::Integer(2)));
         assert_eq!(rs.first("y"), Some(&Value::Integer(2002)));
@@ -417,14 +508,8 @@ mod tests {
         seed(&db);
         let before = db.table_len("paper").unwrap();
         let r: Result<()> = db.transaction(|tx| {
-            tx.execute(
-                "INSERT INTO paper (title) VALUES ('temp1')",
-                &Params::new(),
-            )?;
-            tx.execute(
-                "INSERT INTO paper (title) VALUES ('temp2')",
-                &Params::new(),
-            )?;
+            tx.execute("INSERT INTO paper (title) VALUES ('temp1')", &Params::new())?;
+            tx.execute("INSERT INTO paper (title) VALUES ('temp2')", &Params::new())?;
             Err(Error::Eval("boom".into()))
         });
         assert!(r.is_err());
@@ -511,9 +596,66 @@ mod tests {
     fn prepared_statement_cache_hits() {
         let db = db();
         seed(&db);
+        let prepares_before = db.counters().prepares.get();
+        let hits_before = db.counters().plan_cache_hits.get();
         let s1 = db.prepare("SELECT oid FROM volume").unwrap();
         let s2 = db.prepare("SELECT oid FROM volume").unwrap();
         assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(db.counters().prepares.get(), prepares_before + 1);
+        assert_eq!(db.counters().plan_cache_hits.get(), hits_before + 1);
+    }
+
+    #[test]
+    fn pinned_plans_bypass_adhoc_cache() {
+        let db = db();
+        seed(&db);
+        let sql = "SELECT title FROM volume WHERE year = :y";
+        let plan = db.pin_plan(sql).unwrap();
+        assert_eq!(db.pinned_plan_count(), 1);
+        // pin_plan is idempotent and returns the same Arc
+        assert!(Arc::ptr_eq(&plan, &db.pin_plan(sql).unwrap()));
+        // prepare() of pinned SQL is a plan-cache hit, not a re-parse
+        let prepares = db.counters().prepares.get();
+        let hits = db.counters().plan_cache_hits.get();
+        assert!(Arc::ptr_eq(&plan, &db.prepare(sql).unwrap()));
+        assert_eq!(db.counters().prepares.get(), prepares);
+        assert_eq!(db.counters().plan_cache_hits.get(), hits + 1);
+        // execute_prepared skips lookup entirely and still counts a hit
+        let rs = db
+            .query_prepared(&plan, &Params::new().bind("y", 2002))
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(db.counters().plan_cache_hits.get(), hits + 2);
+    }
+
+    #[test]
+    fn rows_scanned_counts_executor_work() {
+        let db = db();
+        seed(&db);
+        let before = db.counters().rows_scanned.get();
+        db.query("SELECT title FROM paper", &Params::new()).unwrap();
+        let after = db.counters().rows_scanned.get();
+        // full scan over 4 papers
+        assert_eq!(after - before, 4);
+        // an index probe examines fewer rows than a full cross product
+        let before = db.counters().rows_scanned.get();
+        db.query(
+            "SELECT i.number FROM issue i WHERE i.volume_oid = 1",
+            &Params::new(),
+        )
+        .unwrap();
+        assert_eq!(db.counters().rows_scanned.get() - before, 2);
+    }
+
+    #[test]
+    fn shared_counters_with_registry() {
+        let registry = obs::MetricsRegistry::new();
+        let db = Database::with_counters(Arc::clone(&registry.db));
+        db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY)")
+            .unwrap();
+        db.query("SELECT * FROM t", &Params::new()).unwrap();
+        assert!(registry.db.statements_executed.get() >= 2);
+        assert!(registry.db.prepares.get() >= 1);
     }
 
     #[test]
@@ -523,8 +665,11 @@ mod tests {
         assert!(db.query("SELECT * FROM paper", &Params::new()).is_err());
         db.execute("DROP TABLE IF EXISTS paper", &Params::new())
             .unwrap();
-        db.execute("CREATE TABLE paper (oid INTEGER PRIMARY KEY)", &Params::new())
-            .unwrap();
+        db.execute(
+            "CREATE TABLE paper (oid INTEGER PRIMARY KEY)",
+            &Params::new(),
+        )
+        .unwrap();
         assert_eq!(db.table_len("paper").unwrap(), 0);
     }
 

@@ -20,6 +20,20 @@ struct Source<'a> {
 
 /// Execute a SELECT against the storage snapshot.
 pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<ResultSet> {
+    let mut scanned = 0u64;
+    run_select_counted(storage, sel, params, &mut scanned)
+}
+
+/// Like [`run_select`], but additionally reports how many candidate rows the
+/// executor examined (base-scan/probe results plus join candidates) into
+/// `scanned`. This is the "rows scanned" figure surfaced by the observability
+/// registry — it measures work done, not rows returned.
+pub fn run_select_counted(
+    storage: &Storage,
+    sel: &Select,
+    params: &Params,
+    scanned: &mut u64,
+) -> Result<ResultSet> {
     // SELECT without FROM: a single constant row.
     let Some(from) = &sel.from else {
         let bindings: [Binding<'_>; 0] = [];
@@ -64,6 +78,7 @@ pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<Re
     // Base scan: try an index probe from WHERE conjuncts that bind base
     // columns to row-independent expressions.
     let base_ids = probe_or_scan(&sources[0], &where_conjuncts, &[], params)?;
+    *scanned += base_ids.len() as u64;
 
     // Build the join product left to right.
     let mut combos: Vec<Combo> = base_ids.into_iter().map(|id| vec![Some(id)]).collect();
@@ -74,6 +89,7 @@ pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<Re
         for combo in &combos {
             let candidates =
                 probe_candidates(cur, &on_conjuncts, &sources[..jpos + 1], combo, params)?;
+            *scanned += candidates.len() as u64;
             let mut matched = false;
             for cand in candidates {
                 let mut extended = combo.clone();
@@ -186,7 +202,9 @@ pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<Re
 fn eval_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> Result<usize> {
     match eval(e, ctx)? {
         Value::Integer(i) if i >= 0 => Ok(i as usize),
-        other => Err(Error::Eval(format!("{what} must be a non-negative integer, got {other:?}"))),
+        other => Err(Error::Eval(format!(
+            "{what} must be a non-negative integer, got {other:?}"
+        ))),
     }
 }
 
@@ -262,10 +280,7 @@ fn extract_probes<'e>(
             // the column must belong to `cur`
             let belongs = match table {
                 Some(t) => t.eq_ignore_ascii_case(&cur.binding),
-                None => {
-                    cur.table.schema.column_index(name).is_some()
-                        && !other_names.is_empty()
-                }
+                None => cur.table.schema.column_index(name).is_some() && !other_names.is_empty(),
             };
             if !belongs {
                 continue;
@@ -397,7 +412,11 @@ fn try_index_probe(
             key.push(eval(e, ctx)?.coerce(col_type)?);
         }
         return Ok(Some(
-            table.get_by_pk(&key).map(|(id, _)| id).into_iter().collect(),
+            table
+                .get_by_pk(&key)
+                .map(|(id, _)| id)
+                .into_iter()
+                .collect(),
         ));
     }
     // secondary index: find one whose full prefix is covered
@@ -422,10 +441,7 @@ fn try_index_probe(
 // ---- projection ---------------------------------------------------------
 
 /// Expand wildcards into concrete output column names + expressions.
-fn expand_items(
-    sel: &Select,
-    sources: &[Source<'_>],
-) -> Result<Vec<(String, Expr)>> {
+fn expand_items(sel: &Select, sources: &[Source<'_>]) -> Result<Vec<(String, Expr)>> {
     let mut out = Vec::new();
     for item in &sel.items {
         match item {
@@ -476,12 +492,7 @@ fn default_name(e: &Expr) -> String {
 
 /// Resolve an ORDER BY expression to a key value, honouring select-list
 /// aliases and 1-based ordinals.
-fn order_key(
-    item: &Expr,
-    names: &[String],
-    out_row: &[Value],
-    ctx: &EvalCtx<'_>,
-) -> Result<Value> {
+fn order_key(item: &Expr, names: &[String], out_row: &[Value], ctx: &EvalCtx<'_>) -> Result<Value> {
     match item {
         Expr::Literal(Value::Integer(i)) => {
             let idx = *i as usize;
@@ -541,9 +552,9 @@ fn rewrite_aggregates(
     params: &Params,
 ) -> Result<Expr> {
     Ok(match e {
-        Expr::Function { name, args, star } if is_aggregate(name) => {
-            Expr::Literal(compute_aggregate(name, args, *star, sources, group, params)?)
-        }
+        Expr::Function { name, args, star } if is_aggregate(name) => Expr::Literal(
+            compute_aggregate(name, args, *star, sources, group, params)?,
+        ),
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
             expr: Box::new(rewrite_aggregates(expr, sources, group, params)?),
@@ -715,9 +726,7 @@ fn project_grouped(
             let rewritten = rewrite_aggregates(h, sources, group, params)?;
             let keep = {
                 let first = group.first();
-                let bindings = first
-                    .map(|c| make_bindings(sources, c))
-                    .unwrap_or_default();
+                let bindings = first.map(|c| make_bindings(sources, c)).unwrap_or_default();
                 let ctx = EvalCtx {
                     bindings: &bindings,
                     params,
@@ -729,9 +738,7 @@ fn project_grouped(
             }
         }
         let first = group.first();
-        let bindings = first
-            .map(|c| make_bindings(sources, c))
-            .unwrap_or_default();
+        let bindings = first.map(|c| make_bindings(sources, c)).unwrap_or_default();
         let ctx = EvalCtx {
             bindings: &bindings,
             params,

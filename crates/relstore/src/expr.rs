@@ -425,9 +425,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
             }
             Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
             Some(c) => {
-                !t.is_empty()
-                    && t[0].to_lowercase().eq(c.to_lowercase())
-                    && rec(&t[1..], &p[1..])
+                !t.is_empty() && t[0].to_lowercase().eq(c.to_lowercase()) && rec(&t[1..], &p[1..])
             }
         }
     }
@@ -484,14 +482,8 @@ mod tests {
             eval_str("(a + 2) * 3", &row, &s, &p).unwrap(),
             Value::Integer(36)
         );
-        assert_eq!(
-            eval_str("a / 4", &row, &s, &p).unwrap(),
-            Value::Integer(2)
-        );
-        assert_eq!(
-            eval_str("a / 4.0", &row, &s, &p).unwrap(),
-            Value::Real(2.5)
-        );
+        assert_eq!(eval_str("a / 4", &row, &s, &p).unwrap(), Value::Integer(2));
+        assert_eq!(eval_str("a / 4.0", &row, &s, &p).unwrap(), Value::Real(2.5));
     }
 
     #[test]
@@ -515,7 +507,10 @@ mod tests {
             eval_str("a = 1 OR 1 = 1", &row, &s, &p).unwrap(),
             Value::Boolean(true)
         );
-        assert_eq!(eval_str("a = 1 AND 1 = 1", &row, &s, &p).unwrap(), Value::Null);
+        assert_eq!(
+            eval_str("a = 1 AND 1 = 1", &row, &s, &p).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -628,8 +623,7 @@ mod tests {
 
     #[test]
     fn contains_aggregate_detection() {
-        let stmt =
-            crate::sql::parser::parse_statement("SELECT COUNT(*) + 1, a FROM t").unwrap();
+        let stmt = crate::sql::parser::parse_statement("SELECT COUNT(*) + 1, a FROM t").unwrap();
         let crate::sql::ast::Statement::Select(sel) = stmt else {
             panic!()
         };

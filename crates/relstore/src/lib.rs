@@ -51,11 +51,11 @@ pub mod table;
 pub mod value;
 
 pub use db::{Database, Transaction};
-pub use session::Session;
 pub use error::{Error, Result};
 pub use expr::Params;
 pub use result::{ExecResult, ResultSet};
 pub use schema::{Column, ForeignKey, ReferentialAction, TableSchema};
+pub use session::Session;
 pub use sql::ast::Statement;
 pub use sql::parser::{parse_script, parse_statement};
 pub use table::{Row, RowId, Table};

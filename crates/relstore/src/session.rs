@@ -10,7 +10,7 @@
 
 use crate::db::Database;
 use crate::error::{Error, Result};
-use crate::exec::run_select;
+use crate::exec::run_select_counted;
 use crate::expr::Params;
 use crate::result::{ExecResult, ResultSet};
 use crate::sql::ast::Statement;
@@ -60,8 +60,17 @@ impl Session {
             },
             Statement::Select(sel) => {
                 self.db.count_statement();
-                self.db
-                    .with_storage(|storage| Ok(ExecResult::Rows(run_select(storage, sel, params)?)))
+                let mut scanned = 0u64;
+                let r = self.db.with_storage(|storage| {
+                    Ok(ExecResult::Rows(run_select_counted(
+                        storage,
+                        sel,
+                        params,
+                        &mut scanned,
+                    )?))
+                });
+                self.db.count_rows_scanned(scanned);
+                r
             }
             Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
                 self.db.count_statement();
@@ -124,10 +133,8 @@ mod tests {
 
     fn db() -> Arc<Database> {
         let db = Arc::new(Database::new());
-        db.execute_script(
-            "CREATE TABLE t (k INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL);",
-        )
-        .unwrap();
+        db.execute_script("CREATE TABLE t (k INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL);")
+            .unwrap();
         db
     }
 
@@ -228,9 +235,7 @@ mod tests {
         b.execute("INSERT INTO t (v) VALUES ('from-b')", &Params::new())
             .unwrap(); // autocommit
         a.execute("ROLLBACK", &Params::new()).unwrap();
-        let rs = db
-            .query("SELECT v FROM t", &Params::new())
-            .unwrap();
+        let rs = db.query("SELECT v FROM t", &Params::new()).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.first("v"), Some(&Value::Text("from-b".into())));
     }

@@ -175,7 +175,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             'a'..='z' | 'A'..='Z' | '_' => {

@@ -533,9 +533,7 @@ impl Parser {
                         op: UnaryOp::Neg,
                         expr,
                     } => match *expr {
-                        Expr::Literal(Value::Integer(i)) => {
-                            col.default = Some(Value::Integer(-i))
-                        }
+                        Expr::Literal(Value::Integer(i)) => col.default = Some(Value::Integer(-i)),
                         Expr::Literal(Value::Real(r)) => col.default = Some(Value::Real(-r)),
                         _ => return Err(self.err("DEFAULT must be a literal")),
                     },
@@ -862,9 +860,7 @@ mod tests {
              LEFT JOIN paper p ON p.issue_oid = i.oid",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         let from = sel.from.unwrap();
         assert_eq!(from.joins.len(), 2);
         assert_eq!(from.joins[0].kind, JoinKind::Inner);
@@ -873,8 +869,7 @@ mod tests {
 
     #[test]
     fn parses_insert_multiple_rows() {
-        let s =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         let Statement::Insert(ins) = s else { panic!() };
         assert_eq!(ins.columns, vec!["a", "b"]);
         assert_eq!(ins.rows.len(), 2);

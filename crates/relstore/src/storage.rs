@@ -135,7 +135,11 @@ impl Storage {
 
     /// Rows in other tables that reference `(table, row)` through some FK.
     /// Returns `(referencing_table, fk_index, row_ids)` triples.
-    fn referencing_rows(&self, table_name: &str, row: &Row) -> Result<Vec<(String, usize, Vec<RowId>)>> {
+    fn referencing_rows(
+        &self,
+        table_name: &str,
+        row: &Row,
+    ) -> Result<Vec<(String, usize, Vec<RowId>)>> {
         let target = self.require_table(table_name)?;
         let mut out = Vec::new();
         for other in self.tables.values() {
@@ -177,7 +181,12 @@ impl Storage {
     // ---- DML --------------------------------------------------------------
 
     /// Execute INSERT; returns number of rows inserted.
-    pub fn run_insert(&mut self, ins: &Insert, params: &Params, undo: &mut UndoLog) -> Result<usize> {
+    pub fn run_insert(
+        &mut self,
+        ins: &Insert,
+        params: &Params,
+        undo: &mut UndoLog,
+    ) -> Result<usize> {
         let table = self.require_table(&ins.table)?;
         let schema = table.schema.clone();
         let n_cols = schema.columns.len();
@@ -227,7 +236,12 @@ impl Storage {
     }
 
     /// Execute UPDATE; returns number of rows changed.
-    pub fn run_update(&mut self, upd: &Update, params: &Params, undo: &mut UndoLog) -> Result<usize> {
+    pub fn run_update(
+        &mut self,
+        upd: &Update,
+        params: &Params,
+        undo: &mut UndoLog,
+    ) -> Result<usize> {
         let table = self.require_table(&upd.table)?;
         let schema = table.schema.clone();
         let binding_name = schema.name.clone();
@@ -305,7 +319,12 @@ impl Storage {
     }
 
     /// Execute DELETE; returns number of rows removed (including cascades).
-    pub fn run_delete(&mut self, del: &Delete, params: &Params, undo: &mut UndoLog) -> Result<usize> {
+    pub fn run_delete(
+        &mut self,
+        del: &Delete,
+        params: &Params,
+        undo: &mut UndoLog,
+    ) -> Result<usize> {
         let table = self.require_table(&del.table)?;
         let schema = table.schema.clone();
         let binding_name = schema.name.clone();

@@ -334,8 +334,7 @@ impl Table {
                 .map(|&c| new_row[c].clone())
                 .collect();
             if old_key != new_key {
-                if self.indexes[ixpos].unique && !self.indexes[ixpos].lookup(&new_key).is_empty()
-                {
+                if self.indexes[ixpos].unique && !self.indexes[ixpos].lookup(&new_key).is_empty() {
                     return Err(Error::UniqueViolation {
                         table: self.schema.name.clone(),
                         column: self.indexes[ixpos].name.clone(),

@@ -113,9 +113,7 @@ impl Value {
             (Value::Integer(i), DataType::Text) => Ok(Value::Text(i.to_string())),
             (Value::Integer(i), DataType::Boolean) => Ok(Value::Boolean(i != 0)),
             (v @ Value::Real(_), DataType::Real) => Ok(v),
-            (Value::Real(r), DataType::Integer) if r.fract() == 0.0 => {
-                Ok(Value::Integer(r as i64))
-            }
+            (Value::Real(r), DataType::Integer) if r.fract() == 0.0 => Ok(Value::Integer(r as i64)),
             (Value::Real(r), DataType::Text) => Ok(Value::Text(format_real(r))),
             (v @ Value::Text(_), DataType::Text) => Ok(v),
             (Value::Text(s), DataType::Integer) => s
@@ -377,7 +375,9 @@ mod tests {
     #[test]
     fn coerce_text_to_integer_parses() {
         assert_eq!(
-            Value::Text(" 42 ".into()).coerce(DataType::Integer).unwrap(),
+            Value::Text(" 42 ".into())
+                .coerce(DataType::Integer)
+                .unwrap(),
             Value::Integer(42)
         );
     }
@@ -431,10 +431,7 @@ mod tests {
 
     #[test]
     fn sql_literal_escapes_quotes() {
-        assert_eq!(
-            Value::Text("O'Hara".into()).to_sql_literal(),
-            "'O''Hara'"
-        );
+        assert_eq!(Value::Text("O'Hara".into()).to_sql_literal(), "'O''Hara'");
     }
 
     #[test]

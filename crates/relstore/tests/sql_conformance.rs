@@ -47,10 +47,7 @@ fn db() -> Database {
 fn unique_index_via_sql_enforced() {
     let db = db();
     let err = db
-        .execute(
-            "INSERT INTO dept (name) VALUES ('Sales')",
-            &Params::new(),
-        )
+        .execute("INSERT INTO dept (name) VALUES ('Sales')", &Params::new())
         .unwrap_err();
     assert!(matches!(err, Error::UniqueViolation { .. }));
 }
@@ -176,10 +173,7 @@ fn expressions_and_concat_in_projection() {
             &Params::new(),
         )
         .unwrap();
-    assert_eq!(
-        rs.first("label"),
-        Some(&Value::Text("Ada (120.0)".into()))
-    );
+    assert_eq!(rs.first("label"), Some(&Value::Text("Ada (120.0)".into())));
     assert_eq!(rs.first("raised"), Some(&Value::Real(132.0)));
 }
 
@@ -195,10 +189,7 @@ fn update_with_in_subcondition_and_arithmetic() {
         .affected();
     assert_eq!(n, 5);
     let rs = db
-        .query(
-            "SELECT salary FROM emp WHERE name = 'Tim'",
-            &Params::new(),
-        )
+        .query("SELECT salary FROM emp WHERE name = 'Tim'", &Params::new())
         .unwrap();
     assert_eq!(rs.first("salary"), Some(&Value::Real(100.0)));
 }
@@ -290,7 +281,8 @@ fn unknown_references_are_precise_errors() {
         Error::UnknownTable(_)
     ));
     assert!(matches!(
-        db.query("SELECT ghost FROM emp", &Params::new()).unwrap_err(),
+        db.query("SELECT ghost FROM emp", &Params::new())
+            .unwrap_err(),
         Error::UnknownColumn(_)
     ));
     assert!(matches!(
@@ -334,7 +326,10 @@ fn limit_zero_and_huge_offset() {
 fn mysql_style_limit_comma() {
     let db = db();
     let rs = db
-        .query("SELECT oid FROM emp ORDER BY oid LIMIT 2, 3", &Params::new())
+        .query(
+            "SELECT oid FROM emp ORDER BY oid LIMIT 2, 3",
+            &Params::new(),
+        )
         .unwrap();
     assert_eq!(rs.len(), 3);
     assert_eq!(rs.first("oid"), Some(&Value::Integer(3)));

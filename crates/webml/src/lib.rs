@@ -32,7 +32,6 @@ pub use links::{Link, LinkEnd, LinkKind, LinkParam, ParamSource};
 pub use model::{HypertextModel, ModelStats};
 pub use structure::{Area, Audience, LayoutCategory, Page, SiteView};
 pub use units::{
-    CacheSpec, Condition, Field, HierarchyLevel, Operation, OperationKind, SortSpec, Unit,
-    UnitKind,
+    CacheSpec, Condition, Field, HierarchyLevel, Operation, OperationKind, SortSpec, Unit, UnitKind,
 };
 pub use validate::{is_valid, validate, Issue, Severity};

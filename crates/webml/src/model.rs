@@ -552,10 +552,7 @@ mod tests {
     #[test]
     fn link_queries() {
         let (_, ht, volume_page, _) = acm_model();
-        let (idx_id, _) = ht
-            .units()
-            .find(|(_, u)| u.name == "Issues&Papers")
-            .unwrap();
+        let (idx_id, _) = ht.units().find(|(_, u)| u.name == "Issues&Papers").unwrap();
         let incoming: Vec<_> = ht.links_to(LinkEnd::Unit(idx_id)).collect();
         assert_eq!(incoming.len(), 1);
         assert_eq!(incoming[0].1.kind, LinkKind::Transport);

@@ -257,7 +257,10 @@ mod tests {
         // connect, disconnect)"
         assert_eq!(UnitKind::Data.type_name(), "data");
         assert_eq!(UnitKind::Multichoice.type_name(), "multichoice");
-        assert_eq!(UnitKind::Scroller { block_size: 10 }.type_name(), "scroller");
+        assert_eq!(
+            UnitKind::Scroller { block_size: 10 }.type_name(),
+            "scroller"
+        );
         assert_eq!(
             OperationKind::Disconnect { role: "r".into() }.type_name(),
             "disconnect"

@@ -218,7 +218,11 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
             }
             for s in &u.sort {
                 if e.attribute(&s.attribute).is_none() {
-                    err(issues, &loc, format!("sorts by unknown attribute {}", s.attribute));
+                    err(
+                        issues,
+                        &loc,
+                        format!("sorts by unknown attribute {}", s.attribute),
+                    );
                 }
             }
             for c in &u.selector {
@@ -273,12 +277,20 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                 if matches!(l.target, LinkEnd::Unit(_)) {
                     // allowed: contextual into a unit of the target page
                 } else if l.target.as_operation().is_none() && l.target.as_page().is_none() {
-                    err(issues, &loc, "OK/KO link must target a page, unit or operation");
+                    err(
+                        issues,
+                        &loc,
+                        "OK/KO link must target a page, unit or operation",
+                    );
                 }
             }
             LinkKind::Contextual | LinkKind::NonContextual => {
                 if l.source.as_operation().is_some() {
-                    err(issues, &loc, "navigational links cannot start from operations");
+                    err(
+                        issues,
+                        &loc,
+                        "navigational links cannot start from operations",
+                    );
                 }
             }
         }
@@ -300,7 +312,11 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                 (ParamSource::Attribute(a), LinkEnd::Unit(u)) => {
                     match ht.unit(u).entity.and_then(|e| er.entity(e)) {
                         Some(e) if e.attribute(a).is_some() => {}
-                        _ => err(issues, &loc, format!("attribute parameter {a} unresolvable")),
+                        _ => err(
+                            issues,
+                            &loc,
+                            format!("attribute parameter {a} unresolvable"),
+                        ),
                     }
                 }
                 (ParamSource::Attribute(_), _) => {
@@ -318,7 +334,11 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                     }
                 }
                 (ParamSource::Field(_), _) => {
-                    err(issues, &loc, "field parameter requires an entry-unit source");
+                    err(
+                        issues,
+                        &loc,
+                        "field parameter requires an entry-unit source",
+                    );
                 }
                 (ParamSource::Constant(_) | ParamSource::Session(_), _) => {}
             }
@@ -339,15 +359,17 @@ fn check_operations(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) 
         match &o.kind {
             crate::units::OperationKind::Connect { role }
             | crate::units::OperationKind::Disconnect { role }
-                if er.role(role).is_none() => {
-                    err(issues, &loc, format!("unknown role {role}"));
-                }
+                if er.role(role).is_none() =>
+            {
+                err(issues, &loc, format!("unknown role {role}"));
+            }
             crate::units::OperationKind::Create { entity }
             | crate::units::OperationKind::Delete { entity }
             | crate::units::OperationKind::Modify { entity }
-                if er.entity(*entity).is_none() => {
-                    err(issues, &loc, "unknown entity");
-                }
+                if er.entity(*entity).is_none() =>
+            {
+                err(issues, &loc, "unknown entity");
+            }
             _ => {}
         }
     }

@@ -42,7 +42,10 @@ fn main() {
     let vbody = String::from_utf8(volume_page.body).unwrap();
     assert!(vbody.contains("Issues&amp;Papers"));
     assert!(vbody.contains("Enter keyword"));
-    println!("GET {href} → Volume Page with hierarchical index ({} bytes)", vbody.len());
+    println!(
+        "GET {href} → Volume Page with hierarchical index ({} bytes)",
+        vbody.len()
+    );
 
     // keyword search through the entry unit's generated form target
     let results = client::get(addr, "/acm_dl/search_results?kw=%251.2.%25").expect("search");

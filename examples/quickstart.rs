@@ -66,10 +66,16 @@ fn main() {
     // 6. Browse: home page lists books with generated anchors.
     let home = d.home_url("store").unwrap();
     let resp = d.handle(&WebRequest::get(&home));
-    println!("\n--- GET {home} ({} bytes) ---\n{}", resp.body.len(), resp.body);
+    println!(
+        "\n--- GET {home} ({} bytes) ---\n{}",
+        resp.body.len(),
+        resp.body
+    );
 
     // 7. Follow a detail link.
     let resp = d.handle(&WebRequest::get("/store/book_detail").with_param("oid", "2"));
-    assert!(resp.body.contains("Building Data-Intensive Web Applications"));
+    assert!(resp
+        .body
+        .contains("Building Data-Intensive Web Applications"));
     println!("detail page for oid=2 renders correctly");
 }

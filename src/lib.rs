@@ -8,7 +8,8 @@
 //! * [`er`], [`webml`] — the two modelling languages;
 //! * [`codegen`], [`descriptors`], [`presentation`] — the generation
 //!   pipeline;
-//! * [`mvc`], [`webcache`], [`relstore`], [`httpd`] — the runtime stack.
+//! * [`mvc`], [`webcache`], [`relstore`], [`httpd`] — the runtime stack;
+//! * [`obs`] — the request observability spine (span trees + metrics).
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system map.
 
@@ -17,6 +18,7 @@ pub use descriptors;
 pub use er;
 pub use httpd;
 pub use mvc;
+pub use obs;
 pub use presentation;
 pub use relstore;
 pub use webcache;

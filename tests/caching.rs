@@ -107,8 +107,18 @@ fn cache_configs_agree_on_read_only_content() {
         let mut pages = String::new();
         for p in &d.generated.descriptors.pages {
             // request twice so cached paths are actually exercised
-            d.handle(&WebRequest::get(&p.url).with_param("volume", "1").with_param("paper", "1").with_param("kw", "%1%"));
-            let resp = d.handle(&WebRequest::get(&p.url).with_param("volume", "1").with_param("paper", "1").with_param("kw", "%1%"));
+            d.handle(
+                &WebRequest::get(&p.url)
+                    .with_param("volume", "1")
+                    .with_param("paper", "1")
+                    .with_param("kw", "%1%"),
+            );
+            let resp = d.handle(
+                &WebRequest::get(&p.url)
+                    .with_param("volume", "1")
+                    .with_param("paper", "1")
+                    .with_param("kw", "%1%"),
+            );
             assert_eq!(resp.status, 200);
             pages.push_str(&resp.body);
         }
@@ -131,7 +141,9 @@ fn ttl_annotated_units_expire() {
         .unwrap();
     app.hypertext
         .set_cache(uid, CacheSpec::ttl(Duration::from_millis(50)));
-    let d = app.deploy(options(true, false, Duration::from_secs(1))).unwrap();
+    let d = app
+        .deploy(options(true, false, Duration::from_secs(1)))
+        .unwrap();
     let home = d.home_url("store").unwrap();
     d.handle(&WebRequest::get(&home));
     d.handle(&WebRequest::get(&home));

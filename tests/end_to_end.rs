@@ -42,7 +42,9 @@ fn acm_full_navigation_over_http() {
 
     // entry unit → search results with LIKE
     let results = String::from_utf8(
-        client::get(addr, "/acm_dl/search_results?kw=%25Paper%25").unwrap().body,
+        client::get(addr, "/acm_dl/search_results?kw=%25Paper%25")
+            .unwrap()
+            .body,
     )
     .unwrap();
     assert_eq!(hrefs(&results, "/acm_dl/paper_details").len(), 18); // all papers
@@ -131,11 +133,7 @@ fn bookstore_create_and_browse_via_http_form_flow() {
     assert!(action.starts_with("/op/"));
 
     // submit the form (GET with query params, as the generated form does)
-    let resp = client::get(
-        addr,
-        &format!("{action}?title=Hypertext+Design&price=42.0"),
-    )
-    .unwrap();
+    let resp = client::get(addr, &format!("{action}?title=Hypertext+Design&price=42.0")).unwrap();
     assert_eq!(resp.status, 200);
     let body = String::from_utf8(resp.body).unwrap();
     assert!(body.contains("Hypertext Design"), "{body}");
@@ -159,7 +157,10 @@ fn login_logout_flow_with_sessions() {
     let item = er
         .add_entity(
             "Item",
-            vec![webml_ratio::er::Attribute::new("name", webml_ratio::er::AttrType::String)],
+            vec![webml_ratio::er::Attribute::new(
+                "name",
+                webml_ratio::er::AttrType::String,
+            )],
         )
         .unwrap();
     let mut ht = webml_ratio::webml::HypertextModel::new();

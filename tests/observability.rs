@@ -1,0 +1,190 @@
+//! The observability spine, end to end: a request served over HTTP yields
+//! a ≥3-level span tree (`request > page > unit > sql`), `/metrics`
+//! reports request, cache and plan-cache counters that match the traffic,
+//! and span enter/exit stays balanced under arbitrary interleavings.
+
+use proptest::prelude::*;
+use webml_ratio::httpd::client;
+use webml_ratio::mvc::RuntimeOptions;
+use webml_ratio::webratio::{fixtures, SESSION_COOKIE};
+
+/// One span parsed from the `X-Trace` summary header:
+/// `(name, depth, start_us, dur_us)`.
+fn parse_trace(summary: &str) -> Vec<(String, usize, u64, u64)> {
+    summary
+        .split(';')
+        .skip(1) // leading request id
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let mut f = s.split('~');
+            let name = f.next().unwrap().to_string();
+            let depth: usize = f.next().unwrap().parse().unwrap();
+            let timing = f.next().unwrap();
+            let (start, dur) = timing.split_once('+').unwrap();
+            (name, depth, start.parse().unwrap(), dur.parse().unwrap())
+        })
+        .collect()
+}
+
+/// Pull the value of a single-sample counter line out of Prometheus text.
+fn metric(text: &str, line_start: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(line_start))
+        .unwrap_or_else(|| panic!("metric {line_start} missing:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn http_request_produces_span_tree_and_metrics() {
+    let app = fixtures::bookstore();
+    let options = RuntimeOptions {
+        bean_cache: true,
+        fragment_cache: true,
+        fragment_ttl: std::time::Duration::from_secs(300),
+        ..RuntimeOptions::default()
+    };
+    let d = app.deploy(options).unwrap();
+    d.db.execute_script(
+        "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
+         INSERT INTO book (title, price) VALUES ('WebML handbook', 50.0);",
+    )
+    .unwrap();
+    let prepares_after_deploy = d.obs.db.prepares.get();
+    assert!(d.db.pinned_plan_count() > 0, "deploy should pin plans");
+
+    let server = d.serve_traced(0, 2).unwrap();
+    let addr = server.addr();
+    let home = d.home_url("store").unwrap();
+
+    // ---- first request: cold caches --------------------------------------
+    let r1 = client::get(addr, &home).unwrap();
+    assert_eq!(r1.status, 200);
+    let req_id = r1.find_header("X-Request-Id").unwrap();
+    assert!(req_id.starts_with("req-"), "{req_id}");
+    let trace = r1.find_header("X-Trace").unwrap().to_string();
+    let spans = parse_trace(&trace);
+
+    // the tree is request > page:* > unit:* > sql — at least 3 levels deep
+    let max_depth = spans.iter().map(|s| s.1).max().unwrap();
+    assert!(max_depth >= 3, "depth {max_depth} in {trace}");
+    assert_eq!(spans[0].0, "request");
+    assert!(spans.iter().any(|s| s.0.starts_with("page:")), "{trace}");
+    assert!(spans.iter().any(|s| s.0.starts_with("unit:")), "{trace}");
+    assert!(spans.iter().any(|s| s.0 == "sql"), "{trace}");
+    assert!(spans.iter().any(|s| s.0 == "render"), "{trace}");
+
+    // timings are plausible and monotone: the root took real time and every
+    // child interval nests inside its parent's interval.
+    assert!(spans[0].3 > 0, "root duration must be non-zero: {trace}");
+    let mut stack: Vec<(usize, u64, u64)> = Vec::new(); // depth, start, end
+    for (name, depth, start, dur) in &spans {
+        while stack.last().is_some_and(|(d, _, _)| d >= depth) {
+            stack.pop();
+        }
+        if let Some((pd, ps, pe)) = stack.last() {
+            assert_eq!(depth - 1, *pd, "{name} skips a level in {trace}");
+            assert!(
+                ps <= start && start + dur <= *pe,
+                "{name} [{start},{}] escapes parent [{ps},{pe}] in {trace}",
+                start + dur
+            );
+        }
+        stack.push((*depth, *start, *start + *dur));
+    }
+
+    // ---- second request, same session: caches hit ------------------------
+    let cookie = r1.find_header("set-cookie").unwrap().to_string();
+    let sid = cookie.split(';').next().unwrap().to_string();
+    let r2 = client::get_with_headers(addr, &home, &[("Cookie", &sid)]).unwrap();
+    assert_eq!(r2.status, 200);
+
+    // ---- /metrics: counters line up with the traffic ---------------------
+    let m = client::get(addr, "/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    assert_eq!(
+        m.find_header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = String::from_utf8(m.body).unwrap();
+
+    // exactly the two page requests went through the controller
+    assert_eq!(metric(&text, "webml_requests_total "), 2);
+    assert_eq!(metric(&text, "webml_page_requests_total "), 2);
+    assert_eq!(metric(&text, "webml_request_latency_us_count "), 2);
+    assert_eq!(metric(&text, "webml_errors_total "), 0);
+
+    // request 1 missed both cache levels, request 2 hit them
+    assert!(metric(&text, "webml_cache_misses_total{level=\"bean\"}") >= 1);
+    assert!(metric(&text, "webml_cache_hits_total{level=\"bean\"}") >= 1);
+    assert!(metric(&text, "webml_cache_hits_total{level=\"fragment\"}") >= 1);
+
+    // every runtime statement reused a deploy-time pinned plan: the prepare
+    // counter did not move, the plan-cache hit counter did
+    assert_eq!(
+        metric(&text, "webml_sql_prepares_total "),
+        prepares_after_deploy
+    );
+    assert!(metric(&text, "webml_sql_plan_cache_hits_total ") >= 1);
+    assert!(metric(&text, "webml_sql_rows_scanned_total ") >= 1);
+
+    // the unit service-time histogram saw the index unit on both requests
+    assert!(
+        text.contains("webml_unit_service_time_us_count{kind=\"index\"} 2"),
+        "{text}"
+    );
+
+    // the JSON trace dump carries the same tree shape
+    let sid_header = [("Cookie", sid.as_str())];
+    let url = format!(
+        "{home}{}__trace=json",
+        if home.contains('?') { "&" } else { "?" }
+    );
+    let j = client::get_with_headers(addr, &url, &sid_header).unwrap();
+    let body = String::from_utf8(j.body).unwrap();
+    assert!(body.contains("\"name\":\"request\""), "{body}");
+    assert!(body.contains("\"name\":\"page:"), "{body}");
+    assert!(body.contains("\"name\":\"unit:"), "{body}");
+
+    // cookie sanity: the session flowed, so no second Set-Cookie
+    assert!(sid.contains(SESSION_COOKIE));
+    assert!(r2.find_header("set-cookie").is_none());
+
+    server.stop();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any interleaving of span enters and exits — including abandoned
+    /// (never-exited) spans — finishing the context leaves a balanced tree
+    /// whose depth never exceeds the deepest live nesting.
+    #[test]
+    fn span_enter_exit_is_balanced(ops in proptest::collection::vec((any::<bool>(), 0u8..6), 0..64)) {
+        let mut ctx = webml_ratio::obs::RequestContext::new("prop");
+        let mut live = Vec::new();
+        let mut depth = 0usize;
+        let mut deepest = 0usize;
+        for (enter, name) in ops {
+            if enter {
+                live.push(ctx.enter(format!("s{name}")));
+                depth += 1;
+                deepest = deepest.max(depth);
+            } else if let Some(token) = live.pop() {
+                ctx.exit(token);
+                depth = depth.saturating_sub(1);
+            }
+        }
+        let total = ctx.finish();
+        prop_assert!(ctx.balanced(), "unbalanced after finish");
+        prop_assert!(ctx.max_depth() <= deepest, "depth {} > {}", ctx.max_depth(), deepest);
+        // finish() closes the root; a second finish must not change it
+        prop_assert_eq!(ctx.finish(), total);
+        // the summary mentions the root and parses back span-per-span
+        let summary = ctx.trace_summary();
+        prop_assert!(summary.contains("request"));
+    }
+}

@@ -13,11 +13,10 @@ fn chained_app() -> Application {
     let order = er
         .add_entity(
             "Order",
-            vec![webml_ratio::er::Attribute::new(
-                "item",
-                webml_ratio::er::AttrType::String,
-            )
-            .required()],
+            vec![
+                webml_ratio::er::Attribute::new("item", webml_ratio::er::AttrType::String)
+                    .required(),
+            ],
         )
         .unwrap();
     let mut ht = HypertextModel::new();
@@ -58,13 +57,7 @@ fn ok_chain_executes_both_operations_then_renders() {
     assert_eq!(outbox.len(), 1);
     assert_eq!(outbox[0].to, "warehouse@example.org");
     // two forwards: create→notify, notify→page
-    assert_eq!(
-        d.controller
-            .metrics
-            .forwards
-            .load(std::sync::atomic::Ordering::Relaxed),
-        2
-    );
+    assert_eq!(d.controller.obs().forwards.get(), 2);
 }
 
 #[test]

@@ -143,10 +143,9 @@ fn plugin_unit_and_operation_serve_end_to_end() {
     let op_url = d.generated.descriptors.operations[0].url.clone();
     let resp = d.handle(&WebRequest::get(&op_url).with_param("request_id", "1"));
     assert_eq!(resp.status, 200);
-    let state = d
-        .db
-        .query("SELECT state FROM request WHERE oid = 1", &Params::new())
-        .unwrap();
+    let state =
+        d.db.query("SELECT state FROM request WHERE oid = 1", &Params::new())
+            .unwrap();
     assert_eq!(state.first("state").unwrap().render(), "approved");
 
     // unknown request id → KO path (still a 200 page via the KO forward)

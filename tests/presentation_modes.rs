@@ -87,7 +87,11 @@ fn injection_attempts_are_escaped() {
             .with_param("price", "1.0"),
     );
     assert_eq!(r.status, 200);
-    assert!(!r.body.contains("<script>"), "unescaped injection:\n{}", r.body);
+    assert!(
+        !r.body.contains("<script>"),
+        "unescaped injection:\n{}",
+        r.body
+    );
     assert!(r.body.contains("&lt;script&gt;"));
 }
 
@@ -97,10 +101,21 @@ fn injection_attempts_are_escaped() {
 fn stylesheet_covers_rendered_classes() {
     use webml_ratio::presentation::Stylesheet;
     let rules = RuleSet::default_desktop("check");
-    let kinds = ["data", "index", "multidata", "multichoice", "scroller", "entry", "hierarchy"];
+    let kinds = [
+        "data",
+        "index",
+        "multidata",
+        "multichoice",
+        "scroller",
+        "entry",
+        "hierarchy",
+    ];
     let css = Stylesheet::for_rule_set(&rules, &kinds).render();
     for k in kinds {
-        assert!(css.contains(&format!(".unit-{k}")), "missing module for {k}");
+        assert!(
+            css.contains(&format!(".unit-{k}")),
+            "missing module for {k}"
+        );
     }
     assert!(css.contains(".banner"));
     assert!(css.contains("nav.landmarks"));

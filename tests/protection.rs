@@ -84,7 +84,8 @@ fn protected_pages_require_login() {
     );
     assert_eq!(r.status, 200);
     assert_eq!(
-        d.handle(&WebRequest::get("/managers/admin").with_session(&sid)).status,
+        d.handle(&WebRequest::get("/managers/admin").with_session(&sid))
+            .status,
         401
     );
 

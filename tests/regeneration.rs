@@ -52,7 +52,10 @@ fn service_overrides_survive_regeneration() {
     current.unit_mut(&victim).unwrap().service = "HandRolledService".into();
     let (g2, preserved) = regenerate(&app.er, &app.mapping, &app.hypertext, &current).unwrap();
     assert_eq!(preserved, vec![victim.clone()]);
-    assert_eq!(g2.descriptors.unit(&victim).unwrap().service, "HandRolledService");
+    assert_eq!(
+        g2.descriptors.unit(&victim).unwrap().service,
+        "HandRolledService"
+    );
 }
 
 #[test]

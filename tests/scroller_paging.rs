@@ -11,11 +11,10 @@ fn scroller_app(block: usize) -> Application {
     let product = er
         .add_entity(
             "Product",
-            vec![webml_ratio::er::Attribute::new(
-                "name",
-                webml_ratio::er::AttrType::String,
-            )
-            .required()],
+            vec![
+                webml_ratio::er::Attribute::new("name", webml_ratio::er::AttrType::String)
+                    .required(),
+            ],
         )
         .unwrap();
     let mut ht = HypertextModel::new();
@@ -83,7 +82,9 @@ fn multichoice_renders_checkboxes() {
     let r = d.handle(&WebRequest::get("/catalog/pick"));
     // one checkbox per row in the multichoice unit
     assert_eq!(
-        r.body.matches("type=\"checkbox\" name=\"selection\"").count(),
+        r.body
+            .matches("type=\"checkbox\" name=\"selection\"")
+            .count(),
         4
     );
     assert!(r.body.contains("value=\"3\""));

@@ -1,0 +1,247 @@
+//! Offline vendored shim for the `criterion` API subset this workspace
+//! uses: `Criterion::benchmark_group`, group `sample_size` /
+//! `measurement_time` / `throughput` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple wall-clock mean over an adaptively chosen
+//! iteration count (no statistics, no HTML reports). Requested
+//! measurement times are capped so `cargo bench` stays fast offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one parameterised benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs closures and records wall-clock time.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the measurement budget is used.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: run once to size batches.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+        let mut batch = (Duration::from_millis(5).as_nanos() / first.as_nanos()).clamp(1, 10_000);
+
+        let start = Instant::now();
+        let mut iters: u64 = 1;
+        let mut timed = first;
+        while start.elapsed() < self.target {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            timed += t.elapsed();
+            iters += batch as u64;
+            batch = (batch * 2).min(100_000);
+        }
+        self.iters_done = iters;
+        self.elapsed = timed;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters_done == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Requested time is capped at 500 ms per benchmark to keep offline
+    /// runs quick.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t.min(Duration::from_millis(500));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target: self.measurement_time,
+        };
+        f(&mut b);
+        let mean = b.mean_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 * 1e9 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 * 1e9 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12}/iter  [{} iters]{}",
+            self.name,
+            id,
+            human_time(mean),
+            b.iters_done,
+            rate
+        );
+    }
+
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let id = id.to_string();
+        self.run_one(&id, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let name = id.to_string();
+        self.run_one(&name, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        // `cargo bench` passes `--bench` (and possibly filters); this
+        // shim runs everything and ignores argv.
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        let default = self.default_measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            measurement_time: default,
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(30));
+        g.throughput(Throughput::Elements(1));
+        let mut total = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(1);
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, i| {
+            b.iter(|| i * 2)
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn id_formats_as_function_slash_param() {
+        assert_eq!(
+            BenchmarkId::new("synthesize", 30).to_string(),
+            "synthesize/30"
+        );
+    }
+}

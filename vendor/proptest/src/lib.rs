@@ -1,0 +1,717 @@
+//! Offline vendored shim for the `proptest` API subset this workspace
+//! uses: the `proptest!` / `prop_assert*` / `prop_oneof!` macros, `any`,
+//! `Just`, range and regex-literal strategies, tuple strategies,
+//! `collection::vec`, `option::of`, `char::range`, `prop_map`,
+//! `prop_filter`, `boxed`, `ProptestConfig`, and `TestCaseError`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (file + test name + case index) and there
+//! is **no shrinking** — a failing case panics with the generated
+//! arguments printed, which is enough to reproduce since generation is
+//! deterministic.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---- deterministic test RNG -------------------------------------------------
+
+/// Splitmix64-based generator seeded per (test, case).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(file: &str, test: &str, case: u32) -> TestRng {
+        // FNV-1a over the identifying strings, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain(test.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// ---- errors & config --------------------------------------------------------
+
+/// A failed test case (assertion failure or explicit `fail`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---- the Strategy trait -----------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerate until `pred` passes (bounded; panics if the predicate
+    /// almost never holds — same spirit as proptest's rejection limit).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (cloneable; single-threaded use).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up: {}", self.reason);
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Type-erased uniform choice — the engine behind [`prop_oneof!`].
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+// ---- primitive strategies ---------------------------------------------------
+
+/// Full-domain generation, `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// ---- tuple strategies -------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ---- regex-literal string strategies ----------------------------------------
+
+enum Atom {
+    /// Inclusive char ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// `.` — printable ASCII here.
+    AnyChar,
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated char class in pattern");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push((p, p));
+                }
+                return out;
+            }
+            '-' => {
+                // Range if we have a pending start and a non-']' follow.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        out.push((lo, hi));
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            out.push((p, p));
+                        }
+                        out.push(('-', '-'));
+                    }
+                }
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    out.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            if let Some((lo, hi)) = spec.split_once(',') {
+                let lo: usize = lo.trim().parse().expect("bad quantifier");
+                if hi.trim().is_empty() {
+                    (lo, lo + 8)
+                } else {
+                    (lo, hi.trim().parse().expect("bad quantifier"))
+                }
+            } else {
+                let n: usize = spec.trim().parse().expect("bad quantifier");
+                (n, n)
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::AnyChar,
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in pattern");
+                Atom::Class(vec![(esc, esc)])
+            }
+            c => Atom::Class(vec![(c, c)]),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::AnyChar => char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap(),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = (*hi as u64) - (*lo as u64) + 1;
+                if pick < size {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("bad class range");
+                }
+                pick -= size;
+            }
+            unreachable!()
+        }
+    }
+}
+
+/// `&'static str` as a regex-subset string strategy (char classes, `.`,
+/// `{m,n}` / `{n}` / `*` / `+` / `?`, literals).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for q in &atoms {
+            let n = if q.max > q.min {
+                q.min + rng.below((q.max - q.min + 1) as u64) as usize
+            } else {
+                q.min
+            };
+            for _ in 0..n {
+                out.push(generate_atom(&q.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---- combinator modules -----------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(strategy)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    pub struct CharRange {
+        start: u32,
+        end: u32,
+    }
+
+    /// Uniform char in `[start, end]` (inclusive, like proptest).
+    pub fn range(start: ::core::primitive::char, end: ::core::primitive::char) -> CharRange {
+        CharRange {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            let span = (self.end - self.start + 1) as u64;
+            ::core::primitive::char::from_u32(self.start + rng.below(span) as u32)
+                .expect("invalid char range")
+        }
+    }
+}
+
+// ---- macros -----------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The test harness macro. Supports an optional
+/// `#![proptest_config(...)]` header and any number of `#[test] fn
+/// name(arg in strategy, ...) { body }` items (doc comments and other
+/// attributes pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(file!(), stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let formatted_args: Vec<String> = vec![
+                    $(format!(concat!("  ", stringify!($arg), " = {:?}"), &$arg)),*
+                ];
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\nwith inputs:\n{}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        formatted_args.join("\n")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// ---- self tests -------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::for_case("f", "t", 0);
+        let s = (0u8..6, 0i64..50, "[a-z]{1,4}");
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 6);
+            assert!((0..50).contains(&b));
+            assert!((1..=4).contains(&c.len()));
+            assert!(c.chars().all(|ch| ch.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_classes_with_literals() {
+        let mut rng = TestRng::for_case("f", "t2", 0);
+        for _ in 0..300 {
+            let s = "[a-zA-Z][a-zA-Z0-9_.-]{0,10}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic());
+            for c in s.chars().skip(1) {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_.-".contains(c),
+                    "bad char {c:?}"
+                );
+            }
+            let t = "[a-c%_]{0,8}".generate(&mut rng);
+            for c in t.chars() {
+                assert!(('a'..='c').contains(&c) || c == '%' || c == '_');
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_map_filter_box() {
+        let mut rng = TestRng::for_case("f", "t3", 0);
+        let s = prop_oneof![
+            Just(0u32),
+            (1u32..10).prop_map(|v| v * 100),
+            any::<u32>().prop_filter("even", |v| v % 2 == 0),
+        ]
+        .boxed();
+        let mut saw_zero = false;
+        let mut saw_hundreds = false;
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            if v == 0 {
+                saw_zero = true;
+            }
+            if (100..1000).contains(&v) && v.is_multiple_of(100) {
+                saw_hundreds = true;
+            }
+        }
+        assert!(saw_zero && saw_hundreds);
+    }
+
+    #[test]
+    fn collection_and_option() {
+        let mut rng = TestRng::for_case("f", "t4", 0);
+        let s = crate::collection::vec(crate::option::of(0u8..3), 2..5);
+        let mut saw_none = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            saw_none |= v.iter().any(|o| o.is_none());
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro itself: args bind, asserts return Err, harness loops.
+        #[test]
+        fn macro_end_to_end(a in 0usize..10, b in any::<bool>(), s in "[a-z]{0,3}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a + 1, a);
+            prop_assert!(s.len() <= 3, "len was {}", s.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn char_range_inclusive(c in crate::char::range('a', 'c')) {
+            prop_assert!(('a'..='c').contains(&c));
+        }
+    }
+}

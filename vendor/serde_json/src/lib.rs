@@ -1,0 +1,658 @@
+//! Offline vendored shim for the `serde_json` API subset this workspace
+//! uses: [`Value`] with `Null`/`Array`/`Object` constructible variants and
+//! the usual `as_*`/`get`/`is_null` accessors, [`Map`], the [`json!`]
+//! macro, [`from_str`] (to `Value`), and `Display` producing compact JSON.
+//! No serde derive machinery — the workspace only marshals dynamically
+//! typed values across the app-server boundary.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation. Real serde_json defaults to a BTreeMap too
+/// (without `preserve_order`), so key ordering matches.
+pub type Map = BTreeMap<String, Value>;
+
+/// A dynamically typed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integer-valued number (parsed without fraction/exponent).
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (no array indexing — unused here).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+// ---- construction (`json!` support) ---------------------------------------
+
+/// Conversion into [`Value`] for everything `json!` call sites interpolate.
+pub trait IntoJson {
+    fn into_json(self) -> Value;
+}
+
+#[doc(hidden)]
+pub fn to_value<T: IntoJson>(v: T) -> Value {
+    v.into_json()
+}
+
+impl IntoJson for Value {
+    fn into_json(self) -> Value {
+        self
+    }
+}
+
+impl IntoJson for &Value {
+    fn into_json(self) -> Value {
+        self.clone()
+    }
+}
+
+impl IntoJson for bool {
+    fn into_json(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoJson for &bool {
+    fn into_json(self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl IntoJson for &str {
+    fn into_json(self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl IntoJson for String {
+    fn into_json(self) -> Value {
+        Value::String(self)
+    }
+}
+
+impl IntoJson for &String {
+    fn into_json(self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl IntoJson for f64 {
+    fn into_json(self) -> Value {
+        Value::Float(self)
+    }
+}
+
+impl IntoJson for &f64 {
+    fn into_json(self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl IntoJson for f32 {
+    fn into_json(self) -> Value {
+        Value::Float(self as f64)
+    }
+}
+
+macro_rules! impl_into_json_int {
+    ($($t:ty),*) => {$(
+        impl IntoJson for $t {
+            fn into_json(self) -> Value {
+                Value::Int(self as i64)
+            }
+        }
+        impl IntoJson for &$t {
+            fn into_json(self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_into_json_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: IntoJson> IntoJson for Vec<T> {
+    fn into_json(self) -> Value {
+        Value::Array(self.into_iter().map(IntoJson::into_json).collect())
+    }
+}
+
+impl<T: IntoJson + Clone> IntoJson for &Vec<T> {
+    fn into_json(self) -> Value {
+        Value::Array(self.iter().cloned().map(IntoJson::into_json).collect())
+    }
+}
+
+impl<T: IntoJson> IntoJson for Option<T> {
+    fn into_json(self) -> Value {
+        match self {
+            Some(v) => v.into_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] from an object/array literal. Supports the subset
+/// this workspace uses: flat `{ "key": expr, ... }` objects, `[expr, ...]`
+/// arrays, and bare expressions (via [`IntoJson`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value($elem) ),* ])
+    };
+    ({ $( $k:literal : $v:expr ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($k).to_string(), $crate::to_value($v)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value($other) };
+}
+
+// ---- printing --------------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep floats recognisable as floats on re-parse.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(v, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+/// Parse error, with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error {
+            msg: msg.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => self.err("unexpected character"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error {
+                msg: "bad \\u escape".into(),
+                offset: self.pos,
+            })?
+            .to_string();
+        let v = u16::from_str_radix(&s, 16).map_err(|_| Error {
+            msg: "bad \\u escape".into(),
+            offset: self.pos,
+        })?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let cp = 0x10000
+                                        + ((hi as u32 - 0xD800) << 10)
+                                        + (lo as u32 - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi as u32)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| Error {
+                        msg: "invalid utf-8".into(),
+                        offset: self.pos,
+                    })?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return self.err("control character in string");
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(f) => Ok(Value::Float(f)),
+                Err(_) => self.err("bad number"),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // integer overflow: fall back to float like serde_json's
+                // arbitrary_precision-less behaviour for u64 is close enough
+                Err(_) => match text.parse::<f64>() {
+                    Ok(f) => Ok(Value::Float(f)),
+                    Err(_) => self.err("bad number"),
+                },
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let v = json!({
+            "page": "home",
+            "n": 42,
+            "neg": -7,
+            "pi": 2.5,
+            "flag": true,
+            "none": Value::Null,
+            "items": vec![json!([1, 2]), json!("x")],
+            "text": "a\"b\\c\nd",
+        });
+        let s = v.to_string();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"a": [1, 2.5, "s", true, null]}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_i64(), Some(1));
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[1].as_i64(), None);
+        assert_eq!(a[2].as_str(), Some("s"));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert!(a[4].is_null());
+        assert!(v.as_object().is_some());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = from_str(r#""tab\tnl\nuA pair😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\tnl\nuA pair😀"));
+        // control chars print escaped
+        let s = Value::String("\u{1}".into()).to_string();
+        assert_eq!(s, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn float_stays_float() {
+        let v = Value::Float(2.0);
+        assert_eq!(v.to_string(), "2.0");
+        assert_eq!(from_str("2.0").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn option_and_refs_interpolate() {
+        let some: Option<Value> = Some(json!(1));
+        let none: Option<Value> = None;
+        let n = 5usize;
+        let v = json!({ "s": some, "n": none, "count": &n, "blob": &vec![1u8, 2u8] });
+        assert_eq!(v.get("s").unwrap().as_i64(), Some(1));
+        assert!(v.get("n").unwrap().is_null());
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("blob").unwrap().as_array().unwrap().len(), 2);
+    }
+}

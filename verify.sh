@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Gate for every PR: formatting, lints, and the tier-1 test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 tests (root package: unit + integration + property suites)"
+cargo test --release -q
+
+echo "verify.sh: all green"
