@@ -1,0 +1,121 @@
+//! Durability economics: strict-commit throughput vs the group-commit
+//! window, at 1 / 4 / 16 concurrent writers.
+//!
+//! Every commit in this bench is *strict* — the caller blocks until its
+//! log record is fsynced — so latency is bounded below by the flush
+//! cadence. The group-commit window is the knob: a wide window batches
+//! many writers into one fsync (few flushes, fat batches, high aggregate
+//! throughput, worse single-writer latency); a narrow window approaches
+//! one-fsync-per-commit. After each configuration the flush/batch
+//! economics are printed straight from the shared obs registry
+//! (`wal_flushes`, `wal_records_appended`, `wal_group_batch_size`,
+//! `wal_bytes_written`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relstore::{CommitSink, Database, Params};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use wal::{CrashPlan, TempDir, Wal, WalConfig};
+
+const COMMITS_PER_WRITER: usize = 8;
+
+struct Rig {
+    wal: Arc<Wal>,
+    db: Arc<Database>,
+    counters: Arc<obs::WalCounters>,
+    _dir: TempDir,
+}
+
+fn rig(window: Duration) -> Rig {
+    let dir = TempDir::new("bench-wal").unwrap();
+    let mut cfg = WalConfig::new(dir.path());
+    cfg.group_commit_window = window;
+    cfg.crash_plan = CrashPlan::none();
+    let counters = Arc::new(obs::WalCounters::new());
+    let wal = Wal::open(cfg, Arc::clone(&counters)).unwrap();
+    let db = Arc::new(Database::new());
+    db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, true); // strict
+    db.execute_script("CREATE TABLE ev (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL)")
+        .unwrap();
+    Rig {
+        wal,
+        db,
+        counters,
+        _dir: dir,
+    }
+}
+
+/// One measured round: `writers` threads each run COMMITS_PER_WRITER
+/// strict autocommit inserts.
+fn round(db: &Arc<Database>, writers: usize) {
+    if writers == 1 {
+        for i in 0..COMMITS_PER_WRITER {
+            db.execute(
+                "INSERT INTO ev (v) VALUES (:v)",
+                &Params::new().bind("v", format!("w0-{i}")),
+            )
+            .unwrap();
+        }
+        return;
+    }
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let db = Arc::clone(db);
+            std::thread::spawn(move || {
+                for i in 0..COMMITS_PER_WRITER {
+                    db.execute(
+                        "INSERT INTO ev (v) VALUES (:v)",
+                        &Params::new().bind("v", format!("w{w}-{i}")),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_group_commit");
+    for writers in [1usize, 4, 16] {
+        for window_us in [50u64, 500, 2000] {
+            let window = Duration::from_micros(window_us);
+            let r = rig(window);
+            round(&r.db, writers); // warm the file + plan caches
+            let id = BenchmarkId::new(
+                format!("strict_commits_{writers}w"),
+                format!("window_{window_us}us"),
+            );
+            group.bench_with_input(id, &writers, |b, &writers| {
+                b.iter(|| {
+                    round(&r.db, writers);
+                    black_box(r.wal.durable_lsn())
+                })
+            });
+            // Flush/batch economics, straight from the obs registry.
+            let flushes = r.counters.flushes.get();
+            let records = r.counters.records_appended.get();
+            let bytes = r.counters.bytes_written.get();
+            let mean_batch = r.counters.group_batch_size.mean_us();
+            println!(
+                "    economics {writers:>2} writers, {window_us:>4}us window: \
+                 {records} records / {flushes} flushes \
+                 (mean batch {mean_batch:.2}, {bytes} bytes, \
+                 {:.1} bytes/record)",
+                if records == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / records as f64
+                }
+            );
+            r.wal.stop();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

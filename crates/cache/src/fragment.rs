@@ -219,6 +219,63 @@ mod tests {
         assert_eq!(c.stats().evictions, 1);
     }
 
+    /// Pins how the three removal paths interact and how each is
+    /// accounted: capacity eviction is an `eviction` (never an
+    /// expiration), a TTL lapse discovered by `get` is an `expiration`
+    /// *and* a miss, an expired-but-untouched entry still occupies a slot
+    /// (lazy expiry), and `invalidate_template` counts its removals as
+    /// invalidations only.
+    #[test]
+    fn ttl_expiry_eviction_and_invalidation_stats_compose() {
+        let ms = Duration::from_millis;
+        let c = FragmentCache::new(3, ms(10));
+        let t0 = Instant::now();
+        let ka = FragmentKey::new("t", "a", "");
+        let kb = FragmentKey::new("t", "b", "");
+        let kc = FragmentKey::new("t", "c", "");
+        let kd = FragmentKey::new("u", "d", "");
+        c.put_at(ka.clone(), "A".into(), t0);
+        c.put_at(kb.clone(), "B".into(), t0);
+        c.put_at(kc.clone(), "C".into(), t0 + ms(2));
+        assert!(c.get_at(&kb, t0 + ms(1)).is_some()); // hit #1
+
+        // Capacity eviction: a 4th insert drops the oldest entry (a).
+        c.put_at(kd.clone(), "D".into(), t0 + ms(3));
+        assert_eq!(c.len(), 3);
+        assert!(c.get_at(&ka, t0 + ms(3)).is_none()); // miss #1 — evicted, not expired
+        let s = c.stats();
+        assert_eq!(
+            (s.insertions, s.evictions, s.expirations, s.hits, s.misses),
+            (4, 1, 0, 1, 1)
+        );
+
+        // TTL: b (born t0) lapses at t0+10; d (born t0+3) lives to t0+13.
+        assert!(c.get_at(&kb, t0 + ms(11)).is_none()); // expiration #1 + miss #2
+        assert_eq!(c.len(), 2, "expired entry found by get is removed");
+        assert!(c.get_at(&kd, t0 + ms(11)).is_some()); // hit #2 — each entry ages on its own clock
+        let s = c.stats();
+        assert_eq!((s.expirations, s.misses, s.hits), (1, 2, 2));
+
+        // c lapsed at t0+12 but was never touched: lazy expiry means it
+        // still occupies its slot and no expiration was counted for it.
+        assert_eq!(c.len(), 2);
+        // Template invalidation removes it as an *invalidation* — the
+        // expiration/eviction counters must not move.
+        assert_eq!(c.invalidate_template("t"), 1);
+        let s = c.stats();
+        assert_eq!((s.invalidations, s.evictions, s.expirations), (1, 1, 1));
+        assert_eq!(c.len(), 1); // only d survives
+
+        // The slot freed by invalidation is reusable without eviction.
+        c.put_at(kc.clone(), "C2".into(), t0 + ms(12));
+        assert_eq!(
+            c.get_at(&kc, t0 + ms(13)).as_deref().map(|s| s.as_str()),
+            Some("C2")
+        );
+        let s = c.stats();
+        assert_eq!((s.insertions, s.evictions, s.hits), (5, 1, 3));
+    }
+
     #[test]
     fn distinct_params_are_distinct_fragments() {
         let c = FragmentCache::new(8, Duration::from_secs(60));

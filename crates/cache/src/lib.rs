@@ -18,8 +18,10 @@
 
 pub mod bean;
 pub mod fragment;
+pub mod replica;
 pub mod stats;
 
 pub use bean::{BeanCache, BeanKey};
 pub use fragment::{FragmentCache, FragmentKey};
+pub use replica::LogDrivenInvalidator;
 pub use stats::{CacheStats, StatsSnapshot};

@@ -1,0 +1,153 @@
+//! Log-driven (replica-style) cache invalidation.
+//!
+//! §6's model-driven invalidation is an *in-process* call: the operation
+//! service knows which entities it touched and invalidates the bean cache
+//! directly. That breaks down the moment the deployment scales past one
+//! process — a cache next to replica B never hears about writes applied
+//! on primary A.
+//!
+//! [`LogDrivenInvalidator`] closes that gap by deriving the same
+//! invalidation events from the **durable change stream** instead: it
+//! subscribes to the write-ahead log (`wal::LogObserver`) and invalidates
+//! every entity a committed-and-flushed batch touched. The entity names in
+//! log records are the canonical (lower-case) table names — exactly the
+//! dependency tags unit descriptors attach to cached beans — so one code
+//! path serves both the local and the replica topology.
+//!
+//! Invalidation happens only once a batch is *durable*, never on the
+//! in-memory commit: a cache that dropped entries for changes that a
+//! crash then un-happened would serve beans nobody can rebuild
+//! consistently after recovery.
+
+use crate::bean::BeanCache;
+use obs::Counter;
+use relstore::ChangeRecord;
+use std::sync::Arc;
+
+/// Bridges the durable change stream to [`BeanCache::invalidate_entity`].
+///
+/// Attach with `wal::Wal::attach_observer`. Generic over the bean value
+/// type, like the cache itself.
+pub struct LogDrivenInvalidator<V> {
+    cache: Arc<BeanCache<V>>,
+    /// Durable batches processed.
+    batches: Counter,
+    /// Beans dropped due to log-driven invalidation.
+    beans_invalidated: Counter,
+}
+
+impl<V> LogDrivenInvalidator<V> {
+    pub fn new(cache: Arc<BeanCache<V>>) -> LogDrivenInvalidator<V> {
+        LogDrivenInvalidator {
+            cache,
+            batches: Counter::new(),
+            beans_invalidated: Counter::new(),
+        }
+    }
+
+    /// Durable batches seen so far.
+    pub fn batches_seen(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Beans invalidated via the log stream so far.
+    pub fn beans_invalidated(&self) -> u64 {
+        self.beans_invalidated.get()
+    }
+
+    /// Apply one durable batch: invalidate each distinct entity once.
+    /// Public so recovery paths can replay `RecoveryInfo::tables_touched`
+    /// through the same code.
+    pub fn apply(&self, changes: &[ChangeRecord]) {
+        self.batches.inc();
+        let mut seen: Vec<&str> = Vec::new();
+        for c in changes {
+            if let Some(t) = c.table() {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                    self.beans_invalidated
+                        .add(self.cache.invalidate_entity(t) as u64);
+                }
+            }
+        }
+    }
+}
+
+impl<V: Send + Sync> wal::LogObserver for LogDrivenInvalidator<V> {
+    fn on_durable(&self, _lsn: u64, changes: &[ChangeRecord]) {
+        self.apply(changes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::BeanKey;
+    use relstore::{CommitSink, Database, Params};
+    use std::time::Duration;
+    use wal::{CrashPlan, TempDir, Wal, WalConfig};
+
+    fn seeded_cache() -> Arc<BeanCache<String>> {
+        let cache = Arc::new(BeanCache::new(16));
+        cache.put(
+            BeanKey::new("BookIndex", "-"),
+            "bean:books".to_string(),
+            &["book".to_string()],
+            None,
+        );
+        cache.put(
+            BeanKey::new("AuthorIndex", "-"),
+            "bean:authors".to_string(),
+            &["author".to_string()],
+            None,
+        );
+        cache
+    }
+
+    #[test]
+    fn durable_batches_invalidate_dependent_beans_only() {
+        let cache = seeded_cache();
+        let inv = LogDrivenInvalidator::new(Arc::clone(&cache));
+        inv.apply(&[
+            ChangeRecord::Insert {
+                table: "book".into(),
+                row_id: 0,
+                row: vec![relstore::Value::Integer(1)],
+            },
+            ChangeRecord::Update {
+                table: "book".into(),
+                row_id: 0,
+                row: vec![relstore::Value::Integer(2)],
+            },
+        ]);
+        assert_eq!(inv.batches_seen(), 1);
+        assert_eq!(inv.beans_invalidated(), 1); // one bean, despite 2 changes
+        assert!(cache.get(&BeanKey::new("BookIndex", "-")).is_none());
+        assert!(cache.get(&BeanKey::new("AuthorIndex", "-")).is_some());
+    }
+
+    #[test]
+    fn wal_stream_drives_invalidation_replica_style() {
+        let dir = TempDir::new("replica").unwrap();
+        let mut cfg = WalConfig::new(dir.path());
+        cfg.group_commit_window = Duration::from_secs(3600); // manual flush
+        cfg.crash_plan = CrashPlan::none();
+        let wal = Wal::open(cfg, Arc::new(obs::WalCounters::new())).unwrap();
+        let cache = seeded_cache();
+        let inv = Arc::new(LogDrivenInvalidator::new(Arc::clone(&cache)));
+        wal.attach_observer(Arc::clone(&inv) as Arc<dyn wal::LogObserver>);
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+        db.execute_script("CREATE TABLE book (oid INTEGER PRIMARY KEY AUTOINCREMENT, t TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO book (t) VALUES ('WebML')", &Params::new())
+            .unwrap();
+        // committed but not yet durable → the replica cache is untouched
+        assert!(cache.get(&BeanKey::new("BookIndex", "-")).is_some());
+        wal.flush_and_notify();
+        // durable → the dependent bean is gone, the unrelated one stays
+        assert!(cache.get(&BeanKey::new("BookIndex", "-")).is_none());
+        assert!(cache.get(&BeanKey::new("AuthorIndex", "-")).is_some());
+        wal.stop();
+    }
+}

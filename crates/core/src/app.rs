@@ -6,9 +6,11 @@ use er::{ErModel, RelationalMapping};
 use httpd::{Handler, HttpRequest, HttpResponse, HttpServer, TracedHandler};
 use mvc::{Controller, RuntimeOptions, ServiceRegistry, WebRequest, WebResponse};
 use presentation::DeviceRegistry;
-use relstore::Database;
+use relstore::{CommitSink, Database};
 use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 use webml::HypertextModel;
 
 /// Cookie carrying the session id.
@@ -82,6 +84,69 @@ impl Application {
             db,
             controller,
             obs: registry,
+            wal: None,
+            recovery: None,
+        })
+    }
+
+    /// Deploy with durability: the database is backed by a write-ahead
+    /// log in `durability.dir`. On first boot the generated DDL runs (and
+    /// is logged); on every later boot the schema and data are recovered
+    /// from the snapshot + log tail *before* the commit sink is armed, so
+    /// replay never re-logs itself. Committed transactions append redo
+    /// records to the log; with [`DurabilityConfig::strict_commit`] the
+    /// commit call blocks until its record is fsynced (otherwise the
+    /// group-commit window bounds the loss horizon). When the bean cache
+    /// is enabled, a [`webcache::LogDrivenInvalidator`] subscribes to the
+    /// durable change stream, so cached beans are dropped replica-style —
+    /// only for changes that are actually on disk.
+    pub fn deploy_durable(
+        &self,
+        options: RuntimeOptions,
+        durability: &DurabilityConfig,
+    ) -> Result<Deployment, DeployError> {
+        let registry = obs::MetricsRegistry::new();
+        let generated = self.generate().map_err(DeployError::Generation)?;
+        let mut cfg = wal::WalConfig::new(&durability.dir);
+        cfg.group_commit_window = durability.group_commit_window;
+        let wal =
+            wal::Wal::open(cfg, Arc::clone(&registry.wal)).map_err(DeployError::Durability)?;
+        let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
+        let info = wal.recover_into(&db).map_err(DeployError::Durability)?;
+        // Arm the sink only after replay: recovery must not re-log itself.
+        db.set_commit_sink(
+            Arc::clone(&wal) as Arc<dyn CommitSink>,
+            durability.strict_commit,
+        );
+        if db.table_names().is_empty() {
+            // First boot: the DDL goes through the armed sink and is
+            // therefore itself durable.
+            db.execute_script(&generated.ddl)
+                .map_err(DeployError::Schema)?;
+        }
+        pin_descriptor_plans(&db, &generated.descriptors);
+        let controller = Arc::new(Controller::with_observability(
+            generated.descriptors.clone(),
+            generated.skeletons.clone(),
+            Arc::clone(&db),
+            options,
+            ServiceRegistry::standard(),
+            DeviceRegistry::standard(),
+            Arc::clone(&registry),
+        ));
+        if durability.log_driven_invalidation {
+            if let Some(cache) = controller.bean_cache_arc() {
+                let inv = Arc::new(webcache::LogDrivenInvalidator::new(cache));
+                wal.attach_observer(inv as Arc<dyn wal::LogObserver>);
+            }
+        }
+        Ok(Deployment {
+            generated,
+            db,
+            controller,
+            obs: registry,
+            wal: Some(wal),
+            recovery: Some(info),
         })
     }
 
@@ -104,7 +169,35 @@ impl Application {
             db,
             controller,
             obs,
+            wal: None,
+            recovery: None,
         })
+    }
+}
+
+/// How [`Application::deploy_durable`] persists committed work.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `snapshot.bin`.
+    pub dir: PathBuf,
+    /// Group-commit window: the flusher fsyncs at most this often, so a
+    /// non-strict commit may lose at most one window's worth of work.
+    pub group_commit_window: Duration,
+    /// When `true`, every commit blocks until its log record is fsynced.
+    pub strict_commit: bool,
+    /// Subscribe the controller's bean cache to the durable change
+    /// stream (replica-style invalidation).
+    pub log_driven_invalidation: bool,
+}
+
+impl DurabilityConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            group_commit_window: Duration::from_millis(2),
+            strict_commit: false,
+            log_driven_invalidation: true,
+        }
     }
 }
 
@@ -137,6 +230,7 @@ pub fn pin_descriptor_plans(db: &Database, set: &DescriptorSet) -> usize {
 pub enum DeployError {
     Generation(GenError),
     Schema(relstore::Error),
+    Durability(io::Error),
 }
 
 impl std::fmt::Display for DeployError {
@@ -144,6 +238,7 @@ impl std::fmt::Display for DeployError {
         match self {
             DeployError::Generation(e) => write!(f, "generation failed: {e}"),
             DeployError::Schema(e) => write!(f, "schema deployment failed: {e}"),
+            DeployError::Durability(e) => write!(f, "durability setup failed: {e}"),
         }
     }
 }
@@ -157,6 +252,11 @@ pub struct Deployment {
     pub db: Arc<Database>,
     pub controller: Arc<Controller>,
     pub obs: Arc<obs::MetricsRegistry>,
+    /// The write-ahead log, when deployed via
+    /// [`Application::deploy_durable`].
+    pub wal: Option<Arc<wal::Wal>>,
+    /// What recovery found at boot (durable deployments only).
+    pub recovery: Option<wal::RecoveryInfo>,
 }
 
 impl Deployment {
@@ -268,6 +368,40 @@ mod tests {
             .find_header("set-cookie")
             .is_some_and(|c| c.contains(SESSION_COOKIE)));
         server.stop();
+    }
+
+    #[test]
+    fn durable_deploy_survives_crash_and_recovers() {
+        let dir = wal::TempDir::new("deploy-durable").unwrap();
+        let app = fixtures::bookstore();
+        let mut durability = DurabilityConfig::new(dir.path());
+        durability.strict_commit = true;
+        // First boot: DDL + one row, all logged.
+        {
+            let d = app.deploy(RuntimeOptions::default()).unwrap();
+            assert!(d.wal.is_none()); // plain deploy stays log-free
+        }
+        {
+            let d = app
+                .deploy_durable(RuntimeOptions::default(), &durability)
+                .unwrap();
+            let info = d.recovery.as_ref().unwrap();
+            assert_eq!(info.replayed_records, 0, "fresh dir has nothing to replay");
+            d.db.execute_script("INSERT INTO book (title, price) VALUES ('Durable', 12.0);")
+                .unwrap();
+            d.wal.as_ref().unwrap().simulate_crash(); // everything strict ⇒ already on disk
+        }
+        // Second boot: schema and data come back from the log.
+        let d = app
+            .deploy_durable(RuntimeOptions::default(), &durability)
+            .unwrap();
+        let info = d.recovery.as_ref().unwrap();
+        assert!(info.replayed_records >= 2, "DDL + insert must replay");
+        assert!(info.tables_touched.contains("book"));
+        let home = d.home_url("store").unwrap();
+        let resp = d.handle(&WebRequest::get(&home));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("Durable"));
     }
 
     #[test]

@@ -28,9 +28,10 @@ pub mod synth;
 
 pub use app::{
     adapt_request, adapt_response, pin_descriptor_plans, Application, DeployError, Deployment,
-    SESSION_COOKIE,
+    DurabilityConfig, SESSION_COOKIE,
 };
 pub use synth::{seed_data, synthesize, SynthSpec};
+pub use wal;
 
 // re-export the component crates so downstream users need one dependency
 pub use codegen;

@@ -94,7 +94,6 @@ impl HttpServer {
     fn start_service(port: u16, workers: usize, service: Service) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let running = Arc::new(AtomicBool::new(true));
         let requests_served = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
@@ -123,19 +122,24 @@ impl HttpServer {
             }));
         }
 
+        // Blocking accept: the thread sleeps in the kernel until a client
+        // arrives, instead of polling `accept` on a 2ms timer. `stop()`
+        // wakes it with a throwaway self-connection; the `running` flag
+        // (checked *after* every accept) tells it that connection is a
+        // shutdown signal, not a client.
         let accept_running = Arc::clone(&running);
         let accept_thread = std::thread::spawn(move || {
-            while accept_running.load(Ordering::Relaxed) {
+            loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
+                        if !accept_running.load(Ordering::Acquire) {
+                            break; // the stop() wake-up (or a too-late client)
+                        }
                         if tx.send(stream).is_err() {
                             break;
                         }
                     }
-                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(2));
-                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => break,
                 }
             }
@@ -162,7 +166,12 @@ impl HttpServer {
     }
 
     fn shutdown(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return; // already stopped (stop() followed by Drop)
+        }
+        // Unblock the accept thread: it is parked in the kernel inside
+        // `accept`, so poke it with a self-connection it will discard.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -258,6 +267,23 @@ mod tests {
             "metrics: {text}"
         );
         server.stop();
+    }
+
+    #[test]
+    fn stop_unblocks_the_kernel_parked_accept_promptly() {
+        let server = HttpServer::start(0, 2, echo_handler()).unwrap();
+        let addr = server.addr();
+        // one real request so the pool is demonstrably live
+        assert_eq!(client::get(addr, "/x").unwrap().status, 200);
+        let t0 = std::time::Instant::now();
+        server.stop(); // must not wait for a poll tick or a new client
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(500),
+            "stop() took {:?}; the accept thread did not wake",
+            t0.elapsed()
+        );
+        // the listener is really gone
+        assert!(client::get(addr, "/x").is_err());
     }
 
     #[test]

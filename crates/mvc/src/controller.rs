@@ -230,6 +230,12 @@ impl Controller {
         self.bean_cache.as_deref()
     }
 
+    /// Owning handle to the bean cache, for wiring external invalidation
+    /// sources (e.g. a durable-log observer) to the same cache instance.
+    pub fn bean_cache_arc(&self) -> Option<Arc<BeanCache<UnitBean>>> {
+        self.bean_cache.clone()
+    }
+
     pub fn fragment_cache(&self) -> Option<&FragmentCache> {
         self.fragment_cache.as_ref()
     }

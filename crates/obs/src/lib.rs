@@ -23,5 +23,5 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry};
+pub use metrics::{CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry, WalCounters};
 pub use trace::{RequestContext, Span, SpanToken};

@@ -145,6 +145,31 @@ impl DbCounters {
     }
 }
 
+/// The counter block the durability subsystem (write-ahead log) reports
+/// into: flush economics, log volume, and recovery cost.
+#[derive(Debug, Default)]
+pub struct WalCounters {
+    /// Physical flushes (write + sync of the group-commit buffer).
+    pub flushes: Counter,
+    /// Bytes appended to the log file.
+    pub bytes_written: Counter,
+    /// Commit records appended (one per committed transaction).
+    pub records_appended: Counter,
+    /// Snapshots written.
+    pub snapshots: Counter,
+    /// Committed transactions made durable per flush (group-commit batch
+    /// size, recorded as a histogram so the economics are visible).
+    pub group_batch_size: Histogram,
+    /// Time spent replaying snapshot + log tail at recovery, in µs.
+    pub recovery_micros: Histogram,
+}
+
+impl WalCounters {
+    pub fn new() -> WalCounters {
+        WalCounters::default()
+    }
+}
+
 /// The process-wide registry every tier plugs into.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -160,6 +185,8 @@ pub struct MetricsRegistry {
     pub bean_cache: Arc<CacheCounters>,
     pub fragment_cache: Arc<CacheCounters>,
     pub db: Arc<DbCounters>,
+    /// Durability subsystem (write-ahead log) counters.
+    pub wal: Arc<WalCounters>,
     /// Bytes crossing the app-server marshalling boundary (Fig. 6).
     pub appserver_bytes_marshalled: Counter,
     pub appserver_requests: Counter,
@@ -293,6 +320,42 @@ impl MetricsRegistry {
             "Page computations served by app-server clones",
             self.appserver_requests.get(),
         );
+        counter_into(
+            &mut out,
+            "wal_flushes",
+            "Write-ahead log physical flushes (write + sync)",
+            self.wal.flushes.get(),
+        );
+        counter_into(
+            &mut out,
+            "wal_bytes_written",
+            "Bytes appended to the write-ahead log",
+            self.wal.bytes_written.get(),
+        );
+        counter_into(
+            &mut out,
+            "wal_records_appended",
+            "Commit records appended to the write-ahead log",
+            self.wal.records_appended.get(),
+        );
+        counter_into(
+            &mut out,
+            "wal_snapshots",
+            "Snapshots written by the durability subsystem",
+            self.wal.snapshots.get(),
+        );
+        Self::render_histogram(
+            &mut out,
+            "wal_group_batch_size",
+            "",
+            &self.wal.group_batch_size,
+        );
+        Self::render_histogram(
+            &mut out,
+            "wal_recovery_micros",
+            "",
+            &self.wal.recovery_micros,
+        );
         Self::render_histogram(
             &mut out,
             "webml_request_latency_us",
@@ -401,6 +464,20 @@ mod tests {
         assert!(text.contains("webml_request_latency_us_count 1"));
         assert!(text.contains("webml_unit_service_time_us_count{kind=\"data\"} 1"));
         assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn prometheus_export_includes_wal_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.wal.flushes.inc();
+        reg.wal.bytes_written.add(128);
+        reg.wal.group_batch_size.observe_us(4);
+        reg.wal.recovery_micros.observe_us(900);
+        let text = reg.render_prometheus();
+        assert!(text.contains("wal_flushes 1"));
+        assert!(text.contains("wal_bytes_written 128"));
+        assert!(text.contains("wal_group_batch_size_count 1"));
+        assert!(text.contains("wal_recovery_micros_sum 900"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The thread-safe database facade: statement execution, prepared
 //! statements, and transactions.
 
+use crate::change::{redo_from_undo, ChangeRecord, CommitSink};
 use crate::error::{Error, Result};
 use crate::exec::run_select_counted;
 use crate::expr::Params;
@@ -13,6 +14,14 @@ use obs::DbCounters;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// An installed commit sink plus its durability contract.
+struct CommitHook {
+    sink: Arc<dyn CommitSink>,
+    /// When true, DML calls block until the sink reports the commit
+    /// durable (group commit: the wait happens *outside* the storage lock).
+    strict: bool,
+}
 
 /// An in-memory relational database, safe to share across threads.
 ///
@@ -40,6 +49,9 @@ pub struct Database {
     prepared: Mutex<HashMap<String, Arc<Statement>>>,
     /// Shared observability counters (may be the registry's `db` block).
     counters: Arc<DbCounters>,
+    /// Optional durability hook: receives the redo stream of every committed
+    /// transaction, called while the storage write lock is still held.
+    sink: RwLock<Option<CommitHook>>,
 }
 
 impl Default for Database {
@@ -61,6 +73,70 @@ impl Database {
             pinned: RwLock::new(Arc::new(HashMap::new())),
             prepared: Mutex::new(HashMap::new()),
             counters,
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Install a [`CommitSink`] that receives the redo image of every
+    /// committed transaction (DML) and every schema change (DDL).
+    ///
+    /// With `strict = true`, mutating calls additionally block — *after*
+    /// releasing the storage lock — until the sink reports the commit
+    /// durable; this is the group-commit handshake (many committers wait
+    /// on one flush without serializing on the database lock).
+    pub fn set_commit_sink(&self, sink: Arc<dyn CommitSink>, strict: bool) {
+        *self.sink.write() = Some(CommitHook { sink, strict });
+    }
+
+    /// Remove the installed commit sink, if any.
+    pub fn clear_commit_sink(&self) {
+        *self.sink.write() = None;
+    }
+
+    /// Publish a committed transaction's redo image to the sink (if any),
+    /// deriving it from `undo`. Must be called with the storage write lock
+    /// held so the emitted stream is totally ordered by commit.
+    ///
+    /// Returns `Some(lsn)` when the caller must wait for durability after
+    /// releasing the lock (strict mode).
+    pub(crate) fn emit_locked(
+        &self,
+        storage: &Storage,
+        undo: &[crate::storage::UndoOp],
+    ) -> Option<u64> {
+        if undo.is_empty() {
+            return None;
+        }
+        let guard = self.sink.read();
+        let hook = guard.as_ref()?;
+        let changes = redo_from_undo(storage, undo);
+        if changes.is_empty() {
+            return None;
+        }
+        let lsn = hook.sink.on_commit(changes);
+        hook.strict.then_some(lsn)
+    }
+
+    /// Publish a DDL record to the sink (if any). Caller holds the storage
+    /// write lock (same ordering contract as [`Database::emit_locked`]).
+    pub(crate) fn emit_ddl_locked(&self, sql: String) -> Option<u64> {
+        let guard = self.sink.read();
+        let hook = guard.as_ref()?;
+        let lsn = hook.sink.on_commit(vec![ChangeRecord::Ddl { sql }]);
+        hook.strict.then_some(lsn)
+    }
+
+    /// Complete the strict-mode handshake started by `emit_locked`. Must be
+    /// called *after* the storage lock is released.
+    pub(crate) fn wait_durable_opt(&self, seq: Option<u64>) {
+        if let Some(lsn) = seq {
+            let sink = {
+                let guard = self.sink.read();
+                guard.as_ref().map(|h| Arc::clone(&h.sink))
+            };
+            if let Some(sink) = sink {
+                sink.wait_durable(lsn);
+            }
         }
     }
 
@@ -153,52 +229,95 @@ impl Database {
                 Ok(ExecResult::Rows(rows))
             }
             Statement::Insert(ins) => {
-                let mut storage = self.storage.write();
-                let mut undo: UndoLog = Vec::new();
-                match storage.run_insert(ins, params, &mut undo) {
-                    Ok(n) => Ok(ExecResult::Affected(n)),
-                    Err(e) => {
-                        storage.rollback(undo);
-                        Err(e)
+                let (n, seq) = {
+                    let mut storage = self.storage.write();
+                    let mut undo: UndoLog = Vec::new();
+                    match storage.run_insert(ins, params, &mut undo) {
+                        Ok(n) => {
+                            let seq = self.emit_locked(&storage, &undo);
+                            (n, seq)
+                        }
+                        Err(e) => {
+                            storage.rollback(undo);
+                            return Err(e);
+                        }
                     }
-                }
+                };
+                self.wait_durable_opt(seq);
+                Ok(ExecResult::Affected(n))
             }
             Statement::Update(upd) => {
-                let mut storage = self.storage.write();
-                let mut undo: UndoLog = Vec::new();
-                match storage.run_update(upd, params, &mut undo) {
-                    Ok(n) => Ok(ExecResult::Affected(n)),
-                    Err(e) => {
-                        storage.rollback(undo);
-                        Err(e)
+                let (n, seq) = {
+                    let mut storage = self.storage.write();
+                    let mut undo: UndoLog = Vec::new();
+                    match storage.run_update(upd, params, &mut undo) {
+                        Ok(n) => {
+                            let seq = self.emit_locked(&storage, &undo);
+                            (n, seq)
+                        }
+                        Err(e) => {
+                            storage.rollback(undo);
+                            return Err(e);
+                        }
                     }
-                }
+                };
+                self.wait_durable_opt(seq);
+                Ok(ExecResult::Affected(n))
             }
             Statement::Delete(del) => {
-                let mut storage = self.storage.write();
-                let mut undo: UndoLog = Vec::new();
-                match storage.run_delete(del, params, &mut undo) {
-                    Ok(n) => Ok(ExecResult::Affected(n)),
-                    Err(e) => {
-                        storage.rollback(undo);
-                        Err(e)
+                let (n, seq) = {
+                    let mut storage = self.storage.write();
+                    let mut undo: UndoLog = Vec::new();
+                    match storage.run_delete(del, params, &mut undo) {
+                        Ok(n) => {
+                            let seq = self.emit_locked(&storage, &undo);
+                            (n, seq)
+                        }
+                        Err(e) => {
+                            storage.rollback(undo);
+                            return Err(e);
+                        }
                     }
-                }
+                };
+                self.wait_durable_opt(seq);
+                Ok(ExecResult::Affected(n))
             }
             Statement::CreateTable(schema) => {
-                let mut storage = self.storage.write();
-                storage.create_table(Table::new(schema.clone())?)?;
+                let seq = {
+                    let mut storage = self.storage.write();
+                    storage.create_table(Table::new(schema.clone())?)?;
+                    self.emit_ddl_locked(schema.to_create_sql())
+                };
+                self.wait_durable_opt(seq);
                 Ok(ExecResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
-                let mut storage = self.storage.write();
-                let table = storage.require_table_mut(&ci.table)?;
-                table.create_index(ci.name.clone(), &ci.columns, ci.unique)?;
+                let seq = {
+                    let mut storage = self.storage.write();
+                    let table = storage.require_table_mut(&ci.table)?;
+                    table.create_index(ci.name.clone(), &ci.columns, ci.unique)?;
+                    self.emit_ddl_locked(format!(
+                        "CREATE {}INDEX {} ON {} ({})",
+                        if ci.unique { "UNIQUE " } else { "" },
+                        ci.name,
+                        ci.table,
+                        ci.columns.join(", ")
+                    ))
+                };
+                self.wait_durable_opt(seq);
                 Ok(ExecResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
-                let mut storage = self.storage.write();
-                storage.drop_table(name, *if_exists)?;
+                let seq = {
+                    let mut storage = self.storage.write();
+                    storage.drop_table(name, *if_exists)?;
+                    self.emit_ddl_locked(if *if_exists {
+                        format!("DROP TABLE IF EXISTS {name}")
+                    } else {
+                        format!("DROP TABLE {name}")
+                    })
+                };
+                self.wait_durable_opt(seq);
                 Ok(ExecResult::Affected(0))
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Transaction(
@@ -229,20 +348,28 @@ impl Database {
     /// returns an error. The write lock is held for the duration, giving
     /// serializable isolation.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<T>) -> Result<T> {
-        let mut storage = self.storage.write();
-        let mut tx = Transaction {
-            storage: &mut storage,
-            undo: Vec::new(),
-            db: self,
-        };
-        match f(&mut tx) {
-            Ok(v) => Ok(v),
-            Err(e) => {
-                let undo = std::mem::take(&mut tx.undo);
-                storage.rollback(undo);
-                Err(e)
+        let (r, seq) = {
+            let mut storage = self.storage.write();
+            let mut tx = Transaction {
+                storage: &mut storage,
+                undo: Vec::new(),
+                db: self,
+            };
+            let r = f(&mut tx);
+            let undo = std::mem::take(&mut tx.undo);
+            match r {
+                Ok(v) => {
+                    let seq = self.emit_locked(&storage, &undo);
+                    (Ok(v), seq)
+                }
+                Err(e) => {
+                    storage.rollback(undo);
+                    (Err(e), None)
+                }
             }
-        }
+        };
+        self.wait_durable_opt(seq);
+        r
     }
 
     /// Run `f` with shared access to the storage (used by [`crate::Session`]).
@@ -282,7 +409,108 @@ impl Database {
 
     /// Register a table built programmatically (bypasses SQL).
     pub fn create_table(&self, table: Table) -> Result<()> {
-        self.storage.write().create_table(table)
+        let seq = {
+            let mut storage = self.storage.write();
+            let sql = table.schema.to_create_sql();
+            storage.create_table(table)?;
+            self.emit_ddl_locked(sql)
+        };
+        self.wait_durable_opt(seq);
+        Ok(())
+    }
+
+    /// Apply one committed [`ChangeRecord`] *physically* — rows land in the
+    /// exact slot the record names. Used by recovery / replica replay; never
+    /// emits to the commit sink and is idempotent (re-applying a record
+    /// converges to the same state, which makes fuzzy snapshots safe).
+    pub fn apply_change(&self, rec: &ChangeRecord) -> Result<()> {
+        match rec {
+            ChangeRecord::Insert { table, row_id, row }
+            | ChangeRecord::Update { table, row_id, row } => {
+                let mut storage = self.storage.write();
+                let t = storage.require_table_mut(table)?;
+                t.insert_at(*row_id, row.clone())
+            }
+            ChangeRecord::Delete { table, row_id } => {
+                let mut storage = self.storage.write();
+                let t = storage.require_table_mut(table)?;
+                let _ = t.delete(*row_id); // already-gone is fine (idempotence)
+                Ok(())
+            }
+            ChangeRecord::Ddl { sql } => match self.replay_ddl(sql) {
+                Ok(()) => Ok(()),
+                // Replaying DDL over a snapshot that already contains the
+                // object (or no longer contains it) must converge, not fail.
+                Err(Error::DuplicateTable(_))
+                | Err(Error::DuplicateIndex(_))
+                | Err(Error::UnknownTable(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// Re-execute recorded DDL without emitting it again.
+    fn replay_ddl(&self, sql: &str) -> Result<()> {
+        let stmt = parse_statement(sql)?;
+        let mut storage = self.storage.write();
+        match &stmt {
+            Statement::CreateTable(schema) => {
+                storage.create_table(Table::new(schema.clone())?)?;
+            }
+            Statement::CreateIndex(ci) => {
+                let table = storage.require_table_mut(&ci.table)?;
+                table.create_index(ci.name.clone(), &ci.columns, ci.unique)?;
+            }
+            Statement::DropTable { name, if_exists } => {
+                storage.drop_table(name, *if_exists)?;
+            }
+            _ => {
+                return Err(Error::Unsupported(
+                    "only DDL can be replayed from a change record".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Clone every table under the storage **write** lock, invoking `mark`
+    /// while the lock is held. A snapshotter passes a closure that reads the
+    /// log's current append position, which pins the exact (tables, lsn)
+    /// pair a fuzzy snapshot needs to be consistent.
+    pub fn freeze_tables<T>(
+        &self,
+        mark: impl FnOnce() -> T,
+    ) -> (std::collections::BTreeMap<String, Table>, T) {
+        let storage = self.storage.write();
+        let tables = storage.tables.clone();
+        let m = mark();
+        (tables, m)
+    }
+
+    /// Force a table's auto-increment counter to at least `v` (snapshot
+    /// restore).
+    pub fn set_auto_counter(&self, table: &str, v: i64) -> Result<()> {
+        let mut storage = self.storage.write();
+        storage.require_table_mut(table)?.set_next_auto(v);
+        Ok(())
+    }
+
+    /// A physical dump of every table: `(row_id, row)` pairs plus the
+    /// auto-increment high-water mark. Two databases with equal dumps are
+    /// physically identical, which is the equality recovery tests need.
+    pub fn dump(
+        &self,
+    ) -> std::collections::BTreeMap<String, (Vec<(crate::table::RowId, crate::table::Row)>, i64)>
+    {
+        let storage = self.storage.read();
+        storage
+            .tables
+            .iter()
+            .map(|(name, t)| {
+                let rows: Vec<_> = t.iter().map(|(id, r)| (id, r.clone())).collect();
+                (name.clone(), (rows, t.peek_auto()))
+            })
+            .collect()
     }
 }
 

@@ -38,6 +38,7 @@
 //! assert_eq!(rs.first("title"), Some(&Value::Text("TODS 27".into())));
 //! ```
 
+pub mod change;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -50,6 +51,7 @@ pub mod storage;
 pub mod table;
 pub mod value;
 
+pub use change::{redo_from_undo, ChangeRecord, CommitSink};
 pub use db::{Database, Transaction};
 pub use error::{Error, Result};
 pub use expr::Params;

@@ -46,9 +46,19 @@ impl Session {
                 Ok(ExecResult::Affected(0))
             }
             Statement::Commit => {
-                if self.undo.take().is_none() {
+                let Some(undo) = self.undo.take() else {
                     return Err(Error::Transaction("no open transaction".into()));
-                }
+                };
+                // Publish the redo image at COMMIT time, under the storage
+                // write lock, so the durable stream orders by commit point.
+                // (Session isolation is read-committed; concurrent writers
+                // that touched the same rows were already ordered before us
+                // by their own emission, and the redo derivation reads the
+                // *current* values, which are the committed ones.)
+                let seq = self
+                    .db
+                    .with_storage_mut(|storage| self.db.emit_locked(storage, &undo));
+                self.db.wait_durable_opt(seq);
                 Ok(ExecResult::Affected(0))
             }
             Statement::Rollback => match self.undo.take() {

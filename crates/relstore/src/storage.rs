@@ -19,8 +19,12 @@ pub struct Storage {
 pub enum UndoOp {
     /// A row was inserted: undo by deleting it.
     Inserted { table: String, row_id: RowId },
-    /// A row was deleted: undo by re-inserting its values.
-    Deleted { table: String, row: Row },
+    /// A row was deleted: undo by re-inserting its values at its old slot.
+    Deleted {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
     /// A row was updated in place: undo by restoring the old values.
     Updated {
         table: String,
@@ -424,6 +428,7 @@ impl Storage {
         if let Some(old) = t.delete(id) {
             undo.push(UndoOp::Deleted {
                 table: table_name.to_ascii_lowercase(),
+                row_id: id,
                 row: old,
             });
             count += 1;
@@ -440,12 +445,14 @@ impl Storage {
                         t.delete(row_id);
                     }
                 }
-                UndoOp::Deleted { table, row } => {
+                UndoOp::Deleted { table, row_id, row } => {
                     if let Some(t) = self.tables.get_mut(&table) {
-                        // values are concrete; re-insert cannot fail unless
-                        // the schema changed mid-transaction, which DDL in
+                        // restore the row at its *original* slot so that
+                        // later undo ops (and redo derivation) keep seeing
+                        // stable row ids; cannot fail unless the schema
+                        // changed mid-transaction, which DDL in
                         // transactions is not allowed to do
-                        let _ = t.insert(row);
+                        let _ = t.insert_at(row_id, row);
                     }
                 }
                 UndoOp::Updated { table, row_id, old } => {

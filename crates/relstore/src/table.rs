@@ -272,6 +272,65 @@ impl Table {
         Ok(id)
     }
 
+    /// Physically place `row` at slot `id`, maintaining every index.
+    ///
+    /// This is the recovery/undo path: the row carries values that were
+    /// already validated when it was first written, so constraints are
+    /// **not** re-checked, defaults are not applied, and the slot is taken
+    /// verbatim (overwriting any row already there — which makes log
+    /// replay idempotent). The auto-increment counter is bumped past any
+    /// explicit key values, like [`Table::insert`] does.
+    pub fn insert_at(&mut self, id: RowId, row: Row) -> Result<()> {
+        if row.len() != self.schema.columns.len() {
+            return Err(Error::Parameter(format!(
+                "row arity {} != {} columns of {}",
+                row.len(),
+                self.schema.columns.len(),
+                self.schema.name
+            )));
+        }
+        if self.slots.len() <= id {
+            self.slots.resize(id + 1, None);
+        }
+        if self.slots[id].is_some() {
+            // drop the previous occupant from all indexes first
+            self.delete(id);
+        }
+        // the slot is now vacant; make sure it is not also on the free list
+        self.free.retain(|&f| f != id);
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if col.auto_increment {
+                if let Value::Integer(v) = row[i] {
+                    if v >= self.next_auto {
+                        self.next_auto = v + 1;
+                    }
+                }
+            }
+        }
+        self.slots[id] = Some(row);
+        let row_ref = self.slots[id].as_ref().unwrap();
+        if let Some(key) = self.pk_key(row_ref) {
+            self.pk_index.as_mut().unwrap().insert(key, id);
+        }
+        let keys: Vec<Vec<Value>> = self
+            .indexes
+            .iter()
+            .map(|ix| ix.key_of(self.slots[id].as_ref().unwrap()))
+            .collect();
+        for (ix, key) in self.indexes.iter_mut().zip(keys) {
+            ix.map.entry(key).or_default().push(id);
+        }
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Force the auto-increment counter (snapshot restore); never lowers it.
+    pub fn set_next_auto(&mut self, v: i64) {
+        if v > self.next_auto {
+            self.next_auto = v;
+        }
+    }
+
     /// Remove a row by id, returning it (for the undo log).
     pub fn delete(&mut self, id: RowId) -> Option<Row> {
         let row = self.slots.get_mut(id)?.take()?;
@@ -478,6 +537,46 @@ mod tests {
             .update(b, vec![Value::Integer(1), "b".into(), Value::Null])
             .unwrap_err();
         assert!(matches!(err, Error::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn insert_at_places_row_and_maintains_indexes() {
+        let mut t = table();
+        t.create_index("ix_name", &["name".into()], false).unwrap();
+        // place a row physically at slot 5, leaving holes
+        t.insert_at(5, vec![Value::Integer(9), "p".into(), Value::Integer(1)])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_by_pk(&[Value::Integer(9)]).unwrap().0, 5);
+        let ix = t.find_index_on(&[1]).unwrap();
+        assert_eq!(ix.lookup(&[Value::Text("p".into())]), &[5]);
+        // auto counter is bumped past the explicit key
+        let id = t.insert(row("next")).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Integer(10));
+        // re-applying the same physical insert is idempotent
+        t.insert_at(5, vec![Value::Integer(9), "p".into(), Value::Integer(1)])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(ix_len(&t), 2);
+    }
+
+    fn ix_len(t: &Table) -> usize {
+        let ix = t.find_index_on(&[1]).unwrap();
+        ix.lookup(&[Value::Text("p".into())]).len() + ix.lookup(&[Value::Text("next".into())]).len()
+    }
+
+    #[test]
+    fn insert_at_reclaims_freed_slot() {
+        let mut t = table();
+        let a = t.insert(row("a")).unwrap();
+        t.delete(a).unwrap();
+        // restore physically (the rollback path)
+        t.insert_at(a, vec![Value::Integer(1), "a".into(), Value::Integer(0)])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        // the slot is no longer on the free list: a new insert appends
+        let b = t.insert(row("b")).unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

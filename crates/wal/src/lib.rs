@@ -1,0 +1,521 @@
+//! # wal — the durability spine of the WebML/WebRatio reproduction
+//!
+//! The paper's runtime treats the relational store as an always-on data
+//! source; this crate supplies the missing durability layer underneath it:
+//!
+//! * an **append-only, checksummed write-ahead log** of committed
+//!   transactions (see [`record`] for the binary framing), fed by
+//!   `relstore`'s commit hook ([`Wal`] implements
+//!   [`relstore::CommitSink`]);
+//! * **group commit**: committers append under a short lock and a flusher
+//!   thread syncs once per window, so many HTTP workers share each fsync
+//!   ([`log::LogWriter`]);
+//! * **snapshots** + **recovery**: [`Wal::snapshot`] writes a fuzzy-safe
+//!   image and compacts the log; [`Wal::recover_into`] rebuilds a fresh
+//!   [`relstore::Database`] from snapshot + log tail;
+//! * **deterministic fault injection** ([`fault`]): crash points
+//!   before/mid/after flush plus torn-tail and checksum corruption, so the
+//!   recovery invariant — *the recovered state is always a committed
+//!   prefix* — is provable by property test;
+//! * a **durable change stream** for replicas: [`LogObserver`]s receive
+//!   every batch *after* it is durable, which is how the bean cache's
+//!   log-driven invalidation is fed (`webcache::LogDrivenInvalidator`).
+//!
+//! Flush economics (flush count, batch-size histogram, bytes, recovery
+//! time) are reported through [`obs::WalCounters`] and exported at
+//! `/metrics`.
+
+pub mod fault;
+pub mod log;
+pub mod record;
+pub mod snapshot;
+
+pub use fault::{CrashPlan, CrashPoint, TempDir};
+pub use record::{scan_log, LogScan, ScanOutcome};
+pub use snapshot::SnapshotData;
+
+use crate::log::LogWriter;
+use obs::WalCounters;
+use parking_lot::RwLock;
+use relstore::{ChangeRecord, CommitSink, Database};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one durable log directory.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding `wal.log` and `wal.snap` (created if missing).
+    pub dir: PathBuf,
+    /// Group-commit window: how long the flusher sleeps between syncs.
+    /// Larger windows amortize fsyncs across more committers at the cost
+    /// of strict-commit latency.
+    pub group_commit_window: Duration,
+    /// Flush inline (without waiting for the window) once the buffer
+    /// holds this many bytes.
+    pub flush_watermark_bytes: usize,
+    /// Deterministic crash injection (tests only; [`CrashPlan::none`] in
+    /// production).
+    pub crash_plan: CrashPlan,
+}
+
+impl WalConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            group_commit_window: Duration::from_millis(2),
+            flush_watermark_bytes: 1 << 20,
+            crash_plan: CrashPlan::none(),
+        }
+    }
+}
+
+/// Subscriber to the durable change stream. Called *after* a batch is
+/// written + synced, outside all locks — exactly the stream a replica (or
+/// the bean cache's log-driven invalidator) needs, because it never shows
+/// a change that could still be lost.
+pub trait LogObserver: Send + Sync {
+    fn on_durable(&self, lsn: u64, changes: &[ChangeRecord]);
+}
+
+/// What recovery found and did.
+#[derive(Debug)]
+pub struct RecoveryInfo {
+    /// LSN covered by the snapshot (0 when none was loaded).
+    pub snapshot_lsn: u64,
+    /// Log records replayed on top of the snapshot.
+    pub replayed_records: usize,
+    /// Highest LSN in the recovered state.
+    pub last_lsn: u64,
+    /// Entities (canonical table names) touched by replayed records —
+    /// callers invalidate these in their caches.
+    pub tables_touched: BTreeSet<String>,
+    /// How the log scan ended (`TornTail`/`Corrupt` tails were truncated
+    /// away at open).
+    pub log_outcome: ScanOutcome,
+}
+
+/// The durability subsystem: log writer + snapshotter + recovery, exposed
+/// to the engine as a [`CommitSink`] and to replicas as a stream of
+/// [`LogObserver`] callbacks.
+pub struct Wal {
+    writer: Arc<LogWriter>,
+    observers: Arc<RwLock<Vec<Arc<dyn LogObserver>>>>,
+    counters: Arc<WalCounters>,
+    snap_path: PathBuf,
+    /// Outcome of the open-time log scan (before repair truncation).
+    open_outcome: ScanOutcome,
+    flusher: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Wal {
+    /// Open (or create) the log directory: scan the log, truncate any torn
+    /// or corrupt tail, position the writer after the last good record,
+    /// and start the group-commit flusher thread.
+    pub fn open(config: WalConfig, counters: Arc<WalCounters>) -> io::Result<Arc<Wal>> {
+        std::fs::create_dir_all(&config.dir)?;
+        let log_path = config.dir.join("wal.log");
+        let snap_path = config.dir.join("wal.snap");
+
+        // scan + repair: keep only the checksummed good prefix
+        let (start_lsn, open_outcome) = match std::fs::read(&log_path) {
+            Ok(bytes) => {
+                let scan = scan_log(&bytes);
+                match scan.outcome {
+                    ScanOutcome::BadHeader if bytes.is_empty() => {
+                        // treat as a fresh log; LogWriter writes the header
+                        let _ = std::fs::remove_file(&log_path);
+                    }
+                    ScanOutcome::BadHeader => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "wal.log exists but has no valid header",
+                        ));
+                    }
+                    ScanOutcome::TornTail { .. } | ScanOutcome::Corrupt { .. } => {
+                        fault::truncate_file(&log_path, scan.good_len as u64)?;
+                    }
+                    ScanOutcome::Clean => {}
+                }
+                let last = scan.records.last().map(|(l, _)| *l).unwrap_or(0);
+                (last, scan.outcome)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (0, ScanOutcome::Clean),
+            Err(e) => return Err(e),
+        };
+        let snap_lsn = snapshot::load_snapshot(&snap_path)?
+            .map(|s| s.last_lsn)
+            .unwrap_or(0);
+
+        let writer = LogWriter::open(
+            &log_path,
+            start_lsn.max(snap_lsn),
+            config.group_commit_window,
+            config.flush_watermark_bytes,
+            config.crash_plan,
+            Arc::clone(&counters),
+        )?;
+
+        let observers: Arc<RwLock<Vec<Arc<dyn LogObserver>>>> = Arc::new(RwLock::new(Vec::new()));
+
+        // group-commit flusher: syncs the buffer every window and feeds
+        // durable batches to observers (outside the writer lock)
+        let flusher = {
+            let writer = Arc::clone(&writer);
+            let observers = Arc::clone(&observers);
+            std::thread::Builder::new()
+                .name("wal-flusher".into())
+                .spawn(move || loop {
+                    // parks up to one window; wakes early on stop()
+                    let keep_going = writer.park_flusher();
+                    let batch = writer.flush_now();
+                    if !batch.is_empty() {
+                        let obs = observers.read().clone();
+                        for (lsn, changes) in &batch {
+                            for o in &obs {
+                                o.on_durable(*lsn, changes);
+                            }
+                        }
+                    }
+                    if !keep_going {
+                        return;
+                    }
+                })?
+        };
+
+        Ok(Arc::new(Wal {
+            writer,
+            observers,
+            counters,
+            snap_path,
+            open_outcome,
+            flusher: parking_lot::Mutex::new(Some(flusher)),
+        }))
+    }
+
+    /// Subscribe to the durable change stream.
+    pub fn attach_observer(&self, o: Arc<dyn LogObserver>) {
+        self.observers.write().push(o);
+    }
+
+    /// Rebuild `db` (which must be fresh/empty) from snapshot + log tail.
+    /// Call *before* installing this `Wal` as the database's commit sink,
+    /// so replay is not re-logged.
+    pub fn recover_into(&self, db: &Database) -> io::Result<RecoveryInfo> {
+        let started = Instant::now();
+        let snap = snapshot::load_snapshot(&self.snap_path)?;
+        let snapshot_lsn = match &snap {
+            Some(s) => {
+                s.restore_into(db)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                s.last_lsn
+            }
+            None => 0,
+        };
+        let bytes = std::fs::read(self.writer.path())?;
+        let scan = scan_log(&bytes);
+        let mut replayed = 0usize;
+        let mut tables_touched = BTreeSet::new();
+        let mut last_lsn = snapshot_lsn;
+        for (lsn, changes) in &scan.records {
+            if *lsn <= snapshot_lsn {
+                continue;
+            }
+            for c in changes {
+                db.apply_change(c)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if let Some(t) = c.table() {
+                    tables_touched.insert(t.to_string());
+                }
+            }
+            replayed += 1;
+            last_lsn = (*lsn).max(last_lsn);
+        }
+        self.counters
+            .recovery_micros
+            .observe_us(started.elapsed().as_micros() as u64);
+        Ok(RecoveryInfo {
+            snapshot_lsn,
+            replayed_records: replayed,
+            last_lsn,
+            tables_touched,
+            log_outcome: self.open_outcome.clone(),
+        })
+    }
+
+    /// Write a snapshot of `db` and compact the log to the records beyond
+    /// it. Fuzzy-safe: the `(tables, lsn)` pair is pinned under the
+    /// database write lock, and commits keep flowing the whole time.
+    /// Returns the snapshot's covering LSN.
+    pub fn snapshot(&self, db: &Database) -> io::Result<u64> {
+        // make sure everything already committed is on disk first, so the
+        // snapshot never covers records the log does not have
+        self.flush_and_notify();
+        let (tables, lsn) = db.freeze_tables(|| self.writer.appended_lsn());
+        let snap = SnapshotData::from_frozen(&tables, lsn);
+        let bytes = snapshot::write_snapshot(&self.snap_path, &snap)?;
+        self.counters.snapshots.inc();
+        self.counters.bytes_written.add(bytes);
+        // anything <= lsn is covered by the snapshot; drop it from the log
+        self.writer.compact_through(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Synchronously flush the group-commit buffer and dispatch observer
+    /// callbacks for the batches made durable.
+    pub fn flush_and_notify(&self) {
+        let batch = self.writer.flush_now();
+        if !batch.is_empty() {
+            let obs = self.observers.read().clone();
+            for (lsn, changes) in &batch {
+                for o in &obs {
+                    o.on_durable(*lsn, changes);
+                }
+            }
+        }
+    }
+
+    /// Simulate power loss *now*: the unflushed buffer is dropped and the
+    /// writer stops touching the file. Recovery from the on-disk bytes is
+    /// exactly what a real crash would see.
+    pub fn simulate_crash(&self) {
+        self.writer.simulate_crash();
+    }
+
+    /// Did a (simulated) crash occur?
+    pub fn crashed(&self) -> bool {
+        self.writer.crashed()
+    }
+
+    /// Highest LSN appended (not necessarily durable).
+    pub fn appended_lsn(&self) -> u64 {
+        self.writer.appended_lsn()
+    }
+
+    /// Highest LSN written + synced.
+    pub fn durable_lsn(&self) -> u64 {
+        self.writer.durable_lsn()
+    }
+
+    /// Number of non-empty physical flushes so far.
+    pub fn flush_count(&self) -> u64 {
+        self.writer.flush_ordinal()
+    }
+
+    /// The counters this subsystem reports into.
+    pub fn counters(&self) -> &Arc<WalCounters> {
+        &self.counters
+    }
+
+    /// Path of the log file (tests damage it deliberately).
+    pub fn log_path(&self) -> &std::path::Path {
+        self.writer.path()
+    }
+
+    /// Stop the flusher thread after a final flush. Called automatically
+    /// on drop.
+    pub fn stop(&self) {
+        self.writer.stop();
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl CommitSink for Wal {
+    fn on_commit(&self, changes: Vec<ChangeRecord>) -> u64 {
+        self.writer.append(changes)
+    }
+
+    fn wait_durable(&self, lsn: u64) {
+        self.writer.wait_durable(lsn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Params;
+
+    fn config(dir: &TempDir) -> WalConfig {
+        let mut c = WalConfig::new(dir.path());
+        c.group_commit_window = Duration::from_millis(1);
+        c
+    }
+
+    fn open(dir: &TempDir) -> Arc<Wal> {
+        Wal::open(config(dir), Arc::new(WalCounters::new())).unwrap()
+    }
+
+    fn durable_db(wal: &Arc<Wal>) -> Database {
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(wal) as Arc<dyn CommitSink>, true);
+        db
+    }
+
+    #[test]
+    fn commit_recover_round_trip() {
+        let dir = TempDir::new("wal-rt").unwrap();
+        let before = {
+            let wal = open(&dir);
+            let db = durable_db(&wal);
+            db.execute_script(
+                "CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL)",
+            )
+            .unwrap();
+            db.execute("INSERT INTO t (v) VALUES ('a'), ('b')", &Params::new())
+                .unwrap();
+            db.execute("UPDATE t SET v = 'B' WHERE oid = 2", &Params::new())
+                .unwrap();
+            db.execute("DELETE FROM t WHERE oid = 1", &Params::new())
+                .unwrap();
+            wal.stop();
+            db.dump()
+        };
+        // "restart": reopen the directory, recover into a fresh database
+        let wal = open(&dir);
+        let db = Database::new();
+        let info = wal.recover_into(&db).unwrap();
+        assert_eq!(db.dump(), before);
+        assert_eq!(info.snapshot_lsn, 0);
+        assert!(info.replayed_records >= 4);
+        assert!(info.tables_touched.contains("t"));
+        assert_eq!(info.log_outcome, ScanOutcome::Clean);
+        assert!(wal.counters().recovery_micros.count() >= 1);
+    }
+
+    #[test]
+    fn snapshot_compacts_log_and_recovery_uses_tail() {
+        let dir = TempDir::new("wal-snap").unwrap();
+        let before = {
+            let wal = open(&dir);
+            let db = durable_db(&wal);
+            db.execute_script(
+                "CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL)",
+            )
+            .unwrap();
+            for i in 0..10 {
+                db.execute(
+                    "INSERT INTO t (v) VALUES (:v)",
+                    &Params::new().bind("v", format!("v{i}")),
+                )
+                .unwrap();
+            }
+            let snap_lsn = wal.snapshot(&db).unwrap();
+            assert!(snap_lsn >= 11);
+            // post-snapshot traffic lands in the compacted log
+            db.execute("INSERT INTO t (v) VALUES ('tail')", &Params::new())
+                .unwrap();
+            wal.stop();
+            // the log now holds only the tail record(s)
+            let scan = scan_log(&std::fs::read(wal.log_path()).unwrap());
+            assert!(
+                scan.records.len() <= 2,
+                "log not compacted: {}",
+                scan.records.len()
+            );
+            db.dump()
+        };
+        let wal = open(&dir);
+        let db = Database::new();
+        let info = wal.recover_into(&db).unwrap();
+        assert!(info.snapshot_lsn >= 11);
+        assert!(info.replayed_records >= 1);
+        assert_eq!(db.dump(), before);
+    }
+
+    #[test]
+    fn observers_see_only_durable_batches() {
+        use parking_lot::Mutex;
+        #[derive(Default)]
+        struct Seen(Mutex<Vec<(u64, usize)>>);
+        impl LogObserver for Seen {
+            fn on_durable(&self, lsn: u64, changes: &[ChangeRecord]) {
+                self.0.lock().push((lsn, changes.len()));
+            }
+        }
+        let dir = TempDir::new("wal-obs").unwrap();
+        let mut cfg = config(&dir);
+        cfg.group_commit_window = Duration::from_secs(3600); // manual flushes only
+        let wal = Wal::open(cfg, Arc::new(WalCounters::new())).unwrap();
+        let seen = Arc::new(Seen::default());
+        wal.attach_observer(Arc::clone(&seen) as Arc<dyn LogObserver>);
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+        db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t (v) VALUES ('x')", &Params::new())
+            .unwrap();
+        // nothing durable yet → nothing observed
+        assert!(seen.0.lock().is_empty());
+        wal.flush_and_notify();
+        let events = seen.0.lock().clone();
+        assert_eq!(events.len(), 2); // DDL + insert, in commit order
+        assert_eq!(events[0].0, 1);
+        assert_eq!(events[1].0, 2);
+        wal.stop();
+    }
+
+    #[test]
+    fn simulated_crash_drops_unflushed_commits() {
+        let dir = TempDir::new("wal-crash").unwrap();
+        let mut cfg = config(&dir);
+        cfg.group_commit_window = Duration::from_secs(3600);
+        let wal = Wal::open(cfg, Arc::new(WalCounters::new())).unwrap();
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+        db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t (v) VALUES ('durable')", &Params::new())
+            .unwrap();
+        wal.flush_and_notify();
+        db.execute("INSERT INTO t (v) VALUES ('lost')", &Params::new())
+            .unwrap();
+        wal.simulate_crash(); // before the second flush
+        wal.stop();
+        let wal = open(&dir);
+        let db2 = Database::new();
+        wal.recover_into(&db2).unwrap();
+        assert_eq!(db2.table_len("t").unwrap(), 1);
+        let rs = db2.query("SELECT v FROM t", &Params::new()).unwrap();
+        assert_eq!(
+            rs.first("v"),
+            Some(&relstore::Value::Text("durable".into()))
+        );
+    }
+
+    #[test]
+    fn reopen_continues_lsns_after_recovery() {
+        let dir = TempDir::new("wal-lsn").unwrap();
+        {
+            let wal = open(&dir);
+            let db = durable_db(&wal);
+            db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+                .unwrap();
+            db.execute("INSERT INTO t (v) VALUES ('one')", &Params::new())
+                .unwrap();
+            wal.stop();
+        }
+        let wal = open(&dir);
+        let db = Database::new();
+        let info = wal.recover_into(&db).unwrap();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, true);
+        db.execute("INSERT INTO t (v) VALUES ('two')", &Params::new())
+            .unwrap();
+        assert!(wal.appended_lsn() > info.last_lsn);
+        wal.stop();
+        // final state survives another round trip
+        let wal = open(&dir);
+        let db2 = Database::new();
+        wal.recover_into(&db2).unwrap();
+        assert_eq!(db2.table_len("t").unwrap(), 2);
+    }
+}

@@ -1,0 +1,494 @@
+//! The group-commit log writer.
+//!
+//! Committers append encoded redo records to an in-memory buffer under a
+//! short mutex hold (this happens inside `Database`'s storage lock, so it
+//! must stay cheap) and receive an LSN. A background flusher wakes every
+//! `window` and writes + syncs the whole buffer in one physical flush;
+//! strict-mode committers block in [`LogWriter::wait_durable`] on a condvar
+//! until their LSN is covered. Many committers therefore share one sync —
+//! the classic group-commit amortization — and the batch size per flush is
+//! recorded in `obs::WalCounters::group_batch_size`.
+//!
+//! Crash points from [`crate::fault::CrashPlan`] trip inside the flush path
+//! (see [`CrashPoint`]): the writer marks itself crashed, stops touching
+//! the file, and wakes all waiters, simulating power loss at that exact
+//! instant without killing the test process.
+
+use crate::fault::{CrashPlan, CrashPoint};
+use crate::record::{append_record, LOG_MAGIC};
+use obs::WalCounters;
+use relstore::ChangeRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One flushed batch, as handed to observers: `(lsn, changes)` per
+/// committed transaction, in commit order.
+pub type DurableBatch = Vec<(u64, Arc<Vec<ChangeRecord>>)>;
+
+struct WriterState {
+    file: Option<File>,
+    /// Encoded records not yet flushed.
+    buf: Vec<u8>,
+    /// Offset in `buf` where the most recently appended record starts
+    /// (the record a `MidRecord` crash tears).
+    last_record_start: usize,
+    /// Decoded copies of buffered records, for observer dispatch.
+    pending: Vec<(u64, Arc<Vec<ChangeRecord>>)>,
+    next_lsn: u64,
+    /// Highest LSN appended to the buffer (≥ durable_lsn).
+    appended_lsn: u64,
+    /// Highest LSN written + synced to the file.
+    durable_lsn: u64,
+    /// Count of non-empty physical flushes so far (crash plans index this).
+    flush_ordinal: u64,
+    crash_plan: CrashPlan,
+    crashed: bool,
+    stopping: bool,
+}
+
+/// Append-only log file with group commit and simulated crash points.
+pub struct LogWriter {
+    state: Mutex<WriterState>,
+    cond: Condvar,
+    path: PathBuf,
+    counters: Arc<WalCounters>,
+    window: Duration,
+    watermark: usize,
+}
+
+impl LogWriter {
+    /// Open (creating or repairing as needed is the caller's job — the file
+    /// must exist and start with a valid header) and position after
+    /// `start_lsn`.
+    pub fn open(
+        path: &Path,
+        start_lsn: u64,
+        window: Duration,
+        watermark: usize,
+        crash_plan: CrashPlan,
+        counters: Arc<WalCounters>,
+    ) -> io::Result<Arc<LogWriter>> {
+        if !path.exists() {
+            let mut f = File::create(path)?;
+            f.write_all(LOG_MAGIC)?;
+            f.sync_all()?;
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Arc::new(LogWriter {
+            state: Mutex::new(WriterState {
+                file: Some(file),
+                buf: Vec::new(),
+                last_record_start: 0,
+                pending: Vec::new(),
+                next_lsn: start_lsn + 1,
+                appended_lsn: start_lsn,
+                durable_lsn: start_lsn,
+                flush_ordinal: 0,
+                crash_plan,
+                crashed: false,
+                stopping: false,
+            }),
+            cond: Condvar::new(),
+            path: path.to_path_buf(),
+            counters,
+            window,
+            watermark,
+        }))
+    }
+
+    /// Append one committed transaction's redo image; returns its LSN.
+    /// Cheap (no I/O) — called with the database storage lock held.
+    pub fn append(&self, changes: Vec<ChangeRecord>) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        let lsn = s.next_lsn;
+        s.next_lsn += 1;
+        s.appended_lsn = lsn;
+        if s.crashed {
+            // the "machine" is down: accept and drop, like writes after
+            // power loss
+            return lsn;
+        }
+        s.last_record_start = s.buf.len();
+        let mut buf = std::mem::take(&mut s.buf);
+        append_record(&mut buf, lsn, &changes);
+        s.buf = buf;
+        s.pending.push((lsn, Arc::new(changes)));
+        self.counters.records_appended.inc();
+        if s.buf.len() >= self.watermark {
+            let _ = self.flush_locked(&mut s);
+        }
+        lsn
+    }
+
+    /// Flush the buffer now (called by the flusher thread, the watermark
+    /// path, and snapshotting). Returns the batches made durable, for
+    /// observer dispatch *outside* the lock.
+    pub fn flush_now(&self) -> DurableBatch {
+        let mut s = self.state.lock().unwrap();
+        self.flush_locked(&mut s)
+    }
+
+    fn flush_locked(&self, s: &mut WriterState) -> DurableBatch {
+        if s.crashed || s.buf.is_empty() {
+            return Vec::new();
+        }
+        let ordinal = s.flush_ordinal + 1;
+        match s.crash_plan.trips_at(ordinal) {
+            Some(CrashPoint::BeforeFlush) => {
+                // power dies before any byte reaches the disk
+                self.die(s);
+                return Vec::new();
+            }
+            Some(CrashPoint::MidRecord) => {
+                // a prefix of the batch hits the disk; the final record is
+                // torn halfway through
+                let tail = s.buf.len() - s.last_record_start;
+                let torn = s.last_record_start + (tail / 2).max(1);
+                if let Some(f) = s.file.as_mut() {
+                    let _ = f.write_all(&s.buf[..torn]);
+                    let _ = f.sync_data();
+                }
+                self.die(s);
+                return Vec::new();
+            }
+            Some(CrashPoint::AfterFlush) => {
+                // the batch is fully durable; the machine dies right after
+                if let Some(f) = s.file.as_mut() {
+                    let _ = f.write_all(&s.buf);
+                    let _ = f.sync_data();
+                }
+                self.die(s);
+                return Vec::new();
+            }
+            None => {}
+        }
+        let file = match s.file.as_mut() {
+            Some(f) => f,
+            None => return Vec::new(),
+        };
+        if file
+            .write_all(&s.buf)
+            .and_then(|_| file.sync_data())
+            .is_err()
+        {
+            self.die(s);
+            return Vec::new();
+        }
+        self.counters.flushes.inc();
+        self.counters.bytes_written.add(s.buf.len() as u64);
+        self.counters
+            .group_batch_size
+            .observe_us(s.pending.len() as u64);
+        s.flush_ordinal = ordinal;
+        s.durable_lsn = s.appended_lsn;
+        s.buf.clear();
+        s.last_record_start = 0;
+        let batch = std::mem::take(&mut s.pending);
+        self.cond.notify_all();
+        batch
+    }
+
+    fn die(&self, s: &mut WriterState) {
+        s.crashed = true;
+        s.buf.clear();
+        s.pending.clear();
+        s.file = None;
+        self.cond.notify_all();
+    }
+
+    /// Force the simulated machine down, dropping any unflushed buffer
+    /// (equivalent to a `BeforeFlush` crash right now).
+    pub fn simulate_crash(&self) {
+        let mut s = self.state.lock().unwrap();
+        self.die(&mut s);
+    }
+
+    /// Block until `lsn` is durable — or the writer crashed or is stopping,
+    /// in which case waiting any longer is pointless.
+    pub fn wait_durable(&self, lsn: u64) {
+        let mut s = self.state.lock().unwrap();
+        while s.durable_lsn < lsn && !s.crashed && !s.stopping {
+            let (guard, _timeout) = self
+                .cond
+                .wait_timeout(s, self.window.max(Duration::from_millis(1)))
+                .unwrap();
+            s = guard;
+        }
+    }
+
+    /// Highest LSN handed out (appended, not necessarily durable).
+    pub fn appended_lsn(&self) -> u64 {
+        self.state.lock().unwrap().appended_lsn
+    }
+
+    /// Highest LSN written + synced.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().unwrap().durable_lsn
+    }
+
+    /// Number of non-empty physical flushes so far.
+    pub fn flush_ordinal(&self) -> u64 {
+        self.state.lock().unwrap().flush_ordinal
+    }
+
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Drop every durable record with `lsn <= through` by rewriting the
+    /// file (log compaction after a snapshot). The buffer must have been
+    /// flushed first; records above `through` are preserved byte-exact.
+    pub fn compact_through(&self, through: u64) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Ok(());
+        }
+        let _ = self.flush_locked(&mut s);
+        let bytes = std::fs::read(&self.path)?;
+        let scan = crate::record::scan_log(&bytes);
+        let mut out = LOG_MAGIC.to_vec();
+        for (lsn, changes) in &scan.records {
+            if *lsn > through {
+                append_record(&mut out, *lsn, changes);
+            }
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        s.file = Some(OpenOptions::new().append(true).open(&self.path)?);
+        Ok(())
+    }
+
+    /// Tell the flusher loop (and all waiters) to wind down.
+    pub fn stop(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.stopping = true;
+        let _ = self.flush_locked(&mut s);
+        self.cond.notify_all();
+    }
+
+    pub fn stopping(&self) -> bool {
+        self.state.lock().unwrap().stopping
+    }
+
+    /// Park the flusher thread for up to one group-commit window. Wakes
+    /// early when [`LogWriter::stop`] is called (the condvar doubles as
+    /// the shutdown signal). Returns `false` once stopping.
+    pub fn park_flusher(&self) -> bool {
+        let s = self.state.lock().unwrap();
+        if s.stopping {
+            return false;
+        }
+        let (s, _timeout) = self
+            .cond
+            .wait_timeout(s, self.window.max(Duration::from_millis(1)))
+            .unwrap();
+        !s.stopping
+    }
+
+    /// The group-commit window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::TempDir;
+    use crate::record::{scan_log, ScanOutcome};
+
+    fn changes(n: i64) -> Vec<ChangeRecord> {
+        vec![ChangeRecord::Insert {
+            table: "t".into(),
+            row_id: n as usize,
+            row: vec![relstore::Value::Integer(n)],
+        }]
+    }
+
+    fn writer(dir: &TempDir, plan: CrashPlan) -> Arc<LogWriter> {
+        LogWriter::open(
+            &dir.path().join("wal.log"),
+            0,
+            Duration::from_millis(1),
+            usize::MAX,
+            plan,
+            Arc::new(WalCounters::new()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_flush_scan_round_trip() {
+        let dir = TempDir::new("log-rt").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        assert_eq!(w.append(changes(1)), 1);
+        assert_eq!(w.append(changes(2)), 2);
+        let batch = w.flush_now();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(w.durable_lsn(), 2);
+        assert_eq!(w.flush_ordinal(), 1);
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].0, 2);
+    }
+
+    #[test]
+    fn empty_flush_is_not_counted() {
+        let dir = TempDir::new("log-empty").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        assert!(w.flush_now().is_empty());
+        assert_eq!(w.flush_ordinal(), 0);
+    }
+
+    #[test]
+    fn before_flush_crash_loses_the_batch() {
+        let dir = TempDir::new("log-bf").unwrap();
+        let w = writer(&dir, CrashPlan::at(CrashPoint::BeforeFlush, 2));
+        w.append(changes(1));
+        w.flush_now(); // ordinal 1: survives
+        w.append(changes(2));
+        w.append(changes(3));
+        assert!(w.flush_now().is_empty()); // ordinal 2: dies first
+        assert!(w.crashed());
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn mid_record_crash_tears_only_the_last_record() {
+        let dir = TempDir::new("log-mid").unwrap();
+        let w = writer(&dir, CrashPlan::at(CrashPoint::MidRecord, 1));
+        w.append(changes(1));
+        w.append(changes(2));
+        w.append(changes(3));
+        w.flush_now();
+        assert!(w.crashed());
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert!(matches!(scan.outcome, ScanOutcome::TornTail { .. }));
+        assert_eq!(scan.records.len(), 2); // first two intact, third torn
+    }
+
+    #[test]
+    fn after_flush_crash_keeps_the_batch() {
+        let dir = TempDir::new("log-af").unwrap();
+        let w = writer(&dir, CrashPlan::at(CrashPoint::AfterFlush, 1));
+        w.append(changes(1));
+        w.append(changes(2));
+        w.flush_now();
+        assert!(w.crashed());
+        // appends after the crash are accepted and dropped
+        w.append(changes(3));
+        w.flush_now();
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        assert_eq!(scan.records.len(), 2);
+    }
+
+    #[test]
+    fn watermark_triggers_inline_flush() {
+        let dir = TempDir::new("log-wm").unwrap();
+        let w = LogWriter::open(
+            &dir.path().join("wal.log"),
+            0,
+            Duration::from_secs(3600),
+            1, // any byte triggers a flush
+            CrashPlan::none(),
+            Arc::new(WalCounters::new()),
+        )
+        .unwrap();
+        w.append(changes(1));
+        assert_eq!(w.durable_lsn(), 1);
+        assert_eq!(w.flush_ordinal(), 1);
+    }
+
+    #[test]
+    fn wait_durable_returns_after_crash() {
+        let dir = TempDir::new("log-wait").unwrap();
+        let w = writer(&dir, CrashPlan::at(CrashPoint::BeforeFlush, 1));
+        let lsn = w.append(changes(1));
+        w.flush_now(); // crashes
+        w.wait_durable(lsn); // must not hang
+        assert!(w.crashed());
+    }
+
+    #[test]
+    fn compaction_drops_covered_records_and_keeps_tail() {
+        let dir = TempDir::new("log-compact").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        for i in 1..=4 {
+            w.append(changes(i));
+        }
+        w.flush_now();
+        w.compact_through(2).unwrap();
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        let lsns: Vec<u64> = scan.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![3, 4]);
+        // appending after compaction still works
+        w.append(changes(5));
+        w.flush_now();
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.records.len(), 3);
+    }
+
+    #[test]
+    fn group_commit_across_threads_shares_flushes() {
+        let dir = TempDir::new("log-group").unwrap();
+        let counters = Arc::new(WalCounters::new());
+        let w = LogWriter::open(
+            &dir.path().join("wal.log"),
+            0,
+            Duration::from_millis(2),
+            usize::MAX,
+            CrashPlan::none(),
+            Arc::clone(&counters),
+        )
+        .unwrap();
+        // background flusher stand-in
+        let wf = Arc::clone(&w);
+        let flusher = std::thread::spawn(move || {
+            while !wf.stopping() {
+                std::thread::sleep(Duration::from_millis(1));
+                wf.flush_now();
+            }
+        });
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let lsn = w.append(changes(t * 100 + i));
+                    w.wait_durable(lsn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        w.stop();
+        flusher.join().unwrap();
+        assert_eq!(w.durable_lsn(), 100);
+        let flushes = counters.flushes.get();
+        assert!((1..=100).contains(&flushes));
+        assert_eq!(counters.records_appended.get(), 100);
+        // batch-size histogram accounts for every record
+        assert_eq!(counters.group_batch_size.sum_us(), 100);
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        assert_eq!(scan.records.len(), 100);
+    }
+}

@@ -1,0 +1,298 @@
+//! The recovery invariant, proven over the crash-point matrix:
+//!
+//! > After a crash at *any* injected point — before a flush, mid-record
+//! > (torn tail), after a flush, or via a corrupted checksum — recovery
+//! > yields a database state equal to the state after some **committed
+//! > prefix** of the transaction history. No partial transaction ever
+//! > surfaces.
+//!
+//! The harness drives a deterministic workload (inserts, insert+update
+//! transactions, insert+delete transactions — every transaction emits
+//! exactly one log record), flushes every `f` transactions, and plants a
+//! [`CrashPlan`] at a chosen flush ordinal. Because the crash point is
+//! exact, the *expected* prefix length is computable in closed form and
+//! the property is checked as an equality, not merely membership.
+
+use proptest::prelude::*;
+use relstore::{CommitSink, Database, Params};
+use std::sync::Arc;
+use std::time::Duration;
+use wal::record::RECORD_HEADER_LEN;
+use wal::{CrashPlan, CrashPoint, TempDir, Wal, WalConfig};
+
+type Dump = std::collections::BTreeMap<String, (Vec<(usize, Vec<relstore::Value>)>, i64)>;
+
+const DDL: &str = "CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT NOT NULL)";
+
+fn manual_config(dir: &TempDir, plan: CrashPlan) -> WalConfig {
+    let mut cfg = WalConfig::new(dir.path());
+    cfg.group_commit_window = Duration::from_secs(3600); // manual flushes only
+    cfg.flush_watermark_bytes = usize::MAX;
+    cfg.crash_plan = plan;
+    cfg
+}
+
+/// One deterministic committed transaction (always emits exactly one log
+/// record). Returns nothing; the driver tracks live oids itself.
+fn run_tx(db: &Database, i: usize, next_oid: &mut i64, live: &mut Vec<i64>) {
+    let kind = i % 4;
+    let val = format!("v{i}");
+    match kind {
+        // insert + update of the fresh row, in one transaction
+        2 => {
+            db.transaction(|tx| {
+                tx.execute(
+                    "INSERT INTO t (v) VALUES (:v)",
+                    &Params::new().bind("v", val.clone()),
+                )?;
+                tx.execute(
+                    "UPDATE t SET v = :v WHERE oid = :o",
+                    &Params::new()
+                        .bind("v", format!("u{i}"))
+                        .bind("o", *next_oid),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+            live.push(*next_oid);
+            *next_oid += 1;
+        }
+        // insert + delete of an older row, in one transaction
+        3 if !live.is_empty() => {
+            let victim = live.remove(i % live.len());
+            db.transaction(|tx| {
+                tx.execute(
+                    "INSERT INTO t (v) VALUES (:v)",
+                    &Params::new().bind("v", val.clone()),
+                )?;
+                tx.execute(
+                    "DELETE FROM t WHERE oid = :o",
+                    &Params::new().bind("o", victim),
+                )?;
+                Ok(())
+            })
+            .unwrap();
+            live.push(*next_oid);
+            *next_oid += 1;
+        }
+        // plain autocommit insert
+        _ => {
+            db.execute(
+                "INSERT INTO t (v) VALUES (:v)",
+                &Params::new().bind("v", val),
+            )
+            .unwrap();
+            live.push(*next_oid);
+            *next_oid += 1;
+        }
+    }
+}
+
+/// Drive `n` transactions with a flush every `f`, crashing per `plan`.
+/// Returns the dump after every committed prefix (index = #transactions)
+/// — recorded *before* the crash matters, since the in-memory engine
+/// keeps working; durability is what the crash destroys.
+fn drive(dir: &TempDir, n: usize, f: usize, plan: CrashPlan) -> Vec<Dump> {
+    let wal = Wal::open(manual_config(dir, plan), Arc::new(obs::WalCounters::new())).unwrap();
+    let db = Database::new();
+    db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+    db.execute_script(DDL).unwrap();
+    wal.flush_and_notify(); // flush ordinal 1: the DDL record
+    let mut prefixes = vec![db.dump()];
+    let (mut next_oid, mut live) = (1i64, Vec::new());
+    for i in 1..=n {
+        run_tx(&db, i, &mut next_oid, &mut live);
+        prefixes.push(db.dump());
+        if i % f == 0 {
+            wal.flush_and_notify();
+        }
+    }
+    if !n.is_multiple_of(f) {
+        wal.flush_and_notify();
+    }
+    wal.stop();
+    prefixes
+}
+
+/// Closed-form: how many transactions must the recovered state contain?
+fn expected_prefix(n: usize, f: usize, point: CrashPoint, data_flush: u64) -> usize {
+    let flushes = n.div_ceil(f); // data flushes actually performed
+    let c = data_flush as usize;
+    if c > flushes {
+        return n; // the crash ordinal is never reached
+    }
+    let start = (c - 1) * f; // txs durable before the crashing flush
+    let end = (c * f).min(n); // txs in the crashing batch
+    match point {
+        CrashPoint::BeforeFlush => start,
+        CrashPoint::MidRecord => end - 1,
+        CrashPoint::AfterFlush => end,
+    }
+}
+
+fn recover(dir: &TempDir) -> (Dump, wal::RecoveryInfo) {
+    let wal = Wal::open(
+        manual_config(dir, CrashPlan::none()),
+        Arc::new(obs::WalCounters::new()),
+    )
+    .unwrap();
+    let db = Database::new();
+    let info = wal.recover_into(&db).unwrap();
+    wal.stop();
+    (db.dump(), info)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: for every injected crash point the
+    /// recovered state equals the exact committed prefix the crash
+    /// semantics dictate.
+    #[test]
+    fn crash_at_any_point_recovers_a_committed_prefix(
+        n in 1usize..18,
+        f in 1usize..4,
+        point_sel in 0u8..3,
+        data_flush in 1u64..7,
+    ) {
+        let point = match point_sel {
+            0 => CrashPoint::BeforeFlush,
+            1 => CrashPoint::MidRecord,
+            _ => CrashPoint::AfterFlush,
+        };
+        // ordinal 1 is the DDL flush; data flush c is ordinal c + 1
+        let dir = TempDir::new("prop-crash").unwrap();
+        let prefixes = drive(&dir, n, f, CrashPlan::at(point, data_flush + 1));
+        let (recovered, _info) = recover(&dir);
+        let want = expected_prefix(n, f, point, data_flush);
+        prop_assert!(
+            recovered == prefixes[want],
+            "n={n} f={f} point={point:?} data_flush={data_flush}: \
+             recovered state is not the expected {want}-transaction prefix"
+        );
+        // and, a fortiori, it is *some* committed prefix
+        prop_assert!(prefixes.contains(&recovered));
+    }
+
+    /// Corrupting any byte of any record's payload truncates recovery to
+    /// the transactions before that record — still a committed prefix.
+    #[test]
+    fn corrupted_checksum_recovers_the_prefix_before_the_damage(
+        n in 2usize..12,
+        victim_sel in 0usize..12,
+        byte_sel in 0usize..64,
+    ) {
+        let dir = TempDir::new("prop-corrupt").unwrap();
+        let prefixes = drive(&dir, n, 1, CrashPlan::none());
+        // find record frame offsets in the on-disk log
+        let log_path = dir.path().join("wal.log");
+        let bytes = std::fs::read(&log_path).unwrap();
+        let mut offsets = Vec::new(); // (start, payload_len) per record
+        let mut pos = wal::record::LOG_MAGIC.len();
+        while pos + RECORD_HEADER_LEN <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            offsets.push((pos, len));
+            pos += RECORD_HEADER_LEN + len;
+        }
+        // record 0 is the DDL; corrupt one of the data records
+        prop_assert!(offsets.len() == n + 1);
+        let victim = 1 + victim_sel % n; // 1..=n
+        let (start, len) = offsets[victim];
+        wal::fault::corrupt_byte(&log_path, (start + RECORD_HEADER_LEN + byte_sel % len) as u64)
+            .unwrap();
+        let (recovered, info) = recover(&dir);
+        // transactions before the corrupt record survive; the rest are cut
+        prop_assert!(
+            recovered == prefixes[victim - 1],
+            "n={n} victim={victim}: recovery did not stop at the corrupt record"
+        );
+        let saw_corrupt = matches!(info.log_outcome, wal::ScanOutcome::Corrupt { .. });
+        prop_assert!(saw_corrupt);
+    }
+
+    /// Truncating the log anywhere inside the final record (a torn tail)
+    /// recovers every whole record before it.
+    #[test]
+    fn torn_tail_truncation_recovers_whole_records(
+        n in 2usize..12,
+        cut_sel in 1usize..64,
+    ) {
+        let dir = TempDir::new("prop-torn").unwrap();
+        let prefixes = drive(&dir, n, 1, CrashPlan::none());
+        let log_path = dir.path().join("wal.log");
+        let total = std::fs::metadata(&log_path).unwrap().len();
+        // find the last record's start
+        let bytes = std::fs::read(&log_path).unwrap();
+        let mut pos = wal::record::LOG_MAGIC.len();
+        let mut last_start = pos;
+        while pos + RECORD_HEADER_LEN <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            last_start = pos;
+            pos += RECORD_HEADER_LEN + len;
+        }
+        let tail_len = total as usize - last_start;
+        let cut = last_start + 1 + cut_sel % (tail_len - 1); // strictly inside
+        wal::fault::truncate_file(&log_path, cut as u64).unwrap();
+        let (recovered, info) = recover(&dir);
+        prop_assert!(
+            recovered == prefixes[n - 1],
+            "n={n} cut={cut}: torn tail did not recover the n-1 prefix"
+        );
+        let saw_torn = matches!(info.log_outcome, wal::ScanOutcome::TornTail { .. });
+        prop_assert!(saw_torn);
+    }
+}
+
+/// Deterministic smoke over the whole matrix (exercised by `verify.sh`):
+/// every crash point × several flush cadences, exact-prefix equality.
+#[test]
+fn crash_point_matrix_smoke() {
+    for point in [
+        CrashPoint::BeforeFlush,
+        CrashPoint::MidRecord,
+        CrashPoint::AfterFlush,
+    ] {
+        for f in [1usize, 2, 3] {
+            for data_flush in [1u64, 2, 3] {
+                let n = 9;
+                let dir = TempDir::new("matrix").unwrap();
+                let prefixes = drive(&dir, n, f, CrashPlan::at(point, data_flush + 1));
+                let (recovered, _) = recover(&dir);
+                let want = expected_prefix(n, f, point, data_flush);
+                assert!(
+                    recovered == prefixes[want],
+                    "matrix point={point:?} f={f} data_flush={data_flush} want={want}"
+                );
+            }
+        }
+    }
+}
+
+/// A snapshot mid-history must not change what recovery yields.
+#[test]
+fn snapshot_plus_tail_equals_pure_log_recovery() {
+    let dir = TempDir::new("snap-equiv").unwrap();
+    let wal = Wal::open(
+        manual_config(&dir, CrashPlan::none()),
+        Arc::new(obs::WalCounters::new()),
+    )
+    .unwrap();
+    let db = Database::new();
+    db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+    db.execute_script(DDL).unwrap();
+    let (mut next_oid, mut live) = (1i64, Vec::new());
+    for i in 1..=6 {
+        run_tx(&db, i, &mut next_oid, &mut live);
+    }
+    wal.snapshot(&db).unwrap();
+    for i in 7..=11 {
+        run_tx(&db, i, &mut next_oid, &mut live);
+    }
+    wal.flush_and_notify();
+    let final_state = db.dump();
+    wal.stop();
+    let (recovered, info) = recover(&dir);
+    assert!(recovered == final_state);
+    assert!(info.snapshot_lsn > 0);
+    assert!(info.replayed_records >= 5);
+}

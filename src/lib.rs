@@ -9,6 +9,7 @@
 //! * [`codegen`], [`descriptors`], [`presentation`] — the generation
 //!   pipeline;
 //! * [`mvc`], [`webcache`], [`relstore`], [`httpd`] — the runtime stack;
+//! * [`wal`] — the durability spine (write-ahead log, snapshots, recovery);
 //! * [`obs`] — the request observability spine (span trees + metrics).
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system map.
@@ -21,6 +22,7 @@ pub use mvc;
 pub use obs;
 pub use presentation;
 pub use relstore;
+pub use wal;
 pub use webcache;
 pub use webml;
 pub use webratio;

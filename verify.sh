@@ -9,6 +9,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== wal fault-injection smoke (crash-point matrix + recovery properties)"
+cargo test -p wal --release -q
+
 echo "== tier-1 tests (root package: unit + integration + property suites)"
 cargo test --release -q
 
