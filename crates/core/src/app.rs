@@ -178,7 +178,7 @@ impl Application {
 /// How [`Application::deploy_durable`] persists committed work.
 #[derive(Clone, Debug)]
 pub struct DurabilityConfig {
-    /// Directory holding `wal.log` and `snapshot.bin`.
+    /// Directory holding `wal.log` and `wal.snap`.
     pub dir: PathBuf,
     /// Group-commit window: the flusher fsyncs at most this often, so a
     /// non-strict commit may lose at most one window's worth of work.

@@ -171,12 +171,41 @@ impl HttpServer {
         }
         // Unblock the accept thread: it is parked in the kernel inside
         // `accept`, so poke it with a self-connection it will discard.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // The connect can fail transiently (backlog exhausted, fd limit),
+        // so retry briefly — a backlog full of real clients also wakes the
+        // thread on its own, which `is_finished` detects.
+        let accept_joined = match self.accept_thread.take() {
+            Some(t) => {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+                while !t.is_finished()
+                    && TcpStream::connect(self.addr).is_err()
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                // Bounded join: wait for the thread to wind down, but never
+                // hang shutdown on a thread we could not wake.
+                while !t.is_finished() && std::time::Instant::now() < deadline {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                if t.is_finished() {
+                    let _ = t.join();
+                    true
+                } else {
+                    drop(t); // leak: still parked in accept(); joining would hang
+                    false
+                }
+            }
+            None => true,
+        };
+        // Workers exit when the accept thread drops the channel sender; if
+        // it never woke, joining them would hang on `recv` forever.
+        if accept_joined {
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        } else {
+            self.workers.clear();
         }
     }
 }

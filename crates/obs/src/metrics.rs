@@ -60,13 +60,20 @@ impl Histogram {
     }
 
     pub fn observe_us(&self, us: u64) {
+        self.observe(us)
+    }
+
+    /// Record a unitless value (e.g. a group-commit batch size). The
+    /// bucket bounds of [`BUCKET_BOUNDS_US`] are just numbers; only the
+    /// caller decides whether they mean microseconds or counts.
+    pub fn observe(&self, value: u64) {
         let idx = BUCKET_BOUNDS_US
             .iter()
-            .position(|&b| us <= b)
+            .position(|&b| value <= b)
             .unwrap_or(BUCKET_BOUNDS_US.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(value, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
@@ -75,6 +82,11 @@ impl Histogram {
 
     pub fn sum_us(&self) -> u64 {
         self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Total of observed values, unitless twin of [`Histogram::sum_us`].
+    pub fn sum(&self) -> u64 {
+        self.sum_us()
     }
 
     /// Mean in microseconds (0 when empty).
@@ -151,6 +163,11 @@ impl DbCounters {
 pub struct WalCounters {
     /// Physical flushes (write + sync of the group-commit buffer).
     pub flushes: Counter,
+    /// Real write/sync failures while flushing the log. Distinct from
+    /// injected crash points, which simulate power loss and are silent by
+    /// design; a non-zero value here means the kernel refused a write
+    /// while committers were still waiting for acks.
+    pub flush_errors: Counter,
     /// Bytes appended to the log file.
     pub bytes_written: Counter,
     /// Commit records appended (one per committed transaction).
@@ -328,6 +345,12 @@ impl MetricsRegistry {
         );
         counter_into(
             &mut out,
+            "wal_flush_errors",
+            "Write-ahead log flushes that failed with a real I/O error",
+            self.wal.flush_errors.get(),
+        );
+        counter_into(
+            &mut out,
             "wal_bytes_written",
             "Bytes appended to the write-ahead log",
             self.wal.bytes_written.get(),
@@ -471,12 +494,14 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.wal.flushes.inc();
         reg.wal.bytes_written.add(128);
-        reg.wal.group_batch_size.observe_us(4);
+        reg.wal.group_batch_size.observe(4); // a count, not a duration
         reg.wal.recovery_micros.observe_us(900);
         let text = reg.render_prometheus();
         assert!(text.contains("wal_flushes 1"));
+        assert!(text.contains("wal_flush_errors 0"));
         assert!(text.contains("wal_bytes_written 128"));
         assert!(text.contains("wal_group_batch_size_count 1"));
+        assert!(text.contains("wal_group_batch_size_sum 4"));
         assert!(text.contains("wal_recovery_micros_sum 900"));
     }
 

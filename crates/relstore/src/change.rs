@@ -69,8 +69,13 @@ pub trait CommitSink: Send + Sync {
     /// Record one committed transaction; returns its log sequence number.
     fn on_commit(&self, changes: Vec<ChangeRecord>) -> u64;
 
-    /// Block until `lsn` is durable (or the sink has failed).
-    fn wait_durable(&self, lsn: u64);
+    /// Block until `lsn` is durable. Returns
+    /// [`Error::Durability`](crate::Error::Durability) when the sink hit a
+    /// real I/O failure and `lsn` can never become durable — the caller's
+    /// commit was acknowledged in memory but its record is lost, and that
+    /// must surface as an error, not a silent `Ok`. A *simulated* crash
+    /// (fault injection) is not an error: a dead machine acks nothing.
+    fn wait_durable(&self, lsn: u64) -> crate::Result<()>;
 }
 
 /// Derive the redo image of a committed transaction from its undo log.
@@ -155,7 +160,9 @@ mod tests {
             *n += 1;
             *n
         }
-        fn wait_durable(&self, _lsn: u64) {}
+        fn wait_durable(&self, _lsn: u64) -> crate::Result<()> {
+            Ok(())
+        }
     }
 
     fn db_with_sink() -> (Database, Arc<Capture>) {

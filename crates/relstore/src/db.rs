@@ -127,17 +127,21 @@ impl Database {
     }
 
     /// Complete the strict-mode handshake started by `emit_locked`. Must be
-    /// called *after* the storage lock is released.
-    pub(crate) fn wait_durable_opt(&self, seq: Option<u64>) {
+    /// called *after* the storage lock is released. Propagates
+    /// [`Error::Durability`] when the sink hit a real I/O failure: the
+    /// caller's mutation is applied in memory but will not survive a
+    /// restart, and acking it with `Ok` would be a lie.
+    pub(crate) fn wait_durable_opt(&self, seq: Option<u64>) -> Result<()> {
         if let Some(lsn) = seq {
             let sink = {
                 let guard = self.sink.read();
                 guard.as_ref().map(|h| Arc::clone(&h.sink))
             };
             if let Some(sink) = sink {
-                sink.wait_durable(lsn);
+                sink.wait_durable(lsn)?;
             }
         }
+        Ok(())
     }
 
     /// The counters this database reports into.
@@ -243,7 +247,7 @@ impl Database {
                         }
                     }
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::Update(upd) => {
@@ -261,7 +265,7 @@ impl Database {
                         }
                     }
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::Delete(del) => {
@@ -279,7 +283,7 @@ impl Database {
                         }
                     }
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::CreateTable(schema) => {
@@ -288,7 +292,7 @@ impl Database {
                     storage.create_table(Table::new(schema.clone())?)?;
                     self.emit_ddl_locked(schema.to_create_sql())
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
@@ -304,7 +308,7 @@ impl Database {
                         ci.columns.join(", ")
                     ))
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
@@ -317,7 +321,7 @@ impl Database {
                         format!("DROP TABLE {name}")
                     })
                 };
-                self.wait_durable_opt(seq);
+                self.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(0))
             }
             Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Transaction(
@@ -368,7 +372,7 @@ impl Database {
                 }
             }
         };
-        self.wait_durable_opt(seq);
+        self.wait_durable_opt(seq)?;
         r
     }
 
@@ -415,7 +419,7 @@ impl Database {
             storage.create_table(table)?;
             self.emit_ddl_locked(sql)
         };
-        self.wait_durable_opt(seq);
+        self.wait_durable_opt(seq)?;
         Ok(())
     }
 

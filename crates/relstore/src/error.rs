@@ -29,6 +29,10 @@ pub enum Error {
     Unsupported(String),
     /// Attempt to use a transaction handle in an invalid state.
     Transaction(String),
+    /// The commit sink (write-ahead log) failed to make a committed
+    /// transaction durable — the mutation is visible in memory but its
+    /// redo record never reached stable storage.
+    Durability(String),
     /// Generic evaluation failure (division by zero, bad LIKE pattern, ...).
     Eval(String),
 }
@@ -58,6 +62,7 @@ impl fmt::Display for Error {
             Error::Parameter(m) => write!(f, "parameter error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Transaction(m) => write!(f, "transaction error: {m}"),
+            Error::Durability(m) => write!(f, "durability error: {m}"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
         }
     }

@@ -58,7 +58,7 @@ impl Session {
                 let seq = self
                     .db
                     .with_storage_mut(|storage| self.db.emit_locked(storage, &undo));
-                self.db.wait_durable_opt(seq);
+                self.db.wait_durable_opt(seq)?;
                 Ok(ExecResult::Affected(0))
             }
             Statement::Rollback => match self.undo.take() {

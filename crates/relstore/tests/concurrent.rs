@@ -39,7 +39,9 @@ impl CommitSink for RecordingSink {
         lsn
     }
 
-    fn wait_durable(&self, _lsn: u64) {}
+    fn wait_durable(&self, _lsn: u64) -> relstore::Result<()> {
+        Ok(())
+    }
 }
 
 /// Threads transfer money between two accounts in transactions; every

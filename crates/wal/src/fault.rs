@@ -32,6 +32,12 @@ pub enum CrashPoint {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CrashPlan {
     pub point: Option<(CrashPoint, u64)>,
+    /// Fail the `ordinal`-th flush with a *real* I/O error (EIO-style)
+    /// instead of a simulated power loss. Unlike a crash point — which the
+    /// writer absorbs silently, because a dead machine acks nothing — an
+    /// I/O error must be surfaced loudly: the kernel said no, but the
+    /// process is still alive and its callers are still waiting for acks.
+    pub io_error: Option<u64>,
 }
 
 impl CrashPlan {
@@ -44,6 +50,16 @@ impl CrashPlan {
     pub fn at(point: CrashPoint, ordinal: u64) -> CrashPlan {
         CrashPlan {
             point: Some((point, ordinal)),
+            io_error: None,
+        }
+    }
+
+    /// Fail flush number `ordinal` (1-based) with an injected write error,
+    /// exercising the same path a real ENOSPC/EIO from the kernel takes.
+    pub fn io_error_at(ordinal: u64) -> CrashPlan {
+        CrashPlan {
+            point: None,
+            io_error: Some(ordinal),
         }
     }
 
@@ -53,6 +69,11 @@ impl CrashPlan {
             Some((p, o)) if o == ordinal => Some(p),
             _ => None,
         }
+    }
+
+    /// Does this plan inject a write error at flush `ordinal`?
+    pub fn fails_at(&self, ordinal: u64) -> bool {
+        self.io_error == Some(ordinal)
     }
 }
 

@@ -289,6 +289,13 @@ impl Wal {
         self.writer.crashed()
     }
 
+    /// The first *real* write/sync failure, if one has poisoned the log
+    /// writer (also counted in `wal_flush_errors`). Non-strict deployments
+    /// should check this: their commits no longer reach stable storage.
+    pub fn io_error(&self) -> Option<String> {
+        self.writer.io_error()
+    }
+
     /// Highest LSN appended (not necessarily durable).
     pub fn appended_lsn(&self) -> u64 {
         self.writer.appended_lsn()
@@ -335,8 +342,10 @@ impl CommitSink for Wal {
         self.writer.append(changes)
     }
 
-    fn wait_durable(&self, lsn: u64) {
-        self.writer.wait_durable(lsn);
+    fn wait_durable(&self, lsn: u64) -> relstore::Result<()> {
+        self.writer
+            .wait_durable(lsn)
+            .map_err(relstore::Error::Durability)
     }
 }
 
@@ -461,6 +470,55 @@ mod tests {
         assert_eq!(events.len(), 2); // DDL + insert, in commit order
         assert_eq!(events[0].0, 1);
         assert_eq!(events[1].0, 2);
+        wal.stop();
+    }
+
+    #[test]
+    fn stop_dispatches_pending_batches_to_observers() {
+        use parking_lot::Mutex;
+        #[derive(Default)]
+        struct Seen(Mutex<Vec<u64>>);
+        impl LogObserver for Seen {
+            fn on_durable(&self, lsn: u64, _changes: &[ChangeRecord]) {
+                self.0.lock().push(lsn);
+            }
+        }
+        let dir = TempDir::new("wal-stopdisp").unwrap();
+        let mut cfg = config(&dir);
+        // one-hour window: only stop()'s internal flush can cover these
+        cfg.group_commit_window = Duration::from_secs(3600);
+        let wal = Wal::open(cfg, Arc::new(WalCounters::new())).unwrap();
+        let seen = Arc::new(Seen::default());
+        wal.attach_observer(Arc::clone(&seen) as Arc<dyn LogObserver>);
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+        db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t (v) VALUES ('x')", &Params::new())
+            .unwrap();
+        wal.stop();
+        // the batches flushed by stop() still reached the observers —
+        // log-driven invalidation must never miss a durable batch
+        assert_eq!(*seen.0.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn real_flush_failure_propagates_to_strict_commits() {
+        let dir = TempDir::new("wal-eio").unwrap();
+        let mut cfg = config(&dir);
+        cfg.crash_plan = CrashPlan::io_error_at(1);
+        let counters = Arc::new(WalCounters::new());
+        let wal = Wal::open(cfg, Arc::clone(&counters)).unwrap();
+        let db = durable_db(&wal); // strict commits
+        let err = db
+            .execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT)")
+            .unwrap_err();
+        assert!(
+            matches!(err, relstore::Error::Durability(_)),
+            "expected Durability error, got {err:?}"
+        );
+        assert!(wal.io_error().unwrap().contains("injected write failure"));
+        assert_eq!(counters.flush_errors.get(), 1);
         wal.stop();
     }
 

@@ -2,12 +2,19 @@
 //!
 //! Committers append encoded redo records to an in-memory buffer under a
 //! short mutex hold (this happens inside `Database`'s storage lock, so it
-//! must stay cheap) and receive an LSN. A background flusher wakes every
-//! `window` and writes + syncs the whole buffer in one physical flush;
-//! strict-mode committers block in [`LogWriter::wait_durable`] on a condvar
-//! until their LSN is covered. Many committers therefore share one sync —
-//! the classic group-commit amortization — and the batch size per flush is
-//! recorded in `obs::WalCounters::group_batch_size`.
+//! must stay cheap — appending never does I/O; even a full watermark only
+//! *wakes* the flusher) and receive an LSN. A background flusher wakes
+//! every `window` (or early, on a watermark request) and writes + syncs
+//! the whole buffer in one physical flush; strict-mode committers block in
+//! [`LogWriter::wait_durable`] on a condvar until their LSN is covered.
+//! Many committers therefore share one sync — the classic group-commit
+//! amortization — and the batch size per flush is recorded in
+//! `obs::WalCounters::group_batch_size`.
+//!
+//! Every flushed batch is queued for observer dispatch and drained by
+//! [`LogWriter::flush_now`]; internal flush paths (watermark, compaction,
+//! [`LogWriter::stop`]) can therefore never lose a batch the
+//! log-driven cache invalidator should have seen.
 //!
 //! Crash points from [`crate::fault::CrashPlan`] trip inside the flush path
 //! (see [`CrashPoint`]): the writer marks itself crashed, stops touching
@@ -37,6 +44,19 @@ struct WriterState {
     last_record_start: usize,
     /// Decoded copies of buffered records, for observer dispatch.
     pending: Vec<(u64, Arc<Vec<ChangeRecord>>)>,
+    /// Batches already flushed (durable) but not yet drained by a
+    /// dispatcher via [`LogWriter::flush_now`]. Every internal flush path
+    /// (watermark, compaction, stop) queues here, so no durable batch can
+    /// ever miss observer dispatch.
+    dispatch: DurableBatch,
+    /// Set by the watermark path in [`LogWriter::append`]: asks the
+    /// flusher thread to flush ahead of its window (append itself must
+    /// never do I/O — it runs under the database storage lock).
+    flush_due: bool,
+    /// First *real* write/sync failure, verbatim. Once set, the writer is
+    /// poisoned: strict committers get an `Err` from
+    /// [`LogWriter::wait_durable`] instead of a silent ack.
+    io_error: Option<String>,
     next_lsn: u64,
     /// Highest LSN appended to the buffer (≥ durable_lsn).
     appended_lsn: u64,
@@ -83,6 +103,9 @@ impl LogWriter {
                 buf: Vec::new(),
                 last_record_start: 0,
                 pending: Vec::new(),
+                dispatch: Vec::new(),
+                flush_due: false,
+                io_error: None,
                 next_lsn: start_lsn + 1,
                 appended_lsn: start_lsn,
                 durable_lsn: start_lsn,
@@ -117,30 +140,46 @@ impl LogWriter {
         s.buf = buf;
         s.pending.push((lsn, Arc::new(changes)));
         self.counters.records_appended.inc();
-        if s.buf.len() >= self.watermark {
-            let _ = self.flush_locked(&mut s);
+        if s.buf.len() >= self.watermark && !s.flush_due {
+            // No I/O here — the storage write lock is held. Ask the
+            // flusher thread to run ahead of its window instead.
+            s.flush_due = true;
+            self.cond.notify_all();
         }
         lsn
     }
 
-    /// Flush the buffer now (called by the flusher thread, the watermark
-    /// path, and snapshotting). Returns the batches made durable, for
-    /// observer dispatch *outside* the lock.
+    /// Flush the buffer now and drain *every* durable batch — including
+    /// ones flushed internally by the watermark/compaction/stop paths —
+    /// for observer dispatch outside the lock. Callers (the flusher
+    /// thread, `Wal::flush_and_notify`) own dispatching what they drain.
     pub fn flush_now(&self) -> DurableBatch {
         let mut s = self.state.lock().unwrap();
-        self.flush_locked(&mut s)
+        self.flush_locked(&mut s);
+        std::mem::take(&mut s.dispatch)
     }
 
-    fn flush_locked(&self, s: &mut WriterState) -> DurableBatch {
+    /// Write + sync the buffer and queue the flushed batch on
+    /// `s.dispatch`. Never hands batches to the caller directly, so no
+    /// internal flush path can drop them on the floor.
+    fn flush_locked(&self, s: &mut WriterState) {
+        s.flush_due = false;
         if s.crashed || s.buf.is_empty() {
-            return Vec::new();
+            return;
         }
         let ordinal = s.flush_ordinal + 1;
+        if s.crash_plan.fails_at(ordinal) {
+            // injected kernel failure (EIO/ENOSPC stand-in) — takes the
+            // same loud path a real write_all/sync_data error takes below
+            let e = io::Error::other("injected write failure");
+            self.fail_io(s, &e);
+            return;
+        }
         match s.crash_plan.trips_at(ordinal) {
             Some(CrashPoint::BeforeFlush) => {
                 // power dies before any byte reaches the disk
                 self.die(s);
-                return Vec::new();
+                return;
             }
             Some(CrashPoint::MidRecord) => {
                 // a prefix of the batch hits the disk; the final record is
@@ -152,7 +191,7 @@ impl LogWriter {
                     let _ = f.sync_data();
                 }
                 self.die(s);
-                return Vec::new();
+                return;
             }
             Some(CrashPoint::AfterFlush) => {
                 // the batch is fully durable; the machine dies right after
@@ -161,42 +200,52 @@ impl LogWriter {
                     let _ = f.sync_data();
                 }
                 self.die(s);
-                return Vec::new();
+                return;
             }
             None => {}
         }
         let file = match s.file.as_mut() {
             Some(f) => f,
-            None => return Vec::new(),
+            None => return,
         };
-        if file
-            .write_all(&s.buf)
-            .and_then(|_| file.sync_data())
-            .is_err()
-        {
-            self.die(s);
-            return Vec::new();
+        if let Err(e) = file.write_all(&s.buf).and_then(|_| file.sync_data()) {
+            self.fail_io(s, &e);
+            return;
         }
         self.counters.flushes.inc();
         self.counters.bytes_written.add(s.buf.len() as u64);
         self.counters
             .group_batch_size
-            .observe_us(s.pending.len() as u64);
+            .observe(s.pending.len() as u64);
         s.flush_ordinal = ordinal;
         s.durable_lsn = s.appended_lsn;
         s.buf.clear();
         s.last_record_start = 0;
         let batch = std::mem::take(&mut s.pending);
+        s.dispatch.extend(batch);
         self.cond.notify_all();
-        batch
     }
 
     fn die(&self, s: &mut WriterState) {
         s.crashed = true;
+        s.flush_due = false;
         s.buf.clear();
         s.pending.clear();
+        // `s.dispatch` is deliberately left intact: those batches were
+        // already written + synced, so observers must still hear them.
         s.file = None;
         self.cond.notify_all();
+    }
+
+    /// A *real* write/sync failure — unlike an injected power-loss crash,
+    /// which is absorbed silently by design (a dead machine acks nothing),
+    /// this poisons the writer: the error is counted in
+    /// `wal_flush_errors`, stored, and surfaced to every strict committer
+    /// through [`LogWriter::wait_durable`].
+    fn fail_io(&self, s: &mut WriterState, e: &io::Error) {
+        s.io_error = Some(e.to_string());
+        self.counters.flush_errors.inc();
+        self.die(s);
     }
 
     /// Force the simulated machine down, dropping any unflushed buffer
@@ -208,7 +257,11 @@ impl LogWriter {
 
     /// Block until `lsn` is durable — or the writer crashed or is stopping,
     /// in which case waiting any longer is pointless.
-    pub fn wait_durable(&self, lsn: u64) {
+    ///
+    /// Returns `Err` when a *real* write/sync failure (not an injected
+    /// power-loss crash) means `lsn` will never become durable: the ack
+    /// the committer is waiting for would be a lie.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), String> {
         let mut s = self.state.lock().unwrap();
         while s.durable_lsn < lsn && !s.crashed && !s.stopping {
             let (guard, _timeout) = self
@@ -217,6 +270,15 @@ impl LogWriter {
                 .unwrap();
             s = guard;
         }
+        match &s.io_error {
+            Some(e) if s.durable_lsn < lsn => Err(format!("wal flush failed: {e}")),
+            _ => Ok(()),
+        }
+    }
+
+    /// The first real write/sync failure, if one has poisoned the writer.
+    pub fn io_error(&self) -> Option<String> {
+        self.state.lock().unwrap().io_error.clone()
     }
 
     /// Highest LSN handed out (appended, not necessarily durable).
@@ -250,7 +312,10 @@ impl LogWriter {
         if s.crashed {
             return Ok(());
         }
-        let _ = self.flush_locked(&mut s);
+        // Any batch flushed here lands on `s.dispatch`; wake the flusher
+        // so observers hear about it promptly once we release the lock.
+        self.flush_locked(&mut s);
+        self.cond.notify_all();
         let bytes = std::fs::read(&self.path)?;
         let scan = crate::record::scan_log(&bytes);
         let mut out = LOG_MAGIC.to_vec();
@@ -270,11 +335,13 @@ impl LogWriter {
         Ok(())
     }
 
-    /// Tell the flusher loop (and all waiters) to wind down.
+    /// Tell the flusher loop (and all waiters) to wind down. Any batch
+    /// flushed here is queued on the dispatch queue; the flusher's final
+    /// [`LogWriter::flush_now`] drains and dispatches it before exiting.
     pub fn stop(&self) {
         let mut s = self.state.lock().unwrap();
         s.stopping = true;
-        let _ = self.flush_locked(&mut s);
+        self.flush_locked(&mut s);
         self.cond.notify_all();
     }
 
@@ -284,11 +351,17 @@ impl LogWriter {
 
     /// Park the flusher thread for up to one group-commit window. Wakes
     /// early when [`LogWriter::stop`] is called (the condvar doubles as
-    /// the shutdown signal). Returns `false` once stopping.
+    /// the shutdown signal) and skips parking entirely when work is
+    /// already waiting — a watermark flush request from
+    /// [`LogWriter::append`] or queued-but-undispatched batches. Returns
+    /// `false` once stopping.
     pub fn park_flusher(&self) -> bool {
         let s = self.state.lock().unwrap();
         if s.stopping {
             return false;
+        }
+        if s.flush_due || !s.dispatch.is_empty() {
+            return true;
         }
         let (s, _timeout) = self
             .cond
@@ -399,20 +472,56 @@ mod tests {
     }
 
     #[test]
-    fn watermark_triggers_inline_flush() {
+    fn watermark_wakes_the_flusher_instead_of_flushing_inline() {
         let dir = TempDir::new("log-wm").unwrap();
+        // One-hour window: only the watermark wake-up can explain a
+        // prompt flush.
         let w = LogWriter::open(
             &dir.path().join("wal.log"),
             0,
             Duration::from_secs(3600),
-            1, // any byte triggers a flush
+            1, // any byte requests a flush
             CrashPlan::none(),
             Arc::new(WalCounters::new()),
         )
         .unwrap();
-        w.append(changes(1));
+        let wf = Arc::clone(&w);
+        let flusher = std::thread::spawn(move || loop {
+            let keep_going = wf.park_flusher();
+            wf.flush_now();
+            if !keep_going {
+                return;
+            }
+        });
+        let lsn = w.append(changes(1));
+        // append itself did no I/O — durability arrives via the flusher
+        w.wait_durable(lsn).unwrap();
         assert_eq!(w.durable_lsn(), 1);
         assert_eq!(w.flush_ordinal(), 1);
+        w.stop();
+        flusher.join().unwrap();
+    }
+
+    #[test]
+    fn internal_flush_paths_queue_batches_for_dispatch() {
+        // stop() flushes internally; the batch must still be drainable —
+        // this is what feeds LogObservers (replica-style invalidation)
+        let dir = TempDir::new("log-dispatch").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        w.append(changes(1));
+        w.append(changes(2));
+        w.stop();
+        let batch = w.flush_now(); // drains what stop() queued
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[1].0, 2);
+
+        // compact_through flushes internally too
+        let dir = TempDir::new("log-dispatch2").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        w.append(changes(1));
+        w.compact_through(0).unwrap();
+        let batch = w.flush_now();
+        assert_eq!(batch.len(), 1);
     }
 
     #[test]
@@ -421,8 +530,36 @@ mod tests {
         let w = writer(&dir, CrashPlan::at(CrashPoint::BeforeFlush, 1));
         let lsn = w.append(changes(1));
         w.flush_now(); // crashes
-        w.wait_durable(lsn); // must not hang
+
+        // must not hang; a simulated power loss is not an I/O error
+        assert!(w.wait_durable(lsn).is_ok());
         assert!(w.crashed());
+        assert!(w.io_error().is_none());
+    }
+
+    #[test]
+    fn real_write_failure_is_loud() {
+        let dir = TempDir::new("log-eio").unwrap();
+        let counters = Arc::new(WalCounters::new());
+        let w = LogWriter::open(
+            &dir.path().join("wal.log"),
+            0,
+            Duration::from_millis(1),
+            usize::MAX,
+            CrashPlan::io_error_at(1),
+            Arc::clone(&counters),
+        )
+        .unwrap();
+        let lsn = w.append(changes(1));
+        assert!(w.flush_now().is_empty()); // the write "fails"
+
+        // poisoned: the failure is counted, stored, and propagated
+        assert_eq!(counters.flush_errors.get(), 1);
+        assert!(w.io_error().unwrap().contains("injected write failure"));
+        let err = w.wait_durable(lsn).unwrap_err();
+        assert!(err.contains("wal flush failed"), "err: {err}");
+        // an LSN that was already durable before the failure stays Ok
+        assert!(w.wait_durable(0).is_ok());
     }
 
     #[test]
@@ -472,7 +609,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..25 {
                     let lsn = w.append(changes(t * 100 + i));
-                    w.wait_durable(lsn);
+                    w.wait_durable(lsn).unwrap();
                 }
             }));
         }
@@ -486,7 +623,7 @@ mod tests {
         assert!((1..=100).contains(&flushes));
         assert_eq!(counters.records_appended.get(), 100);
         // batch-size histogram accounts for every record
-        assert_eq!(counters.group_batch_size.sum_us(), 100);
+        assert_eq!(counters.group_batch_size.sum(), 100);
         let scan = scan_log(&std::fs::read(w.path()).unwrap());
         assert_eq!(scan.outcome, ScanOutcome::Clean);
         assert_eq!(scan.records.len(), 100);
