@@ -1,0 +1,303 @@
+//! Pass 3 — descriptor/model cross-check.
+//!
+//! The generator derives every controller action mapping, page descriptor
+//! and unit descriptor from a model element (§3, §7). After regeneration
+//! merges, hand edits, or partial loads, that bijection can silently
+//! break; this pass re-establishes it:
+//!
+//! * `AZ201` (error): a descriptor with no model counterpart (orphan);
+//! * `AZ202` (error): a model element with no descriptor, or a unit
+//!   descriptor its page no longer lists;
+//! * `AZ203` (error): a dangling reference *inside* the bundle (unit refs,
+//!   edge endpoints, link targets, operation forwards);
+//! * `AZ204` (error): the controller configuration disagrees with the
+//!   bundle (missing/extra/mismatched action mappings).
+
+use crate::diag::{Diagnostic, AZ201, AZ202, AZ203, AZ204};
+use codegen::{operation_id, operation_url, page_id, page_url, unit_id};
+use descriptors::{ActionKind, DescriptorSet};
+use std::collections::HashSet;
+use webml::HypertextModel;
+
+/// Run the pass.
+pub fn check(ht: &HypertextModel, set: &DescriptorSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // ---- expected id/url universe from the model ---------------------------
+    let expected_units: HashSet<String> = ht.units().map(|(u, _)| unit_id(u)).collect();
+    let expected_pages: HashSet<String> = ht.pages().map(|(p, _)| page_id(p)).collect();
+    let expected_ops: HashSet<String> = ht.operations().map(|(o, _)| operation_id(o)).collect();
+    let expected_urls: HashSet<String> = ht
+        .pages()
+        .map(|(p, _)| page_url(ht, p))
+        .chain(ht.operations().map(|(o, _)| operation_url(ht, o)))
+        .collect();
+    let bundle_urls: HashSet<&str> = set
+        .pages
+        .iter()
+        .map(|p| p.url.as_str())
+        .chain(set.operations.iter().map(|o| o.url.as_str()))
+        .collect();
+
+    // ---- AZ201: orphan descriptors -----------------------------------------
+    let mut orphans: HashSet<&str> = HashSet::new();
+    for u in &set.units {
+        if !expected_units.contains(&u.id) {
+            orphans.insert(u.id.as_str());
+            out.push(Diagnostic::error(
+                AZ201,
+                &u.id,
+                format!("unit descriptor \"{}\" has no model counterpart", u.name),
+            ));
+        }
+    }
+    for p in &set.pages {
+        if !expected_pages.contains(&p.id) {
+            orphans.insert(p.id.as_str());
+            out.push(Diagnostic::error(
+                AZ201,
+                &p.id,
+                format!("page descriptor \"{}\" has no model counterpart", p.name),
+            ));
+        }
+    }
+    for o in &set.operations {
+        if !expected_ops.contains(&o.id) {
+            orphans.insert(o.id.as_str());
+            out.push(Diagnostic::error(
+                AZ201,
+                &o.id,
+                format!(
+                    "operation descriptor \"{}\" has no model counterpart",
+                    o.name
+                ),
+            ));
+        }
+    }
+
+    // ---- AZ202: model elements without descriptors -------------------------
+    for (pid, page) in ht.pages() {
+        if set.page(&page_id(pid)).is_none() {
+            out.push(Diagnostic::error(
+                AZ202,
+                &page.name,
+                format!("page \"{}\" has no descriptor", page.name),
+            ));
+        }
+    }
+    for (uid, unit) in ht.units() {
+        let id = unit_id(uid);
+        match set.unit(&id) {
+            None => out.push(Diagnostic::error(
+                AZ202,
+                format!("{}/{}", ht.page(unit.page).name, unit.name),
+                format!("unit \"{}\" has no descriptor", unit.name),
+            )),
+            Some(desc) => {
+                // a descriptor its page no longer lists never gets computed
+                if let Some(p) = set.page(&desc.page) {
+                    if !p.units.iter().any(|u| u == &id) {
+                        out.push(Diagnostic::error(
+                            AZ202,
+                            format!("{}/{}", p.name, desc.name),
+                            format!(
+                                "unit descriptor \"{}\" is not listed in page \"{}\"",
+                                desc.name, p.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (oid, op) in ht.operations() {
+        if set.operation(&operation_id(oid)).is_none() {
+            out.push(Diagnostic::error(
+                AZ202,
+                &op.name,
+                format!("operation \"{}\" has no descriptor", op.name),
+            ));
+        }
+    }
+
+    // ---- AZ203: dangling references inside the bundle ----------------------
+    // A URL is *dangling* when neither the bundle nor the model can resolve
+    // it; a model-resolvable URL missing from the bundle is already AZ202.
+    let resolvable = |url: &str| bundle_urls.contains(url) || expected_urls.contains(url);
+    for p in set
+        .pages
+        .iter()
+        .filter(|p| !orphans.contains(p.id.as_str()))
+    {
+        for uref in &p.units {
+            if set.unit(uref).is_none() && !expected_units.contains(uref) {
+                out.push(Diagnostic::error(
+                    AZ203,
+                    &p.name,
+                    format!("page references unknown unit descriptor \"{uref}\""),
+                ));
+            }
+        }
+        for e in &p.edges {
+            for end in [&e.from, &e.to] {
+                if !p.units.contains(end) {
+                    out.push(Diagnostic::error(
+                        AZ203,
+                        &p.name,
+                        format!("transport edge endpoint \"{end}\" is not a unit of the page"),
+                    ));
+                }
+            }
+        }
+        for l in &p.links {
+            if !p.units.contains(&l.from) {
+                out.push(Diagnostic::error(
+                    AZ203,
+                    &p.name,
+                    format!("link source \"{}\" is not a unit of the page", l.from),
+                ));
+            }
+            if !resolvable(&l.target_url) {
+                out.push(Diagnostic::error(
+                    AZ203,
+                    &p.name,
+                    format!(
+                        "link \"{}\" targets \"{}\", which no page or operation serves",
+                        l.label, l.target_url
+                    ),
+                ));
+            }
+        }
+    }
+    for u in set
+        .units
+        .iter()
+        .filter(|u| !orphans.contains(u.id.as_str()))
+    {
+        if set.page(&u.page).is_none() && !expected_pages.contains(&u.page) {
+            out.push(Diagnostic::error(
+                AZ203,
+                &u.name,
+                format!("unit descriptor references unknown page \"{}\"", u.page),
+            ));
+        }
+    }
+    for o in set
+        .operations
+        .iter()
+        .filter(|o| !orphans.contains(o.id.as_str()))
+    {
+        for (what, fwd) in [("OK", &o.ok_forward), ("KO", &o.ko_forward)] {
+            if let Some(url) = fwd {
+                if !resolvable(url) {
+                    out.push(Diagnostic::error(
+                        AZ203,
+                        &o.name,
+                        format!(
+                            "{what} forward targets \"{url}\", which no page or operation serves"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- AZ204: controller configuration consistency -----------------------
+    for p in set
+        .pages
+        .iter()
+        .filter(|p| !orphans.contains(p.id.as_str()))
+    {
+        match set.controller.resolve(&p.url) {
+            None => out.push(Diagnostic::error(
+                AZ204,
+                &p.name,
+                format!("no controller action mapping for page URL \"{}\"", p.url),
+            )),
+            Some(m) => match &m.kind {
+                ActionKind::Page { page, view } => {
+                    if page != &p.id || view != &p.template {
+                        out.push(Diagnostic::error(
+                            AZ204,
+                            &p.name,
+                            format!(
+                                "action mapping for \"{}\" resolves to page \"{page}\" / view \"{view}\", expected \"{}\" / \"{}\"",
+                                p.url, p.id, p.template
+                            ),
+                        ));
+                    }
+                }
+                ActionKind::Operation { .. } => out.push(Diagnostic::error(
+                    AZ204,
+                    &p.name,
+                    format!("page URL \"{}\" is mapped to an operation", p.url),
+                )),
+            },
+        }
+    }
+    for o in set
+        .operations
+        .iter()
+        .filter(|o| !orphans.contains(o.id.as_str()))
+    {
+        let want_ok = o.ok_forward.clone().unwrap_or_default();
+        let want_ko = o
+            .ko_forward
+            .clone()
+            .or_else(|| o.ok_forward.clone())
+            .unwrap_or_default();
+        match set.controller.resolve(&o.url) {
+            None => out.push(Diagnostic::error(
+                AZ204,
+                &o.name,
+                format!(
+                    "no controller action mapping for operation URL \"{}\"",
+                    o.url
+                ),
+            )),
+            Some(m) => match &m.kind {
+                ActionKind::Operation {
+                    operation,
+                    ok_forward,
+                    ko_forward,
+                } => {
+                    if operation != &o.id || ok_forward != &want_ok || ko_forward != &want_ko {
+                        out.push(Diagnostic::error(
+                            AZ204,
+                            &o.name,
+                            format!(
+                                "action mapping for \"{}\" disagrees with the operation descriptor (operation/forwards)",
+                                o.url
+                            ),
+                        ));
+                    }
+                }
+                ActionKind::Page { .. } => out.push(Diagnostic::error(
+                    AZ204,
+                    &o.name,
+                    format!("operation URL \"{}\" is mapped to a page", o.url),
+                )),
+            },
+        }
+    }
+    // extra mappings pointing nowhere
+    for m in &set.controller.mappings {
+        let known = match &m.kind {
+            ActionKind::Page { page, .. } => {
+                set.page(page).map(|p| p.url == m.path).unwrap_or(false)
+            }
+            ActionKind::Operation { operation, .. } => set
+                .operation(operation)
+                .map(|o| o.url == m.path)
+                .unwrap_or(false),
+        };
+        if !known {
+            out.push(Diagnostic::error(
+                AZ204,
+                &m.path,
+                "controller action mapping references no descriptor in the bundle",
+            ));
+        }
+    }
+    out
+}

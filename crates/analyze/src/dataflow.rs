@@ -1,0 +1,206 @@
+//! Pass 1 — parameter-availability dataflow.
+//!
+//! A forward *must-defined* analysis over all navigation paths from the
+//! landmark/home roots: `avail(n)` is the set of request parameters that
+//! are present on **every** path reaching node `n`. Navigation edges
+//! replace the context with exactly their link parameters (a click issues
+//! `GET target?p1=...`); OK chains forward the operation's request context
+//! plus its outputs; KO chains forward the context unchanged.
+//!
+//! Any unit whose query consumes a parameter not in `avail` of its page —
+//! or operation input not in `avail` of the operation — is a latent
+//! empty-content / KO-flow bug, reported with a witness path.
+
+use crate::diag::{Diagnostic, AZ001, AZ002, AZ003, AZ004};
+use crate::ir::{internal_param, Edge, EdgeKind, NavIr, NodeKind};
+use std::collections::BTreeSet;
+
+type Avail = Option<BTreeSet<String>>; // None = not (yet) reached
+
+fn contribution(avail: &[Avail], e: &Edge) -> Avail {
+    let src = avail[e.from].as_ref()?;
+    Some(match e.kind {
+        EdgeKind::Navigation => e.params.clone(),
+        EdgeKind::OkChain => src.union(&e.params).cloned().collect(),
+        EdgeKind::KoChain => src.clone(),
+    })
+}
+
+/// Fixpoint of the must-defined analysis.
+fn solve(ir: &NavIr) -> Vec<Avail> {
+    let n = ir.nodes.len();
+    let mut avail: Vec<Avail> = vec![None; n];
+    loop {
+        let mut changed = false;
+        for node in 0..n {
+            let mut acc: Avail = if ir.nodes[node].root {
+                Some(BTreeSet::new()) // direct entry, no parameters
+            } else {
+                None
+            };
+            for &ei in &ir.in_edges[node] {
+                if let Some(c) = contribution(&avail, &ir.edges[ei]) {
+                    acc = Some(match acc {
+                        None => c,
+                        Some(a) => a.intersection(&c).cloned().collect(),
+                    });
+                }
+            }
+            if acc != avail[node] {
+                avail[node] = acc;
+                changed = true;
+            }
+        }
+        if !changed {
+            return avail;
+        }
+    }
+}
+
+/// BFS predecessor tree from the roots, for witness paths.
+fn bfs_pred(ir: &NavIr) -> Vec<Option<usize>> {
+    let n = ir.nodes.len();
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (i, node) in ir.nodes.iter().enumerate() {
+        if node.root {
+            visited[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for (ei, e) in ir.edges.iter().enumerate() {
+            if e.from == u && !visited[e.to] {
+                visited[e.to] = true;
+                pred[e.to] = Some(ei);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    pred
+}
+
+fn path_to(ir: &NavIr, pred: &[Option<usize>], target: usize) -> String {
+    let mut parts = vec![ir.nodes[target].location.clone()];
+    let mut node = target;
+    let mut hops = 0;
+    while let Some(ei) = pred[node] {
+        let e = &ir.edges[ei];
+        parts.push(format!("={}=>", e.label));
+        node = e.from;
+        parts.push(ir.nodes[node].location.clone());
+        hops += 1;
+        if hops > 64 {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join(" ")
+}
+
+/// The witness for a parameter missing at `target`: a reaching
+/// contribution (root entry or edge) that lacks it.
+fn witness_missing(
+    ir: &NavIr,
+    avail: &[Avail],
+    pred: &[Option<usize>],
+    target: usize,
+    param: &str,
+) -> String {
+    if ir.nodes[target].root {
+        return format!(
+            "direct entry at {} (landmark) carries no parameters",
+            ir.nodes[target].url
+        );
+    }
+    for &ei in &ir.in_edges[target] {
+        let e = &ir.edges[ei];
+        if let Some(c) = contribution(avail, e) {
+            if !c.contains(param) {
+                return format!(
+                    "{} ={}=> {}: parameter \"{param}\" is not carried",
+                    path_to(ir, pred, e.from),
+                    e.label,
+                    ir.nodes[target].location
+                );
+            }
+        }
+    }
+    path_to(ir, pred, target)
+}
+
+/// Does any single reaching contribution define `param`?
+fn defined_somewhere(ir: &NavIr, avail: &[Avail], target: usize, param: &str) -> bool {
+    ir.in_edges[target]
+        .iter()
+        .any(|&ei| contribution(avail, &ir.edges[ei]).is_some_and(|c| c.contains(param)))
+}
+
+/// Run the pass.
+pub fn check(ir: &NavIr) -> Vec<Diagnostic> {
+    let avail = solve(ir);
+    let pred = bfs_pred(ir);
+    let mut out = Vec::new();
+
+    // units: context parameters consumed by page queries
+    for u in &ir.units {
+        let Some(av) = &avail[u.page_node] else {
+            continue; // page unreached; reachability is WV060's finding
+        };
+        for m in u.required.iter().filter(|m| !av.contains(*m)) {
+            let some = defined_somewhere(ir, &avail, u.page_node, m);
+            let witness = witness_missing(ir, &avail, &pred, u.page_node, m);
+            let d = if some {
+                Diagnostic::error(
+                    AZ001,
+                    &u.location,
+                    format!(
+                        "context parameter \"{m}\" is undefined on some navigation path reaching the page"
+                    ),
+                )
+            } else {
+                Diagnostic::error(
+                    AZ002,
+                    &u.location,
+                    format!(
+                        "context parameter \"{m}\" is undefined on every navigation path reaching the page"
+                    ),
+                )
+            };
+            out.push(d.with_witness(witness));
+        }
+    }
+
+    // operations: invocability + input availability
+    for (i, node) in ir.nodes.iter().enumerate() {
+        if node.kind != NodeKind::Operation {
+            continue;
+        }
+        if ir.in_edges[i].is_empty() {
+            out.push(Diagnostic::warning(
+                AZ004,
+                &node.location,
+                "operation is not invocable: no link or chain leads to it",
+            ));
+            continue;
+        }
+        let Some(av) = &avail[i] else {
+            continue; // only reachable through dead chains
+        };
+        for input in node.inputs.iter().filter(|p| !internal_param(p)) {
+            if !av.contains(input) {
+                let witness = witness_missing(ir, &avail, &pred, i, input);
+                out.push(
+                    Diagnostic::error(
+                        AZ003,
+                        &node.location,
+                        format!("operation input \"{input}\" is undefined on an invocation path"),
+                    )
+                    .with_witness(witness),
+                );
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,130 @@
+//! Pass 2 — cache-invalidation soundness.
+//!
+//! §6 of the paper derives the unit-bean cache invalidation policy from
+//! the models: each cached unit carries the entities (tables) its content
+//! depends on, and each operation invalidates the tables it writes. This
+//! pass *proves* the derivation: it recomputes every unit's read-set and
+//! every operation's write-set from the conceptual model and checks that
+//! the descriptor bundle — the data actually driving `BeanCache`'s
+//! dependency index and the operations' invalidation calls — covers them.
+//!
+//! * `AZ101` (error): a cached unit's `depends_on` misses part of its
+//!   read-set — a write to the missed table serves stale beans forever.
+//! * `AZ102` (error): an operation writes a table some write-invalidated
+//!   cached unit reads, but its `invalidates` list does not name it.
+//! * `AZ103` (warning): an operation invalidates a table no cached unit
+//!   reads — harmless but wasted work (over-invalidation).
+//! * `AZ104` (error): a unit is cached with neither TTL nor
+//!   write-invalidation — staleness is unbounded.
+
+use crate::diag::{Diagnostic, AZ101, AZ102, AZ103, AZ104};
+use codegen::{operation_id, unit_id, QueryGen};
+use descriptors::DescriptorSet;
+use er::{ErModel, RelationalMapping};
+use webml::HypertextModel;
+
+struct CachedUnit {
+    location: String,
+    read_set: Vec<String>,
+    invalidate_on_write: bool,
+}
+
+/// Run the pass.
+pub fn check(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+) -> Vec<Diagnostic> {
+    let qg = QueryGen::new(er, mapping);
+    let mut out = Vec::new();
+
+    // correlate model units with their descriptors; recompute read-sets
+    // from the conceptual model (the descriptor's own depends_on is the
+    // *claim* under test, not the ground truth)
+    let mut cached: Vec<CachedUnit> = Vec::new();
+    for (uid, unit) in ht.units() {
+        let Some(desc) = set.unit(&unit_id(uid)) else {
+            continue; // missing descriptor: AZ202's finding
+        };
+        let Some(cache) = &desc.cache else {
+            continue;
+        };
+        let read_set = qg.unit_dependencies(unit);
+        let location = match set.page(&desc.page) {
+            Some(p) => format!("{}/{}/{}", p.site_view, p.name, desc.name),
+            None => desc.name.clone(),
+        };
+        if cache.ttl_ms.is_none() && !cache.invalidate_on_write {
+            out.push(Diagnostic::error(
+                AZ104,
+                &location,
+                "unit is cached with neither TTL nor write-invalidation: staleness is unbounded",
+            ));
+        }
+        if cache.invalidate_on_write {
+            let missing: Vec<String> = read_set
+                .iter()
+                .filter(|t| !desc.depends_on.contains(t))
+                .map(|t| format!("\"{t}\""))
+                .collect();
+            if !missing.is_empty() {
+                out.push(Diagnostic::error(
+                    AZ101,
+                    &location,
+                    format!(
+                        "cache dependency list misses read-set table(s) {}: writes there would serve stale beans",
+                        missing.join(", ")
+                    ),
+                ));
+            }
+        }
+        cached.push(CachedUnit {
+            location,
+            read_set,
+            invalidate_on_write: cache.invalidate_on_write,
+        });
+    }
+
+    // operations: recomputed write-set vs the declared invalidation list
+    for (oid, op) in ht.operations() {
+        let Some(desc) = set.operation(&operation_id(oid)) else {
+            continue; // missing descriptor: AZ202's finding
+        };
+        let Ok((_, _, write_set)) = qg.operation_sql(op) else {
+            continue; // unresolvable op: generation-time error
+        };
+        for t in &write_set {
+            if desc.invalidates.contains(t) {
+                continue;
+            }
+            let readers: Vec<&str> = cached
+                .iter()
+                .filter(|c| c.invalidate_on_write && c.read_set.iter().any(|r| r == t))
+                .map(|c| c.location.as_str())
+                .collect();
+            if !readers.is_empty() {
+                out.push(Diagnostic::error(
+                    AZ102,
+                    &desc.name,
+                    format!(
+                        "operation writes table \"{t}\" but does not invalidate it; stale-serving cached reader(s): {}",
+                        readers.join(", ")
+                    ),
+                ));
+            }
+        }
+        for t in &desc.invalidates {
+            if !cached.iter().any(|c| c.read_set.iter().any(|r| r == t)) {
+                out.push(Diagnostic::warning(
+                    AZ103,
+                    &desc.name,
+                    format!(
+                        "invalidating table \"{t}\" triggers no cached unit's read-set (over-invalidation)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

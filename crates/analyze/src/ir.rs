@@ -1,0 +1,296 @@
+//! The navigation/dataflow IR.
+//!
+//! Pages, units and operations become nodes; contextual/non-contextual
+//! links, OK/KO chains become inter-node edges annotated with the
+//! parameter names they transport; transport/automatic links stay inside
+//! a page and surface as the *edge-supplied* parameter sets of its units.
+//!
+//! The IR is lowered from the **generated descriptor bundle** — the
+//! artifact the runtime actually executes — cross-checked against the
+//! model where the bundle is lossy (page-to-page navigational links are
+//! rendered by the global navigation, not by unit anchors, so they only
+//! exist in the model).
+
+use crate::diag::IrStats;
+use descriptors::DescriptorSet;
+use std::collections::{BTreeSet, HashMap};
+use webml::{HypertextModel, LinkEnd};
+
+/// What a node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Page,
+    Operation,
+}
+
+/// One page or operation.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// Descriptor id (`page3`, `op1`).
+    pub id: String,
+    pub name: String,
+    /// Location path used in diagnostics (`main/home`, `create_book`).
+    pub location: String,
+    pub url: String,
+    /// Landmark/home pages: entered directly, with no link parameters.
+    pub root: bool,
+    /// Operation inputs (binding order), page nodes: empty.
+    pub inputs: Vec<String>,
+    /// Parameters the node *adds* to a forwarded request (operation
+    /// outputs: `oid` for create, `user` for login).
+    pub outputs: Vec<String>,
+}
+
+/// How an edge is navigated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A user-navigated (contextual or non-contextual) link.
+    Navigation,
+    /// Forward taken after a successful operation.
+    OkChain,
+    /// Forward taken after a failed operation.
+    KoChain,
+}
+
+/// One inter-node edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub kind: EdgeKind,
+    pub from: usize,
+    pub to: usize,
+    /// Parameter names the edge transports (for navigation edges: the
+    /// link parameters; chains carry the operation's request context).
+    pub params: BTreeSet<String>,
+    /// Human label for witnesses.
+    pub label: String,
+}
+
+/// Per-unit consumption info: which context parameters the unit needs
+/// from the page request (its query inputs minus what intra-page edges
+/// supply and minus runtime-internal / session-scoped names).
+#[derive(Debug, Clone)]
+pub struct UnitUse {
+    pub id: String,
+    pub location: String,
+    pub page_node: usize,
+    pub required: BTreeSet<String>,
+}
+
+/// The lowered application graph.
+#[derive(Debug, Clone, Default)]
+pub struct NavIr {
+    pub nodes: Vec<Node>,
+    pub edges: Vec<Edge>,
+    pub units: Vec<UnitUse>,
+    /// Incoming edge indices per node.
+    pub in_edges: Vec<Vec<usize>>,
+}
+
+impl NavIr {
+    pub fn stats(&self) -> IrStats {
+        IrStats {
+            pages: self
+                .nodes
+                .iter()
+                .filter(|n| n.kind == NodeKind::Page)
+                .count(),
+            units: self.units.len(),
+            operations: self
+                .nodes
+                .iter()
+                .filter(|n| n.kind == NodeKind::Operation)
+                .count(),
+            edges: self.edges.len(),
+        }
+    }
+
+    pub fn node_by_id(&self, id: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+}
+
+/// Is this query input satisfied outside the navigation dataflow?
+/// `block_*` (scroller window) and `parent` (hierarchy recursion) are
+/// runtime-internal; `session_*` comes from the session store.
+pub(crate) fn internal_param(name: &str) -> bool {
+    name.starts_with("block_") || name == "parent" || name.starts_with("session_")
+}
+
+fn operation_outputs(op_type: &str) -> Vec<String> {
+    match op_type {
+        "create" => vec!["oid".to_string()],
+        "login" => vec!["user".to_string()],
+        _ => Vec::new(),
+    }
+}
+
+/// Lower the descriptor bundle (+ the model's page-sourced navigational
+/// links) into a [`NavIr`]. Dangling references are *dropped* here — the
+/// cross-check pass reports them (`AZ203`); the dataflow pass must not
+/// also trip over them.
+pub fn lower(ht: &HypertextModel, set: &DescriptorSet) -> NavIr {
+    let mut ir = NavIr::default();
+    let mut by_url: HashMap<&str, usize> = HashMap::new();
+    let mut by_id: HashMap<&str, usize> = HashMap::new();
+
+    for p in &set.pages {
+        let idx = ir.nodes.len();
+        ir.nodes.push(Node {
+            kind: NodeKind::Page,
+            id: p.id.clone(),
+            name: p.name.clone(),
+            location: format!("{}/{}", p.site_view, p.name),
+            url: p.url.clone(),
+            root: p.landmark,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
+        by_url.insert(p.url.as_str(), idx);
+        by_id.insert(p.id.as_str(), idx);
+    }
+    for o in &set.operations {
+        let idx = ir.nodes.len();
+        ir.nodes.push(Node {
+            kind: NodeKind::Operation,
+            id: o.id.clone(),
+            name: o.name.clone(),
+            location: o.name.clone(),
+            url: o.url.clone(),
+            root: false,
+            inputs: o.inputs.clone(),
+            outputs: operation_outputs(&o.op_type),
+        });
+        by_url.insert(o.url.as_str(), idx);
+        by_id.insert(o.id.as_str(), idx);
+    }
+
+    // navigation edges from unit anchors (descriptor links)
+    for p in &set.pages {
+        let Some(&from) = by_id.get(p.id.as_str()) else {
+            continue;
+        };
+        for l in &p.links {
+            let Some(&to) = by_url.get(l.target_url.as_str()) else {
+                continue; // dangling: AZ203's business
+            };
+            let label = if l.label.is_empty() {
+                format!("link to {}", l.target_url)
+            } else {
+                format!("link \"{}\"", l.label)
+            };
+            ir.edges.push(Edge {
+                kind: EdgeKind::Navigation,
+                from,
+                to,
+                params: l.params.iter().map(|b| b.name.clone()).collect(),
+                label,
+            });
+        }
+    }
+
+    // page-sourced navigational links only exist in the model (the
+    // generator renders them via the global navigation, not unit anchors)
+    for (_, l) in ht.links() {
+        if !l.kind.is_user_navigated() {
+            continue;
+        }
+        let Some(src_page) = l.source.as_page() else {
+            continue;
+        };
+        let from_id = codegen::page_id(src_page);
+        let Some(&from) = by_id.get(from_id.as_str()) else {
+            continue;
+        };
+        let to_id = match l.target {
+            LinkEnd::Page(p) => codegen::page_id(p),
+            LinkEnd::Unit(u) => codegen::page_id(ht.unit(u).page),
+            LinkEnd::Operation(o) => codegen::operation_id(o),
+        };
+        let Some(&to) = by_id.get(to_id.as_str()) else {
+            continue;
+        };
+        let label = match &l.label {
+            Some(lbl) => format!("link \"{lbl}\""),
+            None => format!("link to {}", ir.nodes[to].url),
+        };
+        ir.edges.push(Edge {
+            kind: EdgeKind::Navigation,
+            from,
+            to,
+            params: l.parameters.iter().map(|p| p.name.clone()).collect(),
+            label,
+        });
+    }
+
+    // OK/KO chains: operation forwards (URLs); a missing KO forward falls
+    // back to the OK target, as the controller does at dispatch time.
+    for o in &set.operations {
+        let Some(&from) = by_id.get(o.id.as_str()) else {
+            continue;
+        };
+        let outputs: BTreeSet<String> = ir.nodes[from].outputs.iter().cloned().collect();
+        if let Some(ok) = &o.ok_forward {
+            if let Some(&to) = by_url.get(ok.as_str()) {
+                ir.edges.push(Edge {
+                    kind: EdgeKind::OkChain,
+                    from,
+                    to,
+                    params: outputs.clone(),
+                    label: format!("OK of {}", o.name),
+                });
+            }
+        }
+        let ko = o.ko_forward.as_ref().or(o.ok_forward.as_ref());
+        if let Some(ko) = ko {
+            if let Some(&to) = by_url.get(ko.as_str()) {
+                ir.edges.push(Edge {
+                    kind: EdgeKind::KoChain,
+                    from,
+                    to,
+                    params: BTreeSet::new(),
+                    label: format!("KO of {}", o.name),
+                });
+            }
+        }
+    }
+
+    // per-unit consumption
+    for p in &set.pages {
+        let Some(&page_node) = by_id.get(p.id.as_str()) else {
+            continue;
+        };
+        for uid in &p.units {
+            let Some(u) = set.unit(uid) else {
+                continue; // dangling unitRef: AZ203
+            };
+            let supplied: BTreeSet<&str> = p
+                .edges
+                .iter()
+                .filter(|e| &e.to == uid)
+                .flat_map(|e| e.params.iter().map(|b| b.name.as_str()))
+                .collect();
+            let mut required = BTreeSet::new();
+            for q in &u.queries {
+                for input in &q.inputs {
+                    if internal_param(input) || supplied.contains(input.as_str()) {
+                        continue;
+                    }
+                    required.insert(input.clone());
+                }
+            }
+            ir.units.push(UnitUse {
+                id: u.id.clone(),
+                location: format!("{}/{}", ir.nodes[page_node].location, u.name),
+                page_node,
+                required,
+            });
+        }
+    }
+
+    ir.in_edges = vec![Vec::new(); ir.nodes.len()];
+    for (i, e) in ir.edges.iter().enumerate() {
+        ir.in_edges[e.to].push(i);
+    }
+    ir
+}

@@ -215,6 +215,27 @@ impl<V> BeanCache<V> {
         self.stats.invalidation(n as u64);
     }
 
+    /// The entities currently present in the reverse dependency index —
+    /// the set of tables a write to which would invalidate at least one
+    /// cached bean. Sorted for deterministic assertions; the index keeps
+    /// no entry for entities whose last dependent bean was removed.
+    pub fn dependency_entities(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut v: Vec<String> = inner.by_entity.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of cached beans indexed under `entity`.
+    pub fn dependents_of(&self, entity: &str) -> usize {
+        self.inner
+            .lock()
+            .by_entity
+            .get(entity)
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
     }
@@ -337,6 +358,61 @@ mod tests {
         // no panic + counters consistent
         let s = c.stats();
         assert!(s.insertions > 0);
+    }
+
+    #[test]
+    fn dependency_index_tracks_entities_no_query_reads() {
+        // a bean may declare a dependency no other unit's query reads —
+        // the index must still register it so a write there invalidates
+        // the bean (the analyzer's AZ103 flags the model-level waste, but
+        // the cache itself must stay sound)
+        let c: BeanCache<i32> = BeanCache::new(8);
+        c.put(BeanKey::new("u1", "a"), 1, &deps(&["orphan_table"]), None);
+        assert_eq!(c.dependency_entities(), vec!["orphan_table".to_string()]);
+        assert_eq!(c.dependents_of("orphan_table"), 1);
+        assert_eq!(c.invalidate_entity("orphan_table"), 1);
+        assert!(c.is_empty());
+        assert!(c.dependency_entities().is_empty(), "ghost index entry");
+    }
+
+    #[test]
+    fn removing_last_dependent_cleans_by_entity_index() {
+        let c: BeanCache<i32> = BeanCache::new(8);
+        let k2 = BeanKey::new("u2", "a");
+        c.put(BeanKey::new("u1", "a"), 1, &deps(&["product"]), None);
+        c.put(k2.clone(), 2, &deps(&["product", "news"]), None);
+        assert_eq!(c.dependents_of("product"), 2);
+
+        // replacement rewrites k2's deps: "news" loses its last dependent
+        c.put(k2, 3, &deps(&["product"]), None);
+        assert_eq!(c.dependents_of("news"), 0);
+        assert_eq!(c.dependency_entities(), vec!["product".to_string()]);
+
+        // invalidation drops both dependents and the index entry itself
+        assert_eq!(c.invalidate_entity("product"), 2);
+        assert!(c.dependency_entities().is_empty(), "ghost by_entity entry");
+        assert_eq!(c.invalidate_entity("product"), 0); // idempotent when empty
+    }
+
+    #[test]
+    fn ttl_expiry_and_eviction_clean_the_dependency_index() {
+        let c: BeanCache<i32> = BeanCache::new(1);
+        let t0 = Instant::now();
+        let k = BeanKey::new("u", "p");
+        c.put_at(
+            k.clone(),
+            1,
+            &deps(&["volume"]),
+            Some(Duration::from_millis(10)),
+            t0,
+        );
+        assert!(c.get_at(&k, t0 + Duration::from_millis(20)).is_none());
+        assert!(c.dependency_entities().is_empty());
+
+        // capacity-1 eviction: the victim's deps leave the index with it
+        c.put(BeanKey::new("a", ""), 1, &deps(&["t1"]), None);
+        c.put(BeanKey::new("b", ""), 2, &deps(&["t2"]), None);
+        assert_eq!(c.dependency_entities(), vec!["t2".to_string()]);
     }
 
     #[test]

@@ -43,6 +43,25 @@ impl Application {
         webml::validate(&self.er, &self.hypertext)
     }
 
+    /// Run the whole-application analyzer (`WVxxx` + `AZxxx` findings)
+    /// over the model and its generated descriptor bundle. When the model
+    /// is not even generable, the report carries the validator findings
+    /// that stopped generation.
+    pub fn analyze_report(&self) -> analyze::Report {
+        match self.generate() {
+            Ok(g) => analyze::analyze(&self.er, &self.mapping, &self.hypertext, &g.descriptors),
+            Err(_) => {
+                let mut r = analyze::Report::default();
+                for i in self.validate() {
+                    r.diagnostics.push(i.into());
+                }
+                r.dedup();
+                r.sort();
+                r
+            }
+        }
+    }
+
     /// Run the code generators.
     pub fn generate(&self) -> Result<Generated, GenError> {
         codegen::generate(&self.er, &self.mapping, &self.hypertext)
@@ -86,6 +105,66 @@ impl Application {
             obs: registry,
             wal: None,
             recovery: None,
+            analysis: None,
+        })
+    }
+
+    /// Deploy behind the static-analysis gate: run the whole-application
+    /// analyzer over the generated bundle first and — at
+    /// [`analyze::Gate::Deny`] — refuse to serve a model with
+    /// Error-severity findings. The report (validator `WVxxx` findings
+    /// plus the analyzer's `AZxxx` passes, deduplicated) is recorded into
+    /// the deployment's metrics registry
+    /// (`analyze_diagnostics_total{code,severity}`, `analyze_run_micros`)
+    /// and kept on [`Deployment::analysis`] for inspection.
+    pub fn deploy_checked(&self, options: DeployOptions) -> Result<Deployment, DeployError> {
+        let registry = obs::MetricsRegistry::new();
+        let generated = self.generate().map_err(DeployError::Generation)?;
+        let analysis = match options.analysis {
+            analyze::Gate::Off => None,
+            gate => {
+                let t0 = std::time::Instant::now();
+                let report = analyze::analyze(
+                    &self.er,
+                    &self.mapping,
+                    &self.hypertext,
+                    &generated.descriptors,
+                );
+                registry.analyze.runs.inc();
+                registry
+                    .analyze
+                    .analysis_micros
+                    .observe_us(t0.elapsed().as_micros() as u64);
+                for ((code, severity), n) in report.code_counts() {
+                    registry.analyze.record_diagnostics(code, severity, n);
+                }
+                if gate == analyze::Gate::Deny && report.has_errors() {
+                    return Err(DeployError::Analysis(Box::new(report)));
+                }
+                Some(report)
+            }
+        };
+        let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
+        db.execute_script(&generated.ddl)
+            .map_err(DeployError::Schema)?;
+        pin_descriptor_plans(&db, &generated.descriptors);
+        let controller = Arc::new(Controller::with_observability(
+            generated.descriptors.clone(),
+            generated.skeletons.clone(),
+            Arc::clone(&db),
+            options.runtime,
+            ServiceRegistry::standard(),
+            DeviceRegistry::standard(),
+            Arc::clone(&registry),
+        ));
+        Ok(Deployment {
+            generated,
+            db,
+            controller,
+            obs: registry,
+            wal: None,
+            recovery: None,
+            analysis,
         })
     }
 
@@ -147,6 +226,7 @@ impl Application {
             obs: registry,
             wal: Some(wal),
             recovery: Some(info),
+            analysis: None,
         })
     }
 
@@ -171,7 +251,27 @@ impl Application {
             obs,
             wal: None,
             recovery: None,
+            analysis: None,
         })
+    }
+}
+
+/// Options for [`Application::deploy_checked`]: runtime configuration
+/// plus the static-analysis gate level (defaults to
+/// [`analyze::Gate::Deny`] — an unsound model is rejected before it
+/// serves traffic).
+#[derive(Debug, Clone, Default)]
+pub struct DeployOptions {
+    pub runtime: RuntimeOptions,
+    pub analysis: analyze::Gate,
+}
+
+impl DeployOptions {
+    pub fn with_gate(analysis: analyze::Gate) -> DeployOptions {
+        DeployOptions {
+            runtime: RuntimeOptions::default(),
+            analysis,
+        }
     }
 }
 
@@ -231,6 +331,9 @@ pub enum DeployError {
     Generation(GenError),
     Schema(relstore::Error),
     Durability(io::Error),
+    /// The static-analysis gate (level [`analyze::Gate::Deny`]) refused
+    /// the model; the full report is attached.
+    Analysis(Box<analyze::Report>),
 }
 
 impl std::fmt::Display for DeployError {
@@ -239,6 +342,14 @@ impl std::fmt::Display for DeployError {
             DeployError::Generation(e) => write!(f, "generation failed: {e}"),
             DeployError::Schema(e) => write!(f, "schema deployment failed: {e}"),
             DeployError::Durability(e) => write!(f, "durability setup failed: {e}"),
+            DeployError::Analysis(report) => {
+                let n = report.errors().count();
+                write!(f, "analysis gate denied deployment: {n} error(s)")?;
+                if let Some(first) = report.errors().next() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -257,6 +368,9 @@ pub struct Deployment {
     pub wal: Option<Arc<wal::Wal>>,
     /// What recovery found at boot (durable deployments only).
     pub recovery: Option<wal::RecoveryInfo>,
+    /// The analyzer report, when deployed via
+    /// [`Application::deploy_checked`] with the gate at `Warn`/`Deny`.
+    pub analysis: Option<analyze::Report>,
 }
 
 impl Deployment {

@@ -27,13 +27,14 @@ pub mod fixtures;
 pub mod synth;
 
 pub use app::{
-    adapt_request, adapt_response, pin_descriptor_plans, Application, DeployError, Deployment,
-    DurabilityConfig, SESSION_COOKIE,
+    adapt_request, adapt_response, pin_descriptor_plans, Application, DeployError, DeployOptions,
+    Deployment, DurabilityConfig, SESSION_COOKIE,
 };
 pub use synth::{seed_data, synthesize, SynthSpec};
 pub use wal;
 
 // re-export the component crates so downstream users need one dependency
+pub use analyze;
 pub use codegen;
 pub use descriptors;
 pub use er;

@@ -23,5 +23,7 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry, WalCounters};
+pub use metrics::{
+    AnalyzeCounters, CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry, WalCounters,
+};
 pub use trace::{RequestContext, Span, SpanToken};

@@ -187,6 +187,41 @@ impl WalCounters {
     }
 }
 
+/// The counter block the whole-application model checker reports into:
+/// analyzer runs, findings by stable code, and analysis latency.
+#[derive(Debug, Default)]
+pub struct AnalyzeCounters {
+    /// Analyzer runs (one per checked deploy or explicit analysis).
+    pub runs: Counter,
+    /// Findings keyed by `(code, severity)` — rendered as the labelled
+    /// `analyze_diagnostics_total{code,severity}` family.
+    diagnostics: Mutex<BTreeMap<(String, String), u64>>,
+    /// Wall time of one whole-model analysis, in µs.
+    pub analysis_micros: Histogram,
+}
+
+impl AnalyzeCounters {
+    pub fn new() -> AnalyzeCounters {
+        AnalyzeCounters::default()
+    }
+
+    /// Count `n` findings with the given stable code and severity.
+    pub fn record_diagnostics(&self, code: &str, severity: &str, n: u64) {
+        let mut map = self.diagnostics.lock();
+        *map.entry((code.to_string(), severity.to_string()))
+            .or_insert(0) += n;
+    }
+
+    /// Snapshot of per-(code, severity) finding counts.
+    pub fn diagnostic_counts(&self) -> Vec<((String, String), u64)> {
+        self.diagnostics
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
 /// The process-wide registry every tier plugs into.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -204,6 +239,8 @@ pub struct MetricsRegistry {
     pub db: Arc<DbCounters>,
     /// Durability subsystem (write-ahead log) counters.
     pub wal: Arc<WalCounters>,
+    /// Whole-application model checker counters.
+    pub analyze: Arc<AnalyzeCounters>,
     /// Bytes crossing the app-server marshalling boundary (Fig. 6).
     pub appserver_bytes_marshalled: Counter,
     pub appserver_requests: Counter,
@@ -379,6 +416,31 @@ impl MetricsRegistry {
             "",
             &self.wal.recovery_micros,
         );
+        counter_into(
+            &mut out,
+            "analyze_runs_total",
+            "Whole-model analyzer runs",
+            self.analyze.runs.get(),
+        );
+        // labelled family: the header is always emitted so scrapers learn
+        // the name even before the first finding
+        let _ = writeln!(
+            out,
+            "# HELP analyze_diagnostics_total Analyzer findings by stable code and severity"
+        );
+        let _ = writeln!(out, "# TYPE analyze_diagnostics_total counter");
+        for ((code, severity), v) in self.analyze.diagnostic_counts() {
+            let _ = writeln!(
+                out,
+                "analyze_diagnostics_total{{code=\"{code}\",severity=\"{severity}\"}} {v}"
+            );
+        }
+        Self::render_histogram(
+            &mut out,
+            "analyze_run_micros",
+            "",
+            &self.analyze.analysis_micros,
+        );
         Self::render_histogram(
             &mut out,
             "webml_request_latency_us",
@@ -465,6 +527,24 @@ mod tests {
         assert_eq!(reg.bean_cache.hits.get(), 8000);
         assert_eq!(reg.request_latency.count(), 8000);
         assert_eq!(reg.unit_histogram("index").count(), 8000);
+    }
+
+    #[test]
+    fn analyze_counters_render_labelled_family() {
+        let reg = MetricsRegistry::new();
+        // the family header is present even before any finding
+        let empty = reg.render_prometheus();
+        assert!(empty.contains("# TYPE analyze_diagnostics_total counter"));
+        assert!(empty.contains("analyze_runs_total 0"));
+        reg.analyze.runs.inc();
+        reg.analyze.record_diagnostics("AZ001", "error", 2);
+        reg.analyze.record_diagnostics("AZ103", "warning", 1);
+        reg.analyze.analysis_micros.observe_us(450);
+        let text = reg.render_prometheus();
+        assert!(text.contains("analyze_diagnostics_total{code=\"AZ001\",severity=\"error\"} 2"));
+        assert!(text.contains("analyze_diagnostics_total{code=\"AZ103\",severity=\"warning\"} 1"));
+        assert!(text.contains("# TYPE analyze_run_micros histogram"));
+        assert!(text.contains("analyze_runs_total 1"));
     }
 
     #[test]

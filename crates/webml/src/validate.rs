@@ -23,9 +23,40 @@ pub enum Severity {
 }
 
 /// One validation finding.
+///
+/// Every finding carries a *stable* diagnostic code (`WVxxx`) so reports,
+/// deploy gates and downstream tooling can key on the class of problem
+/// instead of matching message strings. The code catalogue:
+///
+/// | code  | severity | finding |
+/// |-------|----------|---------|
+/// | WV001 | error    | duplicate site view name |
+/// | WV002 | error    | duplicate page name in a site view |
+/// | WV003 | error    | duplicate unit name in a page |
+/// | WV010 | error    | site view has no home page |
+/// | WV011 | error    | home page belongs to another site view |
+/// | WV020 | warning  | entry unit has no fields |
+/// | WV021 | error    | duplicate entry field |
+/// | WV022 | error    | plug-in unit without type name |
+/// | WV023 | error    | hierarchical index with no levels |
+/// | WV024 | error    | hierarchy role chain broken / unknown role |
+/// | WV025 | error    | reference to unknown attribute |
+/// | WV026 | error    | content unit without / with unknown entity |
+/// | WV027 | error    | selector role unknown or does not reach entity |
+/// | WV030 | error    | transport/automatic link shape (non-unit ends, crosses pages) |
+/// | WV031 | error    | OK/KO link shape |
+/// | WV032 | error    | navigational link starts from an operation |
+/// | WV033 | error    | duplicate link parameter |
+/// | WV034 | error    | link parameter source unresolvable |
+/// | WV040 | error    | operation has no OK link |
+/// | WV041 | error    | operation references unknown role/entity |
+/// | WV050 | error    | transport links form a cycle |
+/// | WV060 | warning  | page unreachable from home/landmarks |
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Issue {
     pub severity: Severity,
+    /// Stable diagnostic code (`WVxxx`); see the type-level table.
+    pub code: &'static str,
     pub location: String,
     pub message: String,
 }
@@ -36,7 +67,11 @@ impl fmt::Display for Issue {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
-        write!(f, "{sev}: {}: {}", self.location, self.message)
+        write!(
+            f,
+            "{sev}[{}]: {}: {}",
+            self.code, self.location, self.message
+        )
     }
 }
 
@@ -60,17 +95,29 @@ pub fn is_valid(er: &ErModel, ht: &HypertextModel) -> bool {
         .all(|i| i.severity != Severity::Error)
 }
 
-fn err(issues: &mut Vec<Issue>, location: impl Into<String>, message: impl Into<String>) {
+fn err(
+    issues: &mut Vec<Issue>,
+    code: &'static str,
+    location: impl Into<String>,
+    message: impl Into<String>,
+) {
     issues.push(Issue {
         severity: Severity::Error,
+        code,
         location: location.into(),
         message: message.into(),
     });
 }
 
-fn warn(issues: &mut Vec<Issue>, location: impl Into<String>, message: impl Into<String>) {
+fn warn(
+    issues: &mut Vec<Issue>,
+    code: &'static str,
+    location: impl Into<String>,
+    message: impl Into<String>,
+) {
     issues.push(Issue {
         severity: Severity::Warning,
+        code,
         location: location.into(),
         message: message.into(),
     });
@@ -80,7 +127,7 @@ fn check_names(ht: &HypertextModel, issues: &mut Vec<Issue>) {
     let mut sv_names = HashSet::new();
     for (_, sv) in ht.site_views() {
         if !sv_names.insert(sv.name.to_ascii_lowercase()) {
-            err(issues, &sv.name, "duplicate site view name");
+            err(issues, "WV001", &sv.name, "duplicate site view name");
         }
         let mut page_names = HashSet::new();
         for (_, p) in ht.pages() {
@@ -89,6 +136,7 @@ fn check_names(ht: &HypertextModel, issues: &mut Vec<Issue>) {
             {
                 err(
                     issues,
+                    "WV002",
                     format!("{}/{}", sv.name, p.name),
                     "duplicate page name in site view",
                 );
@@ -101,6 +149,7 @@ fn check_names(ht: &HypertextModel, issues: &mut Vec<Issue>) {
             if !unit_names.insert(u.name.to_ascii_lowercase()) {
                 err(
                     issues,
+                    "WV003",
                     format!("{}/{}", p.name, u.name),
                     "duplicate unit name in page",
                 );
@@ -112,10 +161,15 @@ fn check_names(ht: &HypertextModel, issues: &mut Vec<Issue>) {
 fn check_homes(ht: &HypertextModel, issues: &mut Vec<Issue>) {
     for (svid, sv) in ht.site_views() {
         match sv.home {
-            None => err(issues, &sv.name, "site view has no home page"),
+            None => err(issues, "WV010", &sv.name, "site view has no home page"),
             Some(h) => {
                 if ht.page(h).site_view != svid {
-                    err(issues, &sv.name, "home page belongs to another site view");
+                    err(
+                        issues,
+                        "WV011",
+                        &sv.name,
+                        "home page belongs to another site view",
+                    );
                 }
             }
         }
@@ -129,28 +183,29 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
         match &u.kind {
             UnitKind::Entry { fields } => {
                 if fields.is_empty() {
-                    warn(issues, &loc, "entry unit has no fields");
+                    warn(issues, "WV020", &loc, "entry unit has no fields");
                 }
                 let mut names = HashSet::new();
                 for f in fields {
                     if !names.insert(f.name.to_ascii_lowercase()) {
-                        err(issues, &loc, format!("duplicate field {}", f.name));
+                        err(issues, "WV021", &loc, format!("duplicate field {}", f.name));
                     }
                 }
             }
             UnitKind::PlugIn { type_name } => {
                 if type_name.is_empty() {
-                    err(issues, &loc, "plug-in unit without type name");
+                    err(issues, "WV022", &loc, "plug-in unit without type name");
                 }
             }
             UnitKind::HierarchicalIndex { levels } => {
                 if levels.is_empty() {
-                    err(issues, &loc, "hierarchical index with no levels");
+                    err(issues, "WV023", &loc, "hierarchical index with no levels");
                 }
                 for (k, level) in levels.iter().enumerate() {
                     match er.role(&level.role) {
                         None => err(
                             issues,
+                            "WV024",
                             &loc,
                             format!("level {k} references unknown role {}", level.role),
                         ),
@@ -160,6 +215,7 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                             if reached != level.entity {
                                 err(
                                     issues,
+                                    "WV024",
                                     &loc,
                                     format!(
                                         "level {k}: role {} does not reach entity {}",
@@ -173,6 +229,7 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                             if k > 0 && from != levels[k - 1].entity {
                                 err(
                                     issues,
+                                    "WV024",
                                     &loc,
                                     format!(
                                         "level {k}: role {} does not start from level {} entity",
@@ -188,38 +245,45 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                             if e.attribute(a).is_none() {
                                 err(
                                     issues,
+                                    "WV025",
                                     &loc,
                                     format!("level {k} displays unknown attribute {a}"),
                                 );
                             }
                         }
                     } else {
-                        err(issues, &loc, format!("level {k}: unknown entity"));
+                        err(issues, "WV026", &loc, format!("level {k}: unknown entity"));
                     }
                 }
                 continue; // attribute checks below don't apply
             }
             _ => {
                 if u.kind.queries_data() && u.entity.is_none() {
-                    err(issues, &loc, "content unit without entity");
+                    err(issues, "WV026", &loc, "content unit without entity");
                 }
             }
         }
         // attribute references
         if let Some(eid) = u.entity {
             let Some(e) = er.entity(eid) else {
-                err(issues, &loc, "unknown entity");
+                err(issues, "WV026", &loc, "unknown entity");
                 continue;
             };
             for a in &u.display_attributes {
                 if e.attribute(a).is_none() {
-                    err(issues, &loc, format!("displays unknown attribute {a}"));
+                    err(
+                        issues,
+                        "WV025",
+                        &loc,
+                        format!("displays unknown attribute {a}"),
+                    );
                 }
             }
             for s in &u.sort {
                 if e.attribute(&s.attribute).is_none() {
                     err(
                         issues,
+                        "WV025",
                         &loc,
                         format!("sorts by unknown attribute {}", s.attribute),
                     );
@@ -232,18 +296,25 @@ fn check_units(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                         if e.attribute(attribute).is_none() {
                             err(
                                 issues,
+                                "WV025",
                                 &loc,
                                 format!("selector uses unknown attribute {attribute}"),
                             );
                         }
                     }
                     Condition::Role { role, .. } => match er.role(role) {
-                        None => err(issues, &loc, format!("selector uses unknown role {role}")),
+                        None => err(
+                            issues,
+                            "WV027",
+                            &loc,
+                            format!("selector uses unknown role {role}"),
+                        ),
                         Some((_, rel, forward)) => {
                             let reached = if forward { rel.target } else { rel.source };
                             if reached != eid {
                                 err(
                                     issues,
+                                    "WV027",
                                     &loc,
                                     format!("role {role} does not reach the unit's entity"),
                                 );
@@ -263,22 +334,28 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
         match l.kind {
             LinkKind::Transport | LinkKind::Automatic => {
                 let (Some(s), Some(t)) = (l.source.as_unit(), l.target.as_unit()) else {
-                    err(issues, &loc, "transport/automatic links connect units");
+                    err(
+                        issues,
+                        "WV030",
+                        &loc,
+                        "transport/automatic links connect units",
+                    );
                     continue;
                 };
                 if ht.unit(s).page != ht.unit(t).page {
-                    err(issues, &loc, "transport link crosses pages");
+                    err(issues, "WV030", &loc, "transport link crosses pages");
                 }
             }
             LinkKind::Ok | LinkKind::Ko => {
                 if l.source.as_operation().is_none() {
-                    err(issues, &loc, "OK/KO links start from operations");
+                    err(issues, "WV031", &loc, "OK/KO links start from operations");
                 }
                 if matches!(l.target, LinkEnd::Unit(_)) {
                     // allowed: contextual into a unit of the target page
                 } else if l.target.as_operation().is_none() && l.target.as_page().is_none() {
                     err(
                         issues,
+                        "WV031",
                         &loc,
                         "OK/KO link must target a page, unit or operation",
                     );
@@ -288,6 +365,7 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                 if l.source.as_operation().is_some() {
                     err(
                         issues,
+                        "WV032",
                         &loc,
                         "navigational links cannot start from operations",
                     );
@@ -298,29 +376,45 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
         let mut names = HashSet::new();
         for p in &l.parameters {
             if !names.insert(p.name.to_ascii_lowercase()) {
-                err(issues, &loc, format!("duplicate link parameter {}", p.name));
+                err(
+                    issues,
+                    "WV033",
+                    &loc,
+                    format!("duplicate link parameter {}", p.name),
+                );
             }
             match (&p.source, l.source) {
                 (ParamSource::SelectedOid, LinkEnd::Unit(u)) => {
                     if ht.unit(u).entity.is_none() {
-                        err(issues, &loc, "SelectedOid from a unit without entity");
+                        err(
+                            issues,
+                            "WV034",
+                            &loc,
+                            "SelectedOid from a unit without entity",
+                        );
                     }
                 }
                 (ParamSource::SelectedOid, _) => {
-                    err(issues, &loc, "SelectedOid requires a unit source");
+                    err(issues, "WV034", &loc, "SelectedOid requires a unit source");
                 }
                 (ParamSource::Attribute(a), LinkEnd::Unit(u)) => {
                     match ht.unit(u).entity.and_then(|e| er.entity(e)) {
                         Some(e) if e.attribute(a).is_some() => {}
                         _ => err(
                             issues,
+                            "WV034",
                             &loc,
                             format!("attribute parameter {a} unresolvable"),
                         ),
                     }
                 }
                 (ParamSource::Attribute(_), _) => {
-                    err(issues, &loc, "attribute parameter requires a unit source");
+                    err(
+                        issues,
+                        "WV034",
+                        &loc,
+                        "attribute parameter requires a unit source",
+                    );
                 }
                 (ParamSource::Field(f), LinkEnd::Unit(u)) => {
                     let ok = matches!(&ht.unit(u).kind, UnitKind::Entry { fields }
@@ -328,6 +422,7 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                     if !ok {
                         err(
                             issues,
+                            "WV034",
                             &loc,
                             format!("field parameter {f} is not a field of the source entry unit"),
                         );
@@ -336,6 +431,7 @@ fn check_links(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) {
                 (ParamSource::Field(_), _) => {
                     err(
                         issues,
+                        "WV034",
                         &loc,
                         "field parameter requires an entry-unit source",
                     );
@@ -354,21 +450,21 @@ fn check_operations(er: &ErModel, ht: &HypertextModel, issues: &mut Vec<Issue>) 
             .links_from(LinkEnd::Operation(oid))
             .any(|(_, l)| l.kind == LinkKind::Ok);
         if !has_ok {
-            err(issues, &loc, "operation has no OK link");
+            err(issues, "WV040", &loc, "operation has no OK link");
         }
         match &o.kind {
             crate::units::OperationKind::Connect { role }
             | crate::units::OperationKind::Disconnect { role }
                 if er.role(role).is_none() =>
             {
-                err(issues, &loc, format!("unknown role {role}"));
+                err(issues, "WV041", &loc, format!("unknown role {role}"));
             }
             crate::units::OperationKind::Create { entity }
             | crate::units::OperationKind::Delete { entity }
             | crate::units::OperationKind::Modify { entity }
                 if er.entity(*entity).is_none() =>
             {
-                err(issues, &loc, "unknown entity");
+                err(issues, "WV041", &loc, "unknown entity");
             }
             _ => {}
         }
@@ -416,6 +512,7 @@ fn check_transport_cycles(ht: &HypertextModel, issues: &mut Vec<Issue>) {
         if seen != units.len() {
             err(
                 issues,
+                "WV050",
                 &ht.page(pid).name,
                 "transport links form a cycle; page computation order is undefined",
             );
@@ -472,6 +569,7 @@ fn check_reachability(ht: &HypertextModel, issues: &mut Vec<Issue>) {
             if !reached.contains(&pid) {
                 warn(
                     issues,
+                    "WV060",
                     format!("{}/{}", sv.name, ht.page(pid).name),
                     "page is not reachable from the home page",
                 );
@@ -703,6 +801,36 @@ mod tests {
             ],
         );
         assert!(!is_valid(&er, &ht));
+    }
+
+    #[test]
+    fn diagnostic_codes_are_stable() {
+        // WV010: missing home
+        let (er, mut ht, product, home) = base();
+        let sv2 = ht.add_site_view("Second", Audience::default());
+        ht.add_page(sv2, None, "Lonely");
+        let issues = validate(&er, &ht);
+        assert!(issues.iter().any(|i| i.code == "WV010"));
+        // every issue carries a WV-prefixed code and Display shows it
+        for i in &issues {
+            assert!(i.code.starts_with("WV"), "bad code {}", i.code);
+            assert!(i.to_string().contains(&format!("[{}]", i.code)));
+        }
+        // WV060: unreachable page is a warning
+        let sv = ht.page(home).site_view;
+        ht.add_page(sv, None, "Orphan");
+        let issues = validate(&er, &ht);
+        let orphan = issues
+            .iter()
+            .find(|i| i.message.contains("not reachable"))
+            .unwrap();
+        assert_eq!(orphan.code, "WV060");
+        assert_eq!(orphan.severity, Severity::Warning);
+        // WV025: unknown attribute
+        let u = ht.add_data_unit(home, "Detail", product);
+        ht.set_display_attributes(u, &["ghost"]);
+        let issues = validate(&er, &ht);
+        assert!(issues.iter().any(|i| i.code == "WV025"));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use webml_ratio::mvc::{RuntimeOptions, WebRequest};
-use webml_ratio::webratio::{fixtures, Application};
+use webml_ratio::mvc::WebRequest;
+use webml_ratio::webratio::{fixtures, Application, DeployOptions};
 
 fn main() {
     // 1. The models: fixtures::bookstore() builds an ER model (entity
@@ -40,8 +40,21 @@ fn main() {
         generated.skeletons[0].root.to_source()
     );
 
-    // 4. Deploy: fresh database + MVC controller.
-    let d = app.deploy(RuntimeOptions::default()).expect("deploy");
+    // 4. Deploy behind the static-analysis gate: the analyzer proves the
+    //    model's parameter flow, cache invalidation and descriptor/model
+    //    agreement before anything serves (gate level Deny by default).
+    let d = app
+        .deploy_checked(DeployOptions::default())
+        .expect("deploy (analysis gate)");
+    let report = d.analysis.as_ref().expect("analysis report");
+    println!(
+        "\nstatic analysis: {} error(s), {} warning(s) across {} pages / {} units / {} operations",
+        report.errors().count(),
+        report.warnings().count(),
+        report.stats.pages,
+        report.stats.units,
+        report.stats.operations,
+    );
 
     // 5. Create content through the generated create operation (the
     //    controller executes it and forwards to the books page).

@@ -10,10 +10,12 @@
 //!   pipeline;
 //! * [`mvc`], [`webcache`], [`relstore`], [`httpd`] — the runtime stack;
 //! * [`wal`] — the durability spine (write-ahead log, snapshots, recovery);
-//! * [`obs`] — the request observability spine (span trees + metrics).
+//! * [`obs`] — the request observability spine (span trees + metrics);
+//! * [`analyze`] — the whole-application model checker and deploy gate.
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system map.
 
+pub use analyze;
 pub use codegen;
 pub use descriptors;
 pub use er;

@@ -1,0 +1,253 @@
+//! Integration tests of the static-analysis deploy gate: gate levels,
+//! metrics export, and the headline soundness property — an
+//! analyzer-clean model never produces an undefined-context-parameter KO
+//! flow or a provably-stale cached bean at runtime.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use proptest::prelude::*;
+use webml_ratio::analyze;
+use webml_ratio::mvc::WebRequest;
+use webml_ratio::webml::{LinkEnd, Severity};
+use webml_ratio::webratio::{
+    fixtures, seed_data, synthesize, DeployError, DeployOptions, Deployment, SynthSpec,
+};
+
+// ---- gate levels -----------------------------------------------------------
+
+#[test]
+fn deny_gate_accepts_clean_bookstore() {
+    let app = fixtures::bookstore();
+    let d = app
+        .deploy_checked(DeployOptions::default())
+        .expect("deploy");
+    let report = d.analysis.as_ref().expect("analysis attached");
+    assert!(report.is_clean(), "{}", report.render_text("bookstore"));
+    assert!(report.stats.pages >= 2 && report.stats.edges >= 3);
+
+    // the run and the (empty) diagnostic family are visible at /metrics
+    let prom = d.obs.render_prometheus();
+    assert!(prom.contains("analyze_runs_total 1"), "{prom}");
+    assert!(prom.contains("# TYPE analyze_diagnostics_total counter"));
+    assert!(prom.contains("analyze_run_micros_count 1"), "{prom}");
+
+    // and the deployment actually serves
+    let home = d.home_url("store").unwrap();
+    assert_eq!(d.handle(&WebRequest::get(&home)).status, 200);
+}
+
+/// A paramless second route into the keyed detail page is the paper's
+/// canonical modelling slip: the page renders empty for users arriving
+/// that way. `Deny` refuses to deploy it; `Warn` deploys but attaches
+/// the findings.
+#[test]
+fn deny_gate_rejects_defective_model_warn_passes_it() {
+    let mut app = fixtures::bookstore();
+    let (sv, _) = app.hypertext.site_view_by_name("Store").unwrap();
+    let (books, _) = app.hypertext.page_by_name(sv, "Books").unwrap();
+    let (detail, _) = app.hypertext.page_by_name(sv, "Book Detail").unwrap();
+    let index = app.hypertext.page(books).units[0];
+    app.hypertext
+        .link_contextual(LinkEnd::Unit(index), LinkEnd::Page(detail), "bare", vec![]);
+
+    match app.deploy_checked(DeployOptions::default()) {
+        Err(DeployError::Analysis(report)) => {
+            assert!(report.has_errors());
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == analyze::AZ001),
+                "{}",
+                report.render_text("defective")
+            );
+            // the witness names the offending route
+            let az = report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == analyze::AZ001)
+                .unwrap();
+            assert!(az.witness.is_some());
+        }
+        Err(other) => panic!("expected analysis denial, got {other}"),
+        Ok(_) => panic!("expected analysis denial, deployment succeeded"),
+    }
+
+    let d = app
+        .deploy_checked(DeployOptions::with_gate(analyze::Gate::Warn))
+        .expect("warn gate deploys");
+    assert!(d.analysis.as_ref().unwrap().has_errors());
+}
+
+#[test]
+fn off_gate_skips_analysis() {
+    let app = fixtures::bookstore();
+    let d = app
+        .deploy_checked(DeployOptions::with_gate(analyze::Gate::Off))
+        .expect("deploy");
+    assert!(d.analysis.is_none());
+    assert!(d.obs.render_prometheus().contains("analyze_runs_total 0"));
+}
+
+#[test]
+fn metrics_expose_diagnostic_families() {
+    // synthetic apps carry standalone operations (no inbound links): AZ004
+    let app = synthesize(&SynthSpec::scaled(10, 3));
+    let d = app
+        .deploy_checked(DeployOptions::default())
+        .expect("deploy");
+    let report = d.analysis.as_ref().unwrap();
+    assert!(!report.has_errors(), "{}", report.render_text("synth"));
+    assert!(report.codes().contains(&analyze::AZ004));
+
+    let prom = d.obs.render_prometheus();
+    assert!(
+        prom.contains("analyze_diagnostics_total{code=\"AZ004\",severity=\"warning\"}"),
+        "{prom}"
+    );
+}
+
+// ---- the soundness property ------------------------------------------------
+
+/// Turn a rendered `href` back into an in-process request (the httpd
+/// adapter does this split/decode for real HTTP traffic).
+fn request_for(url: &str) -> WebRequest {
+    use webml_ratio::httpd::{parse_query, percent_decode};
+    match url.split_once('?') {
+        None => WebRequest::get(percent_decode(url)),
+        Some((path, q)) => {
+            let mut req = WebRequest::get(percent_decode(path));
+            for (k, v) in parse_query(q) {
+                req.params.insert(k, v);
+            }
+            req
+        }
+    }
+}
+
+/// Breadth-first crawl from the landmark pages, following every href the
+/// rendered markup exposes that the controller maps (stylesheets and
+/// other assets are skipped), bounded by `limit` requests.
+fn crawl(d: &Deployment, limit: usize) -> BTreeMap<String, String> {
+    let mut queue: VecDeque<String> = d
+        .generated
+        .descriptors
+        .pages
+        .iter()
+        .filter(|p| p.landmark)
+        .map(|p| p.url.clone())
+        .collect();
+    let mut seen: BTreeSet<String> = queue.iter().cloned().collect();
+    let mut bodies = BTreeMap::new();
+    while let Some(url) = queue.pop_front() {
+        if bodies.len() >= limit {
+            break;
+        }
+        let resp = d.handle(&request_for(&url));
+        assert_eq!(resp.status, 200, "crawl of {url} failed: {}", resp.body);
+        let mapped = |h: &str| {
+            let path = h.split('?').next().unwrap_or(h);
+            d.generated.descriptors.controller.resolve(path).is_some()
+        };
+        for href in resp
+            .body
+            .split("href=\"")
+            .skip(1)
+            .filter_map(|s| s.split('"').next())
+            .filter(|h| h.starts_with('/') && mapped(h))
+        {
+            if seen.insert(href.to_string()) {
+                queue.push_back(href.to_string());
+            }
+        }
+        bodies.insert(url, resp.body);
+    }
+    bodies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary synthetic models that the analyzer passes (no
+    /// errors), crawling every reachable URL never KOs, and after write
+    /// operations every page served through the bean cache equals the
+    /// page recomputed from scratch — no provably-stale bean.
+    #[test]
+    fn analyzer_clean_models_are_runtime_safe(
+        pages in 2usize..14,
+        upp in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut spec = SynthSpec::scaled(pages, upp);
+        spec.seed = seed;
+        let app = synthesize(&spec);
+
+        let report = app.analyze_report();
+        prop_assert!(!report.has_errors(), "{}", report.render_text("synth"));
+
+        let d = app.deploy_checked(DeployOptions::default()).expect("deny gate");
+        seed_data(&app, &d.db, 3, seed);
+
+        // crawl the whole navigable surface: no KO flows
+        let warm = crawl(&d, 120);
+        prop_assert!(!warm.is_empty());
+        prop_assert_eq!(d.obs.ko_flows.get(), 0);
+
+        // run every create operation (guaranteed OK flows that write)
+        for op in d
+            .generated
+            .descriptors
+            .operations
+            .iter()
+            .filter(|o| o.op_type == "create")
+        {
+            let resp = d.handle(&WebRequest::get(&op.url).with_param("name", "freshly-written"));
+            prop_assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+
+        // staleness equivalence: each page served with the warm cache must
+        // equal the page recomputed after dropping every cached bean
+        for url in warm.keys() {
+            let cached = d.handle(&request_for(url));
+            if let Some(cache) = d.controller.bean_cache() {
+                cache.clear();
+            }
+            let fresh = d.handle(&request_for(url));
+            prop_assert_eq!(
+                cached.body, fresh.body,
+                "stale bean served at {url} after create operations"
+            );
+        }
+    }
+}
+
+// ---- shared diagnostic vocabulary ------------------------------------------
+
+/// The validator's WVxxx findings flow into the analyzer report under the
+/// same `Diagnostic` shape, and deploy reports never show a finding twice.
+#[test]
+fn validator_findings_join_the_report_deduplicated() {
+    let mut app = fixtures::bookstore();
+    // an unreachable page: WV060 (warning) from the validator
+    let (sv, _) = app.hypertext.site_view_by_name("Store").unwrap();
+    app.hypertext.add_page(sv, None, "Island");
+
+    let report = app.analyze_report();
+    let wv: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.starts_with("WV"))
+        .collect();
+    assert!(
+        wv.iter().any(|d| d.code == "WV060"),
+        "{}",
+        report.render_text("island")
+    );
+    assert!(wv.iter().all(|d| d.severity == Severity::Warning));
+
+    // dedup: no (code, location, message) triple appears twice
+    let mut keys = BTreeSet::new();
+    for d in &report.diagnostics {
+        assert!(
+            keys.insert((d.code, d.location.clone(), d.message.clone())),
+            "duplicate finding {d}"
+        );
+    }
+}

@@ -12,6 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== wal fault-injection smoke (crash-point matrix + recovery properties)"
 cargo test -p wal --release -q
 
+echo "== analyze smoke (mutation matrix + analyzer over every shipped app)"
+cargo test -p analyze --release -q
+cargo run --release --example analyze > /dev/null
+
 echo "== tier-1 tests (root package: unit + integration + property suites)"
 cargo test --release -q
 
