@@ -1,0 +1,548 @@
+//! E11: the concurrent serving fast path — HTTP/1.1 keep-alive and
+//! striped caches under closed-loop load.
+//!
+//! §3 of the paper puts the web tier in front of everything; its cost
+//! model only works if the serving path itself scales. Two serial
+//! bottlenecks are measured here, A/B style:
+//!
+//! * **connection churn** — `Connection: close` pays TCP setup + worker
+//!   dispatch per request; HTTP/1.1 keep-alive amortizes it over the
+//!   whole conversation;
+//! * **cache lock contention** — a single global mutex in front of the
+//!   §6 bean/fragment caches serializes every worker; hash-partitioned
+//!   lock stripes restore parallelism.
+//!
+//! A closed-loop load generator (each client thread issues the next
+//! request only after the previous response) drives a deployed synthetic
+//! application over real TCP with 1/4/16 clients, keep-alive on/off, and
+//! cache striping on/off, reporting throughput and client-side
+//! p50/p95/p99 latency from [`obs::Histogram`]s plus server-side
+//! connection-lifecycle counters. A direct 16-thread cache microbench
+//! isolates the striping effect. Results land in `BENCH_serving.json`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_serving            # full grid
+//! cargo run -p bench --release --bin exp_serving -- --smoke # CI sanity
+//! cargo run -p bench --release --bin exp_serving -- --micro # cache only
+//! ```
+
+use bench::{deployed, page_urls, row};
+use httpd::ServerConfig;
+use mvc::RuntimeOptions;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use webcache::{BeanCache, BeanKey, CacheStats};
+use webratio::SynthSpec;
+
+/// Worker-pool size for every grid cell; `EXP_SERVING_WORKERS` overrides
+/// the default for exploring a host's sweet spot (recorded in the JSON).
+fn workers() -> usize {
+    std::env::var("EXP_SERVING_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(2)
+}
+
+/// One cell of the HTTP grid.
+struct Cell {
+    stripes_label: &'static str,
+    stripe_count: usize,
+    keep_alive: bool,
+    clients: usize,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    connections: u64,
+    requests: u64,
+}
+
+fn session_of(resp: &httpd::HttpResponse) -> Option<String> {
+    resp.headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("set-cookie"))
+        .map(|(_, v)| v.split(';').next().unwrap_or(v).trim().to_string())
+}
+
+/// One closed-loop client: warm up (mint a session, touch every page),
+/// sync on the barrier, then hammer `requests` GETs measuring each.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: SocketAddr,
+    urls: Arc<Vec<String>>,
+    keep_alive: bool,
+    requests: usize,
+    offset: usize,
+    barrier: Arc<Barrier>,
+    hist: Arc<obs::Histogram>,
+    errors: Arc<AtomicU64>,
+) {
+    // Warmup: mint this client's session so the measured loop exercises
+    // the cookie → session-lookup path, not session creation.
+    let warm = httpd::client::get(addr, &urls[0]).expect("warmup");
+    let cookie = session_of(&warm).unwrap_or_default();
+    let headers: Vec<(&str, &str)> = vec![("Cookie", &cookie)];
+
+    let mut conn = if keep_alive {
+        Some(httpd::client::Connection::open(addr).expect("connect"))
+    } else {
+        None
+    };
+
+    barrier.wait();
+    for i in 0..requests {
+        let url = &urls[(offset + i) % urls.len()];
+        let t0 = Instant::now();
+        let resp = match &mut conn {
+            Some(c) => c.get_with_headers(url, &headers),
+            None => httpd::client::get_with_headers(addr, url, &headers),
+        };
+        hist.observe_us(t0.elapsed().as_micros() as u64);
+        match resp {
+            Ok(r) if r.status == 200 => {}
+            Ok(r) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("  ! {} -> {}", url, r.status);
+            }
+            Err(e) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("  ! {url} -> {e}");
+            }
+        }
+    }
+}
+
+/// Run one grid cell: fresh closed-loop clients against `addr`.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    addr: SocketAddr,
+    urls: &Arc<Vec<String>>,
+    counters: &Arc<obs::HttpCounters>,
+    stripes_label: &'static str,
+    stripe_count: usize,
+    keep_alive: bool,
+    clients: usize,
+    requests_per_client: usize,
+) -> Cell {
+    let hist = Arc::new(obs::Histogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let conns_before = counters.connections.get();
+    let reqs_before = counters.requests.get();
+
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let urls = Arc::clone(urls);
+        let barrier = Arc::clone(&barrier);
+        let hist = Arc::clone(&hist);
+        let errors = Arc::clone(&errors);
+        handles.push(std::thread::spawn(move || {
+            client_loop(
+                addr,
+                urls,
+                keep_alive,
+                requests_per_client,
+                c * 7,
+                barrier,
+                hist,
+                errors,
+            )
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "non-200s under load");
+
+    Cell {
+        stripes_label,
+        stripe_count,
+        keep_alive,
+        clients,
+        throughput_rps: (clients * requests_per_client) as f64 / elapsed,
+        p50_us: hist.quantile(0.50),
+        p95_us: hist.quantile(0.95),
+        p99_us: hist.quantile(0.99),
+        connections: counters.connections.get() - conns_before,
+        requests: counters.requests.get() - reqs_before,
+    }
+}
+
+/// One timed round of the cache contention microbench: `threads` threads
+/// hammer one [`BeanCache`] through pre-built keys (hit-dominated, the
+/// serving profile — every hit takes the stripe lock through the
+/// lookup-plus-LRU-refresh path). Striping pays twice: the lock is 1/N
+/// as contended, and the per-stripe LRU order map is 1/N the size
+/// (`O(log n)` refresh, better locality). Returns (ops/sec, contended
+/// lock acquisitions, stripes).
+fn cache_round(
+    stripes: usize,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: usize,
+) -> (f64, u64, usize) {
+    const CAPACITY: usize = 16384;
+    const KEY_SPACE: u64 = CAPACITY as u64 / 2;
+    let cache: Arc<BeanCache<u64>> = Arc::new(BeanCache::with_config(
+        CAPACITY,
+        stripes,
+        CacheStats::default(),
+    ));
+    let stripe_count = cache.stripe_count();
+    // pre-fill the whole key space so the measured loop is hit-dominated
+    for k in 0..KEY_SPACE {
+        cache.put(BeanKey::new("unit", k.to_string()), k, &["t".into()], None);
+    }
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let cache = Arc::clone(&cache);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            // a per-thread key table built outside the timed region: the
+            // loop body is hash + stripe lock + lookup/insert/evict
+            let mut x = (seed * threads + t + 1) as u64;
+            let keys: Vec<BeanKey> = (0..4096)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    BeanKey::new("unit", (x % KEY_SPACE).to_string())
+                })
+                .collect();
+            barrier.wait();
+            for i in 0..ops_per_thread {
+                let k = &keys[i % keys.len()];
+                if cache.get(k).is_none() {
+                    cache.put(k.clone(), 1, &["t".into()], None);
+                }
+            }
+        }));
+    }
+    let contended_before = cache.stats().lock_contended;
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    (
+        (threads * ops_per_thread) as f64 / t0.elapsed().as_secs_f64(),
+        cache.stats().lock_contended - contended_before,
+        stripe_count,
+    )
+}
+
+/// One cache configuration's aggregate microbench result.
+struct MicroResult {
+    /// Best-of-rounds throughput.
+    ops_per_s: f64,
+    /// Contended lock acquisitions per million operations, summed over all
+    /// rounds (from [`CacheStats`]'s try-then-block probe). Interpret with
+    /// the core count in mind: with more cores than threads each contended
+    /// event is a stall, while on an oversubscribed host a single global
+    /// mutex *convoys* — waiters sleep, so it shows few block events per
+    /// op despite serialising everything, whereas stripes keep threads
+    /// runnable and count a block each time one trips over a preempted
+    /// stripe holder.
+    contended_per_mops: f64,
+}
+
+/// Best-of-N, with the two configurations' rounds interleaved so slow
+/// drifts in machine state hit both equally.
+fn cache_microbench(
+    threads: usize,
+    ops_per_thread: usize,
+    rounds: usize,
+) -> (MicroResult, MicroResult, usize) {
+    let total_ops = (rounds * threads * ops_per_thread) as f64;
+    let mut single = MicroResult {
+        ops_per_s: 0.0,
+        contended_per_mops: 0.0,
+    };
+    let mut striped = MicroResult {
+        ops_per_s: 0.0,
+        contended_per_mops: 0.0,
+    };
+    let mut stripe_count = 0;
+    let (mut single_contended, mut striped_contended) = (0u64, 0u64);
+    for r in 0..rounds {
+        let (ops, contended, _) = cache_round(1, threads, ops_per_thread, r);
+        single.ops_per_s = single.ops_per_s.max(ops);
+        single_contended += contended;
+        let (ops, contended, n) = cache_round(0, threads, ops_per_thread, r);
+        striped.ops_per_s = striped.ops_per_s.max(ops);
+        striped_contended += contended;
+        stripe_count = n;
+    }
+    single.contended_per_mops = single_contended as f64 / total_ops * 1e6;
+    striped.contended_per_mops = striped_contended as f64 / total_ops * 1e6;
+    (single, striped, stripe_count)
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"caches\": \"{}\", \"stripes\": {}, \"keep_alive\": {}, \"clients\": {}, \
+         \"throughput_rps\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"connections\": {}, \"requests\": {}}}",
+        c.stripes_label,
+        c.stripe_count,
+        c.keep_alive,
+        c.clients,
+        c.throughput_rps,
+        c.p50_us,
+        c.p95_us,
+        c.p99_us,
+        c.connections,
+        c.requests
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let micro_only = std::env::args().any(|a| a == "--micro");
+    let workers = workers();
+    println!("== E11: concurrent serving fast path (keep-alive × cache striping) ==\n");
+
+    // `grid_rounds`: each HTTP cell is run this many times and the best
+    // round kept — closed-loop cells are short, so a single badly timed
+    // scheduler quantum can swing a cell by 2×; best-of damps it the same
+    // way the cache microbench's interleaved rounds do.
+    let (requests_per_client, client_counts, micro_ops, grid_rounds): (
+        usize,
+        &[usize],
+        usize,
+        usize,
+    ) = if smoke {
+        (25, &[1, 4], 20_000, 1)
+    } else {
+        (300, &[1, 4, 16], 200_000, 3)
+    };
+
+    // Small pages so the per-request floor stays low: the grid isolates
+    // *serving-path* overheads (connection churn, lock contention), not
+    // page computation — E1/E8 already scale page work.
+    let spec = SynthSpec::scaled(2, 1);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    if !micro_only {
+        let widths = [13usize, 10, 7, 12, 8, 8, 8, 6, 6];
+        println!(
+            "{}",
+            row(
+                &[
+                    "caches".into(),
+                    "conn".into(),
+                    "clients".into(),
+                    "req/s".into(),
+                    "p50 µs".into(),
+                    "p95 µs".into(),
+                    "p99 µs".into(),
+                    "conns".into(),
+                    "reqs".into(),
+                ],
+                &widths
+            )
+        );
+
+        for (stripes_label, cache_stripes) in [("single-mutex", 1usize), ("striped", 0usize)] {
+            let options = RuntimeOptions {
+                fragment_cache: true,
+                fragment_ttl: Duration::from_secs(600),
+                cache_stripes,
+                ..RuntimeOptions::default()
+            };
+            let (_, d) = deployed(&spec, options, 4);
+            let stripe_count = d
+                .controller
+                .bean_cache()
+                .expect("bean cache")
+                .stripe_count();
+            let urls = Arc::new(page_urls(&d));
+
+            for keep_alive in [false, true] {
+                // Plain (untraced) serving: per-request span trees and
+                // X-Trace headers would tax both modes equally and bury the
+                // connection-overhead signal this grid isolates. Per-cell
+                // latency lands in a client-side [`obs::Histogram`];
+                // connection-lifecycle counters come from the server's own
+                // [`obs::HttpCounters`] block.
+                let server = d
+                    .serve_with(
+                        0,
+                        workers,
+                        ServerConfig {
+                            keep_alive,
+                            ..ServerConfig::default()
+                        },
+                    )
+                    .expect("serve");
+                let counters = Arc::clone(server.http_counters());
+                for &clients in client_counts {
+                    let cell = (0..grid_rounds)
+                        .map(|_| {
+                            run_cell(
+                                server.addr(),
+                                &urls,
+                                &counters,
+                                stripes_label,
+                                stripe_count,
+                                keep_alive,
+                                clients,
+                                requests_per_client,
+                            )
+                        })
+                        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+                        .expect("at least one grid round");
+                    println!(
+                        "{}",
+                        row(
+                            &[
+                                cell.stripes_label.into(),
+                                if cell.keep_alive {
+                                    "keep-alive"
+                                } else {
+                                    "close"
+                                }
+                                .into(),
+                                cell.clients.to_string(),
+                                format!("{:.0}", cell.throughput_rps),
+                                cell.p50_us.to_string(),
+                                cell.p95_us.to_string(),
+                                cell.p99_us.to_string(),
+                                cell.connections.to_string(),
+                                cell.requests.to_string(),
+                            ],
+                            &widths
+                        )
+                    );
+                    cells.push(cell);
+                }
+                server.stop();
+            }
+        }
+
+        // keep-alive reuses connections: far fewer conns than requests
+        for c in cells.iter().filter(|c| c.keep_alive) {
+            assert!(
+                c.connections < c.requests / 2,
+                "keep-alive opened {} connections for {} requests",
+                c.connections,
+                c.requests
+            );
+        }
+    }
+
+    let micro_threads = std::env::var("EXP_SERVING_MICRO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t >= 2)
+        .unwrap_or(16);
+    let micro_rounds = if smoke { 2 } else { 5 };
+    let run_micro = || {
+        println!("\n-- direct cache contention ({micro_threads} threads, hit-dominated) --");
+        let (single, striped, striped_n) = cache_microbench(micro_threads, micro_ops, micro_rounds);
+        println!(
+            "single-mutex : {:>12.0} ops/s  {:>10.1} contended/Mops",
+            single.ops_per_s, single.contended_per_mops
+        );
+        println!(
+            "striped ({striped_n:>2}) : {:>12.0} ops/s  {:>10.1} contended/Mops  ({:.2}x ops)",
+            striped.ops_per_s,
+            striped.contended_per_mops,
+            striped.ops_per_s / single.ops_per_s,
+        );
+        (single, striped, striped_n)
+    };
+    let (single, striped, striped_n) = run_micro();
+
+    if !smoke && !micro_only {
+        let max_clients = *client_counts.last().unwrap();
+        let rps_of = |label: &str, ka: bool| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.stripes_label == label && c.keep_alive == ka && c.clients == max_clients
+                })
+                .map(|c| c.throughput_rps)
+                .unwrap()
+        };
+        let ka = rps_of("striped", true);
+        let close = rps_of("striped", false);
+        println!(
+            "\nkeep-alive vs close at {max_clients} clients: {:.2}x",
+            ka / close
+        );
+        assert!(
+            ka >= 2.0 * close,
+            "keep-alive should at least double throughput at {max_clients} clients: {ka:.0} vs {close:.0} req/s"
+        );
+        // The striping win at 16 threads: with more than one core, only
+        // same-stripe accesses serialize, so striped throughput must beat
+        // the single global mutex outright. On a single-CPU host there is
+        // no parallelism for striping to restore — all 16 threads time-
+        // share one core and both configurations serialize identically,
+        // so wall-clock lands at 1.0× ± scheduler noise (the measured
+        // numbers and contended-acquisition counts are still reported
+        // honestly in the JSON). In that case the gate degrades to a
+        // no-regression bound: stripes may not cost more than 15% even
+        // with zero parallelism available.
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if host_cpus > 1 {
+            assert!(
+                striped.ops_per_s > single.ops_per_s,
+                "striped cache should beat the single mutex at {micro_threads} threads \
+                 on {host_cpus} cpus: {:.0} vs {:.0} ops/s",
+                striped.ops_per_s,
+                single.ops_per_s
+            );
+        } else {
+            println!(
+                "single-cpu host: striping cannot win wall-clock here; \
+                 gating on no-regression instead"
+            );
+            assert!(
+                striped.ops_per_s >= 0.85 * single.ops_per_s,
+                "striped cache regressed beyond noise on a single-cpu host: \
+                 {:.0} vs {:.0} ops/s",
+                striped.ops_per_s,
+                single.ops_per_s
+            );
+        }
+        let mut json = String::from("{\n  \"experiment\": \"E11-serving\",\n");
+        json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+        json.push_str(&format!("  \"workers\": {workers},\n"));
+        json.push_str(&format!(
+            "  \"requests_per_client\": {requests_per_client},\n"
+        ));
+        json.push_str("  \"http_grid\": [\n");
+        json.push_str(&cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n"));
+        json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"keep_alive_speedup_at_{max_clients}_clients\": {:.2},\n",
+            ka / close
+        ));
+        json.push_str(&format!(
+            "  \"cache_microbench\": {{\"threads\": {micro_threads}, \"ops_per_thread\": {micro_ops}, \
+             \"stripes\": {striped_n}, \
+             \"single_mutex_ops_per_s\": {:.0}, \"striped_ops_per_s\": {:.0}, \
+             \"single_mutex_contended_per_mops\": {:.1}, \"striped_contended_per_mops\": {:.1}, \
+             \"striped_speedup\": {:.2}}}\n",
+            single.ops_per_s,
+            striped.ops_per_s,
+            single.contended_per_mops,
+            striped.contended_per_mops,
+            striped.ops_per_s / single.ops_per_s
+        ));
+        json.push_str("}\n");
+        std::fs::write("BENCH_serving.json", json).expect("write BENCH_serving.json");
+        println!("\nwrote BENCH_serving.json");
+    } else {
+        println!("\n--smoke: skipping BENCH_serving.json");
+    }
+}

@@ -10,23 +10,116 @@
 
 use crate::stats::{CacheStats, StatsSnapshot};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Ceiling on the number of lock stripes a cache is split into.
+pub const MAX_STRIPES: usize = 16;
+
+/// Minimum entries a stripe should hold before the cache splits further —
+/// keeps small caches (unit tests, tiny deployments) on a single stripe
+/// with *exact* global LRU semantics, and only shards caches big enough
+/// that per-stripe LRU is statistically indistinguishable from global.
+pub const MIN_STRIPE_CAPACITY: usize = 64;
+
+/// Resolve a stripe-count request: `0` means auto (scale with capacity,
+/// one stripe per [`MIN_STRIPE_CAPACITY`] entries, capped at
+/// [`MAX_STRIPES`]); any explicit value is clamped so every stripe owns
+/// at least one slot.
+pub(crate) fn resolve_stripes(capacity: usize, requested: usize) -> usize {
+    let n = if requested == 0 {
+        capacity / MIN_STRIPE_CAPACITY
+    } else {
+        requested
+    };
+    n.clamp(1, MAX_STRIPES).min(capacity.max(1))
+}
+
+/// Split `capacity` across `n` stripes so the per-stripe bounds sum to
+/// exactly `capacity` (earlier stripes absorb the remainder).
+pub(crate) fn stripe_capacities(capacity: usize, n: usize) -> Vec<usize> {
+    let base = capacity / n;
+    let rem = capacity % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// FNV-1a over a sequence of byte strings; computed once per key at
+/// construction so neither the stripe selector nor the hash maps ever
+/// re-hash the key's strings on the hot path.
+pub(crate) fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // separator so ("ab","c") and ("a","bc") differ
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn stripe_of(key_hash: u64, n: usize) -> usize {
+    if n == 1 {
+        return 0;
+    }
+    (key_hash % n as u64) as usize
+}
+
 /// Cache key: unit descriptor id + a fingerprint of its input parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Carries a precomputed FNV-1a of both strings: stripe selection and the
+/// stripe map's hashing both feed off it, so one key is hashed exactly
+/// once, at construction.
+#[derive(Debug, Clone)]
 pub struct BeanKey {
     pub unit: String,
     pub params: String,
+    fnv: u64,
 }
 
 impl BeanKey {
     pub fn new(unit: impl Into<String>, params: impl Into<String>) -> BeanKey {
-        BeanKey {
-            unit: unit.into(),
-            params: params.into(),
-        }
+        let unit = unit.into();
+        let params = params.into();
+        let fnv = fnv1a(&[unit.as_bytes(), params.as_bytes()]);
+        BeanKey { unit, params, fnv }
+    }
+
+    pub(crate) fn stripe_hash(&self) -> u64 {
+        self.fnv
+    }
+}
+
+impl PartialEq for BeanKey {
+    fn eq(&self, other: &BeanKey) -> bool {
+        // hash first: a cheap reject for the common not-equal probe
+        self.fnv == other.fnv && self.unit == other.unit && self.params == other.params
+    }
+}
+
+impl Eq for BeanKey {}
+
+impl Hash for BeanKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fnv);
+    }
+}
+
+impl PartialOrd for BeanKey {
+    fn partial_cmp(&self, other: &BeanKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BeanKey {
+    fn cmp(&self, other: &BeanKey) -> std::cmp::Ordering {
+        // lexicographic on the visible fields (stable, hash-independent)
+        (&self.unit, &self.params).cmp(&(&other.unit, &other.params))
     }
 }
 
@@ -40,23 +133,39 @@ struct Entry<V> {
 
 struct Inner<V> {
     entries: HashMap<BeanKey, Entry<V>>,
-    /// LRU order: stamp → key.
+    /// LRU order: stamp → key (stamps come from the cache-global clock,
+    /// so per-stripe order reflects global recency).
     order: BTreeMap<u64, BeanKey>,
-    /// Reverse dependency index: entity → keys whose beans depend on it.
+    /// Reverse dependency index: entity → keys whose beans depend on it
+    /// (stripe-local: it indexes only this stripe's entries).
     by_entity: HashMap<String, HashSet<BeanKey>>,
-    next_stamp: u64,
+    /// Entries this stripe may hold; stripe bounds sum to the cache bound.
+    capacity: usize,
 }
 
 /// A bounded, thread-safe cache of unit beans keyed by (unit, parameters),
 /// invalidated by TTL and/or by the entities the unit depends on.
+///
+/// Internally the key space is hash-partitioned over N lock stripes
+/// (`hash(key) → stripe`), each guarding its own entry map, LRU order and
+/// reverse dependency index, so concurrent readers of *different* keys no
+/// longer serialize behind one global mutex. LRU is segmented: stamps come
+/// from one cache-global clock but eviction picks the oldest entry of the
+/// full stripe; small caches (< [`MIN_STRIPE_CAPACITY`] entries) stay on a
+/// single stripe and keep exact global LRU. Entity/unit invalidation
+/// sweeps every stripe, so the model-driven invalidation contract (§6) is
+/// unchanged — `invalidate_entity` drops *every* dependent bean before
+/// returning.
 pub struct BeanCache<V> {
-    inner: Mutex<Inner<V>>,
+    stripes: Vec<Mutex<Inner<V>>>,
+    clock: AtomicU64,
     capacity: usize,
     stats: CacheStats,
 }
 
 impl<V> BeanCache<V> {
-    /// Create a cache bounded to `capacity` entries (LRU eviction).
+    /// Create a cache bounded to `capacity` entries (LRU eviction) with
+    /// the default (auto) stripe count.
     pub fn new(capacity: usize) -> BeanCache<V> {
         Self::with_stats(capacity, CacheStats::default())
     }
@@ -64,16 +173,60 @@ impl<V> BeanCache<V> {
     /// Like [`BeanCache::new`], but reporting into externally owned counters
     /// (e.g. `CacheStats::shared(registry.bean_cache.clone())`).
     pub fn with_stats(capacity: usize, stats: CacheStats) -> BeanCache<V> {
+        Self::with_config(capacity, 0, stats)
+    }
+
+    /// Full-control constructor: `stripes == 0` selects the auto policy
+    /// (one stripe per [`MIN_STRIPE_CAPACITY`] entries, at most
+    /// [`MAX_STRIPES`]); `stripes == 1` is the single-global-mutex
+    /// baseline; explicit values are clamped to `[1, MAX_STRIPES]`.
+    pub fn with_config(capacity: usize, stripes: usize, stats: CacheStats) -> BeanCache<V> {
+        let capacity = capacity.max(1);
+        let n = resolve_stripes(capacity, stripes);
+        let stripes = stripe_capacities(capacity, n)
+            .into_iter()
+            .map(|cap| {
+                Mutex::new(Inner {
+                    entries: HashMap::new(),
+                    order: BTreeMap::new(),
+                    by_entity: HashMap::new(),
+                    capacity: cap,
+                })
+            })
+            .collect();
         BeanCache {
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                order: BTreeMap::new(),
-                by_entity: HashMap::new(),
-                next_stamp: 0,
-            }),
-            capacity: capacity.max(1),
+            stripes,
+            clock: AtomicU64::new(0),
+            capacity,
             stats,
         }
+    }
+
+    /// Number of lock stripes the key space is partitioned over.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: &BeanKey) -> &Mutex<Inner<V>> {
+        &self.stripes[stripe_of(key.stripe_hash(), self.stripes.len())]
+    }
+
+    /// Acquire a stripe lock, counting the acquisition as *contended* when
+    /// the lock was already held (try-then-block probe). The counter feeds
+    /// [`CacheStats::snapshot`]'s `lock_contended` — the core-count-independent
+    /// measure of how much serialisation the striping policy removes.
+    fn lock_probed<'a>(&self, m: &'a Mutex<Inner<V>>) -> parking_lot::MutexGuard<'a, Inner<V>> {
+        match m.try_lock() {
+            Some(g) => g,
+            None => {
+                self.stats.lock_contention();
+                m.lock()
+            }
+        }
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Look up a bean; refreshes its LRU position.
@@ -83,7 +236,7 @@ impl<V> BeanCache<V> {
 
     /// Look up at an explicit instant (deterministic TTL tests).
     pub fn get_at(&self, key: &BeanKey, now: Instant) -> Option<Arc<V>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_probed(self.stripe(key));
         // expired?
         let expired = match inner.entries.get(key) {
             Some(e) => e.expires.is_some_and(|t| t <= now),
@@ -98,8 +251,7 @@ impl<V> BeanCache<V> {
             self.stats.miss();
             return None;
         }
-        let stamp = inner.next_stamp;
-        inner.next_stamp += 1;
+        let stamp = self.next_stamp();
         let e = inner.entries.get_mut(key).unwrap();
         let old_stamp = e.stamp;
         e.stamp = stamp;
@@ -124,21 +276,20 @@ impl<V> BeanCache<V> {
         now: Instant,
     ) -> Arc<V> {
         let value = Arc::new(value);
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_probed(self.stripe(&key));
         // replace any existing entry
         if inner.entries.contains_key(&key) {
             Self::remove_entry(&mut inner, &key);
         }
-        // evict LRU if full
-        while inner.entries.len() >= self.capacity {
+        // evict this stripe's LRU if the stripe is full (segmented LRU)
+        while inner.entries.len() >= inner.capacity {
             let Some((_, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone())) else {
                 break;
             };
             Self::remove_entry(&mut inner, &victim);
             self.stats.eviction();
         }
-        let stamp = inner.next_stamp;
-        inner.next_stamp += 1;
+        let stamp = self.next_stamp();
         inner.entries.insert(
             key.clone(),
             Entry {
@@ -176,42 +327,55 @@ impl<V> BeanCache<V> {
 
     /// Invalidate every bean depending on `entity`; returns how many were
     /// dropped. This is what operation services call automatically (§6).
+    /// Sweeps every stripe: once this returns, no bean that depended on
+    /// `entity` at call time is still served.
     pub fn invalidate_entity(&self, entity: &str) -> usize {
-        let mut inner = self.inner.lock();
-        let keys: Vec<BeanKey> = inner
-            .by_entity
-            .get(entity)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
-        for k in &keys {
-            Self::remove_entry(&mut inner, k);
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            let keys: Vec<BeanKey> = inner
+                .by_entity
+                .get(entity)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            for k in &keys {
+                Self::remove_entry(&mut inner, k);
+            }
+            dropped += keys.len();
         }
-        self.stats.invalidation(keys.len() as u64);
-        keys.len()
+        self.stats.invalidation(dropped as u64);
+        dropped
     }
 
     /// Invalidate all cached beans of one unit (any parameters).
     pub fn invalidate_unit(&self, unit: &str) -> usize {
-        let mut inner = self.inner.lock();
-        let keys: Vec<BeanKey> = inner
-            .entries
-            .keys()
-            .filter(|k| k.unit == unit)
-            .cloned()
-            .collect();
-        for k in &keys {
-            Self::remove_entry(&mut inner, k);
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            let keys: Vec<BeanKey> = inner
+                .entries
+                .keys()
+                .filter(|k| k.unit == unit)
+                .cloned()
+                .collect();
+            for k in &keys {
+                Self::remove_entry(&mut inner, k);
+            }
+            dropped += keys.len();
         }
-        self.stats.invalidation(keys.len() as u64);
-        keys.len()
+        self.stats.invalidation(dropped as u64);
+        dropped
     }
 
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        let n = inner.entries.len();
-        inner.entries.clear();
-        inner.order.clear();
-        inner.by_entity.clear();
+        let mut n = 0;
+        for stripe in &self.stripes {
+            let mut inner = stripe.lock();
+            n += inner.entries.len();
+            inner.entries.clear();
+            inner.order.clear();
+            inner.by_entity.clear();
+        }
         self.stats.invalidation(n as u64);
     }
 
@@ -220,24 +384,34 @@ impl<V> BeanCache<V> {
     /// cached bean. Sorted for deterministic assertions; the index keeps
     /// no entry for entities whose last dependent bean was removed.
     pub fn dependency_entities(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut v: Vec<String> = inner.by_entity.keys().cloned().collect();
-        v.sort();
-        v
+        let mut set = BTreeSet::new();
+        for stripe in &self.stripes {
+            set.extend(stripe.lock().by_entity.keys().cloned());
+        }
+        set.into_iter().collect()
     }
 
-    /// Number of cached beans indexed under `entity`.
+    /// Number of cached beans indexed under `entity` (summed over stripes).
     pub fn dependents_of(&self, entity: &str) -> usize {
-        self.inner
-            .lock()
-            .by_entity
-            .get(entity)
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .by_entity
+                    .get(entity)
+                    .map(|set| set.len())
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.stripes.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// The configured global capacity (sum of per-stripe bounds).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn is_empty(&self) -> bool {
@@ -413,6 +587,118 @@ mod tests {
         c.put(BeanKey::new("a", ""), 1, &deps(&["t1"]), None);
         c.put(BeanKey::new("b", ""), 2, &deps(&["t2"]), None);
         assert_eq!(c.dependency_entities(), vec!["t2".to_string()]);
+    }
+
+    #[test]
+    fn stripe_policy_scales_with_capacity() {
+        // tiny caches stay exact-LRU on one stripe; big caches shard
+        assert_eq!(BeanCache::<i32>::new(1).stripe_count(), 1);
+        assert_eq!(BeanCache::<i32>::new(63).stripe_count(), 1);
+        assert_eq!(BeanCache::<i32>::new(128).stripe_count(), 2);
+        assert_eq!(BeanCache::<i32>::new(4096).stripe_count(), MAX_STRIPES);
+        // explicit requests are clamped to sane bounds
+        let c: BeanCache<i32> = BeanCache::with_config(4, 8, CacheStats::default());
+        assert_eq!(c.stripe_count(), 4, "never more stripes than slots");
+        let c: BeanCache<i32> = BeanCache::with_config(4096, 1, CacheStats::default());
+        assert_eq!(c.stripe_count(), 1, "explicit single-mutex baseline");
+    }
+
+    #[test]
+    fn stripe_capacities_sum_to_global_capacity() {
+        for (cap, n) in [(10, 3), (16, 16), (7, 2), (4096, 16), (1, 1)] {
+            let caps = stripe_capacities(cap, n);
+            assert_eq!(caps.len(), n);
+            assert_eq!(caps.iter().sum::<usize>(), cap, "cap={cap} n={n}");
+            assert!(caps.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn striped_cache_keeps_oracle_semantics() {
+        // 8 stripes, enough capacity that nothing evicts: behaviour must be
+        // indistinguishable from the single-mutex cache
+        let c: BeanCache<u32> = BeanCache::with_config(256, 8, CacheStats::default());
+        assert_eq!(c.stripe_count(), 8);
+        for i in 0..64u32 {
+            c.put(
+                BeanKey::new(format!("u{}", i % 7), format!("p{i}")),
+                i,
+                &deps(&[&format!("e{}", i % 5), "shared"]),
+                None,
+            );
+        }
+        assert_eq!(c.len(), 64);
+        for i in 0..64u32 {
+            let k = BeanKey::new(format!("u{}", i % 7), format!("p{i}"));
+            assert_eq!(c.get(&k).as_deref(), Some(&i));
+        }
+        // entity invalidation sweeps every stripe
+        assert_eq!(c.dependents_of("shared"), 64);
+        assert_eq!(c.invalidate_entity("shared"), 64);
+        assert!(c.is_empty());
+        assert!(c.dependency_entities().is_empty(), "ghost stripe index");
+    }
+
+    #[test]
+    fn striped_unit_invalidation_sweeps_all_stripes() {
+        let c: BeanCache<u32> = BeanCache::with_config(256, 8, CacheStats::default());
+        for i in 0..40u32 {
+            c.put(BeanKey::new("hot_unit", format!("p{i}")), i, &[], None);
+            c.put(BeanKey::new("cold_unit", format!("p{i}")), i, &[], None);
+        }
+        assert_eq!(c.invalidate_unit("hot_unit"), 40);
+        assert_eq!(c.len(), 40);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 80);
+    }
+
+    #[test]
+    fn striped_capacity_is_never_exceeded() {
+        let c: BeanCache<u32> = BeanCache::with_config(32, 8, CacheStats::default());
+        for i in 0..500u32 {
+            c.put(BeanKey::new(format!("u{i}"), ""), i, &[], None);
+            assert!(c.len() <= 32, "len {} > 32 at insert {i}", c.len());
+        }
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn striped_concurrent_mixed_workload_is_safe() {
+        let c = Arc::new(BeanCache::<u64>::with_config(512, 8, CacheStats::default()));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let k = BeanKey::new(format!("u{}", i % 32), format!("p{t}"));
+                    match i % 5 {
+                        0 => {
+                            c.put(k, i, &[format!("e{}", i % 3)], None);
+                        }
+                        1 => {
+                            c.invalidate_entity(&format!("e{}", i % 3));
+                        }
+                        2 => {
+                            c.invalidate_unit(&format!("u{}", i % 32));
+                        }
+                        _ => {
+                            c.get(&k);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // dependency index consistent after the storm: every indexed
+        // entity resolves to live dependents and invalidation drains it
+        for e in c.dependency_entities() {
+            assert!(c.dependents_of(&e) > 0);
+            c.invalidate_entity(&e);
+            assert_eq!(c.dependents_of(&e), 0);
+        }
     }
 
     #[test]

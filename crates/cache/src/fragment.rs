@@ -12,19 +12,27 @@
 //! is exactly why WebRatio adds the second, business-tier level
 //! ([`crate::bean::BeanCache`]).
 
+use crate::bean::{fnv1a, resolve_stripes, stripe_capacities, stripe_of};
 use crate::stats::{CacheStats, StatsSnapshot};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Key of a cached fragment: template + fragment marker + parameter
 /// fingerprint.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Like [`crate::BeanKey`], carries a precomputed FNV-1a of its strings
+/// so stripe selection and map hashing never re-hash them on the hot
+/// path.
+#[derive(Debug, Clone)]
 pub struct FragmentKey {
     pub template: String,
     pub fragment: String,
     pub params: String,
+    fnv: u64,
 }
 
 impl FragmentKey {
@@ -33,11 +41,37 @@ impl FragmentKey {
         fragment: impl Into<String>,
         params: impl Into<String>,
     ) -> FragmentKey {
+        let template = template.into();
+        let fragment = fragment.into();
+        let params = params.into();
+        let fnv = fnv1a(&[template.as_bytes(), fragment.as_bytes(), params.as_bytes()]);
         FragmentKey {
-            template: template.into(),
-            fragment: fragment.into(),
-            params: params.into(),
+            template,
+            fragment,
+            params,
+            fnv,
         }
+    }
+
+    pub(crate) fn stripe_hash(&self) -> u64 {
+        self.fnv
+    }
+}
+
+impl PartialEq for FragmentKey {
+    fn eq(&self, other: &FragmentKey) -> bool {
+        self.fnv == other.fnv
+            && self.template == other.template
+            && self.fragment == other.fragment
+            && self.params == other.params
+    }
+}
+
+impl Eq for FragmentKey {}
+
+impl Hash for FragmentKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fnv);
     }
 }
 
@@ -50,13 +84,20 @@ struct Entry {
 struct Inner {
     entries: HashMap<FragmentKey, Entry>,
     order: BTreeMap<u64, FragmentKey>,
-    next_stamp: u64,
+    /// Entries this stripe may hold; stripe bounds sum to the cache bound.
+    capacity: usize,
 }
 
 /// A bounded TTL cache of rendered markup fragments.
+///
+/// Like [`crate::bean::BeanCache`], the key space is hash-partitioned over
+/// N lock stripes so concurrent template rendering no longer serializes
+/// behind one global mutex; small caches stay on a single stripe with
+/// exact FIFO/LRU semantics, and `invalidate_template` sweeps every
+/// stripe.
 pub struct FragmentCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    stripes: Vec<Mutex<Inner>>,
+    clock: AtomicU64,
     default_ttl: Duration,
     stats: CacheStats,
 }
@@ -69,15 +110,57 @@ impl FragmentCache {
     /// Like [`FragmentCache::new`], but reporting into externally owned
     /// counters (e.g. `CacheStats::shared(registry.fragment_cache.clone())`).
     pub fn with_stats(capacity: usize, default_ttl: Duration, stats: CacheStats) -> FragmentCache {
+        Self::with_config(capacity, 0, default_ttl, stats)
+    }
+
+    /// Full-control constructor: `stripes == 0` selects the auto policy,
+    /// `stripes == 1` the single-global-mutex baseline (see
+    /// [`crate::bean::BeanCache::with_config`]).
+    pub fn with_config(
+        capacity: usize,
+        stripes: usize,
+        default_ttl: Duration,
+        stats: CacheStats,
+    ) -> FragmentCache {
+        let capacity = capacity.max(1);
+        let n = resolve_stripes(capacity, stripes);
+        let stripes = stripe_capacities(capacity, n)
+            .into_iter()
+            .map(|cap| {
+                Mutex::new(Inner {
+                    entries: HashMap::new(),
+                    order: BTreeMap::new(),
+                    capacity: cap,
+                })
+            })
+            .collect();
         FragmentCache {
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                order: BTreeMap::new(),
-                next_stamp: 0,
-            }),
-            capacity: capacity.max(1),
+            stripes,
+            clock: AtomicU64::new(0),
             default_ttl,
             stats,
+        }
+    }
+
+    /// Number of lock stripes the key space is partitioned over.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: &FragmentKey) -> &Mutex<Inner> {
+        &self.stripes[stripe_of(key.stripe_hash(), self.stripes.len())]
+    }
+
+    /// Acquire a stripe lock, counting the acquisition as *contended* when
+    /// the lock was already held (try-then-block probe); see
+    /// `BeanCache::lock_probed`.
+    fn lock_probed<'a>(&self, m: &'a Mutex<Inner>) -> parking_lot::MutexGuard<'a, Inner> {
+        match m.try_lock() {
+            Some(g) => g,
+            None => {
+                self.stats.lock_contention();
+                m.lock()
+            }
         }
     }
 
@@ -86,7 +169,7 @@ impl FragmentCache {
     }
 
     pub fn get_at(&self, key: &FragmentKey, now: Instant) -> Option<Arc<String>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_probed(self.stripe(key));
         match inner.entries.get(key) {
             None => {
                 self.stats.miss();
@@ -113,11 +196,11 @@ impl FragmentCache {
 
     pub fn put_at(&self, key: FragmentKey, markup: String, now: Instant) -> Arc<String> {
         let markup = Arc::new(markup);
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_probed(self.stripe(&key));
         if let Some(old) = inner.entries.remove(&key) {
             inner.order.remove(&old.stamp);
         }
-        while inner.entries.len() >= self.capacity {
+        while inner.entries.len() >= inner.capacity {
             let Some((stamp, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone()))
             else {
                 break;
@@ -126,8 +209,7 @@ impl FragmentCache {
             inner.entries.remove(&victim);
             self.stats.eviction();
         }
-        let stamp = inner.next_stamp;
-        inner.next_stamp += 1;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         inner.entries.insert(
             key.clone(),
             Entry {
@@ -142,24 +224,29 @@ impl FragmentCache {
     }
 
     /// Drop every fragment of a template (e.g. after redeployment).
+    /// Sweeps every stripe before returning.
     pub fn invalidate_template(&self, template: &str) -> usize {
-        let mut inner = self.inner.lock();
-        let keys: Vec<(u64, FragmentKey)> = inner
-            .entries
-            .iter()
-            .filter(|(k, _)| k.template == template)
-            .map(|(k, e)| (e.stamp, k.clone()))
-            .collect();
-        for (stamp, k) in &keys {
-            inner.entries.remove(k);
-            inner.order.remove(stamp);
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            let keys: Vec<(u64, FragmentKey)> = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| k.template == template)
+                .map(|(k, e)| (e.stamp, k.clone()))
+                .collect();
+            for (stamp, k) in &keys {
+                inner.entries.remove(k);
+                inner.order.remove(stamp);
+            }
+            dropped += keys.len();
         }
-        self.stats.invalidation(keys.len() as u64);
-        keys.len()
+        self.stats.invalidation(dropped as u64);
+        dropped
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.stripes.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -274,6 +361,69 @@ mod tests {
         );
         let s = c.stats();
         assert_eq!((s.insertions, s.evictions, s.hits), (5, 1, 3));
+    }
+
+    #[test]
+    fn striped_fragment_cache_keeps_semantics() {
+        let c = FragmentCache::with_config(256, 8, Duration::from_secs(60), CacheStats::default());
+        assert_eq!(c.stripe_count(), 8);
+        for i in 0..48 {
+            c.put(
+                FragmentKey::new(format!("t{}", i % 3), format!("u{i}"), ""),
+                format!("m{i}"),
+            );
+        }
+        assert_eq!(c.len(), 48);
+        for i in 0..48 {
+            let k = FragmentKey::new(format!("t{}", i % 3), format!("u{i}"), "");
+            assert_eq!(
+                c.get(&k).as_deref().map(|s| s.as_str()),
+                Some(&*format!("m{i}"))
+            );
+        }
+        // template invalidation sweeps all stripes
+        assert_eq!(c.invalidate_template("t0"), 16);
+        assert_eq!(c.len(), 32);
+        assert!(c.get(&FragmentKey::new("t0", "u0", "")).is_none());
+    }
+
+    #[test]
+    fn striped_fragment_concurrent_access_is_safe() {
+        let c = Arc::new(FragmentCache::with_config(
+            256,
+            8,
+            Duration::from_secs(60),
+            CacheStats::default(),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..400 {
+                    let k = FragmentKey::new(
+                        format!("t{}", i % 4),
+                        format!("u{}", i % 16),
+                        format!("p{t}"),
+                    );
+                    match i % 4 {
+                        0 => {
+                            c.put(k, format!("m{i}"));
+                        }
+                        1 => {
+                            c.invalidate_template(&format!("t{}", i % 4));
+                        }
+                        _ => {
+                            c.get(&k);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200);
     }
 
     #[test]

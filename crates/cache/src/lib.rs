@@ -12,7 +12,9 @@
 //!    depends on, operation services invalidate affected beans
 //!    automatically — the developer never writes cache-management code.
 //!
-//! Both caches are bounded (LRU), thread-safe, and instrumented
+//! Both caches are bounded (LRU), thread-safe, lock-striped for
+//! concurrent serving (hash(key) → stripe; see [`bean::BeanCache`]), and
+//! instrumented
 //! ([`stats::CacheStats`]); TTL logic takes explicit `Instant`s in the
 //! `_at` variants so tests and benches stay deterministic.
 
@@ -21,7 +23,7 @@ pub mod fragment;
 pub mod replica;
 pub mod stats;
 
-pub use bean::{BeanCache, BeanKey};
+pub use bean::{BeanCache, BeanKey, MAX_STRIPES, MIN_STRIPE_CAPACITY};
 pub use fragment::{FragmentCache, FragmentKey};
 pub use replica::LogDrivenInvalidator;
 pub use stats::{CacheStats, StatsSnapshot};

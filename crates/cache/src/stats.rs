@@ -6,20 +6,30 @@
 //! reports into the same [`obs::MetricsRegistry`]. The legacy API
 //! (`hit`/`miss`/`snapshot`/…) is unchanged.
 
-use obs::CacheCounters;
+use obs::{CacheCounters, Counter};
 use std::sync::Arc;
 
 /// Thread-safe hit/miss/eviction counters backed by a shared
 /// [`obs::CacheCounters`] block.
+///
+/// In addition to the shared block, each `CacheStats` carries a
+/// `lock_contended` counter: the number of stripe-lock acquisitions that
+/// found the lock already held and had to block. Under a single global
+/// mutex every concurrent access contends; with striping only accesses
+/// that hash to the *same* stripe do. The counter makes that difference
+/// observable independently of core count (on a single-CPU host striping
+/// cannot win wall-clock time, but contended acquisitions still collapse).
 #[derive(Debug)]
 pub struct CacheStats {
     counters: Arc<CacheCounters>,
+    lock_contended: Arc<Counter>,
 }
 
 impl Default for CacheStats {
     fn default() -> Self {
         CacheStats {
             counters: Arc::new(CacheCounters::new()),
+            lock_contended: Arc::new(Counter::new()),
         }
     }
 }
@@ -33,6 +43,8 @@ pub struct StatsSnapshot {
     pub invalidations: u64,
     pub evictions: u64,
     pub expirations: u64,
+    /// Stripe-lock acquisitions that found the lock held (had to block).
+    pub lock_contended: u64,
 }
 
 impl StatsSnapshot {
@@ -51,7 +63,10 @@ impl CacheStats {
     /// Stats reporting into an externally owned counter block (typically
     /// `MetricsRegistry::bean_cache` or `MetricsRegistry::fragment_cache`).
     pub fn shared(counters: Arc<CacheCounters>) -> CacheStats {
-        CacheStats { counters }
+        CacheStats {
+            counters,
+            lock_contended: Arc::new(Counter::new()),
+        }
     }
 
     /// The underlying counter block.
@@ -77,6 +92,10 @@ impl CacheStats {
     pub fn expiration(&self) {
         self.counters.expirations.inc();
     }
+    /// Record a contended stripe-lock acquisition.
+    pub fn lock_contention(&self) {
+        self.lock_contended.inc();
+    }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -86,6 +105,7 @@ impl CacheStats {
             invalidations: self.counters.invalidations.get(),
             evictions: self.counters.evictions.get(),
             expirations: self.counters.expirations.get(),
+            lock_contended: self.lock_contended.get(),
         }
     }
 }

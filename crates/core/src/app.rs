@@ -406,6 +406,23 @@ impl Deployment {
         HttpServer::start(port, workers, handler)
     }
 
+    /// [`Deployment::serve`] with explicit serving-path configuration
+    /// (keep-alive, per-connection request cap, idle timeout, header cap).
+    pub fn serve_with(
+        &self,
+        port: u16,
+        workers: usize,
+        config: httpd::ServerConfig,
+    ) -> io::Result<HttpServer> {
+        let controller = Arc::clone(&self.controller);
+        let handler: Handler = Arc::new(move |http_req: HttpRequest| {
+            let web_req = adapt_request(&http_req);
+            let resp = controller.handle(&web_req);
+            adapt_response(resp)
+        });
+        HttpServer::start_with(port, workers, handler, config)
+    }
+
     /// Expose the app over HTTP with the full observability spine: every
     /// request runs in a fresh [`obs::RequestContext`], responses carry
     /// `X-Request-Id` and `X-Trace` headers, `GET /metrics` renders the
@@ -421,6 +438,26 @@ impl Deployment {
             },
         );
         HttpServer::start_traced(port, workers, handler, Arc::clone(&self.obs))
+    }
+
+    /// [`Deployment::serve_traced`] with explicit serving-path
+    /// configuration — the knob the load bench turns to compare keep-alive
+    /// against close-per-request serving.
+    pub fn serve_traced_with(
+        &self,
+        port: u16,
+        workers: usize,
+        config: httpd::ServerConfig,
+    ) -> io::Result<HttpServer> {
+        let controller = Arc::clone(&self.controller);
+        let handler: TracedHandler = Arc::new(
+            move |http_req: HttpRequest, ctx: &mut obs::RequestContext| {
+                let web_req = adapt_request(&http_req);
+                let resp = controller.handle_traced(&web_req, ctx);
+                adapt_response(resp)
+            },
+        );
+        HttpServer::start_traced_with(port, workers, handler, Arc::clone(&self.obs), config)
     }
 }
 

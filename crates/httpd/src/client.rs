@@ -60,23 +60,135 @@ fn request(
 ) -> io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    write_request(&mut stream, addr, method, target, headers, &body, false)?;
+    read_response(&mut stream)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_request(
+    w: &mut impl Write,
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &Option<Vec<u8>>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut req = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\n");
     for (n, v) in headers {
         req.push_str(&format!("{n}: {v}\r\n"));
     }
-    if let Some(b) = &body {
+    if let Some(b) = body {
         req.push_str(&format!("Content-Length: {}\r\n", b.len()));
     }
-    req.push_str("Connection: close\r\n\r\n");
-    stream.write_all(req.as_bytes())?;
-    if let Some(b) = &body {
-        stream.write_all(b)?;
+    if keep_alive {
+        req.push_str("\r\n"); // HTTP/1.1 default: persistent
+    } else {
+        req.push_str("Connection: close\r\n\r\n");
     }
-    read_response(&mut stream)
+    w.write_all(req.as_bytes())?;
+    if let Some(b) = body {
+        w.write_all(b)?;
+    }
+    Ok(())
+}
+
+/// A persistent HTTP/1.1 client connection: one TCP stream (and one
+/// buffered reader) reused across sequential requests, matching the
+/// server's keep-alive path. The server closing the connection
+/// (`Connection: close` in a response, request cap, idle timeout)
+/// surfaces as an error from the next call.
+pub struct Connection {
+    addr: SocketAddr,
+    reader: BufReader<TcpStream>,
+    write: TcpStream,
+}
+
+impl Connection {
+    /// Open a persistent connection to `addr`.
+    pub fn open(addr: SocketAddr) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Connection {
+            addr,
+            reader: BufReader::new(read_half),
+            write: stream,
+        })
+    }
+
+    /// Issue a GET on this connection without closing it.
+    pub fn get(&mut self, target: &str) -> io::Result<HttpResponse> {
+        self.request("GET", target, &[], None)
+    }
+
+    /// GET with extra headers (e.g. Cookie).
+    pub fn get_with_headers(
+        &mut self,
+        target: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResponse> {
+        self.request("GET", target, headers, None)
+    }
+
+    /// POST a form-urlencoded body on this connection.
+    pub fn post_form(&mut self, target: &str, fields: &[(&str, &str)]) -> io::Result<HttpResponse> {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}={}", encode(k), encode(v)))
+            .collect();
+        self.request(
+            "POST",
+            target,
+            &[("Content-Type", "application/x-www-form-urlencoded")],
+            Some(body.join("&").into_bytes()),
+        )
+    }
+
+    /// Issue one request and read its response, leaving the connection
+    /// open for the next call.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: Option<Vec<u8>>,
+    ) -> io::Result<HttpResponse> {
+        write_request(
+            &mut self.write,
+            self.addr,
+            method,
+            target,
+            headers,
+            &body,
+            true,
+        )?;
+        read_response_from(&mut self.reader)
+    }
+
+    /// Write several GET requests back-to-back *before* reading any
+    /// response (HTTP/1.1 pipelining), then read all responses in order.
+    /// Exercises the server's requirement that bytes of request N+1
+    /// already sitting in its buffer are not lost while serving N.
+    pub fn pipeline_get(&mut self, targets: &[&str]) -> io::Result<Vec<HttpResponse>> {
+        for t in targets {
+            write_request(&mut self.write, self.addr, "GET", t, &[], &None, true)?;
+        }
+        targets
+            .iter()
+            .map(|_| read_response_from(&mut self.reader))
+            .collect()
+    }
 }
 
 fn read_response(stream: &mut impl Read) -> io::Result<HttpResponse> {
     let mut reader = BufReader::new(stream);
+    read_response_from(&mut reader)
+}
+
+/// Read one response off an existing buffered reader (keep-alive path:
+/// any bytes of the next response stay in the buffer).
+fn read_response_from(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let status: u16 = line

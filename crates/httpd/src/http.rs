@@ -2,6 +2,11 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+/// Default cap on the request line + header block of one request. A
+/// client streaming endless headers is answered with `431 Request Header
+/// Fields Too Large` instead of growing server memory without bound.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone, Default)]
 pub struct HttpRequest {
@@ -12,6 +17,10 @@ pub struct HttpRequest {
     pub query: Vec<(String, String)>,
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Protocol version token from the request line (e.g. `HTTP/1.1`).
+    /// Empty when the client sent none; keep-alive negotiation treats
+    /// only a literal `HTTP/1.0` as close-by-default.
+    pub version: String,
 }
 
 impl HttpRequest {
@@ -35,6 +44,19 @@ impl HttpRequest {
             }
         }
         None
+    }
+
+    /// HTTP/1.1 persistent-connection negotiation: `HTTP/1.1` (and
+    /// anything newer) defaults to keep-alive unless the client sent
+    /// `Connection: close`; `HTTP/1.0` defaults to close unless the
+    /// client sent `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let conn = self.header("connection").unwrap_or("");
+        if self.version.eq_ignore_ascii_case("HTTP/1.0") {
+            conn.eq_ignore_ascii_case("keep-alive")
+        } else {
+            !conn.eq_ignore_ascii_case("close")
+        }
     }
 
     /// Query + form-encoded body parameters combined.
@@ -102,15 +124,19 @@ impl HttpResponse {
             302 => "Found",
             303 => "See Other",
             400 => "Bad Request",
+            401 => "Unauthorized",
             404 => "Not Found",
+            408 => "Request Timeout",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             _ => "Unknown",
         }
     }
 
-    /// Serialize onto the wire (adds Content-Length and Connection:
-    /// close).
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    /// Serialize onto the wire. Adds `Content-Length` and a `Connection`
+    /// header matching `keep_alive`, so persistent connections advertise
+    /// themselves correctly to the client.
+    pub fn write_with_connection(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         let mut buf = Vec::with_capacity(self.body.len() + 256);
         buf.extend_from_slice(
             format!(
@@ -124,13 +150,35 @@ impl HttpResponse {
             buf.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
         }
         buf.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        buf.extend_from_slice(b"Connection: close\r\n\r\n");
+        if keep_alive {
+            buf.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        } else {
+            buf.extend_from_slice(b"Connection: close\r\n\r\n");
+        }
         buf.extend_from_slice(&self.body);
         w.write_all(&buf)
     }
+
+    /// Serialize onto the wire (adds Content-Length and Connection:
+    /// close) — the one-shot compatibility path.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        self.write_with_connection(w, false)
+    }
 }
 
-/// Percent-decode one URL component.
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decode one URL component. Operates byte-wise: a `%` followed
+/// by anything other than two hex digits (including a multibyte UTF-8
+/// character sliced mid-sequence, e.g. `%é`) is passed through as a
+/// literal `%` instead of panicking on a char boundary.
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -141,18 +189,16 @@ pub fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() + 1 && i + 3 <= bytes.len() => {
-                match u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                    Ok(v) => {
-                        out.push(v);
-                        i += 3;
-                    }
-                    Err(_) => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+            b'%' if i + 2 < bytes.len() => match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi << 4 | lo);
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b => {
                 out.push(b);
                 i += 1;
@@ -173,22 +219,101 @@ pub fn parse_query(qs: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Read one request from a stream. Returns `None` on a cleanly closed
-/// connection before any bytes.
-pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+/// Why a request could not be parsed off the wire.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The request line + header block exceeded the configured cap; the
+    /// server answers `431` and closes.
+    HeadersTooLarge,
+    /// Transport or framing error (includes read timeouts).
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::HeadersTooLarge => write!(f, "request header block too large"),
+            RequestError::Io(e) => write!(f, "request read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Read one `\n`-terminated line into `out`, charging consumed bytes
+/// against `budget`. A line that would exceed the budget — including a
+/// single endless line with no newline at all — fails with
+/// [`RequestError::HeadersTooLarge`] without buffering the excess.
+/// Returns the number of bytes appended (0 ⇒ EOF before any byte).
+fn read_line_bounded(
+    r: &mut impl BufRead,
+    out: &mut Vec<u8>,
+    budget: &mut usize,
+) -> Result<usize, RequestError> {
+    let start = out.len();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        };
+        if available.is_empty() {
+            return Ok(out.len() - start); // EOF
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if pos + 1 > *budget {
+                    return Err(RequestError::HeadersTooLarge);
+                }
+                out.extend_from_slice(&available[..=pos]);
+                r.consume(pos + 1);
+                *budget -= pos + 1;
+                return Ok(out.len() - start);
+            }
+            None => {
+                let n = available.len();
+                if n >= *budget {
+                    return Err(RequestError::HeadersTooLarge);
+                }
+                out.extend_from_slice(available);
+                r.consume(n);
+                *budget -= n;
+            }
+        }
+    }
+}
+
+/// Read one request from an existing buffered reader, leaving any
+/// pipelined bytes of the *next* request untouched in the buffer — this
+/// is the keep-alive entry point: one `BufReader` per connection, reused
+/// across requests. The request line + header block is bounded by
+/// `max_header_bytes`. Returns `None` on a cleanly closed connection
+/// before any bytes.
+pub fn read_request_from(
+    reader: &mut impl BufRead,
+    max_header_bytes: usize,
+) -> Result<Option<HttpRequest>, RequestError> {
+    let mut budget = max_header_bytes.max(64);
+    let mut line = Vec::new();
+    if read_line_bounded(reader, &mut line, &mut budget)? == 0 {
         return Ok(None);
     }
-    let mut parts = line.split_whitespace();
+    let request_line = String::from_utf8_lossy(&line);
+    let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("/").to_string();
+    let version = parts.next().unwrap_or("").to_string();
     if method.is_empty() {
-        return Err(io::Error::new(
+        return Err(RequestError::Io(io::Error::new(
             io::ErrorKind::InvalidData,
             "empty request line",
-        ));
+        )));
     }
     let (path, query) = match target.find('?') {
         Some(q) => (percent_decode(&target[..q]), parse_query(&target[q + 1..])),
@@ -197,10 +322,11 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
     let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
+        line.clear();
+        if read_line_bounded(reader, &mut line, &mut budget)? == 0 {
             break;
         }
+        let h = String::from_utf8_lossy(&line);
         let h = h.trim_end();
         if h.is_empty() {
             break;
@@ -226,7 +352,24 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
         query,
         headers,
         body,
+        version,
     }))
+}
+
+/// Read one request from a stream (one-shot compatibility path: wraps
+/// the stream in a private `BufReader`, so any pipelined bytes after the
+/// first request are discarded with it). Returns `None` on a cleanly
+/// closed connection before any bytes.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
+    let mut reader = BufReader::new(stream);
+    match read_request_from(&mut reader, MAX_HEADER_BYTES) {
+        Ok(r) => Ok(r),
+        Err(RequestError::HeadersTooLarge) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request header block too large",
+        )),
+        Err(RequestError::Io(e)) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +383,7 @@ mod tests {
         let req = read_request(&mut &raw[..]).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/shop/detail");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.query[0], ("item".into(), "5".into()));
         assert_eq!(req.query[1], ("kw".into(), "web ml".into()));
         assert_eq!(req.header("user-agent"), Some("test"));
@@ -276,7 +420,18 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 9\r\n"));
         assert!(s.contains("X-Test: 1\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
         assert!(s.ends_with("<p>hi</p>"));
+    }
+
+    #[test]
+    fn response_keep_alive_serialization() {
+        let resp = HttpResponse::html(200, "ok");
+        let mut buf = Vec::new();
+        resp.write_with_connection(&mut buf, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(!s.contains("Connection: close"));
     }
 
     #[test]
@@ -285,6 +440,73 @@ mod tests {
         assert_eq!(percent_decode("a+b"), "a b");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+        // truncated escapes at end of string
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn percent_decode_multibyte_after_percent_does_not_panic() {
+        // `é` is two UTF-8 bytes; the old char-boundary slice panicked.
+        assert_eq!(percent_decode("%é"), "%é");
+        assert_eq!(percent_decode("x=%éy"), "x=%éy");
+        assert_eq!(percent_decode("%€"), "%€"); // three-byte char
+        assert_eq!(percent_decode("é%41"), "éA");
+        // a sign is not a hex digit (u8::from_str_radix would accept "+5")
+        assert_eq!(percent_decode("%+55"), "% 55");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let parse = |raw: &[u8]| read_request(&mut &raw[..]).unwrap().unwrap();
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_stay_in_the_buffer() {
+        let raw: &[u8] = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let a = read_request_from(&mut reader, MAX_HEADER_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.path, "/a");
+        let b = read_request_from(&mut reader, MAX_HEADER_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(read_request_from(&mut reader, MAX_HEADER_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..10_000 {
+            raw.extend_from_slice(format!("X-Flood-{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let mut reader = BufReader::new(&raw[..]);
+        match read_request_from(&mut reader, MAX_HEADER_BYTES) {
+            Err(RequestError::HeadersTooLarge) => {}
+            other => panic!("expected HeadersTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_endless_header_line_is_rejected() {
+        // no newline at all: the bound must trip without buffering 1 MiB
+        let mut raw = b"GET / HTTP/1.1\r\nX-Endless: ".to_vec();
+        raw.extend_from_slice(&vec![b'a'; 1024 * 1024]);
+        let mut reader = BufReader::new(&raw[..]);
+        match read_request_from(&mut reader, MAX_HEADER_BYTES) {
+            Err(RequestError::HeadersTooLarge) => {}
+            other => panic!("expected HeadersTooLarge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //!
 //! Plays the "HTTP server" box of the paper's Fig. 3: accepts browser
 //! requests and hands them to the servlet-container analogue (the `mvc`
-//! Controller, adapted by the `webratio` facade). One-request-per-
-//! connection, thread-pooled, bounded bodies — deliberately small, because
-//! the experiments measure the architecture above it, not socket
-//! performance.
+//! Controller, adapted by the `webratio` facade). Persistent HTTP/1.1
+//! connections (keep-alive negotiated per request, per-connection request
+//! cap, idle read timeout), thread-pooled with idle-connection rotation so
+//! quiet clients never pin a worker, bounded header blocks and bodies —
+//! deliberately small, because the experiments measure the architecture
+//! above it, not socket performance.
 
 pub mod client;
 pub mod http;
 pub mod server;
 
-pub use http::{parse_query, percent_decode, HttpRequest, HttpResponse};
-pub use server::{Handler, HttpServer, TracedHandler};
+pub use http::{
+    parse_query, percent_decode, HttpRequest, HttpResponse, RequestError, MAX_HEADER_BYTES,
+};
+pub use server::{Handler, HttpServer, ServerConfig, TracedHandler};

@@ -8,15 +8,57 @@
 //! `X-Request-Id` and `X-Trace` headers, and answers `?__trace=json` with
 //! the full JSON span-tree dump of that request.
 
-use crate::http::{read_request, HttpRequest, HttpResponse};
+use crate::http::{read_request_from, HttpRequest, HttpResponse, RequestError, MAX_HEADER_BYTES};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use std::io;
+use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The application callback servicing requests.
 pub type Handler = Arc<dyn Fn(HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// Serving-path configuration of one [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Honor HTTP/1.1 persistent connections. When `false` every response
+    /// carries `Connection: close` regardless of what the client asked —
+    /// the pre-keep-alive baseline, kept for A/B benching.
+    pub keep_alive: bool,
+    /// Requests serviced on one connection before the server closes it
+    /// (bounds the time one client can monopolize a worker).
+    pub max_requests_per_conn: u64,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Cap on one request's request-line + header block; beyond it the
+    /// client gets `431 Request Header Fields Too Large`.
+    pub max_header_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            keep_alive: true,
+            max_requests_per_conn: 1_000,
+            idle_timeout: Duration::from_secs(5),
+            max_header_bytes: MAX_HEADER_BYTES,
+        }
+    }
+}
+
+/// Granularity at which a worker parked on an idle connection re-checks
+/// the shutdown flag — bounds how long `stop()` waits for workers that
+/// are watching quiet keep-alive connections.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// An application callback that participates in request tracing.
 pub type TracedHandler =
@@ -32,6 +74,15 @@ enum Service {
 }
 
 impl Service {
+    /// The web-tier counter block this service reports into: the shared
+    /// registry's for traced servers, a private one otherwise.
+    fn http_counters(&self) -> Arc<obs::HttpCounters> {
+        match self {
+            Service::Plain(_) => Arc::new(obs::HttpCounters::new()),
+            Service::Traced { registry, .. } => Arc::clone(&registry.http),
+        }
+    }
+
     fn serve(&self, req: HttpRequest) -> HttpResponse {
         match self {
             Service::Plain(h) => h(req),
@@ -68,58 +119,289 @@ pub struct HttpServer {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     pub requests_served: Arc<AtomicU64>,
+    http_counters: Arc<obs::HttpCounters>,
+}
+
+/// One live client connection travelling through the worker pool: the
+/// `BufReader` (holding any pipelined bytes of the next request) stays
+/// with the connection across requests *and* across worker hand-offs.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    write: TcpStream,
+    /// Requests serviced on this connection so far.
+    served: u64,
+    /// When the connection is reaped if no next request arrives.
+    idle_deadline: Instant,
+}
+
+impl Conn {
+    fn open(stream: TcpStream, idle_timeout: Duration) -> io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(read_half),
+            write: stream,
+            served: 0,
+            idle_deadline: Instant::now() + idle_timeout,
+        })
+    }
+}
+
+/// Everything a worker needs to service connections' request streams.
+struct ConnLoop {
+    service: Arc<Service>,
+    config: ServerConfig,
+    running: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+    counters: Arc<obs::HttpCounters>,
+    /// Hand-off queue shared with the accept thread: idle-but-alive
+    /// connections are requeued here when other connections are waiting,
+    /// so a quiet keep-alive client never pins a worker while the accept
+    /// queue starves.
+    rx: Receiver<Conn>,
+    tx: Sender<Conn>,
+}
+
+/// What became of a connection after one scheduling slice.
+enum Slice {
+    /// Connection closed (or errored); its request count was recorded.
+    Closed,
+    /// Connection is alive but idle and other connections are waiting —
+    /// rotate it to the back of the queue.
+    Yield(Conn),
+}
+
+impl ConnLoop {
+    fn run(&self) {
+        loop {
+            match self.rx.recv_timeout(IDLE_TICK) {
+                Ok(conn) => match self.slice(conn) {
+                    Slice::Closed => {}
+                    Slice::Yield(conn) => {
+                        // Rotate to the back of the queue. If the queue is
+                        // saturated or closed, keep the connection inline —
+                        // dropping a live client is worse than brief
+                        // unfairness.
+                        if let Err(crossbeam::channel::TrySendError::Full(conn)) =
+                            self.tx.try_send(conn)
+                        {
+                            if let Slice::Yield(conn) = self.slice_until_close(conn) {
+                                self.finish(conn);
+                            }
+                        }
+                    }
+                },
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if !self.running.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            if !self.running.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    /// Service one connection until it closes, ignoring fairness (only
+    /// used when the hand-off queue is full).
+    fn slice_until_close(&self, mut conn: Conn) -> Slice {
+        loop {
+            match self.slice(conn) {
+                Slice::Closed => return Slice::Closed,
+                Slice::Yield(c) => {
+                    if !self.running.load(Ordering::Acquire) {
+                        return Slice::Yield(c);
+                    }
+                    conn = c;
+                }
+            }
+        }
+    }
+
+    /// Record the end of a connection's life.
+    fn finish(&self, conn: Conn) {
+        if conn.served > 0 {
+            self.counters.requests_per_conn.observe(conn.served);
+        }
+    }
+
+    /// Give `conn` one scheduling slice: serve every request that arrives
+    /// promptly, then either close it (client closed / `Connection:
+    /// close` / cap / timeout / error) or yield it back to the queue if
+    /// other connections are waiting for a worker.
+    fn slice(&self, mut conn: Conn) -> Slice {
+        'conn: loop {
+            // Idle phase: wait for the first byte of the next request in
+            // IDLE_TICK steps so shutdown, the idle deadline, and waiting
+            // connections are all honored while the client sends nothing.
+            // Pipelined bytes already in the BufReader short-circuit
+            // immediately.
+            let _ = conn.write.set_read_timeout(Some(IDLE_TICK));
+            loop {
+                if !self.running.load(Ordering::Acquire) {
+                    break 'conn; // server shutting down
+                }
+                match conn.reader.fill_buf() {
+                    Ok([]) => break 'conn, // clean close
+                    Ok(_) => break,        // request bytes available
+                    Err(ref e) if is_timeout(e) => {
+                        if Instant::now() >= conn.idle_deadline {
+                            self.counters.idle_timeouts.inc();
+                            break 'conn;
+                        }
+                        if !self.rx.is_empty() {
+                            // someone else is waiting for a worker
+                            return Slice::Yield(conn);
+                        }
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break 'conn,
+                }
+            }
+            // Parse phase: bound the whole header read so a half-sent
+            // request cannot park the worker past the idle budget.
+            let _ = conn
+                .write
+                .set_read_timeout(Some(self.config.idle_timeout.max(IDLE_TICK)));
+            match read_request_from(&mut conn.reader, self.config.max_header_bytes) {
+                Ok(Some(req)) => {
+                    conn.served += 1;
+                    let cap_hit = conn.served >= self.config.max_requests_per_conn;
+                    let client_wants_more = self.config.keep_alive && req.wants_keep_alive();
+                    let keep_alive =
+                        client_wants_more && !cap_hit && self.running.load(Ordering::Acquire);
+                    let resp = self.service.serve(req);
+                    self.requests_served.fetch_add(1, Ordering::Relaxed);
+                    self.counters.requests.inc();
+                    if resp
+                        .write_with_connection(&mut conn.write, keep_alive)
+                        .is_err()
+                    {
+                        break 'conn;
+                    }
+                    if !keep_alive {
+                        if cap_hit && client_wants_more {
+                            self.counters.conn_cap_closes.inc();
+                        }
+                        break 'conn;
+                    }
+                    conn.idle_deadline = Instant::now() + self.config.idle_timeout;
+                    // Request-level fairness: if other connections are
+                    // waiting for a worker, rotate after each request
+                    // instead of letting one fast client monopolize this
+                    // thread (pipelined bytes travel with the Conn).
+                    if !self.rx.is_empty() {
+                        return Slice::Yield(conn);
+                    }
+                }
+                Ok(None) => break 'conn, // closed between requests
+                Err(RequestError::HeadersTooLarge) => {
+                    self.counters.header_overflows.inc();
+                    let _ = HttpResponse::html(431, "<h1>431 Request Header Fields Too Large</h1>")
+                        .write_with_connection(&mut conn.write, false);
+                    break 'conn;
+                }
+                Err(RequestError::Io(ref e)) if is_timeout(e) => {
+                    // stalled mid-request: tell the client and close
+                    self.counters.idle_timeouts.inc();
+                    let _ = HttpResponse::html(408, "<h1>408 Request Timeout</h1>")
+                        .write_with_connection(&mut conn.write, false);
+                    break 'conn;
+                }
+                Err(RequestError::Io(_)) => {
+                    let _ = HttpResponse::html(400, "<h1>400</h1>")
+                        .write_with_connection(&mut conn.write, false);
+                    break 'conn;
+                }
+            }
+        }
+        self.finish(conn);
+        Slice::Closed
+    }
 }
 
 impl HttpServer {
     /// Bind `127.0.0.1:port` (0 = ephemeral) and serve with a pool of
-    /// `workers` threads.
+    /// `workers` threads and the default [`ServerConfig`] (keep-alive on).
     pub fn start(port: u16, workers: usize, handler: Handler) -> io::Result<HttpServer> {
-        Self::start_service(port, workers, Service::Plain(handler))
+        Self::start_service(
+            port,
+            workers,
+            Service::Plain(handler),
+            ServerConfig::default(),
+        )
+    }
+
+    /// [`HttpServer::start`] with explicit serving-path configuration.
+    pub fn start_with(
+        port: u16,
+        workers: usize,
+        handler: Handler,
+        config: ServerConfig,
+    ) -> io::Result<HttpServer> {
+        Self::start_service(port, workers, Service::Plain(handler), config)
     }
 
     /// Like [`HttpServer::start`], but every request runs inside a freshly
     /// minted [`obs::RequestContext`] whose latency lands in `registry`,
     /// `GET /metrics` is served from the registry, and responses carry
     /// `X-Request-Id`/`X-Trace` headers (`?__trace=json` returns the JSON
-    /// span dump instead of the page).
+    /// span dump instead of the page). Connection-lifecycle counters land
+    /// in `registry.http`.
     pub fn start_traced(
         port: u16,
         workers: usize,
         handler: TracedHandler,
         registry: Arc<obs::MetricsRegistry>,
     ) -> io::Result<HttpServer> {
-        Self::start_service(port, workers, Service::Traced { handler, registry })
+        Self::start_service(
+            port,
+            workers,
+            Service::Traced { handler, registry },
+            ServerConfig::default(),
+        )
     }
 
-    fn start_service(port: u16, workers: usize, service: Service) -> io::Result<HttpServer> {
+    /// [`HttpServer::start_traced`] with explicit serving-path
+    /// configuration.
+    pub fn start_traced_with(
+        port: u16,
+        workers: usize,
+        handler: TracedHandler,
+        registry: Arc<obs::MetricsRegistry>,
+        config: ServerConfig,
+    ) -> io::Result<HttpServer> {
+        Self::start_service(port, workers, Service::Traced { handler, registry }, config)
+    }
+
+    fn start_service(
+        port: u16,
+        workers: usize,
+        service: Service,
+        config: ServerConfig,
+    ) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
         let requests_served = Arc::new(AtomicU64::new(0));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(1024);
+        let (tx, rx): (Sender<Conn>, Receiver<Conn>) = bounded(1024);
 
         let service = Arc::new(service);
+        let http_counters = service.http_counters();
         let mut worker_handles = Vec::with_capacity(workers.max(1));
         for _ in 0..workers.max(1) {
-            let rx = rx.clone();
-            let service = Arc::clone(&service);
-            let counter = Arc::clone(&requests_served);
-            worker_handles.push(std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
-                    let _ = stream.set_nodelay(true);
-                    match read_request(&mut stream) {
-                        Ok(Some(req)) => {
-                            let resp = service.serve(req);
-                            counter.fetch_add(1, Ordering::Relaxed);
-                            let _ = resp.write_to(&mut stream);
-                        }
-                        Ok(None) => {}
-                        Err(_) => {
-                            let _ = HttpResponse::html(400, "<h1>400</h1>").write_to(&mut stream);
-                        }
-                    }
-                }
-            }));
+            let conn_loop = ConnLoop {
+                service: Arc::clone(&service),
+                config: config.clone(),
+                running: Arc::clone(&running),
+                requests_served: Arc::clone(&requests_served),
+                counters: Arc::clone(&http_counters),
+                rx: rx.clone(),
+                tx: tx.clone(),
+            };
+            worker_handles.push(std::thread::spawn(move || conn_loop.run()));
         }
 
         // Blocking accept: the thread sleeps in the kernel until a client
@@ -128,6 +410,8 @@ impl HttpServer {
         // (checked *after* every accept) tells it that connection is a
         // shutdown signal, not a client.
         let accept_running = Arc::clone(&running);
+        let accept_counters = Arc::clone(&http_counters);
+        let idle_timeout = config.idle_timeout;
         let accept_thread = std::thread::spawn(move || {
             loop {
                 match listener.accept() {
@@ -135,7 +419,11 @@ impl HttpServer {
                         if !accept_running.load(Ordering::Acquire) {
                             break; // the stop() wake-up (or a too-late client)
                         }
-                        if tx.send(stream).is_err() {
+                        let Ok(conn) = Conn::open(stream, idle_timeout) else {
+                            continue;
+                        };
+                        accept_counters.connections.inc();
+                        if tx.send(conn).is_err() {
                             break;
                         }
                     }
@@ -143,7 +431,8 @@ impl HttpServer {
                     Err(_) => break,
                 }
             }
-            // dropping tx ends the workers
+            // dropping the accept tx (workers hold their own clones, which
+            // die with them) plus the running flag ends the workers
         });
 
         Ok(HttpServer {
@@ -152,7 +441,14 @@ impl HttpServer {
             accept_thread: Some(accept_thread),
             workers: worker_handles,
             requests_served,
+            http_counters,
         })
+    }
+
+    /// The web-tier connection-lifecycle counter block this server reports
+    /// into (the shared registry's for traced servers).
+    pub fn http_counters(&self) -> &Arc<obs::HttpCounters> {
+        &self.http_counters
     }
 
     /// The bound address (use this to build client URLs).
@@ -174,38 +470,41 @@ impl HttpServer {
         // The connect can fail transiently (backlog exhausted, fd limit),
         // so retry briefly — a backlog full of real clients also wakes the
         // thread on its own, which `is_finished` detects.
-        let accept_joined = match self.accept_thread.take() {
-            Some(t) => {
-                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-                while !t.is_finished()
-                    && TcpStream::connect(self.addr).is_err()
-                    && std::time::Instant::now() < deadline
-                {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                }
-                // Bounded join: wait for the thread to wind down, but never
-                // hang shutdown on a thread we could not wake.
-                while !t.is_finished() && std::time::Instant::now() < deadline {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                }
-                if t.is_finished() {
-                    let _ = t.join();
-                    true
-                } else {
-                    drop(t); // leak: still parked in accept(); joining would hang
-                    false
-                }
+        if let Some(t) = self.accept_thread.take() {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !t.is_finished()
+                && TcpStream::connect(self.addr).is_err()
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(5));
             }
-            None => true,
-        };
-        // Workers exit when the accept thread drops the channel sender; if
-        // it never woke, joining them would hang on `recv` forever.
-        if accept_joined {
-            for w in self.workers.drain(..) {
+            // Bounded join: wait for the thread to wind down, but never
+            // hang shutdown on a thread we could not wake.
+            while !t.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if t.is_finished() {
+                let _ = t.join();
+            } else {
+                drop(t); // leak: still parked in accept(); joining would hang
+            }
+        }
+        // Workers notice the cleared `running` flag within one IDLE_TICK
+        // while watching idle connections (or one recv_timeout while
+        // waiting for work). A worker parked in the parse phase of a
+        // half-sent request can take up to the idle timeout to notice, so
+        // the join is bounded: past the deadline the thread is leaked
+        // rather than hanging shutdown on a stalled client.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for w in self.workers.drain(..) {
+            while !w.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if w.is_finished() {
                 let _ = w.join();
+            } else {
+                drop(w); // leak rather than hang: see above
             }
-        } else {
-            self.workers.clear();
         }
     }
 }
@@ -313,6 +612,208 @@ mod tests {
         );
         // the listener is really gone
         assert!(client::get(addr, "/x").is_err());
+    }
+
+    /// Poll until `cond` holds or ~2s elapse (counter updates race the
+    /// client's view of the connection teardown).
+    fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cond()
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_many_requests() {
+        let server = HttpServer::start(0, 2, echo_handler()).unwrap();
+        let counters = Arc::clone(server.http_counters());
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        for i in 0..10 {
+            let resp = conn.get(&format!("/r{i}")).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                resp.find_header("Connection").map(str::to_ascii_lowercase),
+                Some("keep-alive".into())
+            );
+            assert!(String::from_utf8(resp.body)
+                .unwrap()
+                .contains(&format!("path=/r{i}")));
+        }
+        assert_eq!(server.requests_served.load(Ordering::Relaxed), 10);
+        assert_eq!(counters.requests.get(), 10);
+        assert_eq!(counters.connections.get(), 1, "one TCP connection total");
+        drop(conn); // client closes; server should record 10 req on 1 conn
+        assert!(
+            eventually(|| counters.requests_per_conn.count() == 1),
+            "requests_per_conn never observed"
+        );
+        assert_eq!(counters.requests_per_conn.sum(), 10);
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_bytes_in_the_buffer_are_not_lost() {
+        let server = HttpServer::start(0, 1, echo_handler()).unwrap();
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let resps = conn.pipeline_get(&["/a", "/b", "/c"]).unwrap();
+        assert_eq!(resps.len(), 3);
+        for (resp, path) in resps.iter().zip(["/a", "/b", "/c"]) {
+            assert_eq!(resp.status, 200);
+            assert!(
+                String::from_utf8(resp.body.clone())
+                    .unwrap()
+                    .contains(&format!("path={path} ")),
+                "wrong response order for {path}"
+            );
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let server = HttpServer::start_with(
+            0,
+            1,
+            echo_handler(),
+            ServerConfig {
+                max_requests_per_conn: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let counters = Arc::clone(server.http_counters());
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        for i in 0..3 {
+            let resp = conn.get("/x").unwrap();
+            assert_eq!(resp.status, 200);
+            let c = resp.find_header("Connection").unwrap().to_ascii_lowercase();
+            if i < 2 {
+                assert_eq!(c, "keep-alive");
+            } else {
+                assert_eq!(c, "close", "cap must be announced on the last response");
+            }
+        }
+        assert!(
+            eventually(|| counters.conn_cap_closes.get() == 1),
+            "cap close never counted"
+        );
+        // the server hung up: the next request on this connection fails
+        // (write may succeed into the dead socket; the read cannot)
+        assert!(conn.get("/y").is_err());
+        server.stop();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_by_the_read_timeout() {
+        let server = HttpServer::start_with(
+            0,
+            1,
+            echo_handler(),
+            ServerConfig {
+                idle_timeout: Duration::from_millis(60),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let counters = Arc::clone(server.http_counters());
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        assert_eq!(conn.get("/x").unwrap().status, 200);
+        assert!(
+            eventually(|| counters.idle_timeouts.get() == 1),
+            "idle connection never reaped"
+        );
+        assert!(conn.get("/y").is_err(), "connection should be closed");
+        // the worker is free again for new clients
+        assert_eq!(client::get(server.addr(), "/z").unwrap().status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_header_stream_gets_431_not_a_dead_worker() {
+        use std::io::Write as _;
+        let server = HttpServer::start(0, 1, echo_handler()).unwrap();
+        let counters = Arc::clone(server.http_counters());
+        let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+        // stream headers until the server cuts us off
+        let filler = format!("X-Flood: {}\r\n", "v".repeat(1024));
+        for _ in 0..1024 {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // server already answered 431 and closed
+            }
+        }
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut buf = Vec::new();
+        use std::io::Read as _;
+        let _ = s.read_to_end(&mut buf);
+        let head = String::from_utf8_lossy(&buf);
+        assert!(head.starts_with("HTTP/1.1 431"), "got: {head:.60}");
+        assert_eq!(counters.header_overflows.get(), 1);
+        // worker survived: a normal request still works
+        assert_eq!(client::get(server.addr(), "/ok").unwrap().status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn more_keep_alive_connections_than_workers_all_make_progress() {
+        // 1 worker, 4 persistent connections: idle-connection rotation must
+        // keep every client moving instead of pinning the worker to one.
+        let server = HttpServer::start(0, 1, echo_handler()).unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut conn = client::Connection::open(addr).unwrap();
+                for i in 0..10 {
+                    let resp = conn.get(&format!("/t{t}/{i}")).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served.load(Ordering::Relaxed), 40);
+        let counters = Arc::clone(server.http_counters());
+        assert_eq!(counters.connections.get(), 4);
+        server.stop();
+    }
+
+    #[test]
+    fn http_1_0_clients_still_get_connection_close() {
+        use std::io::{Read as _, Write as _};
+        let server = HttpServer::start(0, 1, echo_handler()).unwrap();
+        let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /legacy HTTP/1.0\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap(); // EOF ⇒ server closed for us
+        let head = String::from_utf8_lossy(&buf);
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(head.contains("Connection: close\r\n"));
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_with_open_keep_alive_connections_does_not_hang() {
+        let server = HttpServer::start(0, 2, echo_handler()).unwrap();
+        let addr = server.addr();
+        // three live keep-alive connections, one of them mid-stream
+        let mut c1 = client::Connection::open(addr).unwrap();
+        let _c2 = client::Connection::open(addr).unwrap();
+        let _c3 = client::Connection::open(addr).unwrap();
+        assert_eq!(c1.get("/x").unwrap().status, 200);
+        let t0 = std::time::Instant::now();
+        server.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "stop() with open connections took {:?}",
+            t0.elapsed()
+        );
+        assert!(client::get(addr, "/x").is_err(), "listener still up");
     }
 
     #[test]

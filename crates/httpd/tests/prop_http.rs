@@ -1,0 +1,71 @@
+//! Fuzz-style property tests of the wire-facing parsers: arbitrary (and
+//! adversarial) query strings must never panic a worker thread.
+//!
+//! Regression scope: `percent_decode` used to slice `&s[i+1..i+3]` off a
+//! UTF-8 char boundary, so a query like `/p?x=%é` killed the thread.
+
+use httpd::{parse_query, percent_decode, HttpRequest};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any UTF-8 string survives percent-decoding (no panics, no char
+    /// boundary slicing) — multibyte chars after `%` included.
+    #[test]
+    fn percent_decode_never_panics(s in "\\PC*") {
+        let _ = percent_decode(&s);
+    }
+
+    /// Strings salted with `%` before arbitrary (often multibyte) chars —
+    /// the exact shape of the historical panic.
+    #[test]
+    fn percent_before_anything_never_panics(parts in proptest::collection::vec("\\PC{0,4}", 0..8)) {
+        let s = parts.join("%");
+        let _ = percent_decode(&s);
+        let _ = parse_query(&s);
+    }
+
+    /// Valid escapes round-trip byte-wise through the decoder.
+    #[test]
+    fn valid_escapes_decode(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let encoded: String = bytes.iter().map(|b| format!("%{b:02X}")).collect();
+        let decoded = percent_decode(&encoded);
+        // decoder emits raw bytes then lossy-converts; compare through the
+        // same lossy lens
+        prop_assert_eq!(decoded, String::from_utf8_lossy(&bytes).to_string());
+    }
+
+    /// An invalid escape is passed through as a literal `%` and never eats
+    /// the following characters.
+    #[test]
+    fn invalid_escapes_pass_through(tail in "[^0-9a-fA-F%][^%]{0,8}") {
+        let s = format!("%{tail}");
+        let decoded = percent_decode(&s);
+        prop_assert!(decoded.starts_with('%'), "lost the literal %: {decoded:?}");
+    }
+
+    /// Whole request lines with arbitrary query strings parse (or fail
+    /// cleanly) — never panic, and never produce a broken request.
+    #[test]
+    fn arbitrary_query_strings_parse(q in "\\PC{0,64}") {
+        // URL-ish framing: the query goes on the wire verbatim except for
+        // whitespace (which would end the target token early — fine too).
+        let raw = format!("GET /page?{q} HTTP/1.1\r\nHost: t\r\n\r\n");
+        let parsed: Result<Option<HttpRequest>, _> =
+            httpd::http::read_request_from(&mut raw.as_bytes(), httpd::MAX_HEADER_BYTES);
+        if let Ok(Some(req)) = parsed {
+            prop_assert_eq!(req.method, "GET");
+            prop_assert!(req.path.starts_with("/page") || !q.is_empty());
+        }
+    }
+}
+
+/// The literal reported crash shape: `%é` in a query string.
+#[test]
+fn multibyte_after_percent_regression() {
+    assert_eq!(percent_decode("%é"), "%é");
+    let q = parse_query("x=%é&y=%C3%A9");
+    assert_eq!(q[0], ("x".to_string(), "%é".to_string()));
+    assert_eq!(q[1], ("y".to_string(), "é".to_string()));
+}

@@ -19,7 +19,7 @@ use crate::page::PageResult;
 use crate::render::{navigation_html, unit_content};
 use crate::request::{WebRequest, WebResponse};
 use crate::services::{fingerprint, ParamMap, ServiceRegistry};
-use crate::session::SessionManager;
+use crate::session::{SessionManager, DEFAULT_SESSION_TTL};
 use descriptors::{ActionKind, DescriptorSet, PageDescriptor};
 use presentation::{render_template, DeviceRegistry, RuleSet, StyledTemplate, TemplateSkeleton};
 use relstore::{Database, Value};
@@ -49,6 +49,11 @@ pub struct RuntimeOptions {
     pub fragment_cache: bool,
     pub fragment_ttl: Duration,
     pub fragment_capacity: usize,
+    /// Lock stripes for each cache: `0` = auto (scale with capacity, up
+    /// to [`webcache::MAX_STRIPES`]), `1` = single-mutex baseline.
+    pub cache_stripes: usize,
+    /// Idle sessions older than this are expired (TTL sweep).
+    pub session_ttl: Duration,
     pub styling: StylingMode,
     /// `Some(n)`: deploy business services in the application server with
     /// `n` clones (Fig. 6); `None`: in-process.
@@ -63,6 +68,8 @@ impl Default for RuntimeOptions {
             fragment_cache: false,
             fragment_ttl: Duration::from_secs(1),
             fragment_capacity: 4096,
+            cache_stripes: 0,
+            session_ttl: DEFAULT_SESSION_TTL,
             styling: StylingMode::CompileTime,
             app_server_clones: None,
         }
@@ -155,14 +162,16 @@ impl Controller {
         let set = Arc::new(set);
         let registry = Arc::new(registry);
         let bean_cache = options.bean_cache.then(|| {
-            Arc::new(BeanCache::with_stats(
+            Arc::new(BeanCache::with_config(
                 options.bean_cache_capacity,
+                options.cache_stripes,
                 webcache::CacheStats::shared(Arc::clone(&observability.bean_cache)),
             ))
         });
         let fragment_cache = options.fragment_cache.then(|| {
-            FragmentCache::with_stats(
+            FragmentCache::with_config(
                 options.fragment_capacity,
+                options.cache_stripes,
                 options.fragment_ttl,
                 webcache::CacheStats::shared(Arc::clone(&observability.fragment_cache)),
             )
@@ -203,7 +212,10 @@ impl Controller {
             compiled,
             styling: options.styling,
             db,
-            sessions: SessionManager::new(),
+            sessions: SessionManager::with_config(
+                options.session_ttl,
+                Arc::clone(&observability.sessions_expired),
+            ),
             ops: OperationEngine::new(),
             bean_cache,
             fragment_cache,

@@ -41,4 +41,4 @@ pub use page::{compute_page, compute_page_traced, PageEnv, PageResult};
 pub use render::{navigation_html, unit_content};
 pub use request::{build_url, url_decode, url_encode, WebRequest, WebResponse};
 pub use services::{fingerprint, ParamMap, ServiceRegistry, UnitService};
-pub use session::{Session, SessionManager};
+pub use session::{Session, SessionManager, DEFAULT_SESSION_TTL};

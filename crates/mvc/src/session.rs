@@ -1,11 +1,24 @@
 //! Session-level state (§1: "session-level information and
 //! personalization aspects").
+//!
+//! Hardened for long-running serving: session ids mix a per-process
+//! random nonce through SipHash (so `sess-00000001`-style guessing finds
+//! nothing), every entry carries a last-access stamp, and an
+//! opportunistic TTL sweep reaps idle sessions so the store no longer
+//! grows without bound. Expired or forged ids presented by a client
+//! simply mint a fresh session — never an error.
 
+use obs::Counter;
 use parking_lot::Mutex;
 use relstore::Value;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Idle time after which a session is reaped by the TTL sweep.
+pub const DEFAULT_SESSION_TTL: Duration = Duration::from_secs(30 * 60);
 
 /// One user session: variables plus the authenticated principal.
 #[derive(Debug, Clone, Default)]
@@ -17,50 +30,189 @@ pub struct Session {
     pub group: Option<String>,
 }
 
-/// Thread-safe session store keyed by opaque session ids.
-#[derive(Default)]
+struct SessionEntry {
+    session: Arc<Mutex<Session>>,
+    last_access: Instant,
+}
+
+/// Thread-safe session store keyed by opaque session ids, bounded in time
+/// by a TTL sweep.
 pub struct SessionManager {
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, SessionEntry>>,
     counter: AtomicU64,
+    /// Per-process random nonce mixed into every id (sourced from the
+    /// std `RandomState` per-process hash keys — no external RNG dep).
+    nonce: u64,
+    ttl: Duration,
+    /// Next time the opportunistic sweep may run.
+    next_sweep: Mutex<Instant>,
+    /// Sessions reaped by the TTL sweep (typically a clone of
+    /// `obs::MetricsRegistry::sessions_expired`).
+    expired: Arc<Counter>,
+}
+
+impl Default for SessionManager {
+    fn default() -> SessionManager {
+        SessionManager::new()
+    }
+}
+
+fn process_nonce() -> u64 {
+    // RandomState's hash keys are seeded randomly once per process; a
+    // hasher built from a fresh RandomState therefore yields a value an
+    // outside client cannot predict, without pulling in an RNG crate.
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(std::process::id() as u64);
+    if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        h.write_u128(t.as_nanos());
+    }
+    h.finish()
 }
 
 impl SessionManager {
     pub fn new() -> SessionManager {
-        SessionManager::default()
+        Self::with_config(DEFAULT_SESSION_TTL, Arc::new(Counter::new()))
+    }
+
+    /// Full-control constructor: idle TTL plus the counter the sweep
+    /// reports into (pass `registry.sessions_expired.clone()` to surface
+    /// evictions at `/metrics`).
+    pub fn with_config(ttl: Duration, expired: Arc<Counter>) -> SessionManager {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            counter: AtomicU64::new(0),
+            nonce: process_nonce(),
+            ttl,
+            next_sweep: Mutex::new(Instant::now()),
+            expired,
+        }
+    }
+
+    /// The configured idle TTL.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Sessions reaped by the TTL sweep so far.
+    pub fn expired_total(&self) -> u64 {
+        self.expired.get()
+    }
+
+    fn mint_id(&self, n: u64) -> String {
+        // SipHash over the secret nonce: sequential counters map to
+        // unlinkable tags, so observing `sess-…` cookies does not let a
+        // client forge a neighbour's id.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u64(self.nonce);
+        h.write_u64(n);
+        let tag = h.finish();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        h2.write_u64(self.nonce.rotate_left(17));
+        h2.write_u64(tag);
+        format!("sess-{tag:016x}{:016x}", h2.finish())
     }
 
     /// Create a fresh session, returning its id.
     pub fn create(&self) -> String {
+        self.create_at(Instant::now())
+    }
+
+    /// [`SessionManager::create`] at an explicit instant (deterministic
+    /// TTL tests). Runs the opportunistic sweep when due.
+    pub fn create_at(&self, now: Instant) -> String {
+        self.maybe_sweep(now);
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
-        // opaque but deterministic-per-process id; sufficient for a
-        // simulated container
-        let id = format!("sess-{n:08x}");
-        self.sessions
-            .lock()
-            .insert(id.clone(), Arc::new(Mutex::new(Session::default())));
+        let id = self.mint_id(n);
+        self.sessions.lock().insert(
+            id.clone(),
+            SessionEntry {
+                session: Arc::new(Mutex::new(Session::default())),
+                last_access: now,
+            },
+        );
         id
     }
 
-    /// Fetch an existing session.
+    /// Fetch an existing, unexpired session; refreshes its last-access
+    /// stamp. An expired id is reaped on contact and yields `None`.
     pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
-        self.sessions.lock().get(id).cloned()
+        self.get_at(id, Instant::now())
     }
 
-    /// Fetch or create: returns `(id, session, created)`.
+    /// [`SessionManager::get`] at an explicit instant.
+    pub fn get_at(&self, id: &str, now: Instant) -> Option<Arc<Mutex<Session>>> {
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(id) {
+            Some(e) if now.duration_since(e.last_access) >= self.ttl => {
+                sessions.remove(id);
+                self.expired.inc();
+                None
+            }
+            Some(e) => {
+                e.last_access = now;
+                Some(Arc::clone(&e.session))
+            }
+            None => None,
+        }
+    }
+
+    /// Fetch or create: returns `(id, session, created)`. Expired and
+    /// forged ids mint a fresh session (never an error — the cookie the
+    /// client sent is simply replaced).
     pub fn get_or_create(&self, id: Option<&str>) -> (String, Arc<Mutex<Session>>, bool) {
+        self.get_or_create_at(id, Instant::now())
+    }
+
+    /// [`SessionManager::get_or_create`] at an explicit instant.
+    pub fn get_or_create_at(
+        &self,
+        id: Option<&str>,
+        now: Instant,
+    ) -> (String, Arc<Mutex<Session>>, bool) {
         if let Some(id) = id {
-            if let Some(s) = self.get(id) {
+            if let Some(s) = self.get_at(id, now) {
                 return (id.to_string(), s, false);
             }
         }
-        let id = self.create();
-        let s = self.get(&id).unwrap();
+        let id = self.create_at(now);
+        let s = self.get_at(&id, now).unwrap();
         (id, s, true)
     }
 
     /// Destroy a session (logout).
     pub fn destroy(&self, id: &str) -> bool {
         self.sessions.lock().remove(id).is_some()
+    }
+
+    /// Reap every session idle for at least the TTL; returns how many
+    /// were dropped. Runs opportunistically from `create`, but can be
+    /// driven explicitly (tests, maintenance endpoints).
+    pub fn sweep_expired_at(&self, now: Instant) -> usize {
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        let ttl = self.ttl;
+        sessions.retain(|_, e| now.duration_since(e.last_access) < ttl);
+        let dropped = before - sessions.len();
+        self.expired.add(dropped as u64);
+        dropped
+    }
+
+    /// [`SessionManager::sweep_expired_at`] with the real clock.
+    pub fn sweep_expired(&self) -> usize {
+        self.sweep_expired_at(Instant::now())
+    }
+
+    /// Run the sweep if the throttle window (¼ TTL) has elapsed — keeps
+    /// `create` O(1) amortized instead of O(sessions) per call.
+    fn maybe_sweep(&self, now: Instant) {
+        {
+            let mut next = self.next_sweep.lock();
+            if now < *next {
+                return;
+            }
+            *next = now + self.ttl / 4;
+        }
+        self.sweep_expired_at(now);
     }
 
     pub fn len(&self) -> usize {
@@ -109,6 +261,83 @@ mod tests {
         let b = m.create();
         assert_ne!(a, b);
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_not_sequential_or_cross_process_guessable() {
+        let m = SessionManager::new();
+        let a = m.create();
+        let b = m.create();
+        // the legacy scheme was `sess-{n:08x}`: 13 chars, counter visible
+        assert!(a.len() > 20, "id too short to carry a nonce: {a}");
+        assert_ne!(&a[..10], &b[..10], "ids share a guessable prefix");
+        assert!(m.get("sess-00000000").is_none(), "legacy id must not hit");
+        assert!(m.get("sess-00000001").is_none());
+        // two managers (≈ two processes) never mint each other's ids
+        let other = SessionManager::new();
+        let c = other.create();
+        assert!(m.get(&c).is_none(), "foreign-process id resolved: {c}");
+    }
+
+    #[test]
+    fn expired_sessions_are_reaped_on_contact() {
+        let ttl = Duration::from_secs(60);
+        let m = SessionManager::with_config(ttl, Arc::new(Counter::new()));
+        let t0 = Instant::now();
+        let id = m.create_at(t0);
+        m.get_at(&id, t0).unwrap().lock().user = Some(7);
+
+        // still alive inside the TTL, and the access refreshes the stamp
+        assert!(m.get_at(&id, t0 + Duration::from_secs(40)).is_some());
+        assert!(m.get_at(&id, t0 + Duration::from_secs(80)).is_some());
+
+        // 60s of silence → reaped on next contact, counted, fresh session
+        let late = t0 + Duration::from_secs(80 + 61);
+        let (id2, s2, created) = m.get_or_create_at(Some(&id), late);
+        assert!(created, "expired id must mint a fresh session");
+        assert_ne!(id, id2);
+        assert_eq!(s2.lock().user, None, "state must not leak across expiry");
+        assert_eq!(m.expired_total(), 1);
+    }
+
+    #[test]
+    fn sweep_reaps_idle_sessions_in_bulk() {
+        let ttl = Duration::from_secs(10);
+        let m = SessionManager::with_config(ttl, Arc::new(Counter::new()));
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            m.create_at(t0);
+        }
+        let live = m.create_at(t0 + Duration::from_secs(8));
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.sweep_expired_at(t0 + Duration::from_secs(12)), 5);
+        assert_eq!(m.len(), 1);
+        assert!(m.get_at(&live, t0 + Duration::from_secs(12)).is_some());
+        assert_eq!(m.expired_total(), 5);
+    }
+
+    #[test]
+    fn create_sweeps_opportunistically() {
+        let ttl = Duration::from_secs(10);
+        let m = SessionManager::with_config(ttl, Arc::new(Counter::new()));
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            m.create_at(t0);
+        }
+        // far future create: the throttled sweep runs and reaps the idle 4
+        m.create_at(t0 + Duration::from_secs(3600));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.expired_total(), 4);
+    }
+
+    #[test]
+    fn expirations_report_into_a_shared_counter() {
+        let shared = Arc::new(Counter::new());
+        let m = SessionManager::with_config(Duration::from_secs(1), Arc::clone(&shared));
+        let t0 = Instant::now();
+        m.create_at(t0);
+        m.sweep_expired_at(t0 + Duration::from_secs(2));
+        assert_eq!(shared.get(), 1, "shared obs counter must see the sweep");
     }
 
     #[test]

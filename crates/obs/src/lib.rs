@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    AnalyzeCounters, CacheCounters, Counter, DbCounters, Histogram, MetricsRegistry, WalCounters,
+    AnalyzeCounters, CacheCounters, Counter, DbCounters, Histogram, HttpCounters, MetricsRegistry,
+    WalCounters,
 };
 pub use trace::{RequestContext, Span, SpanToken};

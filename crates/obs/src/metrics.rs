@@ -99,6 +99,24 @@ impl Histogram {
         }
     }
 
+    /// Estimated value at quantile `q` ∈ [0, 1]: the upper bound of the
+    /// log-spaced bucket holding the q-th observation (the +Inf bucket
+    /// reports the largest finite bound). 0 when empty. Coarse by design —
+    /// good enough for p50/p95/p99 reporting in the serving bench.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        for (bound, cum) in self.cumulative_buckets() {
+            if cum >= rank {
+                return bound.unwrap_or(*BUCKET_BOUNDS_US.last().unwrap());
+            }
+        }
+        *BUCKET_BOUNDS_US.last().unwrap()
+    }
+
     /// Cumulative bucket counts in bound order, then the +Inf bucket.
     pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
         let mut acc = 0;
@@ -222,6 +240,31 @@ impl AnalyzeCounters {
     }
 }
 
+/// The counter block the web tier (`httpd`) reports into: connection
+/// lifecycle and keep-alive economics.
+#[derive(Debug, Default)]
+pub struct HttpCounters {
+    /// TCP connections accepted and handed to the worker pool.
+    pub connections: Counter,
+    /// Requests fully serviced (all connections, all workers).
+    pub requests: Counter,
+    /// Requests serviced per connection before it closed — the keep-alive
+    /// amortization factor (1 everywhere ⇒ `Connection: close` traffic).
+    pub requests_per_conn: Histogram,
+    /// Connections closed because the per-connection request cap was hit.
+    pub conn_cap_closes: Counter,
+    /// Connections closed by the idle read timeout.
+    pub idle_timeouts: Counter,
+    /// Requests rejected with `431 Request Header Fields Too Large`.
+    pub header_overflows: Counter,
+}
+
+impl HttpCounters {
+    pub fn new() -> HttpCounters {
+        HttpCounters::default()
+    }
+}
+
 /// The process-wide registry every tier plugs into.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -241,6 +284,11 @@ pub struct MetricsRegistry {
     pub wal: Arc<WalCounters>,
     /// Whole-application model checker counters.
     pub analyze: Arc<AnalyzeCounters>,
+    /// Web-tier connection lifecycle counters (`httpd`).
+    pub http: Arc<HttpCounters>,
+    /// Sessions evicted by the TTL sweep (`mvc::SessionManager` holds a
+    /// clone of this counter).
+    pub sessions_expired: Arc<Counter>,
     /// Bytes crossing the app-server marshalling boundary (Fig. 6).
     pub appserver_bytes_marshalled: Counter,
     pub appserver_requests: Counter,
@@ -373,6 +421,48 @@ impl MetricsRegistry {
             "webml_appserver_requests_total",
             "Page computations served by app-server clones",
             self.appserver_requests.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_connections_total",
+            "TCP connections accepted by the web tier",
+            self.http.connections.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_requests_total",
+            "HTTP requests serviced by the web tier",
+            self.http.requests.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_conn_cap_closes_total",
+            "Connections closed by the per-connection request cap",
+            self.http.conn_cap_closes.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_idle_timeouts_total",
+            "Connections closed by the idle read timeout",
+            self.http.idle_timeouts.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_header_overflows_total",
+            "Requests rejected with 431 Request Header Fields Too Large",
+            self.http.header_overflows.get(),
+        );
+        Self::render_histogram(
+            &mut out,
+            "http_requests_per_conn",
+            "",
+            &self.http.requests_per_conn,
+        );
+        counter_into(
+            &mut out,
+            "webml_sessions_expired_total",
+            "Sessions evicted by the TTL sweep",
+            self.sessions_expired.get(),
         );
         counter_into(
             &mut out,
@@ -583,6 +673,40 @@ mod tests {
         assert!(text.contains("wal_group_batch_size_count 1"));
         assert!(text.contains("wal_group_batch_size_sum 4"));
         assert!(text.contains("wal_recovery_micros_sum 900"));
+    }
+
+    #[test]
+    fn http_counters_render() {
+        let reg = MetricsRegistry::new();
+        reg.http.connections.inc();
+        reg.http.requests.add(5);
+        reg.http.requests_per_conn.observe(5);
+        reg.http.header_overflows.inc();
+        reg.sessions_expired.add(2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("http_connections_total 1"));
+        assert!(text.contains("http_requests_total 5"));
+        assert!(text.contains("http_requests_per_conn_count 1"));
+        assert!(text.contains("http_requests_per_conn_sum 5"));
+        assert!(text.contains("http_header_overflows_total 1"));
+        assert!(text.contains("webml_sessions_expired_total 2"));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for _ in 0..90 {
+            h.observe_us(40); // bucket le=50
+        }
+        for _ in 0..10 {
+            h.observe_us(4_000); // bucket le=5000
+        }
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.9), 50);
+        assert_eq!(h.quantile(0.99), 5_000);
+        h.observe_us(10_000_000); // +Inf bucket
+        assert_eq!(h.quantile(1.0), *BUCKET_BOUNDS_US.last().unwrap());
     }
 
     #[test]

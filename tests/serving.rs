@@ -1,0 +1,315 @@
+//! The concurrent serving fast path, end to end over real TCP: HTTP/1.1
+//! keep-alive conversations (sequential and pipelined), connection-close
+//! negotiation, bounded shutdown under open connections, and the
+//! malformed-input suite — multibyte/truncated percent-escapes, oversized
+//! header blocks, forged session cookies — which must yield 4xx or a
+//! fresh session, never a panic or a wedged worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use webml_ratio::httpd::{client, ServerConfig};
+use webml_ratio::mvc::RuntimeOptions;
+use webml_ratio::webratio::{fixtures, Deployment, SESSION_COOKIE};
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions {
+        bean_cache: true,
+        fragment_cache: true,
+        fragment_ttl: Duration::from_secs(300),
+        ..RuntimeOptions::default()
+    }
+}
+
+fn bookstore() -> Deployment {
+    let d = fixtures::bookstore().deploy(options()).unwrap();
+    d.db.execute_script(
+        "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
+         INSERT INTO book (title, price) VALUES ('WebML handbook', 50.0);",
+    )
+    .unwrap();
+    d
+}
+
+fn sid_of(resp: &webml_ratio::httpd::HttpResponse) -> Option<String> {
+    resp.find_header("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .and_then(|kv| kv.strip_prefix(&format!("{SESSION_COOKIE}=")))
+        .map(str::to_string)
+}
+
+// ---- keep-alive conversations ---------------------------------------------
+
+/// One TCP connection carries a whole conversation: N sequential requests,
+/// one server-side connection accepted, N requests counted on it.
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    let first = conn.get(&home).unwrap();
+    assert_eq!(first.status, 200);
+    let sid = sid_of(&first).expect("session minted");
+    let cookie = format!("{SESSION_COOKIE}={sid}");
+
+    for _ in 0..9 {
+        let r = conn
+            .get_with_headers(&home, &[("Cookie", &cookie)])
+            .unwrap();
+        assert_eq!(r.status, 200);
+        // same session throughout the conversation: no new cookie minted
+        assert_eq!(sid_of(&r), None, "server re-minted a session mid-conn");
+    }
+
+    let counters = server.http_counters();
+    assert_eq!(counters.connections.get(), 1, "keep-alive must reuse");
+    assert_eq!(counters.requests.get(), 10);
+    server.stop();
+}
+
+/// Pipelined requests (all written before any response is read) come back
+/// complete and in order — bytes of request N+1 buffered behind request N
+/// survive worker hand-offs.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    let responses = conn.pipeline_get(&[&home, &home, &home, &home]).unwrap();
+    assert_eq!(responses.len(), 4);
+    for r in &responses {
+        assert_eq!(r.status, 200);
+        assert!(!r.body.is_empty());
+    }
+    assert_eq!(server.http_counters().connections.get(), 1);
+    assert_eq!(server.http_counters().requests.get(), 4);
+    server.stop();
+}
+
+/// `Connection: close` in the request is honored: the server answers,
+/// closes, and the next request on the same socket fails.
+#[test]
+fn connection_close_is_negotiated() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    let r = conn
+        .request("GET", &home, &[("Connection", "close")], None)
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.find_header("connection").map(str::to_ascii_lowercase),
+        Some("close".into())
+    );
+    // the server hung up; the next request on this connection errors
+    assert!(conn.get(&home).is_err(), "server should have closed");
+    server.stop();
+}
+
+/// The per-connection request cap closes long conversations (and counts
+/// them), so one client cannot hold a worker forever.
+#[test]
+fn request_cap_closes_the_conversation() {
+    let d = bookstore();
+    let server = d
+        .serve_with(
+            0,
+            2,
+            ServerConfig {
+                max_requests_per_conn: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    for _ in 0..2 {
+        let r = conn.get(&home).unwrap();
+        assert_eq!(r.status, 200);
+        assert_ne!(
+            r.find_header("connection").map(str::to_ascii_lowercase),
+            Some("close".into())
+        );
+    }
+    // request 3 hits the cap: still served, but with Connection: close
+    let r = conn.get(&home).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.find_header("connection").map(str::to_ascii_lowercase),
+        Some("close".into())
+    );
+    assert!(conn.get(&home).is_err());
+    assert_eq!(server.http_counters().conn_cap_closes.get(), 1);
+    server.stop();
+}
+
+/// `stop()` returns promptly even while keep-alive connections are open
+/// and idle — shutdown must not wait out idle timeouts.
+#[test]
+fn shutdown_is_bounded_with_open_connections() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    // park two live keep-alive connections on the workers
+    let mut c1 = client::Connection::open(server.addr()).unwrap();
+    let mut c2 = client::Connection::open(server.addr()).unwrap();
+    assert_eq!(c1.get(&home).unwrap().status, 200);
+    assert_eq!(c2.get(&home).unwrap().status, 200);
+
+    let t0 = Instant::now();
+    server.stop();
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "stop() took {:?} with open connections",
+        t0.elapsed()
+    );
+    // the parked connections are dead now
+    assert!(c1.get(&home).is_err() || c2.get(&home).is_err());
+}
+
+// ---- malformed input never panics the serving path ------------------------
+
+/// Send raw bytes on a fresh socket and read whatever comes back.
+fn raw_roundtrip(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.write_all(bytes).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = Vec::new();
+    let _ = s.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_of(raw: &str) -> Option<u16> {
+    raw.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+}
+
+/// Percent-escapes that land inside multibyte UTF-8, truncated escapes,
+/// and raw high bytes in the request target: every variant gets an HTTP
+/// answer (never a worker panic) and the server keeps serving afterwards.
+#[test]
+fn hostile_percent_escapes_get_answers_not_panics() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let hostile = [
+        format!("GET {home}?q=%C3%A9 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        format!("GET {home}?q=%C3 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        format!("GET {home}?q=%é HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        format!("GET {home}?%=%%25%2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        "GET /%C3%A9/%ZZ%1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".to_string(),
+    ];
+    for req in &hostile {
+        let raw = raw_roundtrip(server.addr(), req.as_bytes());
+        let status = status_of(&raw).unwrap_or_else(|| panic!("no response to {req:?}"));
+        assert!(
+            (200..500).contains(&status),
+            "{req:?} answered {status} — must be a page or a 4xx, not a 5xx"
+        );
+    }
+
+    // the pool survived all of it
+    let alive = client::get(server.addr(), &home).unwrap();
+    assert_eq!(alive.status, 200);
+    server.stop();
+}
+
+/// A header block over the configured bound draws `431` (read bounded —
+/// the server must not buffer the excess) and is counted; the connection
+/// closes but the server keeps serving.
+#[test]
+fn oversized_header_block_draws_431() {
+    let d = bookstore();
+    let server = d
+        .serve_with(
+            0,
+            2,
+            ServerConfig {
+                max_header_bytes: 1024,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+    let home = d.home_url("store").unwrap();
+
+    let mut req = format!("GET {home} HTTP/1.1\r\nHost: x\r\n");
+    for i in 0..64 {
+        req.push_str(&format!("X-Filler-{i}: {}\r\n", "y".repeat(64)));
+    }
+    req.push_str("\r\n");
+    let raw = raw_roundtrip(server.addr(), req.as_bytes());
+    assert_eq!(status_of(&raw), Some(431), "{raw}");
+    assert!(server.http_counters().header_overflows.get() >= 1);
+
+    let alive = client::get(server.addr(), &home).unwrap();
+    assert_eq!(alive.status, 200);
+    server.stop();
+}
+
+/// A forged (or long-expired) session cookie is not an error: the
+/// controller mints a fresh session and serves the page.
+#[test]
+fn forged_session_cookie_gets_a_fresh_session() {
+    let d = bookstore();
+    let server = d.serve_with(0, 2, ServerConfig::default()).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    for forged in ["deadbeef", "s-1", "../../etc/passwd", ""] {
+        let cookie = format!("{SESSION_COOKIE}={forged}");
+        let r = client::get_with_headers(server.addr(), &home, &[("Cookie", &cookie)]).unwrap();
+        assert_eq!(r.status, 200, "forged cookie {forged:?} must not error");
+        let fresh = sid_of(&r).expect("fresh session minted for forged cookie");
+        assert_ne!(fresh, forged);
+    }
+    server.stop();
+}
+
+// ---- observability --------------------------------------------------------
+
+/// The traced server exports the connection-lifecycle counters at
+/// `/metrics`, and they reconcile with the traffic that was sent.
+#[test]
+fn metrics_report_connection_lifecycle() {
+    let d = bookstore();
+    let server = d.serve_traced(0, 2).unwrap();
+    let home = d.home_url("store").unwrap();
+
+    // one keep-alive conversation of 3 requests + one one-shot request
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    for _ in 0..3 {
+        assert_eq!(conn.get(&home).unwrap().status, 200);
+    }
+    drop(conn);
+    assert_eq!(client::get(server.addr(), &home).unwrap().status, 200);
+
+    let m = client::get(server.addr(), "/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    let text = String::from_utf8(m.body).unwrap();
+    let value = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    // Connections: conversation + one-shot + the /metrics connection
+    // (accepted before rendering). Requests: the /metrics request itself
+    // is counted only after its response renders, so it reports the 4
+    // page requests that preceded it.
+    assert_eq!(value("http_connections_total"), 3);
+    assert_eq!(value("http_requests_total"), 4);
+    server.stop();
+}

@@ -3,7 +3,10 @@
 //! `std::sync`. Poisoned locks are transparently recovered, matching
 //! parking_lot's semantics of not propagating panics to other threads.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+// Real parking_lot exports its guard types; the shim re-exports std's,
+// which are what `lock`/`read`/`write` hand back.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock that does not poison.
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
