@@ -10,7 +10,8 @@
 //! * `WVxxx` — local, per-construct validation ([`webml::validate`]);
 //! * `AZ0xx` — link-parameter dataflow (pass 1);
 //! * `AZ1xx` — cache-invalidation soundness (pass 2);
-//! * `AZ2xx` — descriptor/model cross-checks (pass 3).
+//! * `AZ2xx` — descriptor/model cross-checks (pass 3);
+//! * `AZ3xx` — query-plan quality advisories (pass 4).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -46,6 +47,12 @@ pub const AZ202: &str = "AZ202";
 pub const AZ203: &str = "AZ203";
 /// AZ204: controller configuration and descriptor bundle disagree.
 pub const AZ204: &str = "AZ204";
+/// AZ301: a hot unit query probes a table with no derivable index — the
+/// traversal degenerates to a full scan (plan-quality advisory).
+pub const AZ301: &str = "AZ301";
+/// AZ302: a `LIKE` selector cannot use an equality index; the unit scans
+/// its whole table per request (plan-quality advisory).
+pub const AZ302: &str = "AZ302";
 
 /// Human-oriented summary of each analyzer code (for reports/docs).
 pub fn describe(code: &str) -> &'static str {
@@ -62,6 +69,8 @@ pub fn describe(code: &str) -> &'static str {
         AZ202 => "model element without descriptor",
         AZ203 => "dangling reference in the descriptor bundle",
         AZ204 => "controller/bundle mismatch",
+        AZ301 => "hot unit query has no usable index (full-scan join)",
+        AZ302 => "LIKE selector forces a per-request table scan",
         _ => "model validation finding",
     }
 }

@@ -25,10 +25,11 @@ pub mod dataflow;
 pub mod diag;
 pub mod invalidation;
 pub mod ir;
+pub mod plan;
 
 pub use diag::{
     describe, Diagnostic, IrStats, Report, Severity, AZ001, AZ002, AZ003, AZ004, AZ101, AZ102,
-    AZ103, AZ104, AZ201, AZ202, AZ203, AZ204,
+    AZ103, AZ104, AZ201, AZ202, AZ203, AZ204, AZ301, AZ302,
 };
 pub use ir::{lower, NavIr};
 
@@ -67,6 +68,7 @@ pub fn analyze(
         .diagnostics
         .extend(invalidation::check(er, mapping, ht, set));
     report.diagnostics.extend(crosscheck::check(ht, set));
+    report.diagnostics.extend(plan::check(er, mapping, ht));
     report.dedup();
     report.sort();
     report

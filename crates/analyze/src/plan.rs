@@ -1,0 +1,204 @@
+//! Pass 4 — query-plan quality (`AZ3xx`).
+//!
+//! Deploy derives secondary indexes from the same model walk the query
+//! generator uses (selector equalities, role FK/bridge columns, sort
+//! keys), so a generable model's hot unit queries are index-served by
+//! construction. This pass is the advisory safety net for what derivation
+//! *cannot* fix:
+//!
+//! * `AZ301` (warning): a unit's generated query probes a table with no
+//!   derivable index — the role has no relational implementation, or the
+//!   unit's entity is not mapped — so the join/selector degenerates to a
+//!   full scan on every request.
+//! * `AZ302` (warning): a `LIKE` selector can never use an equality
+//!   index; the unit scans its whole table per request. Advisory: cache
+//!   the unit or narrow the selector.
+
+use crate::diag::{Diagnostic, AZ301, AZ302};
+use er::{ErModel, RelationalMapping};
+use webml::{Condition, HypertextModel, Unit, UnitKind};
+
+/// Run the pass.
+pub fn check(er: &ErModel, mapping: &RelationalMapping, ht: &HypertextModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (_, unit) in ht.units() {
+        check_unit(er, mapping, ht, unit, &mut out);
+    }
+    out
+}
+
+fn location(ht: &HypertextModel, unit: &Unit) -> String {
+    let page = ht.page(unit.page);
+    let sv = ht.site_view(page.site_view);
+    format!("{}/{}/{}", sv.name, page.name, unit.name)
+}
+
+fn check_unit(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    unit: &Unit,
+    out: &mut Vec<Diagnostic>,
+) {
+    let loc = location(ht, unit);
+    if let UnitKind::HierarchicalIndex { levels } = &unit.kind {
+        for (k, level) in levels.iter().enumerate() {
+            check_role(er, mapping, &level.role, &loc, &format!("level {k}"), out);
+        }
+        return;
+    }
+    let Some(entity) = unit.entity else {
+        return; // entry/plug-in units issue no queries
+    };
+    let Some(table) = mapping.table_for(entity) else {
+        out.push(Diagnostic::warning(
+            AZ301,
+            &loc,
+            "unit entity has no relational mapping: its query cannot be index-served",
+        ));
+        return;
+    };
+    for c in &unit.selector {
+        match c {
+            Condition::KeyEq { .. } | Condition::AttributeEq { .. } => {
+                // PK probe / derivation creates the equality index
+            }
+            Condition::AttributeLike { attribute, .. } => {
+                out.push(Diagnostic::warning(
+                    AZ302,
+                    &loc,
+                    format!(
+                        "LIKE selector on {table}.{} cannot use an index: \
+                         every request scans {table}; consider caching the \
+                         unit or adding an equality selector",
+                        er::sql_name(attribute)
+                    ),
+                ));
+            }
+            Condition::Role { role, .. } => {
+                check_role(er, mapping, role, &loc, "selector", out);
+            }
+        }
+    }
+}
+
+fn check_role(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    role: &str,
+    loc: &str,
+    context: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((rid, _, _)) = er.role(role) else {
+        return; // unknown role: the validator's finding, not ours
+    };
+    if mapping.rel_impl(rid).is_none() {
+        out.push(Diagnostic::warning(
+            AZ301,
+            loc,
+            format!(
+                "role \"{role}\" ({context}) has no relational implementation: \
+                 the traversal joins by full scan and no index can be derived"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::{AttrType, Attribute, Cardinality};
+    use webml::Audience;
+
+    fn model_with_like() -> (ErModel, RelationalMapping, HypertextModel) {
+        let mut er = ErModel::new();
+        let paper = er
+            .add_entity("Paper", vec![Attribute::new("title", AttrType::String)])
+            .unwrap();
+        let mapping = RelationalMapping::derive(&er);
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "Search");
+        ht.set_home(sv, page);
+        let u = ht.add_index_unit(page, "Matching", paper);
+        ht.add_condition(
+            u,
+            Condition::AttributeLike {
+                attribute: "title".into(),
+                param: "kw".into(),
+            },
+        );
+        (er, mapping, ht)
+    }
+
+    #[test]
+    fn like_selector_is_flagged_az302() {
+        let (er, mapping, ht) = model_with_like();
+        let diags = check(&er, &mapping, &ht);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, AZ302);
+        assert_eq!(diags[0].severity, webml::Severity::Warning);
+        assert!(diags[0].message.contains("paper.title"));
+    }
+
+    #[test]
+    fn unimplemented_role_is_flagged_az301() {
+        let mut er = ErModel::new();
+        let a = er.add_entity("A", vec![]).unwrap();
+        let b = er.add_entity("B", vec![]).unwrap();
+        // mapping derived BEFORE the relationship exists: the role has no
+        // relational implementation (the hand-assembly hazard this pass
+        // guards against)
+        let mapping = RelationalMapping::derive(&er);
+        er.add_relationship(
+            "AB",
+            a,
+            b,
+            "AtoB",
+            "BtoA",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "P");
+        ht.set_home(sv, page);
+        let u = ht.add_index_unit(page, "Bs", b);
+        ht.add_condition(
+            u,
+            Condition::Role {
+                role: "AtoB".into(),
+                param: "a".into(),
+            },
+        );
+        let diags = check(&er, &mapping, &ht);
+        assert!(
+            diags.iter().any(|d| d.code == AZ301),
+            "expected AZ301: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn indexable_probes_stay_clean() {
+        let mut er = ErModel::new();
+        let v = er
+            .add_entity("Volume", vec![Attribute::new("year", AttrType::Integer)])
+            .unwrap();
+        let mapping = RelationalMapping::derive(&er);
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "P");
+        ht.set_home(sv, page);
+        let u = ht.add_index_unit(page, "By year", v);
+        ht.add_condition(
+            u,
+            Condition::AttributeEq {
+                attribute: "year".into(),
+                param: "y".into(),
+            },
+        );
+        assert!(check(&er, &mapping, &ht).is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! WebML specifications into page templates", organised around the generic
 //! service + descriptor architecture of §4.
 
+use crate::indexes::{derive_indexes, DerivedIndex};
 use crate::queries::{GenError, QueryGen};
 use descriptors::{
     ActionKind, ActionMapping, CacheDescriptor, ControllerConfig, DescriptorSet, FieldSpec,
@@ -26,6 +27,10 @@ pub struct Generated {
     pub skeletons: Vec<TemplateSkeleton>,
     /// DDL script for the data tier.
     pub ddl: String,
+    /// Secondary indexes derived from the hypertext model's access paths
+    /// (selector equalities, role traversals, sort keys). Deploy applies
+    /// them idempotently after the DDL.
+    pub derived_indexes: Vec<DerivedIndex>,
     /// Non-fatal validation findings.
     pub warnings: Vec<String>,
 }
@@ -360,6 +365,7 @@ pub fn generate(
         },
         skeletons,
         ddl: er::ddl_script(mapping),
+        derived_indexes: derive_indexes(er, mapping, ht),
         warnings,
     })
 }

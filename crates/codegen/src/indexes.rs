@@ -1,0 +1,416 @@
+//! Deploy-time index derivation: walk every unit of the hypertext model
+//! and derive the secondary indexes its generated SQL can use.
+//!
+//! This mirrors how §6 derives cache invalidation from the same read-sets:
+//! the model already knows which columns the generated queries probe —
+//! selector equalities (`t.col = :param`), FK join columns from role
+//! navigations, bridge-table join columns, and ORDER BY keys — so the
+//! deployment can create exactly those indexes instead of waiting for a
+//! DBA to hand-write `CREATE INDEX` lines. The derived set is deduped
+//! here; the deploy wiring additionally dedupes against indexes that
+//! already exist in the live database (hand-written DDL, snapshot/WAL
+//! recovery), which makes application idempotent.
+
+use er::{ErModel, RelImpl, RelationalMapping, OID};
+use webml::{Condition, HypertextModel, Unit, UnitKind};
+
+/// One secondary index derived from the application model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivedIndex {
+    /// Deterministic name: `ix_<table>_<col>[_<col>...]`.
+    pub name: String,
+    pub table: String,
+    /// Column names, in index order.
+    pub columns: Vec<String>,
+    /// Model elements that motivated this index (for diagnostics and the
+    /// analyzer's plan-quality pass).
+    pub reasons: Vec<String>,
+}
+
+impl DerivedIndex {
+    /// The `CREATE INDEX` statement for this derivation.
+    pub fn ddl(&self) -> String {
+        format!(
+            "CREATE INDEX {} ON {} ({})",
+            self.name,
+            self.table,
+            self.columns.join(", ")
+        )
+    }
+}
+
+/// Accumulates derivations, deduping on `(table, columns)`.
+struct Acc {
+    out: Vec<DerivedIndex>,
+}
+
+impl Acc {
+    fn add(&mut self, table: &str, columns: Vec<String>, reason: String) {
+        if columns.is_empty() || columns.iter().all(|c| c == OID) {
+            // the PK index already answers oid probes
+            return;
+        }
+        if let Some(existing) = self
+            .out
+            .iter_mut()
+            .find(|d| d.table == table && d.columns == columns)
+        {
+            if !existing.reasons.contains(&reason) {
+                existing.reasons.push(reason);
+            }
+            return;
+        }
+        let name = format!("ix_{}_{}", table, columns.join("_"));
+        self.out.push(DerivedIndex {
+            name,
+            table: table.to_string(),
+            columns,
+            reasons: vec![reason],
+        });
+    }
+}
+
+/// Derive the secondary indexes implied by every unit's generated SQL.
+///
+/// The result is deterministic (model iteration order) and deduped;
+/// single-column `oid` probes are skipped because the PK index answers
+/// them already.
+pub fn derive_indexes(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+) -> Vec<DerivedIndex> {
+    let mut acc = Acc { out: Vec::new() };
+    for (_, unit) in ht.units() {
+        derive_for_unit(er, mapping, unit, &mut acc);
+    }
+    acc.out
+}
+
+fn derive_for_unit(er: &ErModel, mapping: &RelationalMapping, unit: &Unit, acc: &mut Acc) {
+    // hierarchical indexes: one role navigation per level
+    if let UnitKind::HierarchicalIndex { levels } = &unit.kind {
+        for (k, level) in levels.iter().enumerate() {
+            derive_for_role(
+                er,
+                mapping,
+                &level.role,
+                &format!("{} level{k} role {}", unit.name, level.role),
+                acc,
+            );
+            if let Some(table) = mapping.table_for(level.entity) {
+                derive_for_sort(er, table, level.entity, &level.sort, &unit.name, acc);
+            }
+        }
+        return;
+    }
+    let Some(entity) = unit.entity else {
+        return; // entry/plug-in units have no queries
+    };
+    let Some(table) = mapping.table_for(entity) else {
+        return;
+    };
+    for c in &unit.selector {
+        match c {
+            // KeyEq probes the PK; Like cannot use an equality index
+            Condition::KeyEq { .. } | Condition::AttributeLike { .. } => {}
+            Condition::AttributeEq { attribute, .. } => {
+                acc.add(
+                    table,
+                    vec![er::sql_name(attribute)],
+                    format!("{} selector {attribute}", unit.name),
+                );
+            }
+            Condition::Role { role, .. } => {
+                derive_for_role(
+                    er,
+                    mapping,
+                    role,
+                    &format!("{} role {role}", unit.name),
+                    acc,
+                );
+            }
+        }
+    }
+    // ORDER BY keys of multi-row units (index, multidata, scroller, ...)
+    if !matches!(unit.kind, UnitKind::Data) {
+        derive_for_sort(er, table, entity, &unit.sort, &unit.name, acc);
+    }
+}
+
+/// The generated SQL for a role navigation probes either the FK column
+/// (on whichever table holds it) or a bridge-table join column; both get
+/// an index. Bridge columns are FKs themselves, so the derivations also
+/// accelerate referential-integrity checks and cascades.
+fn derive_for_role(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    role: &str,
+    reason: &str,
+    acc: &mut Acc,
+) {
+    let Some((rid, _, _)) = er.role(role) else {
+        return;
+    };
+    match mapping.rel_impl(rid) {
+        Some(RelImpl::ForeignKey {
+            fk_table,
+            fk_column,
+            ..
+        }) => {
+            acc.add(fk_table, vec![fk_column.clone()], reason.to_string());
+        }
+        Some(RelImpl::Bridge {
+            table,
+            source_column,
+            target_column,
+        }) => {
+            // both directions of the bridge are probed (join side and
+            // context side), and both columns are FKs
+            acc.add(table, vec![source_column.clone()], reason.to_string());
+            acc.add(table, vec![target_column.clone()], reason.to_string());
+        }
+        None => {}
+    }
+}
+
+fn derive_for_sort(
+    er: &ErModel,
+    table: &str,
+    entity: er::EntityId,
+    sort: &[webml::SortSpec],
+    unit_name: &str,
+    acc: &mut Acc,
+) {
+    let Some(e) = er.entity(entity) else {
+        return;
+    };
+    let cols: Vec<String> = sort
+        .iter()
+        .filter(|s| e.attribute(&s.attribute).is_some())
+        .map(|s| er::sql_name(&s.attribute))
+        .collect();
+    if !cols.is_empty() {
+        acc.add(table, cols, format!("{unit_name} order-by"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::{AttrType, Attribute, Cardinality, EntityId};
+    use webml::Audience;
+
+    struct Fixture {
+        er: ErModel,
+        mapping: RelationalMapping,
+        ht: HypertextModel,
+        page: webml::PageId,
+        volume: EntityId,
+        issue: EntityId,
+        keyword: EntityId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut er = ErModel::new();
+        let volume = er
+            .add_entity(
+                "Volume",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("year", AttrType::Integer),
+                ],
+            )
+            .unwrap();
+        let issue = er
+            .add_entity("Issue", vec![Attribute::new("number", AttrType::Integer)])
+            .unwrap();
+        let keyword = er
+            .add_entity("Keyword", vec![Attribute::new("word", AttrType::String)])
+            .unwrap();
+        er.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        er.add_relationship(
+            "IssueKeyword",
+            issue,
+            keyword,
+            "IssueToKeyword",
+            "KeywordToIssue",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let mapping = RelationalMapping::derive(&er);
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "P");
+        ht.set_home(sv, page);
+        Fixture {
+            er,
+            mapping,
+            ht,
+            page,
+            volume,
+            issue,
+            keyword,
+        }
+    }
+
+    fn find<'a>(v: &'a [DerivedIndex], table: &str, cols: &[&str]) -> Option<&'a DerivedIndex> {
+        v.iter().find(|d| d.table == table && d.columns == cols)
+    }
+
+    #[test]
+    fn selector_equality_derives_single_column_index() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "By year", f.volume);
+        f.ht.add_condition(
+            u,
+            Condition::AttributeEq {
+                attribute: "year".into(),
+                param: "year".into(),
+            },
+        );
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        let d = find(&idx, "volume", &["year"]).expect("year index derived");
+        assert_eq!(d.name, "ix_volume_year");
+        assert_eq!(d.ddl(), "CREATE INDEX ix_volume_year ON volume (year)");
+    }
+
+    #[test]
+    fn key_selector_derives_nothing() {
+        let mut f = fixture();
+        f.ht.add_data_unit(f.page, "Volume data", f.volume);
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        assert!(idx.is_empty(), "PK probes need no secondary index: {idx:?}");
+    }
+
+    #[test]
+    fn role_navigation_derives_fk_index_on_holder() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Issues", f.issue);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "VolumeToIssue".into(),
+                param: "volume".into(),
+            },
+        );
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        assert!(find(&idx, "issue", &["volume_oid"]).is_some(), "{idx:?}");
+    }
+
+    #[test]
+    fn reverse_role_derives_the_same_fk_index() {
+        let mut f = fixture();
+        let u = f.ht.add_data_unit(f.page, "Parent volume", f.volume);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToVolume".into(),
+                param: "issue".into(),
+            },
+        );
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        assert!(find(&idx, "issue", &["volume_oid"]).is_some(), "{idx:?}");
+    }
+
+    #[test]
+    fn bridge_role_derives_both_bridge_columns() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Keywords", f.keyword);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToKeyword".into(),
+                param: "issue".into(),
+            },
+        );
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        assert!(find(&idx, "issuekeyword", &["issue_oid"]).is_some());
+        assert!(find(&idx, "issuekeyword", &["keyword_oid"]).is_some());
+    }
+
+    #[test]
+    fn sort_keys_derive_composite_index() {
+        let mut f = fixture();
+        let u = f.ht.add_scroller_unit(f.page, "All volumes", f.volume, 10);
+        f.ht.add_sort(u, "year", false);
+        f.ht.add_sort(u, "title", true);
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        let d = find(&idx, "volume", &["year", "title"]).expect("composite sort index");
+        assert_eq!(d.name, "ix_volume_year_title");
+    }
+
+    #[test]
+    fn duplicates_are_merged_with_reasons() {
+        let mut f = fixture();
+        for n in ["A", "B"] {
+            let u = f.ht.add_index_unit(f.page, n, f.issue);
+            f.ht.add_condition(
+                u,
+                Condition::Role {
+                    role: "VolumeToIssue".into(),
+                    param: "volume".into(),
+                },
+            );
+        }
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        let matches: Vec<_> = idx
+            .iter()
+            .filter(|d| d.table == "issue" && d.columns == ["volume_oid"])
+            .collect();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].reasons.len(), 2);
+    }
+
+    #[test]
+    fn hierarchy_levels_derive_per_level() {
+        let mut f = fixture();
+        f.ht.add_hierarchical_index(
+            f.page,
+            "Issues&Keywords",
+            vec![
+                webml::HierarchyLevel {
+                    entity: f.issue,
+                    role: "VolumeToIssue".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+                webml::HierarchyLevel {
+                    entity: f.keyword,
+                    role: "IssueToKeyword".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+            ],
+        );
+        let idx = derive_indexes(&f.er, &f.mapping, &f.ht);
+        assert!(find(&idx, "issue", &["volume_oid"]).is_some());
+        assert!(find(&idx, "issuekeyword", &["keyword_oid"]).is_some());
+    }
+
+    #[test]
+    fn derived_ddl_parses() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "By year", f.volume);
+        f.ht.add_condition(
+            u,
+            Condition::AttributeEq {
+                attribute: "year".into(),
+                param: "year".into(),
+            },
+        );
+        for d in derive_indexes(&f.er, &f.mapping, &f.ht) {
+            relstore::parse_statement(&d.ddl()).unwrap_or_else(|e| panic!("{}: {e}", d.ddl()));
+        }
+    }
+}

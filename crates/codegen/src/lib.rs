@@ -20,6 +20,7 @@
 
 pub mod baseline;
 pub mod generate;
+pub mod indexes;
 pub mod project;
 pub mod queries;
 pub mod stats;
@@ -31,6 +32,7 @@ pub use baseline::{
 pub use generate::{
     generate, operation_id, operation_url, page_id, page_url, regenerate, unit_id, Generated,
 };
+pub use indexes::{derive_indexes, DerivedIndex};
 pub use project::{load_project, project_from_xml, project_to_xml, save_project};
 pub use queries::{GenError, QueryGen};
 pub use stats::{ArchitectureComparison, CategoryStats};

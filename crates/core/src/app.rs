@@ -1,6 +1,6 @@
 //! The application facade: model → artifacts → running system.
 
-use codegen::{GenError, Generated};
+use codegen::{DerivedIndex, GenError, Generated};
 use descriptors::DescriptorSet;
 use er::{ErModel, RelationalMapping};
 use httpd::{Handler, HttpRequest, HttpResponse, HttpServer, TracedHandler};
@@ -88,6 +88,7 @@ impl Application {
         let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
         db.execute_script(&generated.ddl)
             .map_err(DeployError::Schema)?;
+        apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
         pin_descriptor_plans(&db, &generated.descriptors);
         let controller = Arc::new(Controller::with_observability(
             generated.descriptors.clone(),
@@ -147,6 +148,7 @@ impl Application {
         let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
         db.execute_script(&generated.ddl)
             .map_err(DeployError::Schema)?;
+        apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
         pin_descriptor_plans(&db, &generated.descriptors);
         let controller = Arc::new(Controller::with_observability(
             generated.descriptors.clone(),
@@ -203,6 +205,10 @@ impl Application {
             db.execute_script(&generated.ddl)
                 .map_err(DeployError::Schema)?;
         }
+        // Idempotent on recovery: indexes replayed from the log are
+        // detected and skipped; new derivations (model evolved since the
+        // last boot) are created — and logged — here.
+        apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
         pin_descriptor_plans(&db, &generated.descriptors);
         let controller = Arc::new(Controller::with_observability(
             generated.descriptors.clone(),
@@ -241,6 +247,7 @@ impl Application {
         let db = Arc::new(Database::new());
         db.execute_script(&generated.ddl)
             .map_err(DeployError::Schema)?;
+        apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
         pin_descriptor_plans(&db, &generated.descriptors);
         let controller = Arc::new(build(generated.clone(), Arc::clone(&db)));
         let obs = Arc::clone(controller.obs());
@@ -299,6 +306,36 @@ impl DurabilityConfig {
             log_driven_invalidation: true,
         }
     }
+}
+
+/// Apply the model-derived secondary indexes to a live database,
+/// idempotently: a derivation is skipped when the table already has an
+/// access path on those columns (hand-written DDL, a previous deploy, or
+/// WAL/snapshot recovery) or when its table/columns are not present in
+/// the live schema (e.g. a custom schema script replaced the generated
+/// DDL). Returns the number of indexes actually created.
+pub fn apply_derived_indexes(
+    db: &Database,
+    derived: &[DerivedIndex],
+) -> Result<usize, relstore::Error> {
+    let mut created = 0;
+    for d in derived {
+        let cols: Vec<&str> = d.columns.iter().map(String::as_str).collect();
+        match db.has_index_on(&d.table, &cols) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            // unknown table/column: the live schema diverged from the
+            // generated DDL — nothing to accelerate, not an error
+            Err(_) => continue,
+        }
+        match db.execute(&d.ddl(), &relstore::Params::new()) {
+            Ok(_) => created += 1,
+            // raced or name-collided with an existing index: converge
+            Err(relstore::Error::DuplicateIndex(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(created)
 }
 
 /// Resolve every statement named by the descriptor set into a pinned plan
@@ -519,6 +556,64 @@ mod tests {
             .find_header("set-cookie")
             .is_some_and(|c| c.contains(SESSION_COOKIE)));
         server.stop();
+    }
+
+    #[test]
+    fn deploy_applies_model_derived_indexes() {
+        let app = fixtures::acm_library();
+        let d = app.deploy(RuntimeOptions::default()).unwrap();
+        // hierarchy roles → FK indexes; index-unit sort keys → sort indexes
+        for (table, cols) in [
+            ("issue", vec!["volume_oid"]),
+            ("paper", vec!["issue_oid"]),
+            ("volume", vec!["year"]),
+        ] {
+            assert!(
+                d.db.has_index_on(table, &cols).unwrap(),
+                "expected derived index on {table}({cols:?}); derived = {:?}",
+                d.generated.derived_indexes
+            );
+        }
+        // re-applying the same derivations is a no-op, not an error
+        assert_eq!(
+            apply_derived_indexes(&d.db, &d.generated.derived_indexes).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn deploy_checked_applies_indexes_behind_the_gate() {
+        let app = fixtures::acm_library();
+        let d = app
+            .deploy_checked(DeployOptions::with_gate(analyze::Gate::Deny))
+            .unwrap();
+        assert!(d.db.has_index_on("issue", &["volume_oid"]).unwrap());
+    }
+
+    #[test]
+    fn durable_redeploy_does_not_duplicate_indexes() {
+        let dir = wal::TempDir::new("deploy-derived-ix").unwrap();
+        let app = fixtures::acm_library();
+        let mut durability = DurabilityConfig::new(dir.path());
+        durability.strict_commit = true;
+        {
+            let d = app
+                .deploy_durable(RuntimeOptions::default(), &durability)
+                .unwrap();
+            assert!(d.db.has_index_on("issue", &["volume_oid"]).unwrap());
+            d.wal.as_ref().unwrap().simulate_crash();
+        }
+        // Second boot: the CREATE INDEX statements replay from the log;
+        // deploy must detect them and skip re-creation.
+        let d = app
+            .deploy_durable(RuntimeOptions::default(), &durability)
+            .unwrap();
+        assert!(d.db.has_index_on("issue", &["volume_oid"]).unwrap());
+        assert_eq!(
+            apply_derived_indexes(&d.db, &d.generated.derived_indexes).unwrap(),
+            0,
+            "recovered indexes must be deduplicated"
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod fixtures;
 pub mod synth;
 
 pub use app::{
-    adapt_request, adapt_response, pin_descriptor_plans, Application, DeployError, DeployOptions,
-    Deployment, DurabilityConfig, SESSION_COOKIE,
+    adapt_request, adapt_response, apply_derived_indexes, pin_descriptor_plans, Application,
+    DeployError, DeployOptions, Deployment, DurabilityConfig, SESSION_COOKIE,
 };
 pub use synth::{seed_data, synthesize, SynthSpec};
 pub use wal;

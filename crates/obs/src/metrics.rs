@@ -167,6 +167,21 @@ pub struct DbCounters {
     pub statements_executed: Counter,
     /// Rows touched while evaluating statements.
     pub rows_scanned: Counter,
+    /// WHERE/JOIN predicates answered by a PK or secondary index probe
+    /// instead of a scan (the planner's derived-index payoff).
+    pub index_probes: Counter,
+    /// Equi-joins executed with a build/probe hash table instead of the
+    /// nested-loop scan fallback.
+    pub hash_joins: Counter,
+    /// ORDER BY + LIMIT queries answered by the bounded Top-K heap
+    /// instead of a full materialize + sort.
+    pub topk_shortcuts: Counter,
+    /// Table accesses that fell back to a full scan (no usable index,
+    /// no hashable equi-conjunct).
+    pub scan_fallbacks: Counter,
+    /// Rows scanned by one SELECT — the per-query distribution behind
+    /// the `rows_scanned` total (unitless histogram).
+    pub rows_scanned_per_query: Histogram,
 }
 
 impl DbCounters {
@@ -409,6 +424,36 @@ impl MetricsRegistry {
             "webml_sql_rows_scanned_total",
             "Rows touched by the SQL tier",
             self.db.rows_scanned.get(),
+        );
+        counter_into(
+            &mut out,
+            "db_index_probes_total",
+            "Predicates answered by a PK or secondary index probe",
+            self.db.index_probes.get(),
+        );
+        counter_into(
+            &mut out,
+            "db_hash_joins_total",
+            "Equi-joins executed with a build/probe hash table",
+            self.db.hash_joins.get(),
+        );
+        counter_into(
+            &mut out,
+            "db_topk_shortcuts_total",
+            "ORDER BY + LIMIT queries answered by the bounded Top-K heap",
+            self.db.topk_shortcuts.get(),
+        );
+        counter_into(
+            &mut out,
+            "db_scan_fallbacks_total",
+            "Table accesses that fell back to a full scan",
+            self.db.scan_fallbacks.get(),
+        );
+        Self::render_histogram(
+            &mut out,
+            "db_rows_scanned_per_query",
+            "",
+            &self.db.rows_scanned_per_query,
         );
         counter_into(
             &mut out,
@@ -673,6 +718,23 @@ mod tests {
         assert!(text.contains("wal_group_batch_size_count 1"));
         assert!(text.contains("wal_group_batch_size_sum 4"));
         assert!(text.contains("wal_recovery_micros_sum 900"));
+    }
+
+    #[test]
+    fn planner_counters_render() {
+        let reg = MetricsRegistry::new();
+        reg.db.index_probes.add(4);
+        reg.db.hash_joins.inc();
+        reg.db.topk_shortcuts.add(2);
+        reg.db.scan_fallbacks.add(3);
+        reg.db.rows_scanned_per_query.observe(7);
+        let text = reg.render_prometheus();
+        assert!(text.contains("db_index_probes_total 4"));
+        assert!(text.contains("db_hash_joins_total 1"));
+        assert!(text.contains("db_topk_shortcuts_total 2"));
+        assert!(text.contains("db_scan_fallbacks_total 3"));
+        assert!(text.contains("db_rows_scanned_per_query_count 1"));
+        assert!(text.contains("db_rows_scanned_per_query_sum 7"));
     }
 
     #[test]

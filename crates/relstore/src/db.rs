@@ -3,7 +3,7 @@
 
 use crate::change::{redo_from_undo, ChangeRecord, CommitSink};
 use crate::error::{Error, Result};
-use crate::exec::run_select_counted;
+use crate::exec::{run_select_with_stats, SelectStats};
 use crate::expr::Params;
 use crate::result::{ExecResult, ResultSet};
 use crate::sql::ast::Statement;
@@ -227,9 +227,9 @@ impl Database {
         match stmt {
             Statement::Select(sel) => {
                 let storage = self.storage.read();
-                let mut scanned = 0u64;
-                let rows = run_select_counted(&storage, sel, params, &mut scanned)?;
-                self.counters.rows_scanned.add(scanned);
+                let mut stats = SelectStats::default();
+                let rows = run_select_with_stats(&storage, sel, params, &mut stats)?;
+                self.record_select_stats(&stats);
                 Ok(ExecResult::Rows(rows))
             }
             Statement::Insert(ins) => {
@@ -397,8 +397,17 @@ impl Database {
     }
 
     /// Add to the rows-scanned counter (session-path SELECTs).
-    pub(crate) fn count_rows_scanned(&self, n: u64) {
-        self.counters.rows_scanned.add(n);
+    /// Report one SELECT's executor statistics into the shared counters:
+    /// totals, access-path choices, and the per-query rows-scanned
+    /// distribution.
+    pub(crate) fn record_select_stats(&self, stats: &SelectStats) {
+        let c = &self.counters;
+        c.rows_scanned.add(stats.scanned);
+        c.rows_scanned_per_query.observe(stats.scanned);
+        c.index_probes.add(stats.index_probes);
+        c.hash_joins.add(stats.hash_joins);
+        c.topk_shortcuts.add(stats.topk_shortcuts);
+        c.scan_fallbacks.add(stats.scan_fallbacks);
     }
 
     /// Names of all tables (sorted).
@@ -409,6 +418,24 @@ impl Database {
     /// Live row count of a table.
     pub fn table_len(&self, name: &str) -> Result<usize> {
         Ok(self.storage.read().require_table(name)?.len())
+    }
+
+    /// Does `table` already have an access path whose leading columns are
+    /// exactly `columns`? True when a secondary index prefix-matches or the
+    /// primary key starts with those columns. Deploy-time index derivation
+    /// uses this to apply `CREATE INDEX` statements idempotently.
+    pub fn has_index_on(&self, table: &str, columns: &[&str]) -> Result<bool> {
+        let storage = self.storage.read();
+        let t = storage.require_table(table)?;
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in columns {
+            cols.push(t.schema.require_column(c)?);
+        }
+        let pk = &t.schema.primary_key;
+        if pk.len() >= cols.len() && pk[..cols.len()] == *cols.as_slice() {
+            return Ok(true);
+        }
+        Ok(t.find_index_on(&cols).is_some())
     }
 
     /// Register a table built programmatically (bypasses SQL).
@@ -533,9 +560,9 @@ impl Transaction<'_> {
         self.db.counters.statements_executed.inc();
         match stmt.as_ref() {
             Statement::Select(sel) => {
-                let mut scanned = 0u64;
-                let rows = run_select_counted(self.storage, sel, params, &mut scanned)?;
-                self.db.counters.rows_scanned.add(scanned);
+                let mut stats = SelectStats::default();
+                let rows = run_select_with_stats(self.storage, sel, params, &mut stats)?;
+                self.db.record_select_stats(&stats);
                 Ok(ExecResult::Rows(rows))
             }
             Statement::Insert(ins) => Ok(ExecResult::Affected(self.storage.run_insert(

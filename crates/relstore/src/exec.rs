@@ -1,13 +1,14 @@
-//! SELECT execution: scans, index probes, joins, grouping, ordering.
+//! SELECT execution: scans, index probes, hash joins, grouping, ordering
+//! with Top-K pushdown.
 
 use crate::error::{Error, Result};
 use crate::expr::{contains_aggregate, eval, is_aggregate, Binding, EvalCtx, Params};
 use crate::result::ResultSet;
 use crate::sql::ast::*;
 use crate::storage::Storage;
-use crate::table::{RowId, Table};
-use crate::value::Value;
-use std::collections::HashSet;
+use crate::table::{Row, RowId, Table};
+use crate::value::{DataType, Value};
+use std::collections::{HashMap, HashSet};
 
 /// One position in the join product: a row id per table binding (None for
 /// the null-extended side of a LEFT JOIN).
@@ -18,21 +19,68 @@ struct Source<'a> {
     table: &'a Table,
 }
 
+/// Executor work statistics for one SELECT: how the planner answered each
+/// table access, and how many candidate rows it examined doing so. These
+/// are the figures behind the `db_*` planner counters in the observability
+/// registry — they measure work done, not rows returned.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Candidate rows examined: base-scan/probe results, hash-build
+    /// passes, and join candidates fed to the ON filter.
+    pub scanned: u64,
+    /// Accesses answered through a PK or secondary index probe (one per
+    /// probed prefix combo on joins, one per query on the base table).
+    pub index_probes: u64,
+    /// Joins executed with a build/probe hash table instead of the
+    /// nested-loop scan fallback.
+    pub hash_joins: u64,
+    /// ORDER BY + LIMIT orderings answered by the bounded Top-K heap
+    /// instead of a full sort.
+    pub topk_shortcuts: u64,
+    /// Table accesses that fell back to a full scan (no usable index, no
+    /// hashable equi-conjunct).
+    pub scan_fallbacks: u64,
+}
+
+impl SelectStats {
+    /// Fold another query's stats into this accumulator.
+    pub fn absorb(&mut self, other: &SelectStats) {
+        self.scanned += other.scanned;
+        self.index_probes += other.index_probes;
+        self.hash_joins += other.hash_joins;
+        self.topk_shortcuts += other.topk_shortcuts;
+        self.scan_fallbacks += other.scan_fallbacks;
+    }
+}
+
 /// Execute a SELECT against the storage snapshot.
 pub fn run_select(storage: &Storage, sel: &Select, params: &Params) -> Result<ResultSet> {
-    let mut scanned = 0u64;
-    run_select_counted(storage, sel, params, &mut scanned)
+    let mut stats = SelectStats::default();
+    run_select_with_stats(storage, sel, params, &mut stats)
 }
 
 /// Like [`run_select`], but additionally reports how many candidate rows the
 /// executor examined (base-scan/probe results plus join candidates) into
-/// `scanned`. This is the "rows scanned" figure surfaced by the observability
-/// registry — it measures work done, not rows returned.
+/// `scanned`. Compatibility wrapper over [`run_select_with_stats`].
 pub fn run_select_counted(
     storage: &Storage,
     sel: &Select,
     params: &Params,
     scanned: &mut u64,
+) -> Result<ResultSet> {
+    let mut stats = SelectStats::default();
+    let out = run_select_with_stats(storage, sel, params, &mut stats)?;
+    *scanned += stats.scanned;
+    Ok(out)
+}
+
+/// Like [`run_select`], but reports full executor statistics (rows
+/// scanned, access-path choices, Top-K shortcuts) into `stats`.
+pub fn run_select_with_stats(
+    storage: &Storage,
+    sel: &Select,
+    params: &Params,
+    stats: &mut SelectStats,
 ) -> Result<ResultSet> {
     // SELECT without FROM: a single constant row.
     let Some(from) = &sel.from else {
@@ -77,25 +125,71 @@ pub fn run_select_counted(
 
     // Base scan: try an index probe from WHERE conjuncts that bind base
     // columns to row-independent expressions.
-    let base_ids = probe_or_scan(&sources[0], &where_conjuncts, &[], params)?;
-    *scanned += base_ids.len() as u64;
+    let base_ids = probe_or_scan(&sources[0], &where_conjuncts, params, stats)?;
+    stats.scanned += base_ids.len() as u64;
 
-    // Build the join product left to right.
+    // Build the join product left to right. Per join, pick one access
+    // path for the whole prefix set: index nested-loop when a covering
+    // index exists, a build/probe hash table for plain equi-conjuncts,
+    // and a single hoisted scan id-list otherwise (shared across combos
+    // instead of re-collected per prefix).
     let mut combos: Vec<Combo> = base_ids.into_iter().map(|id| vec![Some(id)]).collect();
     for (jpos, join) in from.joins.iter().enumerate() {
+        if combos.is_empty() {
+            // inner and left joins both preserve emptiness
+            break;
+        }
         let cur = &sources[jpos + 1];
+        let prev_sources = &sources[..jpos + 1];
         let on_conjuncts = conjuncts(&join.on);
+        let prev_names: Vec<&str> = prev_sources.iter().map(|s| s.binding.as_str()).collect();
+        let probes = extract_probes(cur, &on_conjuncts, &prev_names);
+        let probe_cols: Vec<usize> = probes.iter().map(|(c, _)| *c).collect();
+
+        enum JoinPlan {
+            /// One candidate list per prefix combo (index probe / hash join).
+            PerCombo(Vec<Vec<RowId>>),
+            /// One shared candidate list (full-scan fallback).
+            Scan(Vec<RowId>),
+        }
+
+        let plan = if !probes.is_empty() && has_covering_index(cur.table, &probe_cols) {
+            let mut lists = Vec::with_capacity(combos.len());
+            for combo in &combos {
+                let bindings = make_bindings(prev_sources, combo);
+                let ctx = EvalCtx {
+                    bindings: &bindings,
+                    params,
+                };
+                stats.index_probes += 1;
+                lists.push(try_index_probe(cur.table, &probes, &ctx)?.unwrap_or_default());
+            }
+            JoinPlan::PerCombo(lists)
+        } else if !probes.is_empty() {
+            stats.hash_joins += 1;
+            JoinPlan::PerCombo(hash_join_candidates(
+                cur,
+                &probes,
+                prev_sources,
+                &combos,
+                params,
+                &mut stats.scanned,
+            )?)
+        } else {
+            stats.scan_fallbacks += 1;
+            JoinPlan::Scan(cur.table.iter().map(|(id, _)| id).collect())
+        };
+
         let mut next: Vec<Combo> = Vec::new();
-        for combo in &combos {
-            let candidates =
-                probe_candidates(cur, &on_conjuncts, &sources[..jpos + 1], combo, params)?;
-            *scanned += candidates.len() as u64;
+        let sources_through = &sources[..jpos + 2];
+        let mut extend = |combo: &Combo, cands: &[RowId]| -> Result<()> {
+            stats.scanned += cands.len() as u64;
             let mut matched = false;
-            for cand in candidates {
+            for &cand in cands {
                 let mut extended = combo.clone();
                 extended.push(Some(cand));
                 let ok = {
-                    let bindings = make_bindings(&sources[..jpos + 2], &extended);
+                    let bindings = make_bindings(sources_through, &extended);
                     let ctx = EvalCtx {
                         bindings: &bindings,
                         params,
@@ -111,6 +205,19 @@ pub fn run_select_counted(
                 let mut extended = combo.clone();
                 extended.push(None);
                 next.push(extended);
+            }
+            Ok(())
+        };
+        match plan {
+            JoinPlan::PerCombo(lists) => {
+                for (combo, cands) in combos.iter().zip(&lists) {
+                    extend(combo, cands)?;
+                }
+            }
+            JoinPlan::Scan(ids) => {
+                for combo in &combos {
+                    extend(combo, &ids)?;
+                }
             }
         }
         combos = next;
@@ -141,41 +248,14 @@ pub fn run_select_counted(
             .iter()
             .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
 
-    let (names, mut out_rows, mut sort_keys) = if grouped {
+    let (names, mut out_rows, sort_keys) = if grouped {
         project_grouped(sel, &sources, combos, params)?
     } else {
         project_plain(sel, &sources, combos, params)?
     };
 
-    // ORDER BY using the precomputed keys.
-    if !sel.order_by.is_empty() {
-        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
-        idx.sort_by(|&a, &b| {
-            for (k, item) in sel.order_by.iter().enumerate() {
-                let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
-                let ord = if item.ascending { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        let mut reordered = Vec::with_capacity(out_rows.len());
-        let mut rekeys = Vec::with_capacity(out_rows.len());
-        for i in idx {
-            reordered.push(std::mem::take(&mut out_rows[i]));
-            rekeys.push(std::mem::take(&mut sort_keys[i]));
-        }
-        out_rows = reordered;
-    }
-
-    // DISTINCT.
-    if sel.distinct {
-        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out_rows.len());
-        out_rows.retain(|r| seen.insert(r.clone()));
-    }
-
-    // LIMIT / OFFSET.
+    // LIMIT / OFFSET are row-independent, so evaluate them up front: when
+    // ORDER BY is present they bound the Top-K heap below.
     let empty: [Binding<'_>; 0] = [];
     let const_ctx = EvalCtx {
         bindings: &empty,
@@ -189,6 +269,59 @@ pub fn run_select_counted(
         Some(e) => Some(eval_usize(e, &const_ctx, "LIMIT")?),
         None => None,
     };
+
+    // Comparator shared by the full sort and the Top-K heap: the ORDER BY
+    // spec first, then the original row position — which makes the heap
+    // selection exactly equivalent to a stable sort followed by a slice.
+    let cmp_rows = |a: usize, b: usize| -> std::cmp::Ordering {
+        for (k, item) in sel.order_by.iter().enumerate() {
+            let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
+            let ord = if item.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b)
+    };
+
+    // Top-K pushdown: with ORDER BY + a constant LIMIT (and no DISTINCT,
+    // which dedupes *after* ordering here), only the first
+    // `offset + limit` rows in sort order can survive — select them with
+    // a bounded heap, O(n log k), instead of sorting everything.
+    if !sel.order_by.is_empty() && !sel.distinct {
+        if let Some(l) = limit {
+            let k = l.saturating_add(offset);
+            if k < out_rows.len() {
+                stats.topk_shortcuts += 1;
+                let top = top_k_indices(out_rows.len(), k, &cmp_rows);
+                let mut selected: Vec<Vec<Value>> = top
+                    .into_iter()
+                    .map(|i| std::mem::take(&mut out_rows[i]))
+                    .collect();
+                selected.drain(..offset.min(selected.len()));
+                return Ok(ResultSet::new(names, selected));
+            }
+        }
+    }
+
+    // ORDER BY using the precomputed keys (full, stable sort).
+    if !sel.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..out_rows.len()).collect();
+        idx.sort_by(|&a, &b| cmp_rows(a, b));
+        let mut reordered = Vec::with_capacity(out_rows.len());
+        for i in idx {
+            reordered.push(std::mem::take(&mut out_rows[i]));
+        }
+        out_rows = reordered;
+    }
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out_rows.len());
+        out_rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    // LIMIT / OFFSET.
     if offset > 0 {
         out_rows.drain(..offset.min(out_rows.len()));
     }
@@ -197,6 +330,58 @@ pub fn run_select_counted(
     }
 
     Ok(ResultSet::new(names, out_rows))
+}
+
+/// Indices of the `k` smallest rows under `cmp`, in sorted order, selected
+/// with a bounded binary max-heap (`O(n log k)` instead of `O(n log n)`).
+/// `cmp` must be a total order (the caller ties on the original index), so
+/// the result equals `sort-then-truncate` exactly.
+fn top_k_indices(
+    n: usize,
+    k: usize,
+    cmp: &dyn Fn(usize, usize) -> std::cmp::Ordering,
+) -> Vec<usize> {
+    use std::cmp::Ordering;
+    if k == 0 {
+        return Vec::new();
+    }
+    // max-heap: the root is the worst row currently kept
+    let mut heap: Vec<usize> = Vec::with_capacity(k);
+    for i in 0..n {
+        if heap.len() < k {
+            heap.push(i);
+            let mut c = heap.len() - 1;
+            while c > 0 {
+                let p = (c - 1) / 2;
+                if cmp(heap[c], heap[p]) == Ordering::Greater {
+                    heap.swap(c, p);
+                    c = p;
+                } else {
+                    break;
+                }
+            }
+        } else if cmp(i, heap[0]) == Ordering::Less {
+            heap[0] = i;
+            let mut p = 0;
+            loop {
+                let (l, r) = (2 * p + 1, 2 * p + 2);
+                let mut m = p;
+                if l < heap.len() && cmp(heap[l], heap[m]) == Ordering::Greater {
+                    m = l;
+                }
+                if r < heap.len() && cmp(heap[r], heap[m]) == Ordering::Greater {
+                    m = r;
+                }
+                if m == p {
+                    break;
+                }
+                heap.swap(p, m);
+                p = m;
+            }
+        }
+    }
+    heap.sort_by(|&a, &b| cmp(a, b));
+    heap
 }
 
 fn eval_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> Result<usize> {
@@ -306,36 +491,120 @@ fn extract_probes<'e>(
     probes
 }
 
-/// Candidate row ids of `cur` given the conjuncts of its ON clause and the
-/// current prefix of the join product; falls back to a full scan.
-fn probe_candidates(
+/// Would [`try_index_probe`] find a usable index for equality probes on
+/// exactly these columns? (PK fully bound, or a secondary index whose
+/// every column is bound.)
+fn has_covering_index(table: &Table, probe_cols: &[usize]) -> bool {
+    let pk = &table.schema.primary_key;
+    if !pk.is_empty() && pk.iter().all(|c| probe_cols.contains(c)) {
+        return true;
+    }
+    table
+        .indexes()
+        .iter()
+        .any(|ix| ix.columns.iter().all(|c| probe_cols.contains(c)))
+}
+
+/// Hash equi-join between the prefix combos and `cur`: one pass over the
+/// table, one key evaluation per combo, candidates grouped per combo. The
+/// build side is the smaller of the two inputs; either direction produces
+/// candidate lists in table-scan order, so results are identical to the
+/// nested-loop fallback. Keys are coerced to the joined column types
+/// (mirroring [`try_index_probe`]); NULL or uncoercible keys never match,
+/// like `=` under SQL three-valued logic. Over-inclusive matches are
+/// filtered by the caller's full ON evaluation.
+fn hash_join_candidates(
     cur: &Source<'_>,
-    on_conjuncts: &[&Expr],
+    probes: &[(usize, &Expr)],
     prev_sources: &[Source<'_>],
-    combo: &Combo,
+    combos: &[Combo],
     params: &Params,
-) -> Result<Vec<RowId>> {
-    let prev_names: Vec<&str> = prev_sources.iter().map(|s| s.binding.as_str()).collect();
-    let probes = extract_probes(cur, on_conjuncts, &prev_names);
-    if !probes.is_empty() {
+    scanned: &mut u64,
+) -> Result<Vec<Vec<RowId>>> {
+    let col_types: Vec<DataType> = probes
+        .iter()
+        .map(|(c, _)| cur.table.schema.columns[*c].data_type)
+        .collect();
+    // Probe key for one prefix combo; None ⇒ can never match.
+    let combo_key = |combo: &Combo| -> Result<Option<Vec<Value>>> {
         let bindings = make_bindings(prev_sources, combo);
         let ctx = EvalCtx {
             bindings: &bindings,
             params,
         };
-        if let Some(ids) = try_index_probe(cur.table, &probes, &ctx)? {
-            return Ok(ids);
+        let mut key = Vec::with_capacity(probes.len());
+        for ((_, e), ty) in probes.iter().zip(&col_types) {
+            let v = eval(e, &ctx)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            match v.coerce(*ty) {
+                Ok(cv) => key.push(cv),
+                // a key that cannot coerce to the column type can never
+                // equal a stored value of that type
+                Err(_) => return Ok(None),
+            }
+        }
+        Ok(Some(key))
+    };
+    // Build key for one stored row; None ⇒ holds a NULL join column.
+    let row_key = |row: &Row| -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(probes.len());
+        for (c, _) in probes {
+            let v = &row[*c];
+            if v.is_null() {
+                return None;
+            }
+            key.push(v.clone());
+        }
+        Some(key)
+    };
+    // Either direction makes exactly one pass over the table.
+    *scanned += cur.table.len() as u64;
+    let mut out: Vec<Vec<RowId>> = vec![Vec::new(); combos.len()];
+    if combos.len() < cur.table.len() {
+        // build over the smaller prefix side, stream the table past it
+        let mut by_key: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(combos.len());
+        for (i, combo) in combos.iter().enumerate() {
+            if let Some(key) = combo_key(combo)? {
+                by_key.entry(key).or_default().push(i);
+            }
+        }
+        for (id, row) in cur.table.iter() {
+            if let Some(key) = row_key(row) {
+                if let Some(targets) = by_key.get(&key) {
+                    for &i in targets {
+                        out[i].push(id);
+                    }
+                }
+            }
+        }
+    } else {
+        // build over the table, probe once per prefix combo
+        let mut by_key: HashMap<Vec<Value>, Vec<RowId>> =
+            HashMap::with_capacity(cur.table.len().min(1024));
+        for (id, row) in cur.table.iter() {
+            if let Some(key) = row_key(row) {
+                by_key.entry(key).or_default().push(id);
+            }
+        }
+        for (i, combo) in combos.iter().enumerate() {
+            if let Some(key) = combo_key(combo)? {
+                if let Some(ids) = by_key.get(&key) {
+                    out[i] = ids.clone();
+                }
+            }
         }
     }
-    Ok(cur.table.iter().map(|(id, _)| id).collect())
+    Ok(out)
 }
 
 /// Base-table scan with optional WHERE-driven probe (no previous bindings).
 fn probe_or_scan(
     base: &Source<'_>,
     where_conjuncts: &[&Expr],
-    _prev: &[Source<'_>],
     params: &Params,
+    stats: &mut SelectStats,
 ) -> Result<Vec<RowId>> {
     // for the base table, unqualified columns in WHERE do belong to it when
     // it is the only source; extract_probes handles qualification, so try
@@ -379,9 +648,11 @@ fn probe_or_scan(
             params,
         };
         if let Some(ids) = try_index_probe(base.table, &probes, &ctx)? {
+            stats.index_probes += 1;
             return Ok(ids);
         }
     }
+    stats.scan_fallbacks += 1;
     Ok(base.table.iter().map(|(id, _)| id).collect())
 }
 

@@ -19,9 +19,11 @@
 //!   queries use named parameters matching WebML link parameters.
 //!
 //! Execution uses primary-key and secondary B-tree indexes for equality
-//! probes (base-table WHERE pushdown and join acceleration); everything
-//! else is a scan + filter, which is the right trade-off for the unit-query
-//! workload this engine serves.
+//! probes (base-table WHERE pushdown and join acceleration), a build/probe
+//! hash join for unindexed equi-join conjuncts, and a bounded Top-K heap
+//! for `ORDER BY` + `LIMIT`; everything else is a scan + filter, which is
+//! the right trade-off for the unit-query workload this engine serves.
+//! [`exec::SelectStats`] reports which path answered each query.
 //!
 //! ```
 //! use relstore::{Database, Params, Value};
@@ -54,6 +56,7 @@ pub mod value;
 pub use change::{redo_from_undo, ChangeRecord, CommitSink};
 pub use db::{Database, Transaction};
 pub use error::{Error, Result};
+pub use exec::SelectStats;
 pub use expr::Params;
 pub use result::{ExecResult, ResultSet};
 pub use schema::{Column, ForeignKey, ReferentialAction, TableSchema};

@@ -10,7 +10,7 @@
 
 use crate::db::Database;
 use crate::error::{Error, Result};
-use crate::exec::run_select_counted;
+use crate::exec::{run_select_with_stats, SelectStats};
 use crate::expr::Params;
 use crate::result::{ExecResult, ResultSet};
 use crate::sql::ast::Statement;
@@ -70,16 +70,13 @@ impl Session {
             },
             Statement::Select(sel) => {
                 self.db.count_statement();
-                let mut scanned = 0u64;
+                let mut stats = SelectStats::default();
                 let r = self.db.with_storage(|storage| {
-                    Ok(ExecResult::Rows(run_select_counted(
-                        storage,
-                        sel,
-                        params,
-                        &mut scanned,
+                    Ok(ExecResult::Rows(run_select_with_stats(
+                        storage, sel, params, &mut stats,
                     )?))
                 });
-                self.db.count_rows_scanned(scanned);
+                self.db.record_select_stats(&stats);
                 r
             }
             Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {

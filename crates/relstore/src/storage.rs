@@ -36,6 +36,17 @@ pub enum UndoOp {
 /// Undo log captured by a transaction; empty in autocommit mode.
 pub type UndoLog = Vec<UndoOp>;
 
+/// Coerce an FK probe key to the column types of `table` at `cols`.
+/// `None` when a component cannot be coerced — the caller falls back to
+/// the scan path, whose `sql_eq` rejects incomparable values itself.
+fn coerce_key(table: &Table, cols: &[usize], key: &[Value]) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(key.len());
+    for (v, &c) in key.iter().zip(cols) {
+        out.push(v.clone().coerce(table.schema.columns[c].data_type).ok()?);
+    }
+    Some(out)
+}
+
 impl Storage {
     pub fn require_table(&self, name: &str) -> Result<&Table> {
         // table names are case-insensitive
@@ -125,11 +136,21 @@ impl Storage {
             }
             return Ok(referenced.get_by_pk(&coerced).is_some());
         }
-        // slow path: scan
         let mut idxs = Vec::with_capacity(ref_cols.len());
         for c in ref_cols {
             idxs.push(referenced.schema.require_column(c)?);
         }
+        // secondary-index path: an index whose columns are exactly the
+        // referenced columns answers the existence probe directly (the
+        // deploy-time derivation creates these for every role traversal)
+        if let Some(ix) = referenced.find_index_on(&idxs) {
+            if ix.columns.len() == idxs.len() {
+                if let Some(coerced) = coerce_key(referenced, &idxs, key) {
+                    return Ok(!ix.lookup(&coerced).is_empty());
+                }
+            }
+        }
+        // slow path: scan
         Ok(referenced.iter().any(|(_, row)| {
             idxs.iter()
                 .zip(key)
@@ -164,16 +185,37 @@ impl Storage {
                 for c in &fk.columns {
                     col_idxs.push(other.schema.require_column(c)?);
                 }
-                let hits: Vec<RowId> = other
-                    .iter()
-                    .filter(|(_, r)| {
-                        col_idxs
-                            .iter()
-                            .zip(&ref_vals)
-                            .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
-                    })
-                    .map(|(id, _)| id)
-                    .collect();
+                // index path: probe the FK columns instead of scanning the
+                // referencing table (NULL components can never match, so
+                // they are only valid on the scan path, which rejects them
+                // through sql_eq)
+                let by_index = if ref_vals.iter().any(|v| matches!(v, Value::Null)) {
+                    None
+                } else {
+                    other
+                        .find_index_on(&col_idxs)
+                        .filter(|ix| ix.columns.len() == col_idxs.len())
+                        .and_then(|ix| {
+                            coerce_key(other, &col_idxs, &ref_vals).map(|key| {
+                                let mut ids = ix.lookup(&key).to_vec();
+                                ids.sort_unstable(); // match scan (slot) order
+                                ids
+                            })
+                        })
+                };
+                let hits: Vec<RowId> = match by_index {
+                    Some(ids) => ids,
+                    None => other
+                        .iter()
+                        .filter(|(_, r)| {
+                            col_idxs
+                                .iter()
+                                .zip(&ref_vals)
+                                .all(|(&i, v)| r[i].sql_eq(v) == Some(true))
+                        })
+                        .map(|(id, _)| id)
+                        .collect(),
+                };
                 if !hits.is_empty() {
                     out.push((other.schema.name.clone(), fk_i, hits));
                 }

@@ -19,6 +19,9 @@ cargo run --release --example analyze > /dev/null
 echo "== serving-path smoke (keep-alive grid + cache microbench, reduced load)"
 cargo run -p bench --release --bin exp_serving -- --smoke
 
+echo "== query-planner smoke (derived indexes, hash join, Top-K; reduced dataset)"
+cargo run -p bench --release --bin exp_query -- --smoke
+
 echo "== tier-1 tests (root package: unit + integration + property suites)"
 cargo test --release -q
 
