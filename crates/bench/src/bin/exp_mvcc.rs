@@ -1,0 +1,319 @@
+//! E13: MVCC snapshot isolation — reads that never block behind writers.
+//!
+//! The paper's data tier serves unit queries from many concurrent page
+//! computations while operation chains mutate the same entities. A
+//! lock-the-world storage layer makes every reader wait out the slowest
+//! open write transaction; version-chain storage with snapshot reads does
+//! not. This experiment measures exactly that cliff:
+//!
+//! * **no-writer baseline** — N closed-loop readers against an idle
+//!   database: the latency floor;
+//! * **mutex arm** — one deliberately slow writer using the exclusive
+//!   [`relstore::Database::transaction`] path (the write lock is held
+//!   across the whole transaction, sleep included): reader throughput
+//!   collapses to the gaps between transactions;
+//! * **MVCC arm** — the same slow writer as a [`relstore::Session`]
+//!   (`BEGIN` … `COMMIT`): locks are per-statement, reads run at a
+//!   snapshot, and reader throughput stays flat.
+//!
+//! Every read also checks the transfer invariant (balances sum to the
+//! seeded total), so the run doubles as a no-torn-reads property check.
+//! Results land in `BENCH_mvcc.json`.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_mvcc            # full run
+//! cargo run -p bench --release --bin exp_mvcc -- --smoke # CI gate
+//! ```
+
+use bench::row;
+use relstore::{Database, Params, Session, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const ACCOUNTS: i64 = 8;
+const TOTAL: i64 = ACCOUNTS * 1000;
+
+fn seed_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE account (oid INTEGER PRIMARY KEY AUTOINCREMENT, balance INTEGER NOT NULL);",
+    )
+    .expect("ddl");
+    for _ in 0..ACCOUNTS {
+        db.execute(
+            "INSERT INTO account (balance) VALUES (1000)",
+            &Params::new(),
+        )
+        .expect("seed");
+    }
+    db
+}
+
+/// Which flavor of deliberately slow writer runs beside the readers.
+#[derive(Clone, Copy, PartialEq)]
+enum WriterArm {
+    None,
+    /// `Database::transaction`: write lock held across the sleep.
+    Mutex,
+    /// `Session` BEGIN/COMMIT: per-statement locks, snapshot reads.
+    Mvcc,
+}
+
+struct Cell {
+    arm: &'static str,
+    clients: usize,
+    reads: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    writer_commits: u64,
+}
+
+/// One closed-loop cell: `clients` readers loop for `duration` while the
+/// chosen writer repeatedly opens a transaction, transfers money, holds it
+/// open for `hold`, and commits. Readers assert the sum invariant on every
+/// read.
+fn run_cell(
+    db: &Arc<Database>,
+    arm: WriterArm,
+    arm_name: &'static str,
+    clients: usize,
+    duration: Duration,
+    hold: Duration,
+) -> Cell {
+    let stop = Arc::new(AtomicBool::new(false));
+    let hist = Arc::new(obs::Histogram::new());
+    let reads = Arc::new(AtomicU64::new(0));
+    let writer_commits = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(
+        clients + 1 + usize::from(arm != WriterArm::None),
+    ));
+
+    let mut handles = Vec::with_capacity(clients + 1);
+    for _ in 0..clients {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        let hist = Arc::clone(&hist);
+        let reads = Arc::clone(&reads);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                let rs = db
+                    .query("SELECT SUM(balance) AS total FROM account", &Params::new())
+                    .expect("read");
+                hist.observe_us(t0.elapsed().as_micros() as u64);
+                reads.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(
+                    rs.first("total"),
+                    Some(&Value::Integer(TOTAL)),
+                    "torn read: balance invariant violated"
+                );
+            }
+        }));
+    }
+
+    if arm != WriterArm::None {
+        let db = Arc::clone(db);
+        let stop = Arc::clone(&stop);
+        let commits = Arc::clone(&writer_commits);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            // ONE deliberately slow transaction spanning the whole cell:
+            // debit immediately, keep the transaction open until the cell
+            // ends, then credit and commit. The `hold` duration is the
+            // polling step of the open phase.
+            let debit = "UPDATE account SET balance = balance - 7 WHERE oid = 1";
+            let credit = "UPDATE account SET balance = balance + 7 WHERE oid = 2";
+            match arm {
+                WriterArm::Mutex => {
+                    db.transaction(|tx| {
+                        tx.execute(debit, &Params::new())?;
+                        // the write lock stays held while we wait
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(hold);
+                        }
+                        tx.execute(credit, &Params::new())?;
+                        Ok(())
+                    })
+                    .expect("mutex writer");
+                }
+                WriterArm::Mvcc => {
+                    let mut s = Session::new(Arc::clone(&db));
+                    s.execute("BEGIN", &Params::new()).expect("begin");
+                    s.execute(debit, &Params::new()).expect("debit");
+                    // the transaction stays open while we wait, but only
+                    // uncommitted versions exist — readers fly by
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(hold);
+                    }
+                    s.execute(credit, &Params::new()).expect("credit");
+                    s.execute("COMMIT", &Params::new()).expect("commit");
+                }
+                WriterArm::None => unreachable!(),
+            }
+            commits.fetch_add(1, Ordering::Relaxed);
+        }));
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let n = reads.load(Ordering::Relaxed);
+    Cell {
+        arm: arm_name,
+        clients,
+        reads: n,
+        throughput_rps: n as f64 / elapsed,
+        p50_us: hist.quantile(0.50),
+        p95_us: hist.quantile(0.95),
+        writer_commits: writer_commits.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("== E13: MVCC snapshot reads vs lock-the-world writes ==\n");
+
+    let (clients, duration, hold) = if smoke {
+        (
+            8usize,
+            Duration::from_millis(400),
+            Duration::from_millis(10),
+        )
+    } else {
+        (
+            16usize,
+            Duration::from_millis(2000),
+            Duration::from_millis(25),
+        )
+    };
+    println!(
+        "{clients} closed-loop readers, {}ms per cell, one writer holding a single \
+         transaction open for the whole cell (poll step {}ms)\n",
+        duration.as_millis(),
+        hold.as_millis()
+    );
+
+    let widths = [12usize, 8, 10, 12, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "writer".into(),
+                "clients".into(),
+                "reads".into(),
+                "reads/s".into(),
+                "p50 µs".into(),
+                "p95 µs".into(),
+                "commits".into(),
+            ],
+            &widths
+        )
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for (arm, name) in [
+        (WriterArm::None, "none"),
+        (WriterArm::Mutex, "mutex"),
+        (WriterArm::Mvcc, "mvcc"),
+    ] {
+        // fresh database per arm so version chains / plan caches are equal
+        let db = seed_db();
+        let cell = run_cell(&db, arm, name, clients, duration, hold);
+        println!(
+            "{}",
+            row(
+                &[
+                    cell.arm.into(),
+                    cell.clients.to_string(),
+                    cell.reads.to_string(),
+                    format!("{:.0}", cell.throughput_rps),
+                    cell.p50_us.to_string(),
+                    cell.p95_us.to_string(),
+                    cell.writer_commits.to_string(),
+                ],
+                &widths
+            )
+        );
+        if arm == WriterArm::Mvcc {
+            let reclaimed = db.vacuum();
+            println!("  (mvcc arm: vacuum reclaimed {reclaimed} superseded versions)");
+        }
+        cells.push(cell);
+    }
+
+    let baseline = &cells[0];
+    let mutex = &cells[1];
+    let mvcc = &cells[2];
+    let ratio = mvcc.throughput_rps / mutex.throughput_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "\nreader throughput with one slow open writer: mvcc/mutex = {ratio:.1}x \
+         ({:.0} vs {:.0} reads/s; no-writer floor {:.0})",
+        mvcc.throughput_rps, mutex.throughput_rps, baseline.throughput_rps
+    );
+    assert!(
+        ratio >= 5.0,
+        "snapshot reads must beat the lock-the-world baseline by >= 5x \
+         under a slow open writer, got {ratio:.1}x"
+    );
+    assert!(
+        mvcc.p95_us <= baseline.p95_us.max(1) * 2,
+        "read p95 under an open writer must stay within 2x of the \
+         no-writer floor: {} vs {} µs",
+        mvcc.p95_us,
+        baseline.p95_us
+    );
+    assert!(
+        mutex.writer_commits > 0 && mvcc.writer_commits > 0,
+        "both writer arms must actually commit"
+    );
+
+    if smoke {
+        println!("\n--smoke: gates passed, skipping BENCH_mvcc.json");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"E13-mvcc-snapshot-reads\",\n");
+    json.push_str(&format!(
+        "  \"setup\": {{\"clients\": {clients}, \"cell_ms\": {}, \"writer_hold_ms\": {}, \
+         \"accounts\": {ACCOUNTS}}},\n",
+        duration.as_millis(),
+        hold.as_millis()
+    ));
+    json.push_str("  \"cells\": [\n");
+    json.push_str(
+        &cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"writer\": \"{}\", \"clients\": {}, \"reads\": {}, \
+                     \"throughput_rps\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \
+                     \"writer_commits\": {}}}",
+                    c.arm,
+                    c.clients,
+                    c.reads,
+                    c.throughput_rps,
+                    c.p50_us,
+                    c.p95_us,
+                    c.writer_commits
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"mvcc_over_mutex_throughput\": {ratio:.1},\n  \"p95_vs_no_writer\": {:.2}\n}}\n",
+        mvcc.p95_us as f64 / baseline.p95_us.max(1) as f64
+    ));
+    std::fs::write("BENCH_mvcc.json", json).expect("write BENCH_mvcc.json");
+    println!("\nwrote BENCH_mvcc.json");
+}

@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{
-    AnalyzeCounters, CacheCounters, Counter, DbCounters, Histogram, HttpCounters, MetricsRegistry,
-    WalCounters,
+    AnalyzeCounters, CacheCounters, Counter, DbCounters, Gauge, Histogram, HttpCounters,
+    MetricsRegistry, WalCounters,
 };
 pub use trace::{RequestContext, Span, SpanToken};

@@ -39,6 +39,32 @@ impl Counter {
     }
 }
 
+/// A gauge: a value that can move both ways (live snapshots, live row
+/// versions). Signed so concurrent decrements racing past zero are safe.
+#[derive(Debug, Default)]
+pub struct Gauge(std::sync::atomic::AtomicI64);
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge(std::sync::atomic::AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Histogram bucket upper bounds, in microseconds (log-spaced, +Inf
 /// implied). Chosen to resolve both in-memory unit computations (tens of
 /// µs) and whole requests (tens of ms).
@@ -182,6 +208,17 @@ pub struct DbCounters {
     /// Rows scanned by one SELECT — the per-query distribution behind
     /// the `rows_scanned` total (unitless histogram).
     pub rows_scanned_per_query: Histogram,
+    /// Statements that lost a first-writer-wins race under snapshot
+    /// isolation and surfaced `WriteConflict` to the caller.
+    pub write_conflicts: Counter,
+    /// Row versions reclaimed by MVCC vacuum (superseded below every
+    /// live snapshot's horizon).
+    pub vacuum_reclaimed: Counter,
+    /// Read snapshots currently pinned by open transactions.
+    pub snapshots_active: Gauge,
+    /// Row versions currently held in version chains (visible + pending
+    /// + retained-for-snapshots).
+    pub versions_live: Gauge,
 }
 
 impl DbCounters {
@@ -348,6 +385,11 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {v}");
         }
+        fn gauge_into(out: &mut String, name: &str, help: &str, v: i64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
         counter_into(
             &mut out,
             "webml_requests_total",
@@ -454,6 +496,30 @@ impl MetricsRegistry {
             "db_rows_scanned_per_query",
             "",
             &self.db.rows_scanned_per_query,
+        );
+        counter_into(
+            &mut out,
+            "db_write_conflicts_total",
+            "Statements that lost a first-writer-wins race under snapshot isolation",
+            self.db.write_conflicts.get(),
+        );
+        counter_into(
+            &mut out,
+            "db_vacuum_reclaimed_total",
+            "Row versions reclaimed by MVCC vacuum",
+            self.db.vacuum_reclaimed.get(),
+        );
+        gauge_into(
+            &mut out,
+            "db_snapshots_active",
+            "Read snapshots currently pinned by open transactions",
+            self.db.snapshots_active.get(),
+        );
+        gauge_into(
+            &mut out,
+            "db_versions_live",
+            "Row versions currently held in MVCC version chains",
+            self.db.versions_live.get(),
         );
         counter_into(
             &mut out,
@@ -735,6 +801,23 @@ mod tests {
         assert!(text.contains("db_scan_fallbacks_total 3"));
         assert!(text.contains("db_rows_scanned_per_query_count 1"));
         assert!(text.contains("db_rows_scanned_per_query_sum 7"));
+    }
+
+    #[test]
+    fn mvcc_counters_render() {
+        let reg = MetricsRegistry::new();
+        reg.db.write_conflicts.inc();
+        reg.db.vacuum_reclaimed.add(12);
+        reg.db.snapshots_active.add(3);
+        reg.db.snapshots_active.add(-1);
+        reg.db.versions_live.set(42);
+        let text = reg.render_prometheus();
+        assert!(text.contains("db_write_conflicts_total 1"));
+        assert!(text.contains("db_vacuum_reclaimed_total 12"));
+        assert!(text.contains("# TYPE db_snapshots_active gauge"));
+        assert!(text.contains("db_snapshots_active 2"));
+        assert!(text.contains("# TYPE db_versions_live gauge"));
+        assert!(text.contains("db_versions_live 42"));
     }
 
     #[test]

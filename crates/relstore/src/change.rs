@@ -134,7 +134,13 @@ pub fn redo_from_undo(storage: &Storage, undo: &[UndoOp]) -> Vec<ChangeRecord> {
 }
 
 fn current_row(storage: &Storage, table: &str, id: RowId) -> Option<Row> {
-    storage.tables.get(table).and_then(|t| t.get(id)).cloned()
+    // the newest version in the chain: at commit time the committer's own
+    // versions are still txn-marked, so the committed view won't do
+    storage
+        .tables
+        .get(table)
+        .and_then(|t| t.latest_row(id))
+        .cloned()
 }
 
 #[cfg(test)]

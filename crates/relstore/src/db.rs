@@ -9,11 +9,15 @@ use crate::result::{ExecResult, ResultSet};
 use crate::sql::ast::Statement;
 use crate::sql::parser::{parse_script, parse_statement};
 use crate::storage::{Storage, UndoLog};
-use crate::table::Table;
+use crate::table::{Snapshot, Table, WriteCtx};
 use obs::DbCounters;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Commits between inline vacuum sweeps (amortized under the write lock).
+const VACUUM_EVERY: u64 = 64;
 
 /// An installed commit sink plus its durability contract.
 struct CommitHook {
@@ -29,29 +33,46 @@ struct CommitHook {
 /// architecture: generic unit services hand it the SQL text stored in their
 /// descriptors together with bound parameters.
 ///
-/// Two plan caches back [`Database::prepare`]:
+/// Two plan caches back [`Database::prepare`], both copy-on-write
+/// (`Arc<HashMap>` behind an `RwLock`) so the read hot path takes zero
+/// mutexes end to end:
 ///
-/// * a **pinned** snapshot (`Arc<HashMap>` behind an `RwLock`), populated at
-///   deploy time by [`Database::pin_plan`] for descriptor SQL and then read
-///   on the hot path with a shared lock and no per-entry allocation; and
-/// * the classic mutex-guarded string-keyed cache, kept as the fallback for
-///   ad-hoc SQL that was never pinned.
+/// * a **pinned** snapshot, populated at deploy time by
+///   [`Database::pin_plan`] for descriptor SQL; and
+/// * an **ad-hoc** snapshot for SQL that was never pinned, grown
+///   copy-on-write on cache miss.
 ///
 /// All counters (prepares, plan-cache hits, statements, rows scanned) live
 /// in an [`obs::DbCounters`] so a deployment can hand every tier one shared
 /// [`obs::MetricsRegistry`].
+///
+/// Storage is **multi-versioned** (snapshot isolation): rows are version
+/// chains stamped with begin/end commit LSNs minted by the commit path, so
+/// readers under the shared lock see a consistent committed prefix while a
+/// [`crate::Session`] transaction keeps uncommitted versions in place.
 pub struct Database {
     storage: RwLock<Storage>,
     /// Deploy-time frozen plan index (copy-on-write; written only by
     /// [`Database::pin_plan`]).
     pinned: RwLock<Arc<HashMap<String, Arc<Statement>>>>,
-    /// Parse cache for ad-hoc prepared statements, keyed by SQL text.
-    prepared: Mutex<HashMap<String, Arc<Statement>>>,
+    /// Ad-hoc plan cache, same copy-on-write discipline (grown on miss).
+    adhoc: RwLock<Arc<HashMap<String, Arc<Statement>>>>,
     /// Shared observability counters (may be the registry's `db` block).
     counters: Arc<DbCounters>,
     /// Optional durability hook: receives the redo stream of every committed
     /// transaction, called while the storage write lock is still held.
     sink: RwLock<Option<CommitHook>>,
+    /// The newest commit stamp (version-chain LSN clock). Written only
+    /// under the storage write lock; aligned with the WAL LSN whenever a
+    /// sink is installed (the stamp is `max(clock + 1, sink LSN)`).
+    clock: AtomicU64,
+    /// Transaction-id mint for MVCC writers (0 is the plain-reader id).
+    next_txid: AtomicU64,
+    /// Commit LSNs pinned by open session snapshots (lsn → open count);
+    /// vacuum's low-water mark is the smallest key.
+    pinned_snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Commits since the last inline vacuum sweep.
+    commits_since_vacuum: AtomicU64,
 }
 
 impl Default for Database {
@@ -71,9 +92,13 @@ impl Database {
         Database {
             storage: RwLock::new(Storage::default()),
             pinned: RwLock::new(Arc::new(HashMap::new())),
-            prepared: Mutex::new(HashMap::new()),
+            adhoc: RwLock::new(Arc::new(HashMap::new())),
             counters,
             sink: RwLock::new(None),
+            clock: AtomicU64::new(0),
+            next_txid: AtomicU64::new(1),
+            pinned_snapshots: Mutex::new(BTreeMap::new()),
+            commits_since_vacuum: AtomicU64::new(0),
         }
     }
 
@@ -93,28 +118,114 @@ impl Database {
         *self.sink.write() = None;
     }
 
-    /// Publish a committed transaction's redo image to the sink (if any),
-    /// deriving it from `undo`. Must be called with the storage write lock
-    /// held so the emitted stream is totally ordered by commit.
+    /// Commit `txid`'s mutations: publish the redo image to the sink (if
+    /// any), then replace the transaction's uncommitted version marks with
+    /// the commit stamp — `max(clock + 1, sink LSN)`, so version stamps
+    /// align with WAL LSNs whenever a sink is installed. Must be called
+    /// with the storage write lock held so the emitted stream and the
+    /// stamp order agree with commit order.
     ///
     /// Returns `Some(lsn)` when the caller must wait for durability after
     /// releasing the lock (strict mode).
-    pub(crate) fn emit_locked(
+    pub(crate) fn commit_locked(
         &self,
-        storage: &Storage,
-        undo: &[crate::storage::UndoOp],
+        storage: &mut Storage,
+        undo: &UndoLog,
+        txid: u64,
     ) -> Option<u64> {
         if undo.is_empty() {
             return None;
         }
-        let guard = self.sink.read();
-        let hook = guard.as_ref()?;
-        let changes = redo_from_undo(storage, undo);
-        if changes.is_empty() {
-            return None;
+        let mut wait = None;
+        let mut sink_lsn = 0u64;
+        {
+            let guard = self.sink.read();
+            if let Some(hook) = guard.as_ref() {
+                let changes = redo_from_undo(storage, undo);
+                if !changes.is_empty() {
+                    let lsn = hook.sink.on_commit(changes);
+                    sink_lsn = lsn;
+                    if hook.strict {
+                        wait = Some(lsn);
+                    }
+                }
+            }
         }
-        let lsn = hook.sink.on_commit(changes);
-        hook.strict.then_some(lsn)
+        let stamp = (self.clock.load(Ordering::Relaxed) + 1).max(sink_lsn);
+        storage.stamp_commit(undo, txid, stamp);
+        self.clock.store(stamp, Ordering::SeqCst);
+        self.counters
+            .versions_live
+            .set(storage.version_count() as i64);
+        if self.commits_since_vacuum.fetch_add(1, Ordering::Relaxed) + 1 >= VACUUM_EVERY {
+            self.commits_since_vacuum.store(0, Ordering::Relaxed);
+            self.vacuum_locked(storage);
+        }
+        wait
+    }
+
+    /// The vacuum low-water mark: the oldest LSN a live snapshot can still
+    /// read, or the clock when no snapshot is pinned.
+    fn low_water(&self) -> u64 {
+        let pins = self.pinned_snapshots.lock();
+        let clock = self.clock.load(Ordering::SeqCst);
+        pins.keys().next().map_or(clock, |&lsn| lsn.min(clock))
+    }
+
+    /// Reclaim versions no live snapshot can see (caller holds the write
+    /// lock, which also excludes in-flight plain readers).
+    fn vacuum_locked(&self, storage: &mut Storage) -> usize {
+        let reclaimed = storage.vacuum(self.low_water());
+        if reclaimed > 0 {
+            self.counters.vacuum_reclaimed.add(reclaimed as u64);
+            self.counters
+                .versions_live
+                .set(storage.version_count() as i64);
+        }
+        reclaimed
+    }
+
+    /// Run a vacuum sweep now; returns the number of versions reclaimed.
+    pub fn vacuum(&self) -> usize {
+        let mut storage = self.storage.write();
+        self.vacuum_locked(&mut storage)
+    }
+
+    /// Mint a transaction id for an MVCC writer.
+    pub(crate) fn mint_txid(&self) -> u64 {
+        self.next_txid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pin a read snapshot at the current clock (session BEGIN). The
+    /// returned LSN stays protected from vacuum until unpinned.
+    pub(crate) fn pin_snapshot(&self) -> u64 {
+        let mut pins = self.pinned_snapshots.lock();
+        // read the clock *inside* the registry lock so a concurrent commit
+        // + vacuum cannot slip between the read and the registration
+        let lsn = self.clock.load(Ordering::SeqCst);
+        *pins.entry(lsn).or_insert(0) += 1;
+        self.counters.snapshots_active.add(1);
+        lsn
+    }
+
+    /// Release a pinned snapshot (session COMMIT/ROLLBACK/drop).
+    pub(crate) fn unpin_snapshot(&self, lsn: u64) {
+        let mut pins = self.pinned_snapshots.lock();
+        if let Some(n) = pins.get_mut(&lsn) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&lsn);
+            }
+        }
+        self.counters.snapshots_active.add(-1);
+    }
+
+    /// Count a first-writer-wins loss in the obs counters, pass-through.
+    pub(crate) fn note_conflict(&self, e: Error) -> Error {
+        if matches!(e, Error::WriteConflict { .. }) {
+            self.counters.write_conflicts.inc();
+        }
+        e
     }
 
     /// Publish a DDL record to the sink (if any). Caller holds the storage
@@ -156,23 +267,29 @@ impl Database {
 
     /// Parse (with caching) a SQL string into a shareable statement.
     ///
-    /// Lookup order: pinned deploy-time snapshot, then the ad-hoc cache,
-    /// then a fresh parse (recorded as a prepare; cache hits are recorded
-    /// as plan-cache hits).
+    /// Lookup order: pinned deploy-time snapshot, then the ad-hoc
+    /// snapshot, then a fresh parse (recorded as a prepare; cache hits are
+    /// recorded as plan-cache hits). Both caches are copy-on-write maps
+    /// read under a shared lock, so the hit path takes zero mutexes.
     pub fn prepare(&self, sql: &str) -> Result<Arc<Statement>> {
         if let Some(s) = self.pinned.read().get(sql) {
             self.counters.plan_cache_hits.inc();
             return Ok(Arc::clone(s));
         }
-        if let Some(s) = self.prepared.lock().get(sql) {
+        if let Some(s) = self.adhoc.read().get(sql) {
             self.counters.plan_cache_hits.inc();
             return Ok(Arc::clone(s));
         }
         self.counters.prepares.inc();
         let stmt = Arc::new(parse_statement(sql)?);
-        self.prepared
-            .lock()
-            .insert(sql.to_string(), Arc::clone(&stmt));
+        let mut guard = self.adhoc.write();
+        if let Some(s) = guard.get(sql) {
+            // another thread won the parse race; share its plan
+            return Ok(Arc::clone(s));
+        }
+        let mut next: HashMap<String, Arc<Statement>> = (**guard).clone();
+        next.insert(sql.to_string(), Arc::clone(&stmt));
+        *guard = Arc::new(next);
         Ok(stmt)
     }
 
@@ -228,62 +345,27 @@ impl Database {
             Statement::Select(sel) => {
                 let storage = self.storage.read();
                 let mut stats = SelectStats::default();
-                let rows = run_select_with_stats(&storage, sel, params, &mut stats)?;
+                let rows =
+                    run_select_with_stats(&storage, sel, params, Snapshot::latest(), &mut stats)?;
                 self.record_select_stats(&stats);
                 Ok(ExecResult::Rows(rows))
             }
             Statement::Insert(ins) => {
-                let (n, seq) = {
-                    let mut storage = self.storage.write();
-                    let mut undo: UndoLog = Vec::new();
-                    match storage.run_insert(ins, params, &mut undo) {
-                        Ok(n) => {
-                            let seq = self.emit_locked(&storage, &undo);
-                            (n, seq)
-                        }
-                        Err(e) => {
-                            storage.rollback(undo);
-                            return Err(e);
-                        }
-                    }
-                };
-                self.wait_durable_opt(seq)?;
+                let n = self.autocommit_dml(|storage, undo, ctx| {
+                    storage.run_insert(ins, params, undo, ctx)
+                })?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::Update(upd) => {
-                let (n, seq) = {
-                    let mut storage = self.storage.write();
-                    let mut undo: UndoLog = Vec::new();
-                    match storage.run_update(upd, params, &mut undo) {
-                        Ok(n) => {
-                            let seq = self.emit_locked(&storage, &undo);
-                            (n, seq)
-                        }
-                        Err(e) => {
-                            storage.rollback(undo);
-                            return Err(e);
-                        }
-                    }
-                };
-                self.wait_durable_opt(seq)?;
+                let n = self.autocommit_dml(|storage, undo, ctx| {
+                    storage.run_update(upd, params, undo, ctx)
+                })?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::Delete(del) => {
-                let (n, seq) = {
-                    let mut storage = self.storage.write();
-                    let mut undo: UndoLog = Vec::new();
-                    match storage.run_delete(del, params, &mut undo) {
-                        Ok(n) => {
-                            let seq = self.emit_locked(&storage, &undo);
-                            (n, seq)
-                        }
-                        Err(e) => {
-                            storage.rollback(undo);
-                            return Err(e);
-                        }
-                    }
-                };
-                self.wait_durable_opt(seq)?;
+                let n = self.autocommit_dml(|storage, undo, ctx| {
+                    storage.run_delete(del, params, undo, ctx)
+                })?;
                 Ok(ExecResult::Affected(n))
             }
             Statement::CreateTable(schema) => {
@@ -330,6 +412,32 @@ impl Database {
         }
     }
 
+    /// Run one DML statement as its own transaction: install uncommitted
+    /// versions under the write lock, then commit-stamp (or roll back).
+    fn autocommit_dml(
+        &self,
+        f: impl FnOnce(&mut Storage, &mut UndoLog, &WriteCtx) -> Result<usize>,
+    ) -> Result<usize> {
+        let txid = self.mint_txid();
+        let ctx = WriteCtx::exclusive(txid);
+        let (n, seq) = {
+            let mut storage = self.storage.write();
+            let mut undo: UndoLog = Vec::new();
+            match f(&mut storage, &mut undo, &ctx) {
+                Ok(n) => {
+                    let seq = self.commit_locked(&mut storage, &undo, txid);
+                    (n, seq)
+                }
+                Err(e) => {
+                    storage.rollback(undo, txid);
+                    return Err(self.note_conflict(e));
+                }
+            }
+        };
+        self.wait_durable_opt(seq)?;
+        Ok(n)
+    }
+
     /// Execute a SELECT and return its rows.
     pub fn query(&self, sql: &str, params: &Params) -> Result<ResultSet> {
         match self.execute(sql, params)? {
@@ -348,26 +456,32 @@ impl Database {
         Ok(n)
     }
 
-    /// Run `f` inside a transaction: all mutations are rolled back if `f`
-    /// returns an error. The write lock is held for the duration, giving
-    /// serializable isolation.
+    /// Run `f` inside an **exclusive** transaction: all mutations are
+    /// rolled back if `f` returns an error. The write lock is held for the
+    /// duration, giving serializable isolation with no possibility of a
+    /// write conflict — the lock-the-world path (and the mutex baseline
+    /// the `exp_mvcc` benchmark measures). Interactive transactions that
+    /// must not block readers belong on [`crate::Session`], the
+    /// snapshot-isolation path.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<T>) -> Result<T> {
+        let txid = self.mint_txid();
         let (r, seq) = {
             let mut storage = self.storage.write();
             let mut tx = Transaction {
                 storage: &mut storage,
                 undo: Vec::new(),
                 db: self,
+                ctx: WriteCtx::exclusive(txid),
             };
             let r = f(&mut tx);
             let undo = std::mem::take(&mut tx.undo);
             match r {
                 Ok(v) => {
-                    let seq = self.emit_locked(&storage, &undo);
+                    let seq = self.commit_locked(&mut storage, &undo, txid);
                     (Ok(v), seq)
                 }
                 Err(e) => {
-                    storage.rollback(undo);
+                    storage.rollback(undo, txid);
                     (Err(e), None)
                 }
             }
@@ -552,6 +666,7 @@ pub struct Transaction<'a> {
     storage: &'a mut Storage,
     undo: UndoLog,
     db: &'a Database,
+    ctx: WriteCtx,
 }
 
 impl Transaction<'_> {
@@ -561,7 +676,9 @@ impl Transaction<'_> {
         match stmt.as_ref() {
             Statement::Select(sel) => {
                 let mut stats = SelectStats::default();
-                let rows = run_select_with_stats(self.storage, sel, params, &mut stats)?;
+                // read-your-own-writes: the exclusive writer's view
+                let snap = Snapshot::current(self.ctx.txid);
+                let rows = run_select_with_stats(self.storage, sel, params, snap, &mut stats)?;
                 self.db.record_select_stats(&stats);
                 Ok(ExecResult::Rows(rows))
             }
@@ -569,16 +686,19 @@ impl Transaction<'_> {
                 ins,
                 params,
                 &mut self.undo,
+                &self.ctx,
             )?)),
             Statement::Update(upd) => Ok(ExecResult::Affected(self.storage.run_update(
                 upd,
                 params,
                 &mut self.undo,
+                &self.ctx,
             )?)),
             Statement::Delete(del) => Ok(ExecResult::Affected(self.storage.run_delete(
                 del,
                 params,
                 &mut self.undo,
+                &self.ctx,
             )?)),
             _ => Err(Error::Transaction(
                 "DDL is not allowed inside a transaction".into(),

@@ -63,5 +63,5 @@ pub use schema::{Column, ForeignKey, ReferentialAction, TableSchema};
 pub use session::Session;
 pub use sql::ast::Statement;
 pub use sql::parser::{parse_script, parse_statement};
-pub use table::{Row, RowId, Table};
+pub use table::{Row, RowId, Snapshot, Table};
 pub use value::{DataType, Value};

@@ -4,7 +4,7 @@
 use crate::error::{Error, Result};
 use crate::expr::{eval, Binding, EvalCtx, Params};
 use crate::sql::ast::{Delete, Expr, Insert, Update};
-use crate::table::{Row, RowId, Table};
+use crate::table::{Row, RowId, Snapshot, Table, WriteCtx};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -87,8 +87,9 @@ impl Storage {
 
     // ---- foreign keys ----------------------------------------------------
 
-    /// Check every FK of `table_name` against the given row values.
-    fn check_outgoing_fks(&self, table_name: &str, row: &Row) -> Result<()> {
+    /// Check every FK of `table_name` against the given row values, from
+    /// the writer's view `snap` (own uncommitted parents count).
+    fn check_outgoing_fks(&self, table_name: &str, row: &Row, snap: Snapshot) -> Result<()> {
         let table = self.require_table(table_name)?;
         for fk in &table.schema.foreign_keys {
             let mut key = Vec::with_capacity(fk.columns.len());
@@ -104,7 +105,7 @@ impl Storage {
                 continue; // SQL semantics: NULL FK components opt out
             }
             let referenced = self.require_table(&fk.referenced_table)?;
-            if !self.referenced_row_exists(referenced, &fk.referenced_columns, &key)? {
+            if !self.referenced_row_exists(referenced, &fk.referenced_columns, &key, snap)? {
                 return Err(Error::ForeignKeyViolation {
                     table: table.schema.name.clone(),
                     constraint: fk.name.clone(),
@@ -119,6 +120,7 @@ impl Storage {
         referenced: &Table,
         ref_cols: &[String],
         key: &[Value],
+        snap: Snapshot,
     ) -> Result<bool> {
         // fast path: the referenced columns are the primary key
         let pk_names = referenced.schema.primary_key_names();
@@ -134,7 +136,7 @@ impl Storage {
             for (v, c) in key.iter().zip(&referenced.schema.primary_key) {
                 coerced.push(v.clone().coerce(referenced.schema.columns[*c].data_type)?);
             }
-            return Ok(referenced.get_by_pk(&coerced).is_some());
+            return Ok(referenced.get_by_pk_visible(&coerced, snap).is_some());
         }
         let mut idxs = Vec::with_capacity(ref_cols.len());
         for c in ref_cols {
@@ -146,12 +148,12 @@ impl Storage {
         if let Some(ix) = referenced.find_index_on(&idxs) {
             if ix.columns.len() == idxs.len() {
                 if let Some(coerced) = coerce_key(referenced, &idxs, key) {
-                    return Ok(!ix.lookup(&coerced).is_empty());
+                    return Ok(!referenced.probe_visible(ix, &coerced, snap).is_empty());
                 }
             }
         }
         // slow path: scan
-        Ok(referenced.iter().any(|(_, row)| {
+        Ok(referenced.iter_visible(snap).any(|(_, row)| {
             idxs.iter()
                 .zip(key)
                 .all(|(&i, v)| row[i].sql_eq(v) == Some(true))
@@ -164,6 +166,7 @@ impl Storage {
         &self,
         table_name: &str,
         row: &Row,
+        snap: Snapshot,
     ) -> Result<Vec<(String, usize, Vec<RowId>)>> {
         let target = self.require_table(table_name)?;
         let mut out = Vec::new();
@@ -197,7 +200,7 @@ impl Storage {
                         .filter(|ix| ix.columns.len() == col_idxs.len())
                         .and_then(|ix| {
                             coerce_key(other, &col_idxs, &ref_vals).map(|key| {
-                                let mut ids = ix.lookup(&key).to_vec();
+                                let mut ids = other.probe_visible(ix, &key, snap);
                                 ids.sort_unstable(); // match scan (slot) order
                                 ids
                             })
@@ -206,7 +209,7 @@ impl Storage {
                 let hits: Vec<RowId> = match by_index {
                     Some(ids) => ids,
                     None => other
-                        .iter()
+                        .iter_visible(snap)
                         .filter(|(_, r)| {
                             col_idxs
                                 .iter()
@@ -226,13 +229,16 @@ impl Storage {
 
     // ---- DML --------------------------------------------------------------
 
-    /// Execute INSERT; returns number of rows inserted.
+    /// Execute INSERT; returns number of rows inserted. New versions are
+    /// txn-marked with `ctx.txid` until commit stamps them.
     pub fn run_insert(
         &mut self,
         ins: &Insert,
         params: &Params,
         undo: &mut UndoLog,
+        ctx: &WriteCtx,
     ) -> Result<usize> {
+        let snap = Snapshot::current(ctx.txid);
         let table = self.require_table(&ins.table)?;
         let schema = table.schema.clone();
         let n_cols = schema.columns.len();
@@ -247,7 +253,7 @@ impl Storage {
             v
         };
         let empty: [Binding<'_>; 0] = [];
-        let ctx = EvalCtx {
+        let eval_ctx = EvalCtx {
             bindings: &empty,
             params,
         };
@@ -262,14 +268,15 @@ impl Storage {
             }
             let mut row: Row = vec![Value::Null; n_cols];
             for (pos, e) in positions.iter().zip(row_exprs) {
-                row[*pos] = eval(e, &ctx)?;
+                row[*pos] = eval(e, &eval_ctx)?;
             }
             let table = self.require_table_mut(&ins.table)?;
-            let id = table.insert(row)?;
-            let stored = table.get(id).unwrap().clone();
+            let id = table.insert_version(row, ctx)?;
+            let stored = table.latest_row(id).unwrap().clone();
             // FK check after defaults/auto-increment are applied
-            if let Err(e) = self.check_outgoing_fks(&ins.table, &stored) {
-                self.require_table_mut(&ins.table)?.delete(id);
+            if let Err(e) = self.check_outgoing_fks(&ins.table, &stored, snap) {
+                self.require_table_mut(&ins.table)?
+                    .rollback_insert(id, ctx.txid);
                 return Err(e);
             }
             undo.push(UndoOp::Inserted {
@@ -287,7 +294,9 @@ impl Storage {
         upd: &Update,
         params: &Params,
         undo: &mut UndoLog,
+        ctx: &WriteCtx,
     ) -> Result<usize> {
+        let snap = Snapshot::current(ctx.txid);
         let table = self.require_table(&upd.table)?;
         let schema = table.schema.clone();
         let binding_name = schema.name.clone();
@@ -298,7 +307,7 @@ impl Storage {
         }
         // select affected rows first (snapshot ids), then mutate
         let mut affected: Vec<(RowId, Row)> = Vec::new();
-        for (id, row) in table.iter() {
+        for (id, row) in table.iter_visible(snap) {
             let keep = match &upd.where_clause {
                 Some(w) => {
                     let bindings = [Binding {
@@ -306,11 +315,11 @@ impl Storage {
                         schema: &schema,
                         row: Some(row),
                     }];
-                    let ctx = EvalCtx {
+                    let eval_ctx = EvalCtx {
                         bindings: &bindings,
                         params,
                     };
-                    eval(w, &ctx)?.is_truthy()
+                    eval(w, &eval_ctx)?.is_truthy()
                 }
                 None => true,
             };
@@ -327,12 +336,12 @@ impl Storage {
                     schema: &schema,
                     row: Some(&old_row),
                 }];
-                let ctx = EvalCtx {
+                let eval_ctx = EvalCtx {
                     bindings: &bindings,
                     params,
                 };
                 for (pos, e) in &targets {
-                    new_row[*pos] = eval(e, &ctx)?;
+                    new_row[*pos] = eval(e, &eval_ctx)?;
                 }
             }
             // if the row's referenced-key columns change, enforce RESTRICT
@@ -340,18 +349,23 @@ impl Storage {
                 .primary_key
                 .iter()
                 .any(|&i| old_row[i].sql_eq(&new_row[i]) != Some(true));
-            if pk_changed && !self.referencing_rows(&upd.table, &old_row)?.is_empty() {
+            if pk_changed
+                && !self
+                    .referencing_rows(&upd.table, &old_row, snap)?
+                    .is_empty()
+            {
                 return Err(Error::ForeignKeyViolation {
                     table: upd.table.clone(),
                     constraint: "update of referenced key".into(),
                 });
             }
             let table = self.require_table_mut(&upd.table)?;
-            let old = table.update(id, new_row)?;
-            let stored = table.get(id).unwrap().clone();
-            if let Err(e) = self.check_outgoing_fks(&upd.table, &stored) {
-                // restore
-                self.require_table_mut(&upd.table)?.update(id, old)?;
+            let old = table.update_version(id, new_row, ctx)?;
+            let stored = table.latest_row(id).unwrap().clone();
+            if let Err(e) = self.check_outgoing_fks(&upd.table, &stored, snap) {
+                // restore: pop the uncommitted version we just installed
+                self.require_table_mut(&upd.table)?
+                    .rollback_update(id, ctx.txid);
                 return Err(e);
             }
             undo.push(UndoOp::Updated {
@@ -370,12 +384,14 @@ impl Storage {
         del: &Delete,
         params: &Params,
         undo: &mut UndoLog,
+        ctx: &WriteCtx,
     ) -> Result<usize> {
+        let snap = Snapshot::current(ctx.txid);
         let table = self.require_table(&del.table)?;
         let schema = table.schema.clone();
         let binding_name = schema.name.clone();
         let mut victims: Vec<RowId> = Vec::new();
-        for (id, row) in table.iter() {
+        for (id, row) in table.iter_visible(snap) {
             let keep = match &del.where_clause {
                 Some(w) => {
                     let bindings = [Binding {
@@ -383,11 +399,11 @@ impl Storage {
                         schema: &schema,
                         row: Some(row),
                     }];
-                    let ctx = EvalCtx {
+                    let eval_ctx = EvalCtx {
                         bindings: &bindings,
                         params,
                     };
-                    eval(w, &ctx)?.is_truthy()
+                    eval(w, &eval_ctx)?.is_truthy()
                 }
                 None => true,
             };
@@ -397,18 +413,29 @@ impl Storage {
         }
         let mut count = 0;
         for id in victims {
-            count += self.delete_row(&del.table, id, undo)?;
+            count += self.delete_row(&del.table, id, undo, ctx)?;
         }
         Ok(count)
     }
 
     /// Delete one row honouring referential actions; counts cascaded rows.
-    pub fn delete_row(&mut self, table_name: &str, id: RowId, undo: &mut UndoLog) -> Result<usize> {
-        let Some(row) = self.require_table(table_name)?.get(id).cloned() else {
+    pub fn delete_row(
+        &mut self,
+        table_name: &str,
+        id: RowId,
+        undo: &mut UndoLog,
+        ctx: &WriteCtx,
+    ) -> Result<usize> {
+        let snap = Snapshot::current(ctx.txid);
+        let Some(row) = self
+            .require_table(table_name)?
+            .visible_row(id, snap)
+            .cloned()
+        else {
             return Ok(0); // already gone via an earlier cascade
         };
         let mut count = 0;
-        let refs = self.referencing_rows(table_name, &row)?;
+        let refs = self.referencing_rows(table_name, &row, snap)?;
         for (ref_table, fk_i, ids) in refs {
             let action = {
                 let t = self.require_table(&ref_table)?;
@@ -424,7 +451,7 @@ impl Storage {
                 }
                 crate::schema::ReferentialAction::Cascade => {
                     for rid in ids {
-                        count += self.delete_row(&ref_table, rid, undo)?;
+                        count += self.delete_row(&ref_table, rid, undo, ctx)?;
                     }
                 }
                 crate::schema::ReferentialAction::SetNull => {
@@ -450,12 +477,12 @@ impl Storage {
                     }
                     for rid in ids {
                         let t = self.require_table_mut(&ref_table)?;
-                        if let Some(r) = t.get(rid).cloned() {
+                        if let Some(r) = t.visible_row(rid, snap).cloned() {
                             let mut new_r = r.clone();
                             for &c in &cols {
                                 new_r[c] = Value::Null;
                             }
-                            let old = t.update(rid, new_r)?;
+                            let old = t.update_version(rid, new_r, ctx)?;
                             undo.push(UndoOp::Updated {
                                 table: ref_table.to_ascii_lowercase(),
                                 row_id: rid,
@@ -467,43 +494,78 @@ impl Storage {
             }
         }
         let t = self.require_table_mut(table_name)?;
-        if let Some(old) = t.delete(id) {
-            undo.push(UndoOp::Deleted {
-                table: table_name.to_ascii_lowercase(),
-                row_id: id,
-                row: old,
-            });
-            count += 1;
-        }
+        let old = t.delete_version(id, ctx)?;
+        undo.push(UndoOp::Deleted {
+            table: table_name.to_ascii_lowercase(),
+            row_id: id,
+            row: old,
+        });
+        count += 1;
         Ok(count)
     }
 
-    /// Apply an undo log in reverse, restoring the pre-transaction state.
-    pub fn rollback(&mut self, undo: UndoLog) {
-        for op in undo.into_iter().rev() {
+    // ---- commit / rollback / vacuum ---------------------------------------
+
+    /// Replace `txid`'s uncommitted marks with the commit stamp and adjust
+    /// the committed-row counts. Called under the write lock at commit.
+    pub fn stamp_commit(&mut self, undo: &UndoLog, txid: u64, stamp: u64) {
+        for op in undo {
             match op {
                 UndoOp::Inserted { table, row_id } => {
-                    if let Some(t) = self.tables.get_mut(&table) {
-                        t.delete(row_id);
+                    if let Some(t) = self.tables.get_mut(table) {
+                        t.stamp_chain(*row_id, txid, stamp);
+                        t.adjust_live(1);
                     }
                 }
-                UndoOp::Deleted { table, row_id, row } => {
-                    if let Some(t) = self.tables.get_mut(&table) {
-                        // restore the row at its *original* slot so that
-                        // later undo ops (and redo derivation) keep seeing
-                        // stable row ids; cannot fail unless the schema
-                        // changed mid-transaction, which DDL in
-                        // transactions is not allowed to do
-                        let _ = t.insert_at(row_id, row);
+                UndoOp::Updated { table, row_id, .. } => {
+                    if let Some(t) = self.tables.get_mut(table) {
+                        t.stamp_chain(*row_id, txid, stamp);
                     }
                 }
-                UndoOp::Updated { table, row_id, old } => {
-                    if let Some(t) = self.tables.get_mut(&table) {
-                        let _ = t.update(row_id, old);
+                UndoOp::Deleted { table, row_id, .. } => {
+                    if let Some(t) = self.tables.get_mut(table) {
+                        t.stamp_chain(*row_id, txid, stamp);
+                        t.adjust_live(-1);
                     }
                 }
             }
         }
+    }
+
+    /// Apply an undo log in reverse, removing `txid`'s uncommitted
+    /// versions and reviving the ones they superseded.
+    pub fn rollback(&mut self, undo: UndoLog, txid: u64) {
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Inserted { table, row_id } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.rollback_insert(row_id, txid);
+                    }
+                }
+                UndoOp::Deleted { table, row_id, .. } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.rollback_delete(row_id, txid);
+                    }
+                }
+                UndoOp::Updated { table, row_id, .. } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.rollback_update(row_id, txid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reclaim versions no snapshot at or above `low_water` can see.
+    /// Returns the number of versions reclaimed across all tables.
+    pub fn vacuum(&mut self, low_water: u64) -> usize {
+        self.tables.values_mut().map(|t| t.vacuum(low_water)).sum()
+    }
+
+    /// Total stored versions across all tables (the `db_versions_live`
+    /// gauge).
+    pub fn version_count(&self) -> usize {
+        self.tables.values().map(|t| t.version_count()).sum()
     }
 
     /// Evaluate a constant expression (used by DDL paths needing literals).

@@ -169,6 +169,102 @@ fn http_request_produces_span_tree_and_metrics() {
     server.stop();
 }
 
+/// The four MVCC metrics render at `/metrics` and move under a concurrent
+/// transactional workload: pinned snapshots show in the gauge while open,
+/// losing a first-writer-wins race bumps the conflict counter, version
+/// chains register in the live-versions gauge, and vacuum reports what it
+/// reclaimed.
+#[test]
+fn mvcc_counters_render_and_move() {
+    use webml_ratio::relstore::{Error, Params, Session};
+
+    let app = fixtures::bookstore();
+    let d = app.deploy(RuntimeOptions::default()).unwrap();
+    d.db.execute_script(
+        "INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);
+         INSERT INTO book (title, price) VALUES ('WebML handbook', 50.0);",
+    )
+    .unwrap();
+    let server = d.serve_traced(0, 2).unwrap();
+    let addr = server.addr();
+
+    // all four families render before any transactional traffic
+    let m = client::get(addr, "/metrics").unwrap();
+    let before = String::from_utf8(m.body).unwrap();
+    for name in [
+        "db_write_conflicts_total ",
+        "db_vacuum_reclaimed_total ",
+        "db_snapshots_active ",
+        "db_versions_live ",
+    ] {
+        metric(&before, name); // panics with context if the line is missing
+    }
+    let conflicts_before = metric(&before, "db_write_conflicts_total ");
+    let reclaimed_before = metric(&before, "db_vacuum_reclaimed_total ");
+
+    // pin a snapshot and lose a first-writer-wins race from another thread
+    let mut pinned = Session::new(std::sync::Arc::clone(&d.db));
+    pinned.execute("BEGIN", &Params::new()).unwrap();
+    pinned
+        .execute("UPDATE book SET price = 31.0 WHERE oid = 1", &Params::new())
+        .unwrap();
+    let mid = {
+        let m = client::get(addr, "/metrics").unwrap();
+        String::from_utf8(m.body).unwrap()
+    };
+    assert!(
+        metric(&mid, "db_snapshots_active ") >= 1,
+        "open transaction must show in the snapshots gauge:\n{mid}"
+    );
+
+    let db = std::sync::Arc::clone(&d.db);
+    let loser = std::thread::spawn(move || {
+        let mut s = Session::new(db);
+        s.execute("BEGIN", &Params::new()).unwrap();
+        let r = s.execute("UPDATE book SET price = 32.0 WHERE oid = 1", &Params::new());
+        assert!(
+            matches!(r, Err(Error::WriteConflict { .. })),
+            "expected a write conflict, got {r:?}"
+        );
+        s.execute("ROLLBACK", &Params::new()).unwrap();
+    });
+    loser.join().unwrap();
+    pinned.execute("COMMIT", &Params::new()).unwrap();
+
+    // bury versions, then vacuum them away
+    for i in 0..8 {
+        d.db.execute(
+            "UPDATE book SET price = :p WHERE oid = 2",
+            &Params::new().bind("p", 50.0 + f64::from(i)),
+        )
+        .unwrap();
+    }
+    let reclaimed = d.db.vacuum();
+    assert!(reclaimed >= 1, "vacuum found nothing to reclaim");
+
+    let m = client::get(addr, "/metrics").unwrap();
+    let after = String::from_utf8(m.body).unwrap();
+    assert!(
+        metric(&after, "db_write_conflicts_total ") > conflicts_before,
+        "conflict counter did not move:\n{after}"
+    );
+    assert!(
+        metric(&after, "db_vacuum_reclaimed_total ") > reclaimed_before,
+        "vacuum counter did not move:\n{after}"
+    );
+    assert!(
+        metric(&after, "db_versions_live ") >= 1,
+        "live-versions gauge empty with committed rows present:\n{after}"
+    );
+    assert!(
+        after.contains("# TYPE db_snapshots_active gauge"),
+        "{after}"
+    );
+    assert!(after.contains("# TYPE db_versions_live gauge"), "{after}");
+
+    server.stop();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -22,6 +22,15 @@ cargo run -p bench --release --bin exp_serving -- --smoke
 echo "== query-planner smoke (derived indexes, hash join, Top-K; reduced dataset)"
 cargo run -p bench --release --bin exp_query -- --smoke
 
+echo "== MVCC smoke (snapshot reads vs one slow open writer; throughput + p95 gates)"
+cargo run -p bench --release --bin exp_mvcc -- --smoke
+
+echo "== MVCC seeded-schedule stress (snapshot-isolation properties under three seeds)"
+for seed in 1 20030108 "${RELSTORE_STRESS_SEED:-3224275387}"; do
+  RELSTORE_STRESS_SEED="$seed" \
+    cargo test -p relstore --release -q --test concurrent seeded_schedule_stress
+done
+
 echo "== tier-1 tests (root package: unit + integration + property suites)"
 cargo test --release -q
 
