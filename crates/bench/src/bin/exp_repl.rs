@@ -1,0 +1,460 @@
+//! E14: replication + partitioning — one app, N stores.
+//!
+//! Three phases, all closed-loop:
+//!
+//! * **read scale-out** — the same model deployed as {single store,
+//!   leader+1, leader+3}. One deliberately slow writer holds the store's
+//!   exclusive transaction lock open for the whole cell (the worst case a
+//!   write-heavy operation chain can inflict); page readers either share
+//!   that store (single) or are routed to log-shipping replicas
+//!   (leader+N), which the writer's lock never touches;
+//! * **read-your-writes** — a manual-flush deployment where replicas lag
+//!   by construction: every session that writes must be redirected to the
+//!   leader for its next read, and must see its own write there;
+//! * **shard routing** — the model-partitioned store: unit-shaped queries
+//!   (`issue WHERE volume_oid = ?`) must touch exactly one shard per
+//!   query, scatter-gather queries all of them.
+//!
+//! Results land in `BENCH_repl.json`; `--smoke` runs the gates only.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin exp_repl            # full run
+//! cargo run -p bench --release --bin exp_repl -- --smoke # CI gate
+//! ```
+
+use bench::row;
+use mvc::{RuntimeOptions, WebRequest};
+use relstore::{Params, Value};
+use repl::{deploy_replicated, ReplicatedDeployment};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use webratio::{fixtures, DeployOptions, DurabilityConfig};
+
+/// Cache-free runtime: every page read must hit the data tier, so the
+/// experiment measures store contention, not cache hit rates.
+fn cache_free() -> RuntimeOptions {
+    RuntimeOptions {
+        bean_cache: false,
+        fragment_cache: false,
+        ..RuntimeOptions::default()
+    }
+}
+
+struct Cell {
+    topology: &'static str,
+    readers: usize,
+    reads: u64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    max_lag_lsn: i64,
+}
+
+/// Drive `readers` closed-loop page readers through `serve` for
+/// `duration`, while one writer holds `writer_db`'s exclusive transaction
+/// lock open across the whole cell.
+fn run_cell(
+    topology: &'static str,
+    serve: Arc<dyn Fn(&WebRequest) -> mvc::WebResponse + Send + Sync>,
+    writer_db: Arc<relstore::Database>,
+    home: String,
+    readers: usize,
+    duration: Duration,
+    poll: Duration,
+) -> (Cell, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let hist = Arc::new(obs::Histogram::new());
+    let reads = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(readers + 2));
+
+    let mut handles = Vec::with_capacity(readers + 1);
+    for _ in 0..readers {
+        let serve = Arc::clone(&serve);
+        let stop = Arc::clone(&stop);
+        let hist = Arc::clone(&hist);
+        let reads = Arc::clone(&reads);
+        let barrier = Arc::clone(&barrier);
+        let home = home.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                let resp = serve(&WebRequest::get(&home));
+                hist.observe_us(t0.elapsed().as_micros() as u64);
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                assert!(resp.body.contains("seed 0"), "page lost its data");
+                reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    {
+        // one slow writer: exclusive transaction held open wall-to-wall
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            writer_db
+                .transaction(|tx| {
+                    tx.execute(
+                        "UPDATE book SET price = price + 1 WHERE title = 'seed 0'",
+                        &Params::new(),
+                    )?;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(poll);
+                    }
+                    Ok(())
+                })
+                .expect("writer");
+        }));
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let n = reads.load(Ordering::Relaxed);
+    (
+        Cell {
+            topology,
+            readers,
+            reads: n,
+            throughput_rps: n as f64 / elapsed,
+            p50_us: hist.quantile(0.50),
+            p95_us: hist.quantile(0.95),
+            max_lag_lsn: 0,
+        },
+        n,
+    )
+}
+
+fn seed(db: &relstore::Database) {
+    for i in 0..5 {
+        db.execute(
+            "INSERT INTO book (title, price) VALUES (:t, :p)",
+            &Params::new().bind("t", format!("seed {i}")).bind("p", 10.0),
+        )
+        .expect("seed");
+    }
+}
+
+/// Deploy leader + `n` replicas, seed, and wait for the replicas to catch
+/// up to the seeded state before the cell starts.
+fn replicated(dir: &wal::TempDir, n: usize) -> ReplicatedDeployment {
+    let mut durability = DurabilityConfig::new(dir.path());
+    durability.group_commit_window = Duration::from_millis(2);
+    let opts = DeployOptions {
+        runtime: cache_free(),
+        ..DeployOptions::default()
+    }
+    .with_replicas(n);
+    let rd = deploy_replicated(&fixtures::bookstore(), opts, &durability).expect("deploy");
+    seed(&rd.leader.db);
+    let wal = rd.leader.wal.as_ref().unwrap();
+    wal.flush_and_notify();
+    for r in &rd.replicas {
+        assert_eq!(r.applied_lsn(), wal.appended_lsn(), "replica not caught up");
+    }
+    rd
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("== E14: log-shipping read replicas + model-derived shards ==\n");
+
+    let (readers, duration, poll) = if smoke {
+        (6usize, Duration::from_millis(300), Duration::from_millis(5))
+    } else {
+        (
+            12usize,
+            Duration::from_millis(1500),
+            Duration::from_millis(10),
+        )
+    };
+    println!(
+        "{readers} closed-loop page readers per cell, {}ms per cell, one writer \
+         holding the store's exclusive transaction open wall-to-wall\n",
+        duration.as_millis()
+    );
+
+    // ---- phase 1: read scale-out ----
+    let widths = [12usize, 8, 10, 12, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "topology".into(),
+                "readers".into(),
+                "reads".into(),
+                "reads/s".into(),
+                "p50 µs".into(),
+                "p95 µs".into(),
+                "lag lsn".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // single store: readers and the writer share one database
+    {
+        let dir = wal::TempDir::new("exp-repl-single").unwrap();
+        let mut durability = DurabilityConfig::new(dir.path());
+        durability.group_commit_window = Duration::from_millis(2);
+        let d = fixtures::bookstore()
+            .deploy_durable(cache_free(), &durability)
+            .expect("deploy");
+        seed(&d.db);
+        let home = d.home_url("store").unwrap();
+        let controller = Arc::clone(&d.controller);
+        let (cell, _) = run_cell(
+            "single",
+            Arc::new(move |req| controller.handle(req)),
+            Arc::clone(&d.db),
+            home,
+            readers,
+            duration,
+            poll,
+        );
+        cells.push(cell);
+    }
+
+    // leader+N: reads routed to replicas the writer's lock never touches
+    for (n, name) in [(1usize, "leader+1"), (3usize, "leader+3")] {
+        let dir = wal::TempDir::new("exp-repl-topology").unwrap();
+        let rd = replicated(&dir, n);
+        let home = rd.leader.home_url("store").unwrap();
+        let router = Arc::clone(&rd.router);
+        let (mut cell, _) = run_cell(
+            name,
+            Arc::new(move |req| router.handle(req)),
+            Arc::clone(&rd.leader.db),
+            home,
+            readers,
+            duration,
+            poll,
+        );
+        rd.router.refresh_lag();
+        cell.max_lag_lsn = rd
+            .leader
+            .obs
+            .repl
+            .replica_lag()
+            .iter()
+            .map(|(_, g)| g.lag_lsn.get())
+            .max()
+            .unwrap_or(0);
+        // every routed read landed on a replica, none on the leader
+        assert_eq!(rd.leader.obs.repl.reads_for("leader"), 0);
+        cells.push(cell);
+    }
+
+    for c in &cells {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.topology.into(),
+                    c.readers.to_string(),
+                    c.reads.to_string(),
+                    format!("{:.0}", c.throughput_rps),
+                    c.p50_us.to_string(),
+                    c.p95_us.to_string(),
+                    c.max_lag_lsn.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let single = &cells[0];
+    let three = &cells[2];
+    let scaleout = three.throughput_rps / single.throughput_rps.max(f64::MIN_POSITIVE);
+    println!(
+        "\nread scale-out under a lock-holding writer: leader+3/single = {scaleout:.1}x \
+         ({:.0} vs {:.0} reads/s)",
+        three.throughput_rps, single.throughput_rps
+    );
+    assert!(
+        scaleout >= 1.8,
+        "leader+3 must beat the single store by >= 1.8x, got {scaleout:.1}x"
+    );
+
+    // ---- phase 2: read-your-writes under forced lag ----
+    // manual flush: replicas cannot catch up during the phase, so every
+    // post-write session read MUST be redirected to the leader — and see
+    // the session's own write there.
+    let writes = 20u64;
+    let (ryw_misses, redirects) = {
+        let dir = wal::TempDir::new("exp-repl-ryw").unwrap();
+        let mut durability = DurabilityConfig::new(dir.path());
+        durability.group_commit_window = Duration::from_secs(3600);
+        let opts = DeployOptions {
+            runtime: cache_free(),
+            ..DeployOptions::default()
+        }
+        .with_replicas(1);
+        let rd = deploy_replicated(&fixtures::bookstore(), opts, &durability).expect("deploy");
+        rd.leader.wal.as_ref().unwrap().flush_and_notify(); // ship the DDL
+        let home = rd.leader.home_url("store").unwrap();
+        let op_url = rd.leader.generated.descriptors.operations[0].url.clone();
+        let before = rd.leader.obs.repl.stale_redirects.get();
+        let mut misses = 0u64;
+        let mut session: Option<String> = None;
+        for i in 0..writes {
+            let title = format!("ryw {i}");
+            let mut req = WebRequest::get(&op_url)
+                .with_param("title", &title)
+                .with_param("price", "1.0");
+            req.session = session.clone();
+            let resp = rd.handle(&req);
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            if resp.set_session.is_some() {
+                session = resp.set_session;
+            }
+            let read =
+                rd.handle(&WebRequest::get(&home).with_session(session.clone().expect("session")));
+            if !read.body.contains(&title) {
+                misses += 1;
+            }
+        }
+        (misses, rd.leader.obs.repl.stale_redirects.get() - before)
+    };
+    println!(
+        "read-your-writes under forced lag: {writes} write→read pairs, \
+         {ryw_misses} misses, {redirects} leader redirects"
+    );
+    assert_eq!(ryw_misses, 0, "a session read below its own last write");
+    assert_eq!(
+        redirects, writes,
+        "every post-write read must redirect to the leader while replicas lag"
+    );
+
+    // ---- phase 3: model-derived shard routing ----
+    let shard_queries = if smoke { 200u64 } else { 2000 };
+    let (routed_rps, fanout_rps, routed_touches, fanout_touches) = {
+        let dir = wal::TempDir::new("exp-repl-shards").unwrap();
+        let durability = DurabilityConfig::new(dir.path());
+        let opts = DeployOptions::default().with_shards(3);
+        let rd = deploy_replicated(&fixtures::acm_library(), opts, &durability).expect("deploy");
+        let sharded = rd.sharded.as_ref().expect("shards");
+        let repl = &rd.leader.obs.repl;
+        for y in 0..12i64 {
+            sharded
+                .execute(
+                    "INSERT INTO volume (title, year) VALUES (?, ?)",
+                    &Params::positional([
+                        Value::Text(format!("vol {y}")),
+                        Value::Integer(1990 + y),
+                    ]),
+                )
+                .unwrap();
+        }
+        for v in 1..=12i64 {
+            for n in 1..=4i64 {
+                sharded
+                    .execute(
+                        "INSERT INTO issue (number, volume_oid) VALUES (?, ?)",
+                        &Params::positional([Value::Integer(n), Value::Integer(v)]),
+                    )
+                    .unwrap();
+            }
+        }
+        let shard_reads = |repl: &obs::ReplCounters| {
+            (0..3)
+                .map(|i| repl.reads_for(&format!("shard-{i}")))
+                .sum::<u64>()
+        };
+
+        let before = shard_reads(repl);
+        let t0 = Instant::now();
+        for i in 0..shard_queries {
+            let rs = sharded
+                .query(
+                    "SELECT oid, number FROM issue WHERE volume_oid = ? ORDER BY number",
+                    &Params::positional([Value::Integer(1 + (i as i64 % 12))]),
+                )
+                .unwrap();
+            assert_eq!(rs.len(), 4);
+        }
+        let routed_rps = shard_queries as f64 / t0.elapsed().as_secs_f64();
+        let routed_touches = shard_reads(repl) - before;
+
+        let before = shard_reads(repl);
+        let t0 = Instant::now();
+        for _ in 0..shard_queries {
+            let rs = sharded
+                .query(
+                    "SELECT title, year FROM volume ORDER BY year DESC LIMIT 3",
+                    &Params::new(),
+                )
+                .unwrap();
+            assert_eq!(rs.len(), 3);
+        }
+        let fanout_rps = shard_queries as f64 / t0.elapsed().as_secs_f64();
+        let fanout_touches = shard_reads(repl) - before;
+        (routed_rps, fanout_rps, routed_touches, fanout_touches)
+    };
+    println!(
+        "shard routing over 3 shards: unit queries {routed_rps:.0}/s touching \
+         {routed_touches} shards for {shard_queries} queries; scatter-gather \
+         {fanout_rps:.0}/s touching {fanout_touches}"
+    );
+    assert_eq!(
+        routed_touches, shard_queries,
+        "a shard-key unit query must touch exactly one shard"
+    );
+    assert_eq!(
+        fanout_touches,
+        shard_queries * 3,
+        "a scatter-gather query must touch every shard"
+    );
+
+    if smoke {
+        println!("\n--smoke: gates passed, skipping BENCH_repl.json");
+        return;
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"E14-replication-partitioning\",\n");
+    json.push_str(&format!(
+        "  \"setup\": {{\"readers\": {readers}, \"cell_ms\": {}, \"ryw_writes\": {writes}, \
+         \"shard_queries\": {shard_queries}}},\n",
+        duration.as_millis()
+    ));
+    json.push_str("  \"cells\": [\n");
+    json.push_str(
+        &cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"topology\": \"{}\", \"readers\": {}, \"reads\": {}, \
+                     \"throughput_rps\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \
+                     \"max_lag_lsn\": {}}}",
+                    c.topology,
+                    c.readers,
+                    c.reads,
+                    c.throughput_rps,
+                    c.p50_us,
+                    c.p95_us,
+                    c.max_lag_lsn
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"scaleout_leader3_over_single\": {scaleout:.1},\n  \
+         \"ryw_misses\": {ryw_misses},\n  \"stale_redirects\": {redirects},\n  \
+         \"routed\": {{\"rps\": {routed_rps:.0}, \"shard_touches\": {routed_touches}}},\n  \
+         \"fanout\": {{\"rps\": {fanout_rps:.0}, \"shard_touches\": {fanout_touches}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_repl.json", json).expect("write BENCH_repl.json");
+    println!("\nwrote BENCH_repl.json");
+}

@@ -1,0 +1,341 @@
+//! Deploy-time shard-key derivation: walk every unit of the hypertext
+//! model and pick, per table, the column whose hash decides which shard
+//! a row lives on.
+//!
+//! This is the same move as [`crate::derive_indexes`] one level up: the
+//! model already knows which columns the generated unit queries probe, so
+//! partitioning is a physical-design decision the deployment derives
+//! instead of a DBA hand-writing a partition map. The policy:
+//!
+//! * every entity table defaults to its surrogate key (`oid`) — uniform
+//!   hash distribution, and every insert can be routed by the allocated
+//!   key;
+//! * a table probed by a **role navigation** (`child.parent_oid = :ctx`)
+//!   shards by that FK column instead: children hash with their parent's
+//!   oid, so the navigation's unit query touches exactly one shard and
+//!   one-level parent/child joins are co-located;
+//! * bridge tables shard by whichever side a unit navigates first —
+//!   the bridge row lands with the context entity that queries it;
+//! * conflicting proposals (two different FK columns for one table) are
+//!   resolved first-wins in deterministic model order; the loser keeps
+//!   routing correct anyway because non-key queries simply fan out.
+//!
+//! Attribute equalities are deliberately *not* shard keys: hashing a
+//! non-unique attribute skews shards, and the derived secondary index
+//! already answers those probes per shard.
+
+use er::{ErModel, RelImpl, RelationalMapping, OID};
+use webml::{Condition, HypertextModel, Unit, UnitKind};
+
+/// The shard key derived for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardKey {
+    pub table: String,
+    /// Column whose hashed value picks the shard (`oid` by default).
+    pub column: String,
+    /// Model elements that motivated this key (diagnostics).
+    pub reasons: Vec<String>,
+}
+
+impl ShardKey {
+    /// Does this key co-locate rows under a parent entity (FK-derived)
+    /// rather than hash them by their own surrogate key?
+    pub fn co_located(&self) -> bool {
+        self.column != OID
+    }
+}
+
+/// Accumulates FK-derived proposals, first-wins per table.
+struct Acc {
+    out: Vec<ShardKey>,
+}
+
+impl Acc {
+    fn propose(&mut self, table: &str, column: &str, reason: String) {
+        if let Some(existing) = self.out.iter_mut().find(|k| k.table == table) {
+            if existing.column == column && !existing.reasons.contains(&reason) {
+                existing.reasons.push(reason);
+            }
+            // a different column loses: first proposal wins
+            return;
+        }
+        self.out.push(ShardKey {
+            table: table.to_string(),
+            column: column.to_string(),
+            reasons: vec![reason],
+        });
+    }
+}
+
+/// Derive a shard key for every table of the mapping (entity and bridge
+/// tables alike), in mapping order. Deterministic and total: tables no
+/// unit navigates into get the `oid` default.
+pub fn derive_shard_keys(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+) -> Vec<ShardKey> {
+    let mut acc = Acc { out: Vec::new() };
+    for (_, unit) in ht.units() {
+        derive_for_unit(er, mapping, unit, &mut acc);
+    }
+    mapping
+        .tables()
+        .iter()
+        .map(|t| {
+            acc.out
+                .iter()
+                .find(|k| k.table == t.name)
+                .cloned()
+                .unwrap_or_else(|| ShardKey {
+                    table: t.name.clone(),
+                    column: OID.to_string(),
+                    reasons: vec!["surrogate key (default)".to_string()],
+                })
+        })
+        .collect()
+}
+
+fn derive_for_unit(er: &ErModel, mapping: &RelationalMapping, unit: &Unit, acc: &mut Acc) {
+    if let UnitKind::HierarchicalIndex { levels } = &unit.kind {
+        for (k, level) in levels.iter().enumerate() {
+            propose_for_role(
+                er,
+                mapping,
+                &level.role,
+                &format!("{} level{k} role {}", unit.name, level.role),
+                acc,
+            );
+        }
+        return;
+    }
+    if unit.entity.is_none() {
+        return; // entry/plug-in units have no queries
+    }
+    for c in &unit.selector {
+        if let Condition::Role { role, .. } = c {
+            propose_for_role(
+                er,
+                mapping,
+                role,
+                &format!("{} role {role}", unit.name),
+                acc,
+            );
+        }
+    }
+}
+
+/// A role navigation's generated SQL probes the FK column on whichever
+/// table holds it (or a bridge column): hashing that column makes the
+/// probe single-shard and co-locates the row with its parent.
+fn propose_for_role(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    role: &str,
+    reason: &str,
+    acc: &mut Acc,
+) {
+    let Some((rid, _, _)) = er.role(role) else {
+        return;
+    };
+    match mapping.rel_impl(rid) {
+        Some(RelImpl::ForeignKey {
+            fk_table,
+            fk_column,
+            ..
+        }) => {
+            acc.propose(fk_table, fk_column, reason.to_string());
+        }
+        Some(RelImpl::Bridge {
+            table,
+            source_column,
+            ..
+        }) => {
+            acc.propose(table, source_column, reason.to_string());
+        }
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::{AttrType, Attribute, Cardinality, EntityId};
+    use webml::Audience;
+
+    struct Fixture {
+        er: ErModel,
+        mapping: RelationalMapping,
+        ht: HypertextModel,
+        page: webml::PageId,
+        volume: EntityId,
+        issue: EntityId,
+        keyword: EntityId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut er = ErModel::new();
+        let volume = er
+            .add_entity(
+                "Volume",
+                vec![
+                    Attribute::new("title", AttrType::String).required(),
+                    Attribute::new("year", AttrType::Integer),
+                ],
+            )
+            .unwrap();
+        let issue = er
+            .add_entity("Issue", vec![Attribute::new("number", AttrType::Integer)])
+            .unwrap();
+        let keyword = er
+            .add_entity("Keyword", vec![Attribute::new("word", AttrType::String)])
+            .unwrap();
+        er.add_relationship(
+            "VolumeIssue",
+            volume,
+            issue,
+            "VolumeToIssue",
+            "IssueToVolume",
+            Cardinality::ONE_ONE,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        er.add_relationship(
+            "IssueKeyword",
+            issue,
+            keyword,
+            "IssueToKeyword",
+            "KeywordToIssue",
+            Cardinality::ZERO_MANY,
+            Cardinality::ZERO_MANY,
+        )
+        .unwrap();
+        let mapping = RelationalMapping::derive(&er);
+        let mut ht = HypertextModel::new();
+        let sv = ht.add_site_view("sv", Audience::default());
+        let page = ht.add_page(sv, None, "P");
+        ht.set_home(sv, page);
+        Fixture {
+            er,
+            mapping,
+            ht,
+            page,
+            volume,
+            issue,
+            keyword,
+        }
+    }
+
+    fn key<'a>(keys: &'a [ShardKey], table: &str) -> &'a ShardKey {
+        keys.iter()
+            .find(|k| k.table == table)
+            .unwrap_or_else(|| panic!("no shard key for {table}: {keys:?}"))
+    }
+
+    #[test]
+    fn every_table_gets_a_key_and_defaults_to_oid() {
+        let f = fixture();
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        assert_eq!(keys.len(), f.mapping.tables().len());
+        for t in ["volume", "issue", "keyword", "issuekeyword"] {
+            let k = key(&keys, t);
+            assert_eq!(k.column, OID, "{t} should default to oid: {k:?}");
+            assert!(!k.co_located());
+        }
+    }
+
+    #[test]
+    fn role_navigation_shards_the_fk_holder_by_the_fk() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Issues", f.issue);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "VolumeToIssue".into(),
+                param: "volume".into(),
+            },
+        );
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        let k = key(&keys, "issue");
+        assert_eq!(k.column, "volume_oid");
+        assert!(k.co_located());
+        assert!(k.reasons[0].contains("VolumeToIssue"));
+        // the parent still shards by its own key
+        assert_eq!(key(&keys, "volume").column, OID);
+    }
+
+    #[test]
+    fn bridge_navigation_shards_the_bridge_by_the_context_side() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "Keywords", f.keyword);
+        f.ht.add_condition(
+            u,
+            Condition::Role {
+                role: "IssueToKeyword".into(),
+                param: "issue".into(),
+            },
+        );
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        assert_eq!(key(&keys, "issuekeyword").column, "issue_oid");
+    }
+
+    #[test]
+    fn conflicting_proposals_resolve_first_wins_and_merge_reasons() {
+        let mut f = fixture();
+        for n in ["A", "B"] {
+            let u = f.ht.add_index_unit(f.page, n, f.issue);
+            f.ht.add_condition(
+                u,
+                Condition::Role {
+                    role: "VolumeToIssue".into(),
+                    param: "volume".into(),
+                },
+            );
+        }
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        let k = key(&keys, "issue");
+        assert_eq!(k.column, "volume_oid");
+        assert_eq!(k.reasons.len(), 2, "{k:?}");
+    }
+
+    #[test]
+    fn attribute_equality_is_not_a_shard_key() {
+        let mut f = fixture();
+        let u = f.ht.add_index_unit(f.page, "By year", f.volume);
+        f.ht.add_condition(
+            u,
+            Condition::AttributeEq {
+                attribute: "year".into(),
+                param: "year".into(),
+            },
+        );
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        assert_eq!(key(&keys, "volume").column, OID);
+    }
+
+    #[test]
+    fn hierarchy_levels_propose_per_level() {
+        let mut f = fixture();
+        f.ht.add_hierarchical_index(
+            f.page,
+            "Issues&Keywords",
+            vec![
+                webml::HierarchyLevel {
+                    entity: f.issue,
+                    role: "VolumeToIssue".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+                webml::HierarchyLevel {
+                    entity: f.keyword,
+                    role: "IssueToKeyword".into(),
+                    display_attributes: vec![],
+                    sort: vec![],
+                },
+            ],
+        );
+        let keys = derive_shard_keys(&f.er, &f.mapping, &f.ht);
+        assert_eq!(key(&keys, "issue").column, "volume_oid");
+        assert_eq!(key(&keys, "issuekeyword").column, "issue_oid");
+    }
+}

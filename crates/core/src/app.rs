@@ -271,6 +271,13 @@ impl Application {
 pub struct DeployOptions {
     pub runtime: RuntimeOptions,
     pub analysis: analyze::Gate,
+    /// Log-shipping read replicas behind the routing tier (0 = a single
+    /// store). Consumed by `repl::deploy_replicated`; plain
+    /// [`Application::deploy_checked`] ignores it.
+    pub replicas: usize,
+    /// Hash partitions for the data tier (0 or 1 = unsharded). Consumed
+    /// by `repl`'s `ShardedStore` deployment; ignored elsewhere.
+    pub shards: usize,
 }
 
 impl DeployOptions {
@@ -278,7 +285,20 @@ impl DeployOptions {
         DeployOptions {
             runtime: RuntimeOptions::default(),
             analysis,
+            ..DeployOptions::default()
         }
+    }
+
+    /// Ask for `n` log-shipping read replicas.
+    pub fn with_replicas(mut self, n: usize) -> DeployOptions {
+        self.replicas = n;
+        self
+    }
+
+    /// Ask for `n` hash partitions.
+    pub fn with_shards(mut self, n: usize) -> DeployOptions {
+        self.shards = n;
+        self
     }
 }
 

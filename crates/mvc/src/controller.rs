@@ -84,7 +84,10 @@ pub struct Controller {
     compiled: HashMap<(String, String), StyledTemplate>,
     styling: StylingMode,
     db: Arc<Database>,
-    pub sessions: SessionManager,
+    /// Session store. `Arc` so replicated deployments can hand every
+    /// replica controller the *same* store: a session minted on the
+    /// leader resolves identically on any replica.
+    pub sessions: Arc<SessionManager>,
     pub ops: OperationEngine,
     bean_cache: Option<Arc<BeanCache<UnitBean>>>,
     fragment_cache: Option<FragmentCache>,
@@ -159,6 +162,38 @@ impl Controller {
         devices: DeviceRegistry,
         observability: Arc<obs::MetricsRegistry>,
     ) -> Controller {
+        let sessions = Arc::new(SessionManager::with_config(
+            options.session_ttl,
+            Arc::clone(&observability.sessions_expired),
+        ));
+        Controller::with_shared_sessions(
+            set,
+            skeletons,
+            db,
+            options,
+            registry,
+            devices,
+            observability,
+            sessions,
+        )
+    }
+
+    /// [`Controller::with_observability`] with an externally owned session
+    /// store. Replicated deployments use this to give the leader and every
+    /// replica controller one shared store, so a session cookie minted by
+    /// a write on the leader resolves on whichever replica serves the next
+    /// read (the routing tier's read-your-writes contract depends on it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shared_sessions(
+        set: DescriptorSet,
+        skeletons: Vec<TemplateSkeleton>,
+        db: Arc<Database>,
+        options: RuntimeOptions,
+        registry: ServiceRegistry,
+        devices: DeviceRegistry,
+        observability: Arc<obs::MetricsRegistry>,
+        sessions: Arc<SessionManager>,
+    ) -> Controller {
         let set = Arc::new(set);
         let registry = Arc::new(registry);
         let bean_cache = options.bean_cache.then(|| {
@@ -212,10 +247,7 @@ impl Controller {
             compiled,
             styling: options.styling,
             db,
-            sessions: SessionManager::with_config(
-                options.session_ttl,
-                Arc::clone(&observability.sessions_expired),
-            ),
+            sessions,
             ops: OperationEngine::new(),
             bean_cache,
             fragment_cache,

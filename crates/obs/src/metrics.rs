@@ -219,6 +219,10 @@ pub struct DbCounters {
     /// Row versions currently held in version chains (visible + pending
     /// + retained-for-snapshots).
     pub versions_live: Gauge,
+    /// The low-water LSN the last vacuum pass was allowed to reclaim
+    /// below — min of local pinned snapshots and the external replication
+    /// horizon. 0 until the first vacuum runs.
+    pub vacuum_horizon_lsn: Gauge,
 }
 
 impl DbCounters {
@@ -317,6 +321,81 @@ impl HttpCounters {
     }
 }
 
+/// Per-replica progress gauges: how far one replica's apply loop has
+/// gotten, and how far behind the leader's durable LSN it is.
+#[derive(Debug, Default)]
+pub struct ReplicaGauges {
+    /// Last LSN this replica has fully applied.
+    pub applied_lsn: Gauge,
+    /// Leader durable LSN minus applied LSN at last refresh.
+    pub lag_lsn: Gauge,
+}
+
+/// The counter block the replication/partitioning tier reports into:
+/// routing decisions, shipped batches, and per-replica lag.
+#[derive(Debug, Default)]
+pub struct ReplCounters {
+    /// Reads that wanted a replica but were redirected to the leader
+    /// because no replica had caught up to the session's last-write LSN.
+    pub stale_redirects: Counter,
+    /// Change batches applied by replicas (first delivery).
+    pub batches_applied: Counter,
+    /// Change batches skipped as duplicates (reconnect replay overlap).
+    pub batches_duplicate: Counter,
+    /// Reads routed per target (`leader`, `replica-0`, `shard-1`, ...) —
+    /// rendered as the labelled `repl_reads_total{target}` family.
+    reads: Mutex<BTreeMap<String, u64>>,
+    /// Per-replica progress gauges, keyed by replica name.
+    replicas: Mutex<BTreeMap<String, Arc<ReplicaGauges>>>,
+}
+
+impl ReplCounters {
+    pub fn new() -> ReplCounters {
+        ReplCounters::default()
+    }
+
+    /// Count one read routed to `target`.
+    pub fn record_read(&self, target: &str) {
+        let mut map = self.reads.lock();
+        *map.entry(target.to_string()).or_insert(0) += 1;
+    }
+
+    /// Snapshot of per-target read counts.
+    pub fn read_counts(&self) -> Vec<(String, u64)> {
+        self.reads
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Reads routed to one specific target so far.
+    pub fn reads_for(&self, target: &str) -> u64 {
+        self.reads.lock().get(target).copied().unwrap_or(0)
+    }
+
+    /// The progress gauges for one replica (created on first use; the
+    /// `Arc` is cached by the replica's apply loop).
+    pub fn replica_gauges(&self, name: &str) -> Arc<ReplicaGauges> {
+        let mut map = self.replicas.lock();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(ReplicaGauges::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Replicas observed so far, with their progress gauges.
+    pub fn replica_lag(&self) -> Vec<(String, Arc<ReplicaGauges>)> {
+        self.replicas
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
 /// The process-wide registry every tier plugs into.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -338,6 +417,8 @@ pub struct MetricsRegistry {
     pub analyze: Arc<AnalyzeCounters>,
     /// Web-tier connection lifecycle counters (`httpd`).
     pub http: Arc<HttpCounters>,
+    /// Replication/partitioning tier counters (`repl`).
+    pub repl: Arc<ReplCounters>,
     /// Sessions evicted by the TTL sweep (`mvc::SessionManager` holds a
     /// clone of this counter).
     pub sessions_expired: Arc<Counter>,
@@ -521,6 +602,12 @@ impl MetricsRegistry {
             "Row versions currently held in MVCC version chains",
             self.db.versions_live.get(),
         );
+        gauge_into(
+            &mut out,
+            "db_vacuum_horizon_lsn",
+            "Low-water LSN the last vacuum pass could reclaim below",
+            self.db.vacuum_horizon_lsn.get(),
+        );
         counter_into(
             &mut out,
             "webml_appserver_marshalled_bytes_total",
@@ -642,6 +729,56 @@ impl MetricsRegistry {
             "",
             &self.analyze.analysis_micros,
         );
+        counter_into(
+            &mut out,
+            "repl_stale_redirects_total",
+            "Reads redirected to the leader because every replica lagged the session",
+            self.repl.stale_redirects.get(),
+        );
+        counter_into(
+            &mut out,
+            "repl_batches_applied_total",
+            "Change batches applied by replicas",
+            self.repl.batches_applied.get(),
+        );
+        counter_into(
+            &mut out,
+            "repl_batches_duplicate_total",
+            "Change batches skipped as reconnect-replay duplicates",
+            self.repl.batches_duplicate.get(),
+        );
+        // labelled family: the header is always emitted so scrapers learn
+        // the name even before the first routed read
+        let _ = writeln!(
+            out,
+            "# HELP repl_reads_total Reads routed per target (leader, replica-N, shard-N)"
+        );
+        let _ = writeln!(out, "# TYPE repl_reads_total counter");
+        for (target, v) in self.repl.read_counts() {
+            let _ = writeln!(out, "repl_reads_total{{target=\"{target}\"}} {v}");
+        }
+        let replicas = self.repl.replica_lag();
+        let _ = writeln!(out, "# HELP repl_applied_lsn Last LSN applied per replica");
+        let _ = writeln!(out, "# TYPE repl_applied_lsn gauge");
+        for (name, g) in &replicas {
+            let _ = writeln!(
+                out,
+                "repl_applied_lsn{{replica=\"{name}\"}} {}",
+                g.applied_lsn.get()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP repl_lag_lsn Leader durable LSN minus applied LSN per replica"
+        );
+        let _ = writeln!(out, "# TYPE repl_lag_lsn gauge");
+        for (name, g) in &replicas {
+            let _ = writeln!(
+                out,
+                "repl_lag_lsn{{replica=\"{name}\"}} {}",
+                g.lag_lsn.get()
+            );
+        }
         Self::render_histogram(
             &mut out,
             "webml_request_latency_us",
@@ -835,6 +972,36 @@ mod tests {
         assert!(text.contains("http_requests_per_conn_sum 5"));
         assert!(text.contains("http_header_overflows_total 1"));
         assert!(text.contains("webml_sessions_expired_total 2"));
+    }
+
+    #[test]
+    fn repl_counters_render_labelled_families() {
+        let reg = MetricsRegistry::new();
+        // family headers present even before any replica exists
+        let empty = reg.render_prometheus();
+        assert!(empty.contains("# TYPE repl_reads_total counter"));
+        assert!(empty.contains("# TYPE repl_lag_lsn gauge"));
+        assert!(empty.contains("repl_stale_redirects_total 0"));
+        reg.repl.record_read("leader");
+        reg.repl.record_read("replica-0");
+        reg.repl.record_read("replica-0");
+        reg.repl.stale_redirects.inc();
+        reg.repl.batches_applied.add(4);
+        reg.repl.batches_duplicate.inc();
+        let g = reg.repl.replica_gauges("replica-0");
+        g.applied_lsn.set(17);
+        g.lag_lsn.set(3);
+        reg.db.vacuum_horizon_lsn.set(14);
+        let text = reg.render_prometheus();
+        assert!(text.contains("repl_reads_total{target=\"leader\"} 1"));
+        assert!(text.contains("repl_reads_total{target=\"replica-0\"} 2"));
+        assert_eq!(reg.repl.reads_for("replica-0"), 2);
+        assert!(text.contains("repl_stale_redirects_total 1"));
+        assert!(text.contains("repl_batches_applied_total 4"));
+        assert!(text.contains("repl_batches_duplicate_total 1"));
+        assert!(text.contains("repl_applied_lsn{replica=\"replica-0\"} 17"));
+        assert!(text.contains("repl_lag_lsn{replica=\"replica-0\"} 3"));
+        assert!(text.contains("db_vacuum_horizon_lsn 14"));
     }
 
     #[test]

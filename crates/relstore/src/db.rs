@@ -73,7 +73,16 @@ pub struct Database {
     pinned_snapshots: Mutex<BTreeMap<u64, usize>>,
     /// Commits since the last inline vacuum sweep.
     commits_since_vacuum: AtomicU64,
+    /// Optional external vacuum horizon (replication): vacuum never
+    /// reclaims versions at or above the returned LSN, so a lagging
+    /// replica's readers keep seeing the history they pinned. `None`
+    /// means unconstrained.
+    external_horizon: RwLock<Option<HorizonFn>>,
 }
+
+/// Callback answering "what is the oldest LSN an external consumer (e.g.
+/// a lagging replica) may still need?" — `u64::MAX` for "no constraint".
+pub type HorizonFn = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 impl Default for Database {
     fn default() -> Self {
@@ -99,7 +108,20 @@ impl Database {
             next_txid: AtomicU64::new(1),
             pinned_snapshots: Mutex::new(BTreeMap::new()),
             commits_since_vacuum: AtomicU64::new(0),
+            external_horizon: RwLock::new(None),
         }
+    }
+
+    /// Install an external vacuum-horizon source (replication tier). The
+    /// callback is polled at every vacuum sweep; versions at or above the
+    /// smaller of the local pin horizon and this value survive.
+    pub fn set_vacuum_horizon(&self, source: HorizonFn) {
+        *self.external_horizon.write() = Some(source);
+    }
+
+    /// Remove the external vacuum horizon, if any.
+    pub fn clear_vacuum_horizon(&self) {
+        *self.external_horizon.write() = None;
     }
 
     /// Install a [`CommitSink`] that receives the redo image of every
@@ -165,17 +187,26 @@ impl Database {
     }
 
     /// The vacuum low-water mark: the oldest LSN a live snapshot can still
-    /// read, or the clock when no snapshot is pinned.
+    /// read, or the clock when no snapshot is pinned — further capped by
+    /// the external horizon (lagging replicas) when one is installed.
     fn low_water(&self) -> u64 {
         let pins = self.pinned_snapshots.lock();
         let clock = self.clock.load(Ordering::SeqCst);
-        pins.keys().next().map_or(clock, |&lsn| lsn.min(clock))
+        let local = pins.keys().next().map_or(clock, |&lsn| lsn.min(clock));
+        let external = self
+            .external_horizon
+            .read()
+            .as_ref()
+            .map_or(u64::MAX, |f| f());
+        local.min(external)
     }
 
     /// Reclaim versions no live snapshot can see (caller holds the write
     /// lock, which also excludes in-flight plain readers).
     fn vacuum_locked(&self, storage: &mut Storage) -> usize {
-        let reclaimed = storage.vacuum(self.low_water());
+        let horizon = self.low_water();
+        self.counters.vacuum_horizon_lsn.set(horizon as i64);
+        let reclaimed = storage.vacuum(horizon);
         if reclaimed > 0 {
             self.counters.vacuum_reclaimed.add(reclaimed as u64);
             self.counters

@@ -54,7 +54,7 @@ pub mod table;
 pub mod value;
 
 pub use change::{redo_from_undo, ChangeRecord, CommitSink};
-pub use db::{Database, Transaction};
+pub use db::{Database, HorizonFn, Transaction};
 pub use error::{Error, Result};
 pub use exec::SelectStats;
 pub use expr::Params;

@@ -384,6 +384,57 @@ fn vacuum_never_reclaims_a_live_visible_version() {
     assert_eq!(rs.first("body"), Some(&Value::Text("v20".into())));
 }
 
+/// An external vacuum horizon (a lagging replica's applied LSN) must cap
+/// the low-water mark exactly like a local pinned snapshot: versions the
+/// horizon still protects survive, and raising the horizon releases them.
+#[test]
+fn external_horizon_blocks_vacuum_until_raised() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let db = Arc::new(Database::new());
+    db.execute_script(
+        "CREATE TABLE doc (oid INTEGER PRIMARY KEY, body TEXT NOT NULL);
+         INSERT INTO doc (oid, body) VALUES (1, 'v0');",
+    )
+    .unwrap();
+
+    // a "replica" that has applied nothing yet pins the whole history
+    let applied = Arc::new(AtomicU64::new(0));
+    let src = Arc::clone(&applied);
+    db.set_vacuum_horizon(Arc::new(move || src.load(Ordering::SeqCst)));
+
+    for i in 1..=20 {
+        db.execute(
+            "UPDATE doc SET body = :b WHERE oid = 1",
+            &Params::new().bind("b", format!("v{i}")),
+        )
+        .unwrap();
+    }
+    let reclaimed_lagging = db.vacuum();
+    assert_eq!(
+        reclaimed_lagging, 0,
+        "vacuum reclaimed versions a lagging replica may still need"
+    );
+    assert_eq!(db.counters().vacuum_horizon_lsn.get(), 0);
+
+    // the replica catches up: the horizon no longer constrains anything
+    applied.store(u64::MAX, Ordering::SeqCst);
+    let reclaimed_caught_up = db.vacuum();
+    assert!(
+        reclaimed_caught_up >= 1,
+        "vacuum reclaimed nothing after the replica caught up"
+    );
+    assert!(db.counters().vacuum_horizon_lsn.get() > 0);
+
+    // clearing the hook leaves vacuum purely locally constrained
+    db.clear_vacuum_horizon();
+    let _ = db.vacuum();
+    let rs = db
+        .query("SELECT body FROM doc WHERE oid = 1", &Params::new())
+        .unwrap();
+    assert_eq!(rs.first("body"), Some(&Value::Text("v20".into())));
+}
+
 /// Seeded pseudo-random schedule stress: threads run a deterministic
 /// (per-seed) mix of transfers, rollbacks, pinned-snapshot reads, inserts
 /// and deletes through sessions, with periodic vacuums. Every interleaving

@@ -1,0 +1,148 @@
+//! Deploy wiring: one application, a leader, N replicas, M shards.
+//!
+//! [`deploy_replicated`] honors `webratio::DeployOptions::{replicas,
+//! shards}`: the leader deploys durably (its WAL is the replication log),
+//! each replica bootstraps by recovering the leader's snapshot + log into
+//! its own store, then subscribes to the durable batch stream via
+//! [`Wal::replay_from`] — the hole between "recovered to LSN x" and
+//! "subscribed" is closed by replaying the tail under the observer lock.
+//! The leader's vacuum horizon is pinned to the slowest replica so MVCC
+//! versions a replica still needs are never reclaimed under it.
+
+use mvc::{Controller, ServiceRegistry, WebRequest, WebResponse};
+use presentation::DeviceRegistry;
+use relstore::Database;
+use std::sync::Arc;
+use webratio::{
+    apply_derived_indexes, pin_descriptor_plans, Application, DeployError, DeployOptions,
+    Deployment, DurabilityConfig,
+};
+
+use crate::router::{ReplicaEndpoint, Router};
+use crate::transport::{InProcessLink, ShippingObserver};
+use crate::{Replica, ShardedStore};
+
+/// A replicated (and optionally partitioned) deployment.
+pub struct ReplicatedDeployment {
+    /// The write side: a plain durable deployment.
+    pub leader: Deployment,
+    /// The routing tier in front of leader + replicas.
+    pub router: Arc<Router>,
+    pub replicas: Vec<Arc<Replica>>,
+    /// The partitioned data tier, when `options.shards >= 2`. Runs beside
+    /// the replicated store (shard routing is exercised directly and by
+    /// the bench); folding the controller onto it is future work.
+    pub sharded: Option<ShardedStore>,
+}
+
+impl ReplicatedDeployment {
+    /// Service one request through the routing tier.
+    pub fn handle(&self, req: &WebRequest) -> WebResponse {
+        self.router.handle(req)
+    }
+}
+
+/// Deploy `app` with `options.replicas` log-shipping read replicas behind
+/// a [`Router`], and — when `options.shards >= 2` — a model-partitioned
+/// [`ShardedStore`] bootstrapped from the same generated DDL.
+pub fn deploy_replicated(
+    app: &Application,
+    options: DeployOptions,
+    durability: &DurabilityConfig,
+) -> Result<ReplicatedDeployment, DeployError> {
+    let leader = app.deploy_durable(options.runtime.clone(), durability)?;
+    let wal = Arc::clone(
+        leader
+            .wal
+            .as_ref()
+            .expect("durable deploy always has a WAL"),
+    );
+    let registry = Arc::clone(&leader.obs);
+    let generated = &leader.generated;
+
+    let mut replicas = Vec::with_capacity(options.replicas);
+    let mut endpoints = Vec::with_capacity(options.replicas);
+    for i in 0..options.replicas {
+        // bootstrap: recover the leader's snapshot + log tail into a
+        // fresh store — schema arrives through logged DDL, so the replica
+        // is structurally identical by construction
+        let db = Arc::new(Database::with_counters(Arc::clone(&registry.db)));
+        let info = wal.recover_into(&db).map_err(DeployError::Durability)?;
+        apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
+        pin_descriptor_plans(&db, &generated.descriptors);
+        let controller = Arc::new(Controller::with_shared_sessions(
+            generated.descriptors.clone(),
+            generated.skeletons.clone(),
+            Arc::clone(&db),
+            options.runtime.clone(),
+            ServiceRegistry::standard(),
+            DeviceRegistry::standard(),
+            Arc::clone(&registry),
+            Arc::clone(&leader.controller.sessions),
+        ));
+        let replica = Replica::new(
+            format!("replica-{i}"),
+            db,
+            info.last_lsn,
+            Arc::clone(&registry.repl),
+        );
+        // §6 invalidation runs per replica, against the replica's own
+        // bean cache, driven by the same applied change stream
+        if let Some(cache) = controller.bean_cache_arc() {
+            replica.set_invalidator(Arc::new(webcache::LogDrivenInvalidator::new(cache)));
+        }
+        // subscribe through the serialization boundary; replay_from
+        // delivers whatever the leader logged since recover_into, then
+        // attaches for live batches with no window in between
+        let link = Arc::new(InProcessLink::new(Arc::clone(&replica)));
+        wal.replay_from(info.last_lsn, Arc::new(ShippingObserver::new(link)))
+            .map_err(DeployError::Durability)?;
+        endpoints.push(ReplicaEndpoint {
+            replica: Arc::clone(&replica),
+            controller,
+        });
+        replicas.push(replica);
+    }
+
+    // the leader must not vacuum MVCC versions a lagging replica has not
+    // applied past: pin the vacuum horizon to the slowest replica
+    if !replicas.is_empty() {
+        let horizon_view: Vec<Arc<Replica>> = replicas.clone();
+        leader.db.set_vacuum_horizon(Arc::new(move || {
+            horizon_view
+                .iter()
+                .map(|r| r.applied_lsn())
+                .min()
+                .unwrap_or(u64::MAX)
+        }));
+    }
+
+    let sharded = if options.shards >= 2 {
+        let keys = codegen::derive_shard_keys(&app.er, &app.mapping, &app.hypertext);
+        Some(
+            ShardedStore::bootstrap(
+                options.shards,
+                &generated.ddl,
+                &keys,
+                Arc::clone(&registry.repl),
+            )
+            .map_err(DeployError::Schema)?,
+        )
+    } else {
+        None
+    };
+
+    let router = Arc::new(Router::new(
+        Arc::clone(&leader.controller),
+        Arc::clone(&wal),
+        endpoints,
+        Arc::clone(&registry.repl),
+    ));
+
+    Ok(ReplicatedDeployment {
+        leader,
+        router,
+        replicas,
+        sharded,
+    })
+}

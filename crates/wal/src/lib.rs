@@ -196,8 +196,44 @@ impl Wal {
     }
 
     /// Subscribe to the durable change stream.
+    ///
+    /// An observer attached this way sees only batches flushed *after*
+    /// the attach — anything already durable is silently missed. A
+    /// (re)connecting replica must use [`Wal::replay_from`] instead.
     pub fn attach_observer(&self, o: Arc<dyn LogObserver>) {
         self.observers.write().push(o);
+    }
+
+    /// Attach `observer` *and* deterministically deliver the history it
+    /// missed: every record with `lsn > from_lsn` still present in the
+    /// log is replayed to the observer before any new batch can reach it.
+    ///
+    /// The observer list's write lock is held across the whole replay;
+    /// the flusher dispatches under the read lock, so no concurrent batch
+    /// can interleave with — or sneak past — the catch-up. Two caveats
+    /// the caller owns:
+    ///
+    /// * records compacted away by a snapshot are no longer in the log —
+    ///   a from-scratch replica bootstraps via [`Wal::recover_into`] (or
+    ///   its own snapshot) first, then calls this with the recovered LSN;
+    /// * batches flushed between the log read and future dispatches may
+    ///   be delivered twice — consumers dedupe by LSN (replica apply is
+    ///   idempotent and skips `lsn <= applied_lsn`).
+    ///
+    /// Returns the highest LSN replayed (`from_lsn` when none was).
+    pub fn replay_from(&self, from_lsn: u64, observer: Arc<dyn LogObserver>) -> io::Result<u64> {
+        let mut obs = self.observers.write();
+        let bytes = std::fs::read(self.writer.path())?;
+        let scan = scan_log(&bytes);
+        let mut last = from_lsn;
+        for (lsn, changes) in &scan.records {
+            if *lsn > from_lsn {
+                observer.on_durable(*lsn, changes);
+                last = *lsn;
+            }
+        }
+        obs.push(observer);
+        Ok(last)
     }
 
     /// Rebuild `db` (which must be fresh/empty) from snapshot + log tail.
@@ -500,6 +536,59 @@ mod tests {
         // the batches flushed by stop() still reached the observers —
         // log-driven invalidation must never miss a durable batch
         assert_eq!(*seen.0.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn replay_from_closes_the_attach_after_flush_window() {
+        use parking_lot::Mutex;
+        #[derive(Default)]
+        struct Seen(Mutex<Vec<u64>>);
+        impl LogObserver for Seen {
+            fn on_durable(&self, lsn: u64, _changes: &[ChangeRecord]) {
+                self.0.lock().push(lsn);
+            }
+        }
+        let dir = TempDir::new("wal-replay").unwrap();
+        let mut cfg = config(&dir);
+        cfg.group_commit_window = Duration::from_secs(3600); // manual flushes only
+        let wal = Wal::open(cfg, Arc::new(WalCounters::new())).unwrap();
+        let db = Database::new();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn CommitSink>, false);
+        db.execute_script("CREATE TABLE t (oid INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t (v) VALUES ('early')", &Params::new())
+            .unwrap();
+        // the history (LSNs 1, 2) is durable BEFORE anyone subscribes
+        wal.flush_and_notify();
+
+        // a plain attach misses it: this is the window the fix closes
+        let late = Arc::new(Seen::default());
+        wal.attach_observer(Arc::clone(&late) as Arc<dyn LogObserver>);
+        db.execute("INSERT INTO t (v) VALUES ('tail')", &Params::new())
+            .unwrap();
+        wal.flush_and_notify();
+        assert_eq!(*late.0.lock(), vec![3], "plain attach replays nothing");
+
+        // replay_from(0) delivers the missed prefix, then streams live
+        let replica = Arc::new(Seen::default());
+        let caught_up = wal
+            .replay_from(0, Arc::clone(&replica) as Arc<dyn LogObserver>)
+            .unwrap();
+        assert_eq!(caught_up, 3);
+        assert_eq!(*replica.0.lock(), vec![1, 2, 3]);
+        db.execute("INSERT INTO t (v) VALUES ('live')", &Params::new())
+            .unwrap();
+        wal.flush_and_notify();
+        assert_eq!(*replica.0.lock(), vec![1, 2, 3, 4]);
+
+        // a partially caught-up replica resumes exactly past its LSN
+        let resumed = Arc::new(Seen::default());
+        let last = wal
+            .replay_from(2, Arc::clone(&resumed) as Arc<dyn LogObserver>)
+            .unwrap();
+        assert_eq!(last, 4);
+        assert_eq!(*resumed.0.lock(), vec![3, 4]);
+        wal.stop();
     }
 
     #[test]

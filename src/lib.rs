@@ -24,6 +24,7 @@ pub use mvc;
 pub use obs;
 pub use presentation;
 pub use relstore;
+pub use repl;
 pub use wal;
 pub use webcache;
 pub use webml;

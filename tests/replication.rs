@@ -1,0 +1,366 @@
+//! Replication + partitioning, end to end: log-shipping replicas behind
+//! the router (read-your-writes, staleness redirects), idempotent
+//! convergence under duplicated/overlapping batch delivery, replica crash
+//! recovery from its own snapshot + log catch-up, model-derived shard
+//! routing, and the leader's vacuum horizon pinned to the slowest replica.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use webml_ratio::mvc::WebRequest;
+use webml_ratio::relstore::{Database, Params, Value};
+use webml_ratio::repl::{deploy_replicated, Replica};
+use webml_ratio::wal::{TempDir, Wal, WalConfig};
+use webml_ratio::webratio::{fixtures, DeployOptions, DurabilityConfig};
+
+/// Manual-flush durability: a huge group-commit window, so each test
+/// decides exactly when batches become durable (= visible to replicas).
+fn manual(dir: &TempDir) -> DurabilityConfig {
+    let mut d = DurabilityConfig::new(dir.path());
+    d.group_commit_window = Duration::from_secs(3600);
+    d
+}
+
+#[test]
+fn router_reads_from_replicas_and_never_breaks_read_your_writes() {
+    let dir = TempDir::new("repl-router").unwrap();
+    let app = fixtures::bookstore();
+    let rd = deploy_replicated(
+        &app,
+        DeployOptions::default().with_replicas(2),
+        &manual(&dir),
+    )
+    .expect("replicated deploy");
+    let wal = Arc::clone(rd.leader.wal.as_ref().unwrap());
+    let repl = Arc::clone(&rd.leader.obs.repl);
+
+    // schema (logged DDL) becomes durable → replicas bootstrap it
+    wal.flush_and_notify();
+    for r in &rd.replicas {
+        assert!(r.applied_lsn() > 0, "replica missed the DDL batch");
+        assert!(
+            !r.db().table_names().is_empty(),
+            "schema must arrive through the log stream"
+        );
+    }
+
+    // an anonymous read is served by a replica, not the leader
+    let home = rd.leader.home_url("store").unwrap();
+    let r0 = rd.handle(&WebRequest::get(&home));
+    assert_eq!(r0.status, 200, "{}", r0.body);
+    let replica_reads: u64 = (0..2)
+        .map(|i| repl.reads_for(&format!("replica-{i}")))
+        .sum();
+    assert_eq!(replica_reads, 1, "read should land on a replica");
+    assert_eq!(repl.reads_for("leader"), 0);
+
+    // a write routes to the leader and stamps the session's write LSN
+    let op_url = rd.leader.generated.descriptors.operations[0].url.clone();
+    let resp = rd.handle(
+        &WebRequest::get(&op_url)
+            .with_param("title", "Fresh ink")
+            .with_param("price", "9.0"),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let sid = resp.set_session.expect("operation starts a session");
+
+    // the write is not durable yet, so both replicas lag the session's
+    // floor: the read must redirect to the leader — and SEE the write
+    let before = repl.stale_redirects.get();
+    let r1 = rd.handle(&WebRequest::get(&home).with_session(&sid));
+    assert!(
+        r1.body.contains("Fresh ink"),
+        "session read its own write nowhere: {}",
+        r1.body
+    );
+    assert!(
+        repl.stale_redirects.get() > before,
+        "lagging replicas must redirect the session to the leader"
+    );
+    assert_eq!(repl.reads_for("leader"), 1);
+
+    // once durable and applied, the same session reads from a replica
+    wal.flush_and_notify();
+    let replica_reads_before: u64 = (0..2)
+        .map(|i| repl.reads_for(&format!("replica-{i}")))
+        .sum();
+    let r2 = rd.handle(&WebRequest::get(&home).with_session(&sid));
+    assert!(r2.body.contains("Fresh ink"), "{}", r2.body);
+    let replica_reads_after: u64 = (0..2)
+        .map(|i| repl.reads_for(&format!("replica-{i}")))
+        .sum();
+    assert_eq!(replica_reads_after, replica_reads_before + 1);
+    assert_eq!(repl.reads_for("leader"), 1, "no second leader read");
+
+    // the whole story is observable
+    let metrics = rd.leader.obs.render_prometheus();
+    for family in [
+        "repl_reads_total{target=\"replica-0\"}",
+        "repl_applied_lsn{replica=\"replica-1\"}",
+        "repl_lag_lsn{replica=\"replica-0\"}",
+        "repl_stale_redirects_total",
+    ] {
+        assert!(metrics.contains(family), "/metrics lacks {family}");
+    }
+}
+
+#[test]
+fn replica_crashes_mid_stream_and_recovers_from_snapshot_plus_catchup() {
+    let dir = TempDir::new("repl-crash").unwrap();
+    let app = fixtures::bookstore();
+    let d = app
+        .deploy_durable(Default::default(), &manual(&dir))
+        .unwrap();
+    let wal = Arc::clone(d.wal.as_ref().unwrap());
+    let counters = Arc::clone(&d.obs.repl);
+
+    for i in 0..3 {
+        d.db.execute(
+            "INSERT INTO book (title, price) VALUES (:t, :p)",
+            &Params::new().bind("t", format!("early {i}")).bind("p", 5.0),
+        )
+        .unwrap();
+    }
+    wal.flush_and_notify();
+
+    // first life: bootstrap a replica from the durable log, snapshot it
+    let snap_path = Replica::snapshot_path(dir.path(), "r0");
+    let mid_lsn = {
+        let db = Arc::new(Database::new());
+        let info = wal.recover_into(&db).unwrap();
+        let replica = Replica::new("r0", db, info.last_lsn, Arc::clone(&counters));
+        let lsn = replica.snapshot_to(&snap_path).unwrap();
+        assert_eq!(lsn, info.last_lsn);
+        lsn
+        // replica dropped here = crash mid-stream, before the tail below
+    };
+
+    // the leader keeps writing past the replica's snapshot
+    for i in 0..4 {
+        d.db.execute(
+            "INSERT INTO book (title, price) VALUES (:t, :p)",
+            &Params::new().bind("t", format!("late {i}")).bind("p", 7.0),
+        )
+        .unwrap();
+    }
+    d.db.execute(
+        "DELETE FROM book WHERE title = :t",
+        &Params::new().bind("t", "early 1"),
+    )
+    .unwrap();
+    wal.flush_and_notify();
+
+    // second life: restore from the replica's OWN snapshot, then catch up
+    // only the tail via replay_from — no full re-ship needed
+    let (db2, restored_lsn) = Replica::restore_db(&snap_path).unwrap();
+    assert_eq!(restored_lsn, mid_lsn);
+    let revived = Replica::new("r0", db2, restored_lsn, Arc::clone(&counters));
+    let caught_up = wal
+        .replay_from(
+            restored_lsn,
+            Arc::clone(&revived) as Arc<dyn webml_ratio::wal::LogObserver>,
+        )
+        .unwrap();
+    assert!(caught_up > mid_lsn, "tail batches must replay");
+    assert_eq!(
+        revived.db().dump(),
+        d.db.dump(),
+        "recovered replica must be byte-identical to the leader"
+    );
+}
+
+#[test]
+fn sharded_store_routes_unit_queries_to_one_shard_and_fans_out_the_rest() {
+    let dir = TempDir::new("repl-shards").unwrap();
+    let app = fixtures::acm_library();
+    let rd = deploy_replicated(&app, DeployOptions::default().with_shards(3), &manual(&dir))
+        .expect("sharded deploy");
+    let sharded = rd.sharded.as_ref().expect("shards requested");
+    let repl = Arc::clone(&rd.leader.obs.repl);
+
+    // the model decided the keys: children co-partition with their parent
+    assert_eq!(sharded.shard_key("issue"), "volume_oid");
+
+    for y in 0..6i64 {
+        sharded
+            .execute(
+                "INSERT INTO volume (title, year) VALUES (?, ?)",
+                &Params::positional([Value::Text(format!("vol {y}")), Value::Integer(1990 + y)]),
+            )
+            .unwrap();
+    }
+    for v in 1..=6i64 {
+        for n in 1..=3i64 {
+            sharded
+                .execute(
+                    "INSERT INTO issue (number, volume_oid) VALUES (?, ?)",
+                    &Params::positional([Value::Integer(n), Value::Integer(v)]),
+                )
+                .unwrap();
+        }
+    }
+
+    let shard_reads = |repl: &webml_ratio::obs::ReplCounters| -> u64 {
+        (0..3).map(|i| repl.reads_for(&format!("shard-{i}"))).sum()
+    };
+
+    // the unit-query hot path (`issue WHERE volume_oid = ?`) is
+    // single-shard by construction
+    let before = shard_reads(&repl);
+    let rs = sharded
+        .query(
+            "SELECT oid, number FROM issue WHERE volume_oid = ? ORDER BY number",
+            &Params::positional([Value::Integer(4)]),
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!(shard_reads(&repl) - before, 1, "exactly one shard touched");
+
+    // scatter-gather: global Top-K across all shards, counts add
+    let before = shard_reads(&repl);
+    let rs = sharded
+        .query(
+            "SELECT title, year FROM volume ORDER BY year DESC LIMIT 2",
+            &Params::new(),
+        )
+        .unwrap();
+    assert_eq!(
+        shard_reads(&repl) - before,
+        3,
+        "fan-out touches every shard"
+    );
+    assert_eq!(rs.first("title"), Some(&Value::Text("vol 5".into())));
+    let rs = sharded
+        .query("SELECT COUNT(*) FROM issue", &Params::new())
+        .unwrap();
+    assert_eq!(rs.rows()[0][0], Value::Integer(18));
+}
+
+#[test]
+fn leader_vacuum_horizon_is_pinned_to_the_slowest_replica() {
+    let dir = TempDir::new("repl-vacuum").unwrap();
+    let app = fixtures::bookstore();
+    let rd = deploy_replicated(
+        &app,
+        DeployOptions::default().with_replicas(1),
+        &manual(&dir),
+    )
+    .expect("replicated deploy");
+    let wal = Arc::clone(rd.leader.wal.as_ref().unwrap());
+    wal.flush_and_notify();
+    let replica = &rd.replicas[0];
+    let stale_lsn = replica.applied_lsn();
+    assert!(stale_lsn > 0);
+
+    // churn versions on the leader without making them durable: the
+    // replica stays at `stale_lsn`, so vacuum must not reclaim past it
+    rd.leader
+        .db
+        .execute(
+            "INSERT INTO book (title, price) VALUES (:t, :p)",
+            &Params::new().bind("t", "churn").bind("p", 1.0),
+        )
+        .unwrap();
+    for i in 0..5 {
+        rd.leader
+            .db
+            .execute(
+                "UPDATE book SET price = :p WHERE title = :t",
+                &Params::new().bind("p", f64::from(i)).bind("t", "churn"),
+            )
+            .unwrap();
+    }
+    rd.leader.db.vacuum();
+    assert_eq!(
+        rd.leader.obs.db.vacuum_horizon_lsn.get(),
+        stale_lsn as i64,
+        "horizon must clamp to the lagging replica's applied LSN"
+    );
+
+    // once the replica catches up, the horizon advances with it
+    wal.flush_and_notify();
+    assert!(replica.applied_lsn() > stale_lsn);
+    rd.leader.db.vacuum();
+    assert!(
+        rd.leader.obs.db.vacuum_horizon_lsn.get() > stale_lsn as i64,
+        "horizon follows the replica forward"
+    );
+}
+
+/// One random op applied through the leader's SQL front door.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1i64..8, 0i64..100).prop_map(|(k, v)| Op::Insert(k, v)),
+        (1i64..8, 0i64..100).prop_map(|(k, v)| Op::Update(k, v)),
+        (1i64..8).prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Re-shipping the whole history — twice, plus an overlapping tail —
+    /// leaves a replica byte-identical to one that saw each batch exactly
+    /// once: LSN-idempotent apply makes delivery duplication harmless.
+    #[test]
+    fn duplicated_and_overlapping_batches_converge(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        split in 0usize..30,
+    ) {
+        let dir = TempDir::new("repl-converge").unwrap();
+        let mut cfg = WalConfig::new(dir.path());
+        cfg.group_commit_window = Duration::from_secs(3600);
+        let wal = Wal::open(cfg, Arc::new(webml_ratio::obs::WalCounters::default())).unwrap();
+        let db = Arc::new(Database::new());
+        wal.recover_into(&db).unwrap();
+        db.set_commit_sink(Arc::clone(&wal) as Arc<dyn webml_ratio::relstore::CommitSink>, false);
+        db.execute_script(
+            "CREATE TABLE t (oid INTEGER NOT NULL AUTOINCREMENT, k INTEGER, v INTEGER, PRIMARY KEY (oid))",
+        ).unwrap();
+
+        let split = split.min(ops.len());
+        let mut mid_lsn = 0;
+        for (i, op) in ops.iter().enumerate() {
+            if i == split {
+                wal.flush_and_notify();
+                mid_lsn = wal.appended_lsn();
+            }
+            match op {
+                Op::Insert(k, v) => db.execute(
+                    "INSERT INTO t (k, v) VALUES (?, ?)",
+                    &Params::positional([Value::Integer(*k), Value::Integer(*v)]),
+                ),
+                Op::Update(k, v) => db.execute(
+                    "UPDATE t SET v = ? WHERE k = ?",
+                    &Params::positional([Value::Integer(*v), Value::Integer(*k)]),
+                ),
+                Op::Delete(k) => db.execute(
+                    "DELETE FROM t WHERE k = ?",
+                    &Params::positional([Value::Integer(*k)]),
+                ),
+            }.unwrap();
+        }
+        wal.flush_and_notify();
+
+        let counters = Arc::new(webml_ratio::obs::ReplCounters::new());
+        // clean replica: every batch exactly once
+        let clean = Replica::new("clean", Arc::new(Database::new()), 0, Arc::clone(&counters));
+        wal.replay_from(0, Arc::clone(&clean) as Arc<dyn webml_ratio::wal::LogObserver>).unwrap();
+        // messy replica: full history twice, then an overlapping tail
+        let messy = Replica::new("messy", Arc::new(Database::new()), 0, Arc::clone(&counters));
+        for from in [0, 0, mid_lsn] {
+            wal.replay_from(from, Arc::clone(&messy) as Arc<dyn webml_ratio::wal::LogObserver>).unwrap();
+        }
+
+        prop_assert!(counters.batches_duplicate.get() > 0, "overlap must be exercised");
+        prop_assert_eq!(clean.db().dump(), messy.db().dump());
+        prop_assert_eq!(clean.db().dump(), db.dump());
+    }
+}

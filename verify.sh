@@ -25,6 +25,9 @@ cargo run -p bench --release --bin exp_query -- --smoke
 echo "== MVCC smoke (snapshot reads vs one slow open writer; throughput + p95 gates)"
 cargo run -p bench --release --bin exp_mvcc -- --smoke
 
+echo "== replication smoke (read scale-out, read-your-writes, shard routing gates)"
+cargo run -p bench --release --bin exp_repl -- --smoke
+
 echo "== MVCC seeded-schedule stress (snapshot-isolation properties under three seeds)"
 for seed in 1 20030108 "${RELSTORE_STRESS_SEED:-3224275387}"; do
   RELSTORE_STRESS_SEED="$seed" \
