@@ -1,0 +1,421 @@
+//! Passes 5–7 — distribution safety under replicas and shards.
+//!
+//! PR 7's replication/partitioning layer reintroduced failure classes the
+//! model-level analyzer could not see: statements the sharded store
+//! rejects at runtime, post-operation reads served replica-side without a
+//! read-your-writes floor, and write-write contention between operations
+//! of one site view. All three are *derivable from the models plus the
+//! deployment topology*, so they belong in the deploy gate, not in
+//! production logs:
+//!
+//! * **Pass 5 — shard routability** (`AZ401`–`AZ403`, needs `shards ≥ 2`):
+//!   every generated statement is lowered against
+//!   [`codegen::derive_shard_keys`] through the *same* classifier the
+//!   runtime dispatches on ([`crate::routing`]), so an `AZ401` error is a
+//!   proof that the statement would 500. `AZ402` warns when a unit query
+//!   probes a selective column of a table that *has* a shard-key access
+//!   path but doesn't use it (per-request scatter-gather on a hot path);
+//!   `AZ403` warns when an entity's derived shard key matches none of its
+//!   access paths — every access is selector-driven and co-partitioning
+//!   buys nothing.
+//! * **Pass 6 — read-your-writes coverage** (`AZ404`/`AZ405`, needs
+//!   `replicas ≥ 1`): the router's session floor only covers requests that
+//!   carry a session. A page whose descriptor drops its site view's
+//!   protection is served to sessionless clients — if such a page sits on
+//!   an operation's OK/KO chain and reads the operation's write-set, the
+//!   user who just wrote can be routed to a replica that has not applied
+//!   the write (`AZ404` error); pages only transitively reachable from the
+//!   chain get the advisory form (`AZ405`).
+//! * **Pass 7 — conflict hotspots** (`AZ406`, any distribution): two
+//!   non-create operations reachable from the same site view that update
+//!   the same table contend on a non-disjoint key space; under MVCC the
+//!   loser's request dies with `WriteConflict` (first-writer-wins churn).
+
+use crate::diag::{Diagnostic, AZ401, AZ402, AZ403, AZ404, AZ405, AZ406};
+use crate::ir::{EdgeKind, NavIr, NodeKind};
+use crate::routing::{self, SelectRouting, ShardKeyMap};
+use codegen::{operation_id, page_id, QueryGen};
+use descriptors::DescriptorSet;
+use er::{ErModel, RelationalMapping};
+use relstore::sql::ast::Statement;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use webml::{HypertextModel, OperationKind};
+
+/// The deployment shape the passes reason about — the analyzer-visible
+/// slice of `DeployOptions`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Topology {
+    pub replicas: usize,
+    pub shards: usize,
+}
+
+impl Topology {
+    /// Data is partitioned: shard routability matters.
+    pub fn sharded(&self) -> bool {
+        self.shards >= 2
+    }
+
+    /// Reads may be served by a lagging replica: RYW coverage matters.
+    pub fn replicated(&self) -> bool {
+        self.replicas > 0
+    }
+
+    /// Any distribution at all: write-write contention is amplified.
+    pub fn distributed(&self) -> bool {
+        self.sharded() || self.replicated()
+    }
+}
+
+/// Run the distribution passes that `topo` makes relevant.
+pub fn check(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+    ir: &NavIr,
+    topo: &Topology,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if topo.sharded() {
+        out.extend(shard_routability(er, mapping, ht, set));
+    }
+    if topo.replicated() {
+        out.extend(ryw_coverage(er, mapping, ht, set, ir));
+    }
+    if topo.distributed() {
+        out.extend(conflict_hotspots(er, mapping, ht, set, ir));
+    }
+    out
+}
+
+/// Diagnostic location of a unit descriptor.
+fn unit_location(set: &DescriptorSet, unit: &descriptors::UnitDescriptor) -> String {
+    match set.page(&unit.page) {
+        Some(p) => format!("{}/{}/{}", p.site_view, p.name, unit.name),
+        None => unit.name.clone(),
+    }
+}
+
+/// Pass 5: classify every generated statement with the shared classifier.
+fn shard_routability(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+) -> Vec<Diagnostic> {
+    let keys = ShardKeyMap::new(&codegen::derive_shard_keys(er, mapping, ht));
+    let mut out = Vec::new();
+
+    // tables with at least one single-shard unit access path, and the
+    // fan-out unit queries that probe selective columns without the key
+    let mut keyed_tables: BTreeSet<String> = BTreeSet::new();
+    struct ProbedFanout {
+        location: String,
+        table: String,
+        columns: Vec<String>,
+    }
+    let mut probed: Vec<ProbedFanout> = Vec::new();
+
+    for u in &set.units {
+        let location = unit_location(set, u);
+        for q in &u.queries {
+            let Ok(stmt) = relstore::parse_statement(&q.sql) else {
+                continue; // non-SQL (plug-in) queries are not ours to judge
+            };
+            if let Err(unroutable) = routing::classify(&q.sql, &stmt, &keys) {
+                out.push(Diagnostic::error(AZ401, &location, unroutable.explain()));
+                continue;
+            }
+            let Statement::Select(sel) = &stmt else {
+                continue;
+            };
+            let Some(from) = &sel.from else { continue };
+            let table = from.base.table.to_lowercase();
+            match routing::select_routing(sel, &keys) {
+                Ok(SelectRouting::SingleShard(_)) => {
+                    keyed_tables.insert(table);
+                }
+                Ok(SelectRouting::FanoutMerge | SelectRouting::FanoutCount) => {
+                    let columns = sel
+                        .where_clause
+                        .as_ref()
+                        .map(|w| routing::probed_columns(w, from.base.binding()))
+                        .unwrap_or_default();
+                    if !columns.is_empty() {
+                        probed.push(ProbedFanout {
+                            location: location.clone(),
+                            table,
+                            columns,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for o in &set.operations {
+        if let Some(sql) = &o.sql {
+            if let Ok(stmt) = relstore::parse_statement(sql) {
+                if let Err(unroutable) = routing::classify(sql, &stmt, &keys) {
+                    out.push(Diagnostic::error(AZ401, &o.name, unroutable.explain()));
+                }
+            }
+        }
+    }
+
+    // AZ402: the table has a shard-key path, this access just isn't it.
+    // AZ403: the table has *no* shard-key path — one table-level finding
+    // (the per-query AZ402 form would only repeat it per access).
+    let mut keyless: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for p in &probed {
+        if keyed_tables.contains(&p.table) {
+            out.push(Diagnostic::warning(
+                AZ402,
+                &p.location,
+                format!(
+                    "unit query probes column(s) {} of table \"{}\" (sharded by \"{}\") without \
+                     the shard key: every request scatter-gathers across all shards",
+                    p.columns
+                        .iter()
+                        .map(|c| format!("\"{c}\""))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    p.table,
+                    keys.key_of(&p.table),
+                ),
+            ));
+        } else {
+            keyless
+                .entry(p.table.clone())
+                .or_default()
+                .push(p.location.clone());
+        }
+    }
+    for (table, locations) in keyless {
+        out.push(Diagnostic::warning(
+            AZ403,
+            &table,
+            format!(
+                "table \"{}\" is sharded by \"{}\" but no unit access path routes by it — \
+                 selector-only access breaks co-partitioning; scatter-gathering unit(s): {}",
+                table,
+                keys.key_of(&table),
+                locations.join(", "),
+            ),
+        ));
+    }
+    out
+}
+
+/// Pass 6: pages on (or reachable from) an operation's OK/KO chains that
+/// read the operation's write-set must keep the session floor — a page
+/// whose descriptor drops its site view's protection is served to
+/// sessionless clients and can read a replica that lags the write.
+fn ryw_coverage(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+    ir: &NavIr,
+) -> Vec<Diagnostic> {
+    let qg = QueryGen::new(er, mapping);
+    let mut out = Vec::new();
+
+    // per page node: tables its units read (recomputed from the model,
+    // like the invalidation pass — the descriptor's claim is under test)
+    let mut reads: HashMap<usize, BTreeSet<String>> = HashMap::new();
+    for (_uid, unit) in ht.units() {
+        let Some(node) = ir.node_by_id(&page_id(unit.page)) else {
+            continue;
+        };
+        reads.entry(node).or_default().extend(
+            qg.unit_dependencies(unit)
+                .into_iter()
+                .map(|t| t.to_lowercase()),
+        );
+    }
+
+    // per page node: does its descriptor drop the model's protection?
+    let mut unprotected_drift: HashMap<usize, bool> = HashMap::new();
+    for (pid, page) in ht.pages() {
+        let Some(node) = ir.node_by_id(&page_id(pid)) else {
+            continue;
+        };
+        let model_protected = ht.site_view(page.site_view).protected;
+        let desc_protected = set
+            .page(&ir.nodes[node].id)
+            .map(|p| p.protected)
+            .unwrap_or(model_protected);
+        unprotected_drift.insert(node, model_protected && !desc_protected);
+    }
+
+    for (oid, op) in ht.operations() {
+        let Ok((_, _, write_set)) = qg.operation_sql(op) else {
+            continue;
+        };
+        let write_set: BTreeSet<String> = write_set.into_iter().map(|t| t.to_lowercase()).collect();
+        if write_set.is_empty() {
+            continue;
+        }
+        let Some(op_node) = ir.node_by_id(&operation_id(oid)) else {
+            continue;
+        };
+        let chain_targets: BTreeSet<usize> = ir
+            .edges
+            .iter()
+            .filter(|e| {
+                e.from == op_node && matches!(e.kind, EdgeKind::OkChain | EdgeKind::KoChain)
+            })
+            .map(|e| e.to)
+            .filter(|&n| ir.nodes[n].kind == NodeKind::Page)
+            .collect();
+
+        let offends = |node: usize| {
+            unprotected_drift.get(&node).copied().unwrap_or(false)
+                && reads.get(&node).is_some_and(|r| !r.is_disjoint(&write_set))
+        };
+        let hazard = |node: usize| {
+            let touched: Vec<&str> = reads
+                .get(&node)
+                .map(|r| r.intersection(&write_set).map(String::as_str).collect())
+                .unwrap_or_default();
+            format!(
+                "operation \"{}\" writes table(s) {}; this page reads them but its descriptor \
+                 drops the site view's protection, so a sessionless client has no \
+                 read-your-writes floor and may be served a lagging replica",
+                ir.nodes[op_node].name,
+                touched
+                    .iter()
+                    .map(|t| format!("\"{t}\""))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        };
+
+        // direct chain targets are errors; only when the chain itself is
+        // safe do we look further (nearest-hazard rule: no cascades)
+        let direct: Vec<usize> = chain_targets
+            .iter()
+            .copied()
+            .filter(|&n| offends(n))
+            .collect();
+        if !direct.is_empty() {
+            for n in direct {
+                out.push(
+                    Diagnostic::error(AZ404, &ir.nodes[n].location, hazard(n)).with_witness(
+                        format!("OK/KO of {} → {}", ir.nodes[op_node].name, ir.nodes[n].name),
+                    ),
+                );
+            }
+            continue;
+        }
+
+        // BFS over user navigation from the chain targets
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = chain_targets.iter().copied().collect();
+        let mut seen: BTreeSet<usize> = chain_targets.clone();
+        while let Some(n) = queue.pop_front() {
+            for e in ir.edges.iter().filter(|e| {
+                e.from == n
+                    && e.kind == EdgeKind::Navigation
+                    && ir.nodes[e.to].kind == NodeKind::Page
+            }) {
+                if seen.insert(e.to) {
+                    parent.insert(e.to, n);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        for &n in seen.iter().filter(|n| !chain_targets.contains(n)) {
+            if !offends(n) {
+                continue;
+            }
+            let mut path = vec![ir.nodes[n].name.clone()];
+            let mut cur = n;
+            while let Some(&p) = parent.get(&cur) {
+                path.push(ir.nodes[p].name.clone());
+                cur = p;
+            }
+            path.push(format!("OK/KO of {}", ir.nodes[op_node].name));
+            path.reverse();
+            out.push(
+                Diagnostic::warning(AZ405, &ir.nodes[n].location, hazard(n))
+                    .with_witness(path.join(" → ")),
+            );
+        }
+    }
+    out
+}
+
+/// Pass 7: non-create operations of one site view updating the same table
+/// contend on a non-disjoint key space (creates mint fresh surrogates, so
+/// their key spaces are disjoint by construction).
+fn conflict_hotspots(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+    ir: &NavIr,
+) -> Vec<Diagnostic> {
+    let qg = QueryGen::new(er, mapping);
+
+    struct Writer {
+        name: String,
+        table: String,
+        site_views: BTreeSet<String>,
+    }
+    let mut writers: Vec<Writer> = Vec::new();
+    for (oid, op) in ht.operations() {
+        if matches!(op.kind, OperationKind::Create { .. }) {
+            continue;
+        }
+        let Ok((_, Some(table), _)) = qg.operation_sql(op) else {
+            continue;
+        };
+        let Some(op_node) = ir.node_by_id(&operation_id(oid)) else {
+            continue;
+        };
+        // site views the operation is invocable from: source pages of its
+        // incoming navigation edges
+        let site_views: BTreeSet<String> = ir.in_edges[op_node]
+            .iter()
+            .filter(|&&e| ir.edges[e].kind == EdgeKind::Navigation)
+            .map(|&e| ir.edges[e].from)
+            .filter(|&n| ir.nodes[n].kind == NodeKind::Page)
+            .filter_map(|n| set.page(&ir.nodes[n].id).map(|p| p.site_view.clone()))
+            .collect();
+        if site_views.is_empty() {
+            continue;
+        }
+        writers.push(Writer {
+            name: ir.nodes[op_node].name.clone(),
+            table: table.to_lowercase(),
+            site_views,
+        });
+    }
+
+    let mut out = Vec::new();
+    for i in 0..writers.len() {
+        for j in i + 1..writers.len() {
+            let (a, b) = (&writers[i], &writers[j]);
+            if a.table != b.table {
+                continue;
+            }
+            let Some(sv) = a.site_views.intersection(&b.site_views).next() else {
+                continue;
+            };
+            out.push(Diagnostic::warning(
+                AZ406,
+                sv,
+                format!(
+                    "operations \"{}\" and \"{}\" both update table \"{}\" and are reachable \
+                     from site view \"{}\": concurrent submissions contend on the same rows \
+                     (first-writer-wins WriteConflict churn under MVCC)",
+                    a.name, b.name, a.table, sv,
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -23,15 +23,22 @@
 pub mod crosscheck;
 pub mod dataflow;
 pub mod diag;
+pub mod distribution;
 pub mod invalidation;
 pub mod ir;
 pub mod plan;
+pub mod routing;
 
 pub use diag::{
     describe, Diagnostic, IrStats, Report, Severity, AZ001, AZ002, AZ003, AZ004, AZ101, AZ102,
-    AZ103, AZ104, AZ201, AZ202, AZ203, AZ204, AZ301, AZ302,
+    AZ103, AZ104, AZ201, AZ202, AZ203, AZ204, AZ301, AZ302, AZ401, AZ402, AZ403, AZ404, AZ405,
+    AZ406,
 };
+pub use distribution::Topology;
 pub use ir::{lower, NavIr};
+pub use routing::{
+    DmlRouting, InsertRouting, RejectRule, SelectRouting, ShardKeyMap, Unroutable, Verdict,
+};
 
 use descriptors::DescriptorSet;
 use er::{ErModel, RelationalMapping};
@@ -50,12 +57,27 @@ pub enum Gate {
 }
 
 /// Run the whole-application analysis: validator findings (`WVxxx`) plus
-/// the three global passes (`AZxxx`), deduplicated and sorted.
+/// the global passes (`AZ0xx`–`AZ3xx`), deduplicated and sorted. For a
+/// topology-aware run (replicas/shards) use [`analyze_deployment`].
 pub fn analyze(
     er: &ErModel,
     mapping: &RelationalMapping,
     ht: &HypertextModel,
     set: &DescriptorSet,
+) -> Report {
+    analyze_deployment(er, mapping, ht, set, &Topology::default())
+}
+
+/// [`analyze`] plus the distribution-safety passes (`AZ4xx`) that the
+/// deployment topology makes relevant: shard routability when `shards ≥
+/// 2`, read-your-writes coverage when `replicas ≥ 1`, conflict hotspots
+/// under any distribution. A single-node topology reduces to [`analyze`].
+pub fn analyze_deployment(
+    er: &ErModel,
+    mapping: &RelationalMapping,
+    ht: &HypertextModel,
+    set: &DescriptorSet,
+    topo: &Topology,
 ) -> Report {
     let mut report = Report::default();
     for issue in webml::validate(er, ht) {
@@ -69,7 +91,9 @@ pub fn analyze(
         .extend(invalidation::check(er, mapping, ht, set));
     report.diagnostics.extend(crosscheck::check(ht, set));
     report.diagnostics.extend(plan::check(er, mapping, ht));
-    report.dedup();
-    report.sort();
+    report
+        .diagnostics
+        .extend(distribution::check(er, mapping, ht, set, &ir, topo));
+    report.finish();
     report
 }

@@ -1,0 +1,576 @@
+//! The shared statement-routing classifier.
+//!
+//! [`ShardedStore`](../../repl) and the distribution-safety pass
+//! ([`crate::distribution`], `AZ401`) must agree on which statements are
+//! single-shard, which scatter-gather and merge, and which a sharded
+//! deployment cannot execute at all. Keeping two copies of that decision
+//! — one in the runtime dispatcher, one in the analyzer — is exactly the
+//! kind of drift the paper's generative story forbids, so the decision
+//! lives here once, as pure functions over the parsed SQL AST, and both
+//! sides call it: the runtime dispatches on the returned plan, the
+//! analyzer folds the same plan into a deploy-time verdict.
+//!
+//! The classifier is *static*: it looks at statement shape only, never at
+//! bound parameter values. A shape it accepts can still fail at bind time
+//! (a LIMIT parameter bound to `-1`), but a shape it rejects fails on
+//! every execution — which is what makes `AZ401` a deploy-time error.
+
+use codegen::ShardKey;
+use relstore::sql::ast::{BinaryOp, Expr, Insert, Select, SelectItem, Statement};
+use relstore::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lowercased `table → shard-key column` map, `oid` by default — the
+/// routing view of [`codegen::derive_shard_keys`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardKeyMap {
+    map: HashMap<String, String>,
+}
+
+impl ShardKeyMap {
+    pub fn new(keys: &[ShardKey]) -> ShardKeyMap {
+        ShardKeyMap {
+            map: keys
+                .iter()
+                .map(|k| (k.table.to_lowercase(), k.column.to_lowercase()))
+                .collect(),
+        }
+    }
+
+    /// The shard-key column `table` routes by (`oid` when underived).
+    pub fn key_of(&self, table: &str) -> &str {
+        self.map
+            .get(&table.to_lowercase())
+            .map_or("oid", String::as_str)
+    }
+}
+
+/// Why a sharded deployment cannot execute a statement. One vocabulary
+/// for both sides: the runtime renders it into `Error::Unsupported`, the
+/// analyzer into an `AZ401` diagnostic — same words, found earlier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectRule {
+    /// `BEGIN`/`COMMIT`/`ROLLBACK`: transactions do not span shards.
+    MultiStatementTxn,
+    /// Cross-shard `GROUP BY`/`HAVING` cannot be merged.
+    CrossShardGroupBy,
+    /// Cross-shard aggregates beyond `COUNT(*)` cannot be merged.
+    CrossShardAggregate,
+    /// INSERT without a column list: the shard router cannot see which
+    /// value is the key, so the row could land on the wrong shard.
+    InsertWithoutColumnList { table: String },
+    /// INSERT into a table sharded by a non-surrogate key that does not
+    /// list the key column.
+    InsertWithoutShardKey { table: String, key: String },
+    /// The INSERT's shard-key value is not a literal or parameter.
+    NonRoutableInsertKey { table: String, key: String },
+    /// A fan-out LIMIT/OFFSET that is not a literal or parameter cannot
+    /// be pushed down.
+    NonRoutableLimit { clause: &'static str },
+    /// A fan-out ORDER BY key that is not in the projection: the shards'
+    /// partial results cannot be re-ordered during the merge.
+    OrderByNotMergeable { column: String },
+}
+
+impl RejectRule {
+    /// The reason, phrased for both a 500 body and a deploy report.
+    pub fn reason(&self) -> String {
+        match self {
+            RejectRule::MultiStatementTxn => {
+                "multi-statement transactions do not span shards".into()
+            }
+            RejectRule::CrossShardGroupBy => {
+                "cross-shard GROUP BY/HAVING is not supported; route by the shard key".into()
+            }
+            RejectRule::CrossShardAggregate => {
+                "cross-shard aggregates beyond COUNT(*) are not supported".into()
+            }
+            RejectRule::InsertWithoutColumnList { table } => format!(
+                "INSERT into sharded table '{table}' must list its columns so the \
+                 shard key is identifiable"
+            ),
+            RejectRule::InsertWithoutShardKey { table, key } => {
+                format!(
+                    "INSERT into sharded table '{table}' must list its shard key column '{key}'"
+                )
+            }
+            RejectRule::NonRoutableInsertKey { table, key } => format!(
+                "INSERT into sharded table '{table}' needs a literal or parameter \
+                 value for its shard key column '{key}'"
+            ),
+            RejectRule::NonRoutableLimit { clause } => {
+                format!("{clause} must be a literal or parameter to be pushed down to every shard")
+            }
+            RejectRule::OrderByNotMergeable { column } => format!(
+                "ORDER BY {column} cannot be merged across shards: the column is \
+                 not in the projection"
+            ),
+        }
+    }
+}
+
+/// A statement a sharded deployment rejects, with the offending statement
+/// text attached — the *structured* form of the runtime's
+/// `Error::Unsupported`, so diagnostics and 500s explain themselves
+/// identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unroutable {
+    pub rule: RejectRule,
+    /// The offending statement, verbatim.
+    pub statement: String,
+}
+
+impl Unroutable {
+    pub fn new(rule: RejectRule, statement: impl Into<String>) -> Unroutable {
+        Unroutable {
+            rule,
+            statement: statement.into(),
+        }
+    }
+
+    /// The one rendering both sides use. The `sharding:` prefix is the
+    /// stable marker that a failure is a routing rejection, not an
+    /// execution error.
+    pub fn explain(&self) -> String {
+        format!("sharding: {}: `{}`", self.rule.reason(), self.statement)
+    }
+}
+
+impl fmt::Display for Unroutable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+/// How an INSERT picks its shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertRouting {
+    /// Hash the expression at this position of each row's value list.
+    ByKeyColumn(usize),
+    /// Surrogate-keyed table with no explicit key: mint a global oid,
+    /// hash that.
+    ByMintedOid,
+}
+
+/// How a SELECT executes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectRouting {
+    /// No FROM clause: every shard computes the same scalars; any one
+    /// shard answers.
+    AnyShard,
+    /// Shard-key equality on the base table: the expression's value picks
+    /// exactly one shard — the unit-query hot path.
+    SingleShard(Expr),
+    /// `SELECT COUNT(*)`: per-shard counts add.
+    FanoutCount,
+    /// Scatter-gather with per-shard LIMIT pushdown and an ordered merge.
+    FanoutMerge,
+}
+
+/// How an UPDATE/DELETE executes. DML is never unroutable: without a key
+/// equality it runs on every shard and the affected counts add.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmlRouting {
+    /// Shard-key equality in WHERE: one shard.
+    SingleShard(Expr),
+    /// Every shard; affected counts sum.
+    Fanout,
+}
+
+/// The analyzer-facing summary of a routing plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Touches exactly one shard per execution (or per inserted row).
+    SingleShard,
+    /// Broadcast to every shard, results merged.
+    Fanout,
+}
+
+/// Is this expression's value known before execution (and therefore able
+/// to steer routing)? Mirrors the runtime's routing-value evaluator.
+pub fn is_routable_value(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(_) | Expr::Param(_) | Expr::NamedParam(_))
+}
+
+/// Is `e` a reference to `column` of the table bound as `binding`?
+/// Unqualified references count (single-table statements).
+fn is_col(e: &Expr, column: &str, binding: &str) -> bool {
+    matches!(e, Expr::Column { table, name }
+        if name.eq_ignore_ascii_case(column)
+            && table.as_deref().is_none_or(|t| t.eq_ignore_ascii_case(binding)))
+}
+
+/// Find `key = <routable value>` among the AND-conjuncts of a WHERE
+/// clause, returning the value expression. OR branches never guarantee a
+/// single shard, so only AND spines are walked.
+pub fn find_key_eq<'a>(expr: &'a Expr, key: &str, binding: &str) -> Option<&'a Expr> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => find_key_eq(left, key, binding).or_else(|| find_key_eq(right, key, binding)),
+        Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } => {
+            if is_col(left, key, binding) && is_routable_value(right) {
+                Some(right)
+            } else if is_col(right, key, binding) && is_routable_value(left) {
+                Some(left)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Every column of `binding` probed by an `= <routable value>` conjunct —
+/// the selective access paths of a statement, used by the distribution
+/// pass to tell an avoidable scatter (AZ402/AZ403) from an inherently
+/// global scan.
+pub fn probed_columns(expr: &Expr, binding: &str) -> Vec<String> {
+    fn walk(expr: &Expr, binding: &str, out: &mut Vec<String>) {
+        match expr {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                walk(left, binding, out);
+                walk(right, binding, out);
+            }
+            Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } => {
+                for (col, val) in [(left, right), (right, left)] {
+                    if let Expr::Column { table, name } = col.as_ref() {
+                        if table
+                            .as_deref()
+                            .is_none_or(|t| t.eq_ignore_ascii_case(binding))
+                            && is_routable_value(val)
+                        {
+                            out.push(name.to_lowercase());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, binding, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Does this select item contain an aggregate call?
+fn has_aggregate(item: &SelectItem) -> bool {
+    let SelectItem::Expr { expr, .. } = item else {
+        return false;
+    };
+    let mut agg = false;
+    expr.walk(&mut |e| {
+        if let Expr::Function { name, .. } = e {
+            if matches!(
+                name.to_ascii_lowercase().as_str(),
+                "count" | "sum" | "avg" | "min" | "max"
+            ) {
+                agg = true;
+            }
+        }
+    });
+    agg
+}
+
+/// Is the whole select exactly `SELECT COUNT(*) ...`?
+fn is_count_star(select: &Select) -> bool {
+    select.items.len() == 1
+        && matches!(
+            &select.items[0],
+            SelectItem::Expr {
+                expr: Expr::Function { name, star: true, .. },
+                ..
+            } if name.eq_ignore_ascii_case("count")
+        )
+}
+
+/// Is `column` an output column of the select (by projection or alias)?
+/// Wildcards project every column of the source, so they always count.
+fn projects_column(sel: &Select, column: &str) -> bool {
+    sel.items.iter().any(|item| match item {
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => true,
+        SelectItem::Expr { expr, alias } => {
+            if let Some(a) = alias {
+                return a.eq_ignore_ascii_case(column);
+            }
+            matches!(expr, Expr::Column { name, .. } if name.eq_ignore_ascii_case(column))
+        }
+    })
+}
+
+/// A LIMIT/OFFSET expression that can be pushed down to every shard:
+/// non-negative integer literal, or a parameter checked at bind time.
+fn pushable_bound(e: &Expr, clause: &'static str) -> Result<(), RejectRule> {
+    match e {
+        Expr::Literal(Value::Integer(n)) if *n >= 0 => Ok(()),
+        Expr::Param(_) | Expr::NamedParam(_) => Ok(()),
+        _ => Err(RejectRule::NonRoutableLimit { clause }),
+    }
+}
+
+/// Classify an INSERT. Every row of a multi-row insert routes
+/// independently; the plan applies per row.
+pub fn insert_routing(ins: &Insert, keys: &ShardKeyMap) -> Result<InsertRouting, RejectRule> {
+    let key = keys.key_of(&ins.table);
+    if ins.columns.is_empty() {
+        // Without a column list the router cannot see which value is the
+        // key; an oid-keyed row would even mint one id and insert
+        // another. Loud rejection beats a silently mis-placed row.
+        return Err(RejectRule::InsertWithoutColumnList {
+            table: ins.table.clone(),
+        });
+    }
+    match ins.columns.iter().position(|c| c.eq_ignore_ascii_case(key)) {
+        Some(pos) => {
+            if ins
+                .rows
+                .iter()
+                .any(|row| row.get(pos).is_none_or(|e| !is_routable_value(e)))
+            {
+                return Err(RejectRule::NonRoutableInsertKey {
+                    table: ins.table.clone(),
+                    key: key.to_string(),
+                });
+            }
+            Ok(InsertRouting::ByKeyColumn(pos))
+        }
+        None if key == "oid" => Ok(InsertRouting::ByMintedOid),
+        None => Err(RejectRule::InsertWithoutShardKey {
+            table: ins.table.clone(),
+            key: key.to_string(),
+        }),
+    }
+}
+
+/// Classify a SELECT. The single-shard fast path is checked first, like
+/// the runtime dispatches: a key-routed statement may GROUP BY locally.
+pub fn select_routing(sel: &Select, keys: &ShardKeyMap) -> Result<SelectRouting, RejectRule> {
+    let Some(from) = sel.from.as_ref() else {
+        return Ok(SelectRouting::AnyShard);
+    };
+    let key = keys.key_of(&from.base.table);
+    let binding = from.base.binding();
+    if let Some(v) = sel
+        .where_clause
+        .as_ref()
+        .and_then(|w| find_key_eq(w, key, binding))
+    {
+        return Ok(SelectRouting::SingleShard(v.clone()));
+    }
+    if !sel.group_by.is_empty() || sel.having.is_some() {
+        return Err(RejectRule::CrossShardGroupBy);
+    }
+    if is_count_star(sel) {
+        return Ok(SelectRouting::FanoutCount);
+    }
+    if sel.items.iter().any(has_aggregate) {
+        return Err(RejectRule::CrossShardAggregate);
+    }
+    if let Some(e) = sel.limit.as_ref() {
+        pushable_bound(e, "LIMIT")?;
+    }
+    if let Some(e) = sel.offset.as_ref() {
+        pushable_bound(e, "OFFSET")?;
+    }
+    for o in &sel.order_by {
+        let Expr::Column { name, .. } = &o.expr else {
+            return Err(RejectRule::OrderByNotMergeable {
+                column: "<expression>".into(),
+            });
+        };
+        if !projects_column(sel, name) {
+            return Err(RejectRule::OrderByNotMergeable {
+                column: name.clone(),
+            });
+        }
+    }
+    Ok(SelectRouting::FanoutMerge)
+}
+
+/// Classify an UPDATE/DELETE by its target table and WHERE clause.
+pub fn dml_routing(table: &str, where_clause: Option<&Expr>, keys: &ShardKeyMap) -> DmlRouting {
+    let key = keys.key_of(table);
+    match where_clause.and_then(|w| find_key_eq(w, key, table)) {
+        Some(v) => DmlRouting::SingleShard(v.clone()),
+        None => DmlRouting::Fanout,
+    }
+}
+
+/// The one classification both the runtime and the analyzer consume:
+/// single-shard, fan-out-and-merge, or statically unroutable. `sql` is
+/// the statement text carried into [`Unroutable`] for rendering.
+pub fn classify(sql: &str, stmt: &Statement, keys: &ShardKeyMap) -> Result<Verdict, Unroutable> {
+    let rule = |r: RejectRule| Unroutable::new(r, sql.trim());
+    match stmt {
+        Statement::CreateTable(_) | Statement::CreateIndex(_) | Statement::DropTable { .. } => {
+            Ok(Verdict::Fanout)
+        }
+        Statement::Insert(ins) => match insert_routing(ins, keys) {
+            Ok(_) => Ok(Verdict::SingleShard),
+            Err(r) => Err(rule(r)),
+        },
+        Statement::Update(u) => match dml_routing(&u.table, u.where_clause.as_ref(), keys) {
+            DmlRouting::SingleShard(_) => Ok(Verdict::SingleShard),
+            DmlRouting::Fanout => Ok(Verdict::Fanout),
+        },
+        Statement::Delete(d) => match dml_routing(&d.table, d.where_clause.as_ref(), keys) {
+            DmlRouting::SingleShard(_) => Ok(Verdict::SingleShard),
+            DmlRouting::Fanout => Ok(Verdict::Fanout),
+        },
+        Statement::Select(sel) => match select_routing(sel, keys) {
+            Ok(SelectRouting::AnyShard | SelectRouting::SingleShard(_)) => Ok(Verdict::SingleShard),
+            Ok(SelectRouting::FanoutCount | SelectRouting::FanoutMerge) => Ok(Verdict::Fanout),
+            Err(r) => Err(rule(r)),
+        },
+        Statement::Begin | Statement::Commit | Statement::Rollback => {
+            Err(rule(RejectRule::MultiStatementTxn))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> ShardKeyMap {
+        ShardKeyMap::new(&[ShardKey {
+            table: "issue".into(),
+            column: "volume_oid".into(),
+            reasons: vec!["test".into()],
+        }])
+    }
+
+    fn verdict(sql: &str) -> Result<Verdict, Unroutable> {
+        let stmt = relstore::parse_statement(sql).expect("parse");
+        classify(sql, &stmt, &keys())
+    }
+
+    #[test]
+    fn key_equality_is_single_shard() {
+        assert_eq!(
+            verdict("SELECT oid, title FROM volume WHERE oid = ?"),
+            Ok(Verdict::SingleShard)
+        );
+        assert_eq!(
+            verdict("SELECT t.oid FROM issue t WHERE t.volume_oid = :v AND t.number = 1"),
+            Ok(Verdict::SingleShard)
+        );
+        assert_eq!(
+            verdict("UPDATE issue SET number = 2 WHERE volume_oid = :v"),
+            Ok(Verdict::SingleShard)
+        );
+    }
+
+    #[test]
+    fn scans_and_counts_fan_out() {
+        assert_eq!(
+            verdict("SELECT oid, title FROM volume ORDER BY title LIMIT 3 OFFSET :o"),
+            Ok(Verdict::Fanout)
+        );
+        assert_eq!(verdict("SELECT COUNT(*) FROM issue"), Ok(Verdict::Fanout));
+        assert_eq!(
+            verdict("DELETE FROM issue WHERE number = 2"),
+            Ok(Verdict::Fanout)
+        );
+    }
+
+    #[test]
+    fn unroutable_shapes_carry_rule_and_statement() {
+        let err = verdict("SELECT volume_oid, COUNT(*) FROM issue GROUP BY volume_oid")
+            .expect_err("group by");
+        assert_eq!(err.rule, RejectRule::CrossShardGroupBy);
+        assert!(err.explain().starts_with("sharding: "), "{}", err.explain());
+        assert!(err.explain().contains("GROUP BY volume_oid"));
+
+        let err = verdict("SELECT MAX(number) FROM issue").expect_err("aggregate");
+        assert_eq!(err.rule, RejectRule::CrossShardAggregate);
+
+        let err = verdict("BEGIN").expect_err("txn");
+        assert_eq!(err.rule, RejectRule::MultiStatementTxn);
+
+        let err = verdict("INSERT INTO issue VALUES (1, 2, 3)").expect_err("no columns");
+        assert_eq!(
+            err.rule,
+            RejectRule::InsertWithoutColumnList {
+                table: "issue".into()
+            }
+        );
+
+        let err = verdict("INSERT INTO issue (number) VALUES (1)").expect_err("no key");
+        assert_eq!(
+            err.rule,
+            RejectRule::InsertWithoutShardKey {
+                table: "issue".into(),
+                key: "volume_oid".into()
+            }
+        );
+    }
+
+    #[test]
+    fn key_routed_group_by_stays_local_and_legal() {
+        assert_eq!(
+            verdict("SELECT number, COUNT(*) FROM issue WHERE volume_oid = :v GROUP BY number"),
+            Ok(Verdict::SingleShard)
+        );
+    }
+
+    #[test]
+    fn unprojected_order_by_cannot_merge() {
+        let err = verdict("SELECT title FROM volume ORDER BY year").expect_err("unmergeable");
+        assert_eq!(
+            err.rule,
+            RejectRule::OrderByNotMergeable {
+                column: "year".into()
+            }
+        );
+        // projected (directly or via alias or wildcard): mergeable
+        assert_eq!(
+            verdict("SELECT title, year FROM volume ORDER BY year"),
+            Ok(Verdict::Fanout)
+        );
+        assert_eq!(
+            verdict("SELECT t.year AS y FROM volume t ORDER BY y"),
+            Ok(Verdict::Fanout)
+        );
+        assert_eq!(
+            verdict("SELECT * FROM volume ORDER BY year"),
+            Ok(Verdict::Fanout)
+        );
+    }
+
+    #[test]
+    fn probed_columns_sees_and_conjuncts_only() {
+        let stmt =
+            relstore::parse_statement("SELECT oid FROM issue t WHERE t.number = :n AND oid = 4")
+                .unwrap();
+        let Statement::Select(sel) = stmt else {
+            unreachable!()
+        };
+        let w = sel.where_clause.as_ref().unwrap();
+        assert_eq!(probed_columns(w, "t"), vec!["number", "oid"]);
+        let stmt =
+            relstore::parse_statement("SELECT oid FROM issue t WHERE t.number = :n OR oid = 4")
+                .unwrap();
+        let Statement::Select(sel) = stmt else {
+            unreachable!()
+        };
+        assert!(probed_columns(sel.where_clause.as_ref().unwrap(), "t").is_empty());
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use analyze::{analyze, Report, Severity};
+use analyze::{analyze, analyze_deployment, Report, Severity, Topology};
 use descriptors::{CacheDescriptor, DescriptorSet, UnitLinkSpec};
 use er::{AttrType, Attribute, ErModel, RelationalMapping};
 use webml::{
@@ -26,7 +26,20 @@ struct Fixture {
     set: DescriptorSet,
 }
 
+/// Variant knobs for the distribution-pass mutators: a protected site
+/// view (the RYW passes only reason about pages that *should* demand a
+/// session) and a pair of delete operations (write-write contention bait).
+#[derive(Default, Clone, Copy)]
+struct Variant {
+    protected: bool,
+    deletes: bool,
+}
+
 fn library() -> Fixture {
+    library_variant(Variant::default())
+}
+
+fn library_variant(v: Variant) -> Fixture {
     let mut er = ErModel::new();
     let book = er
         .add_entity(
@@ -99,6 +112,40 @@ fn library() -> Fixture {
     );
     ht.link_ok(create, LinkEnd::Page(home));
     ht.link_ko(create, LinkEnd::Page(home));
+
+    if v.deletes {
+        // two non-create writers of the book table, invocable from two
+        // different pages of the same site view
+        let delete = ht.add_operation(
+            "DeleteBook",
+            OperationKind::Delete { entity: book },
+            vec!["oid".into()],
+        );
+        ht.link_contextual(
+            LinkEnd::Unit(index),
+            LinkEnd::Operation(delete),
+            "delete",
+            vec![LinkParam::oid("oid")],
+        );
+        ht.link_ok(delete, LinkEnd::Page(home));
+        ht.link_ko(delete, LinkEnd::Page(home));
+        let purge = ht.add_operation(
+            "PurgeBook",
+            OperationKind::Delete { entity: book },
+            vec!["oid".into()],
+        );
+        ht.link_contextual(
+            LinkEnd::Unit(data),
+            LinkEnd::Operation(purge),
+            "purge",
+            vec![LinkParam::oid("oid")],
+        );
+        ht.link_ok(purge, LinkEnd::Page(home));
+        ht.link_ko(purge, LinkEnd::Page(home));
+    }
+    if v.protected {
+        ht.protect_site_view(sv);
+    }
 
     let mapping = RelationalMapping::derive(&er);
     let generated = codegen::generate(&er, &mapping, &ht).expect("library fixture generates");
@@ -308,6 +355,204 @@ fn az204_controller_mapping_missing() {
     let about_url = page_url_by_name(&f.set, "About");
     f.set.controller.mappings.retain(|m| m.path != about_url);
     assert_exactly(&f, analyze::AZ204, Severity::Error);
+}
+
+// ---- AZ4xx: distribution safety --------------------------------------------
+
+fn run_dist(f: &Fixture, topo: Topology) -> Report {
+    analyze_deployment(&f.er, &f.mapping, &f.ht, &f.set, &topo)
+}
+
+/// Like [`assert_exactly`], against the topology-aware entry point.
+fn assert_exactly_dist(f: &Fixture, topo: Topology, code: &str, severity: Severity) {
+    let report = run_dist(f, topo);
+    let codes: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes,
+        BTreeSet::from([code]),
+        "expected exactly {code}, got:\n{}",
+        report.render_text("mutation")
+    );
+    assert!(
+        report.diagnostics.iter().all(|d| d.severity == severity),
+        "severity mismatch for {code}:\n{}",
+        report.render_text("mutation")
+    );
+}
+
+const REPLICATED_SHARDED: Topology = Topology {
+    replicas: 1,
+    shards: 3,
+};
+
+#[test]
+fn distribution_baselines_are_clean() {
+    // (the `deletes` variant is deliberately absent: its second writer IS
+    // the AZ406 defect under test)
+    for v in [
+        Variant::default(),
+        Variant {
+            protected: true,
+            ..Variant::default()
+        },
+    ] {
+        let f = library_variant(v);
+        let report = run_dist(&f, REPLICATED_SHARDED);
+        assert!(
+            report.diagnostics.is_empty(),
+            "variant baseline must be silent under replicas+shards:\n{}",
+            report.render_text("baseline")
+        );
+    }
+}
+
+#[test]
+fn az401_statement_unroutable_under_sharding() {
+    // a hand-"optimized" unit query with a cross-shard GROUP BY: fine on
+    // one store, a guaranteed 500 on a sharded deploy
+    let mut f = library();
+    let data = unit_id_by_name(&f.set, "BookData");
+    f.set.unit_mut(&data).unwrap().queries[0].sql =
+        "SELECT t.title, COUNT(*) FROM book t GROUP BY t.title".into();
+    assert_exactly_dist(
+        &f,
+        Topology {
+            replicas: 0,
+            shards: 3,
+        },
+        analyze::AZ401,
+        Severity::Error,
+    );
+}
+
+#[test]
+fn az402_scatter_gather_beside_a_keyed_path() {
+    // the index probes a selective non-key column while BookData still
+    // routes by the shard key: the probe fans out on every request
+    let mut f = library();
+    let books = unit_id_by_name(&f.set, "Books");
+    f.set.unit_mut(&books).unwrap().queries[0].sql =
+        "SELECT t.oid, t.title FROM book t WHERE t.title = :q ORDER BY t.title".into();
+    assert_exactly_dist(
+        &f,
+        Topology {
+            replicas: 0,
+            shards: 3,
+        },
+        analyze::AZ402,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn az403_no_access_path_uses_the_shard_key() {
+    // the only selective access to book probes title, not the key: the
+    // derived partitioning helps no query at all
+    let mut f = library();
+    let data = unit_id_by_name(&f.set, "BookData");
+    f.set.unit_mut(&data).unwrap().queries[0].sql =
+        "SELECT t.oid, t.title, t.price FROM book t WHERE t.title = :book".into();
+    assert_exactly_dist(
+        &f,
+        Topology {
+            replicas: 0,
+            shards: 3,
+        },
+        analyze::AZ403,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn az404_chain_target_loses_its_session_floor() {
+    // the model says "main" needs auth; the Home descriptor drops the
+    // flag — the page right after CreateBook reads book with no session,
+    // so the router may serve it from a lagging replica
+    let mut f = library_variant(Variant {
+        protected: true,
+        ..Variant::default()
+    });
+    f.set
+        .pages
+        .iter_mut()
+        .find(|p| p.name == "Home")
+        .unwrap()
+        .protected = false;
+    assert_exactly_dist(
+        &f,
+        Topology {
+            replicas: 1,
+            shards: 0,
+        },
+        analyze::AZ404,
+        Severity::Error,
+    );
+}
+
+#[test]
+fn az405_transitive_read_loses_its_session_floor() {
+    // the chain target itself stays protected; Detail — one navigation
+    // hop away — does not, and it reads the written table
+    let mut f = library_variant(Variant {
+        protected: true,
+        ..Variant::default()
+    });
+    f.set
+        .pages
+        .iter_mut()
+        .find(|p| p.name == "Detail")
+        .unwrap()
+        .protected = false;
+    assert_exactly_dist(
+        &f,
+        Topology {
+            replicas: 1,
+            shards: 0,
+        },
+        analyze::AZ405,
+        Severity::Warning,
+    );
+}
+
+#[test]
+fn az406_two_writers_contend_on_one_table() {
+    // DeleteBook (from Home) and PurgeBook (from Detail) both update the
+    // book table from site view "main" — first-writer-wins churn
+    let f = library_variant(Variant {
+        deletes: true,
+        ..Variant::default()
+    });
+    assert_exactly_dist(&f, REPLICATED_SHARDED, analyze::AZ406, Severity::Warning);
+}
+
+#[test]
+fn interleaved_pass_families_stay_sorted_and_deduped() {
+    // one deploy, defects in two pass families: AZ102 (invalidation) and
+    // AZ401 (distribution) must land in one stable, errors-first report
+    let mut f = library();
+    f.set.operations[0].invalidates.clear();
+    let data = unit_id_by_name(&f.set, "BookData");
+    f.set.unit_mut(&data).unwrap().queries[0].sql =
+        "SELECT t.title, COUNT(*) FROM book t GROUP BY t.title".into();
+
+    let a = run_dist(&f, REPLICATED_SHARDED);
+    let b = run_dist(&f, REPLICATED_SHARDED);
+    assert_eq!(
+        a.diagnostics, b.diagnostics,
+        "repeated runs must render identically"
+    );
+    assert_eq!(a.codes(), vec![analyze::AZ102, analyze::AZ401]);
+    // errors first, then code order — AZ1xx sorts ahead of AZ4xx
+    assert_eq!(a.diagnostics[0].code, analyze::AZ102);
+    assert_eq!(a.diagnostics.last().unwrap().code, analyze::AZ401);
+    // dedup across families: no (code, location, message) repeats
+    let mut seen = BTreeSet::new();
+    for d in &a.diagnostics {
+        assert!(
+            seen.insert((d.code, d.location.clone(), d.message.clone())),
+            "duplicate finding survived dedup: {d}"
+        );
+    }
 }
 
 // ---- report formats --------------------------------------------------------

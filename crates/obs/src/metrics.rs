@@ -270,6 +270,11 @@ pub struct AnalyzeCounters {
     /// Findings keyed by `(code, severity)` — rendered as the labelled
     /// `analyze_diagnostics_total{code,severity}` family.
     diagnostics: Mutex<BTreeMap<(String, String), u64>>,
+    /// Distribution-safety findings (`AZ4xx`) keyed by code — rendered as
+    /// the labelled `analyze_distribution_total{code}` family, split out
+    /// from `diagnostics` so replicated/sharded deploys are monitorable
+    /// on their own.
+    distribution: Mutex<BTreeMap<String, u64>>,
     /// Wall time of one whole-model analysis, in µs.
     pub analysis_micros: Histogram,
 }
@@ -289,6 +294,21 @@ impl AnalyzeCounters {
     /// Snapshot of per-(code, severity) finding counts.
     pub fn diagnostic_counts(&self) -> Vec<((String, String), u64)> {
         self.diagnostics
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Count `n` distribution-safety findings (`AZ4xx`) with `code`.
+    pub fn record_distribution(&self, code: &str, n: u64) {
+        let mut map = self.distribution.lock();
+        *map.entry(code.to_string()).or_insert(0) += n;
+    }
+
+    /// Snapshot of per-code distribution finding counts.
+    pub fn distribution_counts(&self) -> Vec<(String, u64)> {
+        self.distribution
             .lock()
             .iter()
             .map(|(k, v)| (k.clone(), *v))
@@ -723,6 +743,14 @@ impl MetricsRegistry {
                 "analyze_diagnostics_total{{code=\"{code}\",severity=\"{severity}\"}} {v}"
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP analyze_distribution_total Distribution-safety findings (AZ4xx) by stable code"
+        );
+        let _ = writeln!(out, "# TYPE analyze_distribution_total counter");
+        for (code, v) in self.analyze.distribution_counts() {
+            let _ = writeln!(out, "analyze_distribution_total{{code=\"{code}\"}} {v}");
+        }
         Self::render_histogram(
             &mut out,
             "analyze_run_micros",
@@ -883,6 +911,20 @@ mod tests {
         assert!(text.contains("analyze_diagnostics_total{code=\"AZ103\",severity=\"warning\"} 1"));
         assert!(text.contains("# TYPE analyze_run_micros histogram"));
         assert!(text.contains("analyze_runs_total 1"));
+    }
+
+    #[test]
+    fn distribution_counters_render_labelled_family() {
+        let reg = MetricsRegistry::new();
+        let empty = reg.render_prometheus();
+        assert!(empty.contains("# TYPE analyze_distribution_total counter"));
+        reg.analyze.record_distribution("AZ401", 1);
+        reg.analyze.record_distribution("AZ402", 2);
+        reg.analyze.record_distribution("AZ401", 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("analyze_distribution_total{code=\"AZ401\"} 2"));
+        assert!(text.contains("analyze_distribution_total{code=\"AZ402\"} 2"));
+        assert_eq!(reg.analyze.distribution_counts().len(), 2);
     }
 
     #[test]

@@ -45,12 +45,57 @@ impl ReplicatedDeployment {
 /// Deploy `app` with `options.replicas` log-shipping read replicas behind
 /// a [`Router`], and — when `options.shards >= 2` — a model-partitioned
 /// [`ShardedStore`] bootstrapped from the same generated DDL.
+///
+/// `options.analysis` gates the deploy exactly like
+/// `Application::deploy_checked`, but through
+/// [`analyze::analyze_deployment`] with the requested topology — so the
+/// distribution-safety passes (`AZ4xx`) run here and an `AZ401` (or any
+/// other Error-severity finding) refuses the deploy at `Gate::Deny`
+/// *before* any durable side effect. The report lands on
+/// `leader.analysis`, and `AZ4xx` counts are exported as
+/// `analyze_distribution_total{code}`.
 pub fn deploy_replicated(
     app: &Application,
     options: DeployOptions,
     durability: &DurabilityConfig,
 ) -> Result<ReplicatedDeployment, DeployError> {
-    let leader = app.deploy_durable(options.runtime.clone(), durability)?;
+    let report = match options.analysis {
+        analyze::Gate::Off => None,
+        gate => {
+            let t0 = std::time::Instant::now();
+            let generated = app.generate().map_err(DeployError::Generation)?;
+            let topo = analyze::Topology {
+                replicas: options.replicas,
+                shards: options.shards,
+            };
+            let report = analyze::analyze_deployment(
+                &app.er,
+                &app.mapping,
+                &app.hypertext,
+                &generated.descriptors,
+                &topo,
+            );
+            let micros = t0.elapsed().as_micros() as u64;
+            if gate == analyze::Gate::Deny && report.has_errors() {
+                return Err(DeployError::Analysis(Box::new(report)));
+            }
+            Some((report, micros))
+        }
+    };
+
+    let mut leader = app.deploy_durable(options.runtime.clone(), durability)?;
+    if let Some((report, micros)) = report {
+        leader.obs.analyze.runs.inc();
+        leader.obs.analyze.analysis_micros.observe_us(micros);
+        for ((code, severity), n) in report.code_counts() {
+            leader.obs.analyze.record_diagnostics(code, severity, n);
+            if code.starts_with("AZ4") {
+                leader.obs.analyze.record_distribution(code, n);
+            }
+        }
+        leader.analysis = Some(report);
+    }
+    let leader = leader;
     let wal = Arc::clone(
         leader
             .wal

@@ -14,14 +14,22 @@
 //!   `Value::total_cmp`, per-shard `LIMIT limit+offset` pushdown, then
 //!   global DISTINCT/OFFSET/LIMIT. `COUNT(*)` sums per-shard counts.
 //!
-//! Deliberate restrictions (surfaced as `Error::Unsupported`, never wrong
-//! answers): cross-shard GROUP BY/aggregates beyond `COUNT(*)`,
-//! multi-statement transactions, and inserts that omit both the column
-//! list and a routable shard-key value.
+//! Which statements are routable is NOT decided here: the store dispatches
+//! on [`analyze::routing`], the same pure classifier the deploy-time
+//! distribution pass lowers generated statements through — a statement the
+//! analyzer calls `AZ401` is exactly a statement this store rejects, with
+//! the same explanation ([`Unroutable::explain`]). Deliberate restrictions
+//! (surfaced as `Error::Unsupported`, never wrong answers): cross-shard
+//! GROUP BY/aggregates beyond `COUNT(*)`, multi-statement transactions,
+//! inserts without a column list or a routable shard-key value, and
+//! fan-out ORDER BY keys missing from the projection.
 
+use analyze::routing::{
+    self, DmlRouting, InsertRouting, RejectRule, SelectRouting, ShardKeyMap, Unroutable,
+};
 use codegen::ShardKey;
 use parking_lot::Mutex;
-use relstore::sql::ast::{BinaryOp, Expr, Insert, Select, SelectItem, Statement};
+use relstore::sql::ast::{Expr, Insert, Select, Statement};
 use relstore::{Database, Error, ExecResult, Params, ResultSet, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,8 +37,8 @@ use std::sync::Arc;
 /// N databases behind one SQL front door.
 pub struct ShardedStore {
     shards: Vec<Arc<Database>>,
-    /// lowercase table name → shard-key column (lowercase).
-    keys: HashMap<String, String>,
+    /// table → shard-key column, from the model derivation.
+    keys: ShardKeyMap,
     /// Global surrogate-key mint: next OID per table, so auto-assigned
     /// ids never collide across shards.
     oid_next: Mutex<HashMap<String, i64>>,
@@ -54,8 +62,8 @@ fn hash_value(v: &Value) -> u64 {
     h
 }
 
-/// Evaluate a routing expression — only shapes that are known before
-/// execution (literals and bound parameters) can steer a statement.
+/// Evaluate a routing expression the classifier has already vetted as
+/// [`routing::is_routable_value`] — literals and bound parameters.
 fn eval_route(e: &Expr, params: &Params) -> relstore::Result<Value> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
@@ -67,69 +75,10 @@ fn eval_route(e: &Expr, params: &Params) -> relstore::Result<Value> {
     }
 }
 
-/// Is `e` a reference to the shard-key column of the table bound as
-/// `binding`? Unqualified references count (single-table statements).
-fn is_key_col(e: &Expr, key: &str, binding: &str) -> bool {
-    matches!(e, Expr::Column { table, name }
-        if name.eq_ignore_ascii_case(key)
-            && table.as_deref().is_none_or(|t| t.eq_ignore_ascii_case(binding)))
-}
-
-/// Find `key = <value>` among the AND-conjuncts of a WHERE clause.
-fn find_key_eq(expr: &Expr, key: &str, binding: &str, params: &Params) -> Option<Value> {
-    match expr {
-        Expr::Binary {
-            left,
-            op: BinaryOp::And,
-            right,
-        } => find_key_eq(left, key, binding, params)
-            .or_else(|| find_key_eq(right, key, binding, params)),
-        Expr::Binary {
-            left,
-            op: BinaryOp::Eq,
-            right,
-        } => {
-            if is_key_col(left, key, binding) {
-                eval_route(right, params).ok()
-            } else if is_key_col(right, key, binding) {
-                eval_route(left, params).ok()
-            } else {
-                None
-            }
-        }
-        _ => None,
-    }
-}
-
-/// Does this select item contain an aggregate call?
-fn has_aggregate(item: &SelectItem) -> bool {
-    let SelectItem::Expr { expr, .. } = item else {
-        return false;
-    };
-    let mut agg = false;
-    expr.walk(&mut |e| {
-        if let Expr::Function { name, .. } = e {
-            if matches!(
-                name.to_ascii_lowercase().as_str(),
-                "count" | "sum" | "avg" | "min" | "max"
-            ) {
-                agg = true;
-            }
-        }
-    });
-    agg
-}
-
-/// Is the whole select exactly `SELECT COUNT(*) ...`?
-fn is_count_star(select: &Select) -> bool {
-    select.items.len() == 1
-        && matches!(
-            &select.items[0],
-            SelectItem::Expr {
-                expr: Expr::Function { name, star: true, .. },
-                ..
-            } if name.eq_ignore_ascii_case("count")
-        )
+/// Render a classifier rejection as the store's runtime error — one
+/// explanation shared with the deploy-time `AZ401` diagnostic.
+fn unsupported(rule: RejectRule, sql: &str) -> Error {
+    Error::Unsupported(Unroutable::new(rule, sql.trim()).explain())
 }
 
 impl ShardedStore {
@@ -142,13 +91,9 @@ impl ShardedStore {
         counters: Arc<obs::ReplCounters>,
     ) -> ShardedStore {
         assert!(shards.len() >= 2, "a sharded store needs at least 2 shards");
-        let keys = keys
-            .iter()
-            .map(|k| (k.table.to_lowercase(), k.column.to_lowercase()))
-            .collect();
         ShardedStore {
             shards,
-            keys,
+            keys: ShardKeyMap::new(keys),
             oid_next: Mutex::new(HashMap::new()),
             counters,
         }
@@ -178,9 +123,7 @@ impl ShardedStore {
 
     /// The shard-key column a table routes by (`oid` by default).
     pub fn shard_key(&self, table: &str) -> &str {
-        self.keys
-            .get(&table.to_lowercase())
-            .map_or("oid", String::as_str)
+        self.keys.key_of(table)
     }
 
     /// Which shard holds rows of `table` whose shard key equals `value`.
@@ -203,17 +146,21 @@ impl ShardedStore {
                 }
                 Ok(ExecResult::Affected(0))
             }
-            Statement::Insert(ins) => self.execute_insert(ins, params),
-            Statement::Update(ref upd) => {
-                self.execute_dml(&stmt, &upd.table, upd.where_clause.as_ref(), params)
+            Statement::Insert(ins) => self.execute_insert(sql, ins, params),
+            Statement::Update(ref upd) => self.execute_dml(
+                &stmt,
+                routing::dml_routing(&upd.table, upd.where_clause.as_ref(), &self.keys),
+                params,
+            ),
+            Statement::Delete(ref del) => self.execute_dml(
+                &stmt,
+                routing::dml_routing(&del.table, del.where_clause.as_ref(), &self.keys),
+                params,
+            ),
+            Statement::Select(sel) => self.execute_select(sql, sel, params).map(ExecResult::Rows),
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                Err(unsupported(RejectRule::MultiStatementTxn, sql))
             }
-            Statement::Delete(ref del) => {
-                self.execute_dml(&stmt, &del.table, del.where_clause.as_ref(), params)
-            }
-            Statement::Select(sel) => self.execute_select(sel, params).map(ExecResult::Rows),
-            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Unsupported(
-                "multi-statement transactions do not span shards".into(),
-            )),
         }
     }
 
@@ -225,12 +172,14 @@ impl ShardedStore {
         }
     }
 
-    fn execute_insert(&self, ins: Insert, params: &Params) -> relstore::Result<ExecResult> {
+    fn execute_insert(
+        &self,
+        sql: &str,
+        ins: Insert,
+        params: &Params,
+    ) -> relstore::Result<ExecResult> {
+        let plan = routing::insert_routing(&ins, &self.keys).map_err(|r| unsupported(r, sql))?;
         let key = self.shard_key(&ins.table).to_string();
-        let key_pos = ins
-            .columns
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(&key));
         let mut affected = 0usize;
         for row in &ins.rows {
             let one = Insert {
@@ -238,8 +187,8 @@ impl ShardedStore {
                 columns: ins.columns.clone(),
                 rows: vec![row.clone()],
             };
-            affected += match key_pos {
-                Some(pos) => {
+            affected += match plan {
+                InsertRouting::ByKeyColumn(pos) => {
                     let v = eval_route(&row[pos], params)?;
                     // explicit surrogate keys must advance the global
                     // mint, or a later auto-insert would collide
@@ -256,7 +205,7 @@ impl ShardedStore {
                         .execute_prepared(&stmt, params)?
                         .affected()
                 }
-                None if key == "oid" => {
+                InsertRouting::ByMintedOid => {
                     // auto-assigned surrogate: mint a global id, force the
                     // target shard's counter to it, insert — the shard
                     // assigns exactly the minted id because every insert
@@ -275,12 +224,6 @@ impl ShardedStore {
                         .execute_prepared(&stmt, params)?
                         .affected()
                 }
-                None => {
-                    return Err(Error::Unsupported(format!(
-                        "INSERT into sharded table '{}' must list its shard key column '{key}'",
-                        ins.table
-                    )))
-                }
             };
         }
         Ok(ExecResult::Affected(affected))
@@ -289,16 +232,16 @@ impl ShardedStore {
     fn execute_dml(
         &self,
         stmt: &Statement,
-        table: &str,
-        where_clause: Option<&Expr>,
+        plan: DmlRouting,
         params: &Params,
     ) -> relstore::Result<ExecResult> {
-        let key = self.shard_key(table);
-        let routed = where_clause.and_then(|w| find_key_eq(w, key, table, params));
         let stmt = Arc::new(stmt.clone());
-        match routed {
-            Some(v) => self.shards[self.shard_for(&v)].execute_prepared(&stmt, params),
-            None => {
+        match plan {
+            DmlRouting::SingleShard(v) => {
+                let v = eval_route(&v, params)?;
+                self.shards[self.shard_for(&v)].execute_prepared(&stmt, params)
+            }
+            DmlRouting::Fanout => {
                 let mut affected = 0usize;
                 for db in &self.shards {
                     affected += db.execute_prepared(&stmt, params)?.affected();
@@ -308,44 +251,31 @@ impl ShardedStore {
         }
     }
 
-    fn execute_select(&self, sel: Select, params: &Params) -> relstore::Result<ResultSet> {
-        let Some(from) = sel.from.as_ref() else {
-            // no FROM: any shard computes the same scalars
-            self.record_read(0);
-            let stmt = Arc::new(Statement::Select(sel));
-            return self.shards[0].query_prepared(&stmt, params);
-        };
-
-        // single-shard fast path: shard-key equality on the base table —
-        // this is what keeps model unit queries on exactly one store
-        let key = self.shard_key(&from.base.table);
-        let binding = from.base.binding().to_string();
-        if let Some(v) = sel
-            .where_clause
-            .as_ref()
-            .and_then(|w| find_key_eq(w, key, &binding, params))
-        {
-            let target = self.shard_for(&v);
-            self.record_read(target);
-            let stmt = Arc::new(Statement::Select(sel));
-            return self.shards[target].query_prepared(&stmt, params);
+    fn execute_select(
+        &self,
+        sql: &str,
+        sel: Select,
+        params: &Params,
+    ) -> relstore::Result<ResultSet> {
+        match routing::select_routing(&sel, &self.keys).map_err(|r| unsupported(r, sql))? {
+            SelectRouting::AnyShard => {
+                // no FROM: any shard computes the same scalars
+                self.record_read(0);
+                let stmt = Arc::new(Statement::Select(sel));
+                self.shards[0].query_prepared(&stmt, params)
+            }
+            SelectRouting::SingleShard(v) => {
+                // shard-key equality on the base table — this is what
+                // keeps model unit queries on exactly one store
+                let v = eval_route(&v, params)?;
+                let target = self.shard_for(&v);
+                self.record_read(target);
+                let stmt = Arc::new(Statement::Select(sel));
+                self.shards[target].query_prepared(&stmt, params)
+            }
+            SelectRouting::FanoutCount => self.fanout_count(&sel, params),
+            SelectRouting::FanoutMerge => self.fanout_merge(sql, sel, params),
         }
-
-        // fan-out path
-        if !sel.group_by.is_empty() || sel.having.is_some() {
-            return Err(Error::Unsupported(
-                "cross-shard GROUP BY/HAVING is not supported; route by the shard key".into(),
-            ));
-        }
-        if is_count_star(&sel) {
-            return self.fanout_count(&sel, params);
-        }
-        if sel.items.iter().any(has_aggregate) {
-            return Err(Error::Unsupported(
-                "cross-shard aggregates beyond COUNT(*) are not supported".into(),
-            ));
-        }
-        self.fanout_merge(sel, params)
     }
 
     /// `SELECT COUNT(*)` over all shards: counts add.
@@ -368,7 +298,7 @@ impl ShardedStore {
 
     /// Scatter, gather, merge: per-shard `LIMIT limit+offset` pushdown,
     /// global ORDER BY via `total_cmp`, then DISTINCT/OFFSET/LIMIT.
-    fn fanout_merge(&self, sel: Select, params: &Params) -> relstore::Result<ResultSet> {
+    fn fanout_merge(&self, sql: &str, sel: Select, params: &Params) -> relstore::Result<ResultSet> {
         let limit = match sel.limit.as_ref() {
             Some(e) => match eval_route(e, params)? {
                 Value::Integer(n) if n >= 0 => Some(n as usize),
@@ -414,17 +344,35 @@ impl ShardedStore {
             rows.extend(rs.into_rows());
         }
 
-        // global ORDER BY: resolve each key to an output column; keys that
-        // are not projected cannot be merged here, keep concat order
+        // global ORDER BY: the classifier proved every key is projected,
+        // so failing to resolve one here would be a drift bug — reject
+        // loudly rather than silently keeping concat order
         let probe = ResultSet::new(columns.clone(), Vec::new());
-        let sort_keys: Vec<(usize, bool)> = sel
-            .order_by
-            .iter()
-            .filter_map(|o| match &o.expr {
-                Expr::Column { name, .. } => probe.column_index(name).map(|idx| (idx, o.ascending)),
-                _ => None,
-            })
-            .collect();
+        let mut sort_keys: Vec<(usize, bool)> = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            let Expr::Column { name, .. } = &o.expr else {
+                return Err(unsupported(
+                    RejectRule::OrderByNotMergeable {
+                        column: "<expression>".into(),
+                    },
+                    sql,
+                ));
+            };
+            let idx = probe
+                .column_index(name)
+                .or_else(|| columns.iter().position(|c| c.eq_ignore_ascii_case(name)));
+            match idx {
+                Some(idx) => sort_keys.push((idx, o.ascending)),
+                None => {
+                    return Err(unsupported(
+                        RejectRule::OrderByNotMergeable {
+                            column: name.clone(),
+                        },
+                        sql,
+                    ))
+                }
+            }
+        }
         if !sort_keys.is_empty() {
             rows.sort_by(|a, b| {
                 for (idx, asc) in &sort_keys {
@@ -638,6 +586,30 @@ mod tests {
             s.execute("INSERT INTO issue VALUES (99, 1, 1)", &Params::new()),
             Err(Error::Unsupported(_))
         ));
+        // a fan-out whose ORDER BY key is not projected cannot be merged:
+        // reject, never return a wrongly-ordered concatenation
+        assert!(matches!(
+            s.query("SELECT title FROM volume ORDER BY oid", &Params::new()),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejections_render_the_shared_explanation() {
+        let s = store();
+        let Err(Error::Unsupported(msg)) = s.execute("BEGIN", &Params::new()) else {
+            panic!("BEGIN must be rejected");
+        };
+        assert!(msg.starts_with("sharding: "), "{msg}");
+        assert!(msg.contains("BEGIN"), "carries the statement: {msg}");
+
+        let Err(Error::Unsupported(msg)) =
+            s.execute("INSERT INTO issue VALUES (99, 1, 1)", &Params::new())
+        else {
+            panic!("column-less INSERT must be rejected");
+        };
+        assert!(msg.contains("must list its columns"), "{msg}");
+        assert!(msg.contains("INSERT INTO issue VALUES (99, 1, 1)"), "{msg}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! a paramless link into a keyed detail page, the paper's canonical
 //! modelling slip, reported with its witness path.
 
+use webml_ratio::analyze::{analyze_deployment, Topology};
 use webml_ratio::webml::LinkEnd;
 use webml_ratio::webratio::{fixtures, synthesize, Application, SynthSpec};
 
@@ -40,7 +41,52 @@ fn main() {
         }
     }
 
+    // distribution-safety smoke: the paper fixtures must be deployable —
+    // zero errors — on a replicated, sharded topology. (The synthetic
+    // apps stay out: their operations are deliberately unlinked, which
+    // the per-app analysis above already reports as AZ004.)
+    let topo = Topology {
+        replicas: 1,
+        shards: 3,
+    };
+    for (name, app) in apps.iter().take(2) {
+        let generated = app.generate().expect("generate");
+        let report = analyze_deployment(
+            &app.er,
+            &app.mapping,
+            &app.hypertext,
+            &generated.descriptors,
+            &topo,
+        );
+        if !json {
+            println!(
+                "{}",
+                report.render_text(&format!("{name} @ replicas=1 shards=3"))
+            );
+        }
+        if report.has_errors() {
+            failed = true;
+        }
+    }
+
     if !json {
+        // what a distribution defect looks like: a cross-shard GROUP BY
+        // smuggled into a generated unit query fires AZ401 and would deny
+        // the deploy at Gate::Deny before any durable side effect
+        let app = fixtures::bookstore();
+        let mut generated = app.generate().expect("generate");
+        let victim = &mut generated.descriptors.units[0].queries[0];
+        victim.sql = "SELECT t.title, COUNT(*) FROM book t GROUP BY t.title".into();
+        let report = analyze_deployment(
+            &app.er,
+            &app.mapping,
+            &app.hypertext,
+            &generated.descriptors,
+            &topo,
+        );
+        println!("--- for comparison: a seeded distribution defect ---");
+        println!("{}", report.render_text("bookstore+group_by @ shards=3"));
+
         // what a defect looks like: break the bookstore on purpose
         let mut broken = fixtures::bookstore();
         let (sv, _) = broken.hypertext.site_view_by_name("Store").unwrap();

@@ -1,0 +1,100 @@
+//! Scatter-gather merge vs. a single-store oracle.
+//!
+//! A 3-shard [`ShardedStore`] and one plain [`Database`] get the same DDL
+//! and the same rows; every fan-out query must come back identical to the
+//! unsharded answer. The generator deliberately aims at the merge path's
+//! edge cases: NULLs inside ORDER BY keys (ordered by `total_cmp`, NULLs
+//! first), OFFSET at and beyond the total row count, DISTINCT under
+//! LIMIT pushdown, and COUNT(*) when some shards hold zero rows.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use webml_ratio::codegen::ShardKey;
+use webml_ratio::obs::ReplCounters;
+use webml_ratio::relstore::{Database, Params, Value};
+use webml_ratio::repl::ShardedStore;
+
+const DDL: &str = "CREATE TABLE item (\
+     oid INTEGER NOT NULL PRIMARY KEY,\
+     score FLOAT NULL,\
+     grp INTEGER NULL\
+     );";
+
+fn stores() -> (ShardedStore, Database) {
+    let keys = vec![ShardKey {
+        table: "item".into(),
+        column: "oid".into(),
+        reasons: vec!["merge oracle".into()],
+    }];
+    let sharded = ShardedStore::bootstrap(3, DDL, &keys, Arc::new(ReplCounters::new())).unwrap();
+    let oracle = Database::new();
+    oracle.execute_script(DDL).unwrap();
+    (sharded, oracle)
+}
+
+/// (score, grp) per row; oid is the row index. Small domains force ties,
+/// duplicates for DISTINCT, and plenty of NULLs.
+fn rows() -> impl Strategy<Value = Vec<(Option<i32>, i32)>> {
+    proptest::collection::vec((proptest::option::of(0..4i32), 0..3i32), 0..12)
+}
+
+fn load(sharded: &ShardedStore, oracle: &Database, rows: &[(Option<i32>, i32)]) {
+    for (oid, (score, grp)) in rows.iter().enumerate() {
+        let sql = format!("INSERT INTO item (oid, score, grp) VALUES ({oid}, ?, ?)");
+        let params = Params::positional([
+            score
+                .map(|s| Value::Real(s as f64 * 0.5))
+                .unwrap_or(Value::Null),
+            Value::Integer(*grp as i64),
+        ]);
+        sharded.execute(&sql, &params).unwrap();
+        oracle.execute(&sql, &params).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fanout_merge_agrees_with_single_store_oracle(
+        rows in rows(),
+        limit in 0usize..16,
+        offset in 0usize..16,
+        desc in any::<bool>(),
+    ) {
+        let (sharded, oracle) = stores();
+        load(&sharded, &oracle, &rows);
+        let dir = if desc { "DESC" } else { "ASC" };
+
+        // total order (score with NULLs, oid tiebreak) + Top-K pushdown
+        let q = format!(
+            "SELECT score, oid FROM item ORDER BY score {dir}, oid {dir} \
+             LIMIT {limit} OFFSET {offset}"
+        );
+        let merged = sharded.query(&q, &Params::new()).unwrap();
+        let expect = oracle.query(&q, &Params::new()).unwrap();
+        prop_assert_eq!(merged.rows(), expect.rows(), "{}", q);
+
+        // DISTINCT under LIMIT: per-shard dedupe + global dedupe must not
+        // drop or double-count values that straddle shards
+        let q = format!(
+            "SELECT DISTINCT score FROM item ORDER BY score {dir} LIMIT {limit} OFFSET {offset}"
+        );
+        let merged = sharded.query(&q, &Params::new()).unwrap();
+        let expect = oracle.query(&q, &Params::new()).unwrap();
+        prop_assert_eq!(merged.rows(), expect.rows(), "{}", q);
+
+        // COUNT(*) sums shard-local counts — empty shards contribute zero
+        let q = "SELECT COUNT(*) FROM item";
+        let merged = sharded.query(q, &Params::new()).unwrap();
+        let expect = oracle.query(q, &Params::new()).unwrap();
+        prop_assert_eq!(merged.rows(), expect.rows(), "{}", q);
+
+        // predicate fan-out without LIMIT, still merged in global order
+        let q = format!("SELECT oid, grp FROM item WHERE grp = 1 ORDER BY oid {dir}");
+        let merged = sharded.query(&q, &Params::new()).unwrap();
+        let expect = oracle.query(&q, &Params::new()).unwrap();
+        prop_assert_eq!(merged.rows(), expect.rows(), "{}", q);
+    }
+}

@@ -16,6 +16,9 @@ echo "== analyze smoke (mutation matrix + analyzer over every shipped app)"
 cargo test -p analyze --release -q
 cargo run --release --example analyze > /dev/null
 
+echo "== distribution-analysis smoke (AZ4xx at Deny over shipped apps, replicated + sharded)"
+cargo test --release -q --test distribution
+
 echo "== serving-path smoke (keep-alive grid + cache microbench, reduced load)"
 cargo run -p bench --release --bin exp_serving -- --smoke
 
