@@ -18,7 +18,19 @@
 //! cache striping on/off, reporting throughput and client-side
 //! p50/p95/p99 latency from [`obs::Histogram`]s plus server-side
 //! connection-lifecycle counters. A direct 16-thread cache microbench
-//! isolates the striping effect. Results land in `BENCH_serving.json`.
+//! isolates the striping effect.
+//!
+//! Two further phases exercise the epoll readiness reactor:
+//!
+//! * **C10K fan-in** — 64 and 256 keep-alive clients against the same
+//!   small worker pool; idle connections park in the reactor (no thread,
+//!   no wakeups), so goodput must not collapse as fan-in grows. The
+//!   open-fd gauge is sampled mid-cell and must drain to zero after.
+//! * **admission control** — a deliberately tiny in-flight budget under
+//!   16 clients: overload is shed with `503 Retry-After: 1` (counted,
+//!   never an error) instead of queueing without bound.
+//!
+//! Results land in `BENCH_serving.json`.
 //!
 //! ```sh
 //! cargo run -p bench --release --bin exp_serving            # full grid
@@ -69,6 +81,9 @@ fn session_of(resp: &httpd::HttpResponse) -> Option<String> {
 
 /// One closed-loop client: warm up (mint a session, touch every page),
 /// sync on the barrier, then hammer `requests` GETs measuring each.
+///
+/// Shed-aware: a `503` carrying `Retry-After` is counted in `shed`, not
+/// `errors` — under admission control that is the server doing its job.
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: SocketAddr,
@@ -79,6 +94,7 @@ fn client_loop(
     barrier: Arc<Barrier>,
     hist: Arc<obs::Histogram>,
     errors: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
 ) {
     // Warmup: mint this client's session so the measured loop exercises
     // the cookie → session-lookup path, not session creation.
@@ -103,6 +119,9 @@ fn client_loop(
         hist.observe_us(t0.elapsed().as_micros() as u64);
         match resp {
             Ok(r) if r.status == 200 => {}
+            Ok(r) if r.status == 503 && r.find_header("retry-after").is_some() => {
+                shed.fetch_add(1, Ordering::Relaxed);
+            }
             Ok(r) => {
                 errors.fetch_add(1, Ordering::Relaxed);
                 eprintln!("  ! {} -> {}", url, r.status);
@@ -129,6 +148,7 @@ fn run_cell(
 ) -> Cell {
     let hist = Arc::new(obs::Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
     let barrier = Arc::new(Barrier::new(clients + 1));
     let conns_before = counters.connections.get();
     let reqs_before = counters.requests.get();
@@ -139,6 +159,7 @@ fn run_cell(
         let barrier = Arc::clone(&barrier);
         let hist = Arc::clone(&hist);
         let errors = Arc::clone(&errors);
+        let shed = Arc::clone(&shed);
         handles.push(std::thread::spawn(move || {
             client_loop(
                 addr,
@@ -149,6 +170,7 @@ fn run_cell(
                 barrier,
                 hist,
                 errors,
+                shed,
             )
         }));
     }
@@ -159,6 +181,7 @@ fn run_cell(
     }
     let elapsed = t0.elapsed().as_secs_f64();
     assert_eq!(errors.load(Ordering::Relaxed), 0, "non-200s under load");
+    assert_eq!(shed.load(Ordering::Relaxed), 0, "shed without a budget set");
 
     Cell {
         stripes_label,
@@ -171,6 +194,108 @@ fn run_cell(
         p99_us: hist.quantile(0.99),
         connections: counters.connections.get() - conns_before,
         requests: counters.requests.get() - reqs_before,
+    }
+}
+
+/// One cell of the C10K fan-in phase.
+struct C10kCell {
+    clients: usize,
+    throughput_rps: f64,
+    goodput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    connections: u64,
+    shed: u64,
+    /// Highest value of the server's open-fd gauge sampled mid-cell.
+    open_fds_peak: i64,
+}
+
+/// Block until the server has closed every accepted socket (the open-fd
+/// gauge drains to zero) — leaked fds fail the bench, not just a test.
+fn await_fd_drain(counters: &obs::HttpCounters, phase: &str) {
+    let t0 = Instant::now();
+    while counters.open_fds.get() != 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "{phase}: open-fd gauge stuck at {}",
+            counters.open_fds.get()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One C10K cell: `clients` closed-loop keep-alive clients, with a
+/// sampler thread watching the open-fd gauge while the fan-in is live.
+fn c10k_cell(
+    addr: SocketAddr,
+    urls: &Arc<Vec<String>>,
+    counters: &Arc<obs::HttpCounters>,
+    clients: usize,
+    requests_per_client: usize,
+) -> C10kCell {
+    let hist = Arc::new(obs::Histogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let conns_before = counters.connections.get();
+
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let urls = Arc::clone(urls);
+        let barrier = Arc::clone(&barrier);
+        let hist = Arc::clone(&hist);
+        let errors = Arc::clone(&errors);
+        let shed = Arc::clone(&shed);
+        handles.push(std::thread::spawn(move || {
+            client_loop(
+                addr,
+                urls,
+                true,
+                requests_per_client,
+                c * 7,
+                barrier,
+                hist,
+                errors,
+                shed,
+            )
+        }));
+    }
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let counters = Arc::clone(counters);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut peak = 0i64;
+            while !done.load(Ordering::Relaxed) {
+                peak = peak.max(counters.open_fds.get());
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            peak
+        })
+    };
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::Relaxed);
+    let open_fds_peak = sampler.join().expect("fd sampler");
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "non-200s under fan-in");
+    let shed = shed.load(Ordering::Relaxed);
+    let total = (clients * requests_per_client) as f64;
+    C10kCell {
+        clients,
+        throughput_rps: total / elapsed,
+        goodput_rps: (total - shed as f64) / elapsed,
+        p50_us: hist.quantile(0.50),
+        p95_us: hist.quantile(0.95),
+        p99_us: hist.quantile(0.99),
+        connections: counters.connections.get() - conns_before,
+        shed,
+        open_fds_peak,
     }
 }
 
@@ -329,6 +454,9 @@ fn main() {
     // page computation — E1/E8 already scale page work.
     let spec = SynthSpec::scaled(2, 1);
     let mut cells: Vec<Cell> = Vec::new();
+    let mut c10k_cells: Vec<C10kCell> = Vec::new();
+    // (ok, shed, budget, clients) of the admission phase
+    let mut admission: Option<(u64, u64, usize, usize)> = None;
 
     if !micro_only {
         let widths = [13usize, 10, 7, 12, 8, 8, 8, 6, 6];
@@ -436,6 +564,167 @@ fn main() {
                 c.requests
             );
         }
+
+        // -- C10K fan-in: the readiness reactor under 64/256 clients ------
+        let (c10k_client_counts, c10k_requests): (&[usize], usize) = if smoke {
+            (&[64], 10)
+        } else {
+            (&[64, 256], 100)
+        };
+        let options = RuntimeOptions {
+            fragment_cache: true,
+            fragment_ttl: Duration::from_secs(600),
+            ..RuntimeOptions::default()
+        };
+        let (_, d) = deployed(&spec, options, 4);
+        let urls = Arc::new(page_urls(&d));
+        // Traced serving so /metrics is live: the zero-copy proof below
+        // reads the vectored-write counter off the wire format.
+        let server = d
+            .serve_traced_with(0, workers, ServerConfig::default())
+            .expect("serve c10k");
+        let counters = Arc::clone(server.http_counters());
+        println!("\n-- C10K fan-in ({workers} workers, keep-alive, reactor-parked idles) --");
+        let widths = [8usize, 12, 8, 8, 8, 7, 9];
+        println!(
+            "{}",
+            row(
+                &[
+                    "clients".into(),
+                    "req/s".into(),
+                    "p50 µs".into(),
+                    "p95 µs".into(),
+                    "p99 µs".into(),
+                    "conns".into(),
+                    "fds peak".into(),
+                ],
+                &widths
+            )
+        );
+        for &clients in c10k_client_counts {
+            let cell = c10k_cell(server.addr(), &urls, &counters, clients, c10k_requests);
+            println!(
+                "{}",
+                row(
+                    &[
+                        cell.clients.to_string(),
+                        format!("{:.0}", cell.throughput_rps),
+                        cell.p50_us.to_string(),
+                        cell.p95_us.to_string(),
+                        cell.p99_us.to_string(),
+                        cell.connections.to_string(),
+                        cell.open_fds_peak.to_string(),
+                    ],
+                    &widths
+                )
+            );
+            // every cell's fan-in must actually have been concurrent …
+            assert!(
+                cell.open_fds_peak >= clients as i64,
+                "sampled fd peak {} below client count {clients}",
+                cell.open_fds_peak
+            );
+            c10k_cells.push(cell);
+            // … and fully returned afterwards (clients dropped their conns)
+            await_fd_drain(&counters, "c10k");
+        }
+        // No latency/goodput collapse as fan-in quadruples: the reactor
+        // parks 255 idle conns for free; only dispatched work costs.
+        if c10k_cells.len() >= 2 {
+            let g64 = c10k_cells[0].goodput_rps;
+            let g256 = c10k_cells[1].goodput_rps;
+            assert!(
+                g256 >= 0.5 * g64,
+                "goodput collapsed under fan-in: {g256:.0} req/s at 256 clients \
+                 vs {g64:.0} at 64"
+            );
+        }
+        // Zero-copy proof at the metrics endpoint: cached fragments travel
+        // as shared chunks through writev, so the counter must have moved.
+        let metrics = httpd::client::get(server.addr(), "/metrics").expect("/metrics");
+        let text = String::from_utf8_lossy(&metrics.body).into_owned();
+        let vectored: u64 = text
+            .lines()
+            .find(|l| l.starts_with("http_vectored_writes_total "))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .expect("http_vectored_writes_total exported");
+        assert!(vectored > 0, "no vectored writes recorded:\n{text}");
+        server.stop();
+
+        // -- admission control: tiny budget, 16 clients ------------------
+        let budget = 2usize;
+        let adm_clients = 16usize;
+        let adm_requests = if smoke { 25 } else { 200 };
+        let server = d
+            .serve_with(
+                0,
+                workers,
+                ServerConfig {
+                    max_in_flight: budget,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("serve admission");
+        let counters = Arc::clone(server.http_counters());
+        let hist = Arc::new(obs::Histogram::new());
+        let errors = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(adm_clients + 1));
+        let urls2 = Arc::clone(&urls);
+        let mut handles = Vec::new();
+        for c in 0..adm_clients {
+            let urls = Arc::clone(&urls2);
+            let barrier = Arc::clone(&barrier);
+            let hist = Arc::clone(&hist);
+            let errors = Arc::clone(&errors);
+            let shed = Arc::clone(&shed);
+            let addr = server.addr();
+            handles.push(std::thread::spawn(move || {
+                client_loop(
+                    addr,
+                    urls,
+                    true,
+                    adm_requests,
+                    c * 7,
+                    barrier,
+                    hist,
+                    errors,
+                    shed,
+                )
+            }));
+        }
+        barrier.wait();
+        for h in handles {
+            h.join().expect("admission client");
+        }
+        assert_eq!(
+            errors.load(Ordering::Relaxed),
+            0,
+            "admission must be clean 200/503"
+        );
+        let shed = shed.load(Ordering::Relaxed);
+        let total = (adm_clients * adm_requests) as u64;
+        assert!(
+            shed > 0,
+            "{adm_clients} clients against budget {budget} must shed some load"
+        );
+        assert!(shed < total, "everything shed — nothing served");
+        // the server-side counter also sees warmup requests (one per
+        // client, not measured by the loop), so it may run slightly ahead
+        let rejects = counters.admission_rejects.get();
+        assert!(
+            rejects >= shed && rejects <= shed + adm_clients as u64,
+            "admission counter {rejects} does not reconcile with client-observed {shed}"
+        );
+        await_fd_drain(&counters, "admission");
+        println!(
+            "\n-- admission control (budget {budget}, {adm_clients} clients) --\n\
+             served {} / shed {shed} of {total} requests (503 + Retry-After, zero errors)",
+            total - shed
+        );
+        admission = Some((total - shed, shed, budget, adm_clients));
+        server.stop();
     }
 
     let micro_threads = std::env::var("EXP_SERVING_MICRO_THREADS")
@@ -527,6 +816,43 @@ fn main() {
             "  \"keep_alive_speedup_at_{max_clients}_clients\": {:.2},\n",
             ka / close
         ));
+        json.push_str("  \"c10k\": [\n");
+        json.push_str(
+            &c10k_cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "    {{\"clients\": {}, \"throughput_rps\": {:.0}, \
+                         \"goodput_rps\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \
+                         \"p99_us\": {}, \"connections\": {}, \"shed\": {}, \
+                         \"open_fds_peak\": {}}}",
+                        c.clients,
+                        c.throughput_rps,
+                        c.goodput_rps,
+                        c.p50_us,
+                        c.p95_us,
+                        c.p99_us,
+                        c.connections,
+                        c.shed,
+                        c.open_fds_peak
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n"),
+        );
+        json.push_str("\n  ],\n");
+        if c10k_cells.len() >= 2 {
+            json.push_str(&format!(
+                "  \"c10k_goodput_ratio_256_vs_64\": {:.2},\n",
+                c10k_cells[1].goodput_rps / c10k_cells[0].goodput_rps
+            ));
+        }
+        if let Some((ok, shed, budget, clients)) = admission {
+            json.push_str(&format!(
+                "  \"admission\": {{\"budget\": {budget}, \"clients\": {clients}, \
+                 \"served\": {ok}, \"shed_503\": {shed}}},\n"
+            ));
+        }
         json.push_str(&format!(
             "  \"cache_microbench\": {{\"threads\": {micro_threads}, \"ops_per_thread\": {micro_ops}, \
              \"stripes\": {striped_n}, \

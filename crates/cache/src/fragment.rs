@@ -76,7 +76,10 @@ impl Hash for FragmentKey {
 }
 
 struct Entry {
-    markup: Arc<String>,
+    /// Rendered fragment bytes, shared by refcount: `get` hands this
+    /// `Arc<[u8]>` out and the serving tier writes it to the socket with
+    /// a vectored write — the markup is never copied after rendering.
+    markup: Arc<[u8]>,
     expires: Instant,
     stamp: u64,
 }
@@ -164,11 +167,11 @@ impl FragmentCache {
         }
     }
 
-    pub fn get(&self, key: &FragmentKey) -> Option<Arc<String>> {
+    pub fn get(&self, key: &FragmentKey) -> Option<Arc<[u8]>> {
         self.get_at(key, Instant::now())
     }
 
-    pub fn get_at(&self, key: &FragmentKey, now: Instant) -> Option<Arc<String>> {
+    pub fn get_at(&self, key: &FragmentKey, now: Instant) -> Option<Arc<[u8]>> {
         let mut inner = self.lock_probed(self.stripe(key));
         match inner.entries.get(key) {
             None => {
@@ -190,12 +193,12 @@ impl FragmentCache {
         }
     }
 
-    pub fn put(&self, key: FragmentKey, markup: String) -> Arc<String> {
+    pub fn put(&self, key: FragmentKey, markup: String) -> Arc<[u8]> {
         self.put_at(key, markup, Instant::now())
     }
 
-    pub fn put_at(&self, key: FragmentKey, markup: String, now: Instant) -> Arc<String> {
-        let markup = Arc::new(markup);
+    pub fn put_at(&self, key: FragmentKey, markup: String, now: Instant) -> Arc<[u8]> {
+        let markup: Arc<[u8]> = markup.into_bytes().into();
         let mut inner = self.lock_probed(self.stripe(&key));
         if let Some(old) = inner.entries.remove(&key) {
             inner.order.remove(&old.stamp);
@@ -268,10 +271,7 @@ mod tests {
         let k = FragmentKey::new("home.jsp", "unit3", "p=1");
         assert!(c.get(&k).is_none());
         c.put(k.clone(), "<ul>...</ul>".into());
-        assert_eq!(
-            c.get(&k).as_deref().map(|s| s.as_str()),
-            Some("<ul>...</ul>")
-        );
+        assert_eq!(c.get(&k).as_deref(), Some(&b"<ul>...</ul>"[..]));
     }
 
     #[test]
@@ -355,10 +355,7 @@ mod tests {
 
         // The slot freed by invalidation is reusable without eviction.
         c.put_at(kc.clone(), "C2".into(), t0 + ms(12));
-        assert_eq!(
-            c.get_at(&kc, t0 + ms(13)).as_deref().map(|s| s.as_str()),
-            Some("C2")
-        );
+        assert_eq!(c.get_at(&kc, t0 + ms(13)).as_deref(), Some(&b"C2"[..]));
         let s = c.stats();
         assert_eq!((s.insertions, s.evictions, s.hits), (5, 1, 3));
     }
@@ -376,10 +373,8 @@ mod tests {
         assert_eq!(c.len(), 48);
         for i in 0..48 {
             let k = FragmentKey::new(format!("t{}", i % 3), format!("u{i}"), "");
-            assert_eq!(
-                c.get(&k).as_deref().map(|s| s.as_str()),
-                Some(&*format!("m{i}"))
-            );
+            let want = format!("m{i}");
+            assert_eq!(c.get(&k).as_deref(), Some(want.as_bytes()));
         }
         // template invalidation sweeps all stripes
         assert_eq!(c.invalidate_template("t0"), 16);
@@ -432,10 +427,8 @@ mod tests {
         c.put(FragmentKey::new("t", "u", "volume=1"), "v1".into());
         c.put(FragmentKey::new("t", "u", "volume=2"), "v2".into());
         assert_eq!(
-            c.get(&FragmentKey::new("t", "u", "volume=2"))
-                .as_deref()
-                .map(|s| s.as_str()),
-            Some("v2")
+            c.get(&FragmentKey::new("t", "u", "volume=2")).as_deref(),
+            Some(&b"v2"[..])
         );
         assert_eq!(c.len(), 2);
     }

@@ -3,8 +3,8 @@
 use codegen::{DerivedIndex, GenError, Generated};
 use descriptors::DescriptorSet;
 use er::{ErModel, RelationalMapping};
-use httpd::{Handler, HttpRequest, HttpResponse, HttpServer, TracedHandler};
-use mvc::{Controller, RuntimeOptions, ServiceRegistry, WebRequest, WebResponse};
+use httpd::{BodyChunk, Handler, HttpRequest, HttpResponse, HttpServer, TracedHandler};
+use mvc::{Controller, RuntimeOptions, ServiceRegistry, WebRequest, WebResponse, WebResponseParts};
 use presentation::DeviceRegistry;
 use relstore::{CommitSink, Database};
 use std::io;
@@ -452,19 +452,22 @@ impl Deployment {
             .map(|p| p.url.clone())
     }
 
-    /// Expose the app over HTTP (port 0 = ephemeral).
+    /// Expose the app over HTTP (port 0 = ephemeral). Bodies travel as
+    /// chunk sequences: cache-resident fragments stay refcounted all the
+    /// way to the vectored write.
     pub fn serve(&self, port: u16, workers: usize) -> io::Result<HttpServer> {
         let controller = Arc::clone(&self.controller);
         let handler: Handler = Arc::new(move |http_req: HttpRequest| {
             let web_req = adapt_request(&http_req);
-            let resp = controller.handle(&web_req);
-            adapt_response(resp)
+            let resp = controller.handle_parts(&web_req);
+            adapt_response_parts(resp)
         });
         HttpServer::start(port, workers, handler)
     }
 
     /// [`Deployment::serve`] with explicit serving-path configuration
-    /// (keep-alive, per-connection request cap, idle timeout, header cap).
+    /// (keep-alive, per-connection request cap, idle timeout, header cap,
+    /// admission budget).
     pub fn serve_with(
         &self,
         port: u16,
@@ -474,8 +477,8 @@ impl Deployment {
         let controller = Arc::clone(&self.controller);
         let handler: Handler = Arc::new(move |http_req: HttpRequest| {
             let web_req = adapt_request(&http_req);
-            let resp = controller.handle(&web_req);
-            adapt_response(resp)
+            let resp = controller.handle_parts(&web_req);
+            adapt_response_parts(resp)
         });
         HttpServer::start_with(port, workers, handler, config)
     }
@@ -490,8 +493,8 @@ impl Deployment {
         let handler: TracedHandler = Arc::new(
             move |http_req: HttpRequest, ctx: &mut obs::RequestContext| {
                 let web_req = adapt_request(&http_req);
-                let resp = controller.handle_traced(&web_req, ctx);
-                adapt_response(resp)
+                let resp = controller.handle_parts_traced(&web_req, ctx);
+                adapt_response_parts(resp)
             },
         );
         HttpServer::start_traced(port, workers, handler, Arc::clone(&self.obs))
@@ -510,8 +513,8 @@ impl Deployment {
         let handler: TracedHandler = Arc::new(
             move |http_req: HttpRequest, ctx: &mut obs::RequestContext| {
                 let web_req = adapt_request(&http_req);
-                let resp = controller.handle_traced(&web_req, ctx);
-                adapt_response(resp)
+                let resp = controller.handle_parts_traced(&web_req, ctx);
+                adapt_response_parts(resp)
             },
         );
         HttpServer::start_traced_with(port, workers, handler, Arc::clone(&self.obs), config)
@@ -532,6 +535,26 @@ pub fn adapt_request(req: &HttpRequest) -> WebRequest {
 /// mvc → httpd adaptation.
 pub fn adapt_response(resp: WebResponse) -> HttpResponse {
     let mut http = HttpResponse::html(resp.status, resp.body);
+    http.headers[0].1 = resp.content_type;
+    if let Some(sid) = resp.set_session {
+        http = http.header("Set-Cookie", format!("{SESSION_COOKIE}={sid}; Path=/"));
+    }
+    http
+}
+
+/// mvc → httpd adaptation, chunk-preserving: `Shared` fragments map onto
+/// [`BodyChunk::Shared`] so the serving tier writes the cache's own bytes
+/// with `writev`, never a flattened copy.
+pub fn adapt_response_parts(resp: WebResponseParts) -> HttpResponse {
+    let chunks: Vec<BodyChunk> = resp
+        .body
+        .into_iter()
+        .map(|ch| match ch {
+            presentation::HtmlChunk::Owned(s) => BodyChunk::Owned(s.into_bytes()),
+            presentation::HtmlChunk::Shared(a) => BodyChunk::Shared(a),
+        })
+        .collect();
+    let mut http = HttpResponse::html_chunks(resp.status, chunks);
     http.headers[0].1 = resp.content_type;
     if let Some(sid) = resp.set_session {
         http = http.header("Set-Cookie", format!("{SESSION_COOKIE}={sid}; Path=/"));

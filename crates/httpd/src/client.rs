@@ -232,6 +232,7 @@ fn read_response_from(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
         status,
         headers,
         body,
+        chunks: Vec::new(),
     })
 }
 

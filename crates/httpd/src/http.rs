@@ -1,6 +1,7 @@
 //! HTTP/1.1 message types and wire parsing.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::sync::Arc;
 
 /// Default cap on the request line + header block of one request. A
 /// client streaming endless headers is answered with `431 Request Header
@@ -74,12 +75,42 @@ impl HttpRequest {
     }
 }
 
+/// One segment of a response body. `Owned` bytes were built for this
+/// response; `Shared` bytes are a refcounted view into a cache entry —
+/// they travel to the socket by pointer (vectored write), never by copy.
+#[derive(Debug, Clone)]
+pub enum BodyChunk {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl BodyChunk {
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            BodyChunk::Owned(v) => v,
+            BodyChunk::Shared(a) => a,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
 /// An HTTP response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
     pub status: u16,
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Zero-copy body continuation: the wire body is `body` followed by
+    /// `chunks` in order. Shared chunks keep cached fragment bytes
+    /// refcounted all the way to the vectored write.
+    pub chunks: Vec<BodyChunk>,
 }
 
 impl HttpResponse {
@@ -88,6 +119,7 @@ impl HttpResponse {
             status,
             headers: Vec::new(),
             body: Vec::new(),
+            chunks: Vec::new(),
         }
     }
 
@@ -97,6 +129,18 @@ impl HttpResponse {
             status,
             headers: vec![("Content-Type".into(), "text/html; charset=utf-8".into())],
             body: body.into_bytes(),
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Build an HTML response whose body is a sequence of chunks —
+    /// cached fragments stay `Shared` (no copy), glue text is `Owned`.
+    pub fn html_chunks(status: u16, chunks: Vec<BodyChunk>) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: vec![("Content-Type".into(), "text/html; charset=utf-8".into())],
+            body: Vec::new(),
+            chunks,
         }
     }
 
@@ -129,15 +173,20 @@ impl HttpResponse {
             408 => "Request Timeout",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Serialize onto the wire. Adds `Content-Length` and a `Connection`
-    /// header matching `keep_alive`, so persistent connections advertise
-    /// themselves correctly to the client.
-    pub fn write_with_connection(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
-        let mut buf = Vec::with_capacity(self.body.len() + 256);
+    /// Total body length on the wire (`body` + all `chunks`).
+    pub fn content_len(&self) -> usize {
+        self.body.len() + self.chunks.iter().map(|c| c.len()).sum::<usize>()
+    }
+
+    /// Serialize the status line + headers + `Content-Length` +
+    /// `Connection` block (through the final `\r\n\r\n`).
+    pub fn serialize_head(&self, keep_alive: bool) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(
             format!(
                 "HTTP/1.1 {} {}\r\n",
@@ -149,13 +198,38 @@ impl HttpResponse {
         for (n, v) in &self.headers {
             buf.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
         }
-        buf.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        buf.extend_from_slice(format!("Content-Length: {}\r\n", self.content_len()).as_bytes());
         if keep_alive {
             buf.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
         } else {
             buf.extend_from_slice(b"Connection: close\r\n\r\n");
         }
+        buf
+    }
+
+    /// Consume the response into the ordered chunk list a vectored write
+    /// puts on the wire: head, then `body` (if any), then `chunks` —
+    /// shared fragments pass through by `Arc`, never copied.
+    pub fn to_wire_chunks(self, keep_alive: bool) -> Vec<BodyChunk> {
+        let mut out = Vec::with_capacity(2 + self.chunks.len());
+        out.push(BodyChunk::Owned(self.serialize_head(keep_alive)));
+        if !self.body.is_empty() {
+            out.push(BodyChunk::Owned(self.body));
+        }
+        out.extend(self.chunks);
+        out
+    }
+
+    /// Serialize onto the wire. Adds `Content-Length` and a `Connection`
+    /// header matching `keep_alive`, so persistent connections advertise
+    /// themselves correctly to the client.
+    pub fn write_with_connection(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut buf = self.serialize_head(keep_alive);
+        buf.reserve(self.content_len());
         buf.extend_from_slice(&self.body);
+        for c in &self.chunks {
+            buf.extend_from_slice(c.as_slice());
+        }
         w.write_all(&buf)
     }
 
@@ -372,6 +446,108 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Option<HttpRequest>> {
     }
 }
 
+/// Result of one attempt to parse a request out of a connection buffer.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A full request, plus how many buffer bytes it consumed (drain
+    /// them; pipelined followers stay behind).
+    Complete(HttpRequest, usize),
+    /// Not enough bytes yet — park the connection and wait for more.
+    Partial,
+    /// The header block outgrew `max_header_bytes` without terminating:
+    /// answer `431` and close.
+    TooLarge,
+}
+
+/// Find the end of the header block (index one past the blank line),
+/// tolerating bare-`\n` line endings like the reader-based parser does.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if buf[i + 1..].starts_with(b"\n") {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Incremental, resumable request parsing over an accumulated byte
+/// buffer — the nonblocking-reactor entry point. Call after every read;
+/// `Partial` means "wait for more bytes", never blocks, and charges the
+/// caller nothing: the buffer itself is the only state.
+pub fn parse_request_bytes(buf: &[u8], max_header_bytes: usize) -> io::Result<ParseOutcome> {
+    let budget = max_header_bytes.max(64);
+    let header_end = match find_header_end(buf) {
+        Some(end) => end,
+        None => {
+            if buf.len() > budget {
+                return Ok(ParseOutcome::TooLarge);
+            }
+            return Ok(ParseOutcome::Partial);
+        }
+    };
+    if header_end > budget {
+        return Ok(ParseOutcome::TooLarge);
+    }
+    let head = &buf[..header_end];
+    let mut lines = head.split(|&b| b == b'\n');
+    let request_line = String::from_utf8_lossy(lines.next().unwrap_or(b""));
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/").to_string();
+    let version = parts.next().unwrap_or("").to_string();
+    if method.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty request line",
+        ));
+    }
+    let (path, query) = match target.find('?') {
+        Some(q) => (percent_decode(&target[..q]), parse_query(&target[q + 1..])),
+        None => (percent_decode(&target), Vec::new()),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let h = String::from_utf8_lossy(line);
+        let h = h.trim_end();
+        if h.is_empty() {
+            continue;
+        }
+        if let Some(colon) = h.find(':') {
+            let name = h[..colon].trim().to_string();
+            let value = h[colon + 1..].trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+            headers.push((name, value));
+        }
+    }
+    // bound request bodies to keep the simulated container safe
+    let content_length = content_length.min(16 * 1024 * 1024);
+    let total = header_end + content_length;
+    if buf.len() < total {
+        return Ok(ParseOutcome::Partial);
+    }
+    Ok(ParseOutcome::Complete(
+        HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body: buf[header_end..total].to_vec(),
+            version,
+        },
+        total,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -514,5 +690,106 @@ mod tests {
         let q = parse_query("a=1&flag&b=");
         assert_eq!(q.len(), 3);
         assert_eq!(q[1], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn incremental_parse_resumes_byte_by_byte() {
+        let raw = b"POST /op?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // every strict prefix is Partial, the full buffer is Complete
+        for cut in 0..raw.len() {
+            match parse_request_bytes(&raw[..cut], MAX_HEADER_BYTES).unwrap() {
+                ParseOutcome::Partial => {}
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+        match parse_request_bytes(raw, MAX_HEADER_BYTES).unwrap() {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(consumed, raw.len());
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/op");
+                assert_eq!(req.query[0], ("x".into(), "1".into()));
+                assert_eq!(req.body, b"body");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_bytes() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        match parse_request_bytes(raw, MAX_HEADER_BYTES).unwrap() {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.path, "/a");
+                match parse_request_bytes(&raw[consumed..], MAX_HEADER_BYTES).unwrap() {
+                    ParseOutcome::Complete(b, c2) => {
+                        assert_eq!(b.path, "/b");
+                        assert_eq!(consumed + c2, raw.len());
+                    }
+                    other => panic!("expected second Complete, got {other:?}"),
+                }
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_caps_unterminated_headers() {
+        // a drip-fed header that never terminates must trip the cap
+        let mut raw = b"GET / HTTP/1.1\r\nX-Drip: ".to_vec();
+        raw.extend_from_slice(&vec![b'a'; 4096]);
+        match parse_request_bytes(&raw, 1024).unwrap() {
+            ParseOutcome::TooLarge => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // terminated but oversized header block also trips
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..64 {
+            raw.extend_from_slice(format!("X-F{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        match parse_request_bytes(&raw, 1024).unwrap() {
+            ParseOutcome::TooLarge => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_tolerates_bare_newlines() {
+        let raw = b"GET /n HTTP/1.1\nHost: x\n\n";
+        match parse_request_bytes(raw, MAX_HEADER_BYTES).unwrap() {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.path, "/n");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_response_serializes_like_flat() {
+        let shared: Arc<[u8]> = Arc::from(&b"<p>frag</p>"[..]);
+        let chunked = HttpResponse::html_chunks(
+            200,
+            vec![
+                BodyChunk::Owned(b"<html>".to_vec()),
+                BodyChunk::Shared(Arc::clone(&shared)),
+                BodyChunk::Owned(b"</html>".to_vec()),
+            ],
+        );
+        let flat = HttpResponse::html(200, "<html><p>frag</p></html>");
+        assert_eq!(chunked.content_len(), flat.content_len());
+        let mut a = Vec::new();
+        chunked.write_with_connection(&mut a, true).unwrap();
+        let mut b = Vec::new();
+        flat.write_with_connection(&mut b, true).unwrap();
+        assert_eq!(a, b, "chunked and flat bodies must serialize identically");
+        // and the wire-chunk path preserves the shared Arc by pointer
+        let chunked = HttpResponse::html_chunks(200, vec![BodyChunk::Shared(Arc::clone(&shared))]);
+        let wire = chunked.to_wire_chunks(true);
+        match &wire[1] {
+            BodyChunk::Shared(a) => assert!(Arc::ptr_eq(a, &shared)),
+            other => panic!("expected Shared chunk, got {other:?}"),
+        }
     }
 }

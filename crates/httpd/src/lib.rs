@@ -2,18 +2,21 @@
 //!
 //! Plays the "HTTP server" box of the paper's Fig. 3: accepts browser
 //! requests and hands them to the servlet-container analogue (the `mvc`
-//! Controller, adapted by the `webratio` facade). Persistent HTTP/1.1
-//! connections (keep-alive negotiated per request, per-connection request
-//! cap, idle read timeout), thread-pooled with idle-connection rotation so
-//! quiet clients never pin a worker, bounded header blocks and bodies —
-//! deliberately small, because the experiments measure the architecture
-//! above it, not socket performance.
+//! Controller, adapted by the `webratio` facade). An epoll readiness
+//! reactor owns every idle connection (zero wakeups between requests,
+//! event-driven deadlines — no polling ticks) and dispatches readable
+//! ones to a worker pool; persistent HTTP/1.1 connections (keep-alive
+//! negotiated per request, per-connection request cap, idle read
+//! timeout), admission control (503 + `Retry-After` beyond an in-flight
+//! budget), bounded header blocks and bodies, and vectored zero-copy
+//! response writes.
 
 pub mod client;
 pub mod http;
 pub mod server;
 
 pub use http::{
-    parse_query, percent_decode, HttpRequest, HttpResponse, RequestError, MAX_HEADER_BYTES,
+    parse_query, percent_decode, BodyChunk, HttpRequest, HttpResponse, ParseOutcome, RequestError,
+    MAX_HEADER_BYTES,
 };
 pub use server::{Handler, HttpServer, ServerConfig, TracedHandler};

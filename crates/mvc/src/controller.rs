@@ -17,11 +17,13 @@ use crate::error::{MvcError, Result};
 use crate::operations::OperationEngine;
 use crate::page::PageResult;
 use crate::render::{navigation_html, unit_content};
-use crate::request::{WebRequest, WebResponse};
+use crate::request::{WebRequest, WebResponse, WebResponseParts};
 use crate::services::{fingerprint, ParamMap, ServiceRegistry};
 use crate::session::{SessionManager, DEFAULT_SESSION_TTL};
 use descriptors::{ActionKind, DescriptorSet, PageDescriptor};
-use presentation::{render_template, DeviceRegistry, RuleSet, StyledTemplate, TemplateSkeleton};
+use presentation::{
+    render_template_chunks, DeviceRegistry, HtmlChunk, RuleSet, StyledTemplate, TemplateSkeleton,
+};
 use relstore::{Database, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -297,8 +299,7 @@ impl Controller {
     /// Service a request end to end (untraced compatibility path: mints a
     /// detached context internally).
     pub fn handle(&self, req: &WebRequest) -> WebResponse {
-        let mut ctx = obs::RequestContext::detached();
-        self.handle_traced(req, &mut ctx)
+        self.handle_parts(req).flatten()
     }
 
     /// Service a request end to end, growing the span tree of `ctx`
@@ -306,6 +307,23 @@ impl Controller {
     /// registry's counters. The caller (normally the web tier) owns `ctx`
     /// and decides what to do with the trace.
     pub fn handle_traced(&self, req: &WebRequest, ctx: &mut obs::RequestContext) -> WebResponse {
+        self.handle_parts_traced(req, ctx).flatten()
+    }
+
+    /// [`Controller::handle`] without flattening the body: cache-resident
+    /// fragments come back as `Shared` chunks so the serving tier can put
+    /// them on the wire with a vectored write, copy-free.
+    pub fn handle_parts(&self, req: &WebRequest) -> WebResponseParts {
+        let mut ctx = obs::RequestContext::detached();
+        self.handle_parts_traced(req, &mut ctx)
+    }
+
+    /// Traced form of [`Controller::handle_parts`].
+    pub fn handle_parts_traced(
+        &self,
+        req: &WebRequest,
+        ctx: &mut obs::RequestContext,
+    ) -> WebResponseParts {
         self.obs.requests.inc();
         let (sid, _, created) = self.sessions.get_or_create(req.session.as_deref());
         let mut response =
@@ -313,15 +331,18 @@ impl Controller {
                 Ok(r) => r,
                 Err(MvcError::NotFound(p)) => {
                     self.obs.errors.inc();
-                    WebResponse::not_found(&p)
+                    WebResponseParts::from_flat(WebResponse::not_found(&p))
                 }
                 Err(MvcError::Unauthorized) => {
                     self.obs.errors.inc();
-                    WebResponse::error(401, "authentication required for this site view")
+                    WebResponseParts::from_flat(WebResponse::error(
+                        401,
+                        "authentication required for this site view",
+                    ))
                 }
                 Err(e) => {
                     self.obs.errors.inc();
-                    WebResponse::error(500, &e.to_string())
+                    WebResponseParts::from_flat(WebResponse::error(500, &e.to_string()))
                 }
             };
         if created {
@@ -339,7 +360,7 @@ impl Controller {
         user_agent: &str,
         depth: usize,
         ctx: &mut obs::RequestContext,
-    ) -> Result<WebResponse> {
+    ) -> Result<WebResponseParts> {
         if depth > 8 {
             return Err(MvcError::Forward(format!(
                 "forwarding loop detected at {path}"
@@ -453,7 +474,7 @@ impl Controller {
         sid: &str,
         user_agent: &str,
         ctx: &mut obs::RequestContext,
-    ) -> Result<WebResponse> {
+    ) -> Result<WebResponseParts> {
         let request_params: ParamMap = raw_params
             .iter()
             .map(|(k, v)| (k.clone(), to_value(v)))
@@ -504,37 +525,43 @@ impl Controller {
         let params_fp = fingerprint(&request_params);
         let mut render_err: Option<MvcError> = None;
         let render_token = ctx.enter("render");
-        let html = render_template(
+        let chunks = render_template_chunks(
             styled,
             &mut |unit_id| {
                 let fragment_token = ctx.enter(format!("fragment:{unit_id}"));
-                // level 1: fragment cache (markup only; queries already ran)
+                // level 1: fragment cache (markup only; queries already ran).
+                // Hits surface the cache's own `Arc<[u8]>` — the bytes are
+                // never copied between the cache and the response.
                 if let Some(fc) = &self.fragment_cache {
                     let key = FragmentKey::new(&page.template, unit_id, &params_fp);
                     if let Some(markup) = fc.get(&key) {
                         ctx.exit(fragment_token);
-                        return (*markup).clone();
+                        return HtmlChunk::Shared(markup);
                     }
                 }
                 let Some(desc) = self.set.unit(unit_id) else {
                     render_err = Some(MvcError::MissingDescriptor(unit_id.to_string()));
                     ctx.exit(fragment_token);
-                    return String::new();
+                    return HtmlChunk::Owned(String::new());
                 };
                 let Some(bean) = result.beans.get(unit_id) else {
                     ctx.exit(fragment_token);
-                    return String::new();
+                    return HtmlChunk::Owned(String::new());
                 };
                 let content = unit_content(desc, page, bean, &request_params);
                 let markup = rules.render_unit(&content);
-                if let Some(fc) = &self.fragment_cache {
-                    fc.put(
+                let chunk = if let Some(fc) = &self.fragment_cache {
+                    // `put` returns the freshly interned Arc, so even the
+                    // miss path serves the cache-resident bytes.
+                    HtmlChunk::Shared(fc.put(
                         FragmentKey::new(&page.template, unit_id, &params_fp),
-                        markup.clone(),
-                    );
-                }
+                        markup,
+                    ))
+                } else {
+                    HtmlChunk::Owned(markup)
+                };
                 ctx.exit(fragment_token);
-                markup
+                chunk
             },
             &nav,
         );
@@ -542,7 +569,12 @@ impl Controller {
         if let Some(e) = render_err {
             return Err(e);
         }
-        Ok(WebResponse::html(html))
+        Ok(WebResponseParts {
+            status: 200,
+            content_type: "text/html; charset=utf-8".into(),
+            body: chunks,
+            set_session: None,
+        })
     }
 }
 
@@ -802,6 +834,47 @@ mod tests {
         let q_before = c.database().statements_executed();
         c.handle(&WebRequest::get("/shop/products"));
         assert!(c.database().statements_executed() > q_before);
+    }
+
+    #[test]
+    fn fragment_hits_share_cache_bytes_with_the_response() {
+        let opts = RuntimeOptions {
+            fragment_cache: true,
+            bean_cache: false,
+            fragment_ttl: Duration::from_secs(60),
+            ..RuntimeOptions::default()
+        };
+        let c = deploy(opts);
+        let first = c.handle_parts(&WebRequest::get("/shop/products"));
+        assert_eq!(first.status, 200);
+        // even the miss path serves the freshly interned cache bytes
+        assert!(first
+            .body
+            .iter()
+            .any(|ch| matches!(ch, HtmlChunk::Shared(_))));
+        let second = c.handle_parts(&WebRequest::get("/shop/products"));
+        let key = FragmentKey::new(
+            "templates/shop/products.jsp",
+            "unit0",
+            fingerprint(&ParamMap::new()),
+        );
+        let cached = c.fragment_cache().unwrap().get(&key).unwrap();
+        let shared: Vec<&Arc<[u8]>> = second
+            .body
+            .iter()
+            .filter_map(|ch| match ch {
+                HtmlChunk::Shared(a) => Some(a),
+                HtmlChunk::Owned(_) => None,
+            })
+            .collect();
+        assert_eq!(shared.len(), 1);
+        // the response chunk IS the cache entry — same allocation, no copy
+        assert!(Arc::ptr_eq(shared[0], &cached));
+        // and the chunked body flattens to exactly the flat-path body
+        assert_eq!(
+            second.flatten().body,
+            c.handle(&WebRequest::get("/shop/products")).body
+        );
     }
 
     #[test]

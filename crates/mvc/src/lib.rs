@@ -39,6 +39,45 @@ pub use error::{MvcError, Result};
 pub use operations::{Mail, OpResult, OperationEngine, OperationHandler};
 pub use page::{compute_page, compute_page_traced, PageEnv, PageResult};
 pub use render::{navigation_html, unit_content};
-pub use request::{build_url, url_decode, url_encode, WebRequest, WebResponse};
+pub use request::{build_url, url_decode, url_encode, WebRequest, WebResponse, WebResponseParts};
 pub use services::{fingerprint, ParamMap, ServiceRegistry, UnitService};
 pub use session::{Session, SessionManager, DEFAULT_SESSION_TTL};
+
+/// A counting [`std::alloc::GlobalAlloc`] for the unit-test binary only:
+/// render-path tests assert that hot loops reuse one buffer instead of
+/// minting per-row temporaries.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // const-init: reading the counter inside `alloc` never allocates
+        static COUNT: Cell<usize> = const { Cell::new(0) };
+    }
+
+    struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = COUNT.try_with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// Heap allocations performed on the current thread while running `f`.
+    /// Per-thread, so parallel tests do not pollute each other's counts.
+    pub fn allocations_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+        let before = COUNT.try_with(Cell::get).unwrap_or(0);
+        let out = f();
+        let after = COUNT.try_with(Cell::get).unwrap_or(0);
+        (after.saturating_sub(before), out)
+    }
+}

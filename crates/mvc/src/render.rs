@@ -212,6 +212,10 @@ pub fn unit_content(
 }
 
 /// Global navigation of a site view: its landmark pages.
+///
+/// Renders into one reused buffer: every landmark appends in place via
+/// [`presentation::escape_html_into`] instead of minting per-row `format!`
+/// temporaries (the allocation-churn bug this renderer used to have).
 pub fn navigation_html(set: &DescriptorSet, site_view: &str, current: &str) -> String {
     let mut out = String::from("<nav class=\"landmarks\">");
     for p in set
@@ -220,16 +224,15 @@ pub fn navigation_html(set: &DescriptorSet, site_view: &str, current: &str) -> S
         .filter(|p| p.site_view == site_view && p.landmark)
     {
         if p.id == current {
-            out.push_str(&format!(
-                "<span class=\"current\">{}</span> ",
-                presentation::escape_html(&p.name)
-            ));
+            out.push_str("<span class=\"current\">");
+            presentation::escape_html_into(&mut out, &p.name);
+            out.push_str("</span> ");
         } else {
-            out.push_str(&format!(
-                "<a href=\"{}\">{}</a> ",
-                p.url,
-                presentation::escape_html(&p.name)
-            ));
+            out.push_str("<a href=\"");
+            out.push_str(&p.url);
+            out.push_str("\">");
+            presentation::escape_html_into(&mut out, &p.name);
+            out.push_str("</a> ");
         }
     }
     out.push_str("</nav>");
@@ -439,5 +442,40 @@ mod tests {
         let nav = navigation_html(&set, "sv", "page0");
         assert!(nav.contains("<span class=\"current\">P</span>"));
         assert!(nav.contains("<a href=\"/sv/other\">Other</a>"));
+    }
+
+    #[test]
+    fn navigation_reuses_one_buffer_instead_of_per_row_temporaries() {
+        // 32 landmark pages: the old renderer minted >=2 format!/escape
+        // temporaries per landmark (>=64 allocations); the reused-buffer
+        // form only pays for growth of the single output String.
+        let landmarks = 32;
+        let pages: Vec<PageDescriptor> = (0..landmarks)
+            .map(|i| {
+                let mut p = page(vec![]);
+                p.id = format!("page{i}");
+                p.name = format!("Page & {i}");
+                p.url = format!("/sv/p{i}");
+                p.landmark = true;
+                p
+            })
+            .collect();
+        let set = DescriptorSet {
+            units: vec![],
+            pages,
+            operations: vec![],
+            controller: ControllerConfig::default(),
+        };
+        // warm-up outside the measured window (lazy runtime init)
+        let warm = navigation_html(&set, "sv", "page0");
+        assert!(warm.contains("Page &amp; 31"));
+        let (allocs, nav) =
+            crate::alloc_counter::allocations_during(|| navigation_html(&set, "sv", "page0"));
+        assert_eq!(nav, warm);
+        assert!(
+            allocs < landmarks,
+            "navigation_html allocated {allocs} times for {landmarks} landmarks \
+             (per-row temporaries are back)"
+        );
     }
 }

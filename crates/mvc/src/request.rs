@@ -94,6 +94,55 @@ impl WebResponse {
     }
 }
 
+/// A [`WebResponse`] whose body is still a sequence of render chunks:
+/// cache-resident fragments stay `Shared` (refcounted, uncopied) and the
+/// serving tier assembles the wire bytes with a vectored write. This is
+/// the zero-copy exit of the Controller; [`WebResponseParts::flatten`]
+/// recovers the flat form for tests and non-HTTP callers.
+#[derive(Debug, Clone)]
+pub struct WebResponseParts {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<presentation::HtmlChunk>,
+    /// Session id to set as a cookie, if a new session was created.
+    pub set_session: Option<String>,
+}
+
+impl WebResponseParts {
+    /// Wrap an already-flat body in a single owned chunk.
+    pub fn from_flat(resp: WebResponse) -> WebResponseParts {
+        WebResponseParts {
+            status: resp.status,
+            content_type: resp.content_type,
+            body: vec![presentation::HtmlChunk::Owned(resp.body)],
+            set_session: resp.set_session,
+        }
+    }
+
+    /// Total body length in bytes across all chunks.
+    pub fn body_len(&self) -> usize {
+        self.body.iter().map(|c| c.as_bytes().len()).sum()
+    }
+
+    /// Concatenate the chunks back into a flat [`WebResponse`] (copies —
+    /// the compatibility path, not the serving path).
+    pub fn flatten(self) -> WebResponse {
+        let mut body = String::with_capacity(self.body_len());
+        for chunk in self.body {
+            match chunk {
+                presentation::HtmlChunk::Owned(s) => body.push_str(&s),
+                presentation::HtmlChunk::Shared(a) => body.push_str(&String::from_utf8_lossy(&a)),
+            }
+        }
+        WebResponse {
+            status: self.status,
+            content_type: self.content_type,
+            body,
+            set_session: self.set_session,
+        }
+    }
+}
+
 /// Percent-encode a query-string component.
 pub fn url_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

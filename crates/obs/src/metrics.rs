@@ -333,6 +333,20 @@ pub struct HttpCounters {
     pub idle_timeouts: Counter,
     /// Requests rejected with `431 Request Header Fields Too Large`.
     pub header_overflows: Counter,
+    /// Requests shed with `503` + `Retry-After` because the in-flight
+    /// budget was exhausted (admission control, not a failure).
+    pub admission_rejects: Counter,
+    /// Readable-connection hand-offs from the reactor to the worker
+    /// pool. An idle keep-alive connection adds nothing here between
+    /// requests — the no-polling invariant, asserted by tests.
+    pub dispatches: Counter,
+    /// Vectored (`writev`) response flushes — the zero-copy write path.
+    pub vectored_writes: Counter,
+    /// Client sockets currently open (accepted minus closed).
+    pub open_fds: Gauge,
+    /// Connections dispatched to a worker and not yet finished — the
+    /// admission-control pressure signal.
+    pub in_flight: Gauge,
 }
 
 impl HttpCounters {
@@ -670,6 +684,36 @@ impl MetricsRegistry {
             "Requests rejected with 431 Request Header Fields Too Large",
             self.http.header_overflows.get(),
         );
+        counter_into(
+            &mut out,
+            "http_admission_rejects_total",
+            "Requests shed with 503 + Retry-After by admission control",
+            self.http.admission_rejects.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_reactor_dispatches_total",
+            "Readable-connection hand-offs from the reactor to workers",
+            self.http.dispatches.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_vectored_writes_total",
+            "Vectored (writev) response flushes on the zero-copy path",
+            self.http.vectored_writes.get(),
+        );
+        gauge_into(
+            &mut out,
+            "http_open_fds",
+            "Client sockets currently open in the web tier",
+            self.http.open_fds.get(),
+        );
+        gauge_into(
+            &mut out,
+            "http_in_flight",
+            "Connections dispatched to a worker and not yet finished",
+            self.http.in_flight.get(),
+        );
         Self::render_histogram(
             &mut out,
             "http_requests_per_conn",
@@ -1006,6 +1050,11 @@ mod tests {
         reg.http.requests.add(5);
         reg.http.requests_per_conn.observe(5);
         reg.http.header_overflows.inc();
+        reg.http.admission_rejects.add(3);
+        reg.http.dispatches.add(7);
+        reg.http.vectored_writes.add(6);
+        reg.http.open_fds.add(2);
+        reg.http.in_flight.add(1);
         reg.sessions_expired.add(2);
         let text = reg.render_prometheus();
         assert!(text.contains("http_connections_total 1"));
@@ -1013,6 +1062,12 @@ mod tests {
         assert!(text.contains("http_requests_per_conn_count 1"));
         assert!(text.contains("http_requests_per_conn_sum 5"));
         assert!(text.contains("http_header_overflows_total 1"));
+        assert!(text.contains("http_admission_rejects_total 3"));
+        assert!(text.contains("http_reactor_dispatches_total 7"));
+        assert!(text.contains("http_vectored_writes_total 6"));
+        assert!(text.contains("# TYPE http_open_fds gauge"));
+        assert!(text.contains("http_open_fds 2"));
+        assert!(text.contains("http_in_flight 1"));
         assert!(text.contains("webml_sessions_expired_total 2"));
     }
 

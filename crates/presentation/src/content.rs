@@ -110,6 +110,13 @@ impl UnitContent {
 /// HTML-escape a text fragment.
 pub fn escape_html(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_html_into(&mut out, s);
+    out
+}
+
+/// HTML-escape `s` directly into `out` — the allocation-free form for
+/// render loops that reuse one buffer across many values.
+pub fn escape_html_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -119,7 +126,6 @@ pub fn escape_html(s: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
 }
 
 #[cfg(test)]

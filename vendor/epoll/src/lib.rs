@@ -1,0 +1,324 @@
+//! Offline vendored shim: a thin safe wrapper over the Linux `epoll` and
+//! `eventfd` syscalls — the API subset the httpd readiness reactor needs.
+//!
+//! No registry access in this container, so instead of pulling `mio` or
+//! the `libc` crate we declare the five syscall entry points ourselves
+//! against the C library std already links. The surface is deliberately
+//! small: one [`Epoll`] instance per reactor, oneshot (re)registration of
+//! interest, a blocking-with-timeout [`Epoll::wait`], and a [`WakeFd`]
+//! (eventfd) for cross-thread wakeups.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// epoll event mask bits (from <sys/epoll.h>).
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// Mirror of `struct epoll_event`. The kernel ABI packs it on x86-64
+/// (12 bytes); other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readable (or peer half-closed: `EPOLLRDHUP` is always armed too).
+    Read,
+    /// Writable.
+    Write,
+}
+
+impl Interest {
+    fn mask(self) -> u32 {
+        match self {
+            Interest::Read => EPOLLIN | EPOLLRDHUP,
+            Interest::Write => EPOLLOUT,
+        }
+    }
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `token` the fd was registered with.
+    pub token: u64,
+    /// `EPOLLIN` / `EPOLLRDHUP`: bytes (or EOF) are waiting.
+    pub readable: bool,
+    /// `EPOLLOUT`: the socket send buffer has room again.
+    pub writable: bool,
+    /// `EPOLLERR` / `EPOLLHUP`: the fd is dead; close it.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+// The fd is just an integer capability; epoll syscalls are thread-safe.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token`. With `oneshot`, the registration
+    /// disarms after one notification and must be re-armed with
+    /// [`Epoll::rearm`] — the hand-a-conn-to-one-worker discipline.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest, oneshot: bool) -> io::Result<()> {
+        let mut events = interest.mask() | EPOLLERR | EPOLLHUP;
+        if oneshot {
+            events |= EPOLLONESHOT;
+        }
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Re-arm (or change interest of) an existing oneshot registration.
+    pub fn rearm(
+        &self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+        oneshot: bool,
+    ) -> io::Result<()> {
+        let mut events = interest.mask() | EPOLLERR | EPOLLHUP;
+        if oneshot {
+            events |= EPOLLONESHOT;
+        }
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Remove a registration (closing the fd does this implicitly; the
+    /// explicit form exists for fds that outlive their registration).
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// lapses (`None` = forever). Appends up to `events.capacity()`
+    /// notifications into the cleared `events` buffer.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let cap = events.capacity().clamp(1, 1024) as i32;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 1024];
+        // Round up so a deadline 0.4ms out does not busy-spin at 0ms.
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+        };
+        let n = loop {
+            let rc = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), cap, timeout_ms) };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry with the same (coarse) timeout.
+        };
+        for r in raw.iter().take(n) {
+            let bits = r.events;
+            events.push(Event {
+                token: r.data,
+                readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                error: bits & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+impl AsRawFd for Epoll {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+/// An `eventfd`-backed wakeup pipe: any thread calls [`WakeFd::wake`],
+/// the reactor sees the fd readable and [`WakeFd::drain`]s it.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+unsafe impl Send for WakeFd {}
+unsafe impl Sync for WakeFd {}
+
+impl WakeFd {
+    pub fn new() -> io::Result<WakeFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    /// Make the fd readable (coalesces: N wakes before a drain read once).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(self.fd, &one as *const u64 as *const u8, 8);
+        }
+    }
+
+    /// Consume pending wakeups so the level-triggered fd goes quiet.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            read(self.fd, buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+impl AsRawFd for WakeFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn wakefd_round_trip() {
+        let ep = Epoll::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        ep.add(wake.as_raw_fd(), 7, Interest::Read, false).unwrap();
+        let mut events = Vec::with_capacity(8);
+        // nothing pending: times out empty
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        wake.wake();
+        wake.wake();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        wake.drain();
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drain must quiesce the eventfd");
+    }
+
+    #[test]
+    fn oneshot_socket_readiness_disarms_and_rearms() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), 42, Interest::Read, true)
+            .unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::with_capacity(8);
+        let n = ep.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+
+        // oneshot: without a rearm the (still readable) fd stays silent
+        let n = ep
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "oneshot registration must disarm");
+
+        // rearm: level-triggered, the unread byte fires immediately
+        ep.rearm(server.as_raw_fd(), 42, Interest::Read, true)
+            .unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 8];
+        let got = (&server).read(&mut buf).unwrap();
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn write_interest_reports_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(client.as_raw_fd(), 1, Interest::Write, true)
+            .unwrap();
+        let mut events = Vec::with_capacity(8);
+        let n = ep.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+    }
+}

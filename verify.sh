@@ -19,8 +19,11 @@ cargo run --release --example analyze > /dev/null
 echo "== distribution-analysis smoke (AZ4xx at Deny over shipped apps, replicated + sharded)"
 cargo test --release -q --test distribution
 
-echo "== serving-path smoke (keep-alive grid + cache microbench, reduced load)"
+echo "== serving-path smoke (reactor mode: keep-alive grid, C10K fan-in, 503-admission shed, cache microbench)"
 cargo run -p bench --release --bin exp_serving -- --smoke
+
+echo "== 503-admission smoke (budget sheds with Retry-After, fds drain to baseline)"
+cargo test --release -q --test serving admission_budget_sheds_load_end_to_end
 
 echo "== query-planner smoke (derived indexes, hash join, Top-K; reduced dataset)"
 cargo run -p bench --release --bin exp_query -- --smoke
