@@ -12,7 +12,8 @@
 //! * `AZ1xx` — cache-invalidation soundness (pass 2);
 //! * `AZ2xx` — descriptor/model cross-checks (pass 3);
 //! * `AZ3xx` — query-plan quality advisories (pass 4);
-//! * `AZ4xx` — distribution safety under replicas/shards (passes 5–7).
+//! * `AZ4xx` — distribution safety under replicas/shards (passes 5–7);
+//! * `AZ5xx` — incremental-maintenance coverage (pass 8).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -74,6 +75,14 @@ pub const AZ405: &str = "AZ405";
 /// same table's non-disjoint key space — first-writer-wins conflict
 /// churn under MVCC (warning).
 pub const AZ406: &str = "AZ406";
+/// AZ501: a cached unit's query shape is not incrementally maintainable —
+/// under WAL-driven maintenance every dependent write drops and
+/// recomputes its bean (warning).
+pub const AZ501: &str = "AZ501";
+/// AZ502: a cached unit's *kind* is outside the maintenance layer's
+/// patchable set (scroller/hierarchy/entry) — same fallback, but fixable
+/// only by changing the unit, not its query (warning).
+pub const AZ502: &str = "AZ502";
 
 /// Human-oriented summary of each analyzer code (for reports/docs).
 pub fn describe(code: &str) -> &'static str {
@@ -98,6 +107,8 @@ pub fn describe(code: &str) -> &'static str {
         AZ404 => "post-operation page may read stale data replica-side",
         AZ405 => "transitively reachable page may read stale data replica-side",
         AZ406 => "operations from one site view contend on the same rows",
+        AZ501 => "cached unit's query shape defeats incremental maintenance",
+        AZ502 => "cached unit's kind defeats incremental maintenance",
         _ => "model validation finding",
     }
 }

@@ -26,13 +26,14 @@ pub mod diag;
 pub mod distribution;
 pub mod invalidation;
 pub mod ir;
+pub mod maintenance;
 pub mod plan;
 pub mod routing;
 
 pub use diag::{
     describe, Diagnostic, IrStats, Report, Severity, AZ001, AZ002, AZ003, AZ004, AZ101, AZ102,
     AZ103, AZ104, AZ201, AZ202, AZ203, AZ204, AZ301, AZ302, AZ401, AZ402, AZ403, AZ404, AZ405,
-    AZ406,
+    AZ406, AZ501, AZ502,
 };
 pub use distribution::Topology;
 pub use ir::{lower, NavIr};
@@ -94,6 +95,7 @@ pub fn analyze_deployment(
     report
         .diagnostics
         .extend(distribution::check(er, mapping, ht, set, &ir, topo));
+    report.diagnostics.extend(maintenance::check(set));
     report.finish();
     report
 }

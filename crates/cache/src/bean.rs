@@ -123,10 +123,32 @@ impl Ord for BeanKey {
     }
 }
 
+/// Verdict a patch closure returns to [`BeanCache::patch`].
+pub enum Patch<V> {
+    /// Replace the cached value with the patched one.
+    Update(V),
+    /// The change did not affect this bean; leave it untouched.
+    Keep,
+    /// Unpatchable — drop the entry so the next read recomputes.
+    Drop,
+}
+
+/// What [`BeanCache::patch`] did to a cached entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchEffect {
+    Updated,
+    Kept,
+    Dropped,
+}
+
 struct Entry<V> {
     value: Arc<V>,
     /// Entities (table names) the bean depends on.
     deps: Vec<String>,
+    /// Row-scoped dependencies: the bean depends on exactly this row of
+    /// the entity, not the whole table (single-row probes). A write to a
+    /// *different* oid of the same entity leaves the bean untouched.
+    row_deps: Vec<(String, i64)>,
     expires: Option<Instant>,
     stamp: u64,
 }
@@ -139,6 +161,9 @@ struct Inner<V> {
     /// Reverse dependency index: entity → keys whose beans depend on it
     /// (stripe-local: it indexes only this stripe's entries).
     by_entity: HashMap<String, HashSet<BeanKey>>,
+    /// Row-scoped reverse index: (entity, oid) → keys that depend on
+    /// exactly that row.
+    by_row: HashMap<(String, i64), HashSet<BeanKey>>,
     /// Entries this stripe may hold; stripe bounds sum to the cache bound.
     capacity: usize,
 }
@@ -190,6 +215,7 @@ impl<V> BeanCache<V> {
                     entries: HashMap::new(),
                     order: BTreeMap::new(),
                     by_entity: HashMap::new(),
+                    by_row: HashMap::new(),
                     capacity: cap,
                 })
             })
@@ -275,6 +301,35 @@ impl<V> BeanCache<V> {
         ttl: Option<Duration>,
         now: Instant,
     ) -> Arc<V> {
+        self.put_scoped_at(key, value, deps, &[], ttl, now)
+    }
+
+    /// Insert a bean whose dependency on some entities is narrowed to one
+    /// row: `row_deps` pairs of (entity, oid). A row-scoped entity must
+    /// not also appear in `deps` — that would re-widen it. A write to a
+    /// different oid of a row-scoped entity leaves the bean cached
+    /// ([`BeanCache::invalidate_row`]); whole-entity invalidation still
+    /// drops it.
+    pub fn put_scoped(
+        &self,
+        key: BeanKey,
+        value: V,
+        deps: &[String],
+        row_deps: &[(String, i64)],
+        ttl: Option<Duration>,
+    ) -> Arc<V> {
+        self.put_scoped_at(key, value, deps, row_deps, ttl, Instant::now())
+    }
+
+    pub fn put_scoped_at(
+        &self,
+        key: BeanKey,
+        value: V,
+        deps: &[String],
+        row_deps: &[(String, i64)],
+        ttl: Option<Duration>,
+        now: Instant,
+    ) -> Arc<V> {
         let value = Arc::new(value);
         let mut inner = self.lock_probed(self.stripe(&key));
         // replace any existing entry
@@ -295,6 +350,7 @@ impl<V> BeanCache<V> {
             Entry {
                 value: Arc::clone(&value),
                 deps: deps.to_vec(),
+                row_deps: row_deps.to_vec(),
                 expires: ttl.map(|d| now + d),
                 stamp,
             },
@@ -304,6 +360,13 @@ impl<V> BeanCache<V> {
             inner
                 .by_entity
                 .entry(d.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        for rd in row_deps {
+            inner
+                .by_row
+                .entry(rd.clone())
                 .or_default()
                 .insert(key.clone());
         }
@@ -322,6 +385,14 @@ impl<V> BeanCache<V> {
                     }
                 }
             }
+            for rd in &e.row_deps {
+                if let Some(set) = inner.by_row.get_mut(rd) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        inner.by_row.remove(rd);
+                    }
+                }
+            }
         }
     }
 
@@ -333,11 +404,18 @@ impl<V> BeanCache<V> {
         let mut dropped = 0;
         for stripe in &self.stripes {
             let mut inner = self.lock_probed(stripe);
-            let keys: Vec<BeanKey> = inner
+            let mut keys: HashSet<BeanKey> = inner
                 .by_entity
                 .get(entity)
                 .map(|s| s.iter().cloned().collect())
                 .unwrap_or_default();
+            // row-scoped dependents narrow, they don't escape: a
+            // whole-entity sweep takes them too
+            for ((e, _), set) in &inner.by_row {
+                if e == entity {
+                    keys.extend(set.iter().cloned());
+                }
+            }
             for k in &keys {
                 Self::remove_entry(&mut inner, k);
             }
@@ -345,6 +423,115 @@ impl<V> BeanCache<V> {
         }
         self.stats.invalidation(dropped as u64);
         dropped
+    }
+
+    /// Invalidate every bean depending on this specific row of `entity`:
+    /// whole-entity dependents (they may reflect any row) plus the beans
+    /// row-scoped to exactly `oid`. Beans scoped to *other* oids of the
+    /// same entity survive — the over-invalidation fix for single-row
+    /// probes. Returns how many were dropped.
+    pub fn invalidate_row(&self, entity: &str, oid: i64) -> usize {
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            let mut keys: HashSet<BeanKey> = inner
+                .by_entity
+                .get(entity)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            if let Some(set) = inner.by_row.get(&(entity.to_string(), oid)) {
+                keys.extend(set.iter().cloned());
+            }
+            for k in &keys {
+                Self::remove_entry(&mut inner, k);
+            }
+            dropped += keys.len();
+        }
+        self.stats.invalidation(dropped as u64);
+        dropped
+    }
+
+    /// Drop one specific bean; returns whether it was present. Counted as
+    /// an invalidation (the maintenance layer's per-key fallback path).
+    pub fn invalidate_key(&self, key: &BeanKey) -> bool {
+        let mut inner = self.lock_probed(self.stripe(key));
+        let present = inner.entries.contains_key(key);
+        if present {
+            Self::remove_entry(&mut inner, key);
+            drop(inner);
+            self.stats.invalidation(1);
+        }
+        present
+    }
+
+    /// Every cached key that depends on `entity` — whole-entity and
+    /// row-scoped dependents alike. The maintenance layer walks this to
+    /// decide, per bean, whether a change record is patchable.
+    pub fn keys_for_entity(&self, entity: &str) -> Vec<BeanKey> {
+        let mut out: HashSet<BeanKey> = HashSet::new();
+        for stripe in &self.stripes {
+            let inner = stripe.lock();
+            if let Some(set) = inner.by_entity.get(entity) {
+                out.extend(set.iter().cloned());
+            }
+            for ((e, _), set) in &inner.by_row {
+                if e == entity {
+                    out.extend(set.iter().cloned());
+                }
+            }
+        }
+        let mut v: Vec<BeanKey> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Every cached key affected by a change to one specific row:
+    /// whole-entity dependents plus the beans row-scoped to exactly
+    /// `oid`. The row-granular twin of [`BeanCache::keys_for_entity`] —
+    /// beans scoped to other rows are provably unaffected, so the
+    /// maintenance layer never has to visit (or clone) their keys.
+    pub fn keys_for_row(&self, entity: &str, oid: i64) -> Vec<BeanKey> {
+        let rk = (entity.to_string(), oid);
+        let mut out: HashSet<BeanKey> = HashSet::new();
+        for stripe in &self.stripes {
+            let inner = stripe.lock();
+            if let Some(set) = inner.by_entity.get(entity) {
+                out.extend(set.iter().cloned());
+            }
+            if let Some(set) = inner.by_row.get(&rk) {
+                out.extend(set.iter().cloned());
+            }
+        }
+        let mut v: Vec<BeanKey> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Update a cached bean in place, keeping its dependencies, TTL and
+    /// LRU position: `f` sees the current value and returns a
+    /// [`Patch`] verdict — replace the value, keep it untouched (the
+    /// change did not affect this bean), or drop the entry (the caller's
+    /// fallback-to-recompute path). Returns `None` when the key was not
+    /// cached, otherwise the effect that was applied.
+    pub fn patch(&self, key: &BeanKey, f: impl FnOnce(&V) -> Patch<V>) -> Option<PatchEffect> {
+        let mut inner = self.lock_probed(self.stripe(key));
+        if !inner.entries.contains_key(key) {
+            return None;
+        }
+        let current = Arc::clone(&inner.entries.get(key).unwrap().value);
+        match f(&current) {
+            Patch::Update(v) => {
+                inner.entries.get_mut(key).unwrap().value = Arc::new(v);
+                Some(PatchEffect::Updated)
+            }
+            Patch::Keep => Some(PatchEffect::Kept),
+            Patch::Drop => {
+                Self::remove_entry(&mut inner, key);
+                drop(inner);
+                self.stats.invalidation(1);
+                Some(PatchEffect::Dropped)
+            }
+        }
     }
 
     /// Invalidate all cached beans of one unit (any parameters).
@@ -375,6 +562,7 @@ impl<V> BeanCache<V> {
             inner.entries.clear();
             inner.order.clear();
             inner.by_entity.clear();
+            inner.by_row.clear();
         }
         self.stats.invalidation(n as u64);
     }
@@ -699,6 +887,83 @@ mod tests {
             c.invalidate_entity(&e);
             assert_eq!(c.dependents_of(&e), 0);
         }
+    }
+
+    #[test]
+    fn row_scoped_bean_survives_unrelated_row_write() {
+        let c: BeanCache<String> = BeanCache::new(16);
+        // two single-row probes of the same entity, different oids
+        c.put_scoped(
+            BeanKey::new("BookData", "oid=1&"),
+            "book-1".into(),
+            &[],
+            &[("book".to_string(), 1)],
+            None,
+        );
+        c.put_scoped(
+            BeanKey::new("BookData", "oid=2&"),
+            "book-2".into(),
+            &[],
+            &[("book".to_string(), 2)],
+            None,
+        );
+        // plus a whole-entity dependent (an index over all books)
+        c.put(
+            BeanKey::new("BookIndex", "-"),
+            "all-books".into(),
+            &deps(&["book"]),
+            None,
+        );
+        // a write to book oid=1 drops the scoped bean for oid=1 and the
+        // whole-entity index — the oid=2 bean survives
+        assert_eq!(c.invalidate_row("book", 1), 2);
+        assert!(c.get(&BeanKey::new("BookData", "oid=1&")).is_none());
+        assert!(c.get(&BeanKey::new("BookData", "oid=2&")).is_some());
+        assert!(c.get(&BeanKey::new("BookIndex", "-")).is_none());
+        // whole-entity invalidation still takes row-scoped dependents
+        assert_eq!(c.invalidate_entity("book"), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn patch_updates_value_in_place_keeping_deps() {
+        let c: BeanCache<i32> = BeanCache::new(8);
+        let k = BeanKey::new("u", "p");
+        c.put(k.clone(), 10, &deps(&["t"]), None);
+        assert_eq!(
+            c.patch(&k, |v| Patch::Update(v + 1)),
+            Some(PatchEffect::Updated)
+        );
+        assert_eq!(c.get(&k).as_deref(), Some(&11));
+        // an unaffected bean is left untouched
+        assert_eq!(c.patch(&k, |_| Patch::Keep), Some(PatchEffect::Kept));
+        assert_eq!(c.get(&k).as_deref(), Some(&11));
+        // deps survive the patch: entity invalidation still drops it
+        assert_eq!(c.invalidate_entity("t"), 1);
+        // patching an absent key reports None; dropping via patch works
+        assert_eq!(c.patch(&k, |v| Patch::Update(v + 1)), None);
+        c.put(k.clone(), 1, &[], None);
+        assert_eq!(c.patch(&k, |_| Patch::Drop), Some(PatchEffect::Dropped));
+        assert!(c.get(&k).is_none());
+    }
+
+    #[test]
+    fn keys_for_entity_spans_scoped_and_unscoped() {
+        let c: BeanCache<i32> = BeanCache::new(16);
+        c.put(BeanKey::new("idx", "-"), 1, &deps(&["paper"]), None);
+        c.put_scoped(
+            BeanKey::new("data", "oid=3&"),
+            2,
+            &[],
+            &[("paper".to_string(), 3)],
+            None,
+        );
+        c.put(BeanKey::new("other", "-"), 3, &deps(&["author"]), None);
+        let keys = c.keys_for_entity("paper");
+        assert_eq!(keys.len(), 2);
+        assert!(c.invalidate_key(&BeanKey::new("idx", "-")));
+        assert!(!c.invalidate_key(&BeanKey::new("idx", "-")));
+        assert_eq!(c.keys_for_entity("paper").len(), 1);
     }
 
     #[test]

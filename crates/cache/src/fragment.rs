@@ -15,7 +15,7 @@
 use crate::bean::{fnv1a, resolve_stripes, stripe_capacities, stripe_of};
 use crate::stats::{CacheStats, StatsSnapshot};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,13 +82,102 @@ struct Entry {
     markup: Arc<[u8]>,
     expires: Instant,
     stamp: u64,
+    /// Monotonically bumped per key: each re-render of the same fragment
+    /// (after its unit's bean changed) increments it. Starts at 1.
+    version: u64,
 }
+
+/// Sentinel bucket for entries whose fingerprint has no numeric binding
+/// for the registered probe parameter: they cannot be attributed to a
+/// row, so every row invalidation of the unit must drop them.
+const UNBOUND: i64 = i64::MIN;
 
 struct Inner {
     entries: HashMap<FragmentKey, Entry>,
     order: BTreeMap<u64, FragmentKey>,
+    /// Dirty tombstones: fragments dropped by unit-level invalidation,
+    /// keyed to the version they had. The next `put` of the same key
+    /// continues the version sequence and reports itself as a re-render.
+    dirty: HashMap<FragmentKey, u64>,
+    /// Stamps of live entries per unit id, so unit-level invalidation
+    /// visits only the unit's own fragments instead of the stripe.
+    by_unit: HashMap<String, BTreeSet<u64>>,
+    /// Units registered for row-precise invalidation: unit id → the
+    /// request parameter that names the displayed row.
+    probe_params: HashMap<String, String>,
+    /// Probe index over live entries of registered units:
+    /// unit → bound oid (or [`UNBOUND`]) → stamps. Keeps
+    /// [`FragmentCache::invalidate_unit_where`] proportional to the
+    /// fragments actually affected instead of the stripe population.
+    probe: HashMap<String, HashMap<i64, BTreeSet<u64>>>,
     /// Entries this stripe may hold; stripe bounds sum to the cache bound.
     capacity: usize,
+}
+
+impl Inner {
+    fn index_insert(&mut self, key: &FragmentKey, stamp: u64) {
+        match self.by_unit.get_mut(&key.fragment) {
+            Some(stamps) => {
+                stamps.insert(stamp);
+            }
+            None => {
+                self.by_unit
+                    .insert(key.fragment.clone(), BTreeSet::from([stamp]));
+            }
+        }
+        let Some(param) = self.probe_params.get(&key.fragment) else {
+            return;
+        };
+        let oid = binding_of(&key.params, param);
+        match self.probe.get_mut(&key.fragment) {
+            Some(rows) => {
+                rows.entry(oid).or_default().insert(stamp);
+            }
+            None => {
+                let mut rows: HashMap<i64, BTreeSet<u64>> = HashMap::new();
+                rows.entry(oid).or_default().insert(stamp);
+                self.probe.insert(key.fragment.clone(), rows);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, key: &FragmentKey, stamp: u64) {
+        if let Some(stamps) = self.by_unit.get_mut(&key.fragment) {
+            stamps.remove(&stamp);
+            if stamps.is_empty() {
+                self.by_unit.remove(&key.fragment);
+            }
+        }
+        let Some(param) = self.probe_params.get(&key.fragment) else {
+            return;
+        };
+        let oid = binding_of(&key.params, param);
+        if let Some(rows) = self.probe.get_mut(&key.fragment) {
+            if let Some(stamps) = rows.get_mut(&oid) {
+                stamps.remove(&stamp);
+                if stamps.is_empty() {
+                    rows.remove(&oid);
+                }
+            }
+            if rows.is_empty() {
+                self.probe.remove(&key.fragment);
+            }
+        }
+    }
+
+    /// `(stamp, key, version)` of every live entry of `unit`, resolved
+    /// through the unit index — O(unit's entries).
+    fn unit_entries(&self, unit: &str) -> Vec<(u64, FragmentKey, u64)> {
+        self.by_unit
+            .get(unit)
+            .into_iter()
+            .flatten()
+            .filter_map(|stamp| {
+                let k = self.order.get(stamp)?;
+                Some((*stamp, k.clone(), self.entries.get(k)?.version))
+            })
+            .collect()
+    }
 }
 
 /// A bounded TTL cache of rendered markup fragments.
@@ -133,6 +222,10 @@ impl FragmentCache {
                 Mutex::new(Inner {
                     entries: HashMap::new(),
                     order: BTreeMap::new(),
+                    dirty: HashMap::new(),
+                    by_unit: HashMap::new(),
+                    probe_params: HashMap::new(),
+                    probe: HashMap::new(),
                     capacity: cap,
                 })
             })
@@ -182,6 +275,7 @@ impl FragmentCache {
                 let stamp = e.stamp;
                 inner.entries.remove(key);
                 inner.order.remove(&stamp);
+                inner.index_remove(key, stamp);
                 self.stats.expiration();
                 self.stats.miss();
                 None
@@ -198,11 +292,33 @@ impl FragmentCache {
     }
 
     pub fn put_at(&self, key: FragmentKey, markup: String, now: Instant) -> Arc<[u8]> {
+        self.put_versioned_at(key, markup, now).0
+    }
+
+    /// Like [`FragmentCache::put`], additionally reporting the fragment's
+    /// new version and whether this put *re-rendered* a fragment a
+    /// maintenance invalidation had dirtied (or replaced a live one) —
+    /// the signal behind `fragment_rerenders_total`.
+    pub fn put_versioned(&self, key: FragmentKey, markup: String) -> (Arc<[u8]>, u64, bool) {
+        self.put_versioned_at(key, markup, Instant::now())
+    }
+
+    pub fn put_versioned_at(
+        &self,
+        key: FragmentKey,
+        markup: String,
+        now: Instant,
+    ) -> (Arc<[u8]>, u64, bool) {
         let markup: Arc<[u8]> = markup.into_bytes().into();
         let mut inner = self.lock_probed(self.stripe(&key));
-        if let Some(old) = inner.entries.remove(&key) {
-            inner.order.remove(&old.stamp);
-        }
+        let base = match inner.entries.remove(&key) {
+            Some(old) => {
+                inner.order.remove(&old.stamp);
+                inner.index_remove(&key, old.stamp);
+                Some(old.version)
+            }
+            None => inner.dirty.remove(&key),
+        };
         while inner.entries.len() >= inner.capacity {
             let Some((stamp, victim)) = inner.order.iter().next().map(|(s, k)| (*s, k.clone()))
             else {
@@ -210,20 +326,142 @@ impl FragmentCache {
             };
             inner.order.remove(&stamp);
             inner.entries.remove(&victim);
+            inner.index_remove(&victim, stamp);
             self.stats.eviction();
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let version = base.unwrap_or(0) + 1;
         inner.entries.insert(
             key.clone(),
             Entry {
                 markup: Arc::clone(&markup),
                 expires: now + self.default_ttl,
                 stamp,
+                version,
             },
         );
+        inner.index_insert(&key, stamp);
         inner.order.insert(stamp, key);
         self.stats.insertion();
-        markup
+        (markup, version, base.is_some())
+    }
+
+    /// Current version of a cached fragment (`None` when absent).
+    pub fn version_of(&self, key: &FragmentKey) -> Option<u64> {
+        self.stripe(key).lock().entries.get(key).map(|e| e.version)
+    }
+
+    /// Drop every fragment rendered from `unit`'s bean (the key's
+    /// `fragment` field is the unit id), leaving dirty tombstones so the
+    /// next render of each key continues its version sequence and is
+    /// counted as a re-render. Returns how many fragments were dirtied.
+    pub fn invalidate_unit(&self, unit: &str) -> usize {
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            let keys = inner.unit_entries(unit);
+            for (stamp, k, version) in keys.iter().cloned() {
+                inner.entries.remove(&k);
+                inner.order.remove(&stamp);
+                inner.dirty.insert(k, version);
+            }
+            // every live entry of the unit is gone, so its indexes are too
+            inner.by_unit.remove(unit);
+            inner.probe.remove(unit);
+            // bound tombstone memory; a reset restarts version sequences,
+            // which only under-counts re-renders (ETags never read these)
+            if inner.dirty.len() > inner.capacity * 4 {
+                inner.dirty.clear();
+            }
+            dropped += keys.len();
+        }
+        self.stats.invalidation(dropped as u64);
+        dropped
+    }
+
+    /// Row-precise variant of [`FragmentCache::invalidate_unit`]: drop
+    /// only the fragments of `unit` whose parameter fingerprint binds
+    /// `param` to the changed row's `oid` — the page instances actually
+    /// rendered from the affected bean. Fragments that do not bind
+    /// `param` at all (the unit's input came from session state or a
+    /// default) cannot be identified and are dropped conservatively;
+    /// every other instance keeps serving its bytes untouched.
+    pub fn invalidate_unit_where(&self, unit: &str, param: &str, oid: i64) -> usize {
+        let mut dropped = 0;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            // with the probe index registered for exactly this parameter,
+            // only the affected row's bucket (plus the unidentifiable
+            // remainder) is visited — O(dropped), not O(stripe)
+            let indexed = inner.probe_params.get(unit).is_some_and(|p| p == param);
+            let keys: Vec<(u64, FragmentKey, u64)> = if indexed {
+                let rows = inner.probe.get(unit);
+                [oid, UNBOUND]
+                    .iter()
+                    .filter_map(|b| rows.and_then(|r| r.get(b)))
+                    .flatten()
+                    .filter_map(|stamp| {
+                        let k = inner.order.get(stamp)?;
+                        Some((*stamp, k.clone(), inner.entries.get(k)?.version))
+                    })
+                    .collect()
+            } else {
+                inner
+                    .unit_entries(unit)
+                    .into_iter()
+                    .filter(|(_, k, _)| param_binds(&k.params, param, oid))
+                    .collect()
+            };
+            for (stamp, k, version) in keys.iter().cloned() {
+                inner.entries.remove(&k);
+                inner.order.remove(&stamp);
+                inner.index_remove(&k, stamp);
+                inner.dirty.insert(k, version);
+            }
+            if inner.dirty.len() > inner.capacity * 4 {
+                inner.dirty.clear();
+            }
+            dropped += keys.len();
+        }
+        self.stats.invalidation(dropped as u64);
+        dropped
+    }
+
+    /// Register `unit` for row-precise invalidation: its fragments are
+    /// indexed by the numeric value their fingerprint binds `param` to,
+    /// making [`FragmentCache::invalidate_unit_where`] proportional to
+    /// the fragments dropped. The maintenance layer registers every
+    /// key-probe unit of its plan at deployment; entries cached before
+    /// registration are indexed retroactively.
+    pub fn index_probe(&self, unit: &str, param: &str) {
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            inner
+                .probe_params
+                .insert(unit.to_string(), param.to_string());
+            inner.probe.remove(unit);
+            let existing = inner.unit_entries(unit);
+            for (stamp, k, _) in existing {
+                inner.index_insert(&k, stamp);
+            }
+        }
+    }
+
+    /// Drop everything — live entries and dirty tombstones alike (the
+    /// maintenance layer's DDL response: a schema change invalidates all
+    /// derived markup and restarts the version sequences).
+    pub fn clear(&self) {
+        let mut n = 0u64;
+        for stripe in &self.stripes {
+            let mut inner = self.lock_probed(stripe);
+            n += inner.entries.len() as u64;
+            inner.entries.clear();
+            inner.order.clear();
+            inner.dirty.clear();
+            inner.by_unit.clear();
+            inner.probe.clear();
+        }
+        self.stats.invalidation(n);
     }
 
     /// Drop every fragment of a template (e.g. after redeployment).
@@ -241,6 +479,7 @@ impl FragmentCache {
             for (stamp, k) in &keys {
                 inner.entries.remove(k);
                 inner.order.remove(stamp);
+                inner.index_remove(k, *stamp);
             }
             dropped += keys.len();
         }
@@ -259,6 +498,35 @@ impl FragmentCache {
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
+}
+
+/// Does a `k=v&…` fingerprint bind `param` to the row `oid`? Bindings
+/// compare numerically when the rendered value parses as an integer
+/// (`paper=05` still matches oid 5); a missing or non-numeric binding
+/// answers `true` — the caller cannot identify the instance and must
+/// treat it as affected.
+/// The row a `k=v&…` fingerprint binds `param` to, or [`UNBOUND`] when
+/// the binding is missing or non-numeric (same conservative contract as
+/// [`param_binds`]).
+fn binding_of(fingerprint: &str, param: &str) -> i64 {
+    for seg in fingerprint.split('&') {
+        if let Some(v) = seg.strip_prefix(param).and_then(|r| r.strip_prefix('=')) {
+            return v.parse::<i64>().unwrap_or(UNBOUND);
+        }
+    }
+    UNBOUND
+}
+
+fn param_binds(fingerprint: &str, param: &str, oid: i64) -> bool {
+    for seg in fingerprint.split('&') {
+        if let Some(v) = seg.strip_prefix(param).and_then(|r| r.strip_prefix('=')) {
+            return match v.parse::<i64>() {
+                Ok(n) => n == oid,
+                Err(_) => true,
+            };
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -419,6 +687,61 @@ mod tests {
         }
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 200);
+    }
+
+    #[test]
+    fn unit_invalidation_dirties_and_rerender_bumps_version() {
+        let c = FragmentCache::new(8, Duration::from_secs(60));
+        let k1 = FragmentKey::new("home.jsp", "idx1", "p=1");
+        let k2 = FragmentKey::new("home.jsp", "idx2", "p=1");
+        let (_, v, rerendered) = c.put_versioned(k1.clone(), "one".into());
+        assert_eq!((v, rerendered), (1, false));
+        c.put(k2.clone(), "two".into());
+        // dirty only idx1's fragments; idx2 keeps serving the same bytes
+        let before = c.get(&k2).unwrap();
+        assert_eq!(c.invalidate_unit("idx1"), 1);
+        assert!(c.get(&k1).is_none());
+        let after = c.get(&k2).unwrap();
+        assert!(Arc::ptr_eq(&before, &after), "clean fragment re-interned");
+        // re-render continues the version sequence and reports itself
+        let (_, v, rerendered) = c.put_versioned(k1.clone(), "one'".into());
+        assert_eq!((v, rerendered), (2, true));
+        assert_eq!(c.version_of(&k1), Some(2));
+        // a fresh key starts at version 1, not re-rendered
+        let (_, v, rerendered) = c.put_versioned(FragmentKey::new("x", "u", ""), "n".into());
+        assert_eq!((v, rerendered), (1, false));
+    }
+
+    /// Row-precise dirtying: a write to paper 2 leaves paper 1's
+    /// fragment serving the same shared bytes; only the affected
+    /// instance (and instances that cannot be identified) go dirty.
+    #[test]
+    fn row_precise_invalidation_spares_unrelated_instances() {
+        let c = FragmentCache::new(8, Duration::from_secs(60));
+        let k1 = FragmentKey::new("paper.jsp", "u1", "paper=1&");
+        let k2 = FragmentKey::new("paper.jsp", "u1", "paper=2&");
+        let k3 = FragmentKey::new("paper.jsp", "u1", "kw=%db%&"); // no binding
+        let other = FragmentKey::new("paper.jsp", "u2", "paper=2&");
+        for k in [&k1, &k2, &k3, &other] {
+            c.put(k.clone(), "m".into());
+        }
+        let live = c.get(&k1).unwrap();
+        assert_eq!(c.invalidate_unit_where("u1", "paper", 2), 2);
+        assert!(c.get(&k2).is_none(), "affected instance survived");
+        assert!(c.get(&k3).is_none(), "unidentifiable instance survived");
+        let after = c.get(&k1).unwrap();
+        assert!(Arc::ptr_eq(&live, &after), "clean instance re-interned");
+        assert!(c.get(&other).is_some(), "other unit's fragment dropped");
+        // zero-padded bindings still identify the row numerically
+        c.put(k2.clone(), "m2".into());
+        let pad = FragmentKey::new("paper.jsp", "u1", "paper=02&");
+        c.put(pad.clone(), "m02".into());
+        assert_eq!(c.invalidate_unit_where("u1", "paper", 2), 2);
+        assert!(c.get(&pad).is_none());
+        // the dirtied instance re-renders with its version continued
+        // (render #3: initial put, re-render after each invalidation)
+        let (_, v, rerendered) = c.put_versioned(k2, "m2'".into());
+        assert_eq!((v, rerendered), (3, true));
     }
 
     #[test]

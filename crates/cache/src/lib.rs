@@ -20,10 +20,16 @@
 
 pub mod bean;
 pub mod fragment;
+pub mod maintain;
 pub mod replica;
 pub mod stats;
 
-pub use bean::{BeanCache, BeanKey, MAX_STRIPES, MIN_STRIPE_CAPACITY};
+pub use bean::{BeanCache, BeanKey, Patch, PatchEffect, MAX_STRIPES, MIN_STRIPE_CAPACITY};
 pub use fragment::{FragmentCache, FragmentKey};
+pub use maintain::{
+    oid_probe_param, parse_fingerprint, DeltaOp, LogDrivenMaintainer, MaintenancePlan,
+    PatchOutcome, Patcher, RowDelta, RowOrder, Strategy, TableCatalog, UnitPlan, UnitShape,
+    VersionTable,
+};
 pub use replica::LogDrivenInvalidator;
 pub use stats::{CacheStats, StatsSnapshot};

@@ -1,0 +1,1064 @@
+//! Incremental cache maintenance driven by the durable change stream.
+//!
+//! PR 7's [`crate::replica::LogDrivenInvalidator`] closes the §6 coherence
+//! gap for replicas, but it answers every durable write the same way:
+//! drop every bean of the touched entity. For read-mostly applications
+//! that is pure waste — an `INSERT INTO paper` need not evict the cached
+//! author index of every other author; it can be *folded into* the
+//! dependent beans in place.
+//!
+//! This module is the maintenance layer that decides, per `(change
+//! record, cached bean)` pair, whether the change is **patchable**
+//! (applied in place: a row folded into an index-unit row list, a data
+//! unit's attributes overwritten, a Top-K window repaired) or
+//! **unpatchable** (fallback: drop that one bean and count why). The
+//! decision is compiled once at deploy time from the unit's generated SQL
+//! — the same closed query grammar codegen emits — into a
+//! [`MaintenancePlan`]; at run time [`LogDrivenMaintainer`] consumes the
+//! WAL's post-fsync [`wal::LogObserver`] stream and walks only the beans
+//! whose entity the batch touched.
+//!
+//! The bean-value semantics (how a row delta projects into a cached bean)
+//! live behind the [`Patcher`] trait, implemented by the MVC tier for its
+//! `UnitBean`; this crate stays value-agnostic like the cache itself.
+//!
+//! Fragments are maintained alongside: every fragment rendered from a
+//! dependent unit is dirtied ([`FragmentCache::invalidate_unit`]), so the
+//! next page render re-renders *only* the dirty fragments and keeps
+//! serving clean ones as the same interned bytes. The [`VersionTable`]
+//! records a monotonic version per entity (plus a DDL epoch); the
+//! controller derives strong `ETag`s from it for conditional GET.
+
+use crate::bean::{BeanCache, BeanKey, Patch, PatchEffect};
+use crate::fragment::FragmentCache;
+use obs::MaintCounters;
+use parking_lot::RwLock;
+use relstore::{ChangeRecord, Database, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Unit shapes — the deploy-time input
+// ---------------------------------------------------------------------------
+
+/// Everything the planner needs to know about one unit, decoupled from the
+/// descriptor types so this crate does not depend on `descriptors`.
+#[derive(Debug, Clone, Default)]
+pub struct UnitShape {
+    pub unit_id: String,
+    pub page: String,
+    /// `data`, `index`, `multidata`, `multichoice`, `scroller`,
+    /// `hierarchy`, `entry`, …
+    pub unit_kind: String,
+    pub entity_table: Option<String>,
+    /// The unit's main query, in the generated grammar.
+    pub sql: String,
+    /// Named inputs of the main query (the bean-key fingerprint's params).
+    pub inputs: Vec<String>,
+    /// Bean shape `(property name, result column)`; empty = identity.
+    pub bean_columns: Vec<(String, String)>,
+    /// Entities the unit depends on (canonical lower-case table names).
+    pub depends_on: Vec<String>,
+    /// Whether the unit's beans are cached at all.
+    pub cached: bool,
+}
+
+// ---------------------------------------------------------------------------
+// SQL shape recognizer
+// ---------------------------------------------------------------------------
+
+/// What a row set's `ORDER BY` clause lets the patcher conclude about
+/// row positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOrder {
+    /// No `ORDER BY`: the scan order is insertion order, which attribute
+    /// updates cannot disturb — patch in place, but insert positions are
+    /// unknowable.
+    Insertion,
+    /// `ORDER BY t.oid` ascending: insert positions are computable from
+    /// the cached oids, and updates never move a row.
+    Oid,
+    /// `ORDER BY t.<col>` ascending over some other column: an update
+    /// keeps its position iff the order key is unchanged; inserts still
+    /// need a store-side comparison.
+    Column(String),
+    /// Anything else (multi-column, `DESC`, expressions): position
+    /// reasoning is off the table entirely.
+    Opaque,
+}
+
+/// The recognized shape of a maintainable query: one table, equality
+/// conjuncts over named parameters, optional `ORDER BY`/`LIMIT`.
+#[derive(Debug, Clone)]
+struct QueryShape {
+    table: String,
+    /// Projected column names, `t.` prefix stripped, in order.
+    projection: Vec<String>,
+    /// Equality conjuncts `(column, parameter)`.
+    filters: Vec<(String, String)>,
+    /// What the `ORDER BY` clause implies for row positions.
+    order: RowOrder,
+    /// Literal `LIMIT k` (no offset): a Top-K window.
+    limit: Option<usize>,
+}
+
+fn ident(s: &str) -> Option<&str> {
+    let s = s.trim();
+    (!s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+    .then_some(s)
+}
+
+/// Strip the single-alias prefix `t.` from a column reference.
+fn alias_col(s: &str) -> Option<&str> {
+    ident(s)?.strip_prefix("t.").filter(|c| !c.contains('.'))
+}
+
+/// Recognize `sql` against the generated grammar. `Err` carries the
+/// stable fallback reason tag.
+fn recognize(sql: &str) -> Result<QueryShape, &'static str> {
+    let sql = sql.trim();
+    let up = sql.to_ascii_uppercase();
+    if !up.starts_with("SELECT ") {
+        return Err("shape");
+    }
+    if up.contains(" JOIN ") {
+        return Err("join");
+    }
+    if up.contains(" LIKE ") {
+        return Err("like-predicate");
+    }
+    if up.contains(" OR ") {
+        return Err("disjunction");
+    }
+    let from = up.find(" FROM ").ok_or("shape")?;
+    let mut projection = Vec::new();
+    for col in sql["SELECT ".len()..from].split(',') {
+        projection.push(alias_col(col).ok_or("projection")?.to_string());
+    }
+    let rest = &sql[from + " FROM ".len()..];
+    let up_rest = &up[from + " FROM ".len()..];
+    let where_pos = up_rest.find(" WHERE ");
+    let order_pos = up_rest.find(" ORDER BY ");
+    let limit_pos = up_rest.find(" LIMIT ");
+    let clause_end =
+        |starts: &[Option<usize>]| starts.iter().flatten().copied().min().unwrap_or(rest.len());
+
+    // FROM <table> t
+    let from_end = clause_end(&[where_pos, order_pos, limit_pos]);
+    let mut words = rest[..from_end].split_whitespace();
+    let table = ident(words.next().ok_or("shape")?).ok_or("shape")?;
+    if words.next() != Some("t") || words.next().is_some() {
+        return Err("alias");
+    }
+
+    // WHERE t.col = :param [AND ...]
+    let mut filters = Vec::new();
+    if let Some(w) = where_pos {
+        let end = clause_end(&[order_pos, limit_pos]);
+        let clause = &rest[w + " WHERE ".len()..end];
+        let up_clause = &up_rest[w + " WHERE ".len()..end];
+        if up_clause.contains('<') || up_clause.contains('>') || up_clause.contains("!=") {
+            return Err("non-equality");
+        }
+        let mut at = 0;
+        let mut parts = Vec::new();
+        let mut search = 0;
+        while let Some(p) = up_clause[search..].find(" AND ") {
+            parts.push(&clause[at..search + p]);
+            at = search + p + " AND ".len();
+            search = at;
+        }
+        parts.push(&clause[at..]);
+        for part in parts {
+            let (lhs, rhs) = part.split_once('=').ok_or("non-equality")?;
+            let col = alias_col(lhs).ok_or("predicate")?;
+            let param = rhs
+                .trim()
+                .strip_prefix(':')
+                .and_then(ident)
+                .ok_or("predicate")?;
+            filters.push((col.to_string(), param.to_string()));
+        }
+    }
+
+    // ORDER BY t.col [ASC] — anything richer defeats position reasoning
+    let mut order = RowOrder::Insertion;
+    if let Some(o) = order_pos {
+        let end = clause_end(&[limit_pos.filter(|l| *l > o)]);
+        let clause = rest[o + " ORDER BY ".len()..end].trim();
+        let col = clause
+            .strip_suffix(" ASC")
+            .or_else(|| clause.strip_suffix(" asc"))
+            .unwrap_or(clause);
+        order = match alias_col(col) {
+            Some("oid") => RowOrder::Oid,
+            Some(c) => RowOrder::Column(c.to_string()),
+            None => RowOrder::Opaque,
+        };
+    }
+
+    // LIMIT k (literal, no offset) → Top-K; anything else is a block
+    // query whose window shifts under writes.
+    let mut limit = None;
+    if let Some(l) = limit_pos {
+        let clause = rest[l + " LIMIT ".len()..].trim();
+        if clause.to_ascii_uppercase().contains("OFFSET") {
+            return Err("block-window");
+        }
+        limit = Some(clause.parse::<usize>().map_err(|_| "param-limit")?);
+    }
+
+    Ok(QueryShape {
+        table: table.to_string(),
+        projection,
+        filters,
+        order,
+        limit,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Strategies and the maintenance plan
+// ---------------------------------------------------------------------------
+
+/// How durable changes fold into one unit's cached beans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Data unit probing its table by primary key (`WHERE t.oid = :p`):
+    /// a change affects exactly the bean whose key parameter equals the
+    /// changed row's oid — overwrite attributes, fill, or empty it.
+    KeyProbe { param: String },
+    /// Index-family unit over a single table with equality filters: fold
+    /// row inserts/updates/deletes into the cached row list. `order`
+    /// bounds what the patcher may do without consulting the store;
+    /// `limit` is a Top-K window repaired in place while it stays full
+    /// enough.
+    RowSet {
+        filters: Vec<(String, String)>,
+        order: RowOrder,
+        limit: Option<usize>,
+    },
+    /// Not maintainable — drop the bean and recompute on next read.
+    /// `reason` is the stable tag reported as
+    /// `cache_patch_fallbacks_total{reason}`.
+    Fallback { reason: &'static str },
+}
+
+impl Strategy {
+    /// Short human tag for reports (`analyze`, plan dumps).
+    pub fn describe(&self) -> String {
+        match self {
+            Strategy::KeyProbe { param } => format!("key-probe(:{param})"),
+            Strategy::RowSet {
+                filters,
+                order,
+                limit,
+            } => {
+                let mut s = format!("row-set({} filters", filters.len());
+                match order {
+                    RowOrder::Insertion => {}
+                    RowOrder::Oid => s.push_str(", oid-ordered"),
+                    RowOrder::Column(c) => s.push_str(&format!(", ordered-by({c})")),
+                    RowOrder::Opaque => s.push_str(", opaque-order"),
+                }
+                if let Some(k) = limit {
+                    s.push_str(&format!(", top-{k}"));
+                }
+                s.push(')');
+                s
+            }
+            Strategy::Fallback { reason } => format!("fallback({reason})"),
+        }
+    }
+}
+
+/// One unit's compiled maintenance plan.
+#[derive(Debug, Clone)]
+pub struct UnitPlan {
+    pub unit_id: String,
+    /// The single table the unit's query reads (empty for fallback-only
+    /// plans whose SQL was not recognizable).
+    pub table: String,
+    /// Bean row shape `(property name, table column)`.
+    pub projection: Vec<(String, String)>,
+    pub strategy: Strategy,
+}
+
+/// Classify one unit shape into its plan.
+fn classify(u: &UnitShape) -> UnitPlan {
+    let fallback = |table: String, reason: &'static str| UnitPlan {
+        unit_id: u.unit_id.clone(),
+        table,
+        projection: Vec::new(),
+        strategy: Strategy::Fallback { reason },
+    };
+    let entity = u.entity_table.clone().unwrap_or_default();
+    match u.unit_kind.as_str() {
+        "data" | "index" | "multidata" | "multichoice" => {}
+        "scroller" => return fallback(entity, "block-window"),
+        "hierarchy" => return fallback(entity, "hierarchy"),
+        _ => return fallback(entity, "unsupported-kind"),
+    }
+    let shape = match recognize(&u.sql) {
+        Ok(s) => s,
+        Err(reason) => return fallback(entity, reason),
+    };
+    let projection: Vec<(String, String)> = if u.bean_columns.is_empty() {
+        shape
+            .projection
+            .iter()
+            .map(|c| (c.clone(), c.clone()))
+            .collect()
+    } else {
+        u.bean_columns.clone()
+    };
+    let strategy = if u.unit_kind == "data" {
+        match shape.filters.as_slice() {
+            [(col, param)] if col == "oid" => Strategy::KeyProbe {
+                param: param.clone(),
+            },
+            [] => Strategy::Fallback {
+                reason: "single-scan",
+            },
+            _ => Strategy::Fallback {
+                reason: "single-predicate",
+            },
+        }
+    } else {
+        Strategy::RowSet {
+            filters: shape.filters,
+            order: shape.order,
+            limit: shape.limit,
+        }
+    };
+    UnitPlan {
+        unit_id: u.unit_id.clone(),
+        table: shape.table,
+        projection,
+        strategy,
+    }
+}
+
+/// When `sql` is a pure primary-key probe (`… FROM x t WHERE t.oid = :p`),
+/// the probing parameter's name. The page service uses this to register
+/// row-scoped cache dependencies instead of whole-entity ones.
+pub fn oid_probe_param(sql: &str) -> Option<String> {
+    match recognize(sql) {
+        Ok(shape) => match shape.filters.as_slice() {
+            [(col, param)] if col == "oid" => Some(param.clone()),
+            _ => None,
+        },
+        Err(_) => None,
+    }
+}
+
+/// The deploy-time compilation of every unit's maintenance strategy, plus
+/// the table → units index used to dirty fragments.
+#[derive(Debug, Default)]
+pub struct MaintenancePlan {
+    /// Plans for cached units only.
+    plans: HashMap<String, UnitPlan>,
+    /// table → ids of every unit (cached or not) depending on it: these
+    /// units' fragments go stale when the table changes.
+    fragment_deps: HashMap<String, Vec<String>>,
+}
+
+impl MaintenancePlan {
+    pub fn build(units: &[UnitShape]) -> MaintenancePlan {
+        let mut plans = HashMap::new();
+        let mut fragment_deps: HashMap<String, Vec<String>> = HashMap::new();
+        for u in units {
+            let plan = classify(u);
+            let mut deps: Vec<&str> = u.depends_on.iter().map(|s| s.as_str()).collect();
+            if !plan.table.is_empty() && !deps.contains(&plan.table.as_str()) {
+                deps.push(&plan.table);
+            }
+            for dep in deps {
+                let e = fragment_deps.entry(dep.to_string()).or_default();
+                if !e.contains(&u.unit_id) {
+                    e.push(u.unit_id.clone());
+                }
+            }
+            if u.cached {
+                plans.insert(u.unit_id.clone(), plan);
+            }
+        }
+        MaintenancePlan {
+            plans,
+            fragment_deps,
+        }
+    }
+
+    pub fn unit(&self, id: &str) -> Option<&UnitPlan> {
+        self.plans.get(id)
+    }
+
+    /// Units whose fragments must be dirtied when `table` changes.
+    pub fn units_for_table(&self, table: &str) -> &[String] {
+        self.fragment_deps
+            .get(table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `(unit id, strategy description)` per cached unit, sorted — the
+    /// analyzer's maintenance advisory feeds off this.
+    pub fn summary(&self) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = self
+            .plans
+            .values()
+            .map(|p| (p.unit_id.clone(), p.strategy.describe()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// How many cached units are patchable at all (non-fallback plans).
+    pub fn patchable_units(&self) -> usize {
+        self.plans
+            .values()
+            .filter(|p| !matches!(p.strategy, Strategy::Fallback { .. }))
+            .count()
+    }
+
+    pub fn cached_units(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table catalog and row deltas
+// ---------------------------------------------------------------------------
+
+/// table → column names, for turning a positional [`ChangeRecord`] row
+/// into named attributes (and finding the `oid`).
+#[derive(Debug, Clone, Default)]
+pub struct TableCatalog {
+    columns: HashMap<String, Vec<String>>,
+}
+
+impl TableCatalog {
+    pub fn new() -> TableCatalog {
+        TableCatalog::default()
+    }
+
+    pub fn add(&mut self, table: impl Into<String>, columns: Vec<String>) {
+        self.columns.insert(table.into(), columns);
+    }
+
+    /// Snapshot the live schema.
+    pub fn from_database(db: &Database) -> TableCatalog {
+        let mut c = TableCatalog::new();
+        for t in db.table_names() {
+            if let Ok(cols) = db.table_columns(&t) {
+                c.add(t, cols);
+            }
+        }
+        c
+    }
+
+    pub fn columns(&self, table: &str) -> Option<&[String]> {
+        self.columns.get(table).map(|v| v.as_slice())
+    }
+
+    /// Resolve a change record into a row delta; `None` when the table is
+    /// unknown or the row has no integer `oid` (the caller falls back to
+    /// whole-entity invalidation).
+    pub fn delta<'a>(&'a self, change: &'a ChangeRecord) -> Option<RowDelta<'a>> {
+        let (table, row, op) = match change {
+            ChangeRecord::Insert { table, row, .. } => (table, row, DeltaOp::Insert),
+            ChangeRecord::Update { table, row, .. } => (table, row, DeltaOp::Update),
+            ChangeRecord::Delete { table, row, .. } => (table, row, DeltaOp::Delete),
+            ChangeRecord::Ddl { .. } => return None,
+        };
+        let columns = self.columns.get(table)?;
+        let oid_pos = columns.iter().position(|c| c == "oid")?;
+        let oid = match row.get(oid_pos) {
+            Some(Value::Integer(i)) => *i,
+            _ => return None,
+        };
+        Some(RowDelta {
+            table,
+            op,
+            oid,
+            columns,
+            row,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    Insert,
+    Update,
+    Delete,
+}
+
+/// One row-level change, with named-column access.
+#[derive(Debug, Clone, Copy)]
+pub struct RowDelta<'a> {
+    pub table: &'a str,
+    pub op: DeltaOp,
+    pub oid: i64,
+    columns: &'a [String],
+    row: &'a [Value],
+}
+
+impl<'a> RowDelta<'a> {
+    pub fn get(&self, col: &str) -> Option<&'a Value> {
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(col))?;
+        self.row.get(i)
+    }
+
+    /// Construct a delta directly (tests, synthetic streams).
+    pub fn synthetic(
+        table: &'a str,
+        op: DeltaOp,
+        oid: i64,
+        columns: &'a [String],
+        row: &'a [Value],
+    ) -> RowDelta<'a> {
+        RowDelta {
+            table,
+            op,
+            oid,
+            columns,
+            row,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entity versions (ETag substrate)
+// ---------------------------------------------------------------------------
+
+/// Monotonic version per entity plus a DDL epoch. The controller folds
+/// the versions of a page's dependency closure into its strong `ETag`;
+/// any durable (or in-process) write to a dependency changes the stamp,
+/// so a stale `If-None-Match` can never validate.
+///
+/// Entities also carry *row-granular* versions (`bump_row`): a page whose
+/// units are all key probes over one row validates against that row's
+/// version, so writes to sibling rows do not move its `ETag` and its
+/// revalidations keep answering `304`.
+#[derive(Debug, Default)]
+pub struct VersionTable {
+    versions: RwLock<HashMap<String, u64>>,
+    /// `entity → oid → version`, bumped alongside the entity version
+    /// whenever the changed row is identifiable.
+    rows: RwLock<HashMap<String, HashMap<i64, u64>>>,
+    epoch: AtomicU64,
+}
+
+impl VersionTable {
+    pub fn new() -> VersionTable {
+        VersionTable::default()
+    }
+
+    pub fn bump(&self, entity: &str) {
+        *self.versions.write().entry(entity.to_string()).or_insert(0) += 1;
+    }
+
+    /// Bump one row's version (the entity version moves separately).
+    pub fn bump_row(&self, entity: &str, oid: i64) {
+        let mut rows = self.rows.write();
+        match rows.get_mut(entity) {
+            Some(m) => *m.entry(oid).or_insert(0) += 1,
+            None => {
+                rows.entry(entity.to_string()).or_default().insert(oid, 1);
+            }
+        }
+    }
+
+    pub fn row_version(&self, entity: &str, oid: i64) -> u64 {
+        self.rows
+            .read()
+            .get(entity)
+            .and_then(|m| m.get(&oid))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A schema change invalidates every stamp at once. Row versions
+    /// restart too — the epoch (mixed into every stamp) already moves
+    /// every validator, so the reset cannot produce a colliding tag.
+    pub fn bump_epoch(&self) {
+        self.rows.write().clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn version(&self, entity: &str) -> u64 {
+        self.versions.read().get(entity).copied().unwrap_or(0)
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Fold the epoch and each entity's version into one stamp (FNV-1a).
+    pub fn stamp<'a>(&self, entities: impl IntoIterator<Item = &'a str>) -> u64 {
+        let versions = self.versions.read();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(&self.epoch.load(Ordering::Relaxed).to_le_bytes());
+        for e in entities {
+            mix(e.as_bytes());
+            mix(&versions.get(e).copied().unwrap_or(0).to_le_bytes());
+        }
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The patcher boundary
+// ---------------------------------------------------------------------------
+
+/// Outcome of folding one row delta into one cached bean value.
+pub enum PatchOutcome<V> {
+    /// The bean was rebuilt with the delta applied.
+    Patched(V),
+    /// The delta cannot affect this bean; leave it cached as-is.
+    Unchanged,
+    /// The delta's effect cannot be computed from the cached value alone;
+    /// the maintainer drops the bean and counts the reason.
+    Unpatchable(&'static str),
+}
+
+/// Value-type-specific patch semantics (implemented by the MVC tier for
+/// its unit beans).
+pub trait Patcher<V>: Send + Sync {
+    /// `key_params` are the bean key's parameters parsed back from its
+    /// fingerprint (`name → rendered value`).
+    fn apply(
+        &self,
+        plan: &UnitPlan,
+        key_params: &BTreeMap<String, String>,
+        bean: &V,
+        delta: &RowDelta<'_>,
+    ) -> PatchOutcome<V>;
+}
+
+/// Does a bean-key fingerprint bind `param` to the row `oid`? Compares
+/// numerically, so a `paper=05` binding still matches oid 5.
+fn fingerprint_binds_oid(fp: &str, param: &str, oid: i64) -> bool {
+    fp.split('&').any(|seg| {
+        seg.strip_prefix(param)
+            .and_then(|r| r.strip_prefix('='))
+            .is_some_and(|v| v.parse::<i64>() == Ok(oid))
+    })
+}
+
+/// Parse a bean-key fingerprint (`k=v&k2=v2&…`, [`BeanKey::params`]) back
+/// into a parameter map. Values are the `Value::render` strings.
+pub fn parse_fingerprint(fp: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for seg in fp.split('&') {
+        if let Some((k, v)) = seg.split_once('=') {
+            out.insert(k.to_string(), v.to_string());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The maintainer
+// ---------------------------------------------------------------------------
+
+/// Consumes the durable change stream and maintains the two cache levels
+/// incrementally: beans are patched in place where the plan allows,
+/// dropped (and counted) where it does not; fragments of dependent units
+/// are dirtied so only they re-render; entity versions are bumped for
+/// conditional GET.
+///
+/// Attach with `wal::Wal::attach_observer`. The observer runs once the
+/// batch has reached the log: post-fsync on the flusher thread and via
+/// `Wal::flush_and_notify`, post-write (sync deferred one group-commit
+/// window) under the relaxed non-strict barrier. A cache-visible patch
+/// therefore never precedes the log write; it precedes the *sync* only
+/// where the in-memory database already exposes the same un-synced
+/// commits — caches die with the process, so a crash can surface no
+/// anomaly the database itself would not.
+pub struct LogDrivenMaintainer<V> {
+    cache: Arc<BeanCache<V>>,
+    fragments: Option<Arc<FragmentCache>>,
+    plan: MaintenancePlan,
+    catalog: RwLock<TableCatalog>,
+    db: Option<Arc<Database>>,
+    patcher: Arc<dyn Patcher<V>>,
+    versions: Arc<VersionTable>,
+    counters: Arc<MaintCounters>,
+}
+
+impl<V> LogDrivenMaintainer<V> {
+    pub fn new(
+        cache: Arc<BeanCache<V>>,
+        plan: MaintenancePlan,
+        catalog: TableCatalog,
+        patcher: Arc<dyn Patcher<V>>,
+        versions: Arc<VersionTable>,
+        counters: Arc<MaintCounters>,
+    ) -> LogDrivenMaintainer<V> {
+        LogDrivenMaintainer {
+            cache,
+            fragments: None,
+            plan,
+            catalog: RwLock::new(catalog),
+            db: None,
+            patcher,
+            versions,
+            counters,
+        }
+    }
+
+    /// Also maintain a fragment cache (dirty dependent units' fragments).
+    /// Every key-probe unit of the plan is registered in the cache's
+    /// probe index, so row-precise dirtying touches only the affected
+    /// fragments instead of sweeping each stripe.
+    pub fn with_fragments(mut self, fragments: Arc<FragmentCache>) -> Self {
+        for (unit, plan) in &self.plan.plans {
+            if let Strategy::KeyProbe { param } = &plan.strategy {
+                fragments.index_probe(unit, param);
+            }
+        }
+        self.fragments = Some(fragments);
+        self
+    }
+
+    /// Keep a database handle so DDL records refresh the table catalog.
+    pub fn with_database(mut self, db: Arc<Database>) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    pub fn versions(&self) -> Arc<VersionTable> {
+        Arc::clone(&self.versions)
+    }
+
+    pub fn counters(&self) -> Arc<MaintCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Apply one durable batch. Public so recovery/replay paths can drive
+    /// it directly.
+    pub fn apply(&self, changes: &[ChangeRecord]) {
+        let start = Instant::now();
+        // fragment dirtying plan, deduped across the batch: each dependent
+        // unit accumulates row-precise `(probe param, oid)` selectors until
+        // some change forces the whole unit (`None`)
+        let mut dirty: BTreeMap<&str, Option<Vec<(String, i64)>>> = BTreeMap::new();
+        for c in changes {
+            match c {
+                ChangeRecord::Ddl { .. } => {
+                    // structural change: no plan survives it
+                    self.cache.clear();
+                    if let Some(f) = &self.fragments {
+                        f.clear();
+                    }
+                    self.versions.bump_epoch();
+                    self.counters.record_fallback("ddl");
+                    if let Some(db) = &self.db {
+                        *self.catalog.write() = TableCatalog::from_database(db);
+                    }
+                    dirty.clear();
+                }
+                _ => {
+                    let Some(table) = c.table() else { continue };
+                    self.versions.bump(table);
+                    let catalog = self.catalog.read();
+                    let delta = catalog.delta(c);
+                    if let Some(d) = &delta {
+                        self.versions.bump_row(table, d.oid);
+                    }
+                    for u in self.plan.units_for_table(table) {
+                        // a key-probe bean over this table is affected only
+                        // by its own row, so only the page instances bound
+                        // to that oid need a re-render
+                        let precise = match (&delta, self.plan.unit(u)) {
+                            (Some(d), Some(p)) if p.table == table => match &p.strategy {
+                                Strategy::KeyProbe { param } => Some((param.clone(), d.oid)),
+                                _ => None,
+                            },
+                            _ => None,
+                        };
+                        let slot = dirty.entry(u).or_insert_with(|| Some(Vec::new()));
+                        match precise {
+                            Some(sel) => {
+                                if let Some(rows) = slot {
+                                    if !rows.contains(&sel) {
+                                        rows.push(sel);
+                                    }
+                                }
+                            }
+                            None => *slot = None,
+                        }
+                    }
+                    match delta {
+                        Some(delta) => {
+                            // row-scoped beans of other rows are provably
+                            // unaffected; only whole-entity dependents and
+                            // this row's beans need a patch decision
+                            for key in self.cache.keys_for_row(table, delta.oid) {
+                                self.maintain_key(&key, table, &delta);
+                            }
+                        }
+                        None => {
+                            // no oid → can't reason per row; coarse drop
+                            self.cache.invalidate_entity(table);
+                            self.counters.record_fallback("no-oid");
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(f) = &self.fragments {
+            for (u, sel) in dirty {
+                match sel {
+                    None => {
+                        f.invalidate_unit(u);
+                    }
+                    Some(rows) => {
+                        for (param, oid) in rows {
+                            f.invalidate_unit_where(u, &param, oid);
+                        }
+                    }
+                }
+            }
+        }
+        self.counters
+            .apply_micros
+            .observe(start.elapsed().as_micros() as u64);
+    }
+
+    fn maintain_key(&self, key: &BeanKey, table: &str, delta: &RowDelta<'_>) {
+        let Some(plan) = self.plan.unit(&key.unit) else {
+            // cached bean without a plan (hand-registered service): the
+            // conservative answer is the PR 7 one
+            if self.cache.invalidate_key(key) {
+                self.counters.record_fallback("no-plan");
+            }
+            return;
+        };
+        if let Strategy::Fallback { reason } = plan.strategy {
+            if self.cache.invalidate_key(key) {
+                self.counters.record_fallback(reason);
+            }
+            return;
+        }
+        if plan.table != table {
+            // the bean declares a dependency beyond its own query's table
+            // (cross-entity coupling the plan cannot see through)
+            if self.cache.invalidate_key(key) {
+                self.counters.record_fallback("foreign-dep");
+            }
+            return;
+        }
+        if let Strategy::KeyProbe { param } = &plan.strategy {
+            // precision: a probe bean is affected only by its own row —
+            // checked on the raw fingerprint so the hundreds of sibling
+            // keys per write never pay for a parse
+            if !fingerprint_binds_oid(&key.params, param, delta.oid) {
+                return;
+            }
+        }
+        let params = parse_fingerprint(&key.params);
+        let mut reason = None;
+        let effect = self.cache.patch(key, |bean| {
+            match self.patcher.apply(plan, &params, bean, delta) {
+                PatchOutcome::Patched(v) => Patch::Update(v),
+                PatchOutcome::Unchanged => Patch::Keep,
+                PatchOutcome::Unpatchable(why) => {
+                    reason = Some(why);
+                    Patch::Drop
+                }
+            }
+        });
+        match (effect, reason) {
+            (Some(PatchEffect::Updated), _) => self.counters.patches_applied.inc(),
+            (Some(PatchEffect::Dropped), Some(why)) => self.counters.record_fallback(why),
+            _ => {}
+        }
+    }
+}
+
+impl<V: Send + Sync> wal::LogObserver for LogDrivenMaintainer<V> {
+    fn on_durable(&self, _lsn: u64, changes: &[ChangeRecord]) {
+        self.apply(changes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(kind: &str, sql: &str) -> UnitShape {
+        UnitShape {
+            unit_id: "u".into(),
+            page: "p".into(),
+            unit_kind: kind.into(),
+            entity_table: Some("paper".into()),
+            sql: sql.into(),
+            inputs: vec![],
+            bean_columns: vec![],
+            depends_on: vec!["paper".into()],
+            cached: true,
+        }
+    }
+
+    #[test]
+    fn recognizer_classifies_the_generated_grammar() {
+        let p = classify(&shape(
+            "data",
+            "SELECT t.oid, t.title FROM paper t WHERE t.oid = :item",
+        ));
+        assert_eq!(p.table, "paper");
+        assert_eq!(
+            p.strategy,
+            Strategy::KeyProbe {
+                param: "item".into()
+            }
+        );
+        assert_eq!(
+            p.projection,
+            vec![
+                ("oid".to_string(), "oid".to_string()),
+                ("title".to_string(), "title".to_string())
+            ]
+        );
+
+        let p = classify(&shape(
+            "index",
+            "SELECT t.oid, t.title FROM paper t WHERE t.issue_oid = :issue ORDER BY t.oid",
+        ));
+        assert_eq!(
+            p.strategy,
+            Strategy::RowSet {
+                filters: vec![("issue_oid".into(), "issue".into())],
+                order: RowOrder::Oid,
+                limit: None,
+            }
+        );
+
+        let p = classify(&shape(
+            "index",
+            "SELECT t.oid, t.title FROM paper t ORDER BY t.oid LIMIT 10",
+        ));
+        assert_eq!(
+            p.strategy,
+            Strategy::RowSet {
+                filters: vec![],
+                order: RowOrder::Oid,
+                limit: Some(10),
+            }
+        );
+    }
+
+    #[test]
+    fn recognizer_rejects_unmaintainable_shapes() {
+        let reason = |kind: &str, sql: &str| match classify(&shape(kind, sql)).strategy {
+            Strategy::Fallback { reason } => reason,
+            other => panic!("expected fallback, got {other:?}"),
+        };
+        assert_eq!(
+            reason(
+                "index",
+                "SELECT t.oid, j0.name FROM paper t INNER JOIN author j0 ON t.author_oid = j0.oid"
+            ),
+            "join"
+        );
+        assert_eq!(
+            reason("index", "SELECT t.oid FROM paper t WHERE t.title LIKE :q"),
+            "like-predicate"
+        );
+        assert_eq!(
+            reason(
+                "scroller",
+                "SELECT t.oid FROM paper t ORDER BY t.oid LIMIT :block_limit OFFSET :block_offset"
+            ),
+            "block-window"
+        );
+        assert_eq!(
+            reason("data", "SELECT t.oid, t.title FROM paper t"),
+            "single-scan"
+        );
+        assert_eq!(
+            reason("hierarchy", "SELECT t.oid FROM paper t"),
+            "hierarchy"
+        );
+        assert_eq!(
+            reason("index", "SELECT t.oid FROM paper t WHERE t.n > :x"),
+            "non-equality"
+        );
+    }
+
+    #[test]
+    fn oid_probe_param_detects_pure_probes() {
+        assert_eq!(
+            oid_probe_param("SELECT t.oid, t.title FROM paper t WHERE t.oid = :item"),
+            Some("item".to_string())
+        );
+        assert_eq!(
+            oid_probe_param("SELECT t.oid FROM paper t WHERE t.issue_oid = :issue"),
+            None
+        );
+        assert_eq!(oid_probe_param("SELECT 1"), None);
+    }
+
+    #[test]
+    fn version_table_stamps_move_with_writes() {
+        let v = VersionTable::new();
+        let s0 = v.stamp(["paper", "author"]);
+        v.bump("paper");
+        let s1 = v.stamp(["paper", "author"]);
+        assert_ne!(s0, s1);
+        // unrelated entity: stamp of a disjoint closure is unaffected
+        let a0 = v.stamp(["author"]);
+        v.bump("paper");
+        assert_eq!(a0, v.stamp(["author"]));
+        v.bump_epoch();
+        assert_ne!(a0, v.stamp(["author"]));
+    }
+
+    #[test]
+    fn fingerprint_round_trips() {
+        let m = parse_fingerprint("a=x&b=2&");
+        assert_eq!(m.get("a").map(String::as_str), Some("x"));
+        assert_eq!(m.get("b").map(String::as_str), Some("2"));
+        assert!(parse_fingerprint("").is_empty());
+    }
+
+    #[test]
+    fn catalog_extracts_oid_deltas() {
+        let mut cat = TableCatalog::new();
+        cat.add("paper", vec!["oid".into(), "title".into()]);
+        let c = ChangeRecord::Update {
+            table: "paper".into(),
+            row_id: 3,
+            row: vec![Value::Integer(41), Value::Text("CIDR".into())],
+        };
+        let d = cat.delta(&c).unwrap();
+        assert_eq!(d.oid, 41);
+        assert_eq!(d.op, DeltaOp::Update);
+        assert_eq!(d.get("title"), Some(&Value::Text("CIDR".into())));
+        assert_eq!(d.get("TITLE"), Some(&Value::Text("CIDR".into())));
+        assert_eq!(d.get("missing"), None);
+        // unknown table → None → caller falls back
+        let c2 = ChangeRecord::Insert {
+            table: "nope".into(),
+            row_id: 0,
+            row: vec![],
+        };
+        assert!(cat.delta(&c2).is_none());
+    }
+}

@@ -20,16 +20,23 @@
 //! consistently after recovery.
 
 use crate::bean::BeanCache;
+use crate::maintain::TableCatalog;
 use obs::Counter;
 use relstore::ChangeRecord;
 use std::sync::Arc;
 
-/// Bridges the durable change stream to [`BeanCache::invalidate_entity`].
+/// Bridges the durable change stream to [`BeanCache::invalidate_entity`]
+/// — or, given a [`TableCatalog`], to the row-granular
+/// [`BeanCache::invalidate_row`]: a change record that names its row only
+/// drops whole-entity dependents plus the beans scoped to exactly that
+/// `(entity, oid)`, so an unrelated row's cached bean survives the write.
 ///
 /// Attach with `wal::Wal::attach_observer`. Generic over the bean value
 /// type, like the cache itself.
 pub struct LogDrivenInvalidator<V> {
     cache: Arc<BeanCache<V>>,
+    /// Resolves change rows to oids; `None` = whole-entity invalidation.
+    catalog: Option<TableCatalog>,
     /// Durable batches processed.
     batches: Counter,
     /// Beans dropped due to log-driven invalidation.
@@ -40,6 +47,23 @@ impl<V> LogDrivenInvalidator<V> {
     pub fn new(cache: Arc<BeanCache<V>>) -> LogDrivenInvalidator<V> {
         LogDrivenInvalidator {
             cache,
+            catalog: None,
+            batches: Counter::new(),
+            beans_invalidated: Counter::new(),
+        }
+    }
+
+    /// Row-granular invalidation: changes whose row the catalog can
+    /// resolve to an oid drop only `(entity, oid)`-scoped beans (plus the
+    /// conservative whole-entity dependents); unresolvable changes fall
+    /// back to whole-entity invalidation.
+    pub fn with_catalog(
+        cache: Arc<BeanCache<V>>,
+        catalog: TableCatalog,
+    ) -> LogDrivenInvalidator<V> {
+        LogDrivenInvalidator {
+            cache,
+            catalog: Some(catalog),
             batches: Counter::new(),
             beans_invalidated: Counter::new(),
         }
@@ -55,19 +79,25 @@ impl<V> LogDrivenInvalidator<V> {
         self.beans_invalidated.get()
     }
 
-    /// Apply one durable batch: invalidate each distinct entity once.
-    /// Public so recovery paths can replay `RecoveryInfo::tables_touched`
-    /// through the same code.
+    /// Apply one durable batch: invalidate each distinct entity (or, with
+    /// a catalog, each distinct row) once. Public so recovery paths can
+    /// replay `RecoveryInfo::tables_touched` through the same code.
     pub fn apply(&self, changes: &[ChangeRecord]) {
         self.batches.inc();
-        let mut seen: Vec<&str> = Vec::new();
+        let mut entities: Vec<&str> = Vec::new();
+        let mut rows: Vec<(&str, i64)> = Vec::new();
         for c in changes {
-            if let Some(t) = c.table() {
-                if !seen.contains(&t) {
-                    seen.push(t);
+            let Some(t) = c.table() else { continue };
+            if let Some(delta) = self.catalog.as_ref().and_then(|cat| cat.delta(c)) {
+                if !rows.contains(&(t, delta.oid)) && !entities.contains(&t) {
+                    rows.push((t, delta.oid));
                     self.beans_invalidated
-                        .add(self.cache.invalidate_entity(t) as u64);
+                        .add(self.cache.invalidate_row(t, delta.oid) as u64);
                 }
+            } else if !entities.contains(&t) {
+                entities.push(t);
+                self.beans_invalidated
+                    .add(self.cache.invalidate_entity(t) as u64);
             }
         }
     }
@@ -124,6 +154,58 @@ mod tests {
         assert_eq!(inv.beans_invalidated(), 1); // one bean, despite 2 changes
         assert!(cache.get(&BeanKey::new("BookIndex", "-")).is_none());
         assert!(cache.get(&BeanKey::new("AuthorIndex", "-")).is_some());
+    }
+
+    #[test]
+    fn row_granular_invalidation_spares_unrelated_oids() {
+        let cache: Arc<BeanCache<String>> = Arc::new(BeanCache::new(16));
+        // two data beans scoped to distinct rows of `book`, plus one
+        // whole-entity index bean
+        cache.put_scoped(
+            BeanKey::new("BookData", "item=1&"),
+            "bean:book1".to_string(),
+            &[],
+            &[("book".to_string(), 1)],
+            None,
+        );
+        cache.put_scoped(
+            BeanKey::new("BookData", "item=2&"),
+            "bean:book2".to_string(),
+            &[],
+            &[("book".to_string(), 2)],
+            None,
+        );
+        cache.put(
+            BeanKey::new("BookIndex", "-"),
+            "bean:books".to_string(),
+            &["book".to_string()],
+            None,
+        );
+        let mut catalog = TableCatalog::new();
+        catalog.add("book", vec!["oid".to_string(), "t".to_string()]);
+        let inv = LogDrivenInvalidator::with_catalog(Arc::clone(&cache), catalog);
+        inv.apply(&[ChangeRecord::Update {
+            table: "book".into(),
+            row_id: 0,
+            row: vec![
+                relstore::Value::Integer(1),
+                relstore::Value::Text("WebML 2e".into()),
+            ],
+        }]);
+        // the written row's bean and the whole-entity index are gone …
+        assert!(cache.get(&BeanKey::new("BookData", "item=1&")).is_none());
+        assert!(cache.get(&BeanKey::new("BookIndex", "-")).is_none());
+        // … but the unrelated row's bean survives the write
+        assert!(cache.get(&BeanKey::new("BookData", "item=2&")).is_some());
+        assert_eq!(inv.beans_invalidated(), 2);
+        // a change the catalog can't resolve falls back to whole-entity
+        let inv2 = LogDrivenInvalidator::with_catalog(Arc::clone(&cache), TableCatalog::new());
+        inv2.apply(&[ChangeRecord::Update {
+            table: "book".into(),
+            row_id: 0,
+            row: vec![relstore::Value::Integer(2)],
+        }]);
+        assert!(cache.get(&BeanKey::new("BookData", "item=2&")).is_none());
     }
 
     #[test]

@@ -210,7 +210,11 @@ impl Application {
         // last boot) are created — and logged — here.
         apply_derived_indexes(&db, &generated.derived_indexes).map_err(DeployError::Schema)?;
         pin_descriptor_plans(&db, &generated.descriptors);
-        let controller = Arc::new(Controller::with_observability(
+        let mut options = options;
+        if durability.incremental_maintenance {
+            options.maintained_coherence = true;
+        }
+        let mut controller = Controller::with_observability(
             generated.descriptors.clone(),
             generated.skeletons.clone(),
             Arc::clone(&db),
@@ -218,13 +222,51 @@ impl Application {
             ServiceRegistry::standard(),
             DeviceRegistry::standard(),
             Arc::clone(&registry),
-        ));
-        if durability.log_driven_invalidation {
+        );
+        if durability.incremental_maintenance {
             if let Some(cache) = controller.bean_cache_arc() {
-                let inv = Arc::new(webcache::LogDrivenInvalidator::new(cache));
+                let shapes = mvc::unit_shapes(&generated.descriptors);
+                let plan = webcache::MaintenancePlan::build(&shapes);
+                let catalog = webcache::TableCatalog::from_database(&db);
+                let mut maint = webcache::LogDrivenMaintainer::new(
+                    cache,
+                    plan,
+                    catalog,
+                    Arc::new(mvc::UnitBeanPatcher),
+                    controller.version_table(),
+                    Arc::clone(&registry.maint),
+                )
+                .with_database(Arc::clone(&db));
+                if let Some(fc) = controller.fragment_cache_arc() {
+                    maint = maint.with_fragments(fc);
+                }
+                wal.attach_observer(Arc::new(maint) as Arc<dyn wal::LogObserver>);
+                // The coherence barrier the op path runs before its forward
+                // render. Strict commit keeps the inline write + sync;
+                // non-strict commit already accepts the group-commit
+                // window as its durability lag, so the barrier only
+                // dispatches the buffered records to the maintenance
+                // observers and leaves all file I/O to the flusher thread.
+                let barrier_wal = Arc::clone(&wal);
+                let strict = durability.strict_commit;
+                controller.set_write_barrier(Arc::new(move || {
+                    if strict {
+                        barrier_wal.flush_and_notify();
+                    } else {
+                        barrier_wal.notify_buffered();
+                    }
+                }));
+            }
+        } else if durability.log_driven_invalidation {
+            if let Some(cache) = controller.bean_cache_arc() {
+                let inv = Arc::new(webcache::LogDrivenInvalidator::with_catalog(
+                    cache,
+                    webcache::TableCatalog::from_database(&db),
+                ));
                 wal.attach_observer(inv as Arc<dyn wal::LogObserver>);
             }
         }
+        let controller = Arc::new(controller);
         Ok(Deployment {
             generated,
             db,
@@ -315,6 +357,15 @@ pub struct DurabilityConfig {
     /// Subscribe the controller's bean cache to the durable change
     /// stream (replica-style invalidation).
     pub log_driven_invalidation: bool,
+    /// Incremental view maintenance: instead of dropping dependent beans,
+    /// the durable change stream *patches* them in place where the unit's
+    /// query shape allows it (single-row probes, oid-ordered row sets,
+    /// bounded Top-K windows), dirties only the affected units' fragments,
+    /// and keeps the controller's entity-version table moving for strong
+    /// `ETag`s. Implies maintained coherence: the §6 op-path whole-entity
+    /// invalidation is skipped and a post-operation write barrier flushes
+    /// the log so the maintenance pass runs before the forward re-reads.
+    pub incremental_maintenance: bool,
 }
 
 impl DurabilityConfig {
@@ -324,6 +375,7 @@ impl DurabilityConfig {
             group_commit_window: Duration::from_millis(2),
             strict_commit: false,
             log_driven_invalidation: true,
+            incremental_maintenance: false,
         }
     }
 }
@@ -529,6 +581,7 @@ pub fn adapt_request(req: &HttpRequest) -> WebRequest {
     }
     out.session = req.cookie(SESSION_COOKIE);
     out.user_agent = req.header("user-agent").unwrap_or_default().to_string();
+    out.if_none_match = req.header("if-none-match").map(str::to_string);
     out
 }
 
@@ -536,6 +589,9 @@ pub fn adapt_request(req: &HttpRequest) -> WebRequest {
 pub fn adapt_response(resp: WebResponse) -> HttpResponse {
     let mut http = HttpResponse::html(resp.status, resp.body);
     http.headers[0].1 = resp.content_type;
+    if let Some(tag) = resp.etag {
+        http = http.header("ETag", tag);
+    }
     if let Some(sid) = resp.set_session {
         http = http.header("Set-Cookie", format!("{SESSION_COOKIE}={sid}; Path=/"));
     }
@@ -556,6 +612,9 @@ pub fn adapt_response_parts(resp: WebResponseParts) -> HttpResponse {
         .collect();
     let mut http = HttpResponse::html_chunks(resp.status, chunks);
     http.headers[0].1 = resp.content_type;
+    if let Some(tag) = resp.etag {
+        http = http.header("ETag", tag);
+    }
     if let Some(sid) = resp.set_session {
         http = http.header("Set-Cookie", format!("{SESSION_COOKIE}={sid}; Path=/"));
     }

@@ -166,6 +166,7 @@ impl HttpResponse {
         match status {
             200 => "OK",
             302 => "Found",
+            304 => "Not Modified",
             303 => "See Other",
             400 => "Bad Request",
             401 => "Unauthorized",

@@ -25,10 +25,10 @@ use presentation::{
     render_template_chunks, DeviceRegistry, HtmlChunk, RuleSet, StyledTemplate, TemplateSkeleton,
 };
 use relstore::{Database, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
-use webcache::{BeanCache, FragmentCache, FragmentKey};
+use webcache::{BeanCache, FragmentCache, FragmentKey, VersionTable};
 
 /// When presentation rules run (§5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +60,14 @@ pub struct RuntimeOptions {
     /// `Some(n)`: deploy business services in the application server with
     /// `n` clones (Fig. 6); `None`: in-process.
     pub app_server_clones: Option<usize>,
+    /// Derive a strong `ETag` per page from its dependency entities'
+    /// versions and answer matching `If-None-Match` conditional GETs with
+    /// `304 Not Modified` before any unit computes.
+    pub conditional_get: bool,
+    /// The WAL-driven maintenance layer owns cache coherence: operations
+    /// skip the §6 op-path whole-entity invalidation (entity versions are
+    /// still bumped so `ETag`s move immediately).
+    pub maintained_coherence: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -74,6 +82,8 @@ impl Default for RuntimeOptions {
             session_ttl: DEFAULT_SESSION_TTL,
             styling: StylingMode::CompileTime,
             app_server_clones: None,
+            conditional_get: false,
+            maintained_coherence: false,
         }
     }
 }
@@ -92,12 +102,28 @@ pub struct Controller {
     pub sessions: Arc<SessionManager>,
     pub ops: OperationEngine,
     bean_cache: Option<Arc<BeanCache<UnitBean>>>,
-    fragment_cache: Option<FragmentCache>,
+    fragment_cache: Option<Arc<FragmentCache>>,
     tier: Arc<dyn BusinessTier>,
     app_server: Option<Arc<AppServerTier>>,
     /// Shared observability registry: request/forward/error counters, cache
     /// counter blocks, per-unit-kind histograms, …
     obs: Arc<obs::MetricsRegistry>,
+    /// Per-entity content versions (plus DDL epoch). Operations bump it
+    /// synchronously; the WAL maintenance layer bumps it on durable
+    /// batches. Strong `ETag`s hash the page's dependency versions.
+    versions: Arc<VersionTable>,
+    /// Units whose content is a single key-probed row: unit id →
+    /// (entity table, request parameter holding the row oid). Their
+    /// pages validate against per-row versions, so a write to paper 7
+    /// does not move the `ETag` of the page showing paper 12.
+    probe_validators: HashMap<String, (String, String)>,
+    conditional_get: bool,
+    maintained_coherence: bool,
+    /// Invoked after every successful operation, before the forward
+    /// renders. Durable deployments under maintained coherence install
+    /// `Wal::flush_and_notify` here so the maintenance pass runs before
+    /// the writer can re-read (read-your-writes).
+    write_barrier: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 /// Best-effort typed view of a request parameter string.
@@ -206,12 +232,12 @@ impl Controller {
             ))
         });
         let fragment_cache = options.fragment_cache.then(|| {
-            FragmentCache::with_config(
+            Arc::new(FragmentCache::with_config(
                 options.fragment_capacity,
                 options.cache_stripes,
                 options.fragment_ttl,
                 webcache::CacheStats::shared(Arc::clone(&observability.fragment_cache)),
-            )
+            ))
         });
         let skeletons: HashMap<String, TemplateSkeleton> =
             skeletons.into_iter().map(|s| (s.page.clone(), s)).collect();
@@ -242,6 +268,22 @@ impl Controller {
                 None => (Arc::new(InProcessTier { ctx }), None),
             };
 
+        // A unit qualifies for row-granular validation when it is a
+        // single key-probe query over its own (and only) dependency —
+        // the same shape the maintenance planner patches by key.
+        let probe_validators: HashMap<String, (String, String)> = set
+            .units
+            .iter()
+            .filter_map(|u| {
+                let table = u.entity_table.as_deref()?;
+                if u.depends_on.len() != 1 || u.depends_on[0] != table || u.queries.len() != 1 {
+                    return None;
+                }
+                let param = webcache::oid_probe_param(&u.queries[0].sql)?;
+                Some((u.id.clone(), (table.to_string(), param)))
+            })
+            .collect();
+
         Controller {
             set,
             skeletons,
@@ -256,7 +298,24 @@ impl Controller {
             tier,
             app_server,
             obs: observability,
+            versions: Arc::new(VersionTable::new()),
+            probe_validators,
+            conditional_get: options.conditional_get,
+            maintained_coherence: options.maintained_coherence,
+            write_barrier: None,
         }
+    }
+
+    /// Install the post-operation write barrier (see the field docs).
+    /// Call before the controller is shared.
+    pub fn set_write_barrier(&mut self, barrier: Arc<dyn Fn() + Send + Sync>) {
+        self.write_barrier = Some(barrier);
+    }
+
+    /// The entity version table `ETag`s derive from. Share it with the
+    /// WAL maintenance layer so durable batches move page versions too.
+    pub fn version_table(&self) -> Arc<VersionTable> {
+        Arc::clone(&self.versions)
     }
 
     /// The shared observability registry.
@@ -283,7 +342,13 @@ impl Controller {
     }
 
     pub fn fragment_cache(&self) -> Option<&FragmentCache> {
-        self.fragment_cache.as_ref()
+        self.fragment_cache.as_deref()
+    }
+
+    /// Owning handle to the fragment cache, for wiring the maintenance
+    /// layer's dirty-fragment invalidation to the same instance.
+    pub fn fragment_cache_arc(&self) -> Option<Arc<FragmentCache>> {
+        self.fragment_cache.clone()
     }
 
     /// The elastic application-server pool, when deployed that way.
@@ -326,25 +391,32 @@ impl Controller {
     ) -> WebResponseParts {
         self.obs.requests.inc();
         let (sid, _, created) = self.sessions.get_or_create(req.session.as_deref());
-        let mut response =
-            match self.dispatch(&req.path, &req.params, &sid, &req.user_agent, 0, ctx) {
-                Ok(r) => r,
-                Err(MvcError::NotFound(p)) => {
-                    self.obs.errors.inc();
-                    WebResponseParts::from_flat(WebResponse::not_found(&p))
-                }
-                Err(MvcError::Unauthorized) => {
-                    self.obs.errors.inc();
-                    WebResponseParts::from_flat(WebResponse::error(
-                        401,
-                        "authentication required for this site view",
-                    ))
-                }
-                Err(e) => {
-                    self.obs.errors.inc();
-                    WebResponseParts::from_flat(WebResponse::error(500, &e.to_string()))
-                }
-            };
+        let mut response = match self.dispatch(
+            &req.path,
+            &req.params,
+            &sid,
+            &req.user_agent,
+            req.if_none_match.as_deref(),
+            0,
+            ctx,
+        ) {
+            Ok(r) => r,
+            Err(MvcError::NotFound(p)) => {
+                self.obs.errors.inc();
+                WebResponseParts::from_flat(WebResponse::not_found(&p))
+            }
+            Err(MvcError::Unauthorized) => {
+                self.obs.errors.inc();
+                WebResponseParts::from_flat(WebResponse::error(
+                    401,
+                    "authentication required for this site view",
+                ))
+            }
+            Err(e) => {
+                self.obs.errors.inc();
+                WebResponseParts::from_flat(WebResponse::error(500, &e.to_string()))
+            }
+        };
         if created {
             response.set_session = Some(sid);
         }
@@ -358,6 +430,7 @@ impl Controller {
         params: &BTreeMap<String, String>,
         sid: &str,
         user_agent: &str,
+        if_none_match: Option<&str>,
         depth: usize,
         ctx: &mut obs::RequestContext,
     ) -> Result<WebResponseParts> {
@@ -394,7 +467,7 @@ impl Controller {
                     &desc.name
                 };
                 let token = ctx.enter(format!("page:{label}"));
-                let r = self.render_page(desc, params, sid, user_agent, ctx);
+                let r = self.render_page(desc, params, sid, user_agent, if_none_match, ctx);
                 ctx.exit(token);
                 r
             }
@@ -427,12 +500,34 @@ impl Controller {
                     sid,
                     ctx,
                 )?;
-                // §6: operations automatically invalidate affected beans
+                // §6: operations automatically invalidate affected beans.
+                // Entity versions bump either way, synchronously — ETags
+                // must move with the in-memory commit, not the fsync.
                 if result.ok {
-                    if let Some(cache) = &self.bean_cache {
+                    for table in &desc.invalidates {
+                        self.versions.bump(table);
+                    }
+                    // ops that name their row (edit/delete forms carry an
+                    // `oid` input) move that row's validator too, so
+                    // row-granular ETags stay honest even when the
+                    // deployment has no WAL maintenance pass
+                    if let Some(oid) = params.get("oid").and_then(|v| v.parse::<i64>().ok()) {
                         for table in &desc.invalidates {
-                            cache.invalidate_entity(table);
+                            self.versions.bump_row(table, oid);
                         }
+                    }
+                    if !self.maintained_coherence {
+                        if let Some(cache) = &self.bean_cache {
+                            for table in &desc.invalidates {
+                                cache.invalidate_entity(table);
+                            }
+                        }
+                    }
+                    // under maintained coherence the durable-log pass owns
+                    // the caches; the barrier (Wal::flush_and_notify) runs
+                    // it before the forward re-reads
+                    if let Some(barrier) = &self.write_barrier {
+                        barrier();
                     }
                 } else {
                     self.obs.ko_flows.inc();
@@ -458,7 +553,9 @@ impl Controller {
                 if let Some(m) = &result.message {
                     next.insert("message".into(), m.clone());
                 }
-                self.dispatch(forward, &next, sid, user_agent, depth + 1, ctx)
+                // a write flow always renders the forward in full: the
+                // client's validator is for the page it saw *before*
+                self.dispatch(forward, &next, sid, user_agent, None, depth + 1, ctx)
             }
         }
     }
@@ -467,14 +564,84 @@ impl Controller {
         self.devices.select(user_agent)
     }
 
+    /// Strong `ETag` for a page: FNV-1a over the page identity, the
+    /// request parameters, the device class, the session, and version
+    /// validators for the page's content. Key-probe units contribute the
+    /// version of the *row* they display; every other unit contributes
+    /// its entities' table stamps. Any committed write that can change
+    /// the page moves the tag; writes to sibling rows do not.
+    fn page_etag(
+        &self,
+        page: &PageDescriptor,
+        raw_params: &BTreeMap<String, String>,
+        sid: &str,
+        user_agent: &str,
+    ) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(page.id.as_bytes());
+        for (k, v) in raw_params {
+            mix(k.as_bytes());
+            mix(b"=");
+            mix(v.as_bytes());
+            mix(b"&");
+        }
+        mix(user_agent.as_bytes());
+        mix(sid.as_bytes());
+        let mut deps: BTreeSet<&str> = BTreeSet::new();
+        for uid in &page.units {
+            if let Some((table, param)) = self.probe_validators.get(uid) {
+                if let Some(oid) = raw_params.get(param).and_then(|v| v.parse::<i64>().ok()) {
+                    mix(table.as_bytes());
+                    mix(&oid.to_le_bytes());
+                    mix(&self.versions.row_version(table, oid).to_le_bytes());
+                    continue;
+                }
+            }
+            if let Some(u) = self.set.unit(uid) {
+                deps.extend(u.depends_on.iter().map(String::as_str));
+            }
+        }
+        // the stamp always folds in the DDL epoch, which also resets
+        // row versions — so row validators can't survive a schema change
+        mix(&self.versions.stamp(deps).to_le_bytes());
+        format!("\"{h:016x}\"")
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn render_page(
         &self,
         page: &PageDescriptor,
         raw_params: &BTreeMap<String, String>,
         sid: &str,
         user_agent: &str,
+        if_none_match: Option<&str>,
         ctx: &mut obs::RequestContext,
     ) -> Result<WebResponseParts> {
+        // Conditional GET (§6 carried to the client's cache): when the
+        // validator still names the current dependency versions, answer
+        // 304 before any unit computes — the cheapest page is the one
+        // never built.
+        let etag = self
+            .conditional_get
+            .then(|| self.page_etag(page, raw_params, sid, user_agent));
+        if let (Some(tag), Some(inm)) = (&etag, if_none_match) {
+            if inm == tag {
+                self.obs.maint.http_304.inc();
+                return Ok(WebResponseParts {
+                    status: 304,
+                    content_type: "text/html; charset=utf-8".into(),
+                    body: Vec::new(),
+                    set_session: None,
+                    etag: etag.clone(),
+                });
+            }
+        }
         let request_params: ParamMap = raw_params
             .iter()
             .map(|(k, v)| (k.clone(), to_value(v)))
@@ -551,12 +718,17 @@ impl Controller {
                 let content = unit_content(desc, page, bean, &request_params);
                 let markup = rules.render_unit(&content);
                 let chunk = if let Some(fc) = &self.fragment_cache {
-                    // `put` returns the freshly interned Arc, so even the
-                    // miss path serves the cache-resident bytes.
-                    HtmlChunk::Shared(fc.put(
+                    // `put_versioned` returns the freshly interned Arc, so
+                    // even the miss path serves the cache-resident bytes;
+                    // a put over a dirty tombstone is a re-render.
+                    let (shared, _version, rerendered) = fc.put_versioned(
                         FragmentKey::new(&page.template, unit_id, &params_fp),
                         markup,
-                    ))
+                    );
+                    if rerendered {
+                        self.obs.maint.fragment_rerenders.inc();
+                    }
+                    HtmlChunk::Shared(shared)
                 } else {
                     HtmlChunk::Owned(markup)
                 };
@@ -574,6 +746,7 @@ impl Controller {
             content_type: "text/html; charset=utf-8".into(),
             body: chunks,
             set_session: None,
+            etag,
         })
     }
 }

@@ -25,6 +25,7 @@ pub mod appserver;
 pub mod beans;
 pub mod controller;
 pub mod error;
+pub mod maintain;
 pub mod operations;
 pub mod page;
 pub mod render;
@@ -36,6 +37,7 @@ pub use appserver::{AppServerTier, BusinessTier, InProcessTier, TierContext};
 pub use beans::{BeanRow, NestedBeanRow, UnitBean};
 pub use controller::{to_value, Controller, RuntimeOptions, StylingMode};
 pub use error::{MvcError, Result};
+pub use maintain::{unit_shapes, UnitBeanPatcher};
 pub use operations::{Mail, OpResult, OperationEngine, OperationHandler};
 pub use page::{compute_page, compute_page_traced, PageEnv, PageResult};
 pub use render::{navigation_html, unit_content};

@@ -1,0 +1,478 @@
+//! Unit-bean patch semantics for the incremental maintenance layer.
+//!
+//! `webcache::maintain` decides *which* cached beans a durable change may
+//! affect and whether the plan says they are patchable; this module knows
+//! *how* a row delta folds into a [`UnitBean`]:
+//!
+//! - **key probes** (data units on `t.oid = :p`): overwrite the single
+//!   row's attributes, fill an empty bean on insert, empty it on delete;
+//! - **row sets** (index-family units): insert/update/delete the one row
+//!   in the cached row list, re-evaluating the unit's equality predicate
+//!   against the bean key's own parameters; under a non-oid `ORDER BY`
+//!   an update that changes the order key would move the row, so it
+//!   falls back (`reorder`) instead of patching at a stale position;
+//! - **Top-K windows** (`LIMIT k`): repaired in place while the repair is
+//!   provably complete — a delete that shrinks a full window needs rows
+//!   the cache never held, so it falls back (`topk-refill`).
+//!
+//! Anything the cached value alone cannot answer returns
+//! [`PatchOutcome::Unpatchable`] with a stable reason tag; the maintainer
+//! drops that bean and counts it, which is exactly PR 7's behavior — the
+//! maintenance layer only ever *improves* on invalidation, never serves
+//! content invalidation would not have served.
+
+use crate::beans::{BeanRow, UnitBean};
+use descriptors::DescriptorSet;
+use relstore::Value;
+use std::collections::BTreeMap;
+use webcache::{DeltaOp, PatchOutcome, Patcher, RowDelta, RowOrder, Strategy, UnitPlan, UnitShape};
+
+/// Build the planner's unit shapes from a deployed descriptor set.
+pub fn unit_shapes(set: &DescriptorSet) -> Vec<UnitShape> {
+    set.units
+        .iter()
+        .map(|u| {
+            let main = u.main_query();
+            UnitShape {
+                unit_id: u.id.clone(),
+                page: u.page.clone(),
+                unit_kind: u.unit_type.clone(),
+                entity_table: u.entity_table.clone(),
+                sql: main.map(|q| q.sql.clone()).unwrap_or_default(),
+                inputs: main.map(|q| q.inputs.clone()).unwrap_or_default(),
+                bean_columns: main
+                    .map(|q| {
+                        q.bean
+                            .iter()
+                            .map(|b| (b.name.clone(), b.column.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                depends_on: u.depends_on.clone(),
+                cached: u.cache.is_some(),
+            }
+        })
+        .collect()
+}
+
+/// Project the changed row into the unit's bean-row shape.
+fn project(plan: &UnitPlan, delta: &RowDelta<'_>) -> BeanRow {
+    BeanRow {
+        values: plan
+            .projection
+            .iter()
+            .map(|(name, col)| (name.clone(), delta.get(col).cloned().unwrap_or(Value::Null)))
+            .collect(),
+    }
+}
+
+/// Evaluate the unit's equality conjuncts against the changed row, using
+/// the bean key's parameter renderings. `None` = cannot evaluate (missing
+/// column or unbound parameter).
+fn matches_filters(
+    filters: &[(String, String)],
+    key_params: &BTreeMap<String, String>,
+    delta: &RowDelta<'_>,
+) -> Option<bool> {
+    for (col, param) in filters {
+        let wanted = key_params.get(param)?;
+        let have = delta.get(col)?;
+        if matches!(have, Value::Null) || have.render() != *wanted {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// The [`Patcher`] for MVC unit beans.
+pub struct UnitBeanPatcher;
+
+impl UnitBeanPatcher {
+    #[allow(clippy::too_many_arguments)]
+    fn patch_rows(
+        &self,
+        plan: &UnitPlan,
+        filters: &[(String, String)],
+        order: &RowOrder,
+        limit: Option<usize>,
+        key_params: &BTreeMap<String, String>,
+        rows: &[BeanRow],
+        delta: &RowDelta<'_>,
+    ) -> PatchOutcome<UnitBean> {
+        // membership reasoning needs every cached row's oid
+        if rows.iter().any(|r| r.oid().is_none()) {
+            return PatchOutcome::Unpatchable("no-row-oid");
+        }
+        let pos = rows.iter().position(|r| r.oid() == Some(delta.oid));
+        let rebuilt = |rows: Vec<BeanRow>| {
+            let total = rows.len();
+            PatchOutcome::Patched(UnitBean::Rows { rows, total })
+        };
+        match delta.op {
+            DeltaOp::Delete => match pos {
+                Some(p) => {
+                    // a delete that shrinks a *full* Top-K window exposes
+                    // a slot only the store can refill
+                    if let Some(k) = limit {
+                        if rows.len() >= k {
+                            return PatchOutcome::Unpatchable("topk-refill");
+                        }
+                    }
+                    let mut rows = rows.to_vec();
+                    rows.remove(p);
+                    rebuilt(rows)
+                }
+                None => PatchOutcome::Unchanged,
+            },
+            DeltaOp::Insert | DeltaOp::Update => {
+                let is_member = match matches_filters(filters, key_params, delta) {
+                    Some(b) => b,
+                    None => return PatchOutcome::Unpatchable("unbound-param"),
+                };
+                match (pos, is_member) {
+                    (Some(p), true) => {
+                        // under a non-oid ordering, the row keeps its
+                        // position only if its order key is unchanged
+                        match order {
+                            RowOrder::Column(col) => {
+                                let prop = plan
+                                    .projection
+                                    .iter()
+                                    .find(|(_, c)| c == col)
+                                    .map(|(name, _)| name.as_str());
+                                let moved = match (prop, delta.get(col)) {
+                                    (Some(prop), Some(new_key)) => {
+                                        rows[p].get(prop) != Some(new_key)
+                                    }
+                                    // order key not observable → assume moved
+                                    _ => true,
+                                };
+                                if moved {
+                                    return PatchOutcome::Unpatchable("reorder");
+                                }
+                            }
+                            RowOrder::Opaque => return PatchOutcome::Unpatchable("reorder"),
+                            RowOrder::Insertion | RowOrder::Oid => {}
+                        }
+                        let mut rows = rows.to_vec();
+                        rows[p] = project(plan, delta);
+                        rebuilt(rows)
+                    }
+                    (Some(p), false) => {
+                        // the row no longer satisfies the predicate
+                        if let Some(k) = limit {
+                            if rows.len() >= k {
+                                return PatchOutcome::Unpatchable("topk-refill");
+                            }
+                        }
+                        let mut rows = rows.to_vec();
+                        rows.remove(p);
+                        rebuilt(rows)
+                    }
+                    (None, true) => {
+                        // a new member: its position is only computable
+                        // under the engine-stable oid order
+                        if *order != RowOrder::Oid {
+                            return PatchOutcome::Unpatchable("insert-order");
+                        }
+                        let at = rows
+                            .iter()
+                            .position(|r| r.oid().is_some_and(|o| o > delta.oid))
+                            .unwrap_or(rows.len());
+                        let mut rows = rows.to_vec();
+                        match limit {
+                            Some(k) if rows.len() >= k => {
+                                if at < rows.len() {
+                                    rows.insert(at, project(plan, delta));
+                                    rows.truncate(k);
+                                    rebuilt(rows)
+                                } else {
+                                    // beyond the full window: invisible
+                                    PatchOutcome::Unchanged
+                                }
+                            }
+                            _ => {
+                                rows.insert(at, project(plan, delta));
+                                rebuilt(rows)
+                            }
+                        }
+                    }
+                    (None, false) => PatchOutcome::Unchanged,
+                }
+            }
+        }
+    }
+}
+
+impl Patcher<UnitBean> for UnitBeanPatcher {
+    fn apply(
+        &self,
+        plan: &UnitPlan,
+        key_params: &BTreeMap<String, String>,
+        bean: &UnitBean,
+        delta: &RowDelta<'_>,
+    ) -> PatchOutcome<UnitBean> {
+        match (&plan.strategy, bean) {
+            // the maintainer already verified the key parameter equals the
+            // changed row's oid, so the delta *is* this bean's row
+            (Strategy::KeyProbe { .. }, UnitBean::Single(_)) => match delta.op {
+                DeltaOp::Delete => PatchOutcome::Patched(UnitBean::Single(None)),
+                DeltaOp::Insert | DeltaOp::Update => {
+                    PatchOutcome::Patched(UnitBean::Single(Some(project(plan, delta))))
+                }
+            },
+            (
+                Strategy::RowSet {
+                    filters,
+                    order,
+                    limit,
+                },
+                UnitBean::Rows { rows, .. },
+            ) => self.patch_rows(plan, filters, order, *limit, key_params, rows, delta),
+            (Strategy::Fallback { reason }, _) => PatchOutcome::Unpatchable(reason),
+            // plan and cached value disagree on shape (custom service)
+            _ => PatchOutcome::Unpatchable("bean-shape"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache::{MaintenancePlan, TableCatalog};
+
+    fn index_plan(sql: &str) -> UnitPlan {
+        let plan = MaintenancePlan::build(&[UnitShape {
+            unit_id: "idx".into(),
+            page: "p".into(),
+            unit_kind: "index".into(),
+            entity_table: Some("paper".into()),
+            sql: sql.into(),
+            inputs: vec![],
+            bean_columns: vec![],
+            depends_on: vec!["paper".into()],
+            cached: true,
+        }]);
+        plan.unit("idx").unwrap().clone()
+    }
+
+    fn row(oid: i64, title: &str) -> BeanRow {
+        BeanRow {
+            values: vec![
+                ("oid".into(), Value::Integer(oid)),
+                ("title".into(), Value::Text(title.into())),
+            ],
+        }
+    }
+
+    fn catalog() -> TableCatalog {
+        let mut c = TableCatalog::new();
+        c.add(
+            "paper",
+            vec![
+                "oid".to_string(),
+                "title".to_string(),
+                "issue_oid".to_string(),
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn insert_folds_into_oid_ordered_row_set() {
+        let plan = index_plan(
+            "SELECT t.oid, t.title FROM paper t WHERE t.issue_oid = :issue ORDER BY t.oid",
+        );
+        let cat = catalog();
+        let change = relstore::ChangeRecord::Insert {
+            table: "paper".into(),
+            row_id: 9,
+            row: vec![
+                Value::Integer(2),
+                Value::Text("Mid".into()),
+                Value::Integer(7),
+            ],
+        };
+        let delta = cat.delta(&change).unwrap();
+        let bean = UnitBean::Rows {
+            rows: vec![row(1, "A"), row(3, "C")],
+            total: 2,
+        };
+        let mut params = BTreeMap::new();
+        params.insert("issue".to_string(), "7".to_string());
+        let PatchOutcome::Patched(UnitBean::Rows { rows, total }) =
+            UnitBeanPatcher.apply(&plan, &params, &bean, &delta)
+        else {
+            panic!("expected patch");
+        };
+        assert_eq!(total, 3);
+        assert_eq!(
+            rows.iter().map(|r| r.oid().unwrap()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(rows[1].get("title"), Some(&Value::Text("Mid".into())));
+
+        // a row of another issue leaves the bean untouched
+        let other = relstore::ChangeRecord::Insert {
+            table: "paper".into(),
+            row_id: 10,
+            row: vec![
+                Value::Integer(4),
+                Value::Text("Other".into()),
+                Value::Integer(8),
+            ],
+        };
+        let delta = cat.delta(&other).unwrap();
+        assert!(matches!(
+            UnitBeanPatcher.apply(&plan, &params, &bean, &delta),
+            PatchOutcome::Unchanged
+        ));
+    }
+
+    #[test]
+    fn update_moves_rows_across_the_predicate() {
+        let plan = index_plan(
+            "SELECT t.oid, t.title FROM paper t WHERE t.issue_oid = :issue ORDER BY t.oid",
+        );
+        let cat = catalog();
+        let bean = UnitBean::Rows {
+            rows: vec![row(1, "A"), row(2, "B")],
+            total: 2,
+        };
+        let mut params = BTreeMap::new();
+        params.insert("issue".to_string(), "7".to_string());
+        // row 2 reassigned to another issue → removed from this bean
+        let change = relstore::ChangeRecord::Update {
+            table: "paper".into(),
+            row_id: 1,
+            row: vec![
+                Value::Integer(2),
+                Value::Text("B2".into()),
+                Value::Integer(8),
+            ],
+        };
+        let delta = cat.delta(&change).unwrap();
+        let PatchOutcome::Patched(UnitBean::Rows { rows, total }) =
+            UnitBeanPatcher.apply(&plan, &params, &bean, &delta)
+        else {
+            panic!("expected patch");
+        };
+        assert_eq!(total, 1);
+        assert_eq!(rows[0].oid(), Some(1));
+    }
+
+    #[test]
+    fn delete_removes_member_rows() {
+        let plan = index_plan("SELECT t.oid, t.title FROM paper t ORDER BY t.oid");
+        let cat = catalog();
+        let bean = UnitBean::Rows {
+            rows: vec![row(1, "A"), row(2, "B")],
+            total: 2,
+        };
+        let change = relstore::ChangeRecord::Delete {
+            table: "paper".into(),
+            row_id: 0,
+            row: vec![Value::Integer(1), Value::Text("A".into()), Value::Null],
+        };
+        let delta = cat.delta(&change).unwrap();
+        let PatchOutcome::Patched(UnitBean::Rows { rows, total }) =
+            UnitBeanPatcher.apply(&plan, &BTreeMap::new(), &bean, &delta)
+        else {
+            panic!("expected patch");
+        };
+        assert_eq!((rows.len(), total), (1, 1));
+    }
+
+    #[test]
+    fn topk_repairs_in_place_until_a_full_window_shrinks() {
+        let plan = index_plan("SELECT t.oid, t.title FROM paper t ORDER BY t.oid LIMIT 2");
+        let cat = catalog();
+        let full = UnitBean::Rows {
+            rows: vec![row(2, "B"), row(4, "D")],
+            total: 2,
+        };
+        // an insert into a full window displaces the tail
+        let change = relstore::ChangeRecord::Insert {
+            table: "paper".into(),
+            row_id: 5,
+            row: vec![Value::Integer(3), Value::Text("C".into()), Value::Null],
+        };
+        let delta = cat.delta(&change).unwrap();
+        let PatchOutcome::Patched(UnitBean::Rows { rows, .. }) =
+            UnitBeanPatcher.apply(&plan, &BTreeMap::new(), &full, &delta)
+        else {
+            panic!("expected patch");
+        };
+        assert_eq!(
+            rows.iter().map(|r| r.oid().unwrap()).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        // an insert beyond the full window is invisible
+        let beyond = relstore::ChangeRecord::Insert {
+            table: "paper".into(),
+            row_id: 6,
+            row: vec![Value::Integer(9), Value::Text("Z".into()), Value::Null],
+        };
+        let delta = cat.delta(&beyond).unwrap();
+        assert!(matches!(
+            UnitBeanPatcher.apply(&plan, &BTreeMap::new(), &full, &delta),
+            PatchOutcome::Unchanged
+        ));
+        // deleting from a full window needs a refill → bounded fallback
+        let gone = relstore::ChangeRecord::Delete {
+            table: "paper".into(),
+            row_id: 1,
+            row: vec![Value::Integer(2), Value::Text("B".into()), Value::Null],
+        };
+        let delta = cat.delta(&gone).unwrap();
+        assert!(matches!(
+            UnitBeanPatcher.apply(&plan, &BTreeMap::new(), &full, &delta),
+            PatchOutcome::Unpatchable("topk-refill")
+        ));
+    }
+
+    #[test]
+    fn key_probe_overwrites_fills_and_empties() {
+        let shapes = vec![UnitShape {
+            unit_id: "d".into(),
+            page: "p".into(),
+            unit_kind: "data".into(),
+            entity_table: Some("paper".into()),
+            sql: "SELECT t.oid, t.title FROM paper t WHERE t.oid = :item".into(),
+            inputs: vec!["item".into()],
+            bean_columns: vec![],
+            depends_on: vec!["paper".into()],
+            cached: true,
+        }];
+        let plan = MaintenancePlan::build(&shapes);
+        let plan = plan.unit("d").unwrap();
+        let cat = catalog();
+        let change = relstore::ChangeRecord::Update {
+            table: "paper".into(),
+            row_id: 0,
+            row: vec![
+                Value::Integer(5),
+                Value::Text("New title".into()),
+                Value::Null,
+            ],
+        };
+        let delta = cat.delta(&change).unwrap();
+        let bean = UnitBean::Single(Some(row(5, "Old title")));
+        let PatchOutcome::Patched(UnitBean::Single(Some(r))) =
+            UnitBeanPatcher.apply(plan, &BTreeMap::new(), &bean, &delta)
+        else {
+            panic!("expected patch");
+        };
+        assert_eq!(r.get("title"), Some(&Value::Text("New title".into())));
+        let gone = relstore::ChangeRecord::Delete {
+            table: "paper".into(),
+            row_id: 0,
+            row: vec![Value::Integer(5), Value::Null, Value::Null],
+        };
+        let delta = cat.delta(&gone).unwrap();
+        assert!(matches!(
+            UnitBeanPatcher.apply(plan, &BTreeMap::new(), &bean, &delta),
+            PatchOutcome::Patched(UnitBean::Single(None))
+        ));
+    }
+}

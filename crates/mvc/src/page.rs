@@ -182,7 +182,28 @@ pub fn compute_page_traced(
                     .as_ref()
                     .and_then(|c| c.ttl_ms)
                     .map(Duration::from_millis);
-                cache.put(key, bean, &desc.depends_on, ttl)
+                // A pure oid probe (`WHERE t.oid = :p`) touches exactly one
+                // row, so scope the bean to `(entity, oid)`: log-driven
+                // invalidation of another row then leaves it alone.
+                let row_dep = desc.entity_table.as_ref().and_then(|entity| {
+                    let param = webcache::oid_probe_param(&desc.queries.first()?.sql)?;
+                    match params.get(&param) {
+                        Some(Value::Integer(oid)) => Some((entity.clone(), *oid)),
+                        _ => None,
+                    }
+                });
+                match row_dep {
+                    Some((entity, oid)) => {
+                        let other_deps: Vec<String> = desc
+                            .depends_on
+                            .iter()
+                            .filter(|d| **d != entity)
+                            .cloned()
+                            .collect();
+                        cache.put_scoped(key, bean, &other_deps, &[(entity, oid)], ttl)
+                    }
+                    None => cache.put(key, bean, &desc.depends_on, ttl),
+                }
             }
             _ => Arc::new(bean),
         };

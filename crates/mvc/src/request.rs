@@ -17,6 +17,10 @@ pub struct WebRequest {
     pub session: Option<String>,
     /// User-Agent header (drives §5 device adaptation).
     pub user_agent: String,
+    /// `If-None-Match` header: the validator of a conditional GET. When
+    /// it matches the page's current `ETag`, the controller answers
+    /// `304 Not Modified` without computing the page.
+    pub if_none_match: Option<String>,
 }
 
 impl WebRequest {
@@ -42,6 +46,11 @@ impl WebRequest {
         self
     }
 
+    pub fn with_if_none_match(mut self, etag: impl Into<String>) -> WebRequest {
+        self.if_none_match = Some(etag.into());
+        self
+    }
+
     /// Stable fingerprint of the parameters (cache keys).
     pub fn params_fingerprint(&self) -> String {
         let mut s = String::new();
@@ -63,6 +72,9 @@ pub struct WebResponse {
     pub body: String,
     /// Session id to set as a cookie, if a new session was created.
     pub set_session: Option<String>,
+    /// Strong entity tag derived from the page's dependency versions;
+    /// `None` when conditional GET is disabled.
+    pub etag: Option<String>,
 }
 
 impl WebResponse {
@@ -72,6 +84,7 @@ impl WebResponse {
             content_type: "text/html; charset=utf-8".into(),
             body,
             set_session: None,
+            etag: None,
         }
     }
 
@@ -81,6 +94,7 @@ impl WebResponse {
             content_type: "text/html; charset=utf-8".into(),
             body: format!("<html><body><h1>404</h1><p>no mapping for {path}</p></body></html>"),
             set_session: None,
+            etag: None,
         }
     }
 
@@ -90,6 +104,7 @@ impl WebResponse {
             content_type: "text/html; charset=utf-8".into(),
             body: format!("<html><body><h1>{status}</h1><p>{message}</p></body></html>"),
             set_session: None,
+            etag: None,
         }
     }
 }
@@ -106,6 +121,9 @@ pub struct WebResponseParts {
     pub body: Vec<presentation::HtmlChunk>,
     /// Session id to set as a cookie, if a new session was created.
     pub set_session: Option<String>,
+    /// Strong entity tag derived from the page's dependency versions;
+    /// `None` when conditional GET is disabled.
+    pub etag: Option<String>,
 }
 
 impl WebResponseParts {
@@ -116,6 +134,7 @@ impl WebResponseParts {
             content_type: resp.content_type,
             body: vec![presentation::HtmlChunk::Owned(resp.body)],
             set_session: resp.set_session,
+            etag: resp.etag,
         }
     }
 
@@ -139,6 +158,7 @@ impl WebResponseParts {
             content_type: self.content_type,
             body,
             set_session: self.set_session,
+            etag: self.etag,
         }
     }
 }

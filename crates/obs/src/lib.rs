@@ -25,6 +25,6 @@ pub mod trace;
 
 pub use metrics::{
     AnalyzeCounters, CacheCounters, Counter, DbCounters, Gauge, Histogram, HttpCounters,
-    MetricsRegistry, ReplCounters, ReplicaGauges, WalCounters,
+    MaintCounters, MetricsRegistry, ReplCounters, ReplicaGauges, WalCounters,
 };
 pub use trace::{RequestContext, Span, SpanToken};

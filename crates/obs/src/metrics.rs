@@ -316,6 +316,55 @@ impl AnalyzeCounters {
     }
 }
 
+/// The counter block the incremental cache-maintenance layer reports
+/// into: WAL-driven bean patching, dirty-fragment re-render, and
+/// conditional-GET economics.
+#[derive(Debug, Default)]
+pub struct MaintCounters {
+    /// Cached beans updated in place from a durable `ChangeRecord`
+    /// instead of being dropped.
+    pub patches_applied: Counter,
+    /// Beans dropped back to recompute because the delta was not
+    /// patchable — keyed by reason, rendered as the labelled
+    /// `cache_patch_fallbacks_total{reason}` family.
+    fallbacks: Mutex<BTreeMap<String, u64>>,
+    /// Page fragments re-rendered because their unit's bean changed
+    /// (clean fragments keep serving the same interned bytes).
+    pub fragment_rerenders: Counter,
+    /// Conditional GETs answered `304 Not Modified` from the page
+    /// version, skipping compute and body bytes entirely.
+    pub http_304: Counter,
+    /// Wall time to apply one durable batch to every dependent bean and
+    /// fragment, in µs.
+    pub apply_micros: Histogram,
+}
+
+impl MaintCounters {
+    pub fn new() -> MaintCounters {
+        MaintCounters::default()
+    }
+
+    /// Count one fallback-to-recompute with a stable `reason` tag.
+    pub fn record_fallback(&self, reason: &str) {
+        let mut map = self.fallbacks.lock();
+        *map.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Snapshot of per-reason fallback counts.
+    pub fn fallback_counts(&self) -> Vec<(String, u64)> {
+        self.fallbacks
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Total fallbacks across all reasons.
+    pub fn fallbacks_total(&self) -> u64 {
+        self.fallbacks.lock().values().sum()
+    }
+}
+
 /// The counter block the web tier (`httpd`) reports into: connection
 /// lifecycle and keep-alive economics.
 #[derive(Debug, Default)]
@@ -451,6 +500,8 @@ pub struct MetricsRegistry {
     pub analyze: Arc<AnalyzeCounters>,
     /// Web-tier connection lifecycle counters (`httpd`).
     pub http: Arc<HttpCounters>,
+    /// Incremental cache-maintenance counters (`webcache::maintain`).
+    pub maint: Arc<MaintCounters>,
     /// Replication/partitioning tier counters (`repl`).
     pub repl: Arc<ReplCounters>,
     /// Sessions evicted by the TTL sweep (`mvc::SessionManager` holds a
@@ -720,6 +771,38 @@ impl MetricsRegistry {
             "",
             &self.http.requests_per_conn,
         );
+        counter_into(
+            &mut out,
+            "cache_patches_applied_total",
+            "Cached beans updated in place from durable change records",
+            self.maint.patches_applied.get(),
+        );
+        // labelled family: the header is always emitted so scrapers learn
+        // the name even before the first fallback
+        let _ = writeln!(
+            out,
+            "# HELP cache_patch_fallbacks_total Beans dropped to recompute, by reason"
+        );
+        let _ = writeln!(out, "# TYPE cache_patch_fallbacks_total counter");
+        for (reason, v) in self.maint.fallback_counts() {
+            let _ = writeln!(
+                out,
+                "cache_patch_fallbacks_total{{reason=\"{reason}\"}} {v}"
+            );
+        }
+        counter_into(
+            &mut out,
+            "fragment_rerenders_total",
+            "Page fragments re-rendered because their unit bean changed",
+            self.maint.fragment_rerenders.get(),
+        );
+        counter_into(
+            &mut out,
+            "http_304_total",
+            "Conditional GETs answered 304 Not Modified from the page version",
+            self.maint.http_304.get(),
+        );
+        Self::render_histogram(&mut out, "maint_apply_micros", "", &self.maint.apply_micros);
         counter_into(
             &mut out,
             "webml_sessions_expired_total",
@@ -1099,6 +1182,30 @@ mod tests {
         assert!(text.contains("repl_applied_lsn{replica=\"replica-0\"} 17"));
         assert!(text.contains("repl_lag_lsn{replica=\"replica-0\"} 3"));
         assert!(text.contains("db_vacuum_horizon_lsn 14"));
+    }
+
+    #[test]
+    fn maint_counters_render() {
+        let reg = MetricsRegistry::new();
+        // family header present even before any fallback
+        let empty = reg.render_prometheus();
+        assert!(empty.contains("# TYPE cache_patch_fallbacks_total counter"));
+        assert!(empty.contains("cache_patches_applied_total 0"));
+        reg.maint.patches_applied.add(5);
+        reg.maint.record_fallback("join");
+        reg.maint.record_fallback("join");
+        reg.maint.record_fallback("like-predicate");
+        reg.maint.fragment_rerenders.add(3);
+        reg.maint.http_304.add(7);
+        reg.maint.apply_micros.observe_us(42);
+        let text = reg.render_prometheus();
+        assert!(text.contains("cache_patches_applied_total 5"));
+        assert!(text.contains("cache_patch_fallbacks_total{reason=\"join\"} 2"));
+        assert!(text.contains("cache_patch_fallbacks_total{reason=\"like-predicate\"} 1"));
+        assert!(text.contains("fragment_rerenders_total 3"));
+        assert!(text.contains("http_304_total 7"));
+        assert!(text.contains("maint_apply_micros_count 1"));
+        assert_eq!(reg.maint.fallbacks_total(), 3);
     }
 
     #[test]

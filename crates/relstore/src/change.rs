@@ -36,8 +36,15 @@ pub enum ChangeRecord {
         row_id: RowId,
         row: Row,
     },
-    /// The row at `row_id` is gone.
-    Delete { table: String, row_id: RowId },
+    /// The row at `row_id` is gone. Carries the deleted row's last image
+    /// so downstream consumers (incremental cache maintenance, oid-scoped
+    /// invalidation) can tell *which* logical row vanished — `row_id` is a
+    /// physical slot, not the oid.
+    Delete {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
     /// A schema change, as re-runnable SQL text.
     Ddl { sql: String },
 }
@@ -125,6 +132,7 @@ pub fn redo_from_undo(storage: &Storage, undo: &[UndoOp]) -> Vec<ChangeRecord> {
                 rev.push(ChangeRecord::Delete {
                     table: table.clone(),
                     row_id: *row_id,
+                    row: row.clone(),
                 });
             }
         }

@@ -565,6 +565,15 @@ impl Database {
         Ok(self.storage.read().require_table(name)?.len())
     }
 
+    /// Column names of a table in declaration order. Consumers of the
+    /// change stream use this to map positional [`ChangeRecord`] row
+    /// values back to named attributes (oid extraction, bean patching).
+    pub fn table_columns(&self, name: &str) -> Result<Vec<String>> {
+        let storage = self.storage.read();
+        let t = storage.require_table(name)?;
+        Ok(t.schema.columns.iter().map(|c| c.name.clone()).collect())
+    }
+
     /// Does `table` already have an access path whose leading columns are
     /// exactly `columns`? True when a secondary index prefix-matches or the
     /// primary key starts with those columns. Deploy-time index derivation
@@ -607,7 +616,7 @@ impl Database {
                 let t = storage.require_table_mut(table)?;
                 t.insert_at(*row_id, row.clone())
             }
-            ChangeRecord::Delete { table, row_id } => {
+            ChangeRecord::Delete { table, row_id, .. } => {
                 let mut storage = self.storage.write();
                 let t = storage.require_table_mut(table)?;
                 let _ = t.delete(*row_id); // already-gone is fine (idempotence)

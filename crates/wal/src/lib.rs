@@ -302,7 +302,32 @@ impl Wal {
     /// Synchronously flush the group-commit buffer and dispatch observer
     /// callbacks for the batches made durable.
     pub fn flush_and_notify(&self) {
-        let batch = self.writer.flush_now();
+        self.dispatch(self.writer.flush_now());
+    }
+
+    /// The non-strict coherence barrier: write the buffer to the log and
+    /// dispatch observers *without* waiting on the physical sync, which
+    /// the flusher thread performs within one group-commit window (see
+    /// [`log::LogWriter::flush_now_relaxed`]). Cache maintenance therefore
+    /// runs before the committer can re-read, while disk latency stays off
+    /// the request path — the same bounded durability lag non-strict
+    /// commit already accepts.
+    pub fn flush_and_notify_relaxed(&self) {
+        self.dispatch(self.writer.flush_now_relaxed());
+    }
+
+    /// The cheapest coherence barrier: dispatch observers for every
+    /// appended-but-unflushed batch without touching the file at all
+    /// (see [`log::LogWriter::take_pending`]). The encoded bytes reach
+    /// the disk on the flusher's next window flush — the identical
+    /// write+sync schedule a deployment with no barrier gets — so
+    /// non-strict durability is unchanged while cache maintenance still
+    /// runs before the committer can re-read.
+    pub fn notify_buffered(&self) {
+        self.dispatch(self.writer.take_pending());
+    }
+
+    fn dispatch(&self, batch: log::DurableBatch) {
         if !batch.is_empty() {
             let obs = self.observers.read().clone();
             for (lsn, changes) in &batch {

@@ -16,6 +16,11 @@
 //! [`LogWriter::stop`]) can therefore never lose a batch the
 //! log-driven cache invalidator should have seen.
 //!
+//! [`LogWriter::flush_now_relaxed`] writes and dispatches without the
+//! inline sync: the physical `fdatasync` is deferred to the next synced
+//! flush, so non-strict committers can run cache-coherence observers on
+//! their own thread without paying disk latency per write.
+//!
 //! Crash points from [`crate::fault::CrashPlan`] trip inside the flush path
 //! (see [`CrashPoint`]): the writer marks itself crashed, stops touching
 //! the file, and wakes all waiters, simulating power loss at that exact
@@ -60,6 +65,13 @@ struct WriterState {
     next_lsn: u64,
     /// Highest LSN appended to the buffer (≥ durable_lsn).
     appended_lsn: u64,
+    /// Highest LSN written to the file — possibly ahead of `durable_lsn`
+    /// after a relaxed flush, until the next synced flush catches up.
+    written_lsn: u64,
+    /// Set by a relaxed flush: bytes are in the file but not yet synced;
+    /// the next synced flush (normally the flusher's window tick) owes an
+    /// `fdatasync` even if its buffer is empty.
+    sync_pending: bool,
     /// Highest LSN written + synced to the file.
     durable_lsn: u64,
     /// Count of non-empty physical flushes so far (crash plans index this).
@@ -108,6 +120,8 @@ impl LogWriter {
                 io_error: None,
                 next_lsn: start_lsn + 1,
                 appended_lsn: start_lsn,
+                written_lsn: start_lsn,
+                sync_pending: false,
                 durable_lsn: start_lsn,
                 flush_ordinal: 0,
                 crash_plan,
@@ -159,12 +173,62 @@ impl LogWriter {
         std::mem::take(&mut s.dispatch)
     }
 
+    /// Like [`LogWriter::flush_now`], but *relaxed*: the buffer is written
+    /// to the log file and the batch queued for dispatch without waiting
+    /// on the physical sync — that is deferred to the next synced flush
+    /// (normally the flusher's window tick), so the durability lag stays
+    /// bounded by the group-commit window. This is the non-strict
+    /// coherence barrier: observers (cache maintenance) run against the
+    /// written log on the committer's thread while the disk sync stays
+    /// amortized off it. `durable_lsn` does not advance until the sync
+    /// lands, so strict committers are never acked early.
+    pub fn flush_now_relaxed(&self) -> DurableBatch {
+        let mut s = self.state.lock().unwrap();
+        self.flush_inner(&mut s, false);
+        std::mem::take(&mut s.dispatch)
+    }
+
+    /// Drain the buffered-but-unflushed batches for observer dispatch
+    /// without any file I/O: the encoded bytes stay in the buffer and
+    /// reach the disk on the flusher's next window flush, exactly as
+    /// they would with no barrier at all. This is the cheapest coherence
+    /// barrier for non-strict commit — the committer runs cache
+    /// maintenance against its own appended records on its own thread,
+    /// while durability (write + sync, `durable_lsn`) rides the
+    /// group-commit window unchanged.
+    pub fn take_pending(&self) -> DurableBatch {
+        let mut s = self.state.lock().unwrap();
+        let batch = std::mem::take(&mut s.pending);
+        s.dispatch.extend(batch);
+        std::mem::take(&mut s.dispatch)
+    }
+
     /// Write + sync the buffer and queue the flushed batch on
     /// `s.dispatch`. Never hands batches to the caller directly, so no
     /// internal flush path can drop them on the floor.
     fn flush_locked(&self, s: &mut WriterState) {
+        self.flush_inner(s, true)
+    }
+
+    fn flush_inner(&self, s: &mut WriterState, sync: bool) {
         s.flush_due = false;
-        if s.crashed || s.buf.is_empty() {
+        if s.crashed {
+            return;
+        }
+        if s.buf.is_empty() {
+            // nothing new to write — but a prior relaxed flush may still
+            // owe the disk its sync
+            if sync && s.sync_pending {
+                if let Some(f) = s.file.as_mut() {
+                    if let Err(e) = f.sync_data() {
+                        self.fail_io(s, &e);
+                        return;
+                    }
+                }
+                s.sync_pending = false;
+                s.durable_lsn = s.written_lsn;
+                self.cond.notify_all();
+            }
             return;
         }
         let ordinal = s.flush_ordinal + 1;
@@ -208,17 +272,32 @@ impl LogWriter {
             Some(f) => f,
             None => return,
         };
-        if let Err(e) = file.write_all(&s.buf).and_then(|_| file.sync_data()) {
+        let res = if sync {
+            file.write_all(&s.buf).and_then(|_| file.sync_data())
+        } else {
+            file.write_all(&s.buf)
+        };
+        if let Err(e) = res {
             self.fail_io(s, &e);
             return;
         }
         self.counters.flushes.inc();
         self.counters.bytes_written.add(s.buf.len() as u64);
-        self.counters
-            .group_batch_size
-            .observe(s.pending.len() as u64);
+        if !s.pending.is_empty() {
+            // a dispatch-only barrier may have drained `pending` already;
+            // only batches flushed here count toward group sizing
+            self.counters
+                .group_batch_size
+                .observe(s.pending.len() as u64);
+        }
         s.flush_ordinal = ordinal;
-        s.durable_lsn = s.appended_lsn;
+        s.written_lsn = s.appended_lsn;
+        if sync {
+            s.sync_pending = false;
+            s.durable_lsn = s.appended_lsn;
+        } else {
+            s.sync_pending = true;
+        }
         s.buf.clear();
         s.last_record_start = 0;
         let batch = std::mem::take(&mut s.pending);
@@ -424,6 +503,24 @@ mod tests {
         let w = writer(&dir, CrashPlan::none());
         assert!(w.flush_now().is_empty());
         assert_eq!(w.flush_ordinal(), 0);
+    }
+
+    #[test]
+    fn relaxed_flush_dispatches_before_sync() {
+        let dir = TempDir::new("log-relaxed").unwrap();
+        let w = writer(&dir, CrashPlan::none());
+        w.append(changes(1));
+        let batch = w.flush_now_relaxed();
+        assert_eq!(batch.len(), 1, "relaxed flush must dispatch its batch");
+        // the bytes are in the file…
+        let scan = scan_log(&std::fs::read(w.path()).unwrap());
+        assert_eq!(scan.outcome, ScanOutcome::Clean);
+        assert_eq!(scan.records.len(), 1);
+        // …but durability is not acked until the deferred sync lands
+        assert_eq!(w.durable_lsn(), 0);
+        assert!(w.flush_now().is_empty(), "no new batch, only the sync");
+        assert_eq!(w.durable_lsn(), 1);
+        w.wait_durable(1).unwrap();
     }
 
     #[test]

@@ -124,10 +124,11 @@ fn put_change(buf: &mut Vec<u8>, c: &ChangeRecord) {
             put_u64(buf, *row_id as u64);
             put_row(buf, row);
         }
-        ChangeRecord::Delete { table, row_id } => {
+        ChangeRecord::Delete { table, row_id, row } => {
             buf.push(2);
             put_bytes(buf, table.as_bytes());
             put_u64(buf, *row_id as u64);
+            put_row(buf, row);
         }
         ChangeRecord::Ddl { sql } => {
             buf.push(3);
@@ -233,6 +234,7 @@ impl<'a> Cursor<'a> {
             2 => ChangeRecord::Delete {
                 table: self.string()?,
                 row_id: self.u64()? as usize,
+                row: self.row()?,
             },
             3 => ChangeRecord::Ddl {
                 sql: self.string()?,
@@ -383,6 +385,7 @@ mod tests {
             ChangeRecord::Delete {
                 table: "author".into(),
                 row_id: 9,
+                row: vec![Value::Integer(9), Value::Text("Ceri".into())],
             },
             ChangeRecord::Ddl {
                 sql: "CREATE TABLE t (oid INTEGER PRIMARY KEY)".into(),
@@ -419,6 +422,7 @@ mod tests {
         let a = vec![ChangeRecord::Delete {
             table: "t".into(),
             row_id: 0,
+            row: vec![Value::Integer(1)],
         }];
         let b = vec![ChangeRecord::Ddl {
             sql: "DROP TABLE t".into(),

@@ -265,6 +265,78 @@ fn mvcc_counters_render_and_move() {
     server.stop();
 }
 
+/// The five maintenance-layer metric families render at `/metrics` and
+/// move under a maintained durable deployment: a conditional GET whose
+/// validator still matches answers 304; a committed write patches the
+/// cached bean in place (or counts its fallback) and forces exactly the
+/// dirty fragment to re-render.
+#[test]
+fn maintenance_counters_render_and_move() {
+    use webml_ratio::relstore::Params;
+    use webml_ratio::webratio::DurabilityConfig;
+
+    let dir = webml_ratio::wal::TempDir::new("obs-maint").unwrap();
+    let app = fixtures::bookstore();
+    let mut durability = DurabilityConfig::new(dir.path());
+    durability.incremental_maintenance = true;
+    let options = RuntimeOptions {
+        bean_cache: true,
+        fragment_cache: true,
+        fragment_ttl: std::time::Duration::from_secs(300),
+        conditional_get: true,
+        ..RuntimeOptions::default()
+    };
+    let d = app.deploy_durable(options, &durability).unwrap();
+    d.db.execute_script("INSERT INTO book (title, price) VALUES ('TODS primer', 30.0);")
+        .unwrap();
+    d.wal.as_ref().unwrap().flush_and_notify();
+    let server = d.serve_traced(0, 2).unwrap();
+    let addr = server.addr();
+    let home = d.home_url("store").unwrap();
+
+    // cold request: 200 with a strong validator, session minted
+    let r1 = client::get(addr, &home).unwrap();
+    assert_eq!(r1.status, 200);
+    let etag1 = r1.find_header("etag").unwrap().to_string();
+    assert!(etag1.starts_with('"') && etag1.ends_with('"'), "{etag1}");
+    let cookie = r1.find_header("set-cookie").unwrap().to_string();
+    let sid = cookie.split(';').next().unwrap().to_string();
+
+    // same session, matching validator → 304 with an empty body
+    let r2 = client::get_with_headers(addr, &home, &[("Cookie", &sid), ("If-None-Match", &etag1)])
+        .unwrap();
+    assert_eq!(r2.status, 304);
+    assert!(r2.body.is_empty(), "304 must not carry a body");
+
+    // a committed write to a non-order column patches the cached index
+    // bean in place (the index is title-ordered, so the price edit cannot
+    // move the row) …
+    d.db.execute("UPDATE book SET price = 99.5 WHERE oid = 1", &Params::new())
+        .unwrap();
+    d.wal.as_ref().unwrap().flush_and_notify();
+
+    // … so the stale validator now re-validates to a full 200 whose body
+    // already shows the patched row (no invalidation round-trip)
+    let r3 = client::get_with_headers(addr, &home, &[("Cookie", &sid), ("If-None-Match", &etag1)])
+        .unwrap();
+    assert_eq!(r3.status, 200);
+    let etag3 = r3.find_header("etag").unwrap().to_string();
+    assert_ne!(etag1, etag3, "validator must move with the write");
+    let body = String::from_utf8(r3.body).unwrap();
+    assert!(body.contains("99.5"), "{body}");
+
+    let m = client::get(addr, "/metrics").unwrap();
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(metric(&text, "cache_patches_applied_total ") >= 1, "{text}");
+    assert_eq!(metric(&text, "http_304_total "), 1);
+    assert!(metric(&text, "fragment_rerenders_total ") >= 1, "{text}");
+    assert!(metric(&text, "maint_apply_micros_count ") >= 1, "{text}");
+    // the fallback family renders even when empty (total line or labels)
+    assert!(text.contains("cache_patch_fallbacks_total"), "{text}");
+
+    server.stop();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

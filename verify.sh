@@ -34,6 +34,9 @@ cargo run -p bench --release --bin exp_mvcc -- --smoke
 echo "== replication smoke (read scale-out, read-your-writes, shard routing gates)"
 cargo run -p bench --release --bin exp_repl -- --smoke
 
+echo "== maintenance smoke (WAL bean patching, dirty-fragment re-render, conditional GET)"
+cargo run -p bench --release --bin exp_maint -- --smoke
+
 echo "== MVCC seeded-schedule stress (snapshot-isolation properties under three seeds)"
 for seed in 1 20030108 "${RELSTORE_STRESS_SEED:-3224275387}"; do
   RELSTORE_STRESS_SEED="$seed" \
